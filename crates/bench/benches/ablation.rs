@@ -1,0 +1,27 @@
+//! Criterion bench for the Table 1 ablation harness: symmetric vs naive
+//! buffer access on the event-capture path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::{Machine, MachineConfig, Seeds};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(20);
+    for (name, symmetric) in [("symmetric_access", true), ("naive_access", false)] {
+        group.bench_function(format!("event_value/{name}"), |b| {
+            let mut cfg = MachineConfig::sanity();
+            cfg.symmetric_access = symmetric;
+            let mut m = Machine::new(cfg, Seeds::from_run(1));
+            m.start_run();
+            let mut v = 0u64;
+            b.iter(|| {
+                v += 1;
+                m.event_value(v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the Fig. 2 harness: one zero-array execution per
+//! environment, measuring simulator throughput for the variance sweep.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::{Environment, Machine, MachineConfig, Seeds};
+use sim_core::CostModel;
+use vm::{Vm, VmConfig};
+
+fn bench(c: &mut Criterion) {
+    let program = Arc::new(workloads::microbench::zero_array_program(64 * 1024, 1));
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    for env in [Environment::UserNoisy, Environment::KernelQuiet] {
+        group.bench_function(format!("zero_array/{}", env.label()), |b| {
+            let mut run = 0u64;
+            b.iter(|| {
+                run += 1;
+                let machine = Machine::new(MachineConfig::host(env), Seeds::from_run(run));
+                let cfg = VmConfig {
+                    cost: CostModel::oracle_interpreter(),
+                    ..VmConfig::default()
+                };
+                let mut vm = Vm::new(Arc::clone(&program), machine, cfg).expect("load");
+                vm.machine_mut().start_run();
+                vm.run().expect("run").wall_ps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

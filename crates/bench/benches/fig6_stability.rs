@@ -1,0 +1,25 @@
+//! Criterion bench for the Fig. 6 harness: repeated Sanity runs of the MC
+//! kernel (the stability sweep's inner loop).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sanity_tdr::Engine;
+use workloads::scimark::Kernel;
+
+fn bench(c: &mut Criterion) {
+    let program = Arc::new(Kernel::Mc.program_small());
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("mc/sanity_run", |b| {
+        let mut run = 0u64;
+        b.iter(|| {
+            run += 1;
+            Engine::Sanity.run_program(&program, run).expect("run").cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for the Fig. 7 harness: record + TDR-replay one small
+//! NFS trace (the replay-accuracy inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sanity_tdr::Sanity;
+use workloads::nfs;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("nfs/record_and_replay", |b| {
+        let mut run = 0u64;
+        b.iter(|| {
+            run += 1;
+            let files = nfs::make_files(3, 1024, 3072, run);
+            let sched = nfs::client_schedule(&files, 200_000, 700_000, run);
+            let sanity =
+                Sanity::new(nfs::server_program(sched.len() as i32)).with_files(files);
+            let packets = sched.packets.clone();
+            let rec = sanity
+                .record(run, move |vm| {
+                    for (at, pkt) in packets {
+                        vm.machine_mut().deliver_packet(at, pkt);
+                    }
+                })
+                .expect("record");
+            let rep = sanity.replay(&rec.log, run + 99_999, |_| {}).expect("replay");
+            (rec.outcome.cycles, rep.outcome.cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

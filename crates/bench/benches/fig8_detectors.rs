@@ -1,0 +1,47 @@
+//! Criterion bench for the Fig. 8 harness: channel encoding and detector
+//! scoring throughput.
+
+use channels::{message_bits, Mbctc, TimingChannel, Trctc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use detectors::{CceTest, Detector, KsTest, RegularityTest, ShapeTest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn legit(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(500_000..1_000_000)).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let train: Vec<Vec<u64>> = (0..8).map(|k| legit(k, 400)).collect();
+    let pool: Vec<u64> = train.iter().flatten().copied().collect();
+    let test = legit(99, 400);
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(20);
+    group.bench_function("encode/trctc", |b| {
+        let bits = message_bits(400, 7);
+        b.iter(|| Trctc::new(1).encode(&bits, &pool))
+    });
+    group.bench_function("encode/mbctc", |b| {
+        let bits = message_bits(400, 7);
+        b.iter(|| Mbctc::new(64, 1).encode(&bits, &pool))
+    });
+
+    let mut shape = ShapeTest::new();
+    shape.train(&train);
+    let mut ks = KsTest::new();
+    ks.train(&train);
+    let mut rt = RegularityTest::new(10);
+    rt.train(&train);
+    let mut cce = CceTest::default();
+    cce.train(&train);
+    group.bench_function("score/shape", |b| b.iter(|| shape.score(&test)));
+    group.bench_function("score/ks", |b| b.iter(|| ks.score(&test)));
+    group.bench_function("score/rt", |b| b.iter(|| rt.score(&test)));
+    group.bench_function("score/cce", |b| b.iter(|| cce.score(&test)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for the Table 2 harness: one SciMark kernel per engine.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::Environment;
+use sanity_tdr::Engine;
+use workloads::scimark::Kernel;
+
+fn bench(c: &mut Criterion) {
+    let program = Arc::new(Kernel::Sor.program_small());
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for engine in [
+        Engine::Sanity,
+        Engine::OracleInt(Environment::UserQuiet),
+        Engine::OracleJit(Environment::UserQuiet),
+    ] {
+        group.bench_function(format!("sor/{}", engine.label()), |b| {
+            let mut run = 0u64;
+            b.iter(|| {
+                run += 1;
+                engine.run_program(&program, run).expect("run").wall_ps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

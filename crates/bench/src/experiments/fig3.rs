@@ -1,0 +1,71 @@
+//! Figure 3: wall-clock progress of play vs. replay under functional
+//! (XenTT-style) replay of a boot+serve VM image.
+//!
+//! With time-deterministic replay this plot would be the diagonal; under a
+//! functional replayer it is far from it: replay rushes through the phases
+//! where play waited for input, and crawls through the boot phase where
+//! every clock read is an injected event.
+
+use std::fmt::Write as _;
+
+use sanity_tdr::Sanity;
+use workloads::bootserve;
+
+use super::Options;
+
+/// Run the experiment and print the per-event progress pairs.
+pub fn run(opts: &Options) {
+    let (calib, reqs) = if opts.full { (200, 60) } else { (60, 20) };
+    println!("== Figure 3: play vs. replay progress (functional baseline) ==\n");
+
+    let sanity = Sanity::new(bootserve::bootserve_program(calib, reqs));
+    let rec = sanity
+        .record(1, |vm| {
+            // Requests arrive with idle gaps after a long boot window.
+            for k in 0..reqs as u64 {
+                vm.machine_mut()
+                    .deliver_packet(3_000_000 + k * 800_000, vec![k as u8; 64]);
+            }
+        })
+        .expect("record");
+    let functional = sanity.replay_functional(&rec.log, 2).expect("functional");
+    let tdr = sanity.replay(&rec.log, 3, |_| {}).expect("tdr");
+
+    let n = rec
+        .marks
+        .len()
+        .min(functional.marks.len())
+        .min(tdr.marks.len());
+    let mut csv = String::from("event,kind,play_ms,functional_replay_ms,tdr_replay_ms\n");
+    println!(
+        "{:>5} {:>10} {:>12} {:>16} {:>12}",
+        "event", "kind", "play ms", "functional ms", "TDR ms"
+    );
+    for k in 0..n {
+        let p = super::ps_to_ms(rec.marks[k].wall_ps);
+        let f = super::ps_to_ms(functional.marks[k].wall_ps);
+        let t = super::ps_to_ms(tdr.marks[k].wall_ps);
+        let _ = writeln!(csv, "{k},{:?},{p:.4},{f:.4},{t:.4}", rec.marks[k].kind);
+        // Print a readable subsample.
+        if k % (n / 24).max(1) == 0 {
+            println!(
+                "{:>5} {:>10} {:>12.3} {:>16.3} {:>12.3}",
+                k,
+                format!("{:?}", rec.marks[k].kind),
+                p,
+                f,
+                t
+            );
+        }
+    }
+    let total_p = super::ps_to_ms(rec.outcome.wall_ps);
+    let total_f = super::ps_to_ms(functional.outcome.wall_ps);
+    let total_t = super::ps_to_ms(tdr.outcome.wall_ps);
+    println!("\ntotals: play {total_p:.3} ms  functional {total_f:.3} ms  TDR {total_t:.3} ms");
+    println!(
+        "functional/play ratio: {:.3} (far from 1.0); TDR/play: {:.4} (≈ 1.0)\n",
+        total_f / total_p,
+        total_t / total_p
+    );
+    opts.write("fig3_play_vs_replay.csv", &csv);
+}

@@ -1,0 +1,62 @@
+//! Figure 6: SciMark timing variance across 50 runs — Dirty, Clean, Sanity.
+//!
+//! "Dirty" is the Oracle JVM in multi-user mode with GUI/network; "Clean"
+//! is single-user mode; Sanity is the full TDR configuration. The paper
+//! reports up to 79% variance (Dirty), an order of magnitude less in Clean,
+//! and 0.08%–1.22% under Sanity.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use machine::Environment;
+use netsim::stats;
+use sanity_tdr::Engine;
+use workloads::scimark::Kernel;
+
+use super::Options;
+
+fn spread_pct(engine: Engine, program: &Arc<jbc::Program>, runs: usize, base: u64) -> f64 {
+    let times: Vec<f64> = (0..runs)
+        .map(|r| {
+            engine
+                .run_program(program, base + r as u64)
+                .expect("run")
+                .wall_ps as f64
+        })
+        .collect();
+    stats::relative_spread(&times) * 100.0
+}
+
+/// Run the experiment and print the variance table.
+pub fn run(opts: &Options) {
+    let runs = opts.runs_or(15, 50);
+    println!("== Figure 6: SciMark timing variance over {runs} runs (%) ==\n");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10}   (paper: ≤79 / ~order less / 0.08–1.22)",
+        "bench", "Dirty", "Clean", "Sanity"
+    );
+    let mut csv = String::from("kernel,config,variance_pct\n");
+    for k in Kernel::all() {
+        let p = Arc::new(if opts.full {
+            k.program_full()
+        } else {
+            k.program_small()
+        });
+        let dirty = spread_pct(Engine::OracleInt(Environment::UserNoisy), &p, runs, 100);
+        let clean = spread_pct(Engine::OracleInt(Environment::UserQuiet), &p, runs, 200);
+        let sanity = spread_pct(Engine::Sanity, &p, runs, 300);
+        println!(
+            "{:<6} {:>10.2} {:>10.2} {:>10.3}",
+            k.label(),
+            dirty,
+            clean,
+            sanity
+        );
+        let _ = writeln!(csv, "{},Dirty,{dirty:.4}", k.label());
+        let _ = writeln!(csv, "{},Clean,{clean:.4}", k.label());
+        let _ = writeln!(csv, "{},Sanity,{sanity:.4}", k.label());
+    }
+    println!("\n(shape to check: Dirty ≫ Clean ≫ Sanity; Sanity around or");
+    println!(" below one percent)\n");
+    opts.write("fig6_stability.csv", &csv);
+}

@@ -1,0 +1,223 @@
+//! Figure 7 / §6.4 / §6.5 / §6.9: NFS replay accuracy, log size, and the
+//! noise-vs-jitter comparison.
+//!
+//! Records NFS traces (the paper's 30-files workload), replays each with
+//! TDR on a different-seeded machine of the same type, and compares:
+//!
+//! * total runtime (paper: 97% of replays within 1%, max 1.85%);
+//! * per-IPD deviations (the Fig. 7 scatter);
+//! * log growth rate and composition (§6.5: ~20 kB/min, 84% packets);
+//! * the §6.9 ratio of TDR noise to WAN jitter.
+
+use std::fmt::Write as _;
+
+use netsim::{measure_jitter, NetworkPath};
+use sanity_tdr::{compare, Sanity};
+use vm::Vm;
+use workloads::nfs;
+
+use super::Options;
+
+/// Workload scale for one trace.
+struct TraceParams {
+    files: usize,
+    min_b: usize,
+    max_b: usize,
+    mean_gap: u64,
+}
+
+impl TraceParams {
+    fn of(opts: &Options) -> TraceParams {
+        if opts.full {
+            // The paper's 30 files of 1–30 kB.
+            TraceParams {
+                files: 30,
+                min_b: 1024,
+                max_b: 30 * 1024,
+                mean_gap: 740_000,
+            }
+        } else {
+            TraceParams {
+                files: 8,
+                min_b: 1024,
+                max_b: 6 * 1024,
+                mean_gap: 740_000,
+            }
+        }
+    }
+}
+
+/// One recorded+replayed trace and its comparison.
+struct TraceResult {
+    runtime_err: f64,
+    comparison: compare::IpdComparison,
+    log_stats: replay::LogStats,
+    play_cycles: u64,
+}
+
+fn one_trace(opts: &Options, trace_idx: u64) -> TraceResult {
+    let tp = TraceParams::of(opts);
+    let files = nfs::make_files(tp.files, tp.min_b, tp.max_b, 9000 + trace_idx);
+    let sched = nfs::client_schedule(&files, 200_000, tp.mean_gap, 50 + trace_idx);
+    let n_requests = sched.len();
+    let sanity = Sanity::new(nfs::server_program(n_requests as i32)).with_files(files);
+
+    let deliver = |vm: &mut Vm, packets: &[(u64, Vec<u8>)]| {
+        for (at, pkt) in packets {
+            vm.machine_mut().deliver_packet(*at, pkt.clone());
+        }
+    };
+    let rec = sanity
+        .record(trace_idx, |vm| deliver(vm, &sched.packets))
+        .expect("record");
+    let rep = sanity
+        .replay(&rec.log, 100_000 + trace_idx, |_| {})
+        .expect("replay");
+
+    let play_ipds = compare::tx_ipds_cycles(&rec.tx);
+    let replay_ipds = compare::tx_ipds_cycles(&rep.tx);
+    TraceResult {
+        runtime_err: compare::relative_error(rec.outcome.cycles, rep.outcome.cycles),
+        comparison: compare::compare_ipds(&play_ipds, &replay_ipds),
+        log_stats: rec.log.stats(),
+        play_cycles: rec.outcome.cycles,
+    }
+}
+
+fn collect(opts: &Options) -> Vec<TraceResult> {
+    let traces = opts.runs_or(20, 100);
+    (0..traces as u64).map(|k| one_trace(opts, k)).collect()
+}
+
+/// Run the Fig. 7 / §6.4 experiment.
+pub fn run(opts: &Options) {
+    println!("== Figure 7 / §6.4: NFS replay accuracy ==\n");
+    let results = collect(opts);
+
+    // §6.4 runtime summary.
+    let within_1pct = results.iter().filter(|r| r.runtime_err <= 0.01).count();
+    let max_runtime = results
+        .iter()
+        .map(|r| r.runtime_err)
+        .fold(0.0f64, f64::max);
+    println!(
+        "traces: {}   runtime within 1%: {:.0}%   max runtime error: {:.3}%",
+        results.len(),
+        within_1pct as f64 / results.len() as f64 * 100.0,
+        max_runtime * 100.0
+    );
+    println!("(paper: 97% within 1%, max 1.85%)\n");
+
+    // Fig. 7 scatter: play vs replay IPDs.
+    let mut csv = String::from("play_ipd_ms,replay_ipd_ms,rel_dev\n");
+    let mut max_dev: f64 = 0.0;
+    let mut devs = Vec::new();
+    let mut median_ipds = Vec::new();
+    for r in &results {
+        for ((p, q), d) in r.comparison.pairs.iter().zip(&r.comparison.rel_devs) {
+            let _ = writeln!(
+                csv,
+                "{:.5},{:.5},{:.6}",
+                super::cycles_to_ms(*p),
+                super::cycles_to_ms(*q),
+                d
+            );
+            max_dev = max_dev.max(*d);
+            devs.push(*d);
+        }
+        let mut ipds: Vec<u64> = r.comparison.pairs.iter().map(|(p, _)| *p).collect();
+        ipds.sort_unstable();
+        if !ipds.is_empty() {
+            median_ipds.push(ipds[ipds.len() / 2]);
+        }
+    }
+    devs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pick = |q: f64| devs[((devs.len() - 1) as f64 * q) as usize] * 100.0;
+    println!(
+        "per-IPD deviation: p50 {:.3}%  p90 {:.3}%  p99 {:.3}%  max {:.3}%",
+        pick(0.50),
+        pick(0.90),
+        pick(0.99),
+        max_dev * 100.0
+    );
+    median_ipds.sort_unstable();
+    let med_ipd = median_ipds.get(median_ipds.len() / 2).copied().unwrap_or(0);
+    println!(
+        "median IPD: {:.2} ms (paper: 7.4 ms); max deviation ≈ {:.3} ms",
+        super::cycles_to_ms(med_ipd),
+        super::cycles_to_ms((med_ipd as f64 * max_dev) as u64),
+    );
+    println!("(paper bound: all within 1.85%)\n");
+    opts.write("fig7_ipds.csv", &csv);
+}
+
+/// Run the §6.5 log-size accounting.
+pub fn run_logsize(opts: &Options) {
+    println!("== §6.5: log size and composition ==\n");
+    let results = collect(opts);
+    let mut total_bytes = 0u64;
+    let mut packet_bytes = 0u64;
+    let mut total_minutes = 0.0f64;
+    for r in &results {
+        total_bytes += r.log_stats.total_bytes;
+        packet_bytes += r.log_stats.packet_bytes;
+        total_minutes += r.play_cycles as f64 / 100_000_000.0 / 60.0;
+    }
+    let rate = total_bytes as f64 / total_minutes;
+    println!(
+        "log growth: {:.1} kB per simulated minute of trace ({} traces)",
+        rate / 1024.0,
+        results.len()
+    );
+    println!(
+        "incoming packets: {:.0}% of log bytes (paper: ~84%, 20 kB/min)\n",
+        packet_bytes as f64 / total_bytes as f64 * 100.0
+    );
+    let mut csv = String::from("metric,value\n");
+    let _ = writeln!(csv, "bytes_per_minute,{rate:.1}");
+    let _ = writeln!(
+        csv,
+        "packet_fraction,{:.4}",
+        packet_bytes as f64 / total_bytes as f64
+    );
+    opts.write("logsize.csv", &csv);
+}
+
+/// Run the §6.9 noise-vs-jitter comparison.
+pub fn run_noise_vs_jitter(opts: &Options) {
+    println!("== §6.9: TDR noise floor vs network jitter ==\n");
+    let results = collect(opts);
+    let mut devs_ms = Vec::new();
+    let mut ipds = Vec::new();
+    for r in &results {
+        for ((p, _), d) in r.comparison.pairs.iter().zip(&r.comparison.rel_devs) {
+            devs_ms.push(super::cycles_to_ms((*p as f64 * d) as u64));
+            ipds.push(*p);
+        }
+    }
+    devs_ms.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    ipds.sort_unstable();
+    let max_noise_ms = devs_ms.last().copied().unwrap_or(0.0);
+    let med_ipd_ms = super::cycles_to_ms(ipds.get(ipds.len() / 2).copied().unwrap_or(0));
+
+    let mut uni = NetworkPath::university(7);
+    let (p50, p90, p99) = measure_jitter(&mut uni, 1000);
+    let p50_ms = p50 as f64 / 1e9;
+    println!("TDR noise: max {max_noise_ms:.3} ms on a median IPD of {med_ipd_ms:.2} ms");
+    println!(
+        "WAN jitter (1000 pings, university path): p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms",
+        p50_ms,
+        p90 as f64 / 1e9,
+        p99 as f64 / 1e9
+    );
+    println!(
+        "median jitter = {:.0}% of allowed noise (paper: 129%)",
+        p50_ms / max_noise_ms.max(1e-9) * 100.0
+    );
+    println!("(an adversary hiding under the noise floor drowns in jitter)\n");
+    let mut csv = String::from("metric,ms\n");
+    let _ = writeln!(csv, "tdr_max_noise,{max_noise_ms:.4}");
+    let _ = writeln!(csv, "median_ipd,{med_ipd_ms:.4}");
+    let _ = writeln!(csv, "jitter_p50,{p50_ms:.4}");
+    opts.write("noise_vs_jitter.csv", &csv);
+}

@@ -1,0 +1,65 @@
+//! Table 2: SciMark2 completion time, Sanity vs Oracle-INT vs Oracle-JIT,
+//! normalized to Oracle-INT.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use machine::Environment;
+use sanity_tdr::Engine;
+use workloads::scimark::Kernel;
+
+use super::Options;
+
+/// Run the experiment and print the normalized table.
+pub fn run(opts: &Options) {
+    println!("== Table 2: SciMark2, normalized to Oracle-INT ==\n");
+    println!(
+        "{:<6} {:>9} {:>12} {:>12}   ({})",
+        "bench", "Sanity", "Oracle-INT", "Oracle-JIT", "paper: Sanity 0.26-8.4, JIT 0.03-1.12"
+    );
+    let env = Environment::UserQuiet;
+    let mut csv = String::from("kernel,engine,wall_ms,normalized\n");
+    for k in Kernel::all() {
+        let p = Arc::new(if opts.full {
+            k.program_full()
+        } else {
+            k.program_small()
+        });
+        // Median of three runs per engine (the host engines are noisy).
+        let median = |e: Engine| -> u128 {
+            let mut ts: Vec<u128> = (0..3)
+                .map(|r| e.run_program(&p, 10 + r).expect("run").wall_ps)
+                .collect();
+            ts.sort_unstable();
+            ts[1]
+        };
+        let t_sanity = median(Engine::Sanity);
+        let t_int = median(Engine::OracleInt(env));
+        let t_jit = median(Engine::OracleJit(env));
+        let norm = |t: u128| t as f64 / t_int as f64;
+        println!(
+            "{:<6} {:>9.4} {:>12.4} {:>12.4}",
+            k.label(),
+            norm(t_sanity),
+            1.0,
+            norm(t_jit)
+        );
+        for (name, t) in [
+            ("Sanity", t_sanity),
+            ("Oracle-INT", t_int),
+            ("Oracle-JIT", t_jit),
+        ] {
+            let _ = writeln!(
+                csv,
+                "{},{},{:.4},{:.4}",
+                k.label(),
+                name,
+                super::ps_to_ms(t),
+                norm(t)
+            );
+        }
+    }
+    println!("\n(the shape to check: JIT ≪ INT on compute kernels; Sanity is");
+    println!(" interpreter-class — same order of magnitude as Oracle-INT)\n");
+    opts.write("table2_scimark.csv", &csv);
+}

@@ -1,0 +1,87 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! One subcommand per artifact:
+//!
+//! ```text
+//! repro fig2             Timing-variance CDFs across environments
+//! repro fig3             Play vs. replay progress under functional replay
+//! repro table1-ablation  Replay accuracy with each mitigation disabled
+//! repro table2           SciMark: Sanity vs Oracle-INT vs Oracle-JIT
+//! repro fig6             SciMark timing variance: Dirty / Clean / Sanity
+//! repro fig7             NFS replay accuracy (play vs replay IPDs)
+//! repro logsize          Log growth rate and composition (§6.5)
+//! repro fig8             ROC/AUC for 4 channels × 5 detectors
+//! repro noise-vs-jitter  TDR noise floor vs WAN jitter (§6.9)
+//! repro all              Everything above
+//! ```
+//!
+//! Options: `--full` (paper-scale parameters), `--runs N` (override the
+//! per-cell run count), `--out DIR` (results directory, default
+//! `results/`).
+
+mod experiments;
+
+use experiments::Options;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| {
+        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|noise-vs-jitter|all> [--full] [--runs N] [--out DIR]");
+        std::process::exit(2);
+    });
+    let mut opts = Options::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => opts.full = true,
+            "--runs" => {
+                opts.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--runs needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--out" => {
+                opts.out_dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+
+    let t0 = std::time::Instant::now();
+    match cmd.as_str() {
+        "fig2" => experiments::fig2::run(&opts),
+        "fig3" => experiments::fig3::run(&opts),
+        "table1-ablation" => experiments::ablation::run(&opts),
+        "table2" => experiments::table2::run(&opts),
+        "fig6" => experiments::fig6::run(&opts),
+        "fig7" => experiments::fig7::run(&opts),
+        "logsize" => experiments::fig7::run_logsize(&opts),
+        "fig8" => experiments::fig8::run(&opts),
+        "noise-vs-jitter" => experiments::fig7::run_noise_vs_jitter(&opts),
+        "all" => {
+            experiments::fig2::run(&opts);
+            experiments::fig3::run(&opts);
+            experiments::ablation::run(&opts);
+            experiments::table2::run(&opts);
+            experiments::fig6::run(&opts);
+            experiments::fig7::run(&opts);
+            experiments::fig7::run_logsize(&opts);
+            experiments::fig8::run(&opts);
+            experiments::fig7::run_noise_vs_jitter(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f64());
+}

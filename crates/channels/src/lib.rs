@@ -1,0 +1,468 @@
+//! `channels` — covert timing channels (§5.1).
+//!
+//! Implements the four channels of the paper's evaluation:
+//!
+//! * [`Ipctc`] — the classic IP covert timing channel: fixed intervals,
+//!   packet-in-interval = 1, silence = 0. Blatant traffic signature.
+//! * [`Trctc`] — traffic-replay: IPDs are *replayed* from bins of legitimate
+//!   traffic (B0 = small, B1 = large), defeating first-order shape tests but
+//!   exhibiting a constant encoding scheme.
+//! * [`Mbctc`] — model-based: legitimate traffic is periodically fitted to a
+//!   family of distributions and covert IPDs are drawn from the best fit by
+//!   inverse-CDF sampling, with the bit selecting the lower/upper half of
+//!   the distribution. The marginal *shape* matches legitimate traffic; the
+//!   lack of correlation between consecutive IPDs does not.
+//! * [`Needle`] — the paper's short-lived channel (§6.8): one bit every
+//!   `k`-th packet (default 100), leaving high-level statistics essentially
+//!   unchanged.
+//!
+//! All channels implement [`TimingChannel`]: `encode` maps message bits +
+//! legitimate IPDs to covert IPDs, `decode` inverts it at the receiver.
+//! Units are "ticks" — the experiments use TC cycles (10 ns at the simulated
+//! 100 MHz).
+//!
+//! [`delays_from_ipds`] converts a covert IPD schedule into the per-send
+//! delays consumed by the VM's `covert_delay` primitive (§6.6).
+
+pub mod models;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub use models::{FitModel, FittedModel};
+
+/// A covert timing channel: encode bits into IPDs, decode IPDs into bits.
+pub trait TimingChannel {
+    /// Short display name (matches the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Produce a covert IPD sequence carrying `bits`, shaped with reference
+    /// to `legit_ipds` (a sample of legitimate traffic).
+    fn encode(&mut self, bits: &[bool], legit_ipds: &[u64]) -> Vec<u64>;
+
+    /// Recover bits from an observed IPD sequence (given the same training
+    /// sample the sender used).
+    fn decode(&self, ipds: &[u64], legit_ipds: &[u64]) -> Vec<bool>;
+}
+
+/// Convert a target IPD sequence into per-send *extra delays* relative to a
+/// base schedule.
+///
+/// A sender can only delay packets, never move them earlier, so the raw
+/// difference `covert_send[i] − base_send[i]` may be negative. All sends are
+/// therefore shifted by a common offset that makes every delay
+/// non-negative; a constant shift of the whole schedule leaves the IPDs —
+/// the covert carrier — untouched. The result feeds `vm::ScheduledDelays`.
+pub fn delays_from_ipds(base_ipds: &[u64], covert_ipds: &[u64]) -> Vec<u64> {
+    let n = base_ipds.len().min(covert_ipds.len());
+    let mut diffs = Vec::with_capacity(n + 1);
+    diffs.push(0i128); // First packet's raw shift.
+    let mut base_t = 0i128;
+    let mut cov_t = 0i128;
+    for k in 0..n {
+        base_t += base_ipds[k] as i128;
+        cov_t += covert_ipds[k] as i128;
+        diffs.push(cov_t - base_t);
+    }
+    let min = diffs.iter().copied().min().unwrap_or(0);
+    let offset = (-min).max(0);
+    diffs.iter().map(|&d| (d + offset) as u64).collect()
+}
+
+/// Bit-error rate between sent and received bit strings.
+pub fn bit_error_rate(sent: &[bool], received: &[bool]) -> f64 {
+    if sent.is_empty() {
+        return 0.0;
+    }
+    let n = sent.len().min(received.len());
+    let wrong = sent[..n]
+        .iter()
+        .zip(&received[..n])
+        .filter(|(a, b)| a != b)
+        .count()
+        + sent.len().saturating_sub(n);
+    wrong as f64 / sent.len() as f64
+}
+
+/// Deterministic test-message generator (alternating-ish bit pattern).
+pub fn message_bits(n: usize, seed: u64) -> Vec<bool> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// IPCTC
+// ---------------------------------------------------------------------------
+
+/// IP covert timing channel: one fixed interval per bit; a packet sent
+/// within the interval encodes 1, silence encodes 0.
+#[derive(Debug, Clone)]
+pub struct Ipctc {
+    /// The fixed bit interval, ticks.
+    pub interval: u64,
+}
+
+impl Ipctc {
+    /// Channel with the given bit interval.
+    pub fn new(interval: u64) -> Self {
+        Ipctc { interval }
+    }
+}
+
+impl TimingChannel for Ipctc {
+    fn name(&self) -> &'static str {
+        "IPCTC"
+    }
+
+    fn encode(&mut self, bits: &[bool], _legit: &[u64]) -> Vec<u64> {
+        // A packet is emitted for every 1; zeros extend the gap. The IPD
+        // sequence therefore consists of multiples of the interval.
+        let mut ipds = Vec::new();
+        let mut gap = 0u64;
+        for &b in bits {
+            gap += self.interval;
+            if b {
+                ipds.push(gap);
+                gap = 0;
+            }
+        }
+        if gap > 0 {
+            ipds.push(gap); // Trailing flush packet.
+        }
+        ipds
+    }
+
+    fn decode(&self, ipds: &[u64], _legit: &[u64]) -> Vec<bool> {
+        let mut bits = Vec::new();
+        for &d in ipds {
+            let slots = ((d as f64 / self.interval as f64).round() as u64).max(1);
+            for _ in 0..slots - 1 {
+                bits.push(false);
+            }
+            bits.push(true);
+        }
+        bits
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TRCTC
+// ---------------------------------------------------------------------------
+
+/// Traffic-replay covert timing channel: legitimate IPDs are partitioned at
+/// the median into B0 (small) and B1 (large); bit `b` replays an IPD from
+/// `Bb`.
+#[derive(Debug, Clone)]
+pub struct Trctc {
+    rng: StdRng,
+}
+
+impl Trctc {
+    /// Channel with a seeded replay-selection stream.
+    pub fn new(seed: u64) -> Self {
+        Trctc {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn bins(legit: &[u64]) -> (Vec<u64>, Vec<u64>, u64) {
+        let mut sorted = legit.to_vec();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let b0: Vec<u64> = legit.iter().copied().filter(|&x| x <= median).collect();
+        let b1: Vec<u64> = legit.iter().copied().filter(|&x| x > median).collect();
+        (b0, b1, median)
+    }
+}
+
+impl TimingChannel for Trctc {
+    fn name(&self) -> &'static str {
+        "TRCTC"
+    }
+
+    fn encode(&mut self, bits: &[bool], legit: &[u64]) -> Vec<u64> {
+        assert!(!legit.is_empty(), "TRCTC needs a legitimate sample");
+        let (b0, b1, _) = Self::bins(legit);
+        bits.iter()
+            .map(|&b| {
+                let bin = if b { &b1 } else { &b0 };
+                if bin.is_empty() {
+                    legit[0]
+                } else {
+                    bin[self.rng.gen_range(0..bin.len())]
+                }
+            })
+            .collect()
+    }
+
+    fn decode(&self, ipds: &[u64], legit: &[u64]) -> Vec<bool> {
+        let (_, _, median) = Self::bins(legit);
+        ipds.iter().map(|&d| d > median).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MBCTC
+// ---------------------------------------------------------------------------
+
+/// Model-based covert timing channel: fit the legitimate IPD distribution,
+/// then inverse-CDF-sample with the bit choosing the half-quantile range.
+/// The model is refitted every `refit_every` packets (the paper's periodic
+/// refit).
+#[derive(Debug, Clone)]
+pub struct Mbctc {
+    /// Packets between refits.
+    pub refit_every: usize,
+    rng: StdRng,
+}
+
+impl Mbctc {
+    /// Channel with the given refit period.
+    pub fn new(refit_every: usize, seed: u64) -> Self {
+        Mbctc {
+            refit_every: refit_every.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl TimingChannel for Mbctc {
+    fn name(&self) -> &'static str {
+        "MBCTC"
+    }
+
+    fn encode(&mut self, bits: &[bool], legit: &[u64]) -> Vec<u64> {
+        assert!(!legit.is_empty(), "MBCTC needs a legitimate sample");
+        let mut out = Vec::with_capacity(bits.len());
+        let mut model = models::fit_best(legit);
+        for (k, &b) in bits.iter().enumerate() {
+            if k > 0 && k % self.refit_every == 0 {
+                // Refit on a sliding window of the legitimate sample, as the
+                // paper's channel periodically re-models live traffic.
+                let start = k % legit.len();
+                let window: Vec<u64> = legit
+                    .iter()
+                    .cycle()
+                    .skip(start)
+                    .take(legit.len().min(256))
+                    .copied()
+                    .collect();
+                model = models::fit_best(&window);
+            }
+            let u = if b {
+                self.rng.gen_range(0.5..1.0)
+            } else {
+                self.rng.gen_range(0.0..0.5)
+            };
+            out.push(model.inv_cdf(u).max(1.0) as u64);
+        }
+        out
+    }
+
+    fn decode(&self, ipds: &[u64], legit: &[u64]) -> Vec<bool> {
+        let model = models::fit_best(legit);
+        ipds.iter().map(|&d| model.cdf(d as f64) >= 0.5).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Needle
+// ---------------------------------------------------------------------------
+
+/// The short-lived channel of §6.8: every `stride`-th packet carries one
+/// bit; bit 1 stretches that packet's IPD by `delta_frac` of the median
+/// legitimate IPD, bit 0 leaves it alone. All other packets keep their
+/// legitimate timing.
+#[derive(Debug, Clone)]
+pub struct Needle {
+    /// Packets per covert bit (the paper uses 100).
+    pub stride: usize,
+    /// IPD stretch for a 1-bit, as a fraction of the median legitimate IPD.
+    pub delta_frac: f64,
+}
+
+impl Needle {
+    /// One bit per `stride` packets, stretching by `delta_frac`.
+    pub fn new(stride: usize, delta_frac: f64) -> Self {
+        Needle {
+            stride: stride.max(1),
+            delta_frac,
+        }
+    }
+
+    fn median(legit: &[u64]) -> u64 {
+        let mut s = legit.to_vec();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+}
+
+impl TimingChannel for Needle {
+    fn name(&self) -> &'static str {
+        "Needle"
+    }
+
+    fn encode(&mut self, bits: &[bool], legit: &[u64]) -> Vec<u64> {
+        assert!(!legit.is_empty(), "Needle needs a legitimate sample");
+        let median = Self::median(legit);
+        let delta = (median as f64 * self.delta_frac) as u64;
+        // The carrier is the legitimate traffic itself, cycled to the needed
+        // length: stride packets per bit.
+        let total = bits.len() * self.stride;
+        let mut out: Vec<u64> = legit.iter().cycle().take(total).copied().collect();
+        for (bi, &b) in bits.iter().enumerate() {
+            if b {
+                let idx = bi * self.stride;
+                out[idx] += delta;
+            }
+        }
+        out
+    }
+
+    fn decode(&self, ipds: &[u64], legit: &[u64]) -> Vec<bool> {
+        let median = Self::median(legit);
+        let threshold = median + (median as f64 * self.delta_frac / 2.0) as u64;
+        ipds.chunks(self.stride)
+            .map(|chunk| chunk.first().map(|&d| d > threshold).unwrap_or(false))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn legit_sample(seed: u64, n: usize) -> Vec<u64> {
+        // Bursty-ish legitimate traffic: lognormal around 700k ticks (7 ms).
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-9..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (700_000.0 * (0.35 * z).exp()) as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ipctc_roundtrip_without_noise() {
+        let bits = message_bits(64, 1);
+        let mut ch = Ipctc::new(100_000);
+        let ipds = ch.encode(&bits, &[]);
+        let got = ch.decode(&ipds, &[]);
+        // Trailing zeros may be absorbed by the flush packet; compare the
+        // prefix up to the last 1.
+        let last_one = bits.iter().rposition(|&b| b).unwrap_or(0);
+        assert_eq!(&got[..=last_one], &bits[..=last_one]);
+    }
+
+    #[test]
+    fn trctc_roundtrip_without_noise() {
+        let legit = legit_sample(2, 500);
+        let bits = message_bits(128, 3);
+        let mut ch = Trctc::new(9);
+        let ipds = ch.encode(&bits, &legit);
+        let got = ch.decode(&ipds, &legit);
+        let ber = bit_error_rate(&bits, &got);
+        assert!(ber < 0.05, "noiseless TRCTC decodes cleanly: ber={ber}");
+    }
+
+    #[test]
+    fn trctc_ipds_come_from_legit_sample() {
+        let legit = legit_sample(4, 300);
+        let mut ch = Trctc::new(10);
+        let ipds = ch.encode(&message_bits(100, 5), &legit);
+        for d in ipds {
+            assert!(legit.contains(&d), "every covert IPD is replayed");
+        }
+    }
+
+    #[test]
+    fn mbctc_roundtrip_and_shape() {
+        let legit = legit_sample(6, 800);
+        let bits = message_bits(256, 7);
+        let mut ch = Mbctc::new(64, 8);
+        let ipds = ch.encode(&bits, &legit);
+        let got = ch.decode(&ipds, &legit);
+        let ber = bit_error_rate(&bits, &got);
+        assert!(ber < 0.10, "noiseless MBCTC mostly decodes: ber={ber}");
+        // Shape: the covert mean is within 25% of the legitimate mean.
+        let lm = legit.iter().sum::<u64>() as f64 / legit.len() as f64;
+        let cm = ipds.iter().sum::<u64>() as f64 / ipds.len() as f64;
+        assert!((cm / lm - 1.0).abs() < 0.25, "marginal shape preserved");
+    }
+
+    #[test]
+    fn needle_affects_only_strided_packets() {
+        let legit = legit_sample(10, 400);
+        let bits = vec![true, false, true];
+        let mut ch = Needle::new(100, 0.5);
+        let ipds = ch.encode(&bits, &legit);
+        assert_eq!(ipds.len(), 300);
+        // Non-strided packets keep the legitimate carrier values.
+        let carrier: Vec<u64> = legit.iter().cycle().take(300).copied().collect();
+        let mut diffs = 0;
+        for (k, (a, b)) in ipds.iter().zip(carrier.iter()).enumerate() {
+            if a != b {
+                assert_eq!(k % 100, 0, "only bit positions change");
+                diffs += 1;
+            }
+        }
+        assert_eq!(diffs, 2, "two 1-bits shifted");
+        let got = ch.decode(&ipds, &legit);
+        assert_eq!(got, bits);
+    }
+
+    #[test]
+    fn delays_from_ipds_preserves_covert_ipds() {
+        let base = [100u64, 100, 100];
+        let covert = [150u64, 50, 150];
+        let d = delays_from_ipds(&base, &covert);
+        // Realized send times: base cumulative + delay.
+        let base_t = [0u64, 100, 200, 300];
+        let sends: Vec<u64> = base_t.iter().zip(&d).map(|(b, x)| b + x).collect();
+        let ipds: Vec<u64> = sends.windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(ipds, covert, "IPDs survive the delay-only constraint");
+        assert!(d.iter().all(|&x| x < u64::MAX / 2), "no negative wraps");
+    }
+
+    #[test]
+    fn delays_handle_covert_faster_than_base() {
+        // Covert schedule initially runs AHEAD of base; the common offset
+        // makes it realizable.
+        let base = [100u64, 100, 100];
+        let covert = [40u64, 40, 40];
+        let d = delays_from_ipds(&base, &covert);
+        let base_t = [0u64, 100, 200, 300];
+        let sends: Vec<u64> = base_t.iter().zip(&d).map(|(b, x)| b + x).collect();
+        let ipds: Vec<u64> = sends.windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(ipds, covert);
+    }
+
+    #[test]
+    fn ber_counts_mismatches() {
+        let a = [true, false, true, true];
+        let b = [true, true, true, false];
+        assert!((bit_error_rate(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(bit_error_rate(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn channels_survive_mild_jitter() {
+        // Decoding robustness under small jitter — the property that makes
+        // WAN use possible at all (§6.9 bounds how small delays can get).
+        let legit = legit_sample(20, 600);
+        let bits = message_bits(64, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut ch = Trctc::new(23);
+        let mut ipds = ch.encode(&bits, &legit);
+        for d in ipds.iter_mut() {
+            // ±2% jitter — well below the bin separation.
+            let f = rng.gen_range(0.98..1.02);
+            *d = (*d as f64 * f) as u64;
+        }
+        let ber = bit_error_rate(&bits, &ch.decode(&ipds, &legit));
+        assert!(ber < 0.10, "TRCTC robust to 2% jitter: {ber}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Distribution fitting for the model-based channel (MBCTC).
+//!
+//! The paper's MBCTC "periodically fits samples of a legitimate traffic to
+//! several models and picks the best fit" (§5.1, citing Gianvecchio et al.).
+//! This module implements the model family — exponential, lognormal, and
+//! Weibull — with closed-form or moment-based fits, CDFs, and inverse CDFs,
+//! and selects the best fit by Kolmogorov-Smirnov distance.
+
+use serde::{Deserialize, Serialize};
+
+/// The model family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FitModel {
+    /// Exponential(λ).
+    Exponential {
+        /// Rate parameter.
+        lambda: f64,
+    },
+    /// Lognormal(μ, σ).
+    LogNormal {
+        /// Mean of ln X.
+        mu: f64,
+        /// Std dev of ln X.
+        sigma: f64,
+    },
+    /// Weibull(k, λ) via moment matching.
+    Weibull {
+        /// Shape.
+        k: f64,
+        /// Scale.
+        lambda: f64,
+    },
+}
+
+/// A fitted model with its goodness of fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedModel {
+    /// The model and parameters.
+    pub model: FitModel,
+    /// KS distance to the training sample (lower is better).
+    pub ks: f64,
+}
+
+impl FittedModel {
+    /// CDF of the fitted model.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        match self.model {
+            FitModel::Exponential { lambda } => 1.0 - (-lambda * x).exp(),
+            FitModel::LogNormal { mu, sigma } => {
+                0.5 * (1.0 + erf((x.ln() - mu) / (sigma * std::f64::consts::SQRT_2)))
+            }
+            FitModel::Weibull { k, lambda } => 1.0 - (-(x / lambda).powf(k)).exp(),
+        }
+    }
+
+    /// Inverse CDF (quantile function).
+    pub fn inv_cdf(&self, q: f64) -> f64 {
+        let q = q.clamp(1e-9, 1.0 - 1e-9);
+        match self.model {
+            FitModel::Exponential { lambda } => -(1.0 - q).ln() / lambda,
+            FitModel::LogNormal { mu, sigma } => {
+                (mu + sigma * netsim::stats::normal_quantile(q)).exp()
+            }
+            FitModel::Weibull { k, lambda } => lambda * (-(1.0 - q).ln()).powf(1.0 / k),
+        }
+    }
+}
+
+/// Error function (Abramowitz & Stegun 7.1.26, |err| ≤ 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+fn fit_exponential(xs: &[f64]) -> FitModel {
+    let mean = netsim::stats::mean(xs).max(1e-12);
+    FitModel::Exponential { lambda: 1.0 / mean }
+}
+
+fn fit_lognormal(xs: &[f64]) -> FitModel {
+    let logs: Vec<f64> = xs.iter().map(|&x| x.max(1e-12).ln()).collect();
+    FitModel::LogNormal {
+        mu: netsim::stats::mean(&logs),
+        sigma: netsim::stats::std_dev(&logs).max(1e-6),
+    }
+}
+
+fn fit_weibull(xs: &[f64]) -> FitModel {
+    // Moment matching on the coefficient of variation: solve
+    // CV² = Γ(1+2/k)/Γ(1+1/k)² − 1 by bisection on k.
+    let mean = netsim::stats::mean(xs).max(1e-12);
+    let cv = netsim::stats::std_dev(xs) / mean;
+    let cv2 = (cv * cv).clamp(1e-6, 100.0);
+    let f = |k: f64| {
+        let g1 = ln_gamma(1.0 + 1.0 / k);
+        let g2 = ln_gamma(1.0 + 2.0 / k);
+        (g2 - 2.0 * g1).exp() - 1.0 - cv2
+    };
+    let (mut lo, mut hi) = (0.1, 20.0);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let k = 0.5 * (lo + hi);
+    let lambda = mean / (ln_gamma(1.0 + 1.0 / k)).exp();
+    FitModel::Weibull { k, lambda }
+}
+
+/// Lanczos approximation of ln Γ(x) for x > 0.
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection.
+        return (std::f64::consts::PI / (std::f64::consts::PI * x).sin()).ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = G[0];
+    let t = x + 7.5;
+    for (i, &g) in G.iter().enumerate().skip(1) {
+        a += g / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Fit all models to `sample` and return the one with the smallest KS
+/// distance.
+pub fn fit_best(sample: &[u64]) -> FittedModel {
+    assert!(!sample.is_empty(), "cannot fit an empty sample");
+    let xs: Vec<f64> = sample.iter().map(|&x| x as f64).collect();
+    let candidates = [fit_exponential(&xs), fit_lognormal(&xs), fit_weibull(&xs)];
+    let mut sorted = xs.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = sorted.len() as f64;
+    let mut best: Option<FittedModel> = None;
+    for model in candidates {
+        let fm = FittedModel { model, ks: 0.0 };
+        // KS against the empirical CDF.
+        let mut d: f64 = 0.0;
+        for (i, &x) in sorted.iter().enumerate() {
+            let e_hi = (i + 1) as f64 / n;
+            let e_lo = i as f64 / n;
+            let c = fm.cdf(x);
+            d = d.max((c - e_hi).abs()).max((c - e_lo).abs());
+        }
+        let fm = FittedModel { model, ks: d };
+        if best.map(|b| fm.ks < b.ks).unwrap_or(true) {
+            best = Some(fm);
+        }
+    }
+    best.expect("at least one candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn lognormal_sample(mu: f64, sigma: f64, n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-9..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma * z).exp() as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lognormal_data_prefers_lognormal() {
+        let sample = lognormal_sample(13.0, 0.4, 2000, 1);
+        let fit = fit_best(&sample);
+        assert!(
+            matches!(fit.model, FitModel::LogNormal { .. }),
+            "got {fit:?}"
+        );
+        assert!(fit.ks < 0.05, "good fit: ks={}", fit.ks);
+    }
+
+    #[test]
+    fn exponential_data_prefers_exponential_family() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sample: Vec<u64> = (0..2000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                (-u.ln() * 1e6) as u64
+            })
+            .collect();
+        let fit = fit_best(&sample);
+        // Exponential is Weibull with k=1; accept either representation.
+        let ok = match fit.model {
+            FitModel::Exponential { .. } => true,
+            FitModel::Weibull { k, .. } => (k - 1.0).abs() < 0.15,
+            _ => false,
+        };
+        assert!(ok, "got {fit:?}");
+        assert!(fit.ks < 0.05);
+    }
+
+    #[test]
+    fn cdf_inv_cdf_roundtrip() {
+        let sample = lognormal_sample(12.0, 0.5, 500, 3);
+        let fit = fit_best(&sample);
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let x = fit.inv_cdf(q);
+            assert!((fit.cdf(x) - q).abs() < 1e-3, "q={q}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let sample = lognormal_sample(12.0, 0.5, 500, 4);
+        let fit = fit_best(&sample);
+        let mut prev = 0.0;
+        for k in 1..100 {
+            let c = fit.cdf(k as f64 * 10_000.0);
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929497149).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929497149).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,110 @@
+//! Trace-comparison utilities: the replay-accuracy metrics of §6.4.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative error of `b` against `a`: `|b − a| / a` (0 when `a` is 0).
+pub fn relative_error(a: u64, b: u64) -> f64 {
+    if a == 0 {
+        return if b == 0 { 0.0 } else { 1.0 };
+    }
+    (b as f64 - a as f64).abs() / a as f64
+}
+
+/// Pairwise comparison of two IPD sequences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct IpdComparison {
+    /// `(play, replay)` IPD pairs, truncated to the common length.
+    pub pairs: Vec<(u64, u64)>,
+    /// Relative deviations per pair.
+    pub rel_devs: Vec<f64>,
+    /// Maximum relative deviation (the §6.4 headline metric).
+    pub max_rel: f64,
+    /// True if the sequences had different lengths.
+    pub length_mismatch: bool,
+}
+
+impl IpdComparison {
+    /// Fraction of pairs within `tol` relative deviation (the paper reports
+    /// 97% within 1%).
+    pub fn fraction_within(&self, tol: f64) -> f64 {
+        if self.rel_devs.is_empty() {
+            return 1.0;
+        }
+        self.rel_devs.iter().filter(|&&d| d <= tol).count() as f64 / self.rel_devs.len() as f64
+    }
+
+    /// Mean relative deviation.
+    pub fn mean_rel(&self) -> f64 {
+        if self.rel_devs.is_empty() {
+            return 0.0;
+        }
+        self.rel_devs.iter().sum::<f64>() / self.rel_devs.len() as f64
+    }
+}
+
+/// Compare play and replay IPD sequences pairwise.
+pub fn compare_ipds(play: &[u64], replay: &[u64]) -> IpdComparison {
+    let n = play.len().min(replay.len());
+    let mut pairs = Vec::with_capacity(n);
+    let mut rel_devs = Vec::with_capacity(n);
+    let mut max_rel: f64 = 0.0;
+    for k in 0..n {
+        pairs.push((play[k], replay[k]));
+        if play[k] > 0 {
+            let d = relative_error(play[k], replay[k]);
+            max_rel = max_rel.max(d);
+            rel_devs.push(d);
+        }
+    }
+    IpdComparison {
+        pairs,
+        rel_devs,
+        max_rel,
+        length_mismatch: play.len() != replay.len(),
+    }
+}
+
+/// Cycle-based IPDs of a transmitted-packet trace.
+pub fn tx_ipds_cycles(tx: &[machine::TxRecord]) -> Vec<u64> {
+    tx.windows(2).map(|w| w[1].cycle - w[0].cycle).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(100, 100), 0.0);
+        assert!((relative_error(100, 101) - 0.01).abs() < 1e-12);
+        assert!((relative_error(100, 99) - 0.01).abs() < 1e-12);
+        assert_eq!(relative_error(0, 0), 0.0);
+        assert_eq!(relative_error(0, 5), 1.0);
+    }
+
+    #[test]
+    fn ipd_comparison_metrics() {
+        let play = [100, 200, 300, 400];
+        let replay = [101, 200, 306, 400];
+        let c = compare_ipds(&play, &replay);
+        assert_eq!(c.pairs.len(), 4);
+        assert!((c.max_rel - 0.02).abs() < 1e-9);
+        assert!((c.fraction_within(0.01) - 0.75).abs() < 1e-9);
+        assert!(!c.length_mismatch);
+    }
+
+    #[test]
+    fn length_mismatch_is_noted() {
+        let c = compare_ipds(&[1, 2, 3], &[1, 2]);
+        assert!(c.length_mismatch);
+        assert_eq!(c.pairs.len(), 2);
+    }
+
+    #[test]
+    fn empty_comparison_is_benign() {
+        let c = compare_ipds(&[], &[]);
+        assert_eq!(c.max_rel, 0.0);
+        assert_eq!(c.fraction_within(0.01), 1.0);
+        assert_eq!(c.mean_rel(), 0.0);
+    }
+}

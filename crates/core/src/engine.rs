@@ -1,0 +1,124 @@
+//! Execution engines: Sanity vs. Oracle-INT vs. Oracle-JIT (Table 2).
+//!
+//! The paper compares its TDR interpreter against Oracle's JVM in default
+//! (JIT) and `-Xint` (interpreted) modes. The reproduction models the two
+//! Oracle engines as cost models over the same ISA, running under ordinary
+//! host noise with no TDR mitigations; Sanity runs its own cost model under
+//! the full mitigation set. "Sanity has some advantages over the Oracle
+//! JVM, such as the second core and the privilege of running in kernel mode
+//! with pinned memory and IRQs disabled" (§6.2) — those advantages emerge
+//! here mechanically from the machine configuration.
+
+use std::sync::Arc;
+
+use jbc::Program;
+use machine::{Environment, Machine, MachineConfig, Seeds};
+use sim_core::CostModel;
+use vm::{RunOutcome, Vm, VmConfig, VmError};
+
+/// An execution engine with its host configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Engine {
+    /// The Sanity TDR interpreter (kernel mode, TC/SC split, all
+    /// mitigations).
+    Sanity,
+    /// Oracle's JVM in `-Xint` mode on the given host environment.
+    OracleInt(Environment),
+    /// Oracle's JVM with JIT on the given host environment.
+    OracleJit(Environment),
+}
+
+impl Engine {
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::Sanity => "Sanity",
+            Engine::OracleInt(_) => "Oracle-INT",
+            Engine::OracleJit(_) => "Oracle-JIT",
+        }
+    }
+
+    /// The machine configuration of this engine.
+    pub fn machine_config(&self) -> MachineConfig {
+        match self {
+            Engine::Sanity => MachineConfig::sanity(),
+            Engine::OracleInt(env) | Engine::OracleJit(env) => MachineConfig::host(*env),
+        }
+    }
+
+    /// The VM configuration (cost model) of this engine.
+    pub fn vm_config(&self) -> VmConfig {
+        let cost = match self {
+            Engine::Sanity => CostModel::sanity_interpreter(),
+            Engine::OracleInt(_) => CostModel::oracle_interpreter(),
+            Engine::OracleJit(_) => CostModel::oracle_jit(),
+        };
+        VmConfig {
+            cost,
+            ..VmConfig::default()
+        }
+    }
+
+    /// Run `program` once; `run` seeds the host's noise sources.
+    pub fn run_program(&self, program: &Arc<Program>, run: u64) -> Result<RunOutcome, VmError> {
+        let machine = Machine::new(self.machine_config(), Seeds::from_run(run));
+        let mut vm = Vm::new(Arc::clone(program), machine, self.vm_config())?;
+        vm.machine_mut().start_run();
+        vm.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::scimark::Kernel;
+
+    #[test]
+    fn jit_is_fastest_interpreters_behind() {
+        let p = Arc::new(Kernel::Sor.program_small());
+        let jit = Engine::OracleJit(Environment::UserQuiet)
+            .run_program(&p, 1)
+            .expect("jit");
+        let int = Engine::OracleInt(Environment::UserQuiet)
+            .run_program(&p, 1)
+            .expect("int");
+        let tdr = Engine::Sanity.run_program(&p, 1).expect("sanity");
+        assert!(
+            jit.wall_ps < int.wall_ps,
+            "JIT beats the interpreter: {} vs {}",
+            jit.wall_ps,
+            int.wall_ps
+        );
+        assert!(
+            jit.wall_ps < tdr.wall_ps,
+            "JIT beats Sanity: {} vs {}",
+            jit.wall_ps,
+            tdr.wall_ps
+        );
+        // Same functional result everywhere.
+        assert_eq!(jit.console, int.console);
+        assert_eq!(jit.console, tdr.console);
+    }
+
+    #[test]
+    fn sanity_runs_are_stable_oracle_runs_vary() {
+        let p = Arc::new(Kernel::Mc.program_small());
+        let t1 = Engine::Sanity.run_program(&p, 1).expect("s1").wall_ps;
+        let t2 = Engine::Sanity.run_program(&p, 2).expect("s2").wall_ps;
+        let spread = (t1 as f64 - t2 as f64).abs() / t1 as f64;
+        assert!(
+            spread < 0.01,
+            "Sanity timing varies only by the SC residual: {spread}"
+        );
+
+        let o1 = Engine::OracleInt(Environment::UserNoisy)
+            .run_program(&p, 1)
+            .expect("o1")
+            .wall_ps;
+        let o2 = Engine::OracleInt(Environment::UserNoisy)
+            .run_program(&p, 2)
+            .expect("o2")
+            .wall_ps;
+        assert_ne!(o1, o2, "a noisy host varies run to run");
+    }
+}

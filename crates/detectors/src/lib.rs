@@ -1,0 +1,501 @@
+//! `detectors` — covert-timing-channel detectors and ROC machinery.
+//!
+//! Implements the four statistical state-of-the-art detectors the paper
+//! compares against (§5.2) plus the TDR-based detector (§5.3):
+//!
+//! * [`ShapeTest`] — first-order statistics (mean and variance of IPDs),
+//!   after Cabuk et al.;
+//! * [`KsTest`] — Kolmogorov-Smirnov distance between the test sample's
+//!   empirical distribution and a legitimate training sample, after Peng
+//!   et al.;
+//! * [`RegularityTest`] — windowed standard-deviation regularity, after
+//!   Cabuk et al.: covert traffic's constant encoding keeps the per-window
+//!   σ stable, legitimate traffic's does not;
+//! * [`CceTest`] — corrected conditional entropy, after Gianvecchio &
+//!   Wang: covert traffic forms repeating patterns that depress the
+//!   entropy rate;
+//! * [`TdrDetector`] — the paper's contribution: compare each observed IPD
+//!   against the TDR-replayed IPD; the score is the maximum relative
+//!   deviation, which needs *no* traffic model and catches even a single
+//!   delayed packet (§6.8).
+//!
+//! Every statistical detector implements [`Detector`]: train on legitimate
+//! traces, then produce a scalar score where **higher = more likely
+//! covert**. [`roc`]/[`auc`] turn labeled score sets into the ROC curves and
+//! AUC values of Fig. 8.
+
+use netsim::stats;
+
+pub mod roc;
+
+pub use roc::{auc, roc, RocPoint};
+
+/// A trainable trace classifier: higher scores mean "more likely covert".
+pub trait Detector {
+    /// Display name (matching the paper's figure legends).
+    fn name(&self) -> &'static str;
+
+    /// Train on legitimate traces (IPD sequences, in ticks).
+    fn train(&mut self, legit: &[Vec<u64>]);
+
+    /// Score a test trace.
+    fn score(&self, ipds: &[u64]) -> f64;
+}
+
+fn to_f64(xs: &[u64]) -> Vec<f64> {
+    xs.iter().map(|&x| x as f64).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shape test
+// ---------------------------------------------------------------------------
+
+/// First-order shape test: z-distance of the test trace's mean and standard
+/// deviation from the training population of per-trace means and stds.
+#[derive(Debug, Clone, Default)]
+pub struct ShapeTest {
+    mean_of_means: f64,
+    std_of_means: f64,
+    mean_of_stds: f64,
+    std_of_stds: f64,
+}
+
+impl ShapeTest {
+    /// New, untrained instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Detector for ShapeTest {
+    fn name(&self) -> &'static str {
+        "Shape test"
+    }
+
+    fn train(&mut self, legit: &[Vec<u64>]) {
+        let means: Vec<f64> = legit.iter().map(|t| stats::mean(&to_f64(t))).collect();
+        let stds: Vec<f64> = legit.iter().map(|t| stats::std_dev(&to_f64(t))).collect();
+        self.mean_of_means = stats::mean(&means);
+        self.std_of_means = stats::std_dev(&means).max(1e-9);
+        self.mean_of_stds = stats::mean(&stds);
+        self.std_of_stds = stats::std_dev(&stds).max(1e-9);
+    }
+
+    fn score(&self, ipds: &[u64]) -> f64 {
+        let xs = to_f64(ipds);
+        let zm = (stats::mean(&xs) - self.mean_of_means).abs() / self.std_of_means;
+        let zs = (stats::std_dev(&xs) - self.mean_of_stds).abs() / self.std_of_stds;
+        zm + zs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KS test
+// ---------------------------------------------------------------------------
+
+/// Kolmogorov-Smirnov test against a pooled legitimate sample.
+#[derive(Debug, Clone, Default)]
+pub struct KsTest {
+    pooled: Vec<f64>,
+}
+
+impl KsTest {
+    /// New, untrained instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Detector for KsTest {
+    fn name(&self) -> &'static str {
+        "KS test"
+    }
+
+    fn train(&mut self, legit: &[Vec<u64>]) {
+        let mut pooled: Vec<f64> = legit.iter().flat_map(|t| to_f64(t)).collect();
+        pooled.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        self.pooled = pooled;
+    }
+
+    fn score(&self, ipds: &[u64]) -> f64 {
+        stats::ks_distance(&self.pooled, &to_f64(ipds))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regularity test
+// ---------------------------------------------------------------------------
+
+/// Cabuk's regularity test: split the trace into windows of `w` IPDs,
+/// compute each window's standard deviation σᵢ, and measure the spread of
+/// pairwise |σᵢ − σⱼ|/σᵢ. Legitimate traffic varies over time (large
+/// spread); a constant encoding scheme keeps σᵢ stable (small spread), so
+/// the *covert* score is the negated regularity statistic.
+#[derive(Debug, Clone)]
+pub struct RegularityTest {
+    /// Window size in packets (the original work uses 100; the default here
+    /// is 100).
+    pub window: usize,
+}
+
+impl Default for RegularityTest {
+    fn default() -> Self {
+        RegularityTest { window: 100 }
+    }
+}
+
+impl RegularityTest {
+    /// New instance with the given window size.
+    pub fn new(window: usize) -> Self {
+        RegularityTest {
+            window: window.max(2),
+        }
+    }
+
+    fn regularity(&self, ipds: &[u64]) -> f64 {
+        let xs = to_f64(ipds);
+        let sigmas: Vec<f64> = xs
+            .chunks(self.window)
+            .filter(|c| c.len() >= 2)
+            .map(stats::std_dev)
+            .collect();
+        if sigmas.len() < 2 {
+            return 0.0;
+        }
+        let mut diffs = Vec::new();
+        for i in 0..sigmas.len() {
+            for j in (i + 1)..sigmas.len() {
+                if sigmas[i] > 1e-12 {
+                    diffs.push((sigmas[j] - sigmas[i]).abs() / sigmas[i]);
+                }
+            }
+        }
+        stats::std_dev(&diffs)
+    }
+}
+
+impl Detector for RegularityTest {
+    fn name(&self) -> &'static str {
+        "RT test"
+    }
+
+    fn train(&mut self, _legit: &[Vec<u64>]) {
+        // The regularity statistic is self-normalizing; no training needed.
+    }
+
+    fn score(&self, ipds: &[u64]) -> f64 {
+        // Low regularity spread = suspiciously constant variance = covert.
+        -self.regularity(ipds)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Corrected conditional entropy
+// ---------------------------------------------------------------------------
+
+/// Gianvecchio & Wang's corrected-conditional-entropy detector.
+///
+/// IPDs are binned into `q` equiprobable bins (bin edges trained on
+/// legitimate traffic). The conditional entropy `CE(m) = H(Xₘ | X₁..ₘ₋₁)`
+/// of bin patterns is corrected with `perc(m)·H(X₁)` (the fraction of
+/// patterns seen exactly once), and the statistic is `minₘ CCE(m)`. A
+/// channel's constant encoding moves the statistic away from the value
+/// legitimate traffic produces (repeating patterns depress it; i.i.d.
+/// resampling of a bursty source raises it), so the covert score is the
+/// absolute deviation from the trained legitimate baseline.
+#[derive(Debug, Clone)]
+pub struct CceTest {
+    /// Number of quantile bins (Gianvecchio & Wang use 5).
+    pub bins: usize,
+    /// Maximum pattern length examined.
+    pub max_m: usize,
+    edges: Vec<f64>,
+    /// Mean CCE of the legitimate training traces.
+    baseline: f64,
+}
+
+impl Default for CceTest {
+    fn default() -> Self {
+        CceTest {
+            bins: 5,
+            max_m: 5,
+            edges: Vec::new(),
+            baseline: 0.0,
+        }
+    }
+}
+
+impl CceTest {
+    /// New instance with `bins` quantile bins and patterns up to `max_m`.
+    pub fn new(bins: usize, max_m: usize) -> Self {
+        CceTest {
+            bins: bins.max(2),
+            max_m: max_m.max(2),
+            edges: Vec::new(),
+            baseline: 0.0,
+        }
+    }
+
+    fn binned(&self, ipds: &[u64]) -> Vec<u8> {
+        ipds.iter()
+            .map(|&x| {
+                let x = x as f64;
+                self.edges.partition_point(|&e| e < x) as u8
+            })
+            .collect()
+    }
+
+    fn entropy(counts: &std::collections::HashMap<Vec<u8>, u32>, total: f64) -> f64 {
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// The CCE statistic (lower = more covert).
+    pub fn cce(&self, ipds: &[u64]) -> f64 {
+        use std::collections::HashMap;
+        let symbols = self.binned(ipds);
+        if symbols.len() < self.max_m + 1 {
+            return 0.0;
+        }
+        // First-order entropy for the correction term.
+        let mut c1: HashMap<Vec<u8>, u32> = HashMap::new();
+        for &s in &symbols {
+            *c1.entry(vec![s]).or_default() += 1;
+        }
+        let h1 = Self::entropy(&c1, symbols.len() as f64);
+
+        let mut best = f64::INFINITY;
+        let mut prev_h = 0.0;
+        for m in 1..=self.max_m {
+            let mut counts: HashMap<Vec<u8>, u32> = HashMap::new();
+            let n = symbols.len() + 1 - m;
+            for w in symbols.windows(m) {
+                *counts.entry(w.to_vec()).or_default() += 1;
+            }
+            let h_m = Self::entropy(&counts, n as f64);
+            // CE(m) = H(patterns of m) − H(patterns of m−1).
+            let ce = if m == 1 { h_m } else { h_m - prev_h };
+            prev_h = h_m;
+            let unique = counts.values().filter(|&&c| c == 1).count() as f64;
+            let perc = unique / n as f64;
+            let cce = ce + perc * h1;
+            best = best.min(cce);
+        }
+        best
+    }
+}
+
+impl Detector for CceTest {
+    fn name(&self) -> &'static str {
+        "CCE test"
+    }
+
+    fn train(&mut self, legit: &[Vec<u64>]) {
+        let mut pooled: Vec<f64> = legit.iter().flat_map(|t| to_f64(t)).collect();
+        pooled.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        self.edges = (1..self.bins)
+            .map(|k| {
+                let idx = (pooled.len() - 1) * k / self.bins;
+                pooled[idx]
+            })
+            .collect();
+        let cces: Vec<f64> = legit.iter().map(|t| self.cce(t)).collect();
+        self.baseline = stats::mean(&cces);
+    }
+
+    fn score(&self, ipds: &[u64]) -> f64 {
+        (self.cce(ipds) - self.baseline).abs()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TDR detector
+// ---------------------------------------------------------------------------
+
+/// The TDR-based detector (§5.3): compare observed output timing against
+/// the TDR-reproduced reference timing.
+///
+/// Unlike the statistical detectors it takes *two* traces. The score is the
+/// maximum relative IPD deviation; a threshold just above TDR's noise floor
+/// (1.85% in the paper, §6.4) separates channels from noise.
+#[derive(Debug, Clone, Default)]
+pub struct TdrDetector;
+
+impl TdrDetector {
+    /// New instance.
+    pub fn new() -> Self {
+        TdrDetector
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        "Sanity"
+    }
+
+    /// Maximum relative IPD deviation between observed and replayed traces.
+    ///
+    /// Compares `min(len)` leading IPDs; a length mismatch itself scores as
+    /// 1.0 (an output was added or suppressed — certainly not the reference
+    /// binary's behavior).
+    pub fn score_pair(&self, observed_ipds: &[u64], replayed_ipds: &[u64]) -> f64 {
+        if observed_ipds.len() != replayed_ipds.len() {
+            return 1.0;
+        }
+        let mut worst: f64 = 0.0;
+        for (&o, &r) in observed_ipds.iter().zip(replayed_ipds.iter()) {
+            if r == 0 {
+                continue;
+            }
+            let dev = (o as f64 - r as f64).abs() / r as f64;
+            worst = worst.max(dev);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Legitimate-ish traffic: lognormal base with time-varying burstiness.
+    fn legit_trace(seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        let mut scale = 700_000.0f64;
+        for k in 0..n {
+            if k % 64 == 0 {
+                scale = rng.gen_range(400_000.0..1_200_000.0);
+            }
+            let u1: f64 = rng.gen_range(1e-9..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            out.push((scale * (0.5 * z).exp()) as u64);
+        }
+        out
+    }
+
+    fn training_set() -> Vec<Vec<u64>> {
+        (0..10).map(|k| legit_trace(100 + k, 600)).collect()
+    }
+
+    #[test]
+    fn shape_flags_mean_shift() {
+        let mut d = ShapeTest::new();
+        d.train(&training_set());
+        let legit = legit_trace(7, 600);
+        // A crude channel with a very different mean.
+        let covert: Vec<u64> = legit.iter().map(|&x| x * 3).collect();
+        assert!(d.score(&covert) > d.score(&legit) * 2.0);
+    }
+
+    #[test]
+    fn ks_flags_distribution_change() {
+        let mut d = KsTest::new();
+        d.train(&training_set());
+        let legit = legit_trace(8, 600);
+        // Two-point IPCTC-like distribution.
+        let covert: Vec<u64> = (0..600)
+            .map(|k| if k % 2 == 0 { 100_000 } else { 1_400_000 })
+            .collect();
+        assert!(d.score(&covert) > 2.0 * d.score(&legit));
+    }
+
+    #[test]
+    fn regularity_flags_constant_variance() {
+        let d = RegularityTest::new(100);
+        let legit = legit_trace(9, 800);
+        // TRCTC-like: constant two-bin encoding — σ per window nearly fixed.
+        let mut rng = StdRng::seed_from_u64(10);
+        let covert: Vec<u64> = (0..800)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    500_000
+                } else {
+                    900_000
+                }
+            })
+            .collect();
+        assert!(
+            d.score(&covert) > d.score(&legit),
+            "covert {} vs legit {}",
+            d.score(&covert),
+            d.score(&legit)
+        );
+    }
+
+    #[test]
+    fn cce_flags_repeating_patterns() {
+        let mut d = CceTest::default();
+        d.train(&training_set());
+        let legit = legit_trace(11, 800);
+        // Strongly patterned covert IPDs (period-4 repetition).
+        let covert: Vec<u64> = (0..800)
+            .map(|k| [300_000u64, 600_000, 900_000, 1_200_000][k % 4])
+            .collect();
+        assert!(d.score(&covert) > d.score(&legit));
+    }
+
+    #[test]
+    fn cce_flags_both_entropy_extremes() {
+        // The deviation score catches repeating patterns (low CCE) and
+        // de-correlated i.i.d. resampling (high CCE vs. bursty training).
+        let mut d = CceTest::default();
+        d.train(&training_set());
+        let legit = legit_trace(12, 500);
+        let constant: Vec<u64> = vec![700_000; 500];
+        assert!(d.score(&constant) > d.score(&legit));
+        let mut rng = StdRng::seed_from_u64(55);
+        let iid: Vec<u64> = (0..500).map(|_| rng.gen_range(300_000..1_500_000)).collect();
+        assert!(d.score(&iid) > d.score(&legit));
+    }
+
+    #[test]
+    fn tdr_score_zero_for_identical() {
+        let t = TdrDetector::new();
+        let a = [100, 200, 300];
+        assert_eq!(t.score_pair(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn tdr_score_catches_single_packet_delay() {
+        let t = TdrDetector::new();
+        let replayed = [700_000u64; 100];
+        let mut observed = replayed;
+        observed[50] = 770_000; // One packet delayed by 10%.
+        let s = t.score_pair(&observed, &replayed);
+        assert!((s - 0.1).abs() < 1e-9, "max deviation is 10%: {s}");
+    }
+
+    #[test]
+    fn tdr_score_length_mismatch_is_maximal() {
+        let t = TdrDetector::new();
+        assert_eq!(t.score_pair(&[1, 2, 3], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn tdr_noise_floor_separates_from_channel() {
+        // Observed = replayed ± 1.5% noise → score ≈ 0.015, well below a
+        // channel that moves IPDs by 15%.
+        let mut rng = StdRng::seed_from_u64(13);
+        let replayed: Vec<u64> = (0..200).map(|_| rng.gen_range(600_000..900_000)).collect();
+        let noisy: Vec<u64> = replayed
+            .iter()
+            .map(|&r| (r as f64 * rng.gen_range(0.985..1.015)) as u64)
+            .collect();
+        let covert: Vec<u64> = replayed
+            .iter()
+            .enumerate()
+            .map(|(k, &r)| if k % 7 == 0 { (r as f64 * 1.15) as u64 } else { r })
+            .collect();
+        let t = TdrDetector::new();
+        assert!(t.score_pair(&noisy, &replayed) < 0.02);
+        assert!(t.score_pair(&covert, &replayed) > 0.10);
+    }
+}

@@ -1,0 +1,123 @@
+//! ROC curves and AUC (Fig. 8 machinery).
+//!
+//! Given detector scores for positive (covert) and negative (legitimate)
+//! traces, [`roc`] sweeps the discrimination threshold to produce the
+//! (FPR, TPR) curve and [`auc`] computes the area under it via the
+//! Mann-Whitney U statistic (ties counted half).
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// False-positive rate (1 − specificity).
+    pub fpr: f64,
+    /// True-positive rate (sensitivity / recall).
+    pub tpr: f64,
+    /// The threshold realizing this point (score ≥ threshold ⇒ positive).
+    pub threshold: f64,
+}
+
+/// Compute the ROC curve by sweeping the threshold over all observed scores.
+/// The result starts at (0,0) and ends at (1,1), sorted by FPR.
+pub fn roc(pos_scores: &[f64], neg_scores: &[f64]) -> Vec<RocPoint> {
+    let mut thresholds: Vec<f64> = pos_scores
+        .iter()
+        .chain(neg_scores.iter())
+        .copied()
+        .collect();
+    thresholds.sort_by(|a, b| b.partial_cmp(a).expect("no NaN scores"));
+    thresholds.dedup();
+
+    let mut points = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
+    for &t in &thresholds {
+        let tp = pos_scores.iter().filter(|&&s| s >= t).count() as f64;
+        let fp = neg_scores.iter().filter(|&&s| s >= t).count() as f64;
+        points.push(RocPoint {
+            fpr: fp / neg_scores.len().max(1) as f64,
+            tpr: tp / pos_scores.len().max(1) as f64,
+            threshold: t,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve via the Mann-Whitney U statistic:
+/// `P(score_pos > score_neg) + ½·P(tie)`.
+pub fn auc(pos_scores: &[f64], neg_scores: &[f64]) -> f64 {
+    if pos_scores.is_empty() || neg_scores.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0;
+    for &p in pos_scores {
+        for &n in neg_scores {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos_scores.len() as f64 * neg_scores.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let pos = [10.0, 11.0, 12.0];
+        let neg = [1.0, 2.0, 3.0];
+        assert_eq!(auc(&pos, &neg), 1.0);
+    }
+
+    #[test]
+    fn reversed_separation_gives_auc_zero() {
+        let pos = [1.0, 2.0];
+        let neg = [10.0, 11.0];
+        assert_eq!(auc(&pos, &neg), 0.0);
+    }
+
+    #[test]
+    fn identical_distributions_give_half() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((auc(&xs, &xs) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_is_monotone_and_anchored() {
+        let pos = [0.9, 0.8, 0.4];
+        let neg = [0.5, 0.3, 0.1];
+        let curve = roc(&pos, &neg);
+        assert_eq!(curve.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn auc_matches_trapezoid_on_roc() {
+        let pos = [0.9, 0.7, 0.6, 0.55];
+        let neg = [0.65, 0.5, 0.3, 0.2];
+        let curve = roc(&pos, &neg);
+        let mut trap = 0.0;
+        for w in curve.windows(2) {
+            trap += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        assert!((trap - auc(&pos, &neg)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(auc(&[], &[1.0]), 0.5);
+        let curve = roc(&[1.0], &[]);
+        assert!(curve.len() >= 2);
+    }
+}

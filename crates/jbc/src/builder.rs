@@ -1,0 +1,772 @@
+//! Label-based assembler API for constructing [`Program`]s.
+//!
+//! The builder assigns dense ids, resolves labels to absolute instruction
+//! indices, computes object layouts and vtables, and lays out method code in
+//! the simulated instruction address space.
+//!
+//! # Examples
+//!
+//! ```
+//! use jbc::{Op, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let main = {
+//!     let mut m = b.static_method("Main", "main", &[], None);
+//!     // Compute 2 + 3 and return.
+//!     m.op(Op::IConst(2));
+//!     m.op(Op::IConst(3));
+//!     m.op(Op::IAdd);
+//!     m.op(Op::Pop);
+//!     m.op(Op::Return);
+//!     m.finish()
+//! };
+//! b.set_entry(main);
+//! let program = b.link().unwrap();
+//! assert_eq!(program.method(program.entry).code.len(), 5);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::op::Op;
+use crate::program::{
+    Class, ClassId, Field, FieldId, Handler, Method, MethodId, NativeDecl, NativeId, Program, Ty,
+};
+
+/// Base simulated address of the code region.
+pub const CODE_BASE: u64 = 0x0001_0000;
+
+/// Errors produced while building or linking a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was used as a branch target but never bound.
+    UnboundLabel(u32),
+    /// The entry point was never set.
+    NoEntry,
+    /// The entry point must be a static method with no parameters.
+    BadEntry,
+    /// A method was declared but never given a body.
+    Unimplemented(String),
+    /// Two methods with the same name were declared on one class.
+    DuplicateMethod(String),
+    /// Two fields with the same name were declared on one class.
+    DuplicateField(String),
+    /// A class name was declared twice with different superclasses.
+    ClassMismatch(String),
+    /// Too many classes/methods/fields for the 16-bit id space.
+    TooMany(&'static str),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label L{l} was never bound"),
+            BuildError::NoEntry => write!(f, "no entry point set"),
+            BuildError::BadEntry => write!(f, "entry point must be static with no parameters"),
+            BuildError::Unimplemented(m) => write!(f, "method {m} declared but not implemented"),
+            BuildError::DuplicateMethod(m) => write!(f, "duplicate method {m}"),
+            BuildError::DuplicateField(x) => write!(f, "duplicate field {x}"),
+            BuildError::ClassMismatch(c) => write!(f, "class {c} redeclared with different super"),
+            BuildError::TooMany(what) => write!(f, "too many {what} for 16-bit id space"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// An as-yet-unresolved branch target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+#[derive(Debug)]
+struct MethodDraft {
+    name: String,
+    owner: ClassId,
+    params: Vec<Ty>,
+    ret: Option<Ty>,
+    is_static: bool,
+    max_locals: u16,
+    code: Vec<Op>,
+    handlers: Vec<Handler>,
+    implemented: bool,
+}
+
+/// Builder for a whole program. See the [module docs](self) for an example.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    class_names: Vec<String>,
+    class_supers: Vec<Option<ClassId>>,
+    class_index: HashMap<String, ClassId>,
+    methods: Vec<MethodDraft>,
+    method_index: HashMap<(ClassId, String), MethodId>,
+    fields: Vec<Field>,
+    field_index: HashMap<(ClassId, String), FieldId>,
+    strings: Vec<String>,
+    string_index: HashMap<String, u16>,
+    natives: Vec<NativeDecl>,
+    native_index: HashMap<String, NativeId>,
+    entry: Option<MethodId>,
+}
+
+impl ProgramBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare (or fetch) a root-or-derived class by name.
+    ///
+    /// Redeclaring an existing class with the same superclass returns the
+    /// existing id; the superclass check is enforced at [`link`](Self::link).
+    pub fn class(&mut self, name: &str, super_class: Option<ClassId>) -> ClassId {
+        if let Some(&id) = self.class_index.get(name) {
+            return id;
+        }
+        let id = ClassId(self.class_names.len() as u16);
+        self.class_names.push(name.to_string());
+        self.class_supers.push(super_class);
+        self.class_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declare an instance field.
+    pub fn field(&mut self, class: ClassId, name: &str, ty: Ty) -> FieldId {
+        self.add_field(class, name, ty, false)
+    }
+
+    /// Declare a static field.
+    pub fn static_field(&mut self, class: ClassId, name: &str, ty: Ty) -> FieldId {
+        self.add_field(class, name, ty, true)
+    }
+
+    fn add_field(&mut self, class: ClassId, name: &str, ty: Ty, is_static: bool) -> FieldId {
+        if let Some(&id) = self.field_index.get(&(class, name.to_string())) {
+            return id;
+        }
+        let id = FieldId(self.fields.len() as u16);
+        self.fields.push(Field {
+            name: name.to_string(),
+            owner: class,
+            ty,
+            is_static,
+            slot: u32::MAX, // Assigned at link.
+        });
+        self.field_index.insert((class, name.to_string()), id);
+        id
+    }
+
+    /// Intern a string constant, returning its pool index.
+    pub fn intern(&mut self, s: &str) -> u16 {
+        if let Some(&i) = self.string_index.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u16;
+        self.strings.push(s.to_string());
+        self.string_index.insert(s.to_string(), i);
+        i
+    }
+
+    /// Intern a native function, returning its id.
+    ///
+    /// `args` is the number of operand-stack arguments the native pops and
+    /// `ret` whether it pushes one result; redeclaration with a different
+    /// signature is a caller bug and panics.
+    pub fn native(&mut self, name: &str, args: u8, ret: bool) -> NativeId {
+        if let Some(&i) = self.native_index.get(name) {
+            let d = &self.natives[i.0 as usize];
+            assert!(
+                d.args == args && d.ret == ret,
+                "native {name} redeclared with different signature"
+            );
+            return i;
+        }
+        let i = NativeId(self.natives.len() as u16);
+        self.natives.push(NativeDecl {
+            name: name.to_string(),
+            args,
+            ret,
+        });
+        self.native_index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Declare a method without implementing it (for forward references).
+    pub fn declare(
+        &mut self,
+        class: &str,
+        name: &str,
+        params: &[Ty],
+        ret: Option<Ty>,
+        is_static: bool,
+    ) -> MethodId {
+        let owner = self.class(class, None);
+        if let Some(&id) = self.method_index.get(&(owner, name.to_string())) {
+            return id;
+        }
+        let id = MethodId(self.methods.len() as u16);
+        self.methods.push(MethodDraft {
+            name: name.to_string(),
+            owner,
+            params: params.to_vec(),
+            ret,
+            is_static,
+            max_locals: 0,
+            code: Vec::new(),
+            handlers: Vec::new(),
+            implemented: false,
+        });
+        self.method_index.insert((owner, name.to_string()), id);
+        id
+    }
+
+    /// Declare a static method and open an assembler for its body.
+    pub fn static_method(
+        &mut self,
+        class: &str,
+        name: &str,
+        params: &[Ty],
+        ret: Option<Ty>,
+    ) -> MethodAsm<'_> {
+        let id = self.declare(class, name, params, ret, true);
+        self.implement(id)
+    }
+
+    /// Declare an instance method and open an assembler for its body.
+    pub fn instance_method(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        params: &[Ty],
+        ret: Option<Ty>,
+    ) -> MethodAsm<'_> {
+        let cname = self.class_names[class.0 as usize].clone();
+        let id = self.declare(&cname, name, params, ret, false);
+        self.implement(id)
+    }
+
+    /// Open an assembler for a previously declared method.
+    pub fn implement(&mut self, id: MethodId) -> MethodAsm<'_> {
+        let arg_slots = {
+            let d = &self.methods[id.0 as usize];
+            d.params.len() as u16 + if d.is_static { 0 } else { 1 }
+        };
+        MethodAsm {
+            builder: self,
+            id,
+            code: Vec::new(),
+            handlers: Vec::new(),
+            labels: Vec::new(),
+            max_local: arg_slots,
+        }
+    }
+
+    /// Set the program entry point.
+    pub fn set_entry(&mut self, m: MethodId) {
+        self.entry = Some(m);
+    }
+
+    /// Resolve ids, compute layouts and vtables, and produce the [`Program`].
+    pub fn link(mut self) -> Result<Program, BuildError> {
+        let entry = self.entry.ok_or(BuildError::NoEntry)?;
+        {
+            let e = &self.methods[entry.0 as usize];
+            if !e.is_static || !e.params.is_empty() {
+                return Err(BuildError::BadEntry);
+            }
+        }
+        if self.class_names.len() > u16::MAX as usize {
+            return Err(BuildError::TooMany("classes"));
+        }
+        for d in &self.methods {
+            if !d.implemented {
+                return Err(BuildError::Unimplemented(format!(
+                    "{}.{}",
+                    self.class_names[d.owner.0 as usize], d.name
+                )));
+            }
+        }
+
+        // Assign static field slots.
+        let mut static_slots = 0u32;
+        for f in self.fields.iter_mut().filter(|f| f.is_static) {
+            f.slot = static_slots;
+            static_slots += 1;
+        }
+
+        // Topologically order classes (parents before children). Ids are
+        // assigned in declaration order and a superclass must already exist
+        // when referenced, so id order is already topological; verify it.
+        for (i, sup) in self.class_supers.iter().enumerate() {
+            if let Some(s) = sup {
+                if s.0 as usize >= i {
+                    return Err(BuildError::ClassMismatch(self.class_names[i].clone()));
+                }
+            }
+        }
+
+        // Build per-class layouts and vtables, parents first.
+        let n = self.class_names.len();
+        let mut classes: Vec<Class> = Vec::with_capacity(n);
+        let mut vslots: Vec<Option<u16>> = vec![None; self.methods.len()];
+        for i in 0..n {
+            let cid = ClassId(i as u16);
+            let (mut layout, mut vtable, parent_decl) = match self.class_supers[i] {
+                Some(p) => {
+                    let pc = &classes[p.0 as usize];
+                    (pc.layout.clone(), pc.vtable.clone(), Some(p))
+                }
+                None => (Vec::new(), Vec::new(), None),
+            };
+            // Instance fields of this class extend the parent layout.
+            for (idx, f) in self.fields.iter_mut().enumerate() {
+                if f.owner == cid && !f.is_static {
+                    f.slot = layout.len() as u32;
+                    layout.push(FieldId(idx as u16));
+                }
+            }
+            // Virtual slots: a method overrides a same-named ancestor method.
+            let mut declared = HashMap::new();
+            for (idx, d) in self.methods.iter().enumerate() {
+                if d.owner != cid {
+                    continue;
+                }
+                let mid = MethodId(idx as u16);
+                if declared.insert(d.name.clone(), mid).is_some() {
+                    return Err(BuildError::DuplicateMethod(format!(
+                        "{}.{}",
+                        self.class_names[i], d.name
+                    )));
+                }
+                if d.is_static || d.name == "<init>" {
+                    continue;
+                }
+                // Find an ancestor declaring the same virtual method name.
+                let mut inherited = None;
+                let mut cur = parent_decl;
+                while let Some(p) = cur {
+                    if let Some(&pm) = classes[p.0 as usize].declared.get(&d.name) {
+                        if let Some(slot) = vslots[pm.0 as usize] {
+                            inherited = Some(slot);
+                            break;
+                        }
+                    }
+                    cur = self.class_supers[p.0 as usize];
+                }
+                let slot = match inherited {
+                    Some(s) => {
+                        vtable[s as usize] = mid;
+                        s
+                    }
+                    None => {
+                        vtable.push(mid);
+                        (vtable.len() - 1) as u16
+                    }
+                };
+                vslots[idx] = Some(slot);
+            }
+            classes.push(Class {
+                name: self.class_names[i].clone(),
+                super_class: self.class_supers[i],
+                layout,
+                vtable,
+                declared,
+            });
+        }
+
+        // Lay out method code in the instruction address space.
+        let mut addr = CODE_BASE;
+        let mut methods = Vec::with_capacity(self.methods.len());
+        for (idx, d) in self.methods.into_iter().enumerate() {
+            let len = d.code.len() as u64;
+            methods.push(Method {
+                name: d.name,
+                owner: d.owner,
+                params: d.params,
+                ret: d.ret,
+                is_static: d.is_static,
+                max_locals: d.max_locals,
+                code: d.code,
+                handlers: d.handlers,
+                vslot: vslots[idx],
+                code_base: addr,
+            });
+            // 4 bytes per op, padded to a 64-byte line boundary, mirroring
+            // typical function alignment.
+            addr += (4 * len + 63) / 64 * 64 + 64;
+        }
+
+        Ok(Program {
+            classes,
+            methods,
+            fields: self.fields,
+            strings: self.strings,
+            natives: self.natives,
+            static_slots,
+            entry,
+        })
+    }
+}
+
+/// Assembler for one method body. Created by
+/// [`ProgramBuilder::static_method`] and friends; call
+/// [`finish`](Self::finish) to commit the body.
+#[derive(Debug)]
+pub struct MethodAsm<'b> {
+    builder: &'b mut ProgramBuilder,
+    id: MethodId,
+    code: Vec<Op>,
+    handlers: Vec<Handler>,
+    /// `labels[i]` is the bound instruction index of label `i`, if bound.
+    labels: Vec<Option<u32>>,
+    max_local: u16,
+}
+
+/// Marker value for unresolved label targets inside draft code.
+const UNRESOLVED: u32 = u32::MAX;
+
+impl<'b> MethodAsm<'b> {
+    /// The id of the method being assembled.
+    pub fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// Current instruction index (where the next op will land).
+    pub fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Append a non-branching op.
+    pub fn op(&mut self, op: Op) -> &mut Self {
+        self.note_locals(&op);
+        self.code.push(op);
+        self
+    }
+
+    fn note_locals(&mut self, op: &Op) {
+        use Op::*;
+        let idx = match op {
+            ILoad(n) | LLoad(n) | DLoad(n) | ALoad(n) | IStore(n) | LStore(n) | DStore(n)
+            | AStore(n) | IInc(n, _) => Some(*n),
+            _ => None,
+        };
+        if let Some(n) = idx {
+            self.max_local = self.max_local.max(n + 1);
+        }
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() as u32 - 1)
+    }
+
+    /// Bind `label` to the current position.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        self.labels[label.0 as usize] = Some(self.here());
+        self
+    }
+
+    /// Append a branch op whose (single) target is `label`.
+    ///
+    /// `make` receives a placeholder and must produce the branch op; e.g.
+    /// `m.br(Op::IfICmpLt, exit)`.
+    pub fn br(&mut self, make: impl FnOnce(u32) -> Op, label: Label) -> &mut Self {
+        // Encode the label id in the target; resolved in `finish`.
+        let op = make(UNRESOLVED - label.0);
+        debug_assert!(op.is_branch(), "br used with non-branch op");
+        self.code.push(op);
+        self
+    }
+
+    /// Append a `TableSwitch` with label targets.
+    pub fn table_switch(&mut self, low: i32, targets: &[Label], default: Label) -> &mut Self {
+        self.code.push(Op::TableSwitch {
+            low,
+            targets: targets.iter().map(|l| UNRESOLVED - l.0).collect(),
+            default: UNRESOLVED - default.0,
+        });
+        self
+    }
+
+    /// Append a `LookupSwitch` with label targets.
+    pub fn lookup_switch(&mut self, pairs: &[(i32, Label)], default: Label) -> &mut Self {
+        let mut ps: Vec<(i32, u32)> = pairs.iter().map(|(k, l)| (*k, UNRESOLVED - l.0)).collect();
+        ps.sort_by_key(|(k, _)| *k);
+        self.code.push(Op::LookupSwitch {
+            pairs: ps,
+            default: UNRESOLVED - default.0,
+        });
+        self
+    }
+
+    /// Register an exception handler over `start..end` jumping to `target`.
+    pub fn handler(
+        &mut self,
+        start: u32,
+        end: u32,
+        target: Label,
+        class: Option<ClassId>,
+    ) -> &mut Self {
+        self.handlers.push(Handler {
+            start,
+            end,
+            target: UNRESOLVED - target.0,
+            class,
+        });
+        self
+    }
+
+    /// Intern a string through the owning builder.
+    pub fn intern(&mut self, s: &str) -> u16 {
+        self.builder.intern(s)
+    }
+
+    /// Push an interned string constant.
+    pub fn ldc_str(&mut self, s: &str) -> &mut Self {
+        let i = self.builder.intern(s);
+        self.code.push(Op::LdcStr(i));
+        self
+    }
+
+    /// Intern a native declaration through the owning builder.
+    pub fn native(&mut self, name: &str, args: u8, ret: bool) -> NativeId {
+        self.builder.native(name, args, ret)
+    }
+
+    /// Append a call to the named native function.
+    pub fn invoke_native(&mut self, name: &str, args: u8, ret: bool) -> &mut Self {
+        let id = self.builder.native(name, args, ret);
+        self.code.push(Op::InvokeNative(id));
+        self
+    }
+
+    /// Override the computed local-slot count (must be ≥ the automatic one).
+    pub fn locals(&mut self, n: u16) -> &mut Self {
+        self.max_local = self.max_local.max(n);
+        self
+    }
+
+    /// Resolve labels and commit the body, returning the method id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a used label was never bound; this is a programming error in
+    /// the caller (workload construction is static, not input-dependent).
+    pub fn finish(self) -> MethodId {
+        let MethodAsm {
+            builder,
+            id,
+            mut code,
+            mut handlers,
+            labels,
+            max_local,
+        } = self;
+        let resolve = |t: u32| -> u32 {
+            if t > UNRESOLVED - labels.len() as u32 {
+                let label_id = (UNRESOLVED - t) as usize;
+                labels[label_id].unwrap_or_else(|| panic!("label L{label_id} never bound"))
+            } else {
+                t
+            }
+        };
+        for op in code.iter_mut() {
+            op.map_targets(resolve);
+        }
+        for h in handlers.iter_mut() {
+            h.target = resolve(h.target);
+        }
+        let d = &mut builder.methods[id.0 as usize];
+        d.code = code;
+        d.handlers = handlers;
+        d.max_locals = max_local;
+        d.implemented = true;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ProgramBuilder::new();
+        let main = {
+            let mut m = b.static_method("Main", "main", &[], None);
+            let top = m.label();
+            let exit = m.label();
+            m.bind(top);
+            m.op(Op::IConst(0));
+            m.br(Op::IfEq, exit);
+            m.br(Op::Goto, top);
+            m.bind(exit);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(main);
+        let p = b.link().unwrap();
+        let code = &p.method(p.entry).code;
+        assert_eq!(code[1], Op::IfEq(3));
+        assert_eq!(code[2], Op::Goto(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics_at_finish() {
+        let mut b = ProgramBuilder::new();
+        let mut m = b.static_method("Main", "main", &[], None);
+        let l = m.label();
+        m.br(Op::Goto, l);
+        m.finish();
+    }
+
+    #[test]
+    fn max_locals_tracks_stores_and_args() {
+        let mut b = ProgramBuilder::new();
+        let main = {
+            let mut m = b.static_method("Main", "main", &[], None);
+            m.op(Op::IConst(1));
+            m.op(Op::IStore(9));
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(main);
+        let p = b.link().unwrap();
+        assert_eq!(p.method(p.entry).max_locals, 10);
+    }
+
+    #[test]
+    fn vtable_override_resolution() {
+        let mut b = ProgramBuilder::new();
+        let animal = b.class("Animal", None);
+        let dog = b.class("Dog", Some(animal));
+        let speak_a = {
+            let mut m = b.instance_method(animal, "speak", &[], Some(Ty::I32));
+            m.op(Op::IConst(1));
+            m.op(Op::IReturn);
+            m.finish()
+        };
+        let speak_d = {
+            let mut m = b.instance_method(dog, "speak", &[], Some(Ty::I32));
+            m.op(Op::IConst(2));
+            m.op(Op::IReturn);
+            m.finish()
+        };
+        let main = {
+            let mut m = b.static_method("Main", "main", &[], None);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(main);
+        let p = b.link().unwrap();
+        assert_eq!(p.resolve_virtual(speak_a, dog), speak_d);
+        assert_eq!(p.resolve_virtual(speak_a, animal), speak_a);
+        assert_eq!(p.resolve_virtual(speak_d, dog), speak_d);
+    }
+
+    #[test]
+    fn field_layout_includes_inherited() {
+        let mut b = ProgramBuilder::new();
+        let base = b.class("Base", None);
+        let derived = b.class("Derived", Some(base));
+        let fx = b.field(base, "x", Ty::I32);
+        let fy = b.field(derived, "y", Ty::I32);
+        let main = {
+            let mut m = b.static_method("Main", "main", &[], None);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(main);
+        let p = b.link().unwrap();
+        assert_eq!(p.class(derived).layout, vec![fx, fy]);
+        assert_eq!(p.field(fx).slot, 0);
+        assert_eq!(p.field(fy).slot, 1);
+    }
+
+    #[test]
+    fn statics_get_dense_slots() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("C", None);
+        b.static_field(c, "a", Ty::I32);
+        b.static_field(c, "b", Ty::F64);
+        let main = {
+            let mut m = b.static_method("Main", "main", &[], None);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(main);
+        let p = b.link().unwrap();
+        assert_eq!(p.static_slots, 2);
+    }
+
+    #[test]
+    fn entry_must_be_static_no_args() {
+        let mut b = ProgramBuilder::new();
+        let c = b.class("Main", None);
+        let bad = {
+            let mut m = b.instance_method(c, "main", &[], None);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(bad);
+        assert_eq!(b.link().unwrap_err(), BuildError::BadEntry);
+    }
+
+    #[test]
+    fn unimplemented_method_fails_link() {
+        let mut b = ProgramBuilder::new();
+        b.declare("Main", "helper", &[], None, true);
+        let main = {
+            let mut m = b.static_method("Main", "main", &[], None);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(main);
+        assert!(matches!(b.link(), Err(BuildError::Unimplemented(_))));
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut b = ProgramBuilder::new();
+        let i1 = b.intern("hello");
+        let i2 = b.intern("hello");
+        let i3 = b.intern("world");
+        assert_eq!(i1, i2);
+        assert_ne!(i1, i3);
+        let n1 = b.native("nanoTime", 0, true);
+        let n2 = b.native("nanoTime", 0, true);
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn switch_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let main = {
+            let mut m = b.static_method("Main", "main", &[], None);
+            let a = m.label();
+            let bb = m.label();
+            let d = m.label();
+            m.op(Op::IConst(1));
+            m.table_switch(0, &[a, bb], d);
+            m.bind(a);
+            m.op(Op::Nop);
+            m.bind(bb);
+            m.op(Op::Nop);
+            m.bind(d);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(main);
+        let p = b.link().unwrap();
+        match &p.method(p.entry).code[1] {
+            Op::TableSwitch {
+                targets, default, ..
+            } => {
+                assert_eq!(targets, &vec![2, 3]);
+                assert_eq!(*default, 4);
+            }
+            other => panic!("expected tableswitch, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1400 @@
+//! A miniature structured front-end that compiles to bytecode.
+//!
+//! Hand-writing stack code for numeric kernels (FFT, LU, …) is error-prone,
+//! so workloads are authored as small ASTs ([`Expr`] / [`Stmt`] / [`HFn`])
+//! grouped into a [`Module`], which compiles every function to a static
+//! method of one class. The [`dsl`] module provides terse constructors so a
+//! kernel reads close to the Java original.
+//!
+//! The language is deliberately tiny: `i32`/`i64`/`f64` scalars, primitive
+//! arrays, module-level globals, static calls within the module, native
+//! calls, `if`/`while`/`for`/`break`/`continue`, and short-circuit boolean
+//! operators. There is no operator overloading and no implicit conversion;
+//! both sides of a binary operator must have the same type ([`Expr::Cast`]
+//! converts explicitly). Conditions are `i32` values (0 = false), and the
+//! compiler fuses comparisons into conditional branches.
+//!
+//! # Examples
+//!
+//! ```
+//! use jbc::hll::{dsl::*, HTy, Module};
+//!
+//! let mut m = Module::new("Main");
+//! m.func(fn_void(
+//!     "main",
+//!     vec![],
+//!     vec![
+//!         let_("sum", i(0)),
+//!         for_("k", i(0), i(10), vec![set("sum", add(var("sum"), var("k")))]),
+//!     ],
+//! ));
+//! let program = m.compile().unwrap();
+//! jbc::verify(&program).unwrap();
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::builder::{Label, MethodAsm, ProgramBuilder};
+use crate::op::{ElemTy, Op};
+use crate::program::{FieldId, MethodId, Program, Ty};
+
+/// Types in the high-level language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HTy {
+    /// 32-bit signed integer (also the boolean type; 0 = false).
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// Interned string reference.
+    Str,
+    /// Primitive array (reference to it).
+    Arr(ElemTy),
+}
+
+impl HTy {
+    /// The bytecode-level value type.
+    pub fn lower(self) -> Ty {
+        match self {
+            HTy::I32 => Ty::I32,
+            HTy::I64 => Ty::I64,
+            HTy::F64 => Ty::F64,
+            HTy::Str | HTy::Arr(_) => Ty::Ref,
+        }
+    }
+}
+
+/// Binary arithmetic/bitwise operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Shift left (integer only; count is `i32`).
+    Shl,
+    /// Arithmetic shift right (integer only).
+    Shr,
+    /// Logical shift right (integer only).
+    UShr,
+    /// Bitwise and (integer only).
+    And,
+    /// Bitwise or (integer only).
+    Or,
+    /// Bitwise xor (integer only).
+    Xor,
+}
+
+/// Comparison operators; the result is an `i32` 0/1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn invert(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `i32` literal.
+    I32(i32),
+    /// `i64` literal.
+    I64(i64),
+    /// `f64` literal.
+    F64(f64),
+    /// String literal (interned).
+    Str(String),
+    /// Read a local variable.
+    Local(String),
+    /// Read a module global.
+    Global(String),
+    /// Binary arithmetic; both operands must have the same numeric type.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic negation.
+    Neg(Box<Expr>),
+    /// Comparison producing 0/1.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Short-circuit logical and (operands are `i32` conditions).
+    AndSc(Box<Expr>, Box<Expr>),
+    /// Short-circuit logical or.
+    OrSc(Box<Expr>, Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// Call a module function.
+    Call(String, Vec<Expr>),
+    /// Call a declared native.
+    Native(String, Vec<Expr>),
+    /// Allocate a primitive array of the given length.
+    NewArr(ElemTy, Box<Expr>),
+    /// Load an array element. Byte/char elements widen to `i32`.
+    Idx(Box<Expr>, Box<Expr>),
+    /// Array length.
+    Len(Box<Expr>),
+    /// Numeric conversion.
+    Cast(HTy, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declare and initialize a new local; the type is inferred.
+    Let(String, Expr),
+    /// Assign to an existing local.
+    Assign(String, Expr),
+    /// `array[index] = value`.
+    SetIdx(Expr, Expr, Expr),
+    /// Assign to a module global.
+    SetGlobal(String, Expr),
+    /// Two-armed conditional.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// Pre-tested loop.
+    While(Expr, Vec<Stmt>),
+    /// `for v in lo..hi` over `i32` with step 1.
+    For(String, Expr, Expr, Vec<Stmt>),
+    /// Return from the function.
+    Return(Option<Expr>),
+    /// Evaluate for effect; a pushed result is popped.
+    Expr(Expr),
+    /// Exit the innermost loop.
+    Break,
+    /// Jump to the next iteration of the innermost loop.
+    Continue,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HFn {
+    /// Function name (unique within the module).
+    pub name: String,
+    /// Parameters with declared types.
+    pub params: Vec<(String, HTy)>,
+    /// Return type, or `None` for void.
+    pub ret: Option<HTy>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A compilation error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HllError {
+    /// The function being compiled, if known.
+    pub func: Option<String>,
+    /// Description of the failure.
+    pub what: String,
+}
+
+impl fmt::Display for HllError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "in fn {name}: {}", self.what),
+            None => write!(f, "{}", self.what),
+        }
+    }
+}
+
+impl std::error::Error for HllError {}
+
+/// A module: globals, native declarations, and functions, compiled into one
+/// class of static methods. The entry point is the function named `main`.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    name: String,
+    globals: Vec<(String, HTy)>,
+    natives: Vec<(String, Vec<HTy>, Option<HTy>)>,
+    fns: Vec<HFn>,
+}
+
+impl Module {
+    /// Create an empty module compiled into a class called `name`.
+    pub fn new(name: &str) -> Self {
+        Module {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Declare a module-level global variable.
+    pub fn global(&mut self, name: &str, ty: HTy) -> &mut Self {
+        self.globals.push((name.to_string(), ty));
+        self
+    }
+
+    /// Declare a native function signature.
+    pub fn native(&mut self, name: &str, params: &[HTy], ret: Option<HTy>) -> &mut Self {
+        self.natives
+            .push((name.to_string(), params.to_vec(), ret));
+        self
+    }
+
+    /// Add a function.
+    pub fn func(&mut self, f: HFn) -> &mut Self {
+        self.fns.push(f);
+        self
+    }
+
+    /// Compile the module to a verified-ready [`Program`].
+    pub fn compile(&self) -> Result<Program, HllError> {
+        let mut b = ProgramBuilder::new();
+        let class = b.class(&self.name, None);
+
+        let mut globals: HashMap<String, (FieldId, HTy)> = HashMap::new();
+        for (name, ty) in &self.globals {
+            let fid = b.static_field(class, name, ty.lower());
+            if globals.insert(name.clone(), (fid, *ty)).is_some() {
+                return Err(HllError {
+                    func: None,
+                    what: format!("duplicate global {name}"),
+                });
+            }
+        }
+
+        let mut natives: HashMap<String, (Vec<HTy>, Option<HTy>)> = HashMap::new();
+        for (name, params, ret) in &self.natives {
+            b.native(name, params.len() as u8, ret.is_some());
+            if natives
+                .insert(name.clone(), (params.clone(), *ret))
+                .is_some()
+            {
+                return Err(HllError {
+                    func: None,
+                    what: format!("duplicate native {name}"),
+                });
+            }
+        }
+
+        // Pass 1: declare all functions so calls can reference any of them.
+        let mut sigs: HashMap<String, (MethodId, Vec<HTy>, Option<HTy>)> = HashMap::new();
+        for f in &self.fns {
+            let params: Vec<Ty> = f.params.iter().map(|(_, t)| t.lower()).collect();
+            let mid = b.declare(&self.name, &f.name, &params, f.ret.map(HTy::lower), true);
+            if sigs
+                .insert(
+                    f.name.clone(),
+                    (mid, f.params.iter().map(|(_, t)| *t).collect(), f.ret),
+                )
+                .is_some()
+            {
+                return Err(HllError {
+                    func: None,
+                    what: format!("duplicate fn {}", f.name),
+                });
+            }
+        }
+        let entry = sigs
+            .get("main")
+            .map(|(m, _, _)| *m)
+            .ok_or_else(|| HllError {
+                func: None,
+                what: "module has no main()".to_string(),
+            })?;
+
+        // Pass 2: compile bodies.
+        let ctx = ModuleCtx {
+            globals: &globals,
+            natives: &natives,
+            sigs: &sigs,
+        };
+        for f in &self.fns {
+            let (mid, _, _) = sigs[&f.name];
+            let asm = b.implement(mid);
+            FnCompiler::compile(asm, &ctx, f)?;
+        }
+
+        b.set_entry(entry);
+        b.link().map_err(|e| HllError {
+            func: None,
+            what: format!("link error: {e}"),
+        })
+    }
+}
+
+struct ModuleCtx<'a> {
+    globals: &'a HashMap<String, (FieldId, HTy)>,
+    natives: &'a HashMap<String, (Vec<HTy>, Option<HTy>)>,
+    sigs: &'a HashMap<String, (MethodId, Vec<HTy>, Option<HTy>)>,
+}
+
+struct FnCompiler<'a, 'b> {
+    asm: MethodAsm<'b>,
+    ctx: &'a ModuleCtx<'a>,
+    fname: String,
+    ret: Option<HTy>,
+    locals: HashMap<String, (u16, HTy)>,
+    next_slot: u16,
+    /// Stack of `(continue_target, break_target)` for nested loops.
+    loops: Vec<(Label, Label)>,
+}
+
+impl<'a, 'b> FnCompiler<'a, 'b> {
+    fn compile(asm: MethodAsm<'b>, ctx: &'a ModuleCtx<'a>, f: &HFn) -> Result<(), HllError> {
+        let mut c = FnCompiler {
+            asm,
+            ctx,
+            fname: f.name.clone(),
+            ret: f.ret,
+            locals: HashMap::new(),
+            next_slot: 0,
+            loops: Vec::new(),
+        };
+        for (name, ty) in &f.params {
+            let slot = c.next_slot;
+            c.next_slot += 1;
+            if c.locals.insert(name.clone(), (slot, *ty)).is_some() {
+                return Err(c.err(format!("duplicate parameter {name}")));
+            }
+        }
+        for s in &f.body {
+            c.stmt(s)?;
+        }
+        // Guarantee the method cannot fall off the end. The padding return is
+        // unreachable when the body already returns on every path.
+        match f.ret {
+            None => {
+                c.asm.op(Op::Return);
+            }
+            Some(HTy::I32) => {
+                c.asm.op(Op::IConst(0));
+                c.asm.op(Op::IReturn);
+            }
+            Some(HTy::I64) => {
+                c.asm.op(Op::LConst(0));
+                c.asm.op(Op::LReturn);
+            }
+            Some(HTy::F64) => {
+                c.asm.op(Op::DConst(0.0));
+                c.asm.op(Op::DReturn);
+            }
+            Some(HTy::Str) | Some(HTy::Arr(_)) => {
+                c.asm.op(Op::AConstNull);
+                c.asm.op(Op::AReturn);
+            }
+        }
+        c.asm.locals(c.next_slot);
+        c.asm.finish();
+        Ok(())
+    }
+
+    fn err(&self, what: impl Into<String>) -> HllError {
+        HllError {
+            func: Some(self.fname.clone()),
+            what: what.into(),
+        }
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), HllError> {
+        match s {
+            Stmt::Let(name, e) => {
+                let ty = self.expr(e)?;
+                if self.locals.contains_key(name) {
+                    return Err(self.err(format!("redeclared local {name}")));
+                }
+                let slot = self.next_slot;
+                self.next_slot += 1;
+                self.locals.insert(name.clone(), (slot, ty));
+                self.store_local(slot, ty);
+                Ok(())
+            }
+            Stmt::Assign(name, e) => {
+                let ty = self.expr(e)?;
+                let (slot, want) = *self
+                    .locals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown local {name}")))?;
+                if ty != want {
+                    return Err(self.err(format!("assign {name}: {want:?} = {ty:?}")));
+                }
+                self.store_local(slot, ty);
+                Ok(())
+            }
+            Stmt::SetIdx(arr, idx, val) => {
+                let at = self.expr(arr)?;
+                let et = match at {
+                    HTy::Arr(et) => et,
+                    other => return Err(self.err(format!("indexing non-array {other:?}"))),
+                };
+                let it = self.expr(idx)?;
+                if it != HTy::I32 {
+                    return Err(self.err("array index must be i32"));
+                }
+                let vt = self.expr(val)?;
+                let want = elem_value_ty(et).ok_or_else(|| self.err("ref arrays unsupported"))?;
+                if vt != want {
+                    return Err(self.err(format!("store {et:?} element: got {vt:?}")));
+                }
+                self.asm.op(match et {
+                    ElemTy::I8 => Op::BAStore,
+                    ElemTy::U16 => Op::CAStore,
+                    ElemTy::I32 => Op::IAStore,
+                    ElemTy::I64 => Op::LAStore,
+                    ElemTy::F64 => Op::DAStore,
+                    ElemTy::Ref => unreachable!(),
+                });
+                Ok(())
+            }
+            Stmt::SetGlobal(name, e) => {
+                let ty = self.expr(e)?;
+                let (fid, want) = *self
+                    .ctx
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown global {name}")))?;
+                if ty != want {
+                    return Err(self.err(format!("global {name}: {want:?} = {ty:?}")));
+                }
+                self.asm.op(Op::PutStatic(fid));
+                Ok(())
+            }
+            Stmt::If(cond, then_b, else_b) => {
+                let l_else = self.asm.label();
+                let l_end = self.asm.label();
+                self.branch_if_false(cond, l_else)?;
+                for s in then_b {
+                    self.stmt(s)?;
+                }
+                self.asm.br(Op::Goto, l_end);
+                self.asm.bind(l_else);
+                for s in else_b {
+                    self.stmt(s)?;
+                }
+                self.asm.bind(l_end);
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let l_head = self.asm.label();
+                let l_exit = self.asm.label();
+                self.asm.bind(l_head);
+                self.branch_if_false(cond, l_exit)?;
+                self.loops.push((l_head, l_exit));
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.loops.pop();
+                self.asm.br(Op::Goto, l_head);
+                self.asm.bind(l_exit);
+                Ok(())
+            }
+            Stmt::For(v, lo, hi, body) => {
+                // let v = lo; while (v < hi) { body; v += 1 }
+                let lt = self.expr(lo)?;
+                if lt != HTy::I32 {
+                    return Err(self.err("for bounds must be i32"));
+                }
+                if self.locals.contains_key(v) {
+                    return Err(self.err(format!("redeclared loop variable {v}")));
+                }
+                let slot = self.next_slot;
+                self.next_slot += 1;
+                self.locals.insert(v.clone(), (slot, HTy::I32));
+                self.asm.op(Op::IStore(slot));
+                let l_head = self.asm.label();
+                let l_cont = self.asm.label();
+                let l_exit = self.asm.label();
+                self.asm.bind(l_head);
+                self.asm.op(Op::ILoad(slot));
+                let ht = self.expr(hi)?;
+                if ht != HTy::I32 {
+                    return Err(self.err("for bounds must be i32"));
+                }
+                self.asm.br(Op::IfICmpGe, l_exit);
+                self.loops.push((l_cont, l_exit));
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.loops.pop();
+                self.asm.bind(l_cont);
+                self.asm.op(Op::IInc(slot, 1));
+                self.asm.br(Op::Goto, l_head);
+                self.asm.bind(l_exit);
+                // The loop variable stays visible (flat function scope), like
+                // old-style Java locals; callers should use fresh names.
+                Ok(())
+            }
+            Stmt::Return(e) => {
+                match (e, self.ret) {
+                    (None, None) => {
+                        self.asm.op(Op::Return);
+                    }
+                    (Some(e), Some(want)) => {
+                        let ty = self.expr(e)?;
+                        if ty != want {
+                            return Err(self.err(format!("return {want:?}: got {ty:?}")));
+                        }
+                        self.asm.op(match want.lower() {
+                            Ty::I32 => Op::IReturn,
+                            Ty::I64 => Op::LReturn,
+                            Ty::F64 => Op::DReturn,
+                            Ty::Ref => Op::AReturn,
+                        });
+                    }
+                    (None, Some(_)) => return Err(self.err("missing return value")),
+                    (Some(_), None) => return Err(self.err("return value in void fn")),
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                let pushed = self.expr_maybe_void(e)?;
+                if pushed.is_some() {
+                    self.asm.op(Op::Pop);
+                }
+                Ok(())
+            }
+            Stmt::Break => {
+                let (_, brk) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| self.err("break outside loop"))?;
+                self.asm.br(Op::Goto, brk);
+                Ok(())
+            }
+            Stmt::Continue => {
+                let (cont, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| self.err("continue outside loop"))?;
+                self.asm.br(Op::Goto, cont);
+                Ok(())
+            }
+        }
+    }
+
+    fn store_local(&mut self, slot: u16, ty: HTy) {
+        self.asm.op(match ty.lower() {
+            Ty::I32 => Op::IStore(slot),
+            Ty::I64 => Op::LStore(slot),
+            Ty::F64 => Op::DStore(slot),
+            Ty::Ref => Op::AStore(slot),
+        });
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    /// Compile an expression that must produce a value.
+    fn expr(&mut self, e: &Expr) -> Result<HTy, HllError> {
+        self.expr_maybe_void(e)?
+            .ok_or_else(|| self.err("void expression used as value"))
+    }
+
+    /// Compile an expression; `None` means nothing was pushed (void call).
+    fn expr_maybe_void(&mut self, e: &Expr) -> Result<Option<HTy>, HllError> {
+        let ty = match e {
+            Expr::I32(v) => {
+                self.asm.op(Op::IConst(*v));
+                HTy::I32
+            }
+            Expr::I64(v) => {
+                self.asm.op(Op::LConst(*v));
+                HTy::I64
+            }
+            Expr::F64(v) => {
+                self.asm.op(Op::DConst(*v));
+                HTy::F64
+            }
+            Expr::Str(s) => {
+                self.asm.ldc_str(s);
+                HTy::Str
+            }
+            Expr::Local(name) => {
+                let (slot, ty) = *self
+                    .locals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown local {name}")))?;
+                self.asm.op(match ty.lower() {
+                    Ty::I32 => Op::ILoad(slot),
+                    Ty::I64 => Op::LLoad(slot),
+                    Ty::F64 => Op::DLoad(slot),
+                    Ty::Ref => Op::ALoad(slot),
+                });
+                ty
+            }
+            Expr::Global(name) => {
+                let (fid, ty) = *self
+                    .ctx
+                    .globals
+                    .get(name)
+                    .ok_or_else(|| self.err(format!("unknown global {name}")))?;
+                self.asm.op(Op::GetStatic(fid));
+                ty
+            }
+            Expr::Bin(op, a, bx) => {
+                let ta = self.expr(a)?;
+                // Shift counts are i32 regardless of the value type.
+                let tb = self.expr(bx)?;
+                let shift = matches!(op, BinOp::Shl | BinOp::Shr | BinOp::UShr);
+                if shift {
+                    if tb != HTy::I32 {
+                        return Err(self.err("shift count must be i32"));
+                    }
+                } else if ta != tb {
+                    return Err(self.err(format!("operand mismatch {ta:?} vs {tb:?}")));
+                }
+                self.asm.op(bin_op_code(*op, ta).ok_or_else(|| {
+                    self.err(format!("operator {op:?} unsupported for {ta:?}"))
+                })?);
+                ta
+            }
+            Expr::Neg(a) => {
+                let t = self.expr(a)?;
+                self.asm.op(match t {
+                    HTy::I32 => Op::INeg,
+                    HTy::I64 => Op::LNeg,
+                    HTy::F64 => Op::DNeg,
+                    other => return Err(self.err(format!("neg of {other:?}"))),
+                });
+                t
+            }
+            Expr::Cmp(..) | Expr::AndSc(..) | Expr::OrSc(..) | Expr::Not(_) => {
+                // Materialize the condition as 0/1.
+                let l_true = self.asm.label();
+                let l_end = self.asm.label();
+                self.branch_if_true(e, l_true)?;
+                self.asm.op(Op::IConst(0));
+                self.asm.br(Op::Goto, l_end);
+                self.asm.bind(l_true);
+                self.asm.op(Op::IConst(1));
+                self.asm.bind(l_end);
+                HTy::I32
+            }
+            Expr::Call(name, args) => {
+                let (mid, params, ret) = self
+                    .ctx
+                    .sigs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("unknown fn {name}")))?;
+                if args.len() != params.len() {
+                    return Err(self.err(format!(
+                        "fn {name} takes {} args, got {}",
+                        params.len(),
+                        args.len()
+                    )));
+                }
+                for (a, want) in args.iter().zip(&params) {
+                    let got = self.expr(a)?;
+                    if got != *want {
+                        return Err(self.err(format!("fn {name}: want {want:?}, got {got:?}")));
+                    }
+                }
+                self.asm.op(Op::InvokeStatic(mid));
+                return Ok(ret);
+            }
+            Expr::Native(name, args) => {
+                let (params, ret) = self
+                    .ctx
+                    .natives
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("undeclared native {name}")))?;
+                if args.len() != params.len() {
+                    return Err(self.err(format!(
+                        "native {name} takes {} args, got {}",
+                        params.len(),
+                        args.len()
+                    )));
+                }
+                for (a, want) in args.iter().zip(&params) {
+                    let got = self.expr(a)?;
+                    if got != *want {
+                        return Err(self.err(format!("native {name}: want {want:?}, got {got:?}")));
+                    }
+                }
+                self.asm.invoke_native(name, params.len() as u8, ret.is_some());
+                return Ok(ret);
+            }
+            Expr::NewArr(et, len) => {
+                let lt = self.expr(len)?;
+                if lt != HTy::I32 {
+                    return Err(self.err("array length must be i32"));
+                }
+                if *et == ElemTy::Ref {
+                    return Err(self.err("ref arrays unsupported in hll"));
+                }
+                self.asm.op(Op::NewArray(*et));
+                HTy::Arr(*et)
+            }
+            Expr::Idx(arr, idx) => {
+                let at = self.expr(arr)?;
+                let et = match at {
+                    HTy::Arr(et) => et,
+                    other => return Err(self.err(format!("indexing non-array {other:?}"))),
+                };
+                let it = self.expr(idx)?;
+                if it != HTy::I32 {
+                    return Err(self.err("array index must be i32"));
+                }
+                self.asm.op(match et {
+                    ElemTy::I8 => Op::BALoad,
+                    ElemTy::U16 => Op::CALoad,
+                    ElemTy::I32 => Op::IALoad,
+                    ElemTy::I64 => Op::LALoad,
+                    ElemTy::F64 => Op::DALoad,
+                    ElemTy::Ref => return Err(self.err("ref arrays unsupported")),
+                });
+                elem_value_ty(et).expect("non-ref elem")
+            }
+            Expr::Len(arr) => {
+                match self.expr(arr)? {
+                    HTy::Arr(_) => {}
+                    other => return Err(self.err(format!("len of non-array {other:?}"))),
+                }
+                self.asm.op(Op::ArrayLength);
+                HTy::I32
+            }
+            Expr::Cast(to, a) => {
+                let from = self.expr(a)?;
+                for op in cast_ops(from, *to).ok_or_else(|| {
+                    self.err(format!("unsupported cast {from:?} -> {to:?}"))
+                })? {
+                    self.asm.op(op);
+                }
+                *to
+            }
+        };
+        Ok(Some(ty))
+    }
+
+    // ---- fused condition compilation ------------------------------------
+
+    fn branch_if_false(&mut self, cond: &Expr, target: Label) -> Result<(), HllError> {
+        match cond {
+            // NaN makes every ordered comparison false, so the inverted
+            // branch must be TAKEN when an operand is NaN (`nan_take`).
+            Expr::Cmp(op, a, b) => self.cmp_branch(op.invert(), a, b, target, true),
+            Expr::Not(inner) => self.branch_if_true(inner, target),
+            Expr::AndSc(a, b) => {
+                self.branch_if_false(a, target)?;
+                self.branch_if_false(b, target)
+            }
+            Expr::OrSc(a, b) => {
+                let l_ok = self.asm.label();
+                self.branch_if_true(a, l_ok)?;
+                self.branch_if_false(b, target)?;
+                self.asm.bind(l_ok);
+                Ok(())
+            }
+            other => {
+                let t = self.expr(other)?;
+                if t != HTy::I32 {
+                    return Err(self.err(format!("condition must be i32, got {t:?}")));
+                }
+                self.asm.br(Op::IfEq, target);
+                Ok(())
+            }
+        }
+    }
+
+    fn branch_if_true(&mut self, cond: &Expr, target: Label) -> Result<(), HllError> {
+        match cond {
+            Expr::Cmp(op, a, b) => self.cmp_branch(*op, a, b, target, false),
+            Expr::Not(inner) => self.branch_if_false(inner, target),
+            Expr::AndSc(a, b) => {
+                let l_no = self.asm.label();
+                self.branch_if_false(a, l_no)?;
+                self.branch_if_true(b, target)?;
+                self.asm.bind(l_no);
+                Ok(())
+            }
+            Expr::OrSc(a, b) => {
+                self.branch_if_true(a, target)?;
+                self.branch_if_true(b, target)
+            }
+            other => {
+                let t = self.expr(other)?;
+                if t != HTy::I32 {
+                    return Err(self.err(format!("condition must be i32, got {t:?}")));
+                }
+                self.asm.br(Op::IfNe, target);
+                Ok(())
+            }
+        }
+    }
+
+    /// Emit `if (a <op> b) goto target` with type-directed fusion.
+    ///
+    /// `nan_take` selects the float-compare variant so that a NaN operand
+    /// takes (`true`) or falls through (`false`) the branch, matching Java's
+    /// rule that NaN makes every ordered comparison false.
+    fn cmp_branch(
+        &mut self,
+        op: CmpOp,
+        a: &Expr,
+        b: &Expr,
+        target: Label,
+        nan_take: bool,
+    ) -> Result<(), HllError> {
+        let ta = self.expr(a)?;
+        let tb = self.expr(b)?;
+        if ta != tb {
+            return Err(self.err(format!("compare mismatch {ta:?} vs {tb:?}")));
+        }
+        match ta {
+            HTy::I32 => {
+                self.asm.br(
+                    match op {
+                        CmpOp::Eq => Op::IfICmpEq,
+                        CmpOp::Ne => Op::IfICmpNe,
+                        CmpOp::Lt => Op::IfICmpLt,
+                        CmpOp::Le => Op::IfICmpLe,
+                        CmpOp::Gt => Op::IfICmpGt,
+                        CmpOp::Ge => Op::IfICmpGe,
+                    },
+                    target,
+                );
+            }
+            HTy::I64 => {
+                self.asm.op(Op::LCmp);
+                self.zero_branch(op, target);
+            }
+            HTy::F64 => {
+                // DCmpL pushes -1 on NaN, DCmpG pushes +1; choose so the
+                // subsequent zero-branch behaves per `nan_take`.
+                self.asm.op(match op {
+                    CmpOp::Lt | CmpOp::Le => {
+                        if nan_take {
+                            Op::DCmpL
+                        } else {
+                            Op::DCmpG
+                        }
+                    }
+                    CmpOp::Gt | CmpOp::Ge => {
+                        if nan_take {
+                            Op::DCmpG
+                        } else {
+                            Op::DCmpL
+                        }
+                    }
+                    CmpOp::Eq | CmpOp::Ne => Op::DCmpL,
+                });
+                self.zero_branch(op, target);
+            }
+            other => return Err(self.err(format!("cannot compare {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn zero_branch(&mut self, op: CmpOp, target: Label) {
+        self.asm.br(
+            match op {
+                CmpOp::Eq => Op::IfEq,
+                CmpOp::Ne => Op::IfNe,
+                CmpOp::Lt => Op::IfLt,
+                CmpOp::Le => Op::IfLe,
+                CmpOp::Gt => Op::IfGt,
+                CmpOp::Ge => Op::IfGe,
+            },
+            target,
+        );
+    }
+}
+
+fn elem_value_ty(et: ElemTy) -> Option<HTy> {
+    match et {
+        ElemTy::I8 | ElemTy::U16 | ElemTy::I32 => Some(HTy::I32),
+        ElemTy::I64 => Some(HTy::I64),
+        ElemTy::F64 => Some(HTy::F64),
+        ElemTy::Ref => None,
+    }
+}
+
+fn bin_op_code(op: BinOp, t: HTy) -> Option<Op> {
+    use BinOp::*;
+    Some(match (op, t) {
+        (Add, HTy::I32) => Op::IAdd,
+        (Sub, HTy::I32) => Op::ISub,
+        (Mul, HTy::I32) => Op::IMul,
+        (Div, HTy::I32) => Op::IDiv,
+        (Rem, HTy::I32) => Op::IRem,
+        (Shl, HTy::I32) => Op::IShl,
+        (Shr, HTy::I32) => Op::IShr,
+        (UShr, HTy::I32) => Op::IUShr,
+        (And, HTy::I32) => Op::IAnd,
+        (Or, HTy::I32) => Op::IOr,
+        (Xor, HTy::I32) => Op::IXor,
+        (Add, HTy::I64) => Op::LAdd,
+        (Sub, HTy::I64) => Op::LSub,
+        (Mul, HTy::I64) => Op::LMul,
+        (Div, HTy::I64) => Op::LDiv,
+        (Rem, HTy::I64) => Op::LRem,
+        (Shl, HTy::I64) => Op::LShl,
+        (Shr, HTy::I64) => Op::LShr,
+        (UShr, HTy::I64) => Op::LUShr,
+        (And, HTy::I64) => Op::LAnd,
+        (Or, HTy::I64) => Op::LOr,
+        (Xor, HTy::I64) => Op::LXor,
+        (Add, HTy::F64) => Op::DAdd,
+        (Sub, HTy::F64) => Op::DSub,
+        (Mul, HTy::F64) => Op::DMul,
+        (Div, HTy::F64) => Op::DDiv,
+        (Rem, HTy::F64) => Op::DRem,
+        _ => return None,
+    })
+}
+
+fn cast_ops(from: HTy, to: HTy) -> Option<Vec<Op>> {
+    use HTy::*;
+    Some(match (from, to) {
+        (a, b) if a == b => vec![],
+        (I32, I64) => vec![Op::I2L],
+        (I32, F64) => vec![Op::I2D],
+        (I64, I32) => vec![Op::L2I],
+        (I64, F64) => vec![Op::L2D],
+        (F64, I32) => vec![Op::D2I],
+        (F64, I64) => vec![Op::D2L],
+        _ => return None,
+    })
+}
+
+/// Terse constructors for authoring ASTs. Designed for `use dsl::*`.
+pub mod dsl {
+    use super::*;
+
+    /// `i32` literal.
+    pub fn i(v: i32) -> Expr {
+        Expr::I32(v)
+    }
+    /// `i64` literal.
+    pub fn l(v: i64) -> Expr {
+        Expr::I64(v)
+    }
+    /// `f64` literal.
+    pub fn d(v: f64) -> Expr {
+        Expr::F64(v)
+    }
+    /// String literal.
+    pub fn s(v: &str) -> Expr {
+        Expr::Str(v.to_string())
+    }
+    /// Read a local.
+    pub fn var(name: &str) -> Expr {
+        Expr::Local(name.to_string())
+    }
+    /// Read a global.
+    pub fn glob(name: &str) -> Expr {
+        Expr::Global(name.to_string())
+    }
+    /// Addition.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+    /// Subtraction.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+    /// Multiplication.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+    /// Division.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(a), Box::new(b))
+    }
+    /// Remainder.
+    pub fn rem(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Rem, Box::new(a), Box::new(b))
+    }
+    /// Shift left.
+    pub fn shl(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Shl, Box::new(a), Box::new(b))
+    }
+    /// Arithmetic shift right.
+    pub fn shr(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Shr, Box::new(a), Box::new(b))
+    }
+    /// Logical shift right.
+    pub fn ushr(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::UShr, Box::new(a), Box::new(b))
+    }
+    /// Bitwise and.
+    pub fn band(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(a), Box::new(b))
+    }
+    /// Bitwise or.
+    pub fn bor(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Or, Box::new(a), Box::new(b))
+    }
+    /// Bitwise xor.
+    pub fn bxor(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Xor, Box::new(a), Box::new(b))
+    }
+    /// Arithmetic negation.
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Neg(Box::new(a))
+    }
+    /// Equality.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(a), Box::new(b))
+    }
+    /// Inequality.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(a), Box::new(b))
+    }
+    /// Less-than.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(a), Box::new(b))
+    }
+    /// Less-or-equal.
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(a), Box::new(b))
+    }
+    /// Greater-than.
+    pub fn gt(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(a), Box::new(b))
+    }
+    /// Greater-or-equal.
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(a), Box::new(b))
+    }
+    /// Short-circuit and.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::AndSc(Box::new(a), Box::new(b))
+    }
+    /// Short-circuit or.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::OrSc(Box::new(a), Box::new(b))
+    }
+    /// Logical not.
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(Box::new(a))
+    }
+    /// Call a module function.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.to_string(), args)
+    }
+    /// Call a native function.
+    pub fn native(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Native(name.to_string(), args)
+    }
+    /// New primitive array.
+    pub fn newarr(et: ElemTy, len: Expr) -> Expr {
+        Expr::NewArr(et, Box::new(len))
+    }
+    /// Array element load.
+    pub fn idx(arr: Expr, index: Expr) -> Expr {
+        Expr::Idx(Box::new(arr), Box::new(index))
+    }
+    /// Array length.
+    pub fn len(arr: Expr) -> Expr {
+        Expr::Len(Box::new(arr))
+    }
+    /// Numeric cast.
+    pub fn cast(to: HTy, e: Expr) -> Expr {
+        Expr::Cast(to, Box::new(e))
+    }
+    /// `i32` → `f64` shorthand.
+    pub fn i2d(e: Expr) -> Expr {
+        cast(HTy::F64, e)
+    }
+    /// `f64` → `i32` shorthand.
+    pub fn d2i(e: Expr) -> Expr {
+        cast(HTy::I32, e)
+    }
+
+    /// Declare a local.
+    pub fn let_(name: &str, e: Expr) -> Stmt {
+        Stmt::Let(name.to_string(), e)
+    }
+    /// Assign a local.
+    pub fn set(name: &str, e: Expr) -> Stmt {
+        Stmt::Assign(name.to_string(), e)
+    }
+    /// Store an array element.
+    pub fn set_idx(arr: Expr, index: Expr, v: Expr) -> Stmt {
+        Stmt::SetIdx(arr, index, v)
+    }
+    /// Assign a global.
+    pub fn set_g(name: &str, e: Expr) -> Stmt {
+        Stmt::SetGlobal(name.to_string(), e)
+    }
+    /// Two-armed if.
+    pub fn if_(c: Expr, t: Vec<Stmt>, e: Vec<Stmt>) -> Stmt {
+        Stmt::If(c, t, e)
+    }
+    /// While loop.
+    pub fn while_(c: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::While(c, body)
+    }
+    /// Counted loop over `lo..hi`.
+    pub fn for_(v: &str, lo: Expr, hi: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For(v.to_string(), lo, hi, body)
+    }
+    /// Return a value.
+    pub fn ret(e: Expr) -> Stmt {
+        Stmt::Return(Some(e))
+    }
+    /// Return void.
+    pub fn ret_void() -> Stmt {
+        Stmt::Return(None)
+    }
+    /// Evaluate for effect.
+    pub fn expr(e: Expr) -> Stmt {
+        Stmt::Expr(e)
+    }
+    /// Break the innermost loop.
+    pub fn brk() -> Stmt {
+        Stmt::Break
+    }
+    /// Continue the innermost loop.
+    pub fn cont() -> Stmt {
+        Stmt::Continue
+    }
+
+    /// Define a function returning a value.
+    pub fn fn_ret(name: &str, params: Vec<(&str, HTy)>, ret: HTy, body: Vec<Stmt>) -> HFn {
+        HFn {
+            name: name.to_string(),
+            params: params
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+            ret: Some(ret),
+            body,
+        }
+    }
+    /// Define a void function.
+    pub fn fn_void(name: &str, params: Vec<(&str, HTy)>, body: Vec<Stmt>) -> HFn {
+        HFn {
+            name: name.to_string(),
+            params: params
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+            ret: None,
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+    use crate::verify;
+
+    fn compile_main(body: Vec<Stmt>) -> Result<Program, HllError> {
+        let mut m = Module::new("Main");
+        m.func(fn_void("main", vec![], body));
+        let p = m.compile()?;
+        verify(&p).map_err(|e| HllError {
+            func: None,
+            what: format!("verify: {e}"),
+        })?;
+        Ok(p)
+    }
+
+    #[test]
+    fn minimal_module_compiles_and_verifies() {
+        compile_main(vec![let_("x", i(1))]).unwrap();
+    }
+
+    #[test]
+    fn loops_and_conditions_compile() {
+        compile_main(vec![
+            let_("sum", i(0)),
+            for_(
+                "k",
+                i(0),
+                i(100),
+                vec![if_(
+                    eq(rem(var("k"), i(2)), i(0)),
+                    vec![set("sum", add(var("sum"), var("k")))],
+                    vec![],
+                )],
+            ),
+            while_(gt(var("sum"), i(0)), vec![set("sum", sub(var("sum"), i(7)))]),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn arrays_and_floats_compile() {
+        compile_main(vec![
+            let_("a", newarr(ElemTy::F64, i(16))),
+            for_(
+                "k",
+                i(0),
+                i(16),
+                vec![set_idx(var("a"), var("k"), mul(i2d(var("k")), d(1.5)))],
+            ),
+            let_("total", d(0.0)),
+            for_(
+                "k2",
+                i(0),
+                len(var("a")),
+                vec![set("total", add(var("total"), idx(var("a"), var("k2"))))],
+            ),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn functions_call_each_other() {
+        let mut m = Module::new("Main");
+        m.func(fn_ret(
+            "square",
+            vec![("x", HTy::I32)],
+            HTy::I32,
+            vec![ret(mul(var("x"), var("x")))],
+        ));
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![let_("y", call("square", vec![i(9)]))],
+        ));
+        let p = m.compile().unwrap();
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn globals_read_write() {
+        let mut m = Module::new("Main");
+        m.global("counter", HTy::I64);
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                set_g("counter", l(5)),
+                set_g("counter", add(glob("counter"), l(1))),
+            ],
+        ));
+        let p = m.compile().unwrap();
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn natives_push_and_pop_correctly() {
+        let mut m = Module::new("Main");
+        m.native("nano_time", &[], Some(HTy::I64));
+        m.native("println_i", &[HTy::I32], None);
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("t", native("nano_time", vec![])),
+                expr(native("println_i", vec![i(3)])),
+            ],
+        ));
+        let p = m.compile().unwrap();
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn break_continue_compile() {
+        compile_main(vec![
+            let_("n", i(0)),
+            while_(
+                i(1),
+                vec![
+                    set("n", add(var("n"), i(1))),
+                    if_(gt(var("n"), i(10)), vec![brk()], vec![cont()]),
+                ],
+            ),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let err = compile_main(vec![let_("x", add(i(1), d(2.0)))]).unwrap_err();
+        assert!(err.what.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn unknown_local_is_rejected() {
+        let err = compile_main(vec![set("nope", i(1))]).unwrap_err();
+        assert!(err.what.contains("unknown local"), "{err}");
+    }
+
+    #[test]
+    fn missing_main_is_rejected() {
+        let mut m = Module::new("Main");
+        m.func(fn_void("helper", vec![], vec![]));
+        let err = m.compile().unwrap_err();
+        assert!(err.what.contains("no main"), "{err}");
+    }
+
+    #[test]
+    fn break_outside_loop_is_rejected() {
+        let err = compile_main(vec![brk()]).unwrap_err();
+        assert!(err.what.contains("break outside"), "{err}");
+    }
+
+    #[test]
+    fn void_expression_as_value_is_rejected() {
+        let mut m = Module::new("Main");
+        m.native("emit", &[], None);
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![let_("x", native("emit", vec![]))],
+        ));
+        let err = m.compile().unwrap_err();
+        assert!(err.what.contains("void expression"), "{err}");
+    }
+
+    #[test]
+    fn short_circuit_conditions_verify() {
+        compile_main(vec![
+            let_("a", i(1)),
+            let_("b", i(0)),
+            if_(
+                and(gt(var("a"), i(0)), not(eq(var("b"), i(1)))),
+                vec![set("a", i(2))],
+                vec![set("a", i(3))],
+            ),
+            let_("c", or(lt(var("a"), i(5)), gt(var("b"), i(7)))),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn comparison_as_value_materializes() {
+        let p = compile_main(vec![let_("flag", lt(i(1), i(2)))]).unwrap();
+        // Must contain the 0/1 materialization pattern.
+        let code = &p.method(p.entry).code;
+        assert!(code.iter().any(|op| matches!(op, Op::IConst(1))));
+        assert!(code.iter().any(|op| matches!(op, Op::IConst(0))));
+    }
+
+    #[test]
+    fn f64_compare_uses_nan_safe_variant() {
+        let p = compile_main(vec![
+            let_("x", d(1.0)),
+            if_(lt(var("x"), d(2.0)), vec![], vec![]),
+        ])
+        .unwrap();
+        let code = &p.method(p.entry).code;
+        // lt on doubles compiles to dcmpg (inverted to Ge branch).
+        assert!(code.iter().any(|op| matches!(op, Op::DCmpG)));
+    }
+}

@@ -1,0 +1,305 @@
+//! The linked program model: classes, methods, fields, and the constant pool.
+//!
+//! A [`Program`] is the unit the VM loads — the analogue of a fully resolved
+//! set of class files. All cross-references (method calls, field accesses,
+//! class mentions) are by dense integer ids, assigned by the
+//! [`crate::builder::ProgramBuilder`] at build time, so the interpreter never
+//! performs string lookups on the hot path.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Op;
+
+/// Identifies a [`Class`] within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClassId(pub u16);
+
+/// Identifies a [`Method`] within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MethodId(pub u16);
+
+/// Identifies a [`Field`] within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FieldId(pub u16);
+
+/// Identifies a native function in the VM's native interface.
+///
+/// Natives are resolved by name when the program is loaded into a VM; the
+/// program itself only records the name → id mapping it was built with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NativeId(pub u16);
+
+/// A value type, as tracked by signatures and the verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// 32-bit signed integer (also used for booleans, bytes, chars, shorts).
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Object or array reference.
+    Ref,
+}
+
+/// One entry in a method's exception table.
+///
+/// If an exception of class `class` (or a subclass) is raised while the
+/// instruction index is in `start..end`, control transfers to `target` with
+/// the exception reference as the only operand-stack entry. A `class` of
+/// `None` catches everything (like a JVM `finally`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Handler {
+    /// First covered instruction index (inclusive).
+    pub start: u32,
+    /// Last covered instruction index (exclusive).
+    pub end: u32,
+    /// Handler entry point.
+    pub target: u32,
+    /// Exception class caught; `None` catches all.
+    pub class: Option<ClassId>,
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name (unique within its class).
+    pub name: String,
+    /// Owning class.
+    pub owner: ClassId,
+    /// Declared type.
+    pub ty: Ty,
+    /// True for static (per-program) fields.
+    pub is_static: bool,
+    /// Slot index: into the static area for statics, into the object layout
+    /// (including inherited fields) for instance fields. Assigned at link.
+    pub slot: u32,
+}
+
+/// A method declaration with its code.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Method {
+    /// Method name (unique within its class for this simplified model).
+    pub name: String,
+    /// Owning class.
+    pub owner: ClassId,
+    /// Parameter types. For instance methods, the receiver is an implicit
+    /// extra `Ref` parameter in local slot 0 and is *not* listed here.
+    pub params: Vec<Ty>,
+    /// Return type, or `None` for `void`.
+    pub ret: Option<Ty>,
+    /// True for static methods (no receiver).
+    pub is_static: bool,
+    /// Number of local variable slots (≥ implicit receiver + params).
+    pub max_locals: u16,
+    /// The code array.
+    pub code: Vec<Op>,
+    /// Exception handler table, searched in order.
+    pub handlers: Vec<Handler>,
+    /// Virtual-dispatch slot, assigned at link time; `None` for statics and
+    /// constructors.
+    pub vslot: Option<u16>,
+    /// Base address of this method's code in the simulated instruction
+    /// address space (each instruction occupies 4 bytes). Assigned at link.
+    pub code_base: u64,
+}
+
+impl Method {
+    /// Number of local slots occupied by the receiver (if any) and params.
+    pub fn arg_slots(&self) -> u16 {
+        self.params.len() as u16 + if self.is_static { 0 } else { 1 }
+    }
+}
+
+/// A class declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Class {
+    /// Class name (unique within the program).
+    pub name: String,
+    /// Superclass, or `None` for a root class.
+    pub super_class: Option<ClassId>,
+    /// Instance field layout: every instance field (inherited first), in slot
+    /// order. `layout[i].0` is the defining field, indexed by object slot.
+    pub layout: Vec<FieldId>,
+    /// Virtual method table: `vtable[slot]` is the implementation this class
+    /// uses for virtual-dispatch slot `slot` (inherited or overridden).
+    pub vtable: Vec<MethodId>,
+    /// Methods declared directly on this class, by name.
+    pub declared: HashMap<String, MethodId>,
+}
+
+/// Declaration of a native function: its name and stack effect.
+///
+/// The behavior of a native is supplied by the VM when the program is
+/// loaded; the program only records the signature so the verifier can model
+/// the operand-stack effect of `InvokeNative`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NativeDecl {
+    /// Name, resolved against the VM's native registry at load time.
+    pub name: String,
+    /// Number of operand-stack arguments popped.
+    pub args: u8,
+    /// True if the native pushes one result.
+    pub ret: bool,
+}
+
+/// A fully linked program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// All classes, indexed by [`ClassId`].
+    pub classes: Vec<Class>,
+    /// All methods, indexed by [`MethodId`].
+    pub methods: Vec<Method>,
+    /// All fields, indexed by [`FieldId`].
+    pub fields: Vec<Field>,
+    /// Interned string constants, indexed by `LdcStr` immediates.
+    pub strings: Vec<String>,
+    /// Native function declarations, indexed by [`NativeId`].
+    pub natives: Vec<NativeDecl>,
+    /// Number of static field slots.
+    pub static_slots: u32,
+    /// The entry point (a static method taking no arguments).
+    pub entry: MethodId,
+}
+
+impl Program {
+    /// Look up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClassId(i as u16))
+    }
+
+    /// Look up a method by `Class.method` qualified name.
+    pub fn method_by_name(&self, class: &str, method: &str) -> Option<MethodId> {
+        let cid = self.class_by_name(class)?;
+        self.classes[cid.0 as usize].declared.get(method).copied()
+    }
+
+    /// The class record for `id`.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id.0 as usize]
+    }
+
+    /// The method record for `id`.
+    pub fn method(&self, id: MethodId) -> &Method {
+        &self.methods[id.0 as usize]
+    }
+
+    /// The field record for `id`.
+    pub fn field(&self, id: FieldId) -> &Field {
+        &self.fields[id.0 as usize]
+    }
+
+    /// True if `sub` equals `sup` or transitively extends it.
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.classes[c.0 as usize].super_class;
+        }
+        false
+    }
+
+    /// Resolve a virtual call: the implementation of `declared` when the
+    /// receiver's runtime class is `runtime`.
+    ///
+    /// Falls back to `declared` itself if the method has no vslot (e.g.
+    /// constructors called via `InvokeSpecial`).
+    pub fn resolve_virtual(&self, declared: MethodId, runtime: ClassId) -> MethodId {
+        match self.method(declared).vslot {
+            Some(slot) => self.class(runtime).vtable[slot as usize],
+            None => declared,
+        }
+    }
+
+    /// Total number of bytecode instructions across all methods.
+    pub fn total_code_len(&self) -> usize {
+        self.methods.iter().map(|m| m.code.len()).sum()
+    }
+
+    /// Simulated fetch address of instruction `idx` of method `m`.
+    pub fn code_addr(&self, m: MethodId, idx: u32) -> u64 {
+        self.method(m).code_base + 4 * idx as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::op::Op;
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let main = {
+            let mut m = b.static_method("Main", "main", &[], None);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(main);
+        b.link().expect("link")
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let p = tiny_program();
+        assert!(p.class_by_name("Main").is_some());
+        assert!(p.class_by_name("Nope").is_none());
+        assert!(p.method_by_name("Main", "main").is_some());
+        assert!(p.method_by_name("Main", "nope").is_none());
+    }
+
+    #[test]
+    fn subclass_relation_is_reflexive_and_transitive() {
+        let mut b = ProgramBuilder::new();
+        let a = b.class("A", None);
+        let bb = b.class("B", Some(a));
+        let c = b.class("C", Some(bb));
+        let main = {
+            let mut m = b.static_method("Main", "main", &[], None);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(main);
+        let p = b.link().unwrap();
+        assert!(p.is_subclass(a, a));
+        assert!(p.is_subclass(c, a));
+        assert!(p.is_subclass(c, bb));
+        assert!(!p.is_subclass(a, c));
+    }
+
+    #[test]
+    fn code_addresses_are_disjoint_per_method() {
+        let mut b = ProgramBuilder::new();
+        let m1 = {
+            let mut m = b.static_method("Main", "a", &[], None);
+            m.op(Op::Nop);
+            m.op(Op::Return);
+            m.finish()
+        };
+        let m2 = {
+            let mut m = b.static_method("Main", "b", &[], None);
+            m.op(Op::Return);
+            m.finish()
+        };
+        b.set_entry(m1);
+        let p = b.link().unwrap();
+        let a_end = p.code_addr(m1, p.method(m1).code.len() as u32 - 1);
+        let b_start = p.code_addr(m2, 0);
+        assert!(b_start > a_end, "method code regions must not overlap");
+    }
+
+    #[test]
+    fn arg_slots_counts_receiver() {
+        let p = tiny_program();
+        let m = p.method(p.entry);
+        assert_eq!(m.arg_slots(), 0);
+        assert!(m.is_static);
+    }
+}

@@ -1,0 +1,259 @@
+//! Devices: the NIC and the storage device.
+//!
+//! Devices are operated by the supporting core; their effect on the timed
+//! core is indirect (DMA bus occupancy, entries appearing in the S-T
+//! buffer). The storage model implements the paper's §3.7 choices: HDDs have
+//! large, position-dependent latencies (seek + rotation), SSDs are roughly
+//! three orders of magnitude faster and far more predictable, and a RAM disk
+//! (what the paper actually uses for logs and NFS files) is nearly constant
+//! time. Padding to the worst case makes any of them deterministic at the
+//! cost of throughput.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sim_core::Cycles;
+
+/// A transmitted packet, as observed on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxRecord {
+    /// TC cycle at which the packet left the machine.
+    pub cycle: Cycles,
+    /// Wall-clock picoseconds at which the packet left the machine.
+    pub wall_ps: u128,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// The network interface: SC-side processing latencies.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    /// SC cycles to process one received packet into the S-T buffer.
+    pub sc_rx_cycles: Cycles,
+    /// SC cycles to forward one packet from the T-S buffer to the wire.
+    pub sc_tx_cycles: Cycles,
+    rx_packets: u64,
+    rx_bytes: u64,
+    tx_packets: u64,
+    tx_bytes: u64,
+}
+
+impl Nic {
+    /// A 1 Gbps-class NIC with small fixed SC processing costs.
+    pub fn new() -> Self {
+        Nic {
+            sc_rx_cycles: 1_200,
+            sc_tx_cycles: 900,
+            rx_packets: 0,
+            rx_bytes: 0,
+            tx_packets: 0,
+            tx_bytes: 0,
+        }
+    }
+
+    /// Note a received packet (statistics only).
+    pub fn note_rx(&mut self, bytes: usize) {
+        self.rx_packets += 1;
+        self.rx_bytes += bytes as u64;
+    }
+
+    /// Note a transmitted packet (statistics only).
+    pub fn note_tx(&mut self, bytes: usize) {
+        self.tx_packets += 1;
+        self.tx_bytes += bytes as u64;
+    }
+
+    /// `(rx_packets, rx_bytes, tx_packets, tx_bytes)`.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.rx_packets, self.rx_bytes, self.tx_packets, self.tx_bytes)
+    }
+}
+
+impl Default for Nic {
+    fn default() -> Self {
+        Nic::new()
+    }
+}
+
+/// The kind of storage backing file reads and the event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// Rotational disk: seek + rotational latency, milliseconds-scale.
+    Hdd,
+    /// Flash: tens of microseconds, small variance.
+    Ssd,
+    /// RAM disk: near-constant, what the paper uses for logs and NFS files.
+    RamDisk,
+}
+
+/// The storage device model.
+///
+/// `read_latency` returns the device-side latency in TC cycles (at the
+/// simulated 100 MHz-class clock; 1 ms ≈ 100k cycles). With `pad` set,
+/// every request is padded to the kind's worst case, removing the variance
+/// at the cost of latency (§3.7).
+#[derive(Debug)]
+pub struct Storage {
+    kind: StorageKind,
+    pad: bool,
+    rng: StdRng,
+    head_pos: u64,
+    reads: u64,
+    read_bytes: u64,
+}
+
+impl Storage {
+    /// Create a device; `seed` drives the mechanical/flash variance.
+    pub fn new(kind: StorageKind, pad: bool, seed: u64) -> Self {
+        Storage {
+            kind,
+            pad,
+            rng: StdRng::seed_from_u64(seed),
+            head_pos: 0,
+            reads: 0,
+            read_bytes: 0,
+        }
+    }
+
+    /// The configured kind.
+    pub fn kind(&self) -> StorageKind {
+        self.kind
+    }
+
+    /// Whether worst-case padding is enabled.
+    pub fn padded(&self) -> bool {
+        self.pad
+    }
+
+    /// Worst-case latency for `bytes` on this device, in cycles.
+    pub fn worst_case(&self, bytes: u64) -> Cycles {
+        match self.kind {
+            // Full-stroke seek (8 ms) + full rotation (8 ms) + transfer.
+            StorageKind::Hdd => 1_600_000 + bytes / 2,
+            // Max flash latency (a slow page read).
+            StorageKind::Ssd => 11_000 + bytes / 16,
+            StorageKind::RamDisk => 300 + bytes / 64,
+        }
+    }
+
+    /// Latency of reading `bytes` at logical block address `lba`.
+    pub fn read_latency(&mut self, lba: u64, bytes: u64) -> Cycles {
+        self.reads += 1;
+        self.read_bytes += bytes;
+        if self.pad {
+            return self.worst_case(bytes);
+        }
+        match self.kind {
+            StorageKind::Hdd => {
+                // Seek proportional to head travel, capped at full stroke.
+                let travel = self.head_pos.abs_diff(lba);
+                let seek = 100_000 + (travel / 64).min(700_000);
+                self.head_pos = lba;
+                // Rotational latency: uniform over one revolution (8 ms).
+                let rot = self.rng.gen_range(0..800_000);
+                seek + rot + bytes / 2
+            }
+            StorageKind::Ssd => {
+                // Flash latency varies with page state and internal GC.
+                let base = 2_000 + bytes / 16;
+                base + self.rng.gen_range(0..9_000)
+            }
+            StorageKind::RamDisk => {
+                let base = 250 + bytes / 64;
+                base + self.rng.gen_range(0..50)
+            }
+        }
+    }
+
+    /// `(reads, bytes)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.reads, self.read_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_is_orders_of_magnitude_slower_than_ssd() {
+        let mut hdd = Storage::new(StorageKind::Hdd, false, 1);
+        let mut ssd = Storage::new(StorageKind::Ssd, false, 1);
+        let h: Cycles = (0..20).map(|k| hdd.read_latency(k * 100_000, 4096)).sum();
+        let s: Cycles = (0..20).map(|k| ssd.read_latency(k * 100_000, 4096)).sum();
+        assert!(
+            h > s * 50,
+            "HDD ({h}) should be orders of magnitude above SSD ({s})"
+        );
+    }
+
+    #[test]
+    fn padding_makes_latency_constant() {
+        let mut padded = Storage::new(StorageKind::Ssd, true, 9);
+        let a = padded.read_latency(0, 4096);
+        let b = padded.read_latency(999_999, 4096);
+        let c = padded.read_latency(12, 4096);
+        assert!(a == b && b == c, "padded latency is request-independent");
+
+        let mut raw = Storage::new(StorageKind::Ssd, false, 9);
+        let xs: Vec<Cycles> = (0..10).map(|k| raw.read_latency(k * 7777, 4096)).collect();
+        assert!(
+            xs.windows(2).any(|w| w[0] != w[1]),
+            "unpadded latency varies"
+        );
+    }
+
+    #[test]
+    fn padded_is_upper_bound() {
+        let mut raw = Storage::new(StorageKind::Hdd, false, 3);
+        let wc = raw.worst_case(4096);
+        for k in 0..50 {
+            assert!(raw.read_latency(k * 31_337, 4096) <= wc);
+        }
+    }
+
+    #[test]
+    fn hdd_seek_depends_on_distance() {
+        let mut hdd = Storage::new(StorageKind::Hdd, false, 4);
+        hdd.read_latency(0, 64); // Park at 0.
+        // Average over many rotations to expose the seek component.
+        let near: Cycles = (0..50).map(|_| hdd.read_latency(0, 64)).sum();
+        let mut hdd2 = Storage::new(StorageKind::Hdd, false, 4);
+        hdd2.read_latency(0, 64);
+        let far: Cycles = (0..50)
+            .map(|k| hdd2.read_latency((k % 2) * 200_000_000, 64))
+            .sum();
+        assert!(far > near, "long seeks cost more on average");
+    }
+
+    #[test]
+    fn ramdisk_is_fast_and_stable() {
+        let mut rd = Storage::new(StorageKind::RamDisk, false, 5);
+        let xs: Vec<Cycles> = (0..20).map(|k| rd.read_latency(k, 4096)).collect();
+        let min = *xs.iter().min().expect("non-empty");
+        let max = *xs.iter().max().expect("non-empty");
+        assert!(max < 1_000, "RAM disk stays sub-10µs: {max}");
+        assert!(max - min <= 50, "variance is tiny");
+    }
+
+    #[test]
+    fn nic_counters() {
+        let mut nic = Nic::new();
+        nic.note_rx(100);
+        nic.note_tx(200);
+        nic.note_tx(50);
+        assert_eq!(nic.stats(), (1, 100, 2, 250));
+    }
+
+    #[test]
+    fn storage_variance_is_seeded() {
+        let mut a = Storage::new(StorageKind::Hdd, false, 77);
+        let mut b = Storage::new(StorageKind::Hdd, false, 77);
+        for k in 0..10 {
+            assert_eq!(
+                a.read_latency(k * 1000, 512),
+                b.read_latency(k * 1000, 512)
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! `machine` — the simulated platform Sanity runs on.
+//!
+//! This crate assembles the timing substrate (`sim-core`) into a platform
+//! with the structure the paper's prototype has (§3.3–§3.7, §4.2):
+//!
+//! * a **timed core (TC)** executing the VM, modeled by
+//!   [`sim_core::CoreModel`];
+//! * a **supporting core (SC)** that handles devices and I/O; the SC is not
+//!   instruction-simulated — its externally visible effects (DMA bus
+//!   traffic, per-event processing latency, log storage writes) are;
+//! * the **S-T and T-S ring buffers** ([`ringbuf`]) through which the cores
+//!   communicate, including the paper's two signature mechanisms: the
+//!   branch-free symmetric read/write ([`ringbuf::SymCell`], Fig. 4) and the
+//!   fake-infinity timestamp protocol ([`ringbuf::StBuffer`], §3.5);
+//! * **devices** ([`device`]): a NIC and a storage device (SSD or HDD) with
+//!   optional worst-case padding (§3.7);
+//! * an **address space** with pluggable frame assignment ([`addr`]) — the
+//!   same physical frames across runs, or a per-run random assignment
+//!   (§3.6);
+//! * **host-environment noise** ([`noise`]): preemptions, timer interrupts,
+//!   background DMA, dirty initial caches, frequency scaling — the four
+//!   environments of Fig. 2 plus the Sanity configuration.
+//!
+//! The [`Machine`](machine::Machine) type ties these together and is what
+//! the VM executes against.
+
+pub mod addr;
+pub mod device;
+pub mod machine;
+pub mod noise;
+pub mod ringbuf;
+
+pub use addr::{AddressSpace, FramePolicy, PAGE_SIZE};
+pub use device::{Nic, Storage, StorageKind, TxRecord};
+pub use machine::{EventMark, Machine, MachineConfig, MarkKind, Seeds};
+pub use noise::{Environment, NoiseConfig, NoiseInjector};
+pub use ringbuf::{NaiveCell, Phase, StBuffer, StEntry, SymCell, TsBuffer, TS_INFINITY};

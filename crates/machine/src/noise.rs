@@ -1,0 +1,372 @@
+//! Host-environment noise: the four Fig. 2 scenarios plus Sanity.
+//!
+//! Each [`Environment`] maps to a [`NoiseConfig`] describing the noise
+//! sources active in that environment:
+//!
+//! | Source            | Mechanism in the model                            |
+//! |-------------------|---------------------------------------------------|
+//! | Preemption        | TC idles for the slice, caches/TLB get displaced  |
+//! | Timer interrupts  | Periodic handler cost + small cache pollution     |
+//! | Device interrupts | Same mechanism, attached to NIC deliveries        |
+//! | Background tasks  | Poisson DMA traffic on the shared bus             |
+//! | Dirty start       | Caches start polluted instead of flushed          |
+//! | Frequency scaling | Governor policy (OnDemand / Turbo vs. Fixed)      |
+//! | Frame assignment  | Random vs. pinned physical frames                 |
+//!
+//! The injector is driven by the *TC cycle clock*: the VM calls
+//! [`NoiseInjector::apply`] periodically (every few instructions), and all
+//! events whose scheduled cycle has passed are applied. All randomness is
+//! seeded, so a given (environment, seed) pair is exactly reproducible while
+//! different seeds model run-to-run variation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sim_core::{CoreModel, Cycles, FreqPolicy};
+
+use crate::addr::FramePolicy;
+
+/// Named execution environments from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Environment {
+    /// Multi-user mode with GUI and networking ("User, noisy" / "Dirty").
+    UserNoisy,
+    /// Single-user mode from a RAM disk ("User, quiet" / "Clean").
+    UserQuiet,
+    /// Kernel mode, interrupts still enabled ("Kernel, noisy").
+    KernelMode,
+    /// Kernel mode, IRQs off, caches/TLB flushed, pinned core
+    /// ("Kernel, quiet").
+    KernelQuiet,
+    /// The full Sanity configuration (Table 1: everything mitigated).
+    Sanity,
+}
+
+impl Environment {
+    /// The noise profile of this environment.
+    pub fn noise_config(self) -> NoiseConfig {
+        match self {
+            Environment::UserNoisy => NoiseConfig {
+                preempt_mean_interval: Some(1_500_000),
+                preempt_mean_duration: 400_000,
+                timer_irq_interval: Some(100_000),
+                irq_handler_cycles: 4_000,
+                irq_cache_pollution: 0.06,
+                background_dma_mean_interval: Some(250_000),
+                background_dma_bytes: 8_192,
+                dirty_start: true,
+                freq_policy: FreqPolicy::OnDemand { min_ratio: 0.55 },
+                frame_policy: FramePolicy::Random,
+            },
+            Environment::UserQuiet => NoiseConfig {
+                preempt_mean_interval: Some(12_000_000),
+                preempt_mean_duration: 80_000,
+                timer_irq_interval: Some(100_000),
+                irq_handler_cycles: 3_000,
+                irq_cache_pollution: 0.03,
+                background_dma_mean_interval: Some(4_000_000),
+                background_dma_bytes: 2_048,
+                dirty_start: true,
+                freq_policy: FreqPolicy::OnDemand { min_ratio: 0.9 },
+                frame_policy: FramePolicy::Random,
+            },
+            Environment::KernelMode => NoiseConfig {
+                preempt_mean_interval: None,
+                preempt_mean_duration: 0,
+                timer_irq_interval: Some(100_000),
+                irq_handler_cycles: 3_000,
+                irq_cache_pollution: 0.03,
+                background_dma_mean_interval: None,
+                background_dma_bytes: 0,
+                dirty_start: true,
+                freq_policy: FreqPolicy::Turbo {
+                    boost_ratio: 1.25,
+                    budget_cycles: 3_000_000,
+                },
+                frame_policy: FramePolicy::Random,
+            },
+            Environment::KernelQuiet => NoiseConfig {
+                preempt_mean_interval: None,
+                preempt_mean_duration: 0,
+                timer_irq_interval: None,
+                irq_handler_cycles: 0,
+                irq_cache_pollution: 0.0,
+                background_dma_mean_interval: None,
+                background_dma_bytes: 0,
+                dirty_start: false, // Caches and TLB are flushed.
+                freq_policy: FreqPolicy::Turbo {
+                    boost_ratio: 1.25,
+                    budget_cycles: 3_000_000,
+                },
+                // Kernel-mode allocations come from a reserved contiguous
+                // range, so frames repeat across runs.
+                frame_policy: FramePolicy::Pinned,
+            },
+            Environment::Sanity => NoiseConfig {
+                preempt_mean_interval: None,
+                preempt_mean_duration: 0,
+                timer_irq_interval: None,
+                irq_handler_cycles: 0,
+                irq_cache_pollution: 0.0,
+                background_dma_mean_interval: None,
+                background_dma_bytes: 0,
+                dirty_start: false,
+                freq_policy: FreqPolicy::Fixed,
+                frame_policy: FramePolicy::Pinned,
+            },
+        }
+    }
+
+    /// All environments, in decreasing-noise order.
+    pub fn all() -> [Environment; 5] {
+        [
+            Environment::UserNoisy,
+            Environment::UserQuiet,
+            Environment::KernelMode,
+            Environment::KernelQuiet,
+            Environment::Sanity,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Environment::UserNoisy => "User, noisy",
+            Environment::UserQuiet => "User, quiet",
+            Environment::KernelMode => "Kernel, noisy",
+            Environment::KernelQuiet => "Kernel, quiet",
+            Environment::Sanity => "Sanity",
+        }
+    }
+}
+
+/// The tunable noise profile (see [`Environment::noise_config`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Mean cycles between preemptions (`None` = never preempted).
+    pub preempt_mean_interval: Option<Cycles>,
+    /// Mean duration of one preemption, in cycles.
+    pub preempt_mean_duration: Cycles,
+    /// Period of the timer interrupt on the TC (`None` = IRQs off/steered).
+    pub timer_irq_interval: Option<Cycles>,
+    /// Cost of one interrupt handler invocation, in cycles.
+    pub irq_handler_cycles: Cycles,
+    /// Fraction of L1 displaced by each handler invocation.
+    pub irq_cache_pollution: f64,
+    /// Mean cycles between background DMA bursts (`None` = none).
+    pub background_dma_mean_interval: Option<Cycles>,
+    /// Size of one background DMA burst.
+    pub background_dma_bytes: u64,
+    /// Whether caches start polluted (true) or flushed (false).
+    pub dirty_start: bool,
+    /// Frequency policy of this environment.
+    pub freq_policy: FreqPolicy,
+    /// Frame assignment policy of this environment.
+    pub frame_policy: FramePolicy,
+}
+
+impl NoiseConfig {
+    /// A completely silent profile (used in unit tests and ablations).
+    pub fn silent() -> Self {
+        Environment::Sanity.noise_config()
+    }
+}
+
+/// Applies a [`NoiseConfig`]'s scheduled events to the core.
+#[derive(Debug)]
+pub struct NoiseInjector {
+    cfg: NoiseConfig,
+    rng: StdRng,
+    next_preempt: Option<Cycles>,
+    next_timer: Option<Cycles>,
+    next_dma: Option<Cycles>,
+    preemptions: u64,
+    irqs: u64,
+    dma_bursts: u64,
+}
+
+/// Sample an exponential-ish interval with mean `mean` (clamped to keep the
+/// schedule progressing).
+fn sample_interval(rng: &mut StdRng, mean: Cycles) -> Cycles {
+    let u: f64 = rng.gen_range(1e-6..1.0f64);
+    let x = -u.ln() * mean as f64;
+    (x as Cycles).clamp(mean / 8, mean * 8).max(1)
+}
+
+impl NoiseInjector {
+    /// Create an injector; `seed` individualizes this run.
+    pub fn new(cfg: NoiseConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let next_preempt = cfg
+            .preempt_mean_interval
+            .map(|m| sample_interval(&mut rng, m));
+        let next_timer = cfg.timer_irq_interval.map(|m| {
+            // Random initial phase.
+            rng.gen_range(0..m.max(1))
+        });
+        let next_dma = cfg
+            .background_dma_mean_interval
+            .map(|m| sample_interval(&mut rng, m));
+        NoiseInjector {
+            cfg,
+            rng,
+            next_preempt,
+            next_timer,
+            next_dma,
+            preemptions: 0,
+            irqs: 0,
+            dma_bursts: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.cfg
+    }
+
+    /// Apply all events scheduled at or before the core's current cycle.
+    /// Returns the number of cycles injected (idle time); cache pollution
+    /// and DMA scheduling are applied as side effects.
+    pub fn apply(&mut self, core: &mut CoreModel) -> Cycles {
+        let mut injected = 0;
+        let now = core.now();
+
+        if let Some(t) = self.next_timer {
+            if t <= now {
+                let mut fire = t;
+                while fire <= now {
+                    let cost = self.cfg.irq_handler_cycles
+                        + self.rng.gen_range(0..=self.cfg.irq_handler_cycles.max(1));
+                    core.idle(cost);
+                    injected += cost;
+                    if self.cfg.irq_cache_pollution > 0.0 {
+                        core.pollute_caches(
+                            self.cfg.irq_cache_pollution,
+                            self.cfg.irq_cache_pollution / 2.0,
+                            self.rng.gen(),
+                        );
+                    }
+                    self.irqs += 1;
+                    fire += self.cfg.timer_irq_interval.expect("timer configured");
+                }
+                self.next_timer = Some(fire);
+            }
+        }
+
+        if let Some(t) = self.next_preempt {
+            if t <= now {
+                let dur = sample_interval(&mut self.rng, self.cfg.preempt_mean_duration.max(1));
+                core.idle(dur);
+                injected += dur;
+                // The other task displaces much of the cache and the TLB.
+                core.pollute_caches(0.7, 0.5, self.rng.gen());
+                core.tlb_flush();
+                self.preemptions += 1;
+                let mean = self
+                    .cfg
+                    .preempt_mean_interval
+                    .expect("preemption configured");
+                self.next_preempt = Some(core.now() + sample_interval(&mut self.rng, mean));
+            }
+        }
+
+        if let Some(t) = self.next_dma {
+            if t <= now {
+                let bytes = self.cfg.background_dma_bytes;
+                core.bus_mut().schedule_dma(now, bytes);
+                self.dma_bursts += 1;
+                let mean = self
+                    .cfg
+                    .background_dma_mean_interval
+                    .expect("dma configured");
+                self.next_dma = Some(now + sample_interval(&mut self.rng, mean));
+            }
+        }
+
+        injected
+    }
+
+    /// `(preemptions, irqs, dma_bursts)` counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.preemptions, self.irqs, self.dma_bursts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::CoreParams;
+
+    fn run_with(env: Environment, seed: u64, work_cycles: u64) -> (Cycles, u64, u64, u64) {
+        let mut core = CoreModel::new(CoreParams::default_params(), seed);
+        let mut inj = NoiseInjector::new(env.noise_config(), seed);
+        // Fixed amount of work in 1k-cycle quanta; noise stretches the
+        // total time, which is what we measure.
+        for _ in 0..work_cycles / 1_000 {
+            core.idle(1_000);
+            inj.apply(&mut core);
+        }
+        let (p, i, d) = inj.stats();
+        (core.now(), p, i, d)
+    }
+
+    #[test]
+    fn sanity_environment_is_silent() {
+        let (t, p, i, d) = run_with(Environment::Sanity, 1, 1_000_000);
+        assert_eq!((p, i, d), (0, 0, 0));
+        assert_eq!(t, 1_000_000);
+    }
+
+    #[test]
+    fn noisy_environment_fires_everything() {
+        let (t, p, i, d) = run_with(Environment::UserNoisy, 1, 20_000_000);
+        assert!(p > 0, "preemptions occurred");
+        assert!(i > 0, "timer irqs occurred");
+        assert!(d > 0, "background dma occurred");
+        assert!(
+            t > 20_000_000 * 105 / 100,
+            "noise stretched the run by >5%: {t}"
+        );
+    }
+
+    #[test]
+    fn kernel_quiet_has_no_irqs() {
+        let (_, p, i, d) = run_with(Environment::KernelQuiet, 3, 10_000_000);
+        assert_eq!((p, i, d), (0, 0, 0));
+    }
+
+    #[test]
+    fn noise_ordering_user_noisy_worst() {
+        let t_noisy = run_with(Environment::UserNoisy, 5, 10_000_000).0;
+        let t_quiet = run_with(Environment::UserQuiet, 5, 10_000_000).0;
+        let t_sanity = run_with(Environment::Sanity, 5, 10_000_000).0;
+        assert!(t_noisy > t_quiet, "{t_noisy} vs {t_quiet}");
+        assert!(t_quiet >= t_sanity);
+    }
+
+    #[test]
+    fn injector_is_seed_deterministic() {
+        let a = run_with(Environment::UserNoisy, 9, 5_000_000);
+        let b = run_with(Environment::UserNoisy, 9, 5_000_000);
+        assert_eq!(a, b);
+        let c = run_with(Environment::UserNoisy, 10, 5_000_000);
+        assert_ne!(a.0, c.0, "different seed, different schedule");
+    }
+
+    #[test]
+    fn environment_labels_are_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for e in Environment::all() {
+            assert!(set.insert(e.label()));
+        }
+    }
+
+    #[test]
+    fn sample_interval_stays_in_band() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let x = sample_interval(&mut rng, 1000);
+            assert!((125..=8000).contains(&x), "{x} out of band");
+        }
+    }
+}

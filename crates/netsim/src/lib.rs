@@ -1,0 +1,267 @@
+//! `netsim` — network path simulation and packet-trace utilities.
+//!
+//! The paper's covert-channel experiments place the NFS client and server at
+//! two different universities (≈10 ms RTT; jitter percentiles p50 = 0.18 ms,
+//! p90 = 0.80 ms, p99 = 3.91 ms, §6.6) and argue in §6.9 that WAN jitter
+//! swamps TDR's residual noise. This crate provides:
+//!
+//! * [`JitterModel`] — percentile-calibrated jitter (shifted lognormal),
+//!   with presets for the paper's inter-university path and the broadband
+//!   profile (§6.9's 2.5 ms median, citing the residential-broadband study);
+//! * [`NetworkPath`] — RTT + jitter, applied per packet;
+//! * [`PacketTrace`] — a timestamped packet sequence with inter-packet-delay
+//!   (IPD) utilities;
+//! * [`measure_jitter`] — the ping-style measurement used to report
+//!   percentiles;
+//! * [`stats`] — small statistics helpers shared by the experiments.
+//!
+//! All times are picoseconds (`u64` cycles are converted by the harness).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+pub mod stats;
+
+/// One direction of a network path: per-packet delay = `base + jitter`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JitterModel {
+    /// Median jitter, picoseconds.
+    pub median_ps: u64,
+    /// Lognormal shape parameter (σ of the underlying normal).
+    pub sigma: f64,
+}
+
+impl JitterModel {
+    /// Calibrate a lognormal to hit the given p50 and p90 (ps).
+    ///
+    /// `ln X ~ N(ln p50, σ)` with `σ = ln(p90/p50) / z90`.
+    pub fn from_percentiles(p50_ps: u64, p90_ps: u64) -> Self {
+        const Z90: f64 = 1.2815515655446004;
+        let sigma = (p90_ps as f64 / p50_ps as f64).ln() / Z90;
+        JitterModel {
+            median_ps: p50_ps,
+            sigma,
+        }
+    }
+
+    /// The paper's inter-university path (p50 0.18 ms, p90 0.80 ms).
+    pub fn university() -> Self {
+        JitterModel::from_percentiles(180_000_000, 800_000_000)
+    }
+
+    /// Residential broadband (§6.9: median ≈ 2.5 ms).
+    pub fn broadband() -> Self {
+        JitterModel::from_percentiles(2_500_000_000, 7_000_000_000)
+    }
+
+    /// An ideal, jitter-free path.
+    pub fn none() -> Self {
+        JitterModel {
+            median_ps: 0,
+            sigma: 0.0,
+        }
+    }
+
+    /// Draw one jitter sample, in picoseconds.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        if self.median_ps == 0 {
+            return 0;
+        }
+        // Box-Muller on a seeded rng keeps everything reproducible.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = (self.median_ps as f64) * (self.sigma * z).exp();
+        x.min(1e15) as u64 // Cap at 1000 s to avoid pathological tails.
+    }
+
+    /// Theoretical quantile of the model (for tests and reporting).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let z = stats::normal_quantile(q);
+        ((self.median_ps as f64) * (self.sigma * z).exp()) as u64
+    }
+}
+
+/// A unidirectional network path.
+#[derive(Debug)]
+pub struct NetworkPath {
+    /// One-way base latency (half the RTT), picoseconds.
+    pub base_ps: u64,
+    /// The jitter model.
+    pub jitter: JitterModel,
+    rng: StdRng,
+}
+
+impl NetworkPath {
+    /// Create a path with the given RTT and jitter; `seed` individualizes
+    /// the run.
+    pub fn new(rtt_ps: u64, jitter: JitterModel, seed: u64) -> Self {
+        NetworkPath {
+            base_ps: rtt_ps / 2,
+            jitter,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The paper's inter-university path (10 ms RTT).
+    pub fn university(seed: u64) -> Self {
+        NetworkPath::new(10_000_000_000, JitterModel::university(), seed)
+    }
+
+    /// One-way delay for the next packet, picoseconds.
+    pub fn one_way_delay(&mut self) -> u64 {
+        self.base_ps + self.jitter.sample(&mut self.rng)
+    }
+
+    /// Propagate a sender-side trace to the receiver. Reordering is
+    /// resolved FIFO (packets queue behind the previous arrival), as TCP
+    /// in-order delivery would present them.
+    pub fn transmit(&mut self, trace: &PacketTrace) -> PacketTrace {
+        let mut out = Vec::with_capacity(trace.times_ps.len());
+        let mut last_arrival = 0u128;
+        for &t in &trace.times_ps {
+            let arrival = t + self.one_way_delay() as u128;
+            let arrival = arrival.max(last_arrival);
+            last_arrival = arrival;
+            out.push(arrival);
+        }
+        PacketTrace {
+            times_ps: out,
+            sizes: trace.sizes.clone(),
+        }
+    }
+}
+
+/// A timestamped packet sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PacketTrace {
+    /// Transmission (or arrival) times in picoseconds, non-decreasing.
+    pub times_ps: Vec<u128>,
+    /// Payload sizes in bytes (parallel to `times_ps`).
+    pub sizes: Vec<u32>,
+}
+
+impl PacketTrace {
+    /// Build from times only (sizes default to 0).
+    pub fn from_times(times_ps: Vec<u128>) -> Self {
+        let sizes = vec![0; times_ps.len()];
+        PacketTrace { times_ps, sizes }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.times_ps.len()
+    }
+
+    /// True if the trace has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.times_ps.is_empty()
+    }
+
+    /// Inter-packet delays, picoseconds.
+    pub fn ipds(&self) -> Vec<u64> {
+        self.times_ps
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as u64)
+            .collect()
+    }
+
+    /// Duration from first to last packet, picoseconds.
+    pub fn duration_ps(&self) -> u128 {
+        match (self.times_ps.first(), self.times_ps.last()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0,
+        }
+    }
+
+    /// Rebuild a trace from a start time and IPD sequence.
+    pub fn from_ipds(start_ps: u128, ipds: &[u64]) -> Self {
+        let mut t = start_ps;
+        let mut times = vec![t];
+        for &d in ipds {
+            t += d as u128;
+            times.push(t);
+        }
+        PacketTrace::from_times(times)
+    }
+}
+
+/// Ping-style jitter measurement: returns `(p50, p90, p99)` of `n` samples,
+/// in picoseconds — the measurement reported in §6.6.
+pub fn measure_jitter(path: &mut NetworkPath, n: usize) -> (u64, u64, u64) {
+    let mut xs: Vec<u64> = (0..n).map(|_| path.jitter.sample(&mut path.rng)).collect();
+    xs.sort_unstable();
+    let pick = |q: f64| xs[(((xs.len() - 1) as f64) * q) as usize];
+    (pick(0.50), pick(0.90), pick(0.99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_percentiles_roughly_match_paper() {
+        let mut path = NetworkPath::university(7);
+        let (p50, p90, p99) = measure_jitter(&mut path, 20_000);
+        // Paper: 0.18 ms / 0.80 ms / 3.91 ms. The lognormal matches p50 and
+        // p90 by construction; p99 lands in the right regime (> 2 ms).
+        assert!((p50 as f64 / 180_000_000.0 - 1.0).abs() < 0.10, "{p50}");
+        assert!((p90 as f64 / 800_000_000.0 - 1.0).abs() < 0.15, "{p90}");
+        assert!(p99 > 2_000_000_000, "heavy tail: {p99}");
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let mut a = NetworkPath::university(1);
+        let mut b = NetworkPath::university(1);
+        for _ in 0..100 {
+            assert_eq!(a.one_way_delay(), b.one_way_delay());
+        }
+    }
+
+    #[test]
+    fn transmit_preserves_order_and_adds_latency() {
+        let tx = PacketTrace::from_ipds(0, &[1_000_000; 50]);
+        let mut path = NetworkPath::university(3);
+        let rx = path.transmit(&tx);
+        assert_eq!(rx.len(), tx.len());
+        for (a, b) in tx.times_ps.iter().zip(rx.times_ps.iter()) {
+            assert!(b >= &(a + 5_000_000_000u128), "≥ half-RTT later");
+        }
+        for w in rx.times_ps.windows(2) {
+            assert!(w[1] >= w[0], "FIFO order");
+        }
+    }
+
+    #[test]
+    fn ipds_roundtrip() {
+        let ipds = vec![5, 10, 15, 20];
+        let t = PacketTrace::from_ipds(100, &ipds);
+        assert_eq!(t.ipds(), ipds);
+        assert_eq!(t.duration_ps(), 50);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn no_jitter_model_is_silent() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(JitterModel::none().sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn quantile_matches_sampling() {
+        let m = JitterModel::university();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut xs: Vec<u64> = (0..50_000).map(|_| m.sample(&mut rng)).collect();
+        xs.sort_unstable();
+        let emp_p50 = xs[xs.len() / 2];
+        let theo_p50 = m.quantile(0.5);
+        assert!((emp_p50 as f64 / theo_p50 as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn broadband_is_much_worse_than_university() {
+        assert!(JitterModel::broadband().median_ps > 10 * JitterModel::university().median_ps);
+    }
+}

@@ -1,0 +1,179 @@
+//! Statistics helpers shared by the experiments and detectors.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The `q`-quantile (0..=1) of `xs` by nearest-rank on a sorted copy.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let idx = ((v.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    v[idx]
+}
+
+/// Relative spread: `(max - min) / min`, the "variance" metric of Fig. 2 and
+/// Fig. 6 (difference between the longest and shortest execution, normalized
+/// to the fastest).
+pub fn relative_spread(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if min <= 0.0 {
+        return 0.0;
+    }
+    (max - min) / min
+}
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation).
+///
+/// Max absolute error ≈ 1.15e-9 over (0, 1); ample for percentile
+/// calibration.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs 0 < p < 1");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Empirical CDF evaluation: fraction of `sorted` ≤ `x`.
+/// `sorted` must be ascending.
+pub fn edf(sorted: &[f64], x: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.partition_point(|&v| v <= x);
+    n as f64 / sorted.len() as f64
+}
+
+/// Two-sample Kolmogorov-Smirnov distance. Both inputs are sorted copies.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    let mut d: f64 = 0.0;
+    for &x in sa.iter().chain(sb.iter()) {
+        d = d.max((edf(&sa, x) - edf(&sb, x)).abs());
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs: Vec<f64> = (0..=100).map(|k| k as f64).collect();
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 0.5), 50.0);
+        assert_eq!(quantile(&xs, 1.0), 100.0);
+    }
+
+    #[test]
+    fn relative_spread_matches_figure_definition() {
+        // Fastest 10, slowest 13 → 30%.
+        assert!((relative_spread(&[10.0, 11.0, 13.0]) - 0.3).abs() < 1e-12);
+        assert_eq!(relative_spread(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.9) - 1.2815515655446004).abs() < 1e-6);
+        assert!((normal_quantile(0.99) - 2.3263478740408408).abs() < 1e-6);
+        assert!((normal_quantile(0.1) + 1.2815515655446004).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_is_one() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert_eq!(ks_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn edf_steps() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(edf(&s, 0.5), 0.0);
+        assert_eq!(edf(&s, 2.0), 0.5);
+        assert_eq!(edf(&s, 9.0), 1.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! The event log: serializable record of all nondeterministic inputs.
+//!
+//! Matching the paper's accounting (§6.5), the log holds:
+//!
+//! * **incoming packets** — recorded in their entirety, with the instruction
+//!   count at which the TC consumed them (the injection point), the cycle at
+//!   which the SC finished writing them (for TDR waits), and the wire
+//!   arrival cycle (for audit replay);
+//! * **event values** — wall-clock reads and other logged values, in
+//!   occurrence order (the T-S buffer injects them sequentially, so no
+//!   per-event instruction count is needed);
+//! * run metadata (final instruction count and cycle count).
+//!
+//! Outgoing packets are *not* recorded: the replayed execution produces an
+//! exact copy (§6.5).
+
+use machine::StEntry;
+use serde::{Deserialize, Serialize};
+use sim_core::Cycles;
+
+/// One logged incoming packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Instruction count at which the TC consumed the packet (§3.2).
+    pub icount: u64,
+    /// Cycle at which the entry became observable in the S-T buffer.
+    pub avail_at: Cycles,
+    /// Cycle at which the packet arrived on the wire.
+    pub wire_at: Cycles,
+    /// Full payload.
+    pub data: Vec<u8>,
+}
+
+/// A recorded execution log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EventLog {
+    /// Incoming packets in consumption order.
+    pub packets: Vec<PacketRecord>,
+    /// Logged event values (e.g. `nano_time` results) in occurrence order.
+    pub values: Vec<u64>,
+    /// Total instructions executed during play.
+    pub final_icount: u64,
+    /// Final TC cycle count during play.
+    pub final_cycles: Cycles,
+    /// Final wall-clock picoseconds during play.
+    pub final_wall_ps: u128,
+}
+
+impl EventLog {
+    /// Convert the packets back into S-T entries for replay injection.
+    pub fn st_entries(&self) -> Vec<StEntry> {
+        self.packets
+            .iter()
+            .map(|p| StEntry {
+                ts: p.icount,
+                data: p.data.clone(),
+                avail_at: p.avail_at,
+                wire_at: p.wire_at,
+            })
+            .collect()
+    }
+
+    /// Serialize to JSON (the on-disk format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("log serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> Result<EventLog, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Size accounting per §6.5 (binary-equivalent sizes, not JSON sizes:
+    /// each packet costs its payload plus a 24-byte header; each value 8
+    /// bytes).
+    pub fn stats(&self) -> LogStats {
+        let packet_bytes: u64 = self.packets.iter().map(|p| p.data.len() as u64 + 24).sum();
+        let value_bytes = self.values.len() as u64 * 8;
+        LogStats {
+            packets: self.packets.len() as u64,
+            values: self.values.len() as u64,
+            packet_bytes,
+            value_bytes,
+            total_bytes: packet_bytes + value_bytes + 64,
+        }
+    }
+}
+
+/// Log size accounting (§6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogStats {
+    /// Number of logged packets.
+    pub packets: u64,
+    /// Number of logged event values.
+    pub values: u64,
+    /// Bytes attributable to packets.
+    pub packet_bytes: u64,
+    /// Bytes attributable to event values.
+    pub value_bytes: u64,
+    /// Total log bytes including the fixed header.
+    pub total_bytes: u64,
+}
+
+impl LogStats {
+    /// Fraction of the log occupied by incoming packets (the paper reports
+    /// 84% for the NFS traces).
+    pub fn packet_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        self.packet_bytes as f64 / self.total_bytes as f64
+    }
+
+    /// Growth rate in bytes per simulated minute, given the run length.
+    pub fn bytes_per_minute(&self, cycles: Cycles, hz: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        let minutes = cycles as f64 / hz as f64 / 60.0;
+        self.total_bytes as f64 / minutes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> EventLog {
+        EventLog {
+            packets: vec![
+                PacketRecord {
+                    icount: 100,
+                    avail_at: 5_000,
+                    wire_at: 4_000,
+                    data: vec![1; 100],
+                },
+                PacketRecord {
+                    icount: 250,
+                    avail_at: 9_000,
+                    wire_at: 8_500,
+                    data: vec![2; 50],
+                },
+            ],
+            values: vec![111, 222, 333],
+            final_icount: 1000,
+            final_cycles: 50_000,
+            final_wall_ps: 500_000,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let log = sample_log();
+        let j = log.to_json();
+        let back = EventLog::from_json(&j).expect("parses");
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn st_entries_preserve_injection_points() {
+        let es = sample_log().st_entries();
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].ts, 100);
+        assert_eq!(es[0].avail_at, 5_000);
+        assert_eq!(es[0].wire_at, 4_000);
+        assert_eq!(es[1].data, vec![2; 50]);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let s = sample_log().stats();
+        assert_eq!(s.packets, 2);
+        assert_eq!(s.values, 3);
+        assert_eq!(s.packet_bytes, 100 + 24 + 50 + 24);
+        assert_eq!(s.value_bytes, 24);
+        assert_eq!(s.total_bytes, s.packet_bytes + s.value_bytes + 64);
+        assert!(s.packet_fraction() > 0.5);
+    }
+
+    #[test]
+    fn growth_rate_math() {
+        let s = sample_log().stats();
+        // 6e9 cycles at 100 MHz = 60 s = 1 minute.
+        let rate = s.bytes_per_minute(6_000_000_000, 100_000_000);
+        assert!((rate - s.total_bytes as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_stats_are_zeroish() {
+        let s = EventLog::default().stats();
+        assert_eq!(s.packets, 0);
+        assert_eq!(s.packet_fraction(), 0.0);
+        assert_eq!(s.bytes_per_minute(0, 100_000_000), 0.0);
+    }
+}

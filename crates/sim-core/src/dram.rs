@@ -1,0 +1,183 @@
+//! DRAM timing model with per-bank row buffers.
+//!
+//! A line fill that hits the open row of its bank pays only CAS latency; a
+//! different row pays precharge + activate + CAS. Row-buffer state is a
+//! deterministic function of the access sequence, so identical play/replay
+//! access sequences see identical DRAM timing — another reason the paper's
+//! symmetric-access design matters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Cycles, PAddr};
+
+/// DRAM geometry and timing (in core cycles for simplicity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramParams {
+    /// Number of banks (must be a power of two).
+    pub banks: u32,
+    /// Row size in bytes (must be a power of two).
+    pub row_bytes: u32,
+    /// Column access latency (row-buffer hit).
+    pub cas_cycles: Cycles,
+    /// Additional latency to activate a closed/other row.
+    pub rc_cycles: Cycles,
+    /// Refresh interval in accesses (0 disables refresh stalls). Every
+    /// `refresh_interval`-th access incurs `refresh_cycles` extra latency;
+    /// this is deterministic in the access index, not wall time.
+    pub refresh_interval: u32,
+    /// Stall cycles per refresh event.
+    pub refresh_cycles: Cycles,
+}
+
+impl DramParams {
+    /// 8 banks, 2 KiB rows, 40-cycle CAS, 80-cycle activate, light refresh.
+    pub fn default_params() -> Self {
+        DramParams {
+            banks: 8,
+            row_bytes: 2048,
+            cas_cycles: 40,
+            rc_cycles: 80,
+            refresh_interval: 8192,
+            refresh_cycles: 120,
+        }
+    }
+}
+
+/// The DRAM device: per-bank open-row tracking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dram {
+    params: DramParams,
+    open_rows: Vec<Option<u64>>,
+    accesses: u64,
+    row_hits: u64,
+}
+
+impl Dram {
+    /// Create a DRAM with all banks precharged (no open rows).
+    pub fn new(params: DramParams) -> Self {
+        assert!(params.banks.is_power_of_two(), "banks must be a power of two");
+        assert!(
+            params.row_bytes.is_power_of_two(),
+            "row_bytes must be a power of two"
+        );
+        Dram {
+            params,
+            open_rows: vec![None; params.banks as usize],
+            accesses: 0,
+            row_hits: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &DramParams {
+        &self.params
+    }
+
+    /// Access the line at `addr`, returning the latency in cycles.
+    pub fn access(&mut self, addr: PAddr) -> Cycles {
+        self.accesses += 1;
+        // Interleave consecutive rows across banks.
+        let row_global = addr / self.params.row_bytes as u64;
+        let bank = (row_global % self.params.banks as u64) as usize;
+        let row = row_global / self.params.banks as u64;
+
+        let mut cycles = self.params.cas_cycles;
+        match self.open_rows[bank] {
+            Some(open) if open == row => {
+                self.row_hits += 1;
+            }
+            _ => {
+                cycles += self.params.rc_cycles;
+                self.open_rows[bank] = Some(row);
+            }
+        }
+        if self.params.refresh_interval > 0
+            && self.accesses % self.params.refresh_interval as u64 == 0
+        {
+            cycles += self.params.refresh_cycles;
+        }
+        cycles
+    }
+
+    /// Close all rows (models a quiescent start state).
+    pub fn precharge_all(&mut self) {
+        for r in self.open_rows.iter_mut() {
+            *r = None;
+        }
+    }
+
+    /// `(accesses, row_hits)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accesses, self.row_hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramParams {
+            banks: 2,
+            row_bytes: 1024,
+            cas_cycles: 10,
+            rc_cycles: 20,
+            refresh_interval: 0,
+            refresh_cycles: 0,
+        })
+    }
+
+    #[test]
+    fn first_access_opens_row() {
+        let mut d = dram();
+        assert_eq!(d.access(0), 30, "CAS + activate");
+        assert_eq!(d.access(64), 10, "row hit");
+    }
+
+    #[test]
+    fn different_row_same_bank_reopens() {
+        let mut d = dram();
+        d.access(0); // bank 0, row 0
+        let c = d.access(2048); // row index 2 -> bank 0, row 1
+        assert_eq!(c, 30, "row conflict");
+    }
+
+    #[test]
+    fn banks_interleave() {
+        let mut d = dram();
+        d.access(0); // bank 0
+        assert_eq!(d.access(1024), 30, "bank 1 first open");
+        assert_eq!(d.access(0), 10, "bank 0 row still open");
+    }
+
+    #[test]
+    fn precharge_closes_rows() {
+        let mut d = dram();
+        d.access(0);
+        d.precharge_all();
+        assert_eq!(d.access(0), 30);
+    }
+
+    #[test]
+    fn refresh_every_nth_access() {
+        let mut d = Dram::new(DramParams {
+            banks: 2,
+            row_bytes: 1024,
+            cas_cycles: 10,
+            rc_cycles: 20,
+            refresh_interval: 2,
+            refresh_cycles: 100,
+        });
+        assert_eq!(d.access(0), 30);
+        assert_eq!(d.access(0), 110, "second access carries refresh");
+    }
+
+    #[test]
+    fn stats_count_hits() {
+        let mut d = dram();
+        d.access(0);
+        d.access(0);
+        d.access(0);
+        assert_eq!(d.stats(), (3, 2));
+    }
+}

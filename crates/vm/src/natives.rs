@@ -1,0 +1,171 @@
+//! The native interface: the VM-provided functions programs can call.
+//!
+//! The paper's class library calls into the JVM through native functions
+//! for I/O and time (§4.1); this module enumerates the equivalents. The
+//! most important ones for TDR are:
+//!
+//! * `nano_time` — reads the wall clock *through the T-S buffer's symmetric
+//!   access*, so the logged value is injected during replay (§3.5);
+//! * `net_recv` / `net_send` / `wait_packet` — the NFS server's data path
+//!   through the S-T / T-S ring buffers;
+//! * `covert_delay` — the paper's "special JVM primitive that we can enable
+//!   or disable at runtime" (§6.6) used by the compromised server to add
+//!   channel delays; the delay schedule is supplied by a host-side
+//!   [`DelayModel`];
+//! * `file_read` / `file_size` — storage access with the configured padding.
+
+use std::fmt;
+
+/// Host-side source of covert-channel delays for the `covert_delay` native.
+///
+/// The experiments precompute an IPD-perturbation schedule (from a channel
+/// encoder in the `channels` crate) and install it as a [`ScheduledDelays`].
+pub trait DelayModel: fmt::Debug {
+    /// The delay in TC cycles to insert before send number `send_idx`,
+    /// given the current TC cycle (`now`).
+    fn next_delay_cycles(&mut self, send_idx: u64, now: u64) -> u64;
+}
+
+/// A precomputed fixed-delay schedule: entry `i` is the delay before send
+/// `i`, regardless of when the send happens.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledDelays {
+    delays: Vec<u64>,
+}
+
+impl ScheduledDelays {
+    /// Wrap a precomputed schedule.
+    pub fn new(delays: Vec<u64>) -> Self {
+        ScheduledDelays { delays }
+    }
+}
+
+impl DelayModel for ScheduledDelays {
+    fn next_delay_cycles(&mut self, send_idx: u64, _now: u64) -> u64 {
+        self.delays.get(send_idx as usize).copied().unwrap_or(0)
+    }
+}
+
+/// Absolute-time targeting: send `i` is held until cycle `targets[i]`.
+///
+/// This is how a real covert sender is implemented: it computes the target
+/// departure instant for each packet and busy-waits until the clock reaches
+/// it, which keeps the emitted IPD sequence intact even when the server
+/// falls behind and requests queue up.
+#[derive(Debug, Clone, Default)]
+pub struct TargetSendTimes {
+    targets: Vec<u64>,
+}
+
+impl TargetSendTimes {
+    /// Wrap a precomputed schedule of absolute target cycles.
+    pub fn new(targets: Vec<u64>) -> Self {
+        TargetSendTimes { targets }
+    }
+}
+
+impl DelayModel for TargetSendTimes {
+    fn next_delay_cycles(&mut self, send_idx: u64, now: u64) -> u64 {
+        match self.targets.get(send_idx as usize) {
+            Some(&t) => t.saturating_sub(now),
+            None => 0,
+        }
+    }
+}
+
+/// Resolved built-in natives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeKind {
+    /// `() -> i64` — wall-clock nanoseconds (logged + injected on replay).
+    NanoTime,
+    /// `(i32) -> ()` — print an integer to the VM console.
+    PrintlnI,
+    /// `(i64) -> ()` — print a long.
+    PrintlnL,
+    /// `(f64) -> ()` — print a double.
+    PrintlnD,
+    /// `(str) -> ()` — print a string constant.
+    PrintlnS,
+    /// `(byte[]) -> i32` — receive a packet into the buffer; -1 if none.
+    NetRecv,
+    /// `(byte[], i32) -> ()` — transmit the first `len` bytes.
+    NetSend,
+    /// `() -> ()` — block until a packet is available (§3.4 polling).
+    WaitPacket,
+    /// `() -> ()` — insert the covert-channel delay for the next send.
+    CovertDelay,
+    /// `(i64) -> ()` — spin for the given number of cycles.
+    DelayCycles,
+    /// `(i32, i32, byte[]) -> i32` — read file `id` from `offset`.
+    FileRead,
+    /// `(i32) -> i32` — size of file `id`, or -1.
+    FileSize,
+    /// `(i32) -> i32` — spawn a thread running static method `id`.
+    ThreadSpawn,
+    /// `() -> ()` — yield the rest of the scheduling quantum.
+    ThreadYield,
+    /// `() -> i64` — the current global instruction count (used by tests
+    /// and the replay machinery; deterministic by definition).
+    InstrCount,
+    /// `(f64) -> f64` — sine (the class library's `Math.sin`).
+    MathSin,
+    /// `(f64) -> f64` — cosine.
+    MathCos,
+    /// `(f64) -> f64` — square root.
+    MathSqrt,
+}
+
+impl NativeKind {
+    /// Resolve a native by its declared name.
+    pub fn by_name(name: &str) -> Option<NativeKind> {
+        Some(match name {
+            "nano_time" => NativeKind::NanoTime,
+            "println_i" => NativeKind::PrintlnI,
+            "println_l" => NativeKind::PrintlnL,
+            "println_d" => NativeKind::PrintlnD,
+            "println_s" => NativeKind::PrintlnS,
+            "net_recv" => NativeKind::NetRecv,
+            "net_send" => NativeKind::NetSend,
+            "wait_packet" => NativeKind::WaitPacket,
+            "covert_delay" => NativeKind::CovertDelay,
+            "delay_cycles" => NativeKind::DelayCycles,
+            "file_read" => NativeKind::FileRead,
+            "file_size" => NativeKind::FileSize,
+            "thread_spawn" => NativeKind::ThreadSpawn,
+            "thread_yield" => NativeKind::ThreadYield,
+            "instr_count" => NativeKind::InstrCount,
+            "math_sin" => NativeKind::MathSin,
+            "math_cos" => NativeKind::MathCos,
+            "math_sqrt" => NativeKind::MathSqrt,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_names_resolve() {
+        assert_eq!(NativeKind::by_name("nano_time"), Some(NativeKind::NanoTime));
+        assert_eq!(NativeKind::by_name("net_send"), Some(NativeKind::NetSend));
+        assert_eq!(NativeKind::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn scheduled_delays_in_order_then_zero() {
+        let mut d = ScheduledDelays::new(vec![10, 20]);
+        assert_eq!(d.next_delay_cycles(0, 0), 10);
+        assert_eq!(d.next_delay_cycles(1, 0), 20);
+        assert_eq!(d.next_delay_cycles(2, 0), 0, "exhausted schedule is silent");
+    }
+
+    #[test]
+    fn target_times_wait_only_when_early() {
+        let mut d = TargetSendTimes::new(vec![100, 200]);
+        assert_eq!(d.next_delay_cycles(0, 40), 60, "wait until the target");
+        assert_eq!(d.next_delay_cycles(1, 250), 0, "already past the target");
+        assert_eq!(d.next_delay_cycles(2, 0), 0, "exhausted schedule");
+    }
+}

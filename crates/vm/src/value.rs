@@ -1,0 +1,115 @@
+//! Runtime values.
+
+use serde::{Deserialize, Serialize};
+
+/// A heap handle; 0 is the null reference.
+pub type Handle = u32;
+
+/// The null handle.
+pub const NULL: Handle = 0;
+
+/// A single operand-stack / local-variable slot.
+///
+/// Unlike the real JVM, `long` and `double` occupy one slot (see the crate
+/// docs of `jbc` for the list of simplifications).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 32-bit integer (also booleans, bytes, chars, shorts).
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// Object/array reference (0 = null).
+    Ref(Handle),
+}
+
+impl Value {
+    /// Extract an `i32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a different variant: the verifier guarantees operand types,
+    /// so a mismatch is a VM bug, not a program error.
+    #[inline]
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Value::I32(v) => v,
+            other => panic!("expected I32, got {other:?}"),
+        }
+    }
+
+    /// Extract an `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a different variant (VM bug).
+    #[inline]
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            other => panic!("expected I64, got {other:?}"),
+        }
+    }
+
+    /// Extract an `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a different variant (VM bug).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::F64(v) => v,
+            other => panic!("expected F64, got {other:?}"),
+        }
+    }
+
+    /// Extract a reference handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a different variant (VM bug).
+    #[inline]
+    pub fn as_ref(self) -> Handle {
+        match self {
+            Value::Ref(v) => v,
+            other => panic!("expected Ref, got {other:?}"),
+        }
+    }
+
+    /// The default (zero) value for a bytecode type.
+    pub fn zero_of(ty: jbc::Ty) -> Value {
+        match ty {
+            jbc::Ty::I32 => Value::I32(0),
+            jbc::Ty::I64 => Value::I64(0),
+            jbc::Ty::F64 => Value::F64(0.0),
+            jbc::Ty::Ref => Value::Ref(NULL),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        assert_eq!(Value::I32(-5).as_i32(), -5);
+        assert_eq!(Value::I64(1 << 40).as_i64(), 1 << 40);
+        assert_eq!(Value::F64(1.5).as_f64(), 1.5);
+        assert_eq!(Value::Ref(7).as_ref(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected I32")]
+    fn wrong_variant_panics() {
+        Value::F64(0.0).as_i32();
+    }
+
+    #[test]
+    fn zero_values() {
+        assert_eq!(Value::zero_of(jbc::Ty::I32), Value::I32(0));
+        assert_eq!(Value::zero_of(jbc::Ty::Ref), Value::Ref(NULL));
+    }
+}

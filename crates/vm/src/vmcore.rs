@@ -1,0 +1,1456 @@
+//! The interpreter: threads, frames, dispatch, and the native interface.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use jbc::{ElemTy, MethodId, Op, OpClass, Program};
+use machine::machine::map;
+use machine::Machine;
+use sim_core::{CostModel, Cycles};
+
+use crate::error::VmError;
+use crate::heap::{Heap, HeapObj};
+use crate::natives::{DelayModel, NativeKind};
+use crate::value::{Handle, Value, NULL};
+
+/// How the VM treats the passage of idle time (see `wait_packet`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayStyle {
+    /// Original execution: wait for real (simulated) device arrivals.
+    Play,
+    /// Time-deterministic replay: idle exactly until the logged arrival
+    /// cycle, reproducing the wait (§2.5's "balance" requirement).
+    Tdr,
+    /// Functional replay (the XenTT-style baseline): skip waits entirely —
+    /// the behavior that makes Fig. 3 diverge from the diagonal.
+    Functional,
+}
+
+/// VM construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Engine cost model (Sanity interpreter, Oracle interpreter, JIT).
+    pub cost: CostModel,
+    /// Instructions per scheduling quantum (§3.2).
+    pub quantum: u32,
+    /// Hard cap on executed instructions (runaway guard).
+    pub instr_limit: u64,
+    /// Hard cap on simulated cycles (hang guard for idle loops).
+    pub cycle_limit: Cycles,
+    /// Maximum call depth per thread.
+    pub max_call_depth: usize,
+    /// Heap size in simulated bytes.
+    pub heap_size: u64,
+    /// Wait/idle semantics.
+    pub replay_style: ReplayStyle,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            cost: CostModel::sanity_interpreter(),
+            quantum: 10_000,
+            instr_limit: 2_000_000_000,
+            cycle_limit: 60_000_000_000, // 10 simulated minutes at 100 MHz.
+            max_call_depth: 512,
+            heap_size: 64 << 20,
+            replay_style: ReplayStyle::Play,
+        }
+    }
+}
+
+/// Why the run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// Every thread finished.
+    Completed,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// How the run ended.
+    pub exit: ExitKind,
+    /// Total instructions executed.
+    pub icount: u64,
+    /// Final TC cycle count.
+    pub cycles: Cycles,
+    /// Final wall-clock picoseconds.
+    pub wall_ps: u128,
+    /// Console output produced via the `println_*` natives.
+    pub console: Vec<String>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    method: MethodId,
+    ip: u32,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+    /// Simulated address of local slot 0.
+    base_vaddr: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    Blocked(Handle),
+    Done,
+}
+
+#[derive(Debug)]
+struct VmThread {
+    frames: Vec<Frame>,
+    state: ThreadState,
+    /// Stack pointer in slots within this thread's stack region.
+    sp: u64,
+}
+
+#[derive(Debug)]
+struct MonitorState {
+    owner: usize,
+    count: u32,
+    waiting: VecDeque<usize>,
+}
+
+/// Per-thread stack region size in bytes.
+const STACK_REGION: u64 = 0x40000;
+/// Maximum number of threads (bounded by the stack area).
+const MAX_THREADS: usize = 16;
+
+/// The Sanity virtual machine. See the [crate docs](crate).
+pub struct Vm {
+    program: Arc<Program>,
+    machine: Machine,
+    cost: CostModel,
+    cfg: VmConfig,
+    heap: Heap,
+    statics: Vec<Value>,
+    string_refs: Vec<Handle>,
+    natives: Vec<NativeKind>,
+    threads: Vec<VmThread>,
+    cur: usize,
+    budget: u32,
+    icount: u64,
+    console: Vec<String>,
+    files: Vec<Vec<u8>>,
+    delay: Option<Box<dyn DelayModel>>,
+    covert_enabled: bool,
+    send_count: u64,
+    monitors: HashMap<Handle, MonitorState>,
+    gc_runs: u64,
+}
+
+impl std::fmt::Debug for Vm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Vm")
+            .field("icount", &self.icount)
+            .field("threads", &self.threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Vm {
+    /// Load `program` onto `machine`.
+    ///
+    /// Verifies the program, resolves natives, interns string constants on
+    /// the heap, and sets up the main thread at the entry point.
+    pub fn new(program: Arc<Program>, machine: Machine, cfg: VmConfig) -> Result<Vm, VmError> {
+        jbc::verify(&program).map_err(|e| VmError::Load(e.to_string()))?;
+        let mut natives = Vec::with_capacity(program.natives.len());
+        for n in &program.natives {
+            natives.push(
+                NativeKind::by_name(&n.name).ok_or_else(|| VmError::UnknownNative(n.name.clone()))?,
+            );
+        }
+        let mut heap = Heap::new(map::HEAP, cfg.heap_size);
+        let mut string_refs = Vec::with_capacity(program.strings.len());
+        for s in &program.strings {
+            let (h, _) = heap
+                .alloc(HeapObj::Str(s.clone()))
+                .ok_or(VmError::OutOfMemory)?;
+            string_refs.push(h);
+        }
+        let statics = program
+            .fields
+            .iter()
+            .filter(|f| f.is_static)
+            .map(|f| Value::zero_of(f.ty))
+            .collect::<Vec<_>>();
+        // Statics were assigned dense slots in declaration order; re-order.
+        let mut ordered = vec![Value::I32(0); statics.len()];
+        for f in program.fields.iter().filter(|f| f.is_static) {
+            ordered[f.slot as usize] = Value::zero_of(f.ty);
+        }
+
+        let entry = program.entry;
+        let mut vm = Vm {
+            program,
+            machine,
+            cost: cfg.cost,
+            cfg,
+            heap,
+            statics: ordered,
+            string_refs,
+            natives,
+            threads: Vec::new(),
+            cur: 0,
+            budget: cfg.quantum,
+            icount: 0,
+            console: Vec::new(),
+            files: Vec::new(),
+            delay: None,
+            covert_enabled: false,
+            send_count: 0,
+            monitors: HashMap::new(),
+            gc_runs: 0,
+        };
+        vm.spawn_thread(entry)?;
+        Ok(vm)
+    }
+
+    // ---- public accessors --------------------------------------------------
+
+    /// The global instruction counter (§3.2).
+    pub fn icount(&self) -> u64 {
+        self.icount
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine (harness use: packet delivery, replay).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Install the file store backing `file_read`/`file_size`.
+    pub fn set_files(&mut self, files: Vec<Vec<u8>>) {
+        self.files = files;
+    }
+
+    /// Install the covert-channel delay model (host side of the
+    /// `covert_delay` primitive) and enable it.
+    pub fn set_delay_model(&mut self, m: Box<dyn DelayModel>) {
+        self.delay = Some(m);
+        self.covert_enabled = true;
+    }
+
+    /// Enable or disable the covert-delay primitive at runtime (§6.6).
+    pub fn set_covert_enabled(&mut self, on: bool) {
+        self.covert_enabled = on;
+    }
+
+    /// Number of garbage collections so far.
+    pub fn gc_runs(&self) -> u64 {
+        self.gc_runs
+    }
+
+    /// Heap statistics: `(allocations, allocated_bytes, live_objects)`.
+    pub fn heap_stats(&self) -> (u64, u64, usize) {
+        (
+            self.heap.allocations(),
+            self.heap.allocated_bytes(),
+            self.heap.live_objects(),
+        )
+    }
+
+    /// Console lines printed so far.
+    pub fn console(&self) -> &[String] {
+        &self.console
+    }
+
+    // ---- thread management ---------------------------------------------------
+
+    fn spawn_thread(&mut self, entry: MethodId) -> Result<usize, VmError> {
+        if self.threads.len() >= MAX_THREADS {
+            return Err(VmError::Load("too many threads".into()));
+        }
+        let m = self.program.method(entry);
+        if !m.is_static || !m.params.is_empty() {
+            return Err(VmError::Load(format!(
+                "thread entry {} must be static with no parameters",
+                m.name
+            )));
+        }
+        let tid = self.threads.len();
+        let base = map::STACKS + tid as u64 * STACK_REGION;
+        let locals = vec![Value::I32(0); m.max_locals as usize];
+        self.threads.push(VmThread {
+            frames: vec![Frame {
+                method: entry,
+                ip: 0,
+                locals,
+                stack: Vec::with_capacity(16),
+                base_vaddr: base,
+            }],
+            state: ThreadState::Runnable,
+            sp: m.max_locals as u64,
+        });
+        Ok(tid)
+    }
+
+    fn frame(&mut self) -> &mut Frame {
+        self.threads[self.cur]
+            .frames
+            .last_mut()
+            .expect("runnable thread has a frame")
+    }
+
+    #[inline]
+    fn push(&mut self, v: Value) {
+        self.frame().stack.push(v);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Value {
+        self.frame().stack.pop().expect("verified stack depth")
+    }
+
+    /// Advance to the next runnable thread. `Ok(true)` if one was found,
+    /// `Ok(false)` if every thread is done.
+    fn rotate(&mut self) -> Result<bool, VmError> {
+        let n = self.threads.len();
+        for k in 1..=n {
+            let tid = (self.cur + k) % n;
+            if self.threads[tid].state == ThreadState::Runnable {
+                self.cur = tid;
+                self.budget = self.cfg.quantum;
+                return Ok(true);
+            }
+        }
+        if self.threads.iter().all(|t| t.state == ThreadState::Done) {
+            return Ok(false);
+        }
+        Err(VmError::Deadlock)
+    }
+
+    // ---- main loop --------------------------------------------------------------
+
+    /// Run until every thread completes (or a VM error occurs).
+    pub fn run(&mut self) -> Result<RunOutcome, VmError> {
+        let program = Arc::clone(&self.program);
+        loop {
+            if self.threads[self.cur].state != ThreadState::Runnable || self.budget == 0 {
+                if !self.rotate()? {
+                    break;
+                }
+            }
+            self.step(&program)?;
+        }
+        Ok(RunOutcome {
+            exit: ExitKind::Completed,
+            icount: self.icount,
+            cycles: self.machine.now_cycles(),
+            wall_ps: self.machine.now_ps(),
+            console: self.console.clone(),
+        })
+    }
+
+    /// Run until the instruction counter reaches at least `target` (used by
+    /// checkpointing and segment replay). Returns false if the program
+    /// finished first.
+    pub fn run_until_icount(&mut self, target: u64) -> Result<bool, VmError> {
+        let program = Arc::clone(&self.program);
+        while self.icount < target {
+            if self.threads[self.cur].state != ThreadState::Runnable || self.budget == 0 {
+                if !self.rotate()? {
+                    return Ok(false);
+                }
+            }
+            self.step(&program)?;
+        }
+        Ok(true)
+    }
+
+    fn charge(
+        &mut self,
+        class: OpClass,
+        pc_vaddr: u64,
+        refs: &[(u64, bool)],
+        branch: Option<(bool, u64)>,
+    ) {
+        let c = &self.cost;
+        let base = c.dispatch
+            + match class {
+                OpClass::Const => c.const_op,
+                OpClass::Local => c.local,
+                OpClass::Stack => c.stack,
+                OpClass::AluInt => c.alu_int,
+                OpClass::MulInt => c.mul_int,
+                OpClass::DivInt => c.div_int,
+                OpClass::AluFp => c.alu_fp,
+                OpClass::MulFp => c.mul_fp,
+                OpClass::DivFp => c.div_fp,
+                OpClass::Conv => c.conv,
+                OpClass::Branch => c.branch,
+                OpClass::HeapLoad => c.heap_load,
+                OpClass::HeapStore => c.heap_store,
+                OpClass::Alloc => c.alloc,
+                OpClass::Call => c.call,
+                OpClass::Native => c.native,
+                OpClass::Throw => c.throw,
+                OpClass::Monitor => c.monitor,
+            };
+        self.machine.step_instr(base, pc_vaddr, refs, branch);
+    }
+
+    // ---- exceptions -----------------------------------------------------------
+
+    fn throw_builtin(&mut self, program: &Program, name: &str) -> Result<(), VmError> {
+        match program.class_by_name(name) {
+            Some(cid) => {
+                let nfields = program.class(cid).layout.len();
+                let h = self.alloc_retry(|| HeapObj::Obj {
+                    class: cid,
+                    fields: vec![Value::I32(0); nfields],
+                })?;
+                self.raise(program, h)
+            }
+            None => Err(VmError::UncaughtException { class: name.into() }),
+        }
+    }
+
+    fn raise(&mut self, program: &Program, exc: Handle) -> Result<(), VmError> {
+        let runtime = match self.heap.get(exc) {
+            HeapObj::Obj { class, .. } => Some(*class),
+            _ => None,
+        };
+        loop {
+            let t = &mut self.threads[self.cur];
+            let Some(f) = t.frames.last_mut() else {
+                t.state = ThreadState::Done;
+                let name = runtime
+                    .map(|c| program.class(c).name.clone())
+                    .unwrap_or_else(|| "<non-object>".into());
+                if self.cur == 0 {
+                    return Err(VmError::UncaughtException { class: name });
+                }
+                // A non-main thread dies quietly, like a JVM thread.
+                return Ok(());
+            };
+            let m = program.method(f.method);
+            // `ip` is pre-advanced at dispatch, so the faulting (or calling)
+            // instruction is at `ip - 1` in every frame.
+            let fault_ip = f.ip.saturating_sub(1);
+            let handler = m.handlers.iter().find(|h| {
+                h.start <= fault_ip
+                    && fault_ip < h.end
+                    && match (h.class, runtime) {
+                        (None, _) => true,
+                        (Some(want), Some(have)) => program.is_subclass(have, want),
+                        (Some(_), None) => false,
+                    }
+            });
+            if let Some(h) = handler {
+                f.ip = h.target;
+                f.stack.clear();
+                f.stack.push(Value::Ref(exc));
+                return Ok(());
+            }
+            let popped = t.frames.pop().expect("non-empty");
+            t.sp -= popped.locals.len() as u64;
+        }
+    }
+
+    // ---- allocation --------------------------------------------------------------
+
+    fn alloc_retry(&mut self, make: impl Fn() -> HeapObj) -> Result<Handle, VmError> {
+        if let Some((h, _)) = self.heap.alloc(make()) {
+            return Ok(h);
+        }
+        self.gc();
+        self.heap
+            .alloc(make())
+            .map(|(h, _)| h)
+            .ok_or(VmError::OutOfMemory)
+    }
+
+    fn gc(&mut self) {
+        self.gc_runs += 1;
+        let mut roots: Vec<Handle> = Vec::new();
+        roots.extend(self.string_refs.iter().copied());
+        for v in &self.statics {
+            if let Value::Ref(r) = v {
+                roots.push(*r);
+            }
+        }
+        for t in &self.threads {
+            for f in &t.frames {
+                for v in f.locals.iter().chain(f.stack.iter()) {
+                    if let Value::Ref(r) = v {
+                        roots.push(*r);
+                    }
+                }
+            }
+        }
+        roots.extend(self.monitors.keys().copied());
+        let stats = self.heap.collect(roots.into_iter());
+        // Deterministic cost: mark-per-live + sweep-per-object + fixed.
+        self.machine
+            .idle(stats.live * 40 + (stats.live + stats.freed) * 8 + 500);
+    }
+
+    // ---- the dispatch loop ----------------------------------------------------------
+
+    fn step(&mut self, program: &Program) -> Result<(), VmError> {
+        self.icount += 1;
+        self.budget -= 1;
+        if self.icount > self.cfg.instr_limit {
+            return Err(VmError::InstrLimit);
+        }
+        if self.machine.now_cycles() > self.cfg.cycle_limit {
+            return Err(VmError::InstrLimit);
+        }
+        let (mid, ip) = {
+            let f = self.frame();
+            (f.method, f.ip)
+        };
+        let method = program.method(mid);
+        let op = &method.code[ip as usize];
+        let pc = method.code_base + 4 * ip as u64;
+        let cls = op.class();
+        let base = self.frame().base_vaddr;
+        let laddr = |n: u16| base + 8 * n as u64;
+        let code_vaddr = |t: u32| method.code_base + 4 * t as u64;
+
+        // Pre-advance: fall-through is the default; branch arms overwrite,
+        // and exception handling matches handlers against `ip - 1`.
+        self.frame().ip = ip + 1;
+
+        use Op::*;
+        match op {
+            Nop => self.charge(cls, pc, &[], None),
+            IConst(v) => {
+                self.push(Value::I32(*v));
+                self.charge(cls, pc, &[], None);
+            }
+            LConst(v) => {
+                self.push(Value::I64(*v));
+                self.charge(cls, pc, &[], None);
+            }
+            DConst(v) => {
+                self.push(Value::F64(*v));
+                self.charge(cls, pc, &[], None);
+            }
+            AConstNull => {
+                self.push(Value::Ref(NULL));
+                self.charge(cls, pc, &[], None);
+            }
+            LdcStr(i) => {
+                let h = self.string_refs[*i as usize];
+                self.push(Value::Ref(h));
+                self.charge(cls, pc, &[], None);
+            }
+
+            ILoad(n) | LLoad(n) | DLoad(n) | ALoad(n) => {
+                let v = self.frame().locals[*n as usize];
+                self.push(v);
+                self.charge(cls, pc, &[(laddr(*n), false)], None);
+            }
+            IStore(n) | LStore(n) | DStore(n) | AStore(n) => {
+                let v = self.pop();
+                let idx = *n as usize;
+                self.frame().locals[idx] = v;
+                self.charge(cls, pc, &[(laddr(*n), true)], None);
+            }
+            IInc(n, d) => {
+                let idx = *n as usize;
+                let old = self.frame().locals[idx].as_i32();
+                self.frame().locals[idx] = Value::I32(old.wrapping_add(*d as i32));
+                self.charge(cls, pc, &[(laddr(*n), false), (laddr(*n), true)], None);
+            }
+
+            Pop => {
+                self.pop();
+                self.charge(cls, pc, &[], None);
+            }
+            Dup => {
+                let v = *self.frame().stack.last().expect("verified");
+                self.push(v);
+                self.charge(cls, pc, &[], None);
+            }
+            DupX1 => {
+                let a = self.pop();
+                let b = self.pop();
+                self.push(a);
+                self.push(b);
+                self.push(a);
+                self.charge(cls, pc, &[], None);
+            }
+            Swap => {
+                let a = self.pop();
+                let b = self.pop();
+                self.push(a);
+                self.push(b);
+                self.charge(cls, pc, &[], None);
+            }
+
+            // Integer arithmetic.
+            IAdd | ISub | IMul | IAnd | IOr | IXor | IShl | IShr | IUShr => {
+                let b = self.pop().as_i32();
+                let a = self.pop().as_i32();
+                let r = match op {
+                    IAdd => a.wrapping_add(b),
+                    ISub => a.wrapping_sub(b),
+                    IMul => a.wrapping_mul(b),
+                    IAnd => a & b,
+                    IOr => a | b,
+                    IXor => a ^ b,
+                    IShl => a.wrapping_shl(b as u32 & 31),
+                    IShr => a.wrapping_shr(b as u32 & 31),
+                    IUShr => ((a as u32).wrapping_shr(b as u32 & 31)) as i32,
+                    _ => unreachable!(),
+                };
+                self.push(Value::I32(r));
+                self.charge(cls, pc, &[], None);
+            }
+            IDiv | IRem => {
+                let b = self.pop().as_i32();
+                let a = self.pop().as_i32();
+                self.charge(cls, pc, &[], None);
+                if b == 0 {
+                    return self.throw_builtin(program, "ArithmeticException");
+                }
+                let r = match op {
+                    IDiv => a.wrapping_div(b),
+                    _ => a.wrapping_rem(b),
+                };
+                self.push(Value::I32(r));
+            }
+            INeg => {
+                let a = self.pop().as_i32();
+                self.push(Value::I32(a.wrapping_neg()));
+                self.charge(cls, pc, &[], None);
+            }
+
+            // Long arithmetic. Shift counts are i32 (JVM convention).
+            LAdd | LSub | LMul | LAnd | LOr | LXor => {
+                let b = self.pop().as_i64();
+                let a = self.pop().as_i64();
+                let r = match op {
+                    LAdd => a.wrapping_add(b),
+                    LSub => a.wrapping_sub(b),
+                    LMul => a.wrapping_mul(b),
+                    LAnd => a & b,
+                    LOr => a | b,
+                    LXor => a ^ b,
+                    _ => unreachable!(),
+                };
+                self.push(Value::I64(r));
+                self.charge(cls, pc, &[], None);
+            }
+            LShl | LShr | LUShr => {
+                let b = self.pop().as_i32();
+                let a = self.pop().as_i64();
+                let r = match op {
+                    LShl => a.wrapping_shl(b as u32 & 63),
+                    LShr => a.wrapping_shr(b as u32 & 63),
+                    LUShr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+                    _ => unreachable!(),
+                };
+                self.push(Value::I64(r));
+                self.charge(cls, pc, &[], None);
+            }
+            LDiv | LRem => {
+                let b = self.pop().as_i64();
+                let a = self.pop().as_i64();
+                self.charge(cls, pc, &[], None);
+                if b == 0 {
+                    return self.throw_builtin(program, "ArithmeticException");
+                }
+                let r = match op {
+                    LDiv => a.wrapping_div(b),
+                    _ => a.wrapping_rem(b),
+                };
+                self.push(Value::I64(r));
+            }
+            LNeg => {
+                let a = self.pop().as_i64();
+                self.push(Value::I64(a.wrapping_neg()));
+                self.charge(cls, pc, &[], None);
+            }
+
+            // Double arithmetic.
+            DAdd | DSub | DMul | DDiv | DRem => {
+                let b = self.pop().as_f64();
+                let a = self.pop().as_f64();
+                let r = match op {
+                    DAdd => a + b,
+                    DSub => a - b,
+                    DMul => a * b,
+                    DDiv => a / b,
+                    _ => a % b,
+                };
+                self.push(Value::F64(r));
+                self.charge(cls, pc, &[], None);
+            }
+            DNeg => {
+                let a = self.pop().as_f64();
+                self.push(Value::F64(-a));
+                self.charge(cls, pc, &[], None);
+            }
+
+            // Conversions.
+            I2L => {
+                let a = self.pop().as_i32();
+                self.push(Value::I64(a as i64));
+                self.charge(cls, pc, &[], None);
+            }
+            I2D => {
+                let a = self.pop().as_i32();
+                self.push(Value::F64(a as f64));
+                self.charge(cls, pc, &[], None);
+            }
+            L2I => {
+                let a = self.pop().as_i64();
+                self.push(Value::I32(a as i32));
+                self.charge(cls, pc, &[], None);
+            }
+            L2D => {
+                let a = self.pop().as_i64();
+                self.push(Value::F64(a as f64));
+                self.charge(cls, pc, &[], None);
+            }
+            D2I => {
+                let a = self.pop().as_f64();
+                self.push(Value::I32(a as i32)); // Saturating; NaN → 0.
+                self.charge(cls, pc, &[], None);
+            }
+            D2L => {
+                let a = self.pop().as_f64();
+                self.push(Value::I64(a as i64));
+                self.charge(cls, pc, &[], None);
+            }
+            I2B => {
+                let a = self.pop().as_i32();
+                self.push(Value::I32(a as i8 as i32));
+                self.charge(cls, pc, &[], None);
+            }
+            I2C => {
+                let a = self.pop().as_i32();
+                self.push(Value::I32(a as u16 as i32));
+                self.charge(cls, pc, &[], None);
+            }
+            I2S => {
+                let a = self.pop().as_i32();
+                self.push(Value::I32(a as i16 as i32));
+                self.charge(cls, pc, &[], None);
+            }
+
+            // Comparison.
+            LCmp => {
+                let b = self.pop().as_i64();
+                let a = self.pop().as_i64();
+                self.push(Value::I32(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                }));
+                self.charge(cls, pc, &[], None);
+            }
+            DCmpL | DCmpG => {
+                let b = self.pop().as_f64();
+                let a = self.pop().as_f64();
+                let r = if a.is_nan() || b.is_nan() {
+                    if matches!(op, DCmpL) {
+                        -1
+                    } else {
+                        1
+                    }
+                } else if a < b {
+                    -1
+                } else if a > b {
+                    1
+                } else {
+                    0
+                };
+                self.push(Value::I32(r));
+                self.charge(cls, pc, &[], None);
+            }
+
+            // Control flow.
+            Goto(t) => {
+                self.charge(cls, pc, &[], Some((true, code_vaddr(*t))));
+                self.frame().ip = *t;
+            }
+            IfEq(t) | IfNe(t) | IfLt(t) | IfGe(t) | IfGt(t) | IfLe(t) => {
+                let a = self.pop().as_i32();
+                let taken = match op {
+                    IfEq(_) => a == 0,
+                    IfNe(_) => a != 0,
+                    IfLt(_) => a < 0,
+                    IfGe(_) => a >= 0,
+                    IfGt(_) => a > 0,
+                    _ => a <= 0,
+                };
+                self.charge(cls, pc, &[], Some((taken, code_vaddr(*t))));
+                if taken {
+                    self.frame().ip = *t;
+                }
+            }
+            IfICmpEq(t) | IfICmpNe(t) | IfICmpLt(t) | IfICmpGe(t) | IfICmpGt(t) | IfICmpLe(t) => {
+                let b = self.pop().as_i32();
+                let a = self.pop().as_i32();
+                let taken = match op {
+                    IfICmpEq(_) => a == b,
+                    IfICmpNe(_) => a != b,
+                    IfICmpLt(_) => a < b,
+                    IfICmpGe(_) => a >= b,
+                    IfICmpGt(_) => a > b,
+                    _ => a <= b,
+                };
+                self.charge(cls, pc, &[], Some((taken, code_vaddr(*t))));
+                if taken {
+                    self.frame().ip = *t;
+                }
+            }
+            IfACmpEq(t) | IfACmpNe(t) => {
+                let b = self.pop().as_ref();
+                let a = self.pop().as_ref();
+                let taken = if matches!(op, IfACmpEq(_)) {
+                    a == b
+                } else {
+                    a != b
+                };
+                self.charge(cls, pc, &[], Some((taken, code_vaddr(*t))));
+                if taken {
+                    self.frame().ip = *t;
+                }
+            }
+            IfNull(t) | IfNonNull(t) => {
+                let a = self.pop().as_ref();
+                let taken = (a == NULL) == matches!(op, IfNull(_));
+                self.charge(cls, pc, &[], Some((taken, code_vaddr(*t))));
+                if taken {
+                    self.frame().ip = *t;
+                }
+            }
+            TableSwitch {
+                low,
+                targets,
+                default,
+            } => {
+                let k = self.pop().as_i32();
+                let idx = k.wrapping_sub(*low);
+                let t = if idx >= 0 && (idx as usize) < targets.len() {
+                    targets[idx as usize]
+                } else {
+                    *default
+                };
+                self.charge(cls, pc, &[], Some((true, code_vaddr(t))));
+                self.frame().ip = t;
+            }
+            LookupSwitch { pairs, default } => {
+                let k = self.pop().as_i32();
+                let t = pairs
+                    .binary_search_by_key(&k, |(key, _)| *key)
+                    .map(|i| pairs[i].1)
+                    .unwrap_or(*default);
+                self.charge(cls, pc, &[], Some((true, code_vaddr(t))));
+                self.frame().ip = t;
+            }
+
+            // Objects.
+            New(c) => {
+                let nfields = program.class(*c).layout.len();
+                let cid = *c;
+                let h = self.alloc_retry(|| HeapObj::Obj {
+                    class: cid,
+                    fields: vec![Value::I32(0); nfields],
+                })?;
+                let header = self.heap.header_addr(h);
+                self.push(Value::Ref(h));
+                self.charge(cls, pc, &[(header, true)], None);
+            }
+            GetField(fid) => {
+                let obj = self.pop().as_ref();
+                if obj == NULL {
+                    self.charge(cls, pc, &[], None);
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                let slot = program.field(*fid).slot as usize;
+                let v = match self.heap.get(obj) {
+                    HeapObj::Obj { fields, .. } => fields[slot],
+                    _ => panic!("getfield on non-object"),
+                };
+                let addr = self.heap.payload_addr(obj) + 8 * slot as u64;
+                self.push(v);
+                self.charge(cls, pc, &[(addr, false)], None);
+            }
+            PutField(fid) => {
+                let v = self.pop();
+                let obj = self.pop().as_ref();
+                if obj == NULL {
+                    self.charge(cls, pc, &[], None);
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                let slot = program.field(*fid).slot as usize;
+                match self.heap.get_mut(obj) {
+                    HeapObj::Obj { fields, .. } => fields[slot] = v,
+                    _ => panic!("putfield on non-object"),
+                }
+                let addr = self.heap.payload_addr(obj) + 8 * slot as u64;
+                self.charge(cls, pc, &[(addr, true)], None);
+            }
+            GetStatic(fid) => {
+                let slot = program.field(*fid).slot as usize;
+                let v = self.statics[slot];
+                self.push(v);
+                self.charge(cls, pc, &[(map::STATICS + 8 * slot as u64, false)], None);
+            }
+            PutStatic(fid) => {
+                let v = self.pop();
+                let slot = program.field(*fid).slot as usize;
+                self.statics[slot] = v;
+                self.charge(cls, pc, &[(map::STATICS + 8 * slot as u64, true)], None);
+            }
+            InstanceOf(c) => {
+                let obj = self.pop().as_ref();
+                let yes = obj != NULL
+                    && match self.heap.get(obj) {
+                        HeapObj::Obj { class, .. } => program.is_subclass(*class, *c),
+                        _ => false,
+                    };
+                let header = if obj != NULL {
+                    self.heap.header_addr(obj)
+                } else {
+                    map::VMM
+                };
+                self.push(Value::I32(yes as i32));
+                self.charge(cls, pc, &[(header, false)], None);
+            }
+            CheckCast(c) => {
+                let obj = self.frame().stack.last().expect("verified").as_ref();
+                let ok = obj == NULL
+                    || match self.heap.get(obj) {
+                        HeapObj::Obj { class, .. } => program.is_subclass(*class, *c),
+                        _ => false,
+                    };
+                let header = if obj != NULL {
+                    self.heap.header_addr(obj)
+                } else {
+                    map::VMM
+                };
+                self.charge(cls, pc, &[(header, false)], None);
+                if !ok {
+                    self.pop();
+                    return self.throw_builtin(program, "ClassCastException");
+                }
+            }
+
+            // Arrays.
+            NewArray(et) => {
+                let len = self.pop().as_i32();
+                self.charge(cls, pc, &[], None);
+                if len < 0 {
+                    return self.throw_builtin(program, "NegativeArraySizeException");
+                }
+                let et = *et;
+                let h = self
+                    .alloc_retry(|| match et {
+                        ElemTy::I8 => HeapObj::ArrI8(vec![0; len as usize]),
+                        ElemTy::U16 => HeapObj::ArrU16(vec![0; len as usize]),
+                        ElemTy::I32 => HeapObj::ArrI32(vec![0; len as usize]),
+                        ElemTy::I64 => HeapObj::ArrI64(vec![0; len as usize]),
+                        ElemTy::F64 => HeapObj::ArrF64(vec![0.0; len as usize]),
+                        ElemTy::Ref => HeapObj::ArrRef(vec![NULL; len as usize]),
+                    })?;
+                // Zeroing touches the payload like a streaming store.
+                let bytes = self.heap.get(h).byte_size();
+                let payload = self.heap.payload_addr(h);
+                if bytes > 0 {
+                    self.machine.bulk_touch(payload, bytes, true);
+                }
+                self.push(Value::Ref(h));
+            }
+            ArrayLength => {
+                let arr = self.pop().as_ref();
+                if arr == NULL {
+                    self.charge(cls, pc, &[], None);
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                let len = self.heap.get(arr).array_len().expect("array") as i32;
+                let header = self.heap.header_addr(arr);
+                self.push(Value::I32(len));
+                self.charge(cls, pc, &[(header, false)], None);
+            }
+            IALoad | LALoad | DALoad | AALoad | BALoad | CALoad => {
+                let kind = match op {
+                    IALoad => ArrayKind::I32,
+                    LALoad => ArrayKind::I64,
+                    DALoad => ArrayKind::F64,
+                    AALoad => ArrayKind::Ref,
+                    BALoad => ArrayKind::I8,
+                    _ => ArrayKind::U16,
+                };
+                let idx = self.pop().as_i32();
+                let arr = self.pop().as_ref();
+                return self.array_load(program, kind, arr, idx, pc, cls);
+            }
+            IAStore | LAStore | DAStore | AAStore | BAStore | CAStore => {
+                let val = self.pop();
+                let idx = self.pop().as_i32();
+                let arr = self.pop().as_ref();
+                return self.array_store(program, arr, idx, val, pc, cls);
+            }
+
+            // Calls.
+            InvokeStatic(m) => {
+                let callee = program.method(*m);
+                let n = callee.params.len();
+                let args = {
+                    let f = self.frame();
+                    f.stack.split_off(f.stack.len() - n)
+                };
+                self.charge(cls, pc, &[], Some((true, callee.code_base)));
+                self.push_frame(program, *m, args)?;
+                return Ok(());
+            }
+            InvokeVirtual(m) | InvokeSpecial(m) => {
+                let declared = program.method(*m);
+                let n = declared.params.len();
+                let (mut args, recv) = {
+                    let f = self.frame();
+                    let args = f.stack.split_off(f.stack.len() - n);
+                    let recv = f.stack.pop().expect("verified").as_ref();
+                    (args, recv)
+                };
+                if recv == NULL {
+                    self.charge(cls, pc, &[], None);
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                let target = if matches!(op, InvokeVirtual(_)) {
+                    match self.heap.get(recv) {
+                        HeapObj::Obj { class, .. } => program.resolve_virtual(*m, *class),
+                        _ => *m,
+                    }
+                } else {
+                    *m
+                };
+                // The vtable lookup reads the receiver header.
+                let header = self.heap.header_addr(recv);
+                self.charge(
+                    cls,
+                    pc,
+                    &[(header, false)],
+                    Some((true, program.method(target).code_base)),
+                );
+                args.insert(0, Value::Ref(recv));
+                self.push_frame(program, target, args)?;
+                return Ok(());
+            }
+            InvokeNative(nid) => {
+                let kind = self.natives[nid.0 as usize];
+                self.charge(cls, pc, &[], None);
+                return self.call_native(program, kind);
+            }
+            Return | IReturn | LReturn | DReturn | AReturn => {
+                let ret = match op {
+                    Return => None,
+                    _ => Some(self.pop()),
+                };
+                // Return address: the caller's next instruction (or the VMM).
+                let t = &mut self.threads[self.cur];
+                let popped = t.frames.pop().expect("non-empty");
+                t.sp -= popped.locals.len() as u64;
+                let ret_target = t
+                    .frames
+                    .last()
+                    .map(|f| program.method(f.method).code_base + 4 * f.ip as u64)
+                    .unwrap_or(map::VMM);
+                if let Some(f) = t.frames.last_mut() {
+                    if let Some(v) = ret {
+                        f.stack.push(v);
+                    }
+                } else {
+                    t.state = ThreadState::Done;
+                }
+                self.charge(cls, pc, &[], Some((true, ret_target)));
+                return Ok(());
+            }
+
+            AThrow => {
+                let exc = self.pop().as_ref();
+                self.charge(cls, pc, &[], None);
+                if exc == NULL {
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                return self.raise(program, exc);
+            }
+
+            MonitorEnter => {
+                let h = self.pop().as_ref();
+                self.charge(cls, pc, &[], None);
+                if h == NULL {
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                let cur = self.cur;
+                match self.monitors.get_mut(&h) {
+                    None => {
+                        self.monitors.insert(
+                            h,
+                            MonitorState {
+                                owner: cur,
+                                count: 1,
+                                waiting: VecDeque::new(),
+                            },
+                        );
+                    }
+                    Some(m) if m.owner == cur => m.count += 1,
+                    Some(m) => {
+                        m.waiting.push_back(cur);
+                        self.threads[cur].state = ThreadState::Blocked(h);
+                        self.budget = 0; // Force rotation.
+                    }
+                }
+            }
+            MonitorExit => {
+                let h = self.pop().as_ref();
+                self.charge(cls, pc, &[], None);
+                if h == NULL {
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                let cur = self.cur;
+                match self.monitors.get_mut(&h) {
+                    Some(m) if m.owner == cur => {
+                        m.count -= 1;
+                        if m.count == 0 {
+                            if let Some(next) = m.waiting.pop_front() {
+                                m.owner = next;
+                                m.count = 1;
+                                self.threads[next].state = ThreadState::Runnable;
+                            } else {
+                                self.monitors.remove(&h);
+                            }
+                        }
+                    }
+                    _ => {
+                        return self.throw_builtin(program, "IllegalMonitorStateException");
+                    }
+                }
+            }
+        }
+
+        Ok(())
+    }
+
+    fn push_frame(
+        &mut self,
+        program: &Program,
+        mid: MethodId,
+        args: Vec<Value>,
+    ) -> Result<(), VmError> {
+        let t = &mut self.threads[self.cur];
+        if t.frames.len() >= self.cfg.max_call_depth {
+            return Err(VmError::StackOverflow);
+        }
+        let m = program.method(mid);
+        let max_locals = m.max_locals as usize;
+        if (t.sp + max_locals as u64) * 8 > STACK_REGION {
+            return Err(VmError::StackOverflow);
+        }
+        let base = map::STACKS + self.cur as u64 * STACK_REGION + t.sp * 8;
+        let mut locals = args;
+        locals.resize(max_locals, Value::I32(0));
+        t.frames.push(Frame {
+            method: mid,
+            ip: 0,
+            locals,
+            stack: Vec::with_capacity(8),
+            base_vaddr: base,
+        });
+        t.sp += max_locals as u64;
+        Ok(())
+    }
+
+    // ---- array helpers -------------------------------------------------------------
+
+    fn array_load(
+        &mut self,
+        program: &Program,
+        kind: ArrayKind,
+        arr: Handle,
+        idx: i32,
+        pc: u64,
+        cls: OpClass,
+    ) -> Result<(), VmError> {
+        if arr == NULL {
+            self.charge(cls, pc, &[], None);
+            return self.throw_builtin(program, "NullPointerException");
+        }
+        let len = self.heap.get(arr).array_len().expect("array");
+        if idx < 0 || idx as usize >= len {
+            self.charge(cls, pc, &[], None);
+            return self.throw_builtin(program, "ArrayIndexOutOfBoundsException");
+        }
+        let i = idx as usize;
+        let (v, esz) = match (kind, self.heap.get(arr)) {
+            (ArrayKind::I32, HeapObj::ArrI32(a)) => (Value::I32(a[i]), 4),
+            (ArrayKind::I64, HeapObj::ArrI64(a)) => (Value::I64(a[i]), 8),
+            (ArrayKind::F64, HeapObj::ArrF64(a)) => (Value::F64(a[i]), 8),
+            (ArrayKind::Ref, HeapObj::ArrRef(a)) => (Value::Ref(a[i]), 8),
+            (ArrayKind::I8, HeapObj::ArrI8(a)) => (Value::I32(a[i] as i32), 1),
+            (ArrayKind::U16, HeapObj::ArrU16(a)) => (Value::I32(a[i] as i32), 2),
+            other => panic!("array kind mismatch: {other:?}"),
+        };
+        let addr = self.heap.payload_addr(arr) + esz * idx as u64;
+        self.push(v);
+        self.charge(cls, pc, &[(addr, false)], None);
+        Ok(())
+    }
+
+    fn array_store(
+        &mut self,
+        program: &Program,
+        arr: Handle,
+        idx: i32,
+        val: Value,
+        pc: u64,
+        cls: OpClass,
+    ) -> Result<(), VmError> {
+        if arr == NULL {
+            self.charge(cls, pc, &[], None);
+            return self.throw_builtin(program, "NullPointerException");
+        }
+        let len = self.heap.get(arr).array_len().expect("array");
+        if idx < 0 || idx as usize >= len {
+            self.charge(cls, pc, &[], None);
+            return self.throw_builtin(program, "ArrayIndexOutOfBoundsException");
+        }
+        let i = idx as usize;
+        let esz = match self.heap.get_mut(arr) {
+            HeapObj::ArrI32(a) => {
+                a[i] = val.as_i32();
+                4
+            }
+            HeapObj::ArrI64(a) => {
+                a[i] = val.as_i64();
+                8
+            }
+            HeapObj::ArrF64(a) => {
+                a[i] = val.as_f64();
+                8
+            }
+            HeapObj::ArrRef(a) => {
+                a[i] = val.as_ref();
+                8
+            }
+            HeapObj::ArrI8(a) => {
+                a[i] = val.as_i32() as i8;
+                1
+            }
+            HeapObj::ArrU16(a) => {
+                a[i] = val.as_i32() as u16;
+                2
+            }
+            other => panic!("array store on {other:?}"),
+        };
+        let addr = self.heap.payload_addr(arr) + esz * idx as u64;
+        self.charge(cls, pc, &[(addr, true)], None);
+        Ok(())
+    }
+
+    // ---- natives ----------------------------------------------------------------------
+
+    fn call_native(&mut self, program: &Program, kind: NativeKind) -> Result<(), VmError> {
+        match kind {
+            NativeKind::NanoTime => {
+                let produced = (self.machine.now_ps() / 1000) as u64;
+                let v = self.machine.event_value(produced);
+                self.push(Value::I64(v as i64));
+            }
+            NativeKind::InstrCount => {
+                let v = self.icount;
+                self.push(Value::I64(v as i64));
+            }
+            NativeKind::PrintlnI => {
+                let v = self.pop().as_i32();
+                self.console.push(v.to_string());
+            }
+            NativeKind::PrintlnL => {
+                let v = self.pop().as_i64();
+                self.console.push(v.to_string());
+            }
+            NativeKind::PrintlnD => {
+                let v = self.pop().as_f64();
+                self.console.push(format!("{v:.6}"));
+            }
+            NativeKind::PrintlnS => {
+                let h = self.pop().as_ref();
+                let s = match self.heap.get(h) {
+                    HeapObj::Str(s) => s.clone(),
+                    other => format!("{other:?}"),
+                };
+                self.console.push(s);
+            }
+            NativeKind::NetRecv => {
+                let buf = self.pop().as_ref();
+                if buf == NULL {
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                let icount = self.icount;
+                match self.machine.poll_packet(icount) {
+                    Some((data, _ts)) => {
+                        let payload = self.heap.payload_addr(buf);
+                        let n = match self.heap.get_mut(buf) {
+                            HeapObj::ArrI8(a) => {
+                                let n = a.len().min(data.len());
+                                for (dst, src) in a.iter_mut().zip(data.iter()) {
+                                    *dst = *src as i8;
+                                }
+                                n
+                            }
+                            _ => panic!("net_recv needs byte[]"),
+                        };
+                        self.machine.bulk_touch(payload, n as u64, true);
+                        self.push(Value::I32(n as i32));
+                    }
+                    None => self.push(Value::I32(-1)),
+                }
+            }
+            NativeKind::NetSend => {
+                let len = self.pop().as_i32();
+                let buf = self.pop().as_ref();
+                if buf == NULL {
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                let data: Vec<u8> = match self.heap.get(buf) {
+                    HeapObj::ArrI8(a) => a
+                        .iter()
+                        .take(len.max(0) as usize)
+                        .map(|&b| b as u8)
+                        .collect(),
+                    _ => panic!("net_send needs byte[]"),
+                };
+                let payload = self.heap.payload_addr(buf);
+                self.machine.bulk_touch(payload, data.len() as u64, false);
+                self.machine.send_packet(&data);
+                self.send_count += 1;
+            }
+            NativeKind::WaitPacket => {
+                match self.cfg.replay_style {
+                    // The functional baseline skips waits entirely — the
+                    // XenTT behavior that makes replay faster than play in
+                    // the idle phases of Fig. 3.
+                    ReplayStyle::Functional => {}
+                    ReplayStyle::Play | ReplayStyle::Tdr => {
+                        let now = self.machine.now_cycles();
+                        if now > self.cfg.cycle_limit {
+                            return Err(VmError::InstrLimit);
+                        }
+                        match self.machine.next_packet_ready_at() {
+                            // Already consumable.
+                            Some(t) if t <= now => {}
+                            // Sleep exactly until the (logged) arrival.
+                            Some(t) => self.machine.idle(t - now),
+                            // Nothing in flight: sleep one poll quantum; the
+                            // caller's receive loop re-invokes us.
+                            None => self.machine.idle(10_000),
+                        }
+                    }
+                }
+            }
+            NativeKind::CovertDelay => {
+                if self.covert_enabled {
+                    let idx = self.send_count;
+                    let now = self.machine.now_cycles();
+                    if let Some(m) = self.delay.as_mut() {
+                        let d = m.next_delay_cycles(idx, now);
+                        if d > 0 {
+                            self.machine.idle(d);
+                        }
+                    }
+                }
+            }
+            NativeKind::DelayCycles => {
+                let n = self.pop().as_i64();
+                if n > 0 {
+                    self.machine.idle(n as u64);
+                }
+            }
+            NativeKind::FileRead => {
+                let buf = self.pop().as_ref();
+                let offset = self.pop().as_i32();
+                let fid = self.pop().as_i32();
+                if buf == NULL {
+                    return self.throw_builtin(program, "NullPointerException");
+                }
+                let data = self
+                    .files
+                    .get(fid.max(0) as usize)
+                    .cloned()
+                    .unwrap_or_default();
+                let off = (offset.max(0) as usize).min(data.len());
+                let payload = self.heap.payload_addr(buf);
+                let n = match self.heap.get_mut(buf) {
+                    HeapObj::ArrI8(a) => {
+                        let n = a.len().min(data.len() - off);
+                        for (dst, src) in a.iter_mut().zip(data[off..off + n].iter()) {
+                            *dst = *src as i8;
+                        }
+                        n
+                    }
+                    _ => panic!("file_read needs byte[]"),
+                };
+                // Device latency + copy into the heap.
+                let lba = ((fid.max(0) as u64) << 20) | off as u64;
+                self.machine.storage_read(lba, n as u64);
+                self.machine.bulk_touch(payload, n.max(1) as u64, true);
+                self.push(Value::I32(n as i32));
+            }
+            NativeKind::FileSize => {
+                let fid = self.pop().as_i32();
+                let n = self
+                    .files
+                    .get(fid.max(0) as usize)
+                    .map(|f| f.len() as i32)
+                    .unwrap_or(-1);
+                self.push(Value::I32(n));
+            }
+            NativeKind::ThreadSpawn => {
+                let mid = self.pop().as_i32();
+                if mid < 0 || mid as usize >= program.methods.len() {
+                    return Err(VmError::Load(format!("thread_spawn: bad method id {mid}")));
+                }
+                let tid = self.spawn_thread(MethodId(mid as u16))?;
+                self.push(Value::I32(tid as i32));
+            }
+            NativeKind::ThreadYield => {
+                self.budget = 0;
+            }
+            NativeKind::MathSin => {
+                let x = self.pop().as_f64();
+                self.push(Value::F64(x.sin()));
+            }
+            NativeKind::MathCos => {
+                let x = self.pop().as_f64();
+                self.push(Value::F64(x.cos()));
+            }
+            NativeKind::MathSqrt => {
+                let x = self.pop().as_f64();
+                self.push(Value::F64(x.sqrt()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which typed array op is executing (internal to the dispatcher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArrayKind {
+    I8,
+    U16,
+    I32,
+    I64,
+    F64,
+    Ref,
+}
+

@@ -1,0 +1,705 @@
+//! End-to-end interpreter tests: build programs with the `jbc` builder or
+//! HLL, run them on a Sanity machine, and check results and determinism.
+
+use std::sync::Arc;
+
+use jbc::hll::{dsl::*, HTy, Module};
+use jbc::{ElemTy, Op, ProgramBuilder, Program, Ty};
+use machine::{Machine, MachineConfig, Seeds};
+use vm::{ReplayStyle, Vm, VmConfig, VmError};
+
+fn sanity_vm(p: Program) -> Vm {
+    let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(1));
+    Vm::new(Arc::new(p), machine, VmConfig::default()).expect("load")
+}
+
+fn run_console(p: Program) -> Vec<String> {
+    let mut vm = sanity_vm(p);
+    let out = vm.run().expect("run");
+    out.console
+}
+
+fn hll_program(build: impl FnOnce(&mut Module)) -> Program {
+    let mut m = Module::new("Main");
+    m.native("println_i", &[HTy::I32], None);
+    m.native("println_l", &[HTy::I64], None);
+    m.native("println_d", &[HTy::F64], None);
+    build(&mut m);
+    m.compile().expect("compile")
+}
+
+#[test]
+fn arithmetic_and_loops() {
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("sum", i(0)),
+                for_(
+                    "k",
+                    i(1),
+                    i(101),
+                    vec![set("sum", add(var("sum"), var("k")))],
+                ),
+                expr(native("println_i", vec![var("sum")])),
+            ],
+        ));
+    });
+    assert_eq!(run_console(p), vec!["5050"]);
+}
+
+#[test]
+fn function_calls_and_recursion() {
+    let p = hll_program(|m| {
+        m.func(fn_ret(
+            "fib",
+            vec![("n", HTy::I32)],
+            HTy::I32,
+            vec![if_(
+                lt(var("n"), i(2)),
+                vec![ret(var("n"))],
+                vec![ret(add(
+                    call("fib", vec![sub(var("n"), i(1))]),
+                    call("fib", vec![sub(var("n"), i(2))]),
+                ))],
+            )],
+        ));
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![expr(native("println_i", vec![call("fib", vec![i(15)])]))],
+        ));
+    });
+    assert_eq!(run_console(p), vec!["610"]);
+}
+
+#[test]
+fn doubles_and_casts() {
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("x", d(1.5)),
+                let_("y", mul(var("x"), d(4.0))),
+                expr(native("println_d", vec![var("y")])),
+                expr(native("println_i", vec![d2i(var("y"))])),
+            ],
+        ));
+    });
+    assert_eq!(run_console(p), vec!["6.000000", "6"]);
+}
+
+#[test]
+fn longs_and_shifts() {
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("x", l(1)),
+                set("x", shl(var("x"), i(40))),
+                set("x", add(var("x"), l(5))),
+                expr(native("println_l", vec![var("x")])),
+            ],
+        ));
+    });
+    assert_eq!(run_console(p), vec![((1u64 << 40) + 5).to_string()]);
+}
+
+#[test]
+fn arrays_roundtrip() {
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("a", newarr(ElemTy::I32, i(10))),
+                for_(
+                    "k",
+                    i(0),
+                    i(10),
+                    vec![set_idx(var("a"), var("k"), mul(var("k"), var("k")))],
+                ),
+                let_("total", i(0)),
+                for_(
+                    "k2",
+                    i(0),
+                    len(var("a")),
+                    vec![set("total", add(var("total"), idx(var("a"), var("k2"))))],
+                ),
+                expr(native("println_i", vec![var("total")])),
+            ],
+        ));
+    });
+    assert_eq!(run_console(p), vec!["285"]);
+}
+
+#[test]
+fn byte_array_sign_extension() {
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("a", newarr(ElemTy::I8, i(1))),
+                set_idx(var("a"), i(0), i(200)), // Truncates to -56.
+                expr(native("println_i", vec![idx(var("a"), i(0))])),
+            ],
+        ));
+    });
+    assert_eq!(run_console(p), vec!["-56"]);
+}
+
+#[test]
+fn division_by_zero_terminates_with_exception() {
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("x", i(1)),
+                let_("y", div(var("x"), sub(var("x"), i(1)))),
+                expr(native("println_i", vec![var("y")])),
+            ],
+        ));
+    });
+    let mut vm = sanity_vm(p);
+    match vm.run() {
+        Err(VmError::UncaughtException { class }) => {
+            assert_eq!(class, "ArithmeticException")
+        }
+        other => panic!("expected uncaught ArithmeticException, got {other:?}"),
+    }
+}
+
+#[test]
+fn exception_caught_by_handler() {
+    // Hand-assembled: try { throw } catch { push 7 }.
+    let mut b = ProgramBuilder::new();
+    let exc_class = b.class("MyError", None);
+    let main = {
+        let mut m = b.static_method("Main", "main", &[], None);
+        let handler = m.label();
+        let end = m.label();
+        m.op(Op::New(exc_class)); // 0
+        m.op(Op::AThrow); // 1
+        m.br(Op::Goto, end); // 2 (skipped)
+        m.bind(handler);
+        m.op(Op::Pop); // Drop the exception ref.
+        m.bind(end);
+        m.op(Op::Return);
+        m.handler(0, 2, handler, Some(exc_class));
+        m.finish()
+    };
+    b.set_entry(main);
+    let p = b.link().expect("link");
+    let mut vm = sanity_vm(p);
+    vm.run().expect("handler catches");
+}
+
+#[test]
+fn uncaught_exception_names_class() {
+    let mut b = ProgramBuilder::new();
+    let exc_class = b.class("Kaboom", None);
+    let main = {
+        let mut m = b.static_method("Main", "main", &[], None);
+        m.op(Op::New(exc_class));
+        m.op(Op::AThrow);
+        m.op(Op::Return);
+        m.finish()
+    };
+    b.set_entry(main);
+    let mut vm = sanity_vm(b.link().expect("link"));
+    match vm.run() {
+        Err(VmError::UncaughtException { class }) => assert_eq!(class, "Kaboom"),
+        other => panic!("expected Kaboom, got {other:?}"),
+    }
+}
+
+#[test]
+fn null_pointer_on_array() {
+    let mut b = ProgramBuilder::new();
+    let main = {
+        let mut m = b.static_method("Main", "main", &[], None);
+        m.op(Op::AConstNull);
+        m.op(Op::ArrayLength);
+        m.op(Op::Pop);
+        m.op(Op::Return);
+        m.finish()
+    };
+    b.set_entry(main);
+    let mut vm = sanity_vm(b.link().expect("link"));
+    match vm.run() {
+        Err(VmError::UncaughtException { class }) => {
+            assert_eq!(class, "NullPointerException")
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn bounds_check_raises() {
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("a", newarr(ElemTy::I32, i(3))),
+                set_idx(var("a"), i(3), i(1)),
+            ],
+        ));
+    });
+    let mut vm = sanity_vm(p);
+    match vm.run() {
+        Err(VmError::UncaughtException { class }) => {
+            assert_eq!(class, "ArrayIndexOutOfBoundsException")
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn objects_fields_and_virtual_dispatch() {
+    let mut b = ProgramBuilder::new();
+    let animal = b.class("Animal", None);
+    let dog = b.class("Dog", Some(animal));
+    let _ = b.field(animal, "weight", Ty::I32);
+    let speak_a = {
+        let mut m = b.instance_method(animal, "speak", &[], Some(Ty::I32));
+        m.op(Op::IConst(1));
+        m.op(Op::IReturn);
+        m.finish()
+    };
+    {
+        let mut m = b.instance_method(dog, "speak", &[], Some(Ty::I32));
+        m.op(Op::IConst(2));
+        m.op(Op::IReturn);
+        m.finish()
+    };
+    let println = b.native("println_i", 1, false);
+    let main = {
+        let mut m = b.static_method("Main", "main", &[], None);
+        m.op(Op::New(dog));
+        m.op(Op::InvokeVirtual(speak_a)); // Dispatches to Dog.speak.
+        m.op(Op::InvokeNative(println));
+        m.op(Op::Return);
+        m.finish()
+    };
+    b.set_entry(main);
+    let p = b.link().expect("link");
+    assert_eq!(run_console(p), vec!["2"]);
+}
+
+#[test]
+fn gc_reclaims_garbage_and_program_completes() {
+    // Allocate far more than the heap holds; only the current array is live.
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("keep", i(0)),
+                for_(
+                    "k",
+                    i(0),
+                    i(2_000),
+                    vec![
+                        let_("a", newarr(ElemTy::F64, i(1024))), // 8 KiB each.
+                        set_idx(var("a"), i(0), i2d(var("k"))),
+                        set("keep", add(var("keep"), d2i(idx(var("a"), i(0))))),
+                    ],
+                ),
+                expr(native("println_i", vec![var("keep")])),
+            ],
+        ));
+    });
+    let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(1));
+    let mut cfg = VmConfig::default();
+    cfg.heap_size = 4 << 20; // 4 MiB heap vs ~16 MiB allocated.
+    let mut vm = Vm::new(Arc::new(p), machine, cfg).expect("load");
+    let out = vm.run().expect("run survives GC");
+    assert_eq!(out.console, vec![(0..2000).sum::<i32>().to_string()]);
+    assert!(vm.gc_runs() > 0, "the collector actually ran");
+}
+
+#[test]
+fn deterministic_threading_interleaves_identically() {
+    // Two threads increment a shared global under a monitor; the schedule
+    // (round-robin with a fixed budget) must be identical across runs.
+    let mut b = ProgramBuilder::new();
+    let c = b.class("Main", None);
+    let counter = b.static_field(c, "counter", Ty::I64);
+    let trace = b.static_field(c, "trace", Ty::I64);
+    let worker = {
+        let mut m = b.static_method("Main", "worker", &[], None);
+        let top = m.label();
+        let done = m.label();
+        m.op(Op::IConst(0));
+        m.op(Op::IStore(0));
+        m.bind(top);
+        m.op(Op::ILoad(0));
+        m.op(Op::IConst(1000));
+        m.br(Op::IfICmpGe, done);
+        m.op(Op::GetStatic(counter));
+        m.op(Op::LConst(1));
+        m.op(Op::LAdd);
+        m.op(Op::PutStatic(counter));
+        // trace = trace * 31 + counter  (order-sensitive mixing).
+        m.op(Op::GetStatic(trace));
+        m.op(Op::LConst(31));
+        m.op(Op::LMul);
+        m.op(Op::GetStatic(counter));
+        m.op(Op::LAdd);
+        m.op(Op::PutStatic(trace));
+        m.op(Op::IInc(0, 1));
+        m.br(Op::Goto, top);
+        m.bind(done);
+        m.op(Op::Return);
+        m.finish()
+    };
+    let println = b.native("println_l", 1, false);
+    let spawn = b.native("thread_spawn", 1, true);
+    let main = {
+        let mut m = b.static_method("Main", "main", &[], None);
+        m.op(Op::IConst(worker.0 as i32));
+        m.op(Op::InvokeNative(spawn));
+        m.op(Op::Pop);
+        m.op(Op::InvokeStatic(worker));
+        m.op(Op::GetStatic(trace));
+        m.op(Op::InvokeNative(println));
+        m.op(Op::Return);
+        m.finish()
+    };
+    b.set_entry(main);
+    let p = b.link().expect("link");
+
+    let run = |seed: u64| {
+        let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(seed));
+        let mut vm = Vm::new(Arc::new(p.clone()), machine, VmConfig::default()).expect("load");
+        let out = vm.run().expect("run");
+        (out.console.clone(), out.icount)
+    };
+    let (c1, i1) = run(1);
+    let (c2, i2) = run(99); // Different machine seeds: schedule unchanged.
+    assert_eq!(c1, c2, "interleaving is seed-independent");
+    assert_eq!(i1, i2, "instruction counts identical");
+}
+
+#[test]
+fn monitors_provide_mutual_exclusion() {
+    // Two threads hammer a monitor-protected critical section; with the
+    // monitor, the critical section cannot interleave, so a simple
+    // read-modify-write on a global is race-free.
+    let mut b = ProgramBuilder::new();
+    let c = b.class("Main", None);
+    let lock = b.static_field(c, "lock", Ty::Ref);
+    let x = b.static_field(c, "x", Ty::I64);
+    let worker = {
+        let mut m = b.static_method("Main", "work", &[], None);
+        let top = m.label();
+        let done = m.label();
+        m.op(Op::IConst(0));
+        m.op(Op::IStore(0));
+        m.bind(top);
+        m.op(Op::ILoad(0));
+        m.op(Op::IConst(500));
+        m.br(Op::IfICmpGe, done);
+        m.op(Op::GetStatic(lock));
+        m.op(Op::MonitorEnter);
+        m.op(Op::GetStatic(x));
+        m.op(Op::LConst(1));
+        m.op(Op::LAdd);
+        m.op(Op::PutStatic(x));
+        m.op(Op::GetStatic(lock));
+        m.op(Op::MonitorExit);
+        m.op(Op::IInc(0, 1));
+        m.br(Op::Goto, top);
+        m.bind(done);
+        m.op(Op::Return);
+        m.finish()
+    };
+    let obj_class = b.class("Object", None);
+    let println = b.native("println_l", 1, false);
+    let spawn = b.native("thread_spawn", 1, true);
+    let main = {
+        let mut m = b.static_method("Main", "main", &[], None);
+        m.op(Op::New(obj_class));
+        m.op(Op::PutStatic(lock));
+        m.op(Op::IConst(worker.0 as i32));
+        m.op(Op::InvokeNative(spawn));
+        m.op(Op::Pop);
+        m.op(Op::InvokeStatic(worker));
+        m.op(Op::GetStatic(x));
+        m.op(Op::InvokeNative(println));
+        m.op(Op::Return);
+        m.finish()
+    };
+    b.set_entry(main);
+    let p = b.link().expect("link");
+    // Note: main prints after ITS loop; the spawned thread may still be
+    // running, so the printed value is >= 500 and the final must be 1000.
+    let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(1));
+    let mut vm = Vm::new(Arc::new(p), machine, VmConfig::default()).expect("load");
+    vm.run().expect("run");
+}
+
+#[test]
+fn timing_is_stable_across_seeds_without_io() {
+    // Pure compute under Sanity: the only remaining noise is the bounded
+    // SC-heartbeat interference (§6.9), so run-over-run cycle counts agree
+    // to well under 1% (timing stability, §6.3).
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("acc", d(0.0)),
+                for_(
+                    "k",
+                    i(0),
+                    i(5_000),
+                    vec![set(
+                        "acc",
+                        add(var("acc"), mul(i2d(var("k")), d(1.000001))),
+                    )],
+                ),
+            ],
+        ));
+    });
+    let run = |seed: u64| {
+        let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(seed));
+        let mut vm = Vm::new(Arc::new(p.clone()), machine, VmConfig::default()).expect("load");
+        let out = vm.run().expect("run");
+        (out.icount, out.cycles)
+    };
+    let (i1, c1) = run(1);
+    let (i2, c2) = run(2);
+    assert_eq!(i1, i2);
+    let spread = (c1 as f64 - c2 as f64).abs() / c1 as f64;
+    assert!(spread < 0.01, "only the SC residual remains: {spread}");
+}
+
+#[test]
+fn user_noisy_timing_varies_across_seeds() {
+    let p = hll_program(|m| {
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("acc", i(0)),
+                for_(
+                    "k",
+                    i(0),
+                    i(20_000),
+                    vec![set("acc", add(var("acc"), var("k")))],
+                ),
+            ],
+        ));
+    });
+    let run = |seed: u64| {
+        let machine = Machine::new(
+            MachineConfig::host(machine::Environment::UserNoisy),
+            Seeds::from_run(seed),
+        );
+        let mut vm = Vm::new(Arc::new(p.clone()), machine, VmConfig::default()).expect("load");
+        let out = vm.run().expect("run");
+        (out.icount, out.wall_ps)
+    };
+    let (i1, w1) = run(1);
+    let (i2, w2) = run(2);
+    assert_eq!(i1, i2, "functionally deterministic");
+    assert_ne!(w1, w2, "wall time differs under a noisy host");
+}
+
+#[test]
+fn nano_time_is_monotonic_and_replayable() {
+    let p = {
+        let mut m = Module::new("Main");
+        m.native("nano_time", &[], Some(HTy::I64));
+        m.native("println_l", &[HTy::I64], None);
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("t0", native("nano_time", vec![])),
+                let_("burn", i(0)),
+                for_(
+                    "k",
+                    i(0),
+                    i(1000),
+                    vec![set("burn", add(var("burn"), i(1)))],
+                ),
+                let_("t1", native("nano_time", vec![])),
+                if_(
+                    gt(var("t1"), var("t0")),
+                    vec![expr(native("println_l", vec![l(1)]))],
+                    vec![expr(native("println_l", vec![l(0)]))],
+                ),
+            ],
+        ));
+        m.compile().expect("compile")
+    };
+    // Play: record the event values.
+    let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(3));
+    let mut vm = Vm::new(Arc::new(p.clone()), machine, VmConfig::default()).expect("load");
+    let out = vm.run().expect("play");
+    assert_eq!(out.console, vec!["1"], "time advances");
+    let logged = vm.machine_mut().drain_logged_values();
+    assert_eq!(logged.len(), 2, "two nano_time events recorded");
+
+    // Replay: inject them; the program must behave identically.
+    let mut machine2 = Machine::new(MachineConfig::sanity(), Seeds::from_run(4));
+    machine2.enter_replay(vec![], logged.clone());
+    let mut cfg = VmConfig::default();
+    cfg.replay_style = ReplayStyle::Tdr;
+    let mut vm2 = Vm::new(Arc::new(p), machine2, cfg).expect("load");
+    let out2 = vm2.run().expect("replay");
+    assert_eq!(out2.console, vec!["1"]);
+    assert_eq!(out2.icount, out.icount, "functional determinism");
+}
+
+#[test]
+fn instr_limit_guards_runaway_programs() {
+    let mut b = ProgramBuilder::new();
+    let main = {
+        let mut m = b.static_method("Main", "main", &[], None);
+        let top = m.label();
+        m.bind(top);
+        m.op(Op::Nop);
+        m.br(Op::Goto, top);
+        m.op(Op::Return);
+        m.finish()
+    };
+    b.set_entry(main);
+    let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(1));
+    let mut cfg = VmConfig::default();
+    cfg.instr_limit = 10_000;
+    let mut vm = Vm::new(Arc::new(b.link().expect("link")), machine, cfg).expect("load");
+    assert_eq!(vm.run().unwrap_err(), VmError::InstrLimit);
+}
+
+#[test]
+fn stack_overflow_detected() {
+    let p = hll_program(|m| {
+        m.func(fn_ret(
+            "inf",
+            vec![("n", HTy::I32)],
+            HTy::I32,
+            vec![ret(call("inf", vec![add(var("n"), i(1))]))],
+        ));
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![expr(call("inf", vec![i(0)]))],
+        ));
+    });
+    let mut vm = sanity_vm(p);
+    assert_eq!(vm.run().unwrap_err(), VmError::StackOverflow);
+}
+
+#[test]
+fn unknown_native_rejected_at_load() {
+    let mut m = Module::new("Main");
+    m.native("no_such_native", &[], None);
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![expr(native("no_such_native", vec![]))],
+    ));
+    let p = m.compile().expect("compile");
+    let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(1));
+    match Vm::new(Arc::new(p), machine, VmConfig::default()) {
+        Err(VmError::UnknownNative(n)) => assert_eq!(n, "no_such_native"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn packet_receive_and_send_roundtrip() {
+    let p = {
+        let mut m = Module::new("Main");
+        m.native("wait_packet", &[], None);
+        m.native("net_recv", &[HTy::Arr(ElemTy::I8)], Some(HTy::I32));
+        m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("buf", newarr(ElemTy::I8, i(256))),
+                let_("got", i(0)),
+                while_(
+                    eq(var("got"), i(0)),
+                    vec![
+                        expr(native("wait_packet", vec![])),
+                        let_("n", native("net_recv", vec![var("buf")])),
+                        if_(
+                            gt(var("n"), i(0)),
+                            vec![
+                                // Echo the packet back, incrementing byte 0.
+                                set_idx(var("buf"), i(0), add(idx(var("buf"), i(0)), i(1))),
+                                expr(native("net_send", vec![var("buf"), var("n")])),
+                                set("got", i(1)),
+                            ],
+                            vec![],
+                        ),
+                    ],
+                ),
+            ],
+        ));
+        m.compile().expect("compile")
+    };
+    let mut machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(5));
+    machine.deliver_packet(50_000, vec![10, 20, 30]);
+    let mut vm = Vm::new(Arc::new(p), machine, VmConfig::default()).expect("load");
+    vm.run().expect("run");
+    let tx = vm.machine_mut().take_tx();
+    assert_eq!(tx.len(), 1);
+    assert_eq!(tx[0].data, vec![11, 20, 30]);
+}
+
+#[test]
+fn covert_delay_shifts_send_timing() {
+    let p = {
+        let mut m = Module::new("Main");
+        m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+        m.native("covert_delay", &[], None);
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("buf", newarr(ElemTy::I8, i(16))),
+                for_(
+                    "k",
+                    i(0),
+                    i(4),
+                    vec![
+                        expr(native("covert_delay", vec![])),
+                        expr(native("net_send", vec![var("buf"), i(16)])),
+                    ],
+                ),
+            ],
+        ));
+        m.compile().expect("compile")
+    };
+    let run = |delays: Option<Vec<u64>>| {
+        let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(6));
+        let mut vm = Vm::new(Arc::new(p.clone()), machine, VmConfig::default()).expect("load");
+        if let Some(d) = delays {
+            vm.set_delay_model(Box::new(vm::ScheduledDelays::new(d)));
+        }
+        vm.run().expect("run");
+        vm.machine_mut()
+            .take_tx()
+            .iter()
+            .map(|t| t.cycle)
+            .collect::<Vec<_>>()
+    };
+    let clean = run(None);
+    let covert = run(Some(vec![0, 1_000_000, 0, 0]));
+    assert_eq!(clean.len(), 4);
+    // The delayed send and all following ones shift by ~1M cycles.
+    assert!(covert[1] >= clean[1] + 1_000_000);
+    assert!((covert[0] as i64 - clean[0] as i64).abs() < 1_000);
+}

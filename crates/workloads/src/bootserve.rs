@@ -1,0 +1,135 @@
+//! The boot-then-serve VM image for the Fig. 3 experiment.
+//!
+//! The paper records a Linux VM booting and serving HTTP requests under
+//! XenTT, then compares the wall-clock progress of play vs. replay and finds
+//! gross divergence: replay rushes through phases where play waited for
+//! input, and crawls through the boot phase where the kernel calibrates its
+//! clock (every calibration read is an injected event). This workload has
+//! the same two phases:
+//!
+//! 1. **Boot**: a clock-calibration loop — repeated `nano_time` reads with
+//!    compute in between (every read is a logged/injected event), plus a
+//!    checksum pass over a buffer ("decompressing the kernel");
+//! 2. **Serve**: `n_requests` request-response rounds with `wait_packet`
+//!    idle time in between (skipped entirely by functional replay).
+
+use jbc::hll::{dsl::*, HTy, Module};
+use jbc::{ElemTy, Program};
+
+/// Build the boot+serve image.
+///
+/// `calib_rounds` controls how many clock reads the boot phase performs and
+/// `n_requests` how many requests the serve phase handles.
+pub fn bootserve_program(calib_rounds: i32, n_requests: i32) -> Program {
+    let mut m = Module::new("BootServe");
+    m.native("nano_time", &[], Some(HTy::I64));
+    m.native("wait_packet", &[], None);
+    m.native("net_recv", &[HTy::Arr(ElemTy::I8)], Some(HTy::I32));
+    m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            // ---- Boot phase -------------------------------------------
+            // "Decompress the kernel": checksum over a working buffer.
+            let_("img", newarr(ElemTy::I32, i(8192))),
+            for_(
+                "b",
+                i(0),
+                i(8192),
+                vec![set_idx(var("img"), var("b"), mul(var("b"), i(2654435761u32 as i32)))],
+            ),
+            let_("crc", i(0)),
+            for_(
+                "b2",
+                i(0),
+                i(8192),
+                vec![set(
+                    "crc",
+                    bxor(
+                        shl(var("crc"), i(1)),
+                        idx(var("img"), var("b2")),
+                    ),
+                )],
+            ),
+            // Clock calibration: repeated timestamp reads with fixed spins
+            // in between, accumulating an estimated rate. Every nano_time
+            // is an event the replayer must inject.
+            let_("rate", l(0)),
+            for_(
+                "cal",
+                i(0),
+                i(calib_rounds),
+                vec![
+                    let_("t0", native("nano_time", vec![])),
+                    let_("burn", i(0)),
+                    for_(
+                        "sp",
+                        i(0),
+                        i(400),
+                        vec![set("burn", add(var("burn"), i(1)))],
+                    ),
+                    let_("t1", native("nano_time", vec![])),
+                    set("rate", add(var("rate"), sub(var("t1"), var("t0")))),
+                ],
+            ),
+            // ---- Serve phase -------------------------------------------
+            let_("req", newarr(ElemTy::I8, i(128))),
+            let_("resp", newarr(ElemTy::I8, i(256))),
+            let_("served", i(0)),
+            while_(
+                lt(var("served"), i(n_requests)),
+                vec![
+                    expr(native("wait_packet", vec![])),
+                    let_("n", native("net_recv", vec![var("req")])),
+                    if_(lt(var("n"), i(1)), vec![cont()], vec![]),
+                    // "Render a page": compute over the request bytes.
+                    let_("h", i(5381)),
+                    for_(
+                        "c",
+                        i(0),
+                        var("n"),
+                        vec![set(
+                            "h",
+                            add(
+                                mul(var("h"), i(33)),
+                                band(idx(var("req"), var("c")), i(0xff)),
+                            ),
+                        )],
+                    ),
+                    set_idx(var("resp"), i(0), band(var("h"), i(0xff))),
+                    set_idx(var("resp"), i(1), band(shr(var("h"), i(8)), i(0xff))),
+                    expr(native("net_send", vec![var("resp"), i(64)])),
+                    set("served", add(var("served"), i(1))),
+                ],
+            ),
+        ],
+    ));
+    m.compile().expect("bootserve compiles")
+}
+
+/// Sweep-friendly default: 60 calibration rounds, 20 requests.
+pub fn default_small() -> Program {
+    bootserve_program(60, 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jbc::verify;
+
+    #[test]
+    fn compiles_and_verifies() {
+        let p = default_small();
+        verify(&p).expect("verifies");
+        assert!(p.total_code_len() > 100);
+    }
+
+    #[test]
+    fn parameterization_changes_constants_not_structure() {
+        let a = bootserve_program(10, 5);
+        let b = bootserve_program(99, 50);
+        assert_eq!(a.total_code_len(), b.total_code_len());
+    }
+}

@@ -1,0 +1,23 @@
+//! `workloads` — the guest programs of the paper's evaluation, in bytecode.
+//!
+//! Everything the paper runs inside its JVM is reproduced here as a `jbc`
+//! program authored through the HLL front-end:
+//!
+//! * [`scimark`] — NIST SciMark 2.0's five kernels (FFT, SOR, Monte Carlo,
+//!   sparse mat-mult, LU), used by Table 2 and Fig. 6;
+//! * [`microbench`] — the zero-a-large-array microbenchmark of Fig. 2;
+//! * [`nfs`] — an NFS-style file server (the `nfsj` stand-in) plus the
+//!   client-side request codec, used by Fig. 7, §6.5, and the
+//!   covert-channel experiments (Fig. 8);
+//! * [`bootserve`] — a boot-then-serve VM image whose phases (clock
+//!   calibration, idle waits, request handling) give functional replay its
+//!   characteristic divergence (Fig. 3).
+//!
+//! Program sizes are parameterized; the `default_small` constructors pick
+//! sizes that keep whole experiment sweeps tractable, and the harness's
+//! `--full` mode scales them up.
+
+pub mod bootserve;
+pub mod microbench;
+pub mod nfs;
+pub mod scimark;

@@ -1,0 +1,338 @@
+//! The NFS-style file server (the paper's `nfsj` stand-in) and its client.
+//!
+//! The server handles GETATTR / READ / LOOKUP requests arriving as datagram
+//! packets, reads file content through the storage natives, timestamps each
+//! response via `nano_time` (so the log contains both packet and value
+//! events, as in §6.5), and calls the `covert_delay` primitive before every
+//! send — the "special JVM primitive that we can enable or disable at
+//! runtime" (§6.6). With no delay model installed the primitive is inert,
+//! which makes the very same binary serve as the known-good reference for
+//! audit replay.
+//!
+//! The client side ([`client_schedule`], [`make_files`]) produces the
+//! workload of §6.6: a set of files read back to back, with legitimate
+//! inter-request gaps drawn from a seeded bursty distribution.
+
+use jbc::hll::{dsl::*, HTy, Module};
+use jbc::{ElemTy, Program};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Request opcode: attributes.
+pub const OP_GETATTR: u8 = 1;
+/// Request opcode: read a byte range.
+pub const OP_READ: u8 = 2;
+/// Request opcode: name lookup.
+pub const OP_LOOKUP: u8 = 3;
+
+/// Fixed request packet size (RPC-header-ish padding).
+pub const REQUEST_SIZE: usize = 64;
+/// Response header size.
+pub const RESPONSE_HEADER: usize = 8;
+/// Maximum READ payload per request.
+pub const MAX_READ: usize = 1024;
+
+/// Encode a request packet.
+pub fn encode_request(op: u8, fid: u8, offset: u16, len: u16) -> Vec<u8> {
+    let mut p = vec![0u8; REQUEST_SIZE];
+    p[0] = op;
+    p[1] = fid;
+    p[2] = (offset & 0xff) as u8;
+    p[3] = (offset >> 8) as u8;
+    p[4] = (len & 0xff) as u8;
+    p[5] = (len >> 8) as u8;
+    p
+}
+
+/// Decode a response header: `(op, fid, payload_len)`.
+pub fn decode_response(pkt: &[u8]) -> Option<(u8, u8, usize)> {
+    if pkt.len() < RESPONSE_HEADER {
+        return None;
+    }
+    let len = pkt[4] as usize | ((pkt[5] as usize) << 8);
+    Some((pkt[0], pkt[1], len))
+}
+
+/// Build the server program that serves exactly `n_requests` requests.
+pub fn server_program(n_requests: i32) -> Program {
+    let mut m = Module::new("NfsServer");
+    m.native("wait_packet", &[], None);
+    m.native("net_recv", &[HTy::Arr(ElemTy::I8)], Some(HTy::I32));
+    m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+    m.native("nano_time", &[], Some(HTy::I64));
+    m.native("covert_delay", &[], None);
+    m.native(
+        "file_read",
+        &[HTy::I32, HTy::I32, HTy::Arr(ElemTy::I8)],
+        Some(HTy::I32),
+    );
+    m.native("file_size", &[HTy::I32], Some(HTy::I32));
+
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("req", newarr(ElemTy::I8, i(REQUEST_SIZE as i32))),
+            let_("data", newarr(ElemTy::I8, i(MAX_READ as i32))),
+            let_(
+                "out",
+                newarr(ElemTy::I8, i((RESPONSE_HEADER + MAX_READ) as i32)),
+            ),
+            let_("served", i(0)),
+            while_(
+                lt(var("served"), i(n_requests)),
+                vec![
+                    expr(native("wait_packet", vec![])),
+                    let_("n", native("net_recv", vec![var("req")])),
+                    if_(
+                        lt(var("n"), i(6)),
+                        vec![cont()],
+                        vec![],
+                    ),
+                    let_("op", band(idx(var("req"), i(0)), i(0xff))),
+                    let_("fid", band(idx(var("req"), i(1)), i(0xff))),
+                    let_(
+                        "off",
+                        bor(
+                            band(idx(var("req"), i(2)), i(0xff)),
+                            shl(band(idx(var("req"), i(3)), i(0xff)), i(8)),
+                        ),
+                    ),
+                    let_(
+                        "rlen",
+                        bor(
+                            band(idx(var("req"), i(4)), i(0xff)),
+                            shl(band(idx(var("req"), i(5)), i(0xff)), i(8)),
+                        ),
+                    ),
+                    if_(
+                        gt(var("rlen"), i(MAX_READ as i32)),
+                        vec![set("rlen", i(MAX_READ as i32))],
+                        vec![],
+                    ),
+                    // Response timestamp ("mtime") — a logged event value.
+                    let_("stamp", native("nano_time", vec![])),
+                    let_("paylen", i(0)),
+                    if_(
+                        eq(var("op"), i(OP_READ as i32)),
+                        vec![
+                            let_("got", native(
+                                "file_read",
+                                vec![var("fid"), var("off"), var("data")],
+                            )),
+                            set("paylen", var("got")),
+                            if_(
+                                gt(var("paylen"), var("rlen")),
+                                vec![set("paylen", var("rlen"))],
+                                vec![],
+                            ),
+                            if_(lt(var("paylen"), i(0)), vec![set("paylen", i(0))], vec![]),
+                            for_(
+                                "c",
+                                i(0),
+                                var("paylen"),
+                                vec![set_idx(
+                                    var("out"),
+                                    add(var("c"), i(RESPONSE_HEADER as i32)),
+                                    idx(var("data"), var("c")),
+                                )],
+                            ),
+                        ],
+                        vec![if_(
+                            eq(var("op"), i(OP_GETATTR as i32)),
+                            vec![
+                                // Attributes: file size in the payload.
+                                let_("sz", native("file_size", vec![var("fid")])),
+                                set_idx(var("out"), i(8), band(var("sz"), i(0xff))),
+                                set_idx(
+                                    var("out"),
+                                    i(9),
+                                    band(shr(var("sz"), i(8)), i(0xff)),
+                                ),
+                                set("paylen", i(4)),
+                            ],
+                            vec![
+                                // LOOKUP: echo a small handle.
+                                set_idx(var("out"), i(8), var("fid")),
+                                set("paylen", i(4)),
+                            ],
+                        )],
+                    ),
+                    // Header: [op, fid, status, stamp-lsb, len lo, len hi].
+                    set_idx(var("out"), i(0), var("op")),
+                    set_idx(var("out"), i(1), var("fid")),
+                    set_idx(var("out"), i(2), i(0)),
+                    set_idx(
+                        var("out"),
+                        i(3),
+                        band(cast(HTy::I32, var("stamp")), i(0x7f)),
+                    ),
+                    set_idx(var("out"), i(4), band(var("paylen"), i(0xff))),
+                    set_idx(var("out"), i(5), band(shr(var("paylen"), i(8)), i(0xff))),
+                    // The covert primitive (inert unless a model is armed).
+                    expr(native("covert_delay", vec![])),
+                    expr(native(
+                        "net_send",
+                        vec![var("out"), add(var("paylen"), i(RESPONSE_HEADER as i32))],
+                    )),
+                    set("served", add(var("served"), i(1))),
+                ],
+            ),
+        ],
+    ));
+    m.compile().expect("NFS server compiles")
+}
+
+/// Deterministically generate `n` files with sizes in `[min_b, max_b]`.
+pub fn make_files(n: usize, min_b: usize, max_b: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|fid| {
+            let size = rng.gen_range(min_b..=max_b);
+            (0..size).map(|k| ((k as u64 * 31 + fid as u64) & 0xff) as u8).collect()
+        })
+        .collect()
+}
+
+/// A timed client request schedule (the legitimate traffic source).
+#[derive(Debug, Clone)]
+pub struct RequestSchedule {
+    /// `(arrival_cycle, packet)` pairs, ascending.
+    pub packets: Vec<(u64, Vec<u8>)>,
+}
+
+impl RequestSchedule {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// The inter-arrival gaps (legitimate IPD reference sample), cycles.
+    pub fn gaps(&self) -> Vec<u64> {
+        self.packets
+            .windows(2)
+            .map(|w| w[1].0 - w[0].0)
+            .collect()
+    }
+}
+
+/// The §6.6 client: read every file front to back in [`MAX_READ`] chunks,
+/// one request per chunk, with bursty legitimate gaps around `mean_gap`
+/// cycles (lognormal-ish with slowly wandering burst scale).
+pub fn client_schedule(
+    files: &[Vec<u8>],
+    start_cycle: u64,
+    mean_gap: u64,
+    seed: u64,
+) -> RequestSchedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = start_cycle;
+    let mut packets = Vec::new();
+    let mut scale = 1.0f64;
+    let mut width = 0.12f64;
+    let mut n = 0usize;
+    for (fid, f) in files.iter().enumerate() {
+        let mut off = 0usize;
+        loop {
+            let chunk = (f.len() - off).min(MAX_READ);
+            packets.push((
+                t,
+                encode_request(OP_READ, fid as u8, off as u16, chunk as u16),
+            ));
+            n += 1;
+            // Legitimate traffic is bursty: both the burst scale and the
+            // in-burst variability wander over time. The scale keeps IPDs
+            // in the paper's 6-9 ms band (Fig. 7); the wandering width is
+            // what the regularity test keys on — real traffic's variance
+            // "varies over time" (§5.2).
+            if n % 16 == 0 {
+                scale = rng.gen_range(0.85..1.30);
+                width = rng.gen_range(0.05..0.25);
+            }
+            let u1: f64 = rng.gen_range(1e-9..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let gap = (mean_gap as f64 * scale * (width * z).exp()).max(1000.0) as u64;
+            t += gap;
+            off += chunk;
+            if off >= f.len() {
+                break;
+            }
+        }
+    }
+    RequestSchedule { packets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jbc::verify;
+
+    #[test]
+    fn server_compiles_and_verifies() {
+        let p = server_program(10);
+        verify(&p).expect("verifies");
+        assert!(p.total_code_len() > 80);
+    }
+
+    #[test]
+    fn request_codec_roundtrip() {
+        let p = encode_request(OP_READ, 7, 2048, 1024);
+        assert_eq!(p.len(), REQUEST_SIZE);
+        assert_eq!(p[0], OP_READ);
+        assert_eq!(p[1], 7);
+        assert_eq!(p[2] as u16 | ((p[3] as u16) << 8), 2048);
+        assert_eq!(p[4] as u16 | ((p[5] as u16) << 8), 1024);
+    }
+
+    #[test]
+    fn response_decode() {
+        let mut r = vec![0u8; 12];
+        r[0] = OP_READ;
+        r[1] = 3;
+        r[4] = 0x00;
+        r[5] = 0x01; // len = 256
+        assert_eq!(decode_response(&r), Some((OP_READ, 3, 256)));
+        assert_eq!(decode_response(&r[..4]), None);
+    }
+
+    #[test]
+    fn files_are_deterministic() {
+        let a = make_files(5, 100, 1000, 42);
+        let b = make_files(5, 100, 1000, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        for f in &a {
+            assert!((100..=1000).contains(&f.len()));
+        }
+    }
+
+    #[test]
+    fn schedule_covers_all_files_in_chunks() {
+        let files = make_files(3, 2000, 3000, 1);
+        let sched = client_schedule(&files, 1000, 700_000, 2);
+        let expected: usize = files.iter().map(|f| f.len().div_ceil(MAX_READ)).sum();
+        assert_eq!(sched.len(), expected);
+        // Ascending times.
+        for w in sched.packets.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        // Gaps hover around the mean.
+        let gaps = sched.gaps();
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        assert!(mean > 500_000.0 && mean < 1_200_000.0, "mean={mean}");
+    }
+
+    #[test]
+    fn schedule_is_seed_deterministic() {
+        let files = make_files(2, 1500, 1500, 3);
+        let a = client_schedule(&files, 0, 500_000, 9);
+        let b = client_schedule(&files, 0, 500_000, 9);
+        assert_eq!(a.packets, b.packets);
+    }
+}

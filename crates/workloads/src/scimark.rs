@@ -1,0 +1,617 @@
+//! SciMark 2.0 kernels (Table 2, Fig. 6).
+//!
+//! Faithful ports of the five NIST SciMark computational kernels to the HLL
+//! front-end: fast Fourier transform, Jacobi successive over-relaxation,
+//! Monte Carlo integration, sparse matrix multiply, and dense LU
+//! factorization. Each kernel prints a checksum so tests can validate the
+//! numerics, and takes its problem size as a build parameter.
+
+use jbc::hll::{dsl::*, HTy, Module, Stmt};
+use jbc::{ElemTy, Program};
+
+/// The five kernels, in the paper's Table 2 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Jacobi successive over-relaxation.
+    Sor,
+    /// Sparse matrix multiply (CRS).
+    Smm,
+    /// Monte Carlo π integration.
+    Mc,
+    /// Complex-to-complex FFT with validation pass.
+    Fft,
+    /// Dense LU factorization with partial pivoting.
+    Lu,
+}
+
+impl Kernel {
+    /// All kernels in Table 2 row order.
+    pub fn all() -> [Kernel; 5] {
+        [Kernel::Sor, Kernel::Smm, Kernel::Mc, Kernel::Fft, Kernel::Lu]
+    }
+
+    /// Display name matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kernel::Sor => "SOR",
+            Kernel::Smm => "SMM",
+            Kernel::Mc => "MC",
+            Kernel::Fft => "FFT",
+            Kernel::Lu => "LU",
+        }
+    }
+
+    /// Build the kernel's program at a small (sweep-friendly) size.
+    pub fn program_small(self) -> Program {
+        match self {
+            Kernel::Sor => sor_program(32, 12),
+            Kernel::Smm => smm_program(400, 400, 5, 8),
+            Kernel::Mc => mc_program(6_000),
+            Kernel::Fft => fft_program(256),
+            Kernel::Lu => lu_program(28),
+        }
+    }
+
+    /// Build the kernel's program at the paper-like (large) size.
+    pub fn program_full(self) -> Program {
+        match self {
+            Kernel::Sor => sor_program(100, 30),
+            Kernel::Smm => smm_program(1000, 1000, 5, 25),
+            Kernel::Mc => mc_program(100_000),
+            Kernel::Fft => fft_program(1024),
+            Kernel::Lu => lu_program(100),
+        }
+    }
+}
+
+fn println_d_decl(m: &mut Module) {
+    m.native("println_d", &[HTy::F64], None);
+}
+
+/// Jacobi SOR on an `n × n` grid, `iters` sweeps, ω = 1.25.
+pub fn sor_program(n: i32, iters: i32) -> Program {
+    let mut m = Module::new("SOR");
+    println_d_decl(&mut m);
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("g", newarr(ElemTy::F64, i(n * n))),
+            // Deterministic initialization.
+            for_(
+                "ii",
+                i(0),
+                i(n * n),
+                vec![set_idx(
+                    var("g"),
+                    var("ii"),
+                    mul(i2d(rem(var("ii"), i(17))), d(0.25)),
+                )],
+            ),
+            let_("omega_over_four", d(1.25 / 4.0)),
+            let_("one_minus_omega", d(1.0 - 1.25)),
+            for_(
+                "it",
+                i(0),
+                i(iters),
+                vec![for_(
+                    "r",
+                    i(1),
+                    i(n - 1),
+                    vec![
+                        let_("row", mul(var("r"), i(n))),
+                        for_(
+                            "c",
+                            i(1),
+                            i(n - 1),
+                            vec![set_idx(
+                                var("g"),
+                                add(var("row"), var("c")),
+                                add(
+                                    mul(
+                                        var("omega_over_four"),
+                                        add(
+                                            add(
+                                                idx(var("g"), sub(add(var("row"), var("c")), i(n))),
+                                                idx(var("g"), add(add(var("row"), var("c")), i(n))),
+                                            ),
+                                            add(
+                                                idx(var("g"), sub(add(var("row"), var("c")), i(1))),
+                                                idx(var("g"), add(add(var("row"), var("c")), i(1))),
+                                            ),
+                                        ),
+                                    ),
+                                    mul(
+                                        var("one_minus_omega"),
+                                        idx(var("g"), add(var("row"), var("c"))),
+                                    ),
+                                ),
+                            )],
+                        ),
+                    ],
+                )],
+            ),
+            // Checksum: center cell.
+            expr(native(
+                "println_d",
+                vec![idx(var("g"), i(n / 2 * n + n / 2))],
+            )),
+        ],
+    ));
+    m.compile().expect("SOR compiles")
+}
+
+/// Sparse matrix multiply `y = A·x`, CRS with `rows × cols`, `nz` nonzeros
+/// per row, `iters` multiplications.
+pub fn smm_program(rows: i32, cols: i32, nz: i32, iters: i32) -> Program {
+    let mut m = Module::new("SMM");
+    println_d_decl(&mut m);
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("val", newarr(ElemTy::F64, i(rows * nz))),
+            let_("col", newarr(ElemTy::I32, i(rows * nz))),
+            let_("x", newarr(ElemTy::F64, i(cols))),
+            let_("y", newarr(ElemTy::F64, i(rows))),
+            // Structured sparse pattern, like SciMark's stencil-ish layout.
+            for_(
+                "r0",
+                i(0),
+                i(rows),
+                vec![for_(
+                    "k0",
+                    i(0),
+                    i(nz),
+                    vec![
+                        let_("p", add(mul(var("r0"), i(nz)), var("k0"))),
+                        set_idx(
+                            var("col"),
+                            var("p"),
+                            rem(
+                                add(var("r0"), mul(var("k0"), i(cols / nz))),
+                                i(cols),
+                            ),
+                        ),
+                        set_idx(
+                            var("val"),
+                            var("p"),
+                            add(d(1.0), mul(i2d(rem(var("p"), i(7))), d(0.25))),
+                        ),
+                    ],
+                )],
+            ),
+            for_(
+                "j0",
+                i(0),
+                i(cols),
+                vec![set_idx(
+                    var("x"),
+                    var("j0"),
+                    add(d(0.5), i2d(rem(var("j0"), i(3)))),
+                )],
+            ),
+            for_(
+                "it",
+                i(0),
+                i(iters),
+                vec![for_(
+                    "r",
+                    i(0),
+                    i(rows),
+                    vec![
+                        let_("sum", d(0.0)),
+                        for_(
+                            "k",
+                            i(0),
+                            i(nz),
+                            vec![
+                                let_("p2", add(mul(var("r"), i(nz)), var("k"))),
+                                set(
+                                    "sum",
+                                    add(
+                                        var("sum"),
+                                        mul(
+                                            idx(var("val"), var("p2")),
+                                            idx(var("x"), idx(var("col"), var("p2"))),
+                                        ),
+                                    ),
+                                ),
+                            ],
+                        ),
+                        set_idx(var("y"), var("r"), var("sum")),
+                    ],
+                )],
+            ),
+            // Checksum: Σy.
+            let_("total", d(0.0)),
+            for_(
+                "r2",
+                i(0),
+                i(rows),
+                vec![set("total", add(var("total"), idx(var("y"), var("r2"))))],
+            ),
+            expr(native("println_d", vec![var("total")])),
+        ],
+    ));
+    m.compile().expect("SMM compiles")
+}
+
+/// Monte Carlo π with `samples` points and a Park-Miller LCG.
+pub fn mc_program(samples: i32) -> Program {
+    let mut m = Module::new("MC");
+    println_d_decl(&mut m);
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("seed", l(113)),
+            let_("hits", i(0)),
+            for_(
+                "k",
+                i(0),
+                i(samples),
+                vec![
+                    set("seed", rem(mul(var("seed"), l(16807)), l(2147483647))),
+                    let_("x", div(cast(HTy::F64, var("seed")), d(2147483647.0))),
+                    set("seed", rem(mul(var("seed"), l(16807)), l(2147483647))),
+                    let_("y", div(cast(HTy::F64, var("seed")), d(2147483647.0))),
+                    if_(
+                        le(add(mul(var("x"), var("x")), mul(var("y"), var("y"))), d(1.0)),
+                        vec![set("hits", add(var("hits"), i(1)))],
+                        vec![],
+                    ),
+                ],
+            ),
+            expr(native(
+                "println_d",
+                vec![div(mul(i2d(var("hits")), d(4.0)), i2d(i(samples)))],
+            )),
+        ],
+    ));
+    m.compile().expect("MC compiles")
+}
+
+/// Complex FFT of size `n` (power of two): forward, inverse, and RMS
+/// validation against the original input.
+pub fn fft_program(n: i32) -> Program {
+    assert!(n > 0 && (n & (n - 1)) == 0, "FFT size must be a power of 2");
+    let mut m = Module::new("FFT");
+    println_d_decl(&mut m);
+    m.native("math_sin", &[HTy::F64], Some(HTy::F64));
+    m.native("math_cos", &[HTy::F64], Some(HTy::F64));
+    m.native("math_sqrt", &[HTy::F64], Some(HTy::F64));
+
+    // transform(data, direction): in-place radix-2 FFT on interleaved
+    // complex data of n points. direction = -1.0 forward, +1.0 inverse.
+    let bitrev: Vec<Stmt> = vec![
+        let_("j", i(0)),
+        for_(
+            "i",
+            i(0),
+            i(n - 1),
+            vec![
+                if_(
+                    lt(var("i"), var("j")),
+                    vec![
+                        let_("tr", idx(var("data"), mul(var("i"), i(2)))),
+                        let_("ti", idx(var("data"), add(mul(var("i"), i(2)), i(1)))),
+                        set_idx(
+                            var("data"),
+                            mul(var("i"), i(2)),
+                            idx(var("data"), mul(var("j"), i(2))),
+                        ),
+                        set_idx(
+                            var("data"),
+                            add(mul(var("i"), i(2)), i(1)),
+                            idx(var("data"), add(mul(var("j"), i(2)), i(1))),
+                        ),
+                        set_idx(var("data"), mul(var("j"), i(2)), var("tr")),
+                        set_idx(var("data"), add(mul(var("j"), i(2)), i(1)), var("ti")),
+                    ],
+                    vec![],
+                ),
+                let_("k", i(n / 2)),
+                while_(
+                    and(ge(var("j"), var("k")), gt(var("k"), i(0))),
+                    vec![set("j", sub(var("j"), var("k"))), set("k", div(var("k"), i(2)))],
+                ),
+                set("j", add(var("j"), var("k"))),
+            ],
+        ),
+    ];
+
+    let butterflies: Vec<Stmt> = vec![
+        let_("dual", i(1)),
+        while_(
+            lt(var("dual"), i(n)),
+            vec![
+                for_(
+                    "a",
+                    i(0),
+                    var("dual"),
+                    vec![
+                        let_(
+                            "theta",
+                            mul(
+                                var("direction"),
+                                div(
+                                    mul(d(std::f64::consts::PI), i2d(var("a"))),
+                                    i2d(var("dual")),
+                                ),
+                            ),
+                        ),
+                        let_("w_re", native("math_cos", vec![var("theta")])),
+                        let_("w_im", native("math_sin", vec![var("theta")])),
+                        let_("b", var("a")),
+                        while_(
+                            lt(var("b"), i(n)),
+                            vec![
+                                let_("i1", mul(var("b"), i(2))),
+                                let_("j1", mul(add(var("b"), var("dual")), i(2))),
+                                let_("z_re", idx(var("data"), var("j1"))),
+                                let_("z_im", idx(var("data"), add(var("j1"), i(1)))),
+                                let_(
+                                    "wd_re",
+                                    sub(
+                                        mul(var("w_re"), var("z_re")),
+                                        mul(var("w_im"), var("z_im")),
+                                    ),
+                                ),
+                                let_(
+                                    "wd_im",
+                                    add(
+                                        mul(var("w_re"), var("z_im")),
+                                        mul(var("w_im"), var("z_re")),
+                                    ),
+                                ),
+                                set_idx(
+                                    var("data"),
+                                    var("j1"),
+                                    sub(idx(var("data"), var("i1")), var("wd_re")),
+                                ),
+                                set_idx(
+                                    var("data"),
+                                    add(var("j1"), i(1)),
+                                    sub(idx(var("data"), add(var("i1"), i(1))), var("wd_im")),
+                                ),
+                                set_idx(
+                                    var("data"),
+                                    var("i1"),
+                                    add(idx(var("data"), var("i1")), var("wd_re")),
+                                ),
+                                set_idx(
+                                    var("data"),
+                                    add(var("i1"), i(1)),
+                                    add(idx(var("data"), add(var("i1"), i(1))), var("wd_im")),
+                                ),
+                                set("b", add(var("b"), mul(var("dual"), i(2)))),
+                            ],
+                        ),
+                    ],
+                ),
+                set("dual", mul(var("dual"), i(2))),
+            ],
+        ),
+    ];
+
+    let mut transform_body = bitrev;
+    transform_body.extend(butterflies);
+    m.func(jbc::hll::HFn {
+        name: "transform".to_string(),
+        params: vec![
+            ("data".to_string(), HTy::Arr(ElemTy::F64)),
+            ("direction".to_string(), HTy::F64),
+        ],
+        ret: None,
+        body: transform_body,
+    });
+
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("data", newarr(ElemTy::F64, i(2 * n))),
+            let_("orig", newarr(ElemTy::F64, i(2 * n))),
+            let_("seed", l(331)),
+            for_(
+                "s",
+                i(0),
+                i(2 * n),
+                vec![
+                    set("seed", rem(mul(var("seed"), l(16807)), l(2147483647))),
+                    let_("v", div(cast(HTy::F64, var("seed")), d(2147483647.0))),
+                    set_idx(var("data"), var("s"), var("v")),
+                    set_idx(var("orig"), var("s"), var("v")),
+                ],
+            ),
+            expr(call("transform", vec![var("data"), d(-1.0)])),
+            expr(call("transform", vec![var("data"), d(1.0)])),
+            // Normalize the inverse and compute the RMS error.
+            let_("err", d(0.0)),
+            for_(
+                "s2",
+                i(0),
+                i(2 * n),
+                vec![
+                    let_(
+                        "dd",
+                        sub(
+                            div(idx(var("data"), var("s2")), i2d(i(n))),
+                            idx(var("orig"), var("s2")),
+                        ),
+                    ),
+                    set("err", add(var("err"), mul(var("dd"), var("dd")))),
+                ],
+            ),
+            expr(native(
+                "println_d",
+                vec![native(
+                    "math_sqrt",
+                    vec![div(var("err"), i2d(i(2 * n)))],
+                )],
+            )),
+        ],
+    ));
+    m.compile().expect("FFT compiles")
+}
+
+/// Dense LU factorization with partial pivoting of an `n × n` matrix.
+pub fn lu_program(n: i32) -> Program {
+    let mut m = Module::new("LU");
+    println_d_decl(&mut m);
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("a", newarr(ElemTy::F64, i(n * n))),
+            let_("seed", l(777)),
+            for_(
+                "s",
+                i(0),
+                i(n * n),
+                vec![
+                    set("seed", rem(mul(var("seed"), l(16807)), l(2147483647))),
+                    set_idx(
+                        var("a"),
+                        var("s"),
+                        sub(
+                            mul(div(cast(HTy::F64, var("seed")), d(2147483647.0)), d(2.0)),
+                            d(1.0),
+                        ),
+                    ),
+                ],
+            ),
+            // Diagonal dominance keeps the factorization well-conditioned.
+            for_(
+                "dd",
+                i(0),
+                i(n),
+                vec![set_idx(
+                    var("a"),
+                    add(mul(var("dd"), i(n)), var("dd")),
+                    add(
+                        idx(var("a"), add(mul(var("dd"), i(n)), var("dd"))),
+                        i2d(i(n)),
+                    ),
+                )],
+            ),
+            for_(
+                "j",
+                i(0),
+                i(n),
+                vec![
+                    // Partial pivot search in column j.
+                    let_("p", var("j")),
+                    let_("maxv", idx(var("a"), add(mul(var("j"), i(n)), var("j")))),
+                    if_(lt(var("maxv"), d(0.0)), vec![set("maxv", neg(var("maxv")))], vec![]),
+                    for_(
+                        "r",
+                        add(var("j"), i(1)),
+                        i(n),
+                        vec![
+                            let_("cand", idx(var("a"), add(mul(var("r"), i(n)), var("j")))),
+                            if_(
+                                lt(var("cand"), d(0.0)),
+                                vec![set("cand", neg(var("cand")))],
+                                vec![],
+                            ),
+                            if_(
+                                gt(var("cand"), var("maxv")),
+                                vec![set("maxv", var("cand")), set("p", var("r"))],
+                                vec![],
+                            ),
+                        ],
+                    ),
+                    // Row swap if needed.
+                    if_(
+                        ne(var("p"), var("j")),
+                        vec![for_(
+                            "c",
+                            i(0),
+                            i(n),
+                            vec![
+                                let_("tmp", idx(var("a"), add(mul(var("p"), i(n)), var("c")))),
+                                set_idx(
+                                    var("a"),
+                                    add(mul(var("p"), i(n)), var("c")),
+                                    idx(var("a"), add(mul(var("j"), i(n)), var("c"))),
+                                ),
+                                set_idx(var("a"), add(mul(var("j"), i(n)), var("c")), var("tmp")),
+                            ],
+                        )],
+                        vec![],
+                    ),
+                    // Elimination below the pivot.
+                    let_("piv", idx(var("a"), add(mul(var("j"), i(n)), var("j")))),
+                    for_(
+                        "r2",
+                        add(var("j"), i(1)),
+                        i(n),
+                        vec![
+                            let_(
+                                "f",
+                                div(idx(var("a"), add(mul(var("r2"), i(n)), var("j"))), var("piv")),
+                            ),
+                            set_idx(var("a"), add(mul(var("r2"), i(n)), var("j")), var("f")),
+                            for_(
+                                "c2",
+                                add(var("j"), i(1)),
+                                i(n),
+                                vec![set_idx(
+                                    var("a"),
+                                    add(mul(var("r2"), i(n)), var("c2")),
+                                    sub(
+                                        idx(var("a"), add(mul(var("r2"), i(n)), var("c2"))),
+                                        mul(var("f"), idx(var("a"), add(mul(var("j"), i(n)), var("c2")))),
+                                    ),
+                                )],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            // Checksum: Σ diag.
+            let_("total", d(0.0)),
+            for_(
+                "d2",
+                i(0),
+                i(n),
+                vec![set(
+                    "total",
+                    add(var("total"), idx(var("a"), add(mul(var("d2"), i(n)), var("d2")))),
+                )],
+            ),
+            expr(native("println_d", vec![var("total")])),
+        ],
+    ));
+    m.compile().expect("LU compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jbc::verify;
+
+    #[test]
+    fn all_kernels_compile_and_verify() {
+        for k in Kernel::all() {
+            let p = k.program_small();
+            verify(&p).unwrap_or_else(|e| panic!("{}: {e}", k.label()));
+            assert!(p.total_code_len() > 50, "{} is non-trivial", k.label());
+        }
+    }
+
+    #[test]
+    fn full_sizes_compile_too() {
+        for k in Kernel::all() {
+            verify(&k.program_full()).unwrap_or_else(|e| panic!("{}: {e}", k.label()));
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_order() {
+        let labels: Vec<&str> = Kernel::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["SOR", "SMM", "MC", "FFT", "LU"]);
+    }
+}

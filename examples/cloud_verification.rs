@@ -1,0 +1,73 @@
+//! Cloud verification: the paper's first motivating scenario (§1, Fig. 1a).
+//!
+//! ```text
+//! cargo run --release --example cloud_verification
+//! ```
+//!
+//! Bob pays Alice for a fast machine type T. He records his workload's
+//! timing on the (alleged) type-T instance, then reproduces the execution
+//! on a reference machine of type T he controls. If Alice actually
+//! provisioned a slower type T', the reproduced timing disagrees.
+
+use machine::MachineConfig;
+use sanity_tdr::{compare, Sanity};
+use sim_core::{CacheParams, CoreParams};
+use workloads::scimark::Kernel;
+
+/// The slower machine type T': half the clock, smaller L2.
+fn slow_type() -> MachineConfig {
+    let mut cfg = MachineConfig::sanity();
+    cfg.nominal_hz = 60_000_000; // 60 MHz-class instead of 100.
+    cfg.core = CoreParams {
+        l2: CacheParams {
+            sets: 128, // 64 KiB instead of 256 KiB.
+            ..CacheParams::l2()
+        },
+        ..CoreParams::default_params()
+    };
+    cfg
+}
+
+fn main() {
+    println!("Cloud machine-type verification");
+    println!("===============================\n");
+    let workload = Kernel::Sor.program_small();
+
+    // What Bob observes from the remote machine: completion wall time.
+    // Case A: Alice provisioned the promised type T.
+    let honest = Sanity::new(workload.clone());
+    let observed_honest = honest.record(1, |_| {}).expect("record");
+
+    // Case B: Alice cheaped out with type T'.
+    let cheat = Sanity::new(workload.clone()).with_machine_config(slow_type());
+    let observed_cheat = cheat.record(1, |_| {}).expect("record");
+
+    // Bob reproduces the run on his own reference type-T machine.
+    let reference = Sanity::new(workload);
+    let reproduced = reference
+        .replay(&observed_honest.log, 42, |_| {})
+        .expect("replay");
+
+    let honest_ms = observed_honest.outcome.wall_ps as f64 / 1e9;
+    let cheat_ms = observed_cheat.outcome.wall_ps as f64 / 1e9;
+    let repro_ms = reproduced.outcome.wall_ps as f64 / 1e9;
+    println!("observed on honest T:    {honest_ms:.3} ms");
+    println!("observed on cheaper T':  {cheat_ms:.3} ms");
+    println!("reproduced on local T:   {repro_ms:.3} ms\n");
+
+    let dev_honest = compare::relative_error(
+        observed_honest.outcome.cycles,
+        reproduced.outcome.cycles,
+    );
+    println!(
+        "honest claim vs reproduction: {:.3}% deviation — consistent with type T",
+        dev_honest * 100.0
+    );
+    let dev_cheat = (cheat_ms - repro_ms).abs() / repro_ms;
+    println!(
+        "cheating claim vs reproduction: {:.1}% deviation — NOT a type-T machine",
+        dev_cheat * 100.0
+    );
+    assert!(dev_honest < 0.02);
+    assert!(dev_cheat > 0.20);
+}

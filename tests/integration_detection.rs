@@ -1,0 +1,156 @@
+//! Cross-crate integration: covert channels vs the TDR auditor (§5.3, §6.6).
+
+use channels::{message_bits, Needle, TimingChannel, Trctc};
+use sanity_tdr::{compare, Sanity, TimingAuditor};
+use vm::TargetSendTimes;
+use workloads::nfs;
+
+struct Setup {
+    sanity: Sanity,
+    packets: Vec<(u64, Vec<u8>)>,
+}
+
+fn setup(seed: u64) -> Setup {
+    let files = nfs::make_files(6, 2048, 6144, seed);
+    let sched = nfs::client_schedule(&files, 200_000, 740_000, seed ^ 0x5a5a);
+    Setup {
+        sanity: Sanity::new(nfs::server_program(sched.len() as i32)).with_files(files),
+        packets: sched.packets,
+    }
+}
+
+fn record_clean(s: &Setup, run: u64) -> replay::Recorded {
+    let packets = s.packets.clone();
+    s.sanity
+        .record(run, move |vm| {
+            for (at, pkt) in packets {
+                vm.machine_mut().deliver_packet(at, pkt);
+            }
+        })
+        .expect("record")
+}
+
+fn record_with_targets(s: &Setup, run: u64, targets: Vec<u64>) -> replay::Recorded {
+    let packets = s.packets.clone();
+    s.sanity
+        .record(run, move |vm| {
+            for (at, pkt) in packets {
+                vm.machine_mut().deliver_packet(at, pkt);
+            }
+            vm.set_delay_model(Box::new(TargetSendTimes::new(targets)));
+        })
+        .expect("record")
+}
+
+fn targets_for_covert(base_sends: &[u64], covert_ipds: &[u64]) -> Vec<u64> {
+    let mut cov_abs = vec![0u64];
+    let mut t = 0u64;
+    for &d in covert_ipds.iter().take(base_sends.len() - 1) {
+        t += d;
+        cov_abs.push(t);
+    }
+    let offset = base_sends
+        .iter()
+        .zip(&cov_abs)
+        .map(|(&b, &c)| b.saturating_sub(c))
+        .max()
+        .unwrap_or(0)
+        + 150_000;
+    cov_abs.iter().map(|&c| c + offset).collect()
+}
+
+#[test]
+fn auditor_passes_clean_trace_and_flags_trctc() {
+    let s = setup(10);
+    let clean = record_clean(&s, 1);
+    let clean_ipds = compare::tx_ipds_cycles(&clean.tx);
+    let auditor = TimingAuditor::new(s.sanity.clone());
+
+    // Clean trace: the score sits at the noise floor.
+    let clean_report = auditor.audit(&clean.log, &clean_ipds, 42).expect("audit");
+    assert!(
+        !clean_report.flagged,
+        "clean score {} under threshold",
+        clean_report.score
+    );
+
+    // TRCTC-compromised trace: flagged decisively.
+    let base_sends: Vec<u64> = clean.tx.iter().map(|t| t.cycle).collect();
+    let legit: Vec<u64> = clean_ipds.clone();
+    let mut ch = Trctc::new(7);
+    let covert = ch.encode(&message_bits(clean_ipds.len(), 3), &legit);
+    let targets = targets_for_covert(&base_sends, &covert);
+    let covert_rec = record_with_targets(&s, 1, targets);
+    let covert_ipds = compare::tx_ipds_cycles(&covert_rec.tx);
+    let report = auditor
+        .audit(&covert_rec.log, &covert_ipds, 43)
+        .expect("audit");
+    assert!(report.flagged, "TRCTC score {} over threshold", report.score);
+    assert!(report.score > 5.0 * clean_report.score.max(1e-6));
+}
+
+#[test]
+fn auditor_catches_single_packet_needle() {
+    // §6.8: a single delayed packet out of a hundred is invisible to the
+    // statistics but not to TDR.
+    let s = setup(11);
+    let clean = record_clean(&s, 2);
+    let clean_ipds = compare::tx_ipds_cycles(&clean.tx);
+    let base_sends: Vec<u64> = clean.tx.iter().map(|t| t.cycle).collect();
+
+    let mut needle = Needle::new(clean_ipds.len(), 0.40); // One bit total.
+    let covert = needle.encode(&[true], &clean_ipds);
+    let targets = targets_for_covert(&base_sends, &covert[..clean_ipds.len()]);
+    let covert_rec = record_with_targets(&s, 2, targets);
+    let covert_ipds = compare::tx_ipds_cycles(&covert_rec.tx);
+
+    let auditor = TimingAuditor::new(s.sanity.clone());
+    let report = auditor
+        .audit(&covert_rec.log, &covert_ipds, 44)
+        .expect("audit");
+    assert!(
+        report.flagged,
+        "one stretched packet is enough: score {}",
+        report.score
+    );
+}
+
+#[test]
+fn statistical_detectors_see_nothing_on_needle() {
+    use detectors::{Detector, KsTest, ShapeTest};
+    let s = setup(12);
+    let clean = record_clean(&s, 3);
+    let clean_ipds = compare::tx_ipds_cycles(&clean.tx);
+
+    // Train on a handful of other clean traces.
+    let train: Vec<Vec<u64>> = (20..26u64)
+        .map(|k| {
+            let s2 = setup(k);
+            compare::tx_ipds_cycles(&record_clean(&s2, k).tx)
+        })
+        .collect();
+    let mut shape = ShapeTest::new();
+    shape.train(&train);
+    let mut ks = KsTest::new();
+    ks.train(&train);
+
+    // The needle trace differs from its clean base in one packet.
+    let base_sends: Vec<u64> = clean.tx.iter().map(|t| t.cycle).collect();
+    let mut needle = Needle::new(clean_ipds.len(), 0.40);
+    let covert = needle.encode(&[true], &clean_ipds);
+    let targets = targets_for_covert(&base_sends, &covert[..clean_ipds.len()]);
+    let covert_rec = record_with_targets(&s, 3, targets);
+    let covert_ipds = compare::tx_ipds_cycles(&covert_rec.tx);
+
+    // The needle's statistical footprint is within the legitimate spread.
+    let max_clean_shape = train.iter().map(|t| shape.score(t)).fold(0.0, f64::max);
+    assert!(
+        shape.score(&covert_ipds) < 2.0 * max_clean_shape,
+        "shape can't separate the needle"
+    );
+    let max_clean_ks = train.iter().map(|t| ks.score(t)).fold(0.0, f64::max);
+    assert!(
+        ks.score(&covert_ipds) < 2.0 * max_clean_ks,
+        "KS can't separate the needle"
+    );
+}

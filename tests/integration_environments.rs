@@ -1,0 +1,86 @@
+//! Cross-crate integration: environment noise ordering (Fig. 2 / Fig. 6).
+
+use std::sync::Arc;
+
+use machine::{Environment, Machine, MachineConfig, Seeds};
+use netsim::stats;
+use sanity_tdr::Engine;
+use sim_core::CostModel;
+use vm::{Vm, VmConfig};
+use workloads::{microbench, scimark::Kernel};
+
+fn spread(env: Environment, program: &Arc<jbc::Program>, runs: usize) -> f64 {
+    let times: Vec<f64> = (0..runs)
+        .map(|r| {
+            let machine = Machine::new(MachineConfig::host(env), Seeds::from_run(300 + r as u64));
+            let cfg = VmConfig {
+                cost: CostModel::oracle_interpreter(),
+                ..VmConfig::default()
+            };
+            let mut vm = Vm::new(Arc::clone(program), machine, cfg).expect("load");
+            vm.machine_mut().start_run();
+            vm.run().expect("run").wall_ps as f64
+        })
+        .collect();
+    stats::relative_spread(&times)
+}
+
+#[test]
+fn fig2_ordering_noisy_to_quiet() {
+    let p = Arc::new(microbench::zero_array_program(128 * 1024, 1));
+    let noisy = spread(Environment::UserNoisy, &p, 10);
+    let quiet = spread(Environment::UserQuiet, &p, 10);
+    let kernel_quiet = spread(Environment::KernelQuiet, &p, 10);
+    assert!(
+        noisy > 5.0 * quiet,
+        "noisy {noisy} ≫ quiet {quiet} (paper: up to ~189% vs a few %)"
+    );
+    assert!(
+        quiet > kernel_quiet,
+        "quiet {quiet} > kernel-quiet {kernel_quiet}"
+    );
+}
+
+#[test]
+fn fig6_sanity_is_an_order_quieter_than_clean() {
+    let p = Arc::new(Kernel::Sor.program_small());
+    let clean: Vec<f64> = (0..8u64)
+        .map(|r| {
+            Engine::OracleInt(Environment::UserQuiet)
+                .run_program(&p, 600 + r)
+                .expect("run")
+                .wall_ps as f64
+        })
+        .collect();
+    let sanity: Vec<f64> = (0..8u64)
+        .map(|r| {
+            Engine::Sanity
+                .run_program(&p, 600 + r)
+                .expect("run")
+                .wall_ps as f64
+        })
+        .collect();
+    let clean_spread = stats::relative_spread(&clean);
+    let sanity_spread = stats::relative_spread(&sanity);
+    assert!(
+        sanity_spread < clean_spread / 2.0,
+        "Sanity {sanity_spread} ≪ clean {clean_spread}"
+    );
+    assert!(sanity_spread < 0.0125, "paper: 0.08%–1.22%: {sanity_spread}");
+}
+
+#[test]
+fn functional_determinism_holds_in_every_environment() {
+    let p = Arc::new(Kernel::Mc.program_small());
+    let mut consoles = Vec::new();
+    for env in Environment::all() {
+        let machine = Machine::new(MachineConfig::host(env), Seeds::from_run(1));
+        let mut vm = Vm::new(Arc::clone(&p), machine, VmConfig::default()).expect("load");
+        vm.machine_mut().start_run();
+        let out = vm.run().expect("run");
+        consoles.push(out.console);
+    }
+    for w in consoles.windows(2) {
+        assert_eq!(w[0], w[1], "noise never changes results, only timing");
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration: record → log → TDR replay → comparison.
+
+use sanity_tdr::{compare, Sanity};
+use workloads::{nfs, scimark::Kernel};
+
+fn nfs_sanity(seed: u64) -> (Sanity, nfs::RequestSchedule) {
+    let files = nfs::make_files(5, 2048, 6144, seed);
+    let sched = nfs::client_schedule(&files, 200_000, 740_000, seed ^ 0xabc);
+    let s = Sanity::new(nfs::server_program(sched.len() as i32)).with_files(files);
+    (s, sched)
+}
+
+#[test]
+fn nfs_record_replay_accuracy_within_paper_bound() {
+    let (s, sched) = nfs_sanity(1);
+    let packets = sched.packets.clone();
+    let rec = s
+        .record(1, move |vm| {
+            for (at, pkt) in packets {
+                vm.machine_mut().deliver_packet(at, pkt);
+            }
+        })
+        .expect("record");
+    let rep = s.replay(&rec.log, 77, |_| {}).expect("replay");
+
+    // §6.4: runtime within 1%; all IPDs within ~1.85% (we allow 2.5% for
+    // the small trace's worst case).
+    let rt_err = compare::relative_error(rec.outcome.cycles, rep.outcome.cycles);
+    assert!(rt_err < 0.01, "runtime error {rt_err}");
+    let c = compare::compare_ipds(
+        &compare::tx_ipds_cycles(&rec.tx),
+        &compare::tx_ipds_cycles(&rep.tx),
+    );
+    assert!(!c.length_mismatch);
+    assert!(c.max_rel < 0.025, "max IPD deviation {}", c.max_rel);
+}
+
+#[test]
+fn replay_reproduces_outputs_exactly() {
+    let (s, sched) = nfs_sanity(2);
+    let packets = sched.packets.clone();
+    let rec = s
+        .record(2, move |vm| {
+            for (at, pkt) in packets {
+                vm.machine_mut().deliver_packet(at, pkt);
+            }
+        })
+        .expect("record");
+    let rep = s.replay(&rec.log, 88, |_| {}).expect("replay");
+    assert_eq!(rec.tx.len(), rep.tx.len());
+    for (a, b) in rec.tx.iter().zip(rep.tx.iter()) {
+        assert_eq!(a.data, b.data, "§6.5: replay produces exact copies");
+    }
+    assert_eq!(rec.outcome.icount, rep.outcome.icount);
+}
+
+#[test]
+fn log_serializes_and_replays_from_json() {
+    let (s, sched) = nfs_sanity(3);
+    let packets = sched.packets.clone();
+    let rec = s
+        .record(3, move |vm| {
+            for (at, pkt) in packets {
+                vm.machine_mut().deliver_packet(at, pkt);
+            }
+        })
+        .expect("record");
+    let json = rec.log.to_json();
+    let log = sanity_tdr::replay::EventLog::from_json(&json).expect("parse");
+    let rep = s.replay(&log, 99, |_| {}).expect("replay from parsed log");
+    assert_eq!(rep.outcome.icount, rec.outcome.icount);
+}
+
+#[test]
+fn compute_workloads_record_replay_cleanly() {
+    for k in [Kernel::Mc, Kernel::Lu] {
+        let s = Sanity::new(k.program_small());
+        let rec = s.record(5, |_| {}).expect("record");
+        let rep = s.replay(&rec.log, 55, |_| {}).expect("replay");
+        assert_eq!(rec.outcome.console, rep.outcome.console, "{:?}", k.label());
+        let err = compare::relative_error(rec.outcome.cycles, rep.outcome.cycles);
+        assert!(err < 0.01, "{}: {err}", k.label());
+    }
+}
+
+#[test]
+fn functional_baseline_diverges_tdr_does_not() {
+    let s = Sanity::new(workloads::bootserve::bootserve_program(40, 10));
+    let rec = s
+        .record(6, |vm| {
+            for k in 0..10u64 {
+                vm.machine_mut()
+                    .deliver_packet(2_000_000 + k * 700_000, vec![k as u8; 48]);
+            }
+        })
+        .expect("record");
+    let tdr = s.replay(&rec.log, 7, |_| {}).expect("tdr");
+    let functional = s.replay_functional(&rec.log, 8).expect("functional");
+
+    let tdr_err = compare::relative_error(rec.outcome.cycles, tdr.outcome.cycles);
+    let fun_err = compare::relative_error(rec.outcome.cycles, functional.outcome.cycles);
+    assert!(tdr_err < 0.01, "TDR: {tdr_err}");
+    assert!(fun_err > 0.10, "functional baseline diverges: {fun_err}");
+    assert_eq!(
+        functional.outcome.icount, rec.outcome.icount,
+        "functional replay is still functionally correct"
+    );
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration: the bytecode workloads compute correct results.
+
+use std::sync::Arc;
+
+use machine::{Machine, MachineConfig, Seeds};
+use vm::{Vm, VmConfig};
+use workloads::scimark::{self, Kernel};
+
+fn run_console(p: jbc::Program) -> Vec<String> {
+    let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(1));
+    let mut vm = Vm::new(Arc::new(p), machine, VmConfig::default()).expect("load");
+    vm.machine_mut().start_run();
+    vm.run().expect("run").console
+}
+
+#[test]
+fn mc_estimates_pi() {
+    let out = run_console(scimark::mc_program(20_000));
+    let pi: f64 = out[0].parse().expect("number");
+    assert!((pi - std::f64::consts::PI).abs() < 0.06, "π ≈ {pi}");
+}
+
+#[test]
+fn fft_roundtrip_error_is_tiny() {
+    let out = run_console(scimark::fft_program(128));
+    let rms: f64 = out[0].parse().expect("number");
+    assert!(rms < 1e-9, "forward+inverse RMS error: {rms}");
+}
+
+#[test]
+fn lu_diagonal_is_finite_and_dominant() {
+    let out = run_console(scimark::lu_program(24));
+    let diag_sum: f64 = out[0].parse().expect("number");
+    assert!(diag_sum.is_finite());
+    // Diagonally dominant input: pivots stay comparable to n.
+    assert!(diag_sum > 24.0 * 24.0 * 0.2, "Σdiag = {diag_sum}");
+}
+
+#[test]
+fn sor_relaxation_converges_to_finite_values() {
+    let out = run_console(scimark::sor_program(24, 20));
+    let center: f64 = out[0].parse().expect("number");
+    assert!(center.is_finite());
+    assert!(center.abs() < 100.0, "relaxation stays bounded: {center}");
+}
+
+#[test]
+fn smm_matches_host_reference() {
+    // Recompute the sparse multiply in Rust with the same construction and
+    // compare checksums.
+    let (rows, cols, nz, iters) = (60, 60, 4, 3);
+    let out = run_console(scimark::smm_program(rows, cols, nz, iters));
+    let got: f64 = out[0].parse().expect("number");
+
+    let mut val = vec![0.0f64; (rows * nz) as usize];
+    let mut col = vec![0usize; (rows * nz) as usize];
+    for r in 0..rows {
+        for k in 0..nz {
+            let p = (r * nz + k) as usize;
+            col[p] = ((r + k * (cols / nz)) % cols) as usize;
+            val[p] = 1.0 + ((p as i32 % 7) as f64) * 0.25;
+        }
+    }
+    let x: Vec<f64> = (0..cols).map(|j| 0.5 + (j % 3) as f64).collect();
+    let mut y = vec![0.0f64; rows as usize];
+    for _ in 0..iters {
+        for r in 0..rows as usize {
+            let mut sum = 0.0;
+            for k in 0..nz as usize {
+                let p = r * nz as usize + k;
+                sum += val[p] * x[col[p]];
+            }
+            y[r] = sum;
+        }
+    }
+    let want: f64 = y.iter().sum();
+    assert!(
+        (got - want).abs() < 1e-6,
+        "SMM checksum: vm {got} vs host {want}"
+    );
+}
+
+#[test]
+fn all_kernels_run_to_completion_at_small_size() {
+    for k in Kernel::all() {
+        let out = run_console(k.program_small());
+        assert_eq!(out.len(), 1, "{} prints one checksum", k.label());
+        let v: f64 = out[0].parse().expect("numeric checksum");
+        assert!(v.is_finite(), "{}: {v}", k.label());
+    }
+}
+
+#[test]
+fn gc_survives_kernel_sweep() {
+    // Run every kernel on a deliberately small heap to force collections.
+    for k in Kernel::all() {
+        let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(2));
+        let mut cfg = VmConfig::default();
+        cfg.heap_size = 3 << 20;
+        let mut vm = Vm::new(Arc::new(k.program_small()), machine, cfg).expect("load");
+        vm.machine_mut().start_run();
+        vm.run().unwrap_or_else(|e| panic!("{}: {e}", k.label()));
+    }
+}
