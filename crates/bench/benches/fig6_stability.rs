@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
         let mut run = 0u64;
         b.iter(|| {
             run += 1;
-            Engine::Sanity.run_program(&program, run).expect("run").cycles
+            Engine::Sanity
+                .run_program(&program, run)
+                .expect("run")
+                .cycles
         })
     });
     group.finish();

@@ -14,8 +14,7 @@ fn bench(c: &mut Criterion) {
             run += 1;
             let files = nfs::make_files(3, 1024, 3072, run);
             let sched = nfs::client_schedule(&files, 200_000, 700_000, run);
-            let sanity =
-                Sanity::new(nfs::server_program(sched.len() as i32)).with_files(files);
+            let sanity = Sanity::new(nfs::server_program(sched.len() as i32)).with_files(files);
             let packets = sched.packets.clone();
             let rec = sanity
                 .record(run, move |vm| {
@@ -24,7 +23,9 @@ fn bench(c: &mut Criterion) {
                     }
                 })
                 .expect("record");
-            let rep = sanity.replay(&rec.log, run + 99_999, |_| {}).expect("replay");
+            let rep = sanity
+                .replay(&rec.log, run + 99_999, |_| {})
+                .expect("replay");
             (rec.outcome.cycles, rep.outcome.cycles)
         })
     });

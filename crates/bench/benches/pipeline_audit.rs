@@ -1,0 +1,48 @@
+//! Criterion bench for the audit pipeline: batch audit latency at 1 worker
+//! vs a sharded pool over a pre-recorded NFS batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sanity_tdr::{AuditConfig, AuditJob, Sanity};
+use vm::Vm;
+use workloads::nfs;
+
+fn build_batch(sessions: u64) -> (Sanity, Vec<AuditJob>) {
+    let files = nfs::make_files(6, 2048, 6144, 777);
+    let sanity = Sanity::new(nfs::server_program(files.len() as i32)).with_files(files.clone());
+    let jobs = (0..sessions)
+        .map(|id| {
+            let sched = nfs::client_schedule(&files, 200_000, 740_000, 3_000 + id);
+            let deliver = move |vm: &mut Vm| {
+                for (at, pkt) in sched.packets {
+                    vm.machine_mut().deliver_packet(at, pkt);
+                }
+            };
+            let rec = sanity.record(id, deliver).expect("record");
+            AuditJob {
+                session_id: id,
+                observed_ipds: rec.tx_ipds_cycles(),
+                log: rec.log,
+            }
+        })
+        .collect();
+    (sanity, jobs)
+}
+
+fn bench(c: &mut Criterion) {
+    let (sanity, jobs) = build_batch(8);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_function(format!("audit_batch/8_sessions/{workers}w"), |b| {
+            let cfg = AuditConfig {
+                workers,
+                ..AuditConfig::default()
+            };
+            b.iter(|| sanity.audit_batch(&jobs, &cfg).summary.flagged.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -96,8 +96,7 @@ fn stability_pct(cfg: MachineConfig, runs: usize) -> f64 {
     let times: Vec<f64> = (0..runs)
         .map(|r| {
             let machine = Machine::new(cfg, Seeds::from_run(40 + r as u64));
-            let mut vm =
-                Vm::new(Arc::clone(&program), machine, VmConfig::default()).expect("load");
+            let mut vm = Vm::new(Arc::clone(&program), machine, VmConfig::default()).expect("load");
             vm.machine_mut().start_run();
             vm.run().expect("run").wall_ps as f64
         })
@@ -140,8 +139,8 @@ pub fn run(opts: &Options) {
     let runs = opts.runs_or(6, 12);
     let traces = opts.runs_or(3, 8);
     println!(
-        "{:<22} {:>12} {:>14}   {}",
-        "variant", "stability %", "replay dev %", "mitigation exercised"
+        "{:<22} {:>12} {:>14}   mitigation exercised",
+        "variant", "stability %", "replay dev %"
     );
     let mut csv = String::from("variant,stability_pct,replay_dev_pct\n");
     for v in variants() {

@@ -96,10 +96,7 @@ pub fn run(opts: &Options) {
 
     // §6.4 runtime summary.
     let within_1pct = results.iter().filter(|r| r.runtime_err <= 0.01).count();
-    let max_runtime = results
-        .iter()
-        .map(|r| r.runtime_err)
-        .fold(0.0f64, f64::max);
+    let max_runtime = results.iter().map(|r| r.runtime_err).fold(0.0f64, f64::max);
     println!(
         "traces: {}   runtime within 1%: {:.0}%   max runtime error: {:.3}%",
         results.len(),

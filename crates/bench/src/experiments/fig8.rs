@@ -136,7 +136,8 @@ fn covert_ipds_for(
 ) -> Vec<u64> {
     match channel {
         "IPCTC" => {
-            let mut ch = Ipctc::new(legit_sample.iter().sum::<u64>() / legit_sample.len() as u64 / 2);
+            let mut ch =
+                Ipctc::new(legit_sample.iter().sum::<u64>() / legit_sample.len() as u64 / 2);
             let mut out = Vec::new();
             let mut round = 0u64;
             while out.len() < n_ipds {
@@ -239,8 +240,14 @@ pub fn run(opts: &Options) {
         // 4. Scores → AUC per detector.
         let mut aucs = Vec::new();
         for det in &stat_detectors {
-            let pos: Vec<f64> = positives.iter().map(|t| det.score(&t.observed_ipds)).collect();
-            let neg: Vec<f64> = negatives.iter().map(|t| det.score(&t.observed_ipds)).collect();
+            let pos: Vec<f64> = positives
+                .iter()
+                .map(|t| det.score(&t.observed_ipds))
+                .collect();
+            let neg: Vec<f64> = negatives
+                .iter()
+                .map(|t| det.score(&t.observed_ipds))
+                .collect();
             aucs.push(auc(&pos, &neg));
         }
         let pos_s: Vec<f64> = positives.iter().map(|t| t.sanity_score).collect();
@@ -256,8 +263,7 @@ pub fn run(opts: &Options) {
             let _ = writeln!(
                 csv,
                 "{ch_name},{name},{:.4},{:.3}",
-                aucs[k],
-                paper[ch_name][k]
+                aucs[k], paper[ch_name][k]
             );
         }
     }

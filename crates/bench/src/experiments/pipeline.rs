@@ -1,0 +1,97 @@
+//! Audit-pipeline throughput: sessions/sec vs worker count.
+//!
+//! The batch auditor's promise is that verdicts are worker-count
+//! independent, so the only thing more cores change is throughput. This
+//! experiment records a batch of NFS sessions once, then audits the same
+//! batch under increasing worker counts, reporting sessions/sec, speedup
+//! over one worker, and (as a cross-check) that every configuration
+//! produced identical verdicts.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sanity_tdr::{AuditConfig, AuditJob, Sanity};
+use vm::Vm;
+use workloads::nfs;
+
+use super::Options;
+
+fn build_batch(opts: &Options) -> (Sanity, Vec<AuditJob>) {
+    let sessions = opts.runs_or(16, 64);
+    let files = nfs::make_files(6, 2048, 6144, 777);
+    let sanity = Sanity::new(nfs::server_program(files.len() as i32)).with_files(files.clone());
+
+    let mut jobs = Vec::with_capacity(sessions);
+    for id in 0..sessions as u64 {
+        // Each session is the same service handling a different client.
+        let sched = nfs::client_schedule(&files, 200_000, 740_000, 3_000 + id);
+        let deliver = move |vm: &mut Vm| {
+            for (at, pkt) in sched.packets {
+                vm.machine_mut().deliver_packet(at, pkt);
+            }
+        };
+        let rec = sanity.record(id, deliver).expect("record");
+        jobs.push(AuditJob {
+            session_id: id,
+            observed_ipds: rec.tx_ipds_cycles(),
+            log: rec.log,
+        });
+    }
+    (sanity, jobs)
+}
+
+/// Run the audit-pipeline throughput sweep.
+pub fn run(opts: &Options) {
+    println!("== audit-pipeline: batch audit throughput ==\n");
+    let t0 = Instant::now();
+    let (sanity, jobs) = build_batch(opts);
+    println!(
+        "recorded {} NFS sessions in {:.1}s; sweeping worker counts\n",
+        jobs.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts: Vec<usize> = vec![1, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&w| w <= cores)
+        .collect();
+    if !counts.contains(&cores) {
+        counts.push(cores);
+    }
+
+    let mut csv = String::from("workers,seconds,sessions_per_sec,speedup\n");
+    let mut baseline = 0.0f64;
+    let mut reference_verdicts = None;
+    for &workers in &counts {
+        let cfg = AuditConfig {
+            workers,
+            ..AuditConfig::default()
+        };
+        let t = Instant::now();
+        let report = sanity.audit_batch(&jobs, &cfg);
+        let secs = t.elapsed().as_secs_f64();
+        let rate = jobs.len() as f64 / secs;
+        if workers == 1 {
+            baseline = secs;
+        }
+        let speedup = if baseline > 0.0 { baseline / secs } else { 1.0 };
+        println!(
+            "workers {workers:>2}: {secs:>7.2}s  {rate:>8.1} sessions/sec  speedup {speedup:>5.2}x  flagged {}",
+            report.summary.flagged.len()
+        );
+        let _ = writeln!(csv, "{workers},{secs:.4},{rate:.2},{speedup:.3}");
+
+        match &reference_verdicts {
+            None => reference_verdicts = Some(report.verdicts),
+            Some(reference) => assert_eq!(
+                reference, &report.verdicts,
+                "verdicts must not depend on worker count"
+            ),
+        }
+    }
+    println!("\n(verdicts identical across all worker counts)");
+    opts.write("pipeline_throughput.csv", &csv);
+}

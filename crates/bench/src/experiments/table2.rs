@@ -14,8 +14,8 @@ use super::Options;
 pub fn run(opts: &Options) {
     println!("== Table 2: SciMark2, normalized to Oracle-INT ==\n");
     println!(
-        "{:<6} {:>9} {:>12} {:>12}   ({})",
-        "bench", "Sanity", "Oracle-INT", "Oracle-JIT", "paper: Sanity 0.26-8.4, JIT 0.03-1.12"
+        "{:<6} {:>9} {:>12} {:>12}   (paper: Sanity 0.26-8.4, JIT 0.03-1.12)",
+        "bench", "Sanity", "Oracle-INT", "Oracle-JIT"
     );
     let env = Environment::UserQuiet;
     let mut csv = String::from("kernel,engine,wall_ms,normalized\n");

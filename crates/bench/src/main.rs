@@ -12,6 +12,7 @@
 //! repro logsize          Log growth rate and composition (§6.5)
 //! repro fig8             ROC/AUC for 4 channels × 5 detectors
 //! repro noise-vs-jitter  TDR noise floor vs WAN jitter (§6.9)
+//! repro pipeline         Batch-audit throughput: sessions/sec vs workers
 //! repro all              Everything above
 //! ```
 //!
@@ -26,7 +27,7 @@ use experiments::Options;
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|noise-vs-jitter|all> [--full] [--runs N] [--out DIR]");
+        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|noise-vs-jitter|pipeline|all> [--full] [--runs N] [--out DIR]");
         std::process::exit(2);
     });
     let mut opts = Options::default();
@@ -34,13 +35,10 @@ fn main() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--runs" => {
-                opts.runs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--runs needs a number");
-                        std::process::exit(2);
-                    });
+                opts.runs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--runs needs a number");
+                    std::process::exit(2);
+                });
             }
             "--out" => {
                 opts.out_dir = args.next().unwrap_or_else(|| {
@@ -67,6 +65,7 @@ fn main() {
         "logsize" => experiments::fig7::run_logsize(&opts),
         "fig8" => experiments::fig8::run(&opts),
         "noise-vs-jitter" => experiments::fig7::run_noise_vs_jitter(&opts),
+        "pipeline" => experiments::pipeline::run(&opts),
         "all" => {
             experiments::fig2::run(&opts);
             experiments::fig3::run(&opts);
@@ -77,6 +76,7 @@ fn main() {
             experiments::fig7::run_logsize(&opts);
             experiments::fig8::run(&opts);
             experiments::fig7::run_noise_vs_jitter(&opts);
+            experiments::pipeline::run(&opts);
         }
         other => {
             eprintln!("unknown experiment: {other}");

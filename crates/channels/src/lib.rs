@@ -136,9 +136,7 @@ impl TimingChannel for Ipctc {
         let mut bits = Vec::new();
         for &d in ipds {
             let slots = ((d as f64 / self.interval as f64).round() as u64).max(1);
-            for _ in 0..slots - 1 {
-                bits.push(false);
-            }
+            bits.extend(std::iter::repeat_n(false, slots as usize - 1));
             bits.push(true);
         }
         bits

@@ -14,7 +14,11 @@
 //!   §6.4);
 //! * [`TimingAuditor`] — the covert-timing-channel detector built on TDR
 //!   (§5.3): replay the log with a known-good binary and flag any output
-//!   whose timing deviates beyond the TDR noise floor.
+//!   whose timing deviates beyond the TDR noise floor;
+//! * [`Sanity::audit_batch`] — the fleet-scale version of the detector:
+//!   shard a batch of recorded sessions across a worker pool
+//!   (`audit-pipeline`) and aggregate per-session verdicts into a fleet
+//!   summary.
 //!
 //! The substrate crates are re-exported under their own names so that a
 //! single dependency on `sanity-tdr` gives access to the whole system.
@@ -47,12 +51,16 @@ use vm::{Vm, VmConfig};
 pub use engine::Engine;
 
 // Re-export the substrate so `sanity-tdr` is a one-stop dependency.
+pub use audit_pipeline;
+pub use detectors;
 pub use jbc;
 pub use machine;
 pub use netsim;
 pub use replay;
 pub use sim_core;
 pub use vm;
+
+pub use audit_pipeline::{AuditConfig, AuditJob, BatchReport};
 
 /// The TDR system: a program plus the machine/VM configuration it runs
 /// under. All methods are deterministic given the run number.
@@ -110,16 +118,18 @@ impl Sanity {
 
     /// Record an execution; `setup` delivers inputs (packets, files, delay
     /// models) before the run starts.
-    pub fn record(
-        &self,
-        run: u64,
-        setup: impl FnOnce(&mut Vm),
-    ) -> Result<Recorded, SessionError> {
+    pub fn record(&self, run: u64, setup: impl FnOnce(&mut Vm)) -> Result<Recorded, SessionError> {
         let files = self.files.clone();
-        replay::record(Arc::clone(&self.program), self.mcfg, self.vm_cfg, run, |vm| {
-            vm.set_files(files);
-            setup(vm);
-        })
+        replay::record(
+            Arc::clone(&self.program),
+            self.mcfg,
+            self.vm_cfg,
+            run,
+            |vm| {
+                vm.set_files(files);
+                setup(vm);
+            },
+        )
     }
 
     /// Time-deterministic replay of `log` (same binary, §3).
@@ -144,15 +154,29 @@ impl Sanity {
     }
 
     /// Functional (XenTT-style) replay of `log` — the Fig. 3 baseline.
-    pub fn replay_functional(
-        &self,
-        log: &EventLog,
-        run: u64,
-    ) -> Result<Recorded, SessionError> {
+    pub fn replay_functional(&self, log: &EventLog, run: u64) -> Result<Recorded, SessionError> {
         let files = self.files.clone();
         replay::replay_functional(Arc::clone(&self.program), self.vm_cfg, log, run, |vm| {
             vm.set_files(files);
         })
+    }
+
+    /// This configuration as an audit-pipeline reference environment.
+    pub fn as_reference(&self) -> audit_pipeline::Reference {
+        audit_pipeline::Reference {
+            program: Arc::clone(&self.program),
+            machine: self.mcfg,
+            vm: self.vm_cfg,
+            files: self.files.clone(),
+        }
+    }
+
+    /// Batch audit (§5.3 at fleet scale): shard `jobs` across a worker
+    /// pool, audit each session's log against this (known-good) binary on
+    /// a reference machine, and aggregate the verdicts. Verdicts are
+    /// deterministic — independent of worker count and shard order.
+    pub fn audit_batch(&self, jobs: &[AuditJob], cfg: &AuditConfig) -> BatchReport {
+        audit_pipeline::audit_batch(&self.as_reference(), jobs, cfg)
     }
 
     /// Audit replay (§5.3): re-deliver the log's inputs at their recorded
@@ -222,11 +246,7 @@ impl TimingAuditor {
         run: u64,
     ) -> Result<AuditReport, SessionError> {
         let rec = self.reference.audit_replay(log, run, |_| {})?;
-        let replayed_ipds: Vec<u64> = rec
-            .tx
-            .windows(2)
-            .map(|w| w[1].cycle - w[0].cycle)
-            .collect();
+        let replayed_ipds = rec.tx_ipds_cycles();
         let score = detectors_score(observed_ipds, &replayed_ipds);
         Ok(AuditReport {
             score,
@@ -306,6 +326,55 @@ mod tests {
         let report = auditor.audit(&rec.log, &observed, 9).expect("audit");
         assert!(report.flagged, "covert trace flagged: {}", report.score);
         assert!(report.score > 0.05);
+    }
+
+    #[test]
+    fn audit_batch_matches_single_session_auditor() {
+        let s = nfs_sanity(8, 14);
+        let clean = s.record(10, |vm| deliver_nfs(vm, 8, 14)).expect("record");
+        let covert = s
+            .record(11, |vm| {
+                deliver_nfs(vm, 8, 14);
+                vm.set_delay_model(Box::new(vm::ScheduledDelays::new(vec![
+                    0, 150_000, 0, 0, 150_000, 0, 0, 0,
+                ])));
+            })
+            .expect("record");
+
+        let jobs = vec![
+            AuditJob {
+                session_id: 1,
+                observed_ipds: clean.tx_ipds_cycles(),
+                log: clean.log,
+            },
+            AuditJob {
+                session_id: 2,
+                observed_ipds: covert.tx_ipds_cycles(),
+                log: covert.log,
+            },
+        ];
+        let cfg = AuditConfig {
+            workers: 2,
+            run_seed: 99,
+            ..AuditConfig::default()
+        };
+        let report = s.audit_batch(&jobs, &cfg);
+        assert_eq!(report.summary.flagged, vec![2], "only the covert session");
+
+        // The batch verdict agrees with the single-session auditor run
+        // under the same per-session seed.
+        let auditor = TimingAuditor::new(s.clone());
+        for (job, verdict) in jobs.iter().zip(&report.verdicts) {
+            let single = auditor
+                .audit(
+                    &job.log,
+                    &job.observed_ipds,
+                    cfg.session_seed(job.session_id),
+                )
+                .expect("audit");
+            assert_eq!(single.score, verdict.score);
+            assert_eq!(single.flagged, verdict.flagged);
+        }
     }
 
     #[test]

@@ -414,13 +414,7 @@ mod tests {
         // TRCTC-like: constant two-bin encoding — σ per window nearly fixed.
         let mut rng = StdRng::seed_from_u64(10);
         let covert: Vec<u64> = (0..800)
-            .map(|_| {
-                if rng.gen_bool(0.5) {
-                    500_000
-                } else {
-                    900_000
-                }
-            })
+            .map(|_| if rng.gen_bool(0.5) { 500_000 } else { 900_000 })
             .collect();
         assert!(
             d.score(&covert) > d.score(&legit),
@@ -452,7 +446,9 @@ mod tests {
         let constant: Vec<u64> = vec![700_000; 500];
         assert!(d.score(&constant) > d.score(&legit));
         let mut rng = StdRng::seed_from_u64(55);
-        let iid: Vec<u64> = (0..500).map(|_| rng.gen_range(300_000..1_500_000)).collect();
+        let iid: Vec<u64> = (0..500)
+            .map(|_| rng.gen_range(300_000..1_500_000))
+            .collect();
         assert!(d.score(&iid) > d.score(&legit));
     }
 
@@ -492,7 +488,13 @@ mod tests {
         let covert: Vec<u64> = replayed
             .iter()
             .enumerate()
-            .map(|(k, &r)| if k % 7 == 0 { (r as f64 * 1.15) as u64 } else { r })
+            .map(|(k, &r)| {
+                if k % 7 == 0 {
+                    (r as f64 * 1.15) as u64
+                } else {
+                    r
+                }
+            })
             .collect();
         let t = TdrDetector::new();
         assert!(t.score_pair(&noisy, &replayed) < 0.02);

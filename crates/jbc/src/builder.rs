@@ -392,7 +392,7 @@ impl ProgramBuilder {
             });
             // 4 bytes per op, padded to a 64-byte line boundary, mirroring
             // typical function alignment.
-            addr += (4 * len + 63) / 64 * 64 + 64;
+            addr += (4 * len).div_ceil(64) * 64 + 64;
         }
 
         Ok(Program {
@@ -445,8 +445,15 @@ impl<'b> MethodAsm<'b> {
     fn note_locals(&mut self, op: &Op) {
         use Op::*;
         let idx = match op {
-            ILoad(n) | LLoad(n) | DLoad(n) | ALoad(n) | IStore(n) | LStore(n) | DStore(n)
-            | AStore(n) | IInc(n, _) => Some(*n),
+            ILoad(n)
+            | LLoad(n)
+            | DLoad(n)
+            | ALoad(n)
+            | IStore(n)
+            | LStore(n)
+            | DStore(n)
+            | AStore(n)
+            | IInc(n, _) => Some(*n),
             _ => None,
         };
         if let Some(n) = idx {

@@ -251,8 +251,7 @@ impl Module {
 
     /// Declare a native function signature.
     pub fn native(&mut self, name: &str, params: &[HTy], ret: Option<HTy>) -> &mut Self {
-        self.natives
-            .push((name.to_string(), params.to_vec(), ret));
+        self.natives.push((name.to_string(), params.to_vec(), ret));
         self
     }
 
@@ -659,9 +658,8 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
                 } else if ta != tb {
                     return Err(self.err(format!("operand mismatch {ta:?} vs {tb:?}")));
                 }
-                self.asm.op(bin_op_code(*op, ta).ok_or_else(|| {
-                    self.err(format!("operator {op:?} unsupported for {ta:?}"))
-                })?);
+                self.asm.op(bin_op_code(*op, ta)
+                    .ok_or_else(|| self.err(format!("operator {op:?} unsupported for {ta:?}")))?);
                 ta
             }
             Expr::Neg(a) => {
@@ -729,7 +727,8 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
                         return Err(self.err(format!("native {name}: want {want:?}, got {got:?}")));
                     }
                 }
-                self.asm.invoke_native(name, params.len() as u8, ret.is_some());
+                self.asm
+                    .invoke_native(name, params.len() as u8, ret.is_some());
                 return Ok(ret);
             }
             Expr::NewArr(et, len) => {
@@ -773,9 +772,9 @@ impl<'a, 'b> FnCompiler<'a, 'b> {
             }
             Expr::Cast(to, a) => {
                 let from = self.expr(a)?;
-                for op in cast_ops(from, *to).ok_or_else(|| {
-                    self.err(format!("unsupported cast {from:?} -> {to:?}"))
-                })? {
+                for op in cast_ops(from, *to)
+                    .ok_or_else(|| self.err(format!("unsupported cast {from:?} -> {to:?}")))?
+                {
                     self.asm.op(op);
                 }
                 *to
@@ -1231,7 +1230,10 @@ mod tests {
                     vec![],
                 )],
             ),
-            while_(gt(var("sum"), i(0)), vec![set("sum", sub(var("sum"), i(7)))]),
+            while_(
+                gt(var("sum"), i(0)),
+                vec![set("sum", sub(var("sum"), i(7)))],
+            ),
         ])
         .unwrap();
     }

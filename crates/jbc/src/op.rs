@@ -374,11 +374,25 @@ impl Op {
             DMul => OpClass::MulFp,
             DDiv | DRem => OpClass::DivFp,
             I2L | I2D | L2I | L2D | D2I | D2L | I2B | I2C | I2S => OpClass::Conv,
-            Goto(_) | IfEq(_) | IfNe(_) | IfLt(_) | IfGe(_) | IfGt(_) | IfLe(_) | IfICmpEq(_)
-            | IfICmpNe(_) | IfICmpLt(_) | IfICmpGe(_) | IfICmpGt(_) | IfICmpLe(_) | IfACmpEq(_)
-            | IfACmpNe(_) | IfNull(_) | IfNonNull(_) | TableSwitch { .. } | LookupSwitch { .. } => {
-                OpClass::Branch
-            }
+            Goto(_)
+            | IfEq(_)
+            | IfNe(_)
+            | IfLt(_)
+            | IfGe(_)
+            | IfGt(_)
+            | IfLe(_)
+            | IfICmpEq(_)
+            | IfICmpNe(_)
+            | IfICmpLt(_)
+            | IfICmpGe(_)
+            | IfICmpGt(_)
+            | IfICmpLe(_)
+            | IfACmpEq(_)
+            | IfACmpNe(_)
+            | IfNull(_)
+            | IfNonNull(_)
+            | TableSwitch { .. }
+            | LookupSwitch { .. } => OpClass::Branch,
             GetField(_) | GetStatic(_) | IALoad | LALoad | DALoad | AALoad | BALoad | CALoad
             | ArrayLength | InstanceOf(_) | CheckCast(_) => OpClass::HeapLoad,
             PutField(_) | PutStatic(_) | IAStore | LAStore | DAStore | AAStore | BAStore
@@ -483,9 +497,7 @@ impl Op {
             Return => 0,
             IReturn | LReturn | DReturn | AReturn | AThrow => -1,
             MonitorEnter | MonitorExit => -1,
-            InvokeStatic(_) | InvokeVirtual(_) | InvokeSpecial(_) | InvokeNative(_) => {
-                return None
-            }
+            InvokeStatic(_) | InvokeVirtual(_) | InvokeSpecial(_) | InvokeNative(_) => return None,
         })
     }
 

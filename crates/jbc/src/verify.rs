@@ -131,8 +131,8 @@ pub fn verify_method(program: &Program, mid: MethodId) -> Result<(), VerifyError
         }
         match op {
             Op::Return | Op::IReturn | Op::LReturn | Op::DReturn | Op::AReturn | Op::AThrow => {
-                let want_ret = matches!(op, Op::Return) == m.ret.is_none()
-                    || matches!(op, Op::AThrow);
+                let want_ret =
+                    matches!(op, Op::Return) == m.ret.is_none() || matches!(op, Op::AThrow);
                 if !want_ret {
                     // A typed return in a void method (or vice versa) is only
                     // detectable when we know the signature.
@@ -203,9 +203,23 @@ fn pops(program: &Program, op: &Op) -> i32 {
                 _ if delta > 0 => delta,
                 _ => match op {
                     Op::Nop | Op::IInc(..) | Op::Goto(_) | Op::Return => 0,
-                    Op::INeg | Op::LNeg | Op::DNeg | Op::I2L | Op::I2D | Op::L2I | Op::L2D
-                    | Op::D2I | Op::D2L | Op::I2B | Op::I2C | Op::I2S | Op::ArrayLength
-                    | Op::GetField(_) | Op::InstanceOf(_) | Op::CheckCast(_) | Op::NewArray(_) => 1,
+                    Op::INeg
+                    | Op::LNeg
+                    | Op::DNeg
+                    | Op::I2L
+                    | Op::I2D
+                    | Op::L2I
+                    | Op::L2D
+                    | Op::D2I
+                    | Op::D2L
+                    | Op::I2B
+                    | Op::I2C
+                    | Op::I2S
+                    | Op::ArrayLength
+                    | Op::GetField(_)
+                    | Op::InstanceOf(_)
+                    | Op::CheckCast(_)
+                    | Op::NewArray(_) => 1,
                     _ => 0,
                 },
             };
@@ -217,8 +231,15 @@ fn pops(program: &Program, op: &Op) -> i32 {
 fn local_index(op: &Op) -> Option<u16> {
     use Op::*;
     match op {
-        ILoad(n) | LLoad(n) | DLoad(n) | ALoad(n) | IStore(n) | LStore(n) | DStore(n)
-        | AStore(n) | IInc(n, _) => Some(*n),
+        ILoad(n)
+        | LLoad(n)
+        | DLoad(n)
+        | ALoad(n)
+        | IStore(n)
+        | LStore(n)
+        | DStore(n)
+        | AStore(n)
+        | IInc(n, _) => Some(*n),
         _ => None,
     }
 }
@@ -227,15 +248,11 @@ fn check_ids(program: &Program, mid: MethodId, at: u32, op: &Op) -> Result<(), V
     use Op::*;
     let at = Some(at);
     match op {
-        LdcStr(i) => {
-            if *i as usize >= program.strings.len() {
-                return Err(err(mid, at, "string constant out of range"));
-            }
+        LdcStr(i) if *i as usize >= program.strings.len() => {
+            return Err(err(mid, at, "string constant out of range"));
         }
-        New(c) | InstanceOf(c) | CheckCast(c) => {
-            if c.0 as usize >= program.classes.len() {
-                return Err(err(mid, at, "class id out of range"));
-            }
+        New(c) | InstanceOf(c) | CheckCast(c) if c.0 as usize >= program.classes.len() => {
+            return Err(err(mid, at, "class id out of range"));
         }
         GetField(f) | PutField(f) => {
             let fi = f.0 as usize;
@@ -264,10 +281,8 @@ fn check_ids(program: &Program, mid: MethodId, at: u32, op: &Op) -> Result<(), V
                 return Err(err(mid, at, "static/instance call mismatch"));
             }
         }
-        InvokeNative(n) => {
-            if n.0 as usize >= program.natives.len() {
-                return Err(err(mid, at, "native id out of range"));
-            }
+        InvokeNative(n) if n.0 as usize >= program.natives.len() => {
+            return Err(err(mid, at, "native id out of range"));
         }
         _ => {}
     }
@@ -280,7 +295,9 @@ mod tests {
     use crate::builder::ProgramBuilder;
     use crate::program::Ty;
 
-    fn build_single(code: impl FnOnce(&mut crate::builder::MethodAsm<'_>)) -> Result<(), VerifyError> {
+    fn build_single(
+        code: impl FnOnce(&mut crate::builder::MethodAsm<'_>),
+    ) -> Result<(), VerifyError> {
         let mut b = ProgramBuilder::new();
         let main = {
             let mut m = b.static_method("Main", "main", &[], None);

@@ -65,7 +65,12 @@ impl Nic {
 
     /// `(rx_packets, rx_bytes, tx_packets, tx_bytes)`.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
-        (self.rx_packets, self.rx_bytes, self.tx_packets, self.tx_bytes)
+        (
+            self.rx_packets,
+            self.rx_bytes,
+            self.tx_packets,
+            self.tx_bytes,
+        )
     }
 }
 
@@ -216,7 +221,7 @@ mod tests {
     fn hdd_seek_depends_on_distance() {
         let mut hdd = Storage::new(StorageKind::Hdd, false, 4);
         hdd.read_latency(0, 64); // Park at 0.
-        // Average over many rotations to expose the seek component.
+                                 // Average over many rotations to expose the seek component.
         let near: Cycles = (0..50).map(|_| hdd.read_latency(0, 64)).sum();
         let mut hdd2 = Storage::new(StorageKind::Hdd, false, 4);
         hdd2.read_latency(0, 64);
@@ -250,10 +255,7 @@ mod tests {
         let mut a = Storage::new(StorageKind::Hdd, false, 77);
         let mut b = Storage::new(StorageKind::Hdd, false, 77);
         for k in 0..10 {
-            assert_eq!(
-                a.read_latency(k * 1000, 512),
-                b.read_latency(k * 1000, 512)
-            );
+            assert_eq!(a.read_latency(k * 1000, 512), b.read_latency(k * 1000, 512));
         }
     }
 }

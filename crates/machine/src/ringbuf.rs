@@ -343,12 +343,7 @@ impl TsBuffer {
     /// Record an event value with symmetric access. During play the produced
     /// `value` is stored (and later drained into the log); during replay the
     /// prefilled logged value is returned instead.
-    pub fn event_value(
-        &mut self,
-        value: u64,
-        core: &mut CoreModel,
-        aspace: &AddressSpace,
-    ) -> u64 {
+    pub fn event_value(&mut self, value: u64, core: &mut CoreModel, aspace: &AddressSpace) -> u64 {
         let vaddr = self.base_vaddr + (self.slot % self.capacity as u64) * 8;
         self.slot += 1;
         self.events += 1;

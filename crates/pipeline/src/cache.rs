@@ -1,0 +1,106 @@
+//! Worker-local reference cache.
+//!
+//! Each worker audits many sessions against the *same* known-good
+//! environment. The cache pins that environment once per worker — the
+//! program `Arc`, the machine/VM configuration, and the stable-storage
+//! file set (held behind an `Arc` so forty workers share one copy of a
+//! multi-megabyte NFS file set instead of forty) — and hands out
+//! per-session audit replays. It also counts what passed through it, which
+//! is what the throughput bench reads.
+
+use std::sync::Arc;
+
+use detectors::TdrDetector;
+use replay::{audit_replay, EventLog, Recorded, SessionError};
+
+use crate::verdict::AuditVerdict;
+use crate::{AuditConfig, AuditJob, Reference};
+
+/// Per-worker audit state: the reference environment plus counters.
+#[derive(Debug)]
+pub struct ReferenceCache {
+    program: Arc<jbc::Program>,
+    machine: machine::MachineConfig,
+    vm: vm::VmConfig,
+    /// Shared file set; cloned per session only when handed to the VM.
+    files: Arc<Vec<Vec<u8>>>,
+    detector: TdrDetector,
+    /// Sessions audited by this worker.
+    sessions_audited: u64,
+    /// Reference cycles replayed by this worker (for sessions/sec math).
+    cycles_replayed: u64,
+}
+
+impl ReferenceCache {
+    /// Pin `reference` into a worker-local cache.
+    pub fn new(reference: &Reference) -> Self {
+        ReferenceCache {
+            program: Arc::clone(&reference.program),
+            machine: reference.machine,
+            vm: reference.vm,
+            files: Arc::new(reference.files.clone()),
+            detector: TdrDetector::new(),
+            sessions_audited: 0,
+            cycles_replayed: 0,
+        }
+    }
+
+    /// Sessions audited through this cache.
+    pub fn sessions_audited(&self) -> u64 {
+        self.sessions_audited
+    }
+
+    /// Total reference cycles replayed through this cache.
+    pub fn cycles_replayed(&self) -> u64 {
+        self.cycles_replayed
+    }
+
+    /// Run the audit replay for `log` under `seed` on the cached reference.
+    pub fn replay(&mut self, log: &EventLog, seed: u64) -> Result<Recorded, SessionError> {
+        let files = (*self.files).clone();
+        let rec = audit_replay(
+            Arc::clone(&self.program),
+            self.machine,
+            self.vm,
+            log,
+            seed,
+            |vm| vm.set_files(files),
+        )?;
+        self.sessions_audited += 1;
+        self.cycles_replayed += rec.outcome.cycles;
+        Ok(rec)
+    }
+
+    /// Audit one session: reproduce the reference timing for its log and
+    /// score the observed wire timing against it.
+    ///
+    /// A session whose audit replay *fails* is flagged with the maximal
+    /// score: the reference binary could not even reproduce the execution,
+    /// which is a stronger anomaly than any timing deviation.
+    pub fn audit(&mut self, job: &AuditJob, cfg: &AuditConfig) -> AuditVerdict {
+        let seed = cfg.session_seed(job.session_id);
+        match self.replay(&job.log, seed) {
+            Ok(rec) => {
+                let replayed_ipds: Vec<u64> =
+                    rec.tx.windows(2).map(|w| w[1].cycle - w[0].cycle).collect();
+                let score = self.detector.score_pair(&job.observed_ipds, &replayed_ipds);
+                AuditVerdict {
+                    session_id: job.session_id,
+                    score,
+                    flagged: score > cfg.threshold,
+                    tx_packets: rec.tx.len(),
+                    replayed_cycles: rec.outcome.cycles,
+                    error: None,
+                }
+            }
+            Err(e) => AuditVerdict {
+                session_id: job.session_id,
+                score: 1.0,
+                flagged: true,
+                tx_packets: 0,
+                replayed_cycles: 0,
+                error: Some(e.to_string()),
+            },
+        }
+    }
+}

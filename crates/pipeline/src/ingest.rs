@@ -1,0 +1,273 @@
+//! Batch ingest: the wire format sessions arrive in.
+//!
+//! A batch is a magic/version header followed by one record per session:
+//!
+//! ```text
+//! "TDRB" | u16 version | u16 flags | varint n_sessions
+//! per session:
+//!   varint session_id
+//!   varint n_ipds, then zigzag varint deltas of the observed IPDs
+//!   u32 LE CRC-32 of the session header (id + IPD bytes)
+//!   u32 LE frame length, then the `replay::codec` binary event log
+//! ```
+//!
+//! Observed IPDs ride along with the log because the auditor needs both:
+//! the log is the suspect's claim about its *inputs*, the observed IPDs
+//! are the network's ground truth about its *outputs*. Each session is
+//! individually checksummed — the header (id + IPDs) carries its own
+//! CRC-32 and the event log its codec trailer — so one corrupted session
+//! is reported by index instead of poisoning the whole batch, and the
+//! IPDs the verdict is computed from cannot be silently corrupted.
+
+use std::fmt;
+
+use replay::codec::{wire, CodecError};
+use replay::EventLog;
+
+use crate::AuditJob;
+
+/// Magic bytes opening a batch.
+pub const BATCH_MAGIC: [u8; 4] = *b"TDRB";
+
+/// Current batch-format version.
+pub const BATCH_VERSION: u16 = 1;
+
+/// Batch decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// Not a batch file.
+    BadMagic,
+    /// Newer or unknown batch version.
+    UnsupportedVersion(u16),
+    /// Input ended early.
+    Truncated,
+    /// The batch header (version/flags/count) failed to decode.
+    BadHeader(CodecError),
+    /// Nonzero flags in a version-1 batch.
+    UnsupportedFlags(u16),
+    /// Session `index` failed to decode (header checksum or event log).
+    BadSession {
+        /// Zero-based index within the batch.
+        index: usize,
+        /// The underlying codec failure.
+        cause: CodecError,
+    },
+    /// Bytes remained after the last declared session.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::BadMagic => write!(f, "bad magic (not a TDRB batch)"),
+            IngestError::UnsupportedVersion(v) => write!(f, "unsupported batch version {v}"),
+            IngestError::Truncated => write!(f, "batch truncated"),
+            IngestError::BadHeader(cause) => write!(f, "batch header failed to decode: {cause}"),
+            IngestError::UnsupportedFlags(x) => write!(f, "unsupported batch flags {x:#06x}"),
+            IngestError::BadSession { index, cause } => {
+                write!(f, "session {index} failed to decode: {cause}")
+            }
+            IngestError::TrailingBytes(n) => write!(f, "{n} trailing bytes after batch"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Encode a batch of audit jobs.
+pub fn encode_batch(jobs: &[AuditJob]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&BATCH_MAGIC);
+    out.extend_from_slice(&BATCH_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags
+    wire::put_varint(&mut out, jobs.len() as u64);
+    for job in jobs {
+        let header_start = out.len();
+        wire::put_varint(&mut out, job.session_id);
+        wire::put_varint(&mut out, job.observed_ipds.len() as u64);
+        let mut prev = 0u64;
+        for &d in &job.observed_ipds {
+            wire::put_delta(&mut out, prev, d);
+            prev = d;
+        }
+        let crc = wire::crc32(&out[header_start..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        let encoded = job.log.encode();
+        out.extend_from_slice(&(encoded.len() as u32).to_le_bytes());
+        out.extend_from_slice(&encoded);
+    }
+    out
+}
+
+/// Decode a batch of audit jobs.
+pub fn decode_batch(bytes: &[u8]) -> Result<Vec<AuditJob>, IngestError> {
+    if bytes.len() < 8 {
+        return Err(IngestError::Truncated);
+    }
+    if bytes[..4] != BATCH_MAGIC {
+        return Err(IngestError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if version != BATCH_VERSION {
+        return Err(IngestError::UnsupportedVersion(version));
+    }
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
+    if flags != 0 {
+        return Err(IngestError::UnsupportedFlags(flags));
+    }
+    let mut pos = 8;
+    let n = wire::read_varint(bytes, &mut pos).map_err(IngestError::BadHeader)? as usize;
+    if n > bytes.len() {
+        return Err(IngestError::Truncated);
+    }
+    let mut jobs = Vec::with_capacity(n);
+    for index in 0..n {
+        let bad = |cause| IngestError::BadSession { index, cause };
+        let header_start = pos;
+        let session_id = wire::read_varint(bytes, &mut pos).map_err(bad)?;
+        let n_ipds = wire::read_varint(bytes, &mut pos).map_err(bad)? as usize;
+        if n_ipds > bytes.len() - pos {
+            return Err(IngestError::Truncated);
+        }
+        let mut observed_ipds = Vec::with_capacity(n_ipds);
+        let mut prev = 0u64;
+        for _ in 0..n_ipds {
+            prev = wire::read_delta(bytes, &mut pos, prev).map_err(bad)?;
+            observed_ipds.push(prev);
+        }
+        if bytes.len() - pos < 4 {
+            return Err(IngestError::Truncated);
+        }
+        let stored = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let computed = wire::crc32(&bytes[header_start..pos]);
+        pos += 4;
+        if stored != computed {
+            return Err(bad(CodecError::BadChecksum { stored, computed }));
+        }
+        if bytes.len() - pos < 4 {
+            return Err(IngestError::Truncated);
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        pos += 4;
+        if bytes.len() - pos < len {
+            return Err(IngestError::Truncated);
+        }
+        let log = EventLog::decode(&bytes[pos..pos + len]).map_err(bad)?;
+        pos += len;
+        jobs.push(AuditJob {
+            session_id,
+            log,
+            observed_ipds,
+        });
+    }
+    if pos != bytes.len() {
+        return Err(IngestError::TrailingBytes(bytes.len() - pos));
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use replay::PacketRecord;
+
+    use super::*;
+
+    fn job(id: u64) -> AuditJob {
+        AuditJob {
+            session_id: id,
+            log: EventLog {
+                packets: vec![PacketRecord {
+                    icount: 10 * id,
+                    avail_at: 100,
+                    wire_at: 90,
+                    data: vec![id as u8; 16],
+                }],
+                values: vec![id, id + 1],
+                final_icount: 1_000 + id,
+                final_cycles: 2_000 + id,
+                final_wall_ps: 3_000 + id as u128,
+            },
+            observed_ipds: vec![700_000, 710_000, 690_000 + id],
+        }
+    }
+
+    #[test]
+    fn batch_roundtrips() {
+        let jobs = vec![job(1), job(2), job(40)];
+        let bytes = encode_batch(&jobs);
+        assert_eq!(decode_batch(&bytes).expect("decodes"), jobs);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let bytes = encode_batch(&[]);
+        assert_eq!(decode_batch(&bytes).expect("decodes"), Vec::new());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode_batch(&[job(1)]);
+        bytes[1] = b'X';
+        assert_eq!(decode_batch(&bytes), Err(IngestError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = encode_batch(&[job(1)]);
+        bytes[4] = 9;
+        assert_eq!(
+            decode_batch(&bytes),
+            Err(IngestError::UnsupportedVersion(9))
+        );
+    }
+
+    #[test]
+    fn corrupt_session_reported_by_index() {
+        let jobs = vec![job(1), job(2)];
+        let mut bytes = encode_batch(&jobs);
+        let tail = bytes.len() - 10; // inside the second session's log frame
+        bytes[tail] ^= 0xff;
+        match decode_batch(&bytes) {
+            Err(IngestError::BadSession { index: 1, .. }) => {}
+            other => panic!("expected BadSession at 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_observed_ipds_rejected_by_header_checksum() {
+        let jobs = vec![job(1)];
+        let mut bytes = encode_batch(&jobs);
+        // Byte 9 sits in the first session's IPD deltas (after the 8-byte
+        // batch header and the 1-byte session id).
+        bytes[9] ^= 0x01;
+        match decode_batch(&bytes) {
+            Err(IngestError::BadSession {
+                index: 0,
+                cause: CodecError::BadChecksum { .. },
+            }) => {}
+            other => panic!("expected header-checksum failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonzero_flags_rejected() {
+        let mut bytes = encode_batch(&[job(1)]);
+        bytes[6] = 0x01;
+        assert_eq!(decode_batch(&bytes), Err(IngestError::UnsupportedFlags(1)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_batch(&[job(1)]);
+        bytes.extend_from_slice(b"junk");
+        assert_eq!(decode_batch(&bytes), Err(IngestError::TrailingBytes(4)));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = encode_batch(&[job(1), job(2)]);
+        for cut in [0, 5, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_batch(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The sharded worker pool.
+//!
+//! A batch of sessions is fanned out to `workers` threads over a shared
+//! atomic cursor (cheap dynamic load balancing: audit replays vary wildly
+//! in length, so static striping would leave cores idle behind one long
+//! session). Workers stream `(index, verdict)` pairs back over an mpsc
+//! channel; the caller observes them as they arrive and the final report
+//! re-orders them by submission index, so the output is independent of
+//! scheduling.
+//!
+//! Only `std` is used: threads, channels, atomics.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use crate::cache::ReferenceCache;
+use crate::verdict::{AuditVerdict, FleetSummary};
+use crate::{AuditConfig, AuditJob, Reference};
+
+/// Everything a batch audit produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// One verdict per submitted job, in submission order.
+    pub verdicts: Vec<AuditVerdict>,
+    /// Deterministic fleet-wide aggregation.
+    pub summary: FleetSummary,
+    /// Workers that actually ran.
+    pub workers: usize,
+}
+
+/// Audit a batch of sessions against `reference` (see
+/// [`audit_batch_streaming`] for the verdict-streaming variant).
+pub fn audit_batch(reference: &Reference, jobs: &[AuditJob], cfg: &AuditConfig) -> BatchReport {
+    audit_batch_streaming(reference, jobs, cfg, |_, _| {})
+}
+
+/// Audit a batch, invoking `on_verdict(index, verdict)` on the calling
+/// thread as each session's verdict arrives (arrival order is
+/// scheduling-dependent; the returned report is not).
+pub fn audit_batch_streaming(
+    reference: &Reference,
+    jobs: &[AuditJob],
+    cfg: &AuditConfig,
+    mut on_verdict: impl FnMut(usize, &AuditVerdict),
+) -> BatchReport {
+    let workers = cfg.resolved_workers().min(jobs.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, AuditVerdict)>();
+
+    let mut slots: Vec<Option<AuditVerdict>> = (0..jobs.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            std::thread::Builder::new()
+                .name(format!("audit-worker-{w}"))
+                .spawn_scoped(scope, move || {
+                    let mut cache = ReferenceCache::new(reference);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(job) = jobs.get(i) else { break };
+                        let verdict = cache.audit(job, cfg);
+                        if tx.send((i, verdict)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn audit worker");
+        }
+        drop(tx);
+        for (i, verdict) in rx {
+            on_verdict(i, &verdict);
+            slots[i] = Some(verdict);
+        }
+    });
+
+    let verdicts: Vec<AuditVerdict> = slots
+        .into_iter()
+        .map(|s| s.expect("every job produces a verdict"))
+        .collect();
+    let summary = FleetSummary::from_verdicts(&verdicts);
+    BatchReport {
+        verdicts,
+        summary,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use jbc::hll::{dsl::*, HTy, Module};
+    use jbc::ElemTy;
+    use replay::record;
+
+    use super::*;
+
+    /// The echo server from the replay test suite: `n` requests, each
+    /// echoed after compute proportional to the payload's first byte.
+    fn echo_program(n: i32) -> Arc<jbc::Program> {
+        let mut m = Module::new("Echo");
+        m.native("wait_packet", &[], None);
+        m.native("net_recv", &[HTy::Arr(ElemTy::I8)], Some(HTy::I32));
+        m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("buf", newarr(ElemTy::I8, i(256))),
+                let_("done", i(0)),
+                while_(
+                    lt(var("done"), i(n)),
+                    vec![
+                        expr(native("wait_packet", vec![])),
+                        let_("len", native("net_recv", vec![var("buf")])),
+                        if_(
+                            gt(var("len"), i(0)),
+                            vec![
+                                let_("work", idx(var("buf"), i(0))),
+                                let_("acc", i(0)),
+                                for_(
+                                    "k",
+                                    i(0),
+                                    mul(var("work"), i(10)),
+                                    vec![set("acc", add(var("acc"), var("k")))],
+                                ),
+                                expr(native("net_send", vec![var("buf"), var("len")])),
+                                set("done", add(var("done"), i(1))),
+                            ],
+                            vec![],
+                        ),
+                    ],
+                ),
+            ],
+        ));
+        Arc::new(m.compile().expect("compile"))
+    }
+
+    /// Record one session; returns its job with observed IPDs equal to the
+    /// recorded wire timing, optionally stretched at `tamper` positions to
+    /// model a covert sender delaying packets on the wire.
+    fn session(program: &Arc<jbc::Program>, session_id: u64, tamper: &[usize]) -> AuditJob {
+        let rec = record(
+            Arc::clone(program),
+            machine::MachineConfig::sanity(),
+            vm::VmConfig::default(),
+            1000 + session_id,
+            |vm| {
+                for k in 0..5u64 {
+                    let data = vec![(10 + k * 3) as u8; 64];
+                    vm.machine_mut().deliver_packet(100_000 + k * 400_000, data);
+                }
+            },
+        )
+        .expect("record");
+        let mut observed = rec.tx_ipds_cycles();
+        for &t in tamper {
+            observed[t] += observed[t] / 5; // +20%: far above the noise floor
+        }
+        AuditJob {
+            session_id,
+            log: rec.log,
+            observed_ipds: observed,
+        }
+    }
+
+    fn mixed_batch(program: &Arc<jbc::Program>) -> (Vec<AuditJob>, Vec<u64>) {
+        let mut jobs = Vec::new();
+        let mut covert = Vec::new();
+        for id in 0..8u64 {
+            if id % 3 == 2 {
+                jobs.push(session(program, id, &[1]));
+                covert.push(id);
+            } else {
+                jobs.push(session(program, id, &[]));
+            }
+        }
+        (jobs, covert)
+    }
+
+    #[test]
+    fn batch_flags_exactly_the_tampered_sessions() {
+        let program = echo_program(5);
+        let (jobs, covert) = mixed_batch(&program);
+        let report = audit_batch(&Reference::new(program), &jobs, &AuditConfig::default());
+        assert_eq!(report.summary.flagged, covert);
+        assert_eq!(report.summary.errors, 0);
+        assert_eq!(report.summary.sessions, jobs.len() as u64);
+    }
+
+    #[test]
+    fn verdicts_independent_of_worker_count() {
+        let program = echo_program(5);
+        let (jobs, _) = mixed_batch(&program);
+        let reference = Reference::new(program);
+        let base = AuditConfig::default();
+        let one = audit_batch(&reference, &jobs, &AuditConfig { workers: 1, ..base });
+        let four = audit_batch(&reference, &jobs, &AuditConfig { workers: 4, ..base });
+        assert_eq!(one.verdicts, four.verdicts);
+        assert_eq!(one.summary, four.summary);
+        assert_eq!(one.workers, 1);
+    }
+
+    #[test]
+    fn verdicts_independent_of_submission_order() {
+        let program = echo_program(5);
+        let (mut jobs, _) = mixed_batch(&program);
+        let reference = Reference::new(program);
+        let cfg = AuditConfig {
+            workers: 2,
+            ..AuditConfig::default()
+        };
+        let forward = audit_batch(&reference, &jobs, &cfg);
+        jobs.reverse();
+        let backward = audit_batch(&reference, &jobs, &cfg);
+        let mut f = forward.verdicts.clone();
+        let mut b = backward.verdicts.clone();
+        f.sort_by_key(|v| v.session_id);
+        b.sort_by_key(|v| v.session_id);
+        assert_eq!(f, b);
+        assert_eq!(forward.summary, backward.summary);
+    }
+
+    #[test]
+    fn streaming_sees_every_verdict_once() {
+        let program = echo_program(5);
+        let (jobs, _) = mixed_batch(&program);
+        let mut seen = vec![0u32; jobs.len()];
+        let report = audit_batch_streaming(
+            &Reference::new(program),
+            &jobs,
+            &AuditConfig {
+                workers: 3,
+                ..AuditConfig::default()
+            },
+            |i, v| {
+                seen[i] += 1;
+                assert_eq!(v.session_id, jobs[i].session_id);
+            },
+        );
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+        assert_eq!(report.verdicts.len(), jobs.len());
+    }
+
+    #[test]
+    fn suppressed_output_scores_maximal() {
+        let program = echo_program(5);
+        let mut job = session(&program, 0, &[]);
+        // The suspect machine sent one packet fewer than it should have
+        // (e.g. a channel encoding in packet *presence*): the IPD count no
+        // longer matches the reference, which is maximal evidence.
+        job.observed_ipds.pop();
+        let report = audit_batch(&Reference::new(program), &[job], &AuditConfig::default());
+        let v = &report.verdicts[0];
+        assert_eq!(v.score, 1.0);
+        assert!(v.flagged);
+        assert!(v.error.is_none());
+    }
+
+    #[test]
+    fn empty_batch_is_empty_report() {
+        let program = echo_program(5);
+        let report = audit_batch(&Reference::new(program), &[], &AuditConfig::default());
+        assert!(report.verdicts.is_empty());
+        assert_eq!(report.summary.sessions, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-session verdicts and fleet-wide aggregation.
+//!
+//! The aggregation is deliberately deterministic: a [`FleetSummary`] is a
+//! pure function of the verdict *set* (order-insensitive counts and
+//! extrema; the flagged list sorted by session id), so 1-worker and
+//! N-worker runs of the same batch summarize identically.
+
+use detectors::{auc, roc, RocPoint};
+
+/// The audit outcome for one session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditVerdict {
+    /// The session's caller-assigned id.
+    pub session_id: u64,
+    /// Worst relative IPD deviation between observed and reference timing
+    /// (1.0 if the session failed to replay or changed its output count).
+    pub score: f64,
+    /// Whether the score exceeds the batch threshold.
+    pub flagged: bool,
+    /// Packets the reference replay transmitted.
+    pub tx_packets: usize,
+    /// Cycles the reference replay executed (throughput accounting).
+    pub replayed_cycles: u64,
+    /// Present when the audit replay itself failed.
+    pub error: Option<String>,
+}
+
+/// Histogram of audit scores over fixed deviation buckets.
+///
+/// Bucket edges are fractions of the reference IPD: everything below the
+/// TDR noise floor lands in the first buckets, channels in the last ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreHistogram {
+    /// Count of scores in `[edge[i], edge[i+1])`; the final bucket is
+    /// `[0.5, ∞)`.
+    pub counts: [u64; EDGES.len()],
+}
+
+/// Lower bucket edges (relative deviation).
+pub const EDGES: [f64; 8] = [0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5];
+
+impl Default for ScoreHistogram {
+    fn default() -> Self {
+        ScoreHistogram {
+            counts: [0; EDGES.len()],
+        }
+    }
+}
+
+impl ScoreHistogram {
+    /// Add one score.
+    pub fn add(&mut self, score: f64) {
+        let idx = EDGES.iter().rposition(|&e| score >= e).unwrap_or(0);
+        self.counts[idx] += 1;
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Human-readable one-line rendering (`[0.5%, 1%): 12` style).
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let hi = EDGES
+                .get(i + 1)
+                .map(|e| format!("{:.1}%", e * 100.0))
+                .unwrap_or_else(|| "inf".to_string());
+            parts.push(format!("[{:.1}%, {hi}): {c}", EDGES[i] * 100.0));
+        }
+        parts.join("  ")
+    }
+}
+
+/// Fleet-wide aggregation of a batch's verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSummary {
+    /// Sessions audited.
+    pub sessions: u64,
+    /// Session ids flagged as covert, sorted ascending.
+    pub flagged: Vec<u64>,
+    /// Sessions whose audit replay failed outright.
+    pub errors: u64,
+    /// Distribution of scores.
+    pub histogram: ScoreHistogram,
+    /// Largest score in the batch.
+    pub max_score: f64,
+    /// Mean score (over all sessions, summed in session-id order).
+    pub mean_score: f64,
+    /// Total reference cycles replayed (throughput accounting).
+    pub replayed_cycles: u64,
+}
+
+impl FleetSummary {
+    /// Aggregate a batch. Input order does not matter: verdicts are
+    /// re-sorted by session id before any floating-point accumulation.
+    pub fn from_verdicts(verdicts: &[AuditVerdict]) -> Self {
+        let mut ordered: Vec<&AuditVerdict> = verdicts.iter().collect();
+        ordered.sort_by_key(|v| v.session_id);
+        let mut summary = FleetSummary {
+            sessions: ordered.len() as u64,
+            flagged: Vec::new(),
+            errors: 0,
+            histogram: ScoreHistogram::default(),
+            max_score: 0.0,
+            mean_score: 0.0,
+            replayed_cycles: 0,
+        };
+        let mut sum = 0.0;
+        for v in &ordered {
+            if v.flagged {
+                summary.flagged.push(v.session_id);
+            }
+            if v.error.is_some() {
+                summary.errors += 1;
+            }
+            summary.histogram.add(v.score);
+            summary.max_score = summary.max_score.max(v.score);
+            summary.replayed_cycles += v.replayed_cycles;
+            sum += v.score;
+        }
+        if !ordered.is_empty() {
+            summary.mean_score = sum / ordered.len() as f64;
+        }
+        summary
+    }
+}
+
+/// ROC curve and AUC of a labeled benchmark batch: `covert_ids` is the
+/// ground truth, scores come from the verdicts. This is the batch-scale
+/// version of the paper's Fig. 8 evaluation, built on `detectors::roc`.
+pub fn labeled_roc(
+    verdicts: &[AuditVerdict],
+    covert_ids: &std::collections::HashSet<u64>,
+) -> (Vec<RocPoint>, f64) {
+    let legit: Vec<f64> = verdicts
+        .iter()
+        .filter(|v| !covert_ids.contains(&v.session_id))
+        .map(|v| v.score)
+        .collect();
+    let covert: Vec<f64> = verdicts
+        .iter()
+        .filter(|v| covert_ids.contains(&v.session_id))
+        .map(|v| v.score)
+        .collect();
+    let points = roc(&covert, &legit);
+    let area = auc(&covert, &legit);
+    (points, area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(id: u64, score: f64, flagged: bool) -> AuditVerdict {
+        AuditVerdict {
+            session_id: id,
+            score,
+            flagged,
+            tx_packets: 10,
+            replayed_cycles: 1_000,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn summary_is_order_insensitive() {
+        let a = vec![
+            verdict(1, 0.001, false),
+            verdict(2, 0.30, true),
+            verdict(3, 0.015, false),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(
+            FleetSummary::from_verdicts(&a),
+            FleetSummary::from_verdicts(&b)
+        );
+    }
+
+    #[test]
+    fn summary_counts_and_extrema() {
+        let vs = vec![
+            verdict(5, 0.001, false),
+            verdict(1, 0.30, true),
+            AuditVerdict {
+                error: Some("boom".into()),
+                ..verdict(9, 1.0, true)
+            },
+        ];
+        let s = FleetSummary::from_verdicts(&vs);
+        assert_eq!(s.sessions, 3);
+        assert_eq!(s.flagged, vec![1, 9]);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.max_score, 1.0);
+        assert_eq!(s.histogram.total(), 3);
+        assert_eq!(s.replayed_cycles, 3_000);
+    }
+
+    #[test]
+    fn histogram_buckets_scores() {
+        let mut h = ScoreHistogram::default();
+        h.add(0.0);
+        h.add(0.004); // below noise floor
+        h.add(0.03); // between 2% and 5%
+        h.add(0.75); // last bucket
+        h.add(123.0); // still last bucket
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[3], 1);
+        assert_eq!(h.counts[7], 2);
+        assert_eq!(h.total(), 5);
+        assert!(h.render().contains("[0.0%, 0.5%): 2"));
+    }
+
+    #[test]
+    fn labeled_roc_separates_perfectly_separable_batch() {
+        let vs = vec![
+            verdict(0, 0.001, false),
+            verdict(1, 0.002, false),
+            verdict(2, 0.25, true),
+            verdict(3, 0.40, true),
+        ];
+        let covert: std::collections::HashSet<u64> = [2, 3].into_iter().collect();
+        let (_, area) = labeled_roc(&vs, &covert);
+        assert!((area - 1.0).abs() < 1e-9, "perfect separation: {area}");
+    }
+}

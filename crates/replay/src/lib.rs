@@ -18,10 +18,14 @@
 //!   timing is what the timing of the suspect machine *ought to have been*.
 //!
 //! [`EventLog`] is the serializable log; [`LogStats`] reproduces the §6.5
-//! accounting (log growth rate, share of incoming packets).
+//! accounting (log growth rate, share of incoming packets). The [`codec`]
+//! module adds the compact binary encoding the audit pipeline ingests
+//! ([`EventLog::encode`] / [`EventLog::decode`], plus frame streaming).
 
+pub mod codec;
 pub mod log;
 pub mod session;
 
+pub use codec::{CodecError, FrameReader};
 pub use log::{EventLog, LogStats, PacketRecord};
 pub use session::{audit_replay, record, replay_functional, replay_tdr, Recorded, SessionError};

@@ -60,7 +60,7 @@ impl EventLog {
             .collect()
     }
 
-    /// Serialize to JSON (the on-disk format).
+    /// Serialize to JSON (the human-readable on-disk format).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("log serializes")
     }
@@ -68,6 +68,18 @@ impl EventLog {
     /// Deserialize from JSON.
     pub fn from_json(s: &str) -> Result<EventLog, serde_json::Error> {
         serde_json::from_str(s)
+    }
+
+    /// Encode to the compact binary ingest format (see [`crate::codec`]):
+    /// versioned header, varint/delta body, CRC-32 trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        crate::codec::encode_log(self)
+    }
+
+    /// Decode from the binary ingest format, verifying version and
+    /// checksum.
+    pub fn decode(bytes: &[u8]) -> Result<EventLog, crate::codec::CodecError> {
+        crate::codec::decode_log(bytes)
     }
 
     /// Size accounting per §6.5 (binary-equivalent sizes, not JSON sizes:

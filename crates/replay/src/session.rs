@@ -56,6 +56,14 @@ pub struct Recorded {
 }
 
 impl Recorded {
+    /// Inter-packet delays of the transmitted trace, in cycles.
+    pub fn tx_ipds_cycles(&self) -> Vec<u64> {
+        self.tx
+            .windows(2)
+            .map(|w| w[1].cycle - w[0].cycle)
+            .collect()
+    }
+
     /// Inter-packet delays of the transmitted trace, in picoseconds.
     pub fn tx_ipds_ps(&self) -> Vec<u128> {
         self.tx
@@ -404,8 +412,15 @@ mod tests {
         .expect("record");
         // Wait: echo_program does not call covert_delay, so the delay model
         // is inert — this test uses it only to confirm inertness.
-        let audit = audit_replay(p, MachineConfig::sanity(), VmConfig::default(), &rec.log, 5, |_| {})
-            .expect("audit");
+        let audit = audit_replay(
+            p,
+            MachineConfig::sanity(),
+            VmConfig::default(),
+            &rec.log,
+            5,
+            |_| {},
+        )
+        .expect("audit");
         for (a, b) in rec.tx.iter().zip(audit.tx.iter()) {
             let d = (a.cycle as f64 - b.cycle as f64).abs() / a.cycle as f64;
             assert!(d < 0.02, "no covert_delay call → no deviation");
@@ -415,18 +430,12 @@ mod tests {
     #[test]
     fn log_roundtrips_through_json() {
         let p = echo_program(3);
-        let rec = record(
-            p,
-            MachineConfig::sanity(),
-            VmConfig::default(),
-            1,
-            |vm| {
-                for k in 0..3u64 {
-                    vm.machine_mut()
-                        .deliver_packet(100_000 + k * 300_000, vec![9; 32]);
-                }
-            },
-        )
+        let rec = record(p, MachineConfig::sanity(), VmConfig::default(), 1, |vm| {
+            for k in 0..3u64 {
+                vm.machine_mut()
+                    .deliver_packet(100_000 + k * 300_000, vec![9; 32]);
+            }
+        })
         .expect("record");
         let j = rec.log.to_json();
         let back = EventLog::from_json(&j).expect("parse");

@@ -206,7 +206,7 @@ mod tests {
     fn imminent_window_charges_overlap() {
         let mut b = bus();
         b.schedule_dma(105, 64); // Window [105, 109).
-        // TC at 103 wants 4 cycles [103,107): overlaps the window by 2.
+                                 // TC at 103 wants 4 cycles [103,107): overlaps the window by 2.
         assert_eq!(b.tc_request(103, 1), 2 + 4);
     }
 

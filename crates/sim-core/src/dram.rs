@@ -55,7 +55,10 @@ pub struct Dram {
 impl Dram {
     /// Create a DRAM with all banks precharged (no open rows).
     pub fn new(params: DramParams) -> Self {
-        assert!(params.banks.is_power_of_two(), "banks must be a power of two");
+        assert!(
+            params.banks.is_power_of_two(),
+            "banks must be a power of two"
+        );
         assert!(
             params.row_bytes.is_power_of_two(),
             "row_bytes must be a power of two"
@@ -92,7 +95,9 @@ impl Dram {
             }
         }
         if self.params.refresh_interval > 0
-            && self.accesses % self.params.refresh_interval as u64 == 0
+            && self
+                .accesses
+                .is_multiple_of(self.params.refresh_interval as u64)
         {
             cycles += self.params.refresh_cycles;
         }

@@ -178,8 +178,7 @@ mod tests {
 
     #[test]
     fn ondemand_is_never_faster_than_nominal() {
-        let mut g =
-            FrequencyGovernor::new(100_000_000, FreqPolicy::OnDemand { min_ratio: 0.5 }, 5);
+        let mut g = FrequencyGovernor::new(100_000_000, FreqPolicy::OnDemand { min_ratio: 0.5 }, 5);
         let ps = g.advance(1_000_000);
         assert!(ps >= 10_000_000_000, "scaling can only slow things down");
         assert!(ps <= 20_000_000_000, "bounded by min_ratio = 0.5");

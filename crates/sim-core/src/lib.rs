@@ -33,7 +33,9 @@ pub mod core;
 pub mod dram;
 pub mod freq;
 
-pub use crate::core::{AccessKind, CoreModel, CoreParams, CoreStats, CostModel, InstrTiming, MemRef};
+pub use crate::core::{
+    AccessKind, CoreModel, CoreParams, CoreStats, CostModel, InstrTiming, MemRef,
+};
 pub use branch::{BranchPredictor, BtbParams};
 pub use bus::{BusAgent, BusParams, MemoryBus};
 pub use cache::{Cache, CacheParams, Tlb, TlbParams};

@@ -226,7 +226,10 @@ impl Heap {
 
     /// Simulated address of the object header.
     pub fn header_addr(&self, h: Handle) -> u64 {
-        self.cells[h as usize].as_ref().expect("dangling handle").vaddr
+        self.cells[h as usize]
+            .as_ref()
+            .expect("dangling handle")
+            .vaddr
     }
 
     /// True if the handle refers to a live object.

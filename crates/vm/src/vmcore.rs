@@ -160,7 +160,8 @@ impl Vm {
         let mut natives = Vec::with_capacity(program.natives.len());
         for n in &program.natives {
             natives.push(
-                NativeKind::by_name(&n.name).ok_or_else(|| VmError::UnknownNative(n.name.clone()))?,
+                NativeKind::by_name(&n.name)
+                    .ok_or_else(|| VmError::UnknownNative(n.name.clone()))?,
             );
         }
         let mut heap = Heap::new(map::HEAP, cfg.heap_size);
@@ -338,10 +339,10 @@ impl Vm {
     pub fn run(&mut self) -> Result<RunOutcome, VmError> {
         let program = Arc::clone(&self.program);
         loop {
-            if self.threads[self.cur].state != ThreadState::Runnable || self.budget == 0 {
-                if !self.rotate()? {
-                    break;
-                }
+            if (self.threads[self.cur].state != ThreadState::Runnable || self.budget == 0)
+                && !self.rotate()?
+            {
+                break;
             }
             self.step(&program)?;
         }
@@ -360,10 +361,10 @@ impl Vm {
     pub fn run_until_icount(&mut self, target: u64) -> Result<bool, VmError> {
         let program = Arc::clone(&self.program);
         while self.icount < target {
-            if self.threads[self.cur].state != ThreadState::Runnable || self.budget == 0 {
-                if !self.rotate()? {
-                    return Ok(false);
-                }
+            if (self.threads[self.cur].state != ThreadState::Runnable || self.budget == 0)
+                && !self.rotate()?
+            {
+                return Ok(false);
             }
             self.step(&program)?;
         }
@@ -954,15 +955,14 @@ impl Vm {
                     return self.throw_builtin(program, "NegativeArraySizeException");
                 }
                 let et = *et;
-                let h = self
-                    .alloc_retry(|| match et {
-                        ElemTy::I8 => HeapObj::ArrI8(vec![0; len as usize]),
-                        ElemTy::U16 => HeapObj::ArrU16(vec![0; len as usize]),
-                        ElemTy::I32 => HeapObj::ArrI32(vec![0; len as usize]),
-                        ElemTy::I64 => HeapObj::ArrI64(vec![0; len as usize]),
-                        ElemTy::F64 => HeapObj::ArrF64(vec![0.0; len as usize]),
-                        ElemTy::Ref => HeapObj::ArrRef(vec![NULL; len as usize]),
-                    })?;
+                let h = self.alloc_retry(|| match et {
+                    ElemTy::I8 => HeapObj::ArrI8(vec![0; len as usize]),
+                    ElemTy::U16 => HeapObj::ArrU16(vec![0; len as usize]),
+                    ElemTy::I32 => HeapObj::ArrI32(vec![0; len as usize]),
+                    ElemTy::I64 => HeapObj::ArrI64(vec![0; len as usize]),
+                    ElemTy::F64 => HeapObj::ArrF64(vec![0.0; len as usize]),
+                    ElemTy::Ref => HeapObj::ArrRef(vec![NULL; len as usize]),
+                })?;
                 // Zeroing touches the payload like a streaming store.
                 let bytes = self.heap.get(h).byte_size();
                 let payload = self.heap.payload_addr(h);
@@ -1453,4 +1453,3 @@ enum ArrayKind {
     F64,
     Ref,
 }
-

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use jbc::hll::{dsl::*, HTy, Module};
-use jbc::{ElemTy, Op, ProgramBuilder, Program, Ty};
+use jbc::{ElemTy, Op, Program, ProgramBuilder, Ty};
 use machine::{Machine, MachineConfig, Seeds};
 use vm::{ReplayStyle, Vm, VmConfig, VmError};
 
@@ -316,8 +316,10 @@ fn gc_reclaims_garbage_and_program_completes() {
         ));
     });
     let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(1));
-    let mut cfg = VmConfig::default();
-    cfg.heap_size = 4 << 20; // 4 MiB heap vs ~16 MiB allocated.
+    let cfg = VmConfig {
+        heap_size: 4 << 20, // 4 MiB heap vs ~16 MiB allocated.
+        ..VmConfig::default()
+    };
     let mut vm = Vm::new(Arc::new(p), machine, cfg).expect("load");
     let out = vm.run().expect("run survives GC");
     assert_eq!(out.console, vec![(0..2000).sum::<i32>().to_string()]);
@@ -460,10 +462,7 @@ fn timing_is_stable_across_seeds_without_io() {
                     "k",
                     i(0),
                     i(5_000),
-                    vec![set(
-                        "acc",
-                        add(var("acc"), mul(i2d(var("k")), d(1.000001))),
-                    )],
+                    vec![set("acc", add(var("acc"), mul(i2d(var("k")), d(1.000001))))],
                 ),
             ],
         ));
@@ -552,8 +551,10 @@ fn nano_time_is_monotonic_and_replayable() {
     // Replay: inject them; the program must behave identically.
     let mut machine2 = Machine::new(MachineConfig::sanity(), Seeds::from_run(4));
     machine2.enter_replay(vec![], logged.clone());
-    let mut cfg = VmConfig::default();
-    cfg.replay_style = ReplayStyle::Tdr;
+    let cfg = VmConfig {
+        replay_style: ReplayStyle::Tdr,
+        ..VmConfig::default()
+    };
     let mut vm2 = Vm::new(Arc::new(p), machine2, cfg).expect("load");
     let out2 = vm2.run().expect("replay");
     assert_eq!(out2.console, vec!["1"]);
@@ -574,8 +575,10 @@ fn instr_limit_guards_runaway_programs() {
     };
     b.set_entry(main);
     let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(1));
-    let mut cfg = VmConfig::default();
-    cfg.instr_limit = 10_000;
+    let cfg = VmConfig {
+        instr_limit: 10_000,
+        ..VmConfig::default()
+    };
     let mut vm = Vm::new(Arc::new(b.link().expect("link")), machine, cfg).expect("load");
     assert_eq!(vm.run().unwrap_err(), VmError::InstrLimit);
 }
@@ -589,11 +592,7 @@ fn stack_overflow_detected() {
             HTy::I32,
             vec![ret(call("inf", vec![add(var("n"), i(1))]))],
         ));
-        m.func(fn_void(
-            "main",
-            vec![],
-            vec![expr(call("inf", vec![i(0)]))],
-        ));
+        m.func(fn_void("main", vec![], vec![expr(call("inf", vec![i(0)]))]));
     });
     let mut vm = sanity_vm(p);
     assert_eq!(vm.run().unwrap_err(), VmError::StackOverflow);

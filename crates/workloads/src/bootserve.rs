@@ -38,7 +38,11 @@ pub fn bootserve_program(calib_rounds: i32, n_requests: i32) -> Program {
                 "b",
                 i(0),
                 i(8192),
-                vec![set_idx(var("img"), var("b"), mul(var("b"), i(2654435761u32 as i32)))],
+                vec![set_idx(
+                    var("img"),
+                    var("b"),
+                    mul(var("b"), i(2654435761u32 as i32)),
+                )],
             ),
             let_("crc", i(0)),
             for_(
@@ -47,10 +51,7 @@ pub fn bootserve_program(calib_rounds: i32, n_requests: i32) -> Program {
                 i(8192),
                 vec![set(
                     "crc",
-                    bxor(
-                        shl(var("crc"), i(1)),
-                        idx(var("img"), var("b2")),
-                    ),
+                    bxor(shl(var("crc"), i(1)), idx(var("img"), var("b2"))),
                 )],
             ),
             // Clock calibration: repeated timestamp reads with fixed spins

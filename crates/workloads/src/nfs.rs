@@ -84,11 +84,7 @@ pub fn server_program(n_requests: i32) -> Program {
                 vec![
                     expr(native("wait_packet", vec![])),
                     let_("n", native("net_recv", vec![var("req")])),
-                    if_(
-                        lt(var("n"), i(6)),
-                        vec![cont()],
-                        vec![],
-                    ),
+                    if_(lt(var("n"), i(6)), vec![cont()], vec![]),
                     let_("op", band(idx(var("req"), i(0)), i(0xff))),
                     let_("fid", band(idx(var("req"), i(1)), i(0xff))),
                     let_(
@@ -116,10 +112,10 @@ pub fn server_program(n_requests: i32) -> Program {
                     if_(
                         eq(var("op"), i(OP_READ as i32)),
                         vec![
-                            let_("got", native(
-                                "file_read",
-                                vec![var("fid"), var("off"), var("data")],
-                            )),
+                            let_(
+                                "got",
+                                native("file_read", vec![var("fid"), var("off"), var("data")]),
+                            ),
                             set("paylen", var("got")),
                             if_(
                                 gt(var("paylen"), var("rlen")),
@@ -144,11 +140,7 @@ pub fn server_program(n_requests: i32) -> Program {
                                 // Attributes: file size in the payload.
                                 let_("sz", native("file_size", vec![var("fid")])),
                                 set_idx(var("out"), i(8), band(var("sz"), i(0xff))),
-                                set_idx(
-                                    var("out"),
-                                    i(9),
-                                    band(shr(var("sz"), i(8)), i(0xff)),
-                                ),
+                                set_idx(var("out"), i(9), band(shr(var("sz"), i(8)), i(0xff))),
                                 set("paylen", i(4)),
                             ],
                             vec![
@@ -189,7 +181,9 @@ pub fn make_files(n: usize, min_b: usize, max_b: usize, seed: u64) -> Vec<Vec<u8
     (0..n)
         .map(|fid| {
             let size = rng.gen_range(min_b..=max_b);
-            (0..size).map(|k| ((k as u64 * 31 + fid as u64) & 0xff) as u8).collect()
+            (0..size)
+                .map(|k| ((k as u64 * 31 + fid as u64) & 0xff) as u8)
+                .collect()
         })
         .collect()
 }
@@ -214,10 +208,7 @@ impl RequestSchedule {
 
     /// The inter-arrival gaps (legitimate IPD reference sample), cycles.
     pub fn gaps(&self) -> Vec<u64> {
-        self.packets
-            .windows(2)
-            .map(|w| w[1].0 - w[0].0)
-            .collect()
+        self.packets.windows(2).map(|w| w[1].0 - w[0].0).collect()
     }
 }
 
@@ -250,7 +241,7 @@ pub fn client_schedule(
             // in the paper's 6-9 ms band (Fig. 7); the wandering width is
             // what the regularity test keys on — real traffic's variance
             // "varies over time" (§5.2).
-            if n % 16 == 0 {
+            if n.is_multiple_of(16) {
                 scale = rng.gen_range(0.85..1.30);
                 width = rng.gen_range(0.05..0.25);
             }

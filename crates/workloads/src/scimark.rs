@@ -27,7 +27,13 @@ pub enum Kernel {
 impl Kernel {
     /// All kernels in Table 2 row order.
     pub fn all() -> [Kernel; 5] {
-        [Kernel::Sor, Kernel::Smm, Kernel::Mc, Kernel::Fft, Kernel::Lu]
+        [
+            Kernel::Sor,
+            Kernel::Smm,
+            Kernel::Mc,
+            Kernel::Fft,
+            Kernel::Lu,
+        ]
     }
 
     /// Display name matching the paper.
@@ -168,10 +174,7 @@ pub fn smm_program(rows: i32, cols: i32, nz: i32, iters: i32) -> Program {
                         set_idx(
                             var("col"),
                             var("p"),
-                            rem(
-                                add(var("r0"), mul(var("k0"), i(cols / nz))),
-                                i(cols),
-                            ),
+                            rem(add(var("r0"), mul(var("k0"), i(cols / nz))), i(cols)),
                         ),
                         set_idx(
                             var("val"),
@@ -257,7 +260,10 @@ pub fn mc_program(samples: i32) -> Program {
                     set("seed", rem(mul(var("seed"), l(16807)), l(2147483647))),
                     let_("y", div(cast(HTy::F64, var("seed")), d(2147483647.0))),
                     if_(
-                        le(add(mul(var("x"), var("x")), mul(var("y"), var("y"))), d(1.0)),
+                        le(
+                            add(mul(var("x"), var("x")), mul(var("y"), var("y"))),
+                            d(1.0),
+                        ),
                         vec![set("hits", add(var("hits"), i(1)))],
                         vec![],
                     ),
@@ -314,7 +320,10 @@ pub fn fft_program(n: i32) -> Program {
                 let_("k", i(n / 2)),
                 while_(
                     and(ge(var("j"), var("k")), gt(var("k"), i(0))),
-                    vec![set("j", sub(var("j"), var("k"))), set("k", div(var("k"), i(2)))],
+                    vec![
+                        set("j", sub(var("j"), var("k"))),
+                        set("k", div(var("k"), i(2))),
+                    ],
                 ),
                 set("j", add(var("j"), var("k"))),
             ],
@@ -446,10 +455,7 @@ pub fn fft_program(n: i32) -> Program {
             ),
             expr(native(
                 "println_d",
-                vec![native(
-                    "math_sqrt",
-                    vec![div(var("err"), i2d(i(2 * n)))],
-                )],
+                vec![native("math_sqrt", vec![div(var("err"), i2d(i(2 * n)))])],
             )),
         ],
     ));
@@ -504,7 +510,11 @@ pub fn lu_program(n: i32) -> Program {
                     // Partial pivot search in column j.
                     let_("p", var("j")),
                     let_("maxv", idx(var("a"), add(mul(var("j"), i(n)), var("j")))),
-                    if_(lt(var("maxv"), d(0.0)), vec![set("maxv", neg(var("maxv")))], vec![]),
+                    if_(
+                        lt(var("maxv"), d(0.0)),
+                        vec![set("maxv", neg(var("maxv")))],
+                        vec![],
+                    ),
                     for_(
                         "r",
                         add(var("j"), i(1)),
@@ -551,7 +561,10 @@ pub fn lu_program(n: i32) -> Program {
                         vec![
                             let_(
                                 "f",
-                                div(idx(var("a"), add(mul(var("r2"), i(n)), var("j"))), var("piv")),
+                                div(
+                                    idx(var("a"), add(mul(var("r2"), i(n)), var("j"))),
+                                    var("piv"),
+                                ),
                             ),
                             set_idx(var("a"), add(mul(var("r2"), i(n)), var("j")), var("f")),
                             for_(
@@ -563,7 +576,10 @@ pub fn lu_program(n: i32) -> Program {
                                     add(mul(var("r2"), i(n)), var("c2")),
                                     sub(
                                         idx(var("a"), add(mul(var("r2"), i(n)), var("c2"))),
-                                        mul(var("f"), idx(var("a"), add(mul(var("j"), i(n)), var("c2")))),
+                                        mul(
+                                            var("f"),
+                                            idx(var("a"), add(mul(var("j"), i(n)), var("c2"))),
+                                        ),
                                     ),
                                 )],
                             ),
@@ -579,7 +595,10 @@ pub fn lu_program(n: i32) -> Program {
                 i(n),
                 vec![set(
                     "total",
-                    add(var("total"), idx(var("a"), add(mul(var("d2"), i(n)), var("d2")))),
+                    add(
+                        var("total"),
+                        idx(var("a"), add(mul(var("d2"), i(n)), var("d2"))),
+                    ),
                 )],
             ),
             expr(native("println_d", vec![var("total")])),

@@ -55,10 +55,8 @@ fn main() {
     println!("observed on cheaper T':  {cheat_ms:.3} ms");
     println!("reproduced on local T:   {repro_ms:.3} ms\n");
 
-    let dev_honest = compare::relative_error(
-        observed_honest.outcome.cycles,
-        reproduced.outcome.cycles,
-    );
+    let dev_honest =
+        compare::relative_error(observed_honest.outcome.cycles, reproduced.outcome.cycles);
     println!(
         "honest claim vs reproduction: {:.3}% deviation — consistent with type T",
         dev_honest * 100.0

@@ -85,7 +85,11 @@ fn auditor_passes_clean_trace_and_flags_trctc() {
     let report = auditor
         .audit(&covert_rec.log, &covert_ipds, 43)
         .expect("audit");
-    assert!(report.flagged, "TRCTC score {} over threshold", report.score);
+    assert!(
+        report.flagged,
+        "TRCTC score {} over threshold",
+        report.score
+    );
     assert!(report.score > 5.0 * clean_report.score.max(1e-6));
 }
 

@@ -66,7 +66,10 @@ fn fig6_sanity_is_an_order_quieter_than_clean() {
         sanity_spread < clean_spread / 2.0,
         "Sanity {sanity_spread} ≪ clean {clean_spread}"
     );
-    assert!(sanity_spread < 0.0125, "paper: 0.08%–1.22%: {sanity_spread}");
+    assert!(
+        sanity_spread < 0.0125,
+        "paper: 0.08%–1.22%: {sanity_spread}"
+    );
 }
 
 #[test]

@@ -1,0 +1,113 @@
+//! Cross-crate integration: the batch-audit pipeline and the binary log
+//! codec over real recorded NFS workloads.
+
+use sanity_tdr::audit_pipeline::ingest;
+use sanity_tdr::{compare, AuditConfig, AuditJob, Sanity};
+use workloads::nfs;
+
+/// One NFS service and a fleet of its recorded sessions; sessions whose id
+/// is in `covert` get two packets delayed by ~20% of the IPD.
+fn record_fleet(n: u64, covert: &[u64]) -> (Sanity, Vec<AuditJob>) {
+    let files = nfs::make_files(6, 2048, 6144, 31);
+    let sanity = Sanity::new(nfs::server_program(files.len() as i32)).with_files(files.clone());
+    let jobs = (0..n)
+        .map(|id| {
+            let sched = nfs::client_schedule(&files, 200_000, 740_000, 500 + id);
+            let is_covert = covert.contains(&id);
+            let rec = sanity
+                .record(id, |vm| {
+                    for (at, pkt) in sched.packets {
+                        vm.machine_mut().deliver_packet(at, pkt);
+                    }
+                    if is_covert {
+                        vm.set_delay_model(Box::new(vm::ScheduledDelays::new(vec![
+                            0, 150_000, 0, 0, 150_000, 0,
+                        ])));
+                    }
+                })
+                .expect("record");
+            AuditJob {
+                session_id: id,
+                observed_ipds: compare::tx_ipds_cycles(&rec.tx),
+                log: rec.log,
+            }
+        })
+        .collect();
+    (sanity, jobs)
+}
+
+#[test]
+fn batch_audit_is_deterministic_across_worker_counts_and_order() {
+    let (sanity, mut jobs) = record_fleet(6, &[2, 5]);
+    let cfg1 = AuditConfig {
+        workers: 1,
+        ..AuditConfig::default()
+    };
+    let cfg3 = AuditConfig {
+        workers: 3,
+        ..AuditConfig::default()
+    };
+
+    let one = sanity.audit_batch(&jobs, &cfg1);
+    let three = sanity.audit_batch(&jobs, &cfg3);
+    assert_eq!(one.verdicts, three.verdicts, "worker count must not matter");
+    assert_eq!(one.summary, three.summary);
+    assert_eq!(one.summary.flagged, vec![2, 5]);
+    assert_eq!(one.summary.errors, 0);
+
+    // Shard order must not matter either: reverse the batch.
+    jobs.reverse();
+    let reversed = sanity.audit_batch(&jobs, &cfg3);
+    let mut by_id = reversed.verdicts.clone();
+    by_id.sort_by_key(|v| v.session_id);
+    assert_eq!(by_id, one.verdicts);
+    assert_eq!(reversed.summary, one.summary);
+}
+
+#[test]
+fn codec_roundtrips_recorded_nfs_log_byte_for_byte() {
+    let (_, jobs) = record_fleet(1, &[]);
+    let log = &jobs[0].log;
+    assert!(
+        !log.packets.is_empty() && !log.values.is_empty(),
+        "a real NFS log has packets and values"
+    );
+
+    let encoded = log.encode();
+    let decoded = replay::EventLog::decode(&encoded).expect("decodes");
+    assert_eq!(&decoded, log, "decode(encode(log)) == log");
+    assert_eq!(
+        decoded.encode(),
+        encoded,
+        "re-encoding is byte-for-byte stable"
+    );
+    assert_eq!(
+        decoded.to_json(),
+        log.to_json(),
+        "binary codec agrees with the serde representation"
+    );
+    assert!(
+        encoded.len() < log.to_json().len() / 2,
+        "binary ({}) is well under half of JSON ({})",
+        encoded.len(),
+        log.to_json().len()
+    );
+}
+
+#[test]
+fn fleet_survives_the_batch_wire_format() {
+    let (sanity, jobs) = record_fleet(4, &[1]);
+    let bytes = ingest::encode_batch(&jobs);
+    let back = ingest::decode_batch(&bytes).expect("batch decodes");
+    assert_eq!(back, jobs);
+
+    // Auditing the re-ingested batch produces the same verdicts.
+    let cfg = AuditConfig {
+        workers: 2,
+        ..AuditConfig::default()
+    };
+    assert_eq!(
+        sanity.audit_batch(&back, &cfg).verdicts,
+        sanity.audit_batch(&jobs, &cfg).verdicts
+    );
+}

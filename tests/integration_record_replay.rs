@@ -86,11 +86,14 @@ fn compute_workloads_record_replay_cleanly() {
 #[test]
 fn functional_baseline_diverges_tdr_does_not() {
     let s = Sanity::new(workloads::bootserve::bootserve_program(40, 10));
+    // Space the arrivals well past the per-request compute time so the run
+    // is wait-dominated: skipping those waits is exactly what makes the
+    // functional baseline diverge grossly (Fig. 3).
     let rec = s
         .record(6, |vm| {
             for k in 0..10u64 {
                 vm.machine_mut()
-                    .deliver_packet(2_000_000 + k * 700_000, vec![k as u8; 48]);
+                    .deliver_packet(2_000_000 + k * 2_500_000, vec![k as u8; 48]);
             }
         })
         .expect("record");

@@ -64,13 +64,13 @@ fn smm_matches_host_reference() {
     let x: Vec<f64> = (0..cols).map(|j| 0.5 + (j % 3) as f64).collect();
     let mut y = vec![0.0f64; rows as usize];
     for _ in 0..iters {
-        for r in 0..rows as usize {
+        for (r, slot) in y.iter_mut().enumerate() {
             let mut sum = 0.0;
             for k in 0..nz as usize {
                 let p = r * nz as usize + k;
                 sum += val[p] * x[col[p]];
             }
-            y[r] = sum;
+            *slot = sum;
         }
     }
     let want: f64 = y.iter().sum();
@@ -95,8 +95,10 @@ fn gc_survives_kernel_sweep() {
     // Run every kernel on a deliberately small heap to force collections.
     for k in Kernel::all() {
         let machine = Machine::new(MachineConfig::sanity(), Seeds::from_run(2));
-        let mut cfg = VmConfig::default();
-        cfg.heap_size = 3 << 20;
+        let cfg = VmConfig {
+            heap_size: 3 << 20,
+            ..VmConfig::default()
+        };
         let mut vm = Vm::new(Arc::new(k.program_small()), machine, cfg).expect("load");
         vm.machine_mut().start_run();
         vm.run().unwrap_or_else(|e| panic!("{}: {e}", k.label()));

@@ -1,0 +1,125 @@
+//! Minimal, vendored stand-in for `criterion`.
+//!
+//! Provides the tiny API surface the workspace's benches use —
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! bench_function, finish}`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock timer instead
+//! of criterion's statistical machinery. Results print as
+//! `name: mean ± spread per iter over N samples`.
+
+use std::time::Instant;
+
+/// Benchmark driver (stub: only carries defaults into groups).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time `f`'s `Bencher::iter` body and print a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let full = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        let mut b = Bencher {
+            samples_wanted: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        let n = b.samples_ns.len().max(1) as f64;
+        let mean = b.samples_ns.iter().sum::<f64>() / n;
+        let var = b
+            .samples_ns
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
+        println!(
+            "bench {full}: {:>12.0} ns/iter (± {:.0}) over {} samples",
+            mean,
+            var.sqrt(),
+            b.samples_ns.len()
+        );
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_wanted: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run `body` once for warm-up, then `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body()); // warm-up
+        for _ in 0..self.samples_wanted {
+            let t0 = Instant::now();
+            black_box(body());
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the benchmark.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runner (stub: a plain fn).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Produce `main` from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,388 @@
+//! Minimal, vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses: non-generic structs (named, tuple,
+//! unit) and non-generic enums (unit, tuple, and struct variants). The
+//! token stream is parsed by hand — no `syn`/`quote`, since the build
+//! environment cannot reach crates.io.
+//!
+//! The generated code targets the simplified `serde::Content` data model of
+//! the vendored `serde` crate and follows serde's externally-tagged enum
+//! convention.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum ItemKind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Skip outer attributes (`#[...]`, incl. doc comments) and a visibility
+/// qualifier (`pub`, `pub(crate)`, ...), returning the new cursor.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Advance past one field's type: everything up to the next comma that is
+/// not nested inside `<...>` generic arguments.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_type(&toks, i);
+        i += 1; // ','
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        n += 1;
+        i = skip_type(&toks, i);
+        i += 1; // ','
+    }
+    n
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Shape)> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                i += 1;
+                Shape::Named(f)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while let Some(t) = toks.get(i) {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        i += 1; // ','
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generics (type {name})"
+        ));
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => ItemKind::Struct(Shape::Unit),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, kind })
+}
+
+fn tuple_bindings(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("f{k}")).collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => "::serde::Content::Null".to_string(),
+        ItemKind::Struct(Shape::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", items.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "{name}::{v} => ::serde::Content::Str(String::from(\"{v}\"))"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Content::Map(vec![(String::from(\"{v}\"), \
+                         ::serde::Serialize::serialize(f0))])"
+                    ),
+                    Shape::Tuple(n) => {
+                        let binds = tuple_bindings(*n);
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Content::Map(vec![(String::from(\"{v}\"), \
+                             ::serde::Content::Seq(vec![{}]))])",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Content::Map(vec![(String::from(\"{v}\"), \
+                             ::serde::Content::Map(vec![{}]))])",
+                            fields.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => format!("Ok({name})"),
+        ItemKind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(c)?))")
+        }
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&s[{k}])?"))
+                .collect();
+            format!(
+                "let s = c.as_seq().ok_or_else(|| ::serde::Error::msg(\"expected seq for {name}\"))?;\n\
+                 if s.len() != {n} {{ return Err(::serde::Error::msg(\"wrong arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(m, \"{f}\")?"))
+                .collect();
+            format!(
+                "let m = c.as_map().ok_or_else(|| ::serde::Error::msg(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, Shape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    Shape::Unit => None,
+                    Shape::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::deserialize(v)?))"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deserialize(&s[{k}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                             let s = v.as_seq().ok_or_else(|| ::serde::Error::msg(\"expected seq for {name}::{v}\"))?;\n\
+                             if s.len() != {n} {{ return Err(::serde::Error::msg(\"wrong arity for {name}::{v}\")); }}\n\
+                             Ok({name}::{v}({}))\n\
+                             }}",
+                            items.join(", ")
+                        ))
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(m, \"{f}\")?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                             let m = v.as_map().ok_or_else(|| ::serde::Error::msg(\"expected map for {name}::{v}\"))?;\n\
+                             Ok({name}::{v} {{ {} }})\n\
+                             }}",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 _ => Err(::serde::Error::msg(format!(\"unknown {name} variant {{s}}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                 let (k, v) = &m[0];\n\
+                 let _ = v;\n\
+                 match k.as_str() {{\n\
+                 {}\n\
+                 _ => Err(::serde::Error::msg(format!(\"unknown {name} variant {{k}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(::serde::Error::msg(\"expected enum representation for {name}\")),\n\
+                 }}",
+                if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    data_arms.join(",\n") + ","
+                }
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .expect("vendored serde_derive generated invalid Rust"),
+        Err(e) => format!("compile_error!({e:?});").parse().unwrap(),
+    }
+}
+
+/// Derive `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
