@@ -1,7 +1,10 @@
 //! Criterion bench for the audit pipeline: batch audit latency at 1 worker
-//! vs a sharded pool over a pre-recorded NFS batch.
+//! vs a sharded pool over a pre-recorded NFS batch, plus streamed vs
+//! materialized ingest of the same TDRB bytes (decode only, and the full
+//! decode-and-audit path at the default high-water mark).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sanity_tdr::audit_pipeline::ingest::{self, BatchStream};
 use sanity_tdr::{AuditConfig, AuditJob, Sanity};
 use vm::Vm;
 use workloads::nfs;
@@ -41,6 +44,50 @@ fn bench(c: &mut Criterion) {
             b.iter(|| sanity.audit_batch(&jobs, &cfg).summary.flagged.len())
         });
     }
+    group.finish();
+
+    // Ingest modes over identical TDRB bytes: materialized decode (whole
+    // fleet resident) vs streaming decode (one session resident).
+    let bytes = ingest::encode_batch(&jobs);
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(20);
+    group.bench_function("decode_batch/materialized", |b| {
+        b.iter(|| {
+            ingest::decode_batch(black_box(&bytes))
+                .expect("decodes")
+                .len()
+        })
+    });
+    group.bench_function("decode_batch/streamed", |b| {
+        b.iter(|| {
+            BatchStream::new(black_box(&bytes[..]))
+                .expect("header")
+                .fold(0usize, |n, s| {
+                    black_box(s.expect("session decodes"));
+                    n + 1
+                })
+        })
+    });
+    // Full path: bytes in, fleet summary out, both modes.
+    group.sample_size(10);
+    group.bench_function("audit/materialized", |b| {
+        let cfg = AuditConfig::default();
+        b.iter(|| {
+            let decoded = ingest::decode_batch(black_box(&bytes)).expect("decodes");
+            sanity.audit_batch(&decoded, &cfg).summary.flagged.len()
+        })
+    });
+    group.bench_function("audit/streamed_hw8", |b| {
+        let cfg = AuditConfig::default();
+        b.iter(|| {
+            sanity
+                .audit_stream(black_box(&bytes[..]), &cfg)
+                .expect("stream audits")
+                .summary
+                .flagged
+                .len()
+        })
+    });
     group.finish();
 }
 

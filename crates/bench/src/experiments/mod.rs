@@ -18,6 +18,9 @@ pub struct Options {
     pub runs: usize,
     /// Output directory for CSV/JSON artifacts.
     pub out_dir: String,
+    /// `repro pipeline --stream`: run the streaming-ingest throughput
+    /// comparison (streamed vs materialized) instead of the worker sweep.
+    pub stream: bool,
 }
 
 impl Default for Options {
@@ -26,6 +29,7 @@ impl Default for Options {
             full: false,
             runs: 0,
             out_dir: "results".to_string(),
+            stream: false,
         }
     }
 }

@@ -6,10 +6,17 @@
 //! batch under increasing worker counts, reporting sessions/sec, speedup
 //! over one worker, and (as a cross-check) that every configuration
 //! produced identical verdicts.
+//!
+//! With `--stream` the experiment instead compares ingest modes over the
+//! same TDRB bytes: materialized (decode the whole batch, then audit)
+//! against streaming (pull sessions lazily through the bounded channel)
+//! at several high-water marks — the memory/throughput tradeoff of the
+//! bounded-memory path, written to `BENCH_pipeline_stream.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use sanity_tdr::audit_pipeline::ingest;
 use sanity_tdr::{AuditConfig, AuditJob, Sanity};
 use vm::Vm;
 use workloads::nfs;
@@ -40,8 +47,13 @@ fn build_batch(opts: &Options) -> (Sanity, Vec<AuditJob>) {
     (sanity, jobs)
 }
 
-/// Run the audit-pipeline throughput sweep.
+/// Run the audit-pipeline throughput sweep (or, with `--stream`, the
+/// streamed-vs-materialized ingest comparison).
 pub fn run(opts: &Options) {
+    if opts.stream {
+        run_stream(opts);
+        return;
+    }
     println!("== audit-pipeline: batch audit throughput ==\n");
     let t0 = Instant::now();
     let (sanity, jobs) = build_batch(opts);
@@ -94,4 +106,73 @@ pub fn run(opts: &Options) {
     }
     println!("\n(verdicts identical across all worker counts)");
     opts.write("pipeline_throughput.csv", &csv);
+}
+
+/// Streamed vs materialized ingest of the same TDRB bytes: throughput and
+/// peak session residency per high-water mark.
+pub fn run_stream(opts: &Options) {
+    println!("== audit-pipeline: streamed vs materialized ingest ==\n");
+    let t0 = Instant::now();
+    let (sanity, jobs) = build_batch(opts);
+    let bytes = ingest::encode_batch(&jobs);
+    println!(
+        "recorded {} NFS sessions ({} KiB TDRB) in {:.1}s\n",
+        jobs.len(),
+        bytes.len() / 1024,
+        t0.elapsed().as_secs_f64()
+    );
+
+    let cfg = AuditConfig::default();
+
+    // Materialized baseline: decode the whole batch, then audit it. The
+    // resident set is the entire fleet.
+    let t = Instant::now();
+    let decoded = ingest::decode_batch(&bytes).expect("batch decodes");
+    let baseline = sanity.audit_batch(&decoded, &cfg);
+    let base_secs = t.elapsed().as_secs_f64();
+    let base_rate = jobs.len() as f64 / base_secs;
+    println!(
+        "materialized: {base_secs:>7.2}s  {base_rate:>8.1} sessions/sec  resident {} sessions",
+        jobs.len()
+    );
+
+    // Streaming at increasing high-water marks: the memory bound rises,
+    // the pipeline stalls less behind slow sessions.
+    let mut rows = String::new();
+    for high_water in [1usize, 2, 4, 8, 16] {
+        let t = Instant::now();
+        let report = sanity
+            .audit_stream(&bytes[..], &AuditConfig { high_water, ..cfg })
+            .expect("stream audits");
+        let secs = t.elapsed().as_secs_f64();
+        let rate = jobs.len() as f64 / secs;
+        println!(
+            "streamed hw {high_water:>2}: {secs:>6.2}s  {rate:>8.1} sessions/sec  peak resident {:>2}  workers {}",
+            report.peak_resident, report.workers
+        );
+        assert_eq!(
+            report.summary, baseline.summary,
+            "streamed summary must be byte-identical to the materialized one"
+        );
+        assert!(report.peak_resident <= high_water);
+        let _ = write!(
+            rows,
+            "{}    {{\"high_water\": {high_water}, \"workers\": {}, \"seconds\": {secs:.4}, \
+             \"sessions_per_sec\": {rate:.2}, \"peak_resident\": {}}}",
+            if rows.is_empty() { "" } else { ",\n" },
+            report.workers,
+            report.peak_resident
+        );
+    }
+    println!("\n(streamed summaries byte-identical to the materialized one)");
+
+    let json = format!(
+        "{{\n  \"sessions\": {},\n  \"batch_bytes\": {},\n  \"materialized\": \
+         {{\"seconds\": {base_secs:.4}, \"sessions_per_sec\": {base_rate:.2}, \
+         \"resident_sessions\": {}}},\n  \"streamed\": [\n{rows}\n  ]\n}}\n",
+        jobs.len(),
+        bytes.len(),
+        jobs.len()
+    );
+    opts.write("BENCH_pipeline_stream.json", &json);
 }

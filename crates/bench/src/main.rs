@@ -13,12 +13,13 @@
 //! repro fig8             ROC/AUC for 4 channels × 5 detectors
 //! repro noise-vs-jitter  TDR noise floor vs WAN jitter (§6.9)
 //! repro pipeline         Batch-audit throughput: sessions/sec vs workers
+//! repro pipeline --stream  Streamed vs materialized ingest throughput
 //! repro all              Everything above
 //! ```
 //!
 //! Options: `--full` (paper-scale parameters), `--runs N` (override the
 //! per-cell run count), `--out DIR` (results directory, default
-//! `results/`).
+//! `results/`), `--stream` (pipeline only: streaming-ingest comparison).
 
 mod experiments;
 
@@ -27,13 +28,14 @@ use experiments::Options;
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|noise-vs-jitter|pipeline|all> [--full] [--runs N] [--out DIR]");
+        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|noise-vs-jitter|pipeline|all> [--full] [--runs N] [--out DIR] [--stream]");
         std::process::exit(2);
     });
     let mut opts = Options::default();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => opts.full = true,
+            "--stream" => opts.stream = true,
             "--runs" => {
                 opts.runs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--runs needs a number");

@@ -18,7 +18,11 @@
 //! * [`Sanity::audit_batch`] — the fleet-scale version of the detector:
 //!   shard a batch of recorded sessions across a worker pool
 //!   (`audit-pipeline`) and aggregate per-session verdicts into a fleet
-//!   summary.
+//!   summary;
+//! * [`Sanity::audit_stream`] — the same audit over a TDRB byte stream
+//!   from any `io::Read` source (file, socket, in-memory buffer), decoding
+//!   sessions lazily so a batch far larger than RAM audits in bounded
+//!   memory; verdicts are byte-identical to the materialized path.
 //!
 //! The substrate crates are re-exported under their own names so that a
 //! single dependency on `sanity-tdr` gives access to the whole system.
@@ -60,7 +64,7 @@ pub use replay;
 pub use sim_core;
 pub use vm;
 
-pub use audit_pipeline::{AuditConfig, AuditJob, BatchReport};
+pub use audit_pipeline::{AuditConfig, AuditJob, BatchReport, IngestError, StreamReport};
 
 /// The TDR system: a program plus the machine/VM configuration it runs
 /// under. All methods are deterministic given the run number.
@@ -177,6 +181,25 @@ impl Sanity {
     /// deterministic — independent of worker count and shard order.
     pub fn audit_batch(&self, jobs: &[AuditJob], cfg: &AuditConfig) -> BatchReport {
         audit_pipeline::audit_batch(&self.as_reference(), jobs, cfg)
+    }
+
+    /// Streaming batch audit: decode a TDRB byte stream session-by-session
+    /// from `reader` and audit each against this (known-good) binary,
+    /// holding at most [`AuditConfig::high_water`] sessions resident.
+    ///
+    /// This is the fleet-scale entry point — batches arrive from disk or
+    /// the network far larger than RAM, and memory stays bounded no matter
+    /// the batch size. Verdicts and the fleet summary are byte-identical
+    /// to [`Sanity::audit_batch`] over the same bytes, regardless of
+    /// worker count, read-buffer size, or high-water mark. `reader` is
+    /// buffered internally, so a raw `File` or socket is fine.
+    pub fn audit_stream(
+        &self,
+        reader: impl std::io::Read,
+        cfg: &AuditConfig,
+    ) -> Result<StreamReport, IngestError> {
+        let sessions = audit_pipeline::BatchStream::new(std::io::BufReader::new(reader))?;
+        audit_pipeline::audit_stream(&self.as_reference(), sessions, cfg)
     }
 
     /// Audit replay (§5.3): re-deliver the log's inputs at their recorded
@@ -375,6 +398,34 @@ mod tests {
             assert_eq!(single.score, verdict.score);
             assert_eq!(single.flagged, verdict.flagged);
         }
+    }
+
+    #[test]
+    fn audit_stream_matches_audit_batch() {
+        let s = nfs_sanity(8, 14);
+        let jobs: Vec<AuditJob> = (0..3u64)
+            .map(|id| {
+                let rec = s
+                    .record(20 + id, |vm| deliver_nfs(vm, 8, 14))
+                    .expect("record");
+                AuditJob {
+                    session_id: id,
+                    observed_ipds: rec.tx_ipds_cycles(),
+                    log: rec.log,
+                }
+            })
+            .collect();
+        let cfg = AuditConfig {
+            workers: 2,
+            high_water: 2,
+            ..AuditConfig::default()
+        };
+        let batch = s.audit_batch(&jobs, &cfg);
+        let bytes = audit_pipeline::ingest::encode_batch(&jobs);
+        let stream = s.audit_stream(&bytes[..], &cfg).expect("stream audits");
+        assert_eq!(stream.verdicts, batch.verdicts);
+        assert_eq!(stream.summary, batch.summary);
+        assert!(stream.peak_resident <= 2);
     }
 
     #[test]

@@ -21,8 +21,8 @@
 //!
 //! Every statistical detector implements [`Detector`]: train on legitimate
 //! traces, then produce a scalar score where **higher = more likely
-//! covert**. [`roc`]/[`auc`] turn labeled score sets into the ROC curves and
-//! AUC values of Fig. 8.
+//! covert**. [`roc()`]/[`auc`] turn labeled score sets into the ROC curves
+//! and AUC values of Fig. 8.
 
 use netsim::stats;
 

@@ -16,7 +16,7 @@
 //! * [`Program`], [`Class`], [`Method`], [`Field`] — the linked program
 //!   model (the equivalent of a loaded set of class files);
 //! * [`ProgramBuilder`] / [`MethodAsm`] — a label-based assembler API;
-//! * [`verify`] — a structural verifier (branch targets, local indices,
+//! * [`mod@verify`] — a structural verifier (branch targets, local indices,
 //!   operand-stack discipline);
 //! * [`hll`] — a miniature structured front-end (expressions, statements,
 //!   functions) that compiles to bytecode, used to author the paper's

@@ -21,8 +21,8 @@
 //!   background DMA, dirty initial caches, frequency scaling — the four
 //!   environments of Fig. 2 plus the Sanity configuration.
 //!
-//! The [`Machine`](machine::Machine) type ties these together and is what
-//! the VM executes against.
+//! The [`machine::Machine`] type ties these together and is what the VM
+//! executes against.
 
 pub mod addr;
 pub mod device;

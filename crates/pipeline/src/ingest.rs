@@ -18,11 +18,20 @@
 //! CRC-32 and the event log its codec trailer — so one corrupted session
 //! is reported by index instead of poisoning the whole batch, and the
 //! IPDs the verdict is computed from cannot be silently corrupted.
+//!
+//! Ingest is *streaming*: [`BatchStream`] pulls sessions one at a time
+//! from any [`std::io::Read`] source (a file, a socket, an in-memory
+//! slice), holding at most one session resident, with every checksum
+//! validated incrementally as bytes arrive. [`decode_batch`] is the
+//! materialized convenience built on the same decoder, so the two paths
+//! cannot drift. The format itself is specified normatively in
+//! `docs/FORMATS.md` (§ "TDRB batch container").
 
 use std::fmt;
+use std::io::{self, Read};
 
 use replay::codec::{wire, CodecError};
-use replay::EventLog;
+use replay::stream::{read_full, read_log_frame, read_varint_from, StreamError};
 
 use crate::AuditJob;
 
@@ -54,6 +63,9 @@ pub enum IngestError {
     },
     /// Bytes remained after the last declared session.
     TrailingBytes(usize),
+    /// The transport failed mid-stream (not a data-corruption error; a
+    /// clean end-of-stream inside a session reports as truncation instead).
+    Io(io::ErrorKind, String),
 }
 
 impl fmt::Display for IngestError {
@@ -68,6 +80,7 @@ impl fmt::Display for IngestError {
                 write!(f, "session {index} failed to decode: {cause}")
             }
             IngestError::TrailingBytes(n) => write!(f, "{n} trailing bytes after batch"),
+            IngestError::Io(kind, msg) => write!(f, "read failed ({kind:?}): {msg}"),
         }
     }
 }
@@ -99,76 +112,230 @@ pub fn encode_batch(jobs: &[AuditJob]) -> Vec<u8> {
     out
 }
 
-/// Decode a batch of audit jobs.
+/// Decode a batch of audit jobs, materializing every session.
+///
+/// This is [`BatchStream`] run to completion — kept for small batches and
+/// for tests that want the whole fleet in hand. Anything fleet-sized
+/// should consume the stream directly (see [`crate::audit_stream`]), which
+/// holds at most a bounded number of sessions resident.
 pub fn decode_batch(bytes: &[u8]) -> Result<Vec<AuditJob>, IngestError> {
-    if bytes.len() < 8 {
-        return Err(IngestError::Truncated);
+    BatchStream::new(bytes)?.collect()
+}
+
+/// Cap on the IPD count one session may declare (bounded memory: a corrupt
+/// or adversarial count must not balloon the resident set). One million
+/// IPDs is ~8 MiB and two orders of magnitude above any recorded session.
+pub const DEFAULT_MAX_IPDS: usize = 1 << 20;
+
+fn session_err(index: usize, e: StreamError) -> IngestError {
+    match e {
+        StreamError::Io(kind, msg) => IngestError::Io(kind, msg),
+        StreamError::Codec(cause) => IngestError::BadSession { index, cause },
+        StreamError::FrameTooLarge { .. } => IngestError::BadSession {
+            index,
+            cause: CodecError::LengthOverflow,
+        },
     }
-    if bytes[..4] != BATCH_MAGIC {
-        return Err(IngestError::BadMagic);
-    }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
-    if version != BATCH_VERSION {
-        return Err(IngestError::UnsupportedVersion(version));
-    }
-    let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("2 bytes"));
-    if flags != 0 {
-        return Err(IngestError::UnsupportedFlags(flags));
-    }
-    let mut pos = 8;
-    let n = wire::read_varint(bytes, &mut pos).map_err(IngestError::BadHeader)? as usize;
-    if n > bytes.len() {
-        return Err(IngestError::Truncated);
-    }
-    let mut jobs = Vec::with_capacity(n);
-    for index in 0..n {
-        let bad = |cause| IngestError::BadSession { index, cause };
-        let header_start = pos;
-        let session_id = wire::read_varint(bytes, &mut pos).map_err(bad)?;
-        let n_ipds = wire::read_varint(bytes, &mut pos).map_err(bad)? as usize;
-        if n_ipds > bytes.len() - pos {
+}
+
+/// Pull-based session iterator over a TDRB byte stream from any
+/// [`io::Read`] source.
+///
+/// Construction reads and validates the batch header; each call to
+/// [`next`](Iterator::next) then decodes exactly one session — its header
+/// CRC checked against the bytes as they arrived, its event-log frame
+/// decoded via the incremental [`replay::stream`] reader — so memory stays
+/// bounded by one session regardless of batch size. After the last
+/// declared session the source must be exhausted; leftover bytes are
+/// reported as [`IngestError::TrailingBytes`].
+///
+/// Yields `Err` once, then stops: like the materialized decoder, a
+/// malformed session poisons the batch, but it is reported with its index
+/// so the submitter knows which upload to retry.
+#[derive(Debug)]
+pub struct BatchStream<R> {
+    src: R,
+    declared: u64,
+    yielded: u64,
+    hdr_buf: Vec<u8>,
+    frame_buf: Vec<u8>,
+    max_frame_len: usize,
+    max_ipds: usize,
+    done: bool,
+}
+
+impl<R: Read> BatchStream<R> {
+    /// Read and validate the batch header, returning the session iterator.
+    ///
+    /// Session *headers* (ids and IPD deltas) decode varint-by-varint, so
+    /// for unbuffered sources (a raw `File` or socket) wrap `src` in a
+    /// [`std::io::BufReader`] first — [`crate::audit_stream`]'s callers
+    /// get this via `Sanity::audit_stream`, which buffers internally.
+    pub fn new(mut src: R) -> Result<Self, IngestError> {
+        let mut header = [0u8; 8];
+        let got = match read_full(&mut src, &mut header) {
+            Ok(n) => n,
+            Err(StreamError::Io(kind, msg)) => return Err(IngestError::Io(kind, msg)),
+            Err(StreamError::Codec(cause)) => return Err(IngestError::BadHeader(cause)),
+            Err(StreamError::FrameTooLarge { .. }) => unreachable!("read_full is frame-agnostic"),
+        };
+        if got < header.len() {
             return Err(IngestError::Truncated);
         }
-        let mut observed_ipds = Vec::with_capacity(n_ipds);
+        if header[..4] != BATCH_MAGIC {
+            return Err(IngestError::BadMagic);
+        }
+        let version = u16::from_le_bytes(header[4..6].try_into().expect("2 bytes"));
+        if version != BATCH_VERSION {
+            return Err(IngestError::UnsupportedVersion(version));
+        }
+        let flags = u16::from_le_bytes(header[6..8].try_into().expect("2 bytes"));
+        if flags != 0 {
+            return Err(IngestError::UnsupportedFlags(flags));
+        }
+        let mut scratch = Vec::with_capacity(10);
+        let declared = read_varint_from(&mut src, &mut scratch).map_err(|e| match e {
+            StreamError::Io(kind, msg) => IngestError::Io(kind, msg),
+            StreamError::Codec(cause) => IngestError::BadHeader(cause),
+            StreamError::FrameTooLarge { .. } => unreachable!("varints are not frames"),
+        })?;
+        Ok(BatchStream {
+            src,
+            declared,
+            yielded: 0,
+            hdr_buf: Vec::new(),
+            frame_buf: Vec::new(),
+            max_frame_len: replay::stream::DEFAULT_MAX_FRAME_LEN,
+            max_ipds: DEFAULT_MAX_IPDS,
+            done: false,
+        })
+    }
+
+    /// Cap the length one session's event-log frame may declare.
+    pub fn with_max_frame_len(mut self, max: usize) -> Self {
+        self.max_frame_len = max;
+        self
+    }
+
+    /// Cap the IPD count one session may declare (default
+    /// [`DEFAULT_MAX_IPDS`]); raise it for legitimately long sessions.
+    pub fn with_max_ipds(mut self, max: usize) -> Self {
+        self.max_ipds = max;
+        self
+    }
+
+    /// Sessions the batch header declared.
+    pub fn sessions_declared(&self) -> u64 {
+        self.declared
+    }
+
+    /// Sessions successfully yielded so far.
+    pub fn sessions_yielded(&self) -> u64 {
+        self.yielded
+    }
+
+    fn next_session(&mut self) -> Result<AuditJob, IngestError> {
+        let index = self.yielded as usize;
+        let bad = |cause| IngestError::BadSession { index, cause };
+
+        // Session header: id + IPD deltas, with the raw bytes captured so
+        // the header CRC can be recomputed exactly as the encoder wrote it.
+        self.hdr_buf.clear();
+        let session_id = read_varint_from(&mut self.src, &mut self.hdr_buf)
+            .map_err(|e| session_err(index, e))?;
+        let n_ipds = read_varint_from(&mut self.src, &mut self.hdr_buf)
+            .map_err(|e| session_err(index, e))? as usize;
+        if n_ipds > self.max_ipds {
+            return Err(bad(CodecError::LengthOverflow));
+        }
+        let mut observed_ipds = Vec::with_capacity(n_ipds.min(4096));
         let mut prev = 0u64;
         for _ in 0..n_ipds {
-            prev = wire::read_delta(bytes, &mut pos, prev).map_err(bad)?;
+            let z = read_varint_from(&mut self.src, &mut self.hdr_buf)
+                .map_err(|e| session_err(index, e))?;
+            prev = wire::apply_delta(prev, z);
             observed_ipds.push(prev);
         }
-        if bytes.len() - pos < 4 {
-            return Err(IngestError::Truncated);
+        let mut trailer = [0u8; 4];
+        match read_full(&mut self.src, &mut trailer) {
+            Ok(4) => {}
+            Ok(_) => return Err(bad(CodecError::Truncated)),
+            Err(e) => return Err(session_err(index, e)),
         }
-        let stored = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-        let computed = wire::crc32(&bytes[header_start..pos]);
-        pos += 4;
+        let stored = u32::from_le_bytes(trailer);
+        let computed = wire::crc32(&self.hdr_buf);
         if stored != computed {
             return Err(bad(CodecError::BadChecksum { stored, computed }));
         }
-        if bytes.len() - pos < 4 {
-            return Err(IngestError::Truncated);
+
+        // The event-log frame, decoded with incremental CRC validation.
+        let mut len_bytes = [0u8; 4];
+        match read_full(&mut self.src, &mut len_bytes) {
+            Ok(4) => {}
+            Ok(_) => return Err(bad(CodecError::Truncated)),
+            Err(e) => return Err(session_err(index, e)),
         }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        pos += 4;
-        if bytes.len() - pos < len {
-            return Err(IngestError::Truncated);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > self.max_frame_len {
+            return Err(bad(CodecError::LengthOverflow));
         }
-        let log = EventLog::decode(&bytes[pos..pos + len]).map_err(bad)?;
-        pos += len;
-        jobs.push(AuditJob {
+        let log = read_log_frame(&mut self.src, len, &mut self.frame_buf)
+            .map_err(|e| session_err(index, e))?;
+
+        self.yielded += 1;
+        Ok(AuditJob {
             session_id,
             log,
             observed_ipds,
-        });
+        })
     }
-    if pos != bytes.len() {
-        return Err(IngestError::TrailingBytes(bytes.len() - pos));
+
+    /// After the declared sessions, the source must be exhausted (the
+    /// format is one-shot: §4 of `docs/FORMATS.md` — a daemon accepting
+    /// many batches per connection needs its own outer framing). One
+    /// bounded probe read distinguishes clean EOF from trailing garbage;
+    /// a peer streaming junk is rejected after at most one buffer, never
+    /// drained to EOF.
+    fn check_trailing(&mut self) -> Result<(), IngestError> {
+        let mut chunk = [0u8; 4096];
+        match read_full(&mut self.src, &mut chunk) {
+            Ok(0) => Ok(()),
+            // Exact count for sources that ended inside the probe; a lower
+            // bound (the error is diagnostic either way) for longer tails.
+            Ok(n) => Err(IngestError::TrailingBytes(n)),
+            Err(StreamError::Io(kind, msg)) => Err(IngestError::Io(kind, msg)),
+            Err(_) => Ok(()),
+        }
     }
-    Ok(jobs)
+}
+
+impl<R: Read> Iterator for BatchStream<R> {
+    type Item = Result<AuditJob, IngestError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.yielded == self.declared {
+            self.done = true;
+            return match self.check_trailing() {
+                Ok(()) => None,
+                Err(e) => Some(Err(e)),
+            };
+        }
+        match self.next_session() {
+            Ok(job) => Some(Ok(job)),
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use replay::PacketRecord;
+    use replay::{EventLog, PacketRecord};
 
     use super::*;
 
@@ -269,5 +436,121 @@ mod tests {
         for cut in [0, 5, 9, bytes.len() / 2, bytes.len() - 1] {
             assert!(decode_batch(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn stream_agrees_with_materialized_at_every_chunk_size() {
+        let jobs = vec![job(1), job(2), job(40), job(200)];
+        let bytes = encode_batch(&jobs);
+        let materialized = decode_batch(&bytes).expect("decodes");
+        // chunk == 1 puts a read boundary at every byte: mid-varint,
+        // mid-frame, mid-CRC.
+        for chunk in [1usize, 3, 7, 64, 4096] {
+            let src = replay::stream::ChunkReader::new(&bytes[..], chunk);
+            let streamed: Vec<AuditJob> = BatchStream::new(src)
+                .expect("header")
+                .collect::<Result<_, _>>()
+                .unwrap_or_else(|e| panic!("chunk {chunk}: {e}"));
+            assert_eq!(streamed, materialized, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn stream_holds_one_session_at_a_time() {
+        let jobs = vec![job(1), job(2), job(3)];
+        let bytes = encode_batch(&jobs);
+        let mut stream = BatchStream::new(&bytes[..]).expect("header");
+        assert_eq!(stream.sessions_declared(), 3);
+        let mut n = 0;
+        while let Some(item) = stream.next() {
+            item.expect("session decodes");
+            n += 1;
+            assert_eq!(stream.sessions_yielded(), n);
+        }
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn zero_session_batch_streams_empty() {
+        let bytes = encode_batch(&[]);
+        let mut stream = BatchStream::new(&bytes[..]).expect("header");
+        assert_eq!(stream.sessions_declared(), 0);
+        assert!(stream.next().is_none());
+        // A zero-session batch with junk after the header is still corrupt.
+        let mut dirty = encode_batch(&[]);
+        dirty.extend_from_slice(b"xy");
+        let got: Vec<_> = BatchStream::new(&dirty[..]).expect("header").collect();
+        assert_eq!(got, vec![Err(IngestError::TrailingBytes(2))]);
+    }
+
+    #[test]
+    fn stream_truncation_reported_with_session_index() {
+        let bytes = encode_batch(&[job(1), job(2)]);
+        // Cut inside the second session (the first decodes cleanly).
+        let cut = bytes.len() - 3;
+        let results: Vec<_> = BatchStream::new(&bytes[..cut]).expect("header").collect();
+        assert_eq!(results.len(), 2, "one good session, then the error");
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[1],
+            Err(IngestError::BadSession {
+                index: 1,
+                cause: CodecError::Truncated
+            })
+        );
+    }
+
+    #[test]
+    fn stream_corrupt_crc_reported_with_session_index() {
+        let jobs = vec![job(1), job(2)];
+        let mut bytes = encode_batch(&jobs);
+        let tail = bytes.len() - 10; // inside the second session's log frame
+        bytes[tail] ^= 0xff;
+        let results: Vec<_> = BatchStream::new(&bytes[..]).expect("header").collect();
+        assert!(results[0].is_ok());
+        assert!(
+            matches!(
+                &results[1],
+                Err(IngestError::BadSession {
+                    index: 1,
+                    cause: CodecError::BadChecksum { .. }
+                })
+            ),
+            "{:?}",
+            results[1]
+        );
+        assert_eq!(results.len(), 2, "iteration stops at the first error");
+    }
+
+    #[test]
+    fn stream_unknown_version_rejected_at_header() {
+        let mut bytes = encode_batch(&[job(1)]);
+        bytes[4] = 9;
+        match BatchStream::new(&bytes[..]) {
+            Err(IngestError::UnsupportedVersion(9)) => {}
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_oversized_declarations_bounded() {
+        // A session declaring an absurd IPD count must fail fast instead of
+        // allocating: encode a valid one-session batch, then rewrite the
+        // count. Easier: build the header by hand.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&BATCH_MAGIC);
+        bytes.extend_from_slice(&BATCH_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        wire::put_varint(&mut bytes, 1); // one session
+        wire::put_varint(&mut bytes, 7); // session id
+        wire::put_varint(&mut bytes, u64::MAX >> 1); // preposterous IPD count
+        let results: Vec<_> = BatchStream::new(&bytes[..]).expect("header").collect();
+        assert_eq!(
+            results,
+            vec![Err(IngestError::BadSession {
+                index: 0,
+                cause: CodecError::LengthOverflow
+            })]
+        );
     }
 }

@@ -5,14 +5,20 @@
 //! of logs per hour. This crate turns the single-session auditor into a
 //! batch service:
 //!
-//! * [`ingest`] — a batch wire format: length-framed binary event logs
-//!   (the `replay::codec` encoding) bundled with each session's id and the
-//!   packet timing observed on the wire at the suspect machine;
+//! * [`ingest`] — a batch wire format (TDRB, specified in
+//!   `docs/FORMATS.md`): length-framed binary event logs (the
+//!   `replay::codec` encoding) bundled with each session's id and the
+//!   packet timing observed on the wire at the suspect machine. Ingest is
+//!   pull-based: [`BatchStream`] decodes sessions one at a time from any
+//!   `io::Read` source, so a batch far larger than RAM streams through in
+//!   bounded memory;
 //! * [`pool`] — a sharded worker pool (std threads + channels, no external
 //!   dependencies) that fans the sessions of a batch out across cores;
 //!   every worker audits sessions against a [`ReferenceCache`] holding the
 //!   known-good binary and file set, so per-session setup cost is one
-//!   clone, not one rebuild;
+//!   clone, not one rebuild. [`audit_stream`] couples the pool to a
+//!   session stream through a bounded channel with backpressure
+//!   ([`AuditConfig::high_water`] caps the resident set);
 //! * [`verdict`] — per-session [`AuditVerdict`]s and their deterministic
 //!   aggregation into a [`FleetSummary`] (flagged sessions, score
 //!   histogram) plus labeled ROC/AUC over a benchmark batch via
@@ -23,7 +29,12 @@
 //! seed — never on which worker audited it or in what order. The test
 //! suite pins this (1 worker and N workers must produce identical verdict
 //! sets), because a detector whose verdict depends on scheduling would be
-//! unauditable itself.
+//! unauditable itself. The same holds across ingest modes: streamed and
+//! materialized decode of the same TDRB bytes produce byte-identical
+//! fleet summaries, regardless of read-buffer size, worker count, or
+//! high-water mark.
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod ingest;
@@ -38,8 +49,8 @@ use replay::EventLog;
 use vm::VmConfig;
 
 pub use cache::ReferenceCache;
-pub use ingest::IngestError;
-pub use pool::{audit_batch, audit_batch_streaming, BatchReport};
+pub use ingest::{BatchStream, IngestError};
+pub use pool::{audit_batch, audit_batch_streaming, audit_stream, BatchReport, StreamReport};
 pub use verdict::{AuditVerdict, FleetSummary, ScoreHistogram};
 
 /// The reference environment sessions are audited against: the known-good
@@ -103,7 +114,17 @@ pub struct AuditConfig {
     /// session replays under a seed derived from this and its session id,
     /// so verdicts are independent of sharding.
     pub run_seed: u64,
+    /// Streaming ingest memory bound: the maximum number of sessions
+    /// resident at once (decoded but not yet audited) in
+    /// [`audit_stream`]. Decode of the next session blocks until the
+    /// resident set drops below this mark. `0` means the default of 8.
+    /// Has no effect on the materialized [`audit_batch`] path.
+    pub high_water: usize,
 }
+
+/// Default [`AuditConfig::high_water`]: sessions in flight during
+/// streaming ingest.
+pub const DEFAULT_HIGH_WATER: usize = 8;
 
 impl Default for AuditConfig {
     fn default() -> Self {
@@ -111,6 +132,7 @@ impl Default for AuditConfig {
             workers: 0,
             threshold: 0.02,
             run_seed: 0x7d12_aa64_5eed_0001,
+            high_water: DEFAULT_HIGH_WATER,
         }
     }
 }
@@ -136,6 +158,15 @@ impl AuditConfig {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
+        }
+    }
+
+    /// The streaming high-water mark after resolving `0` to the default.
+    pub fn resolved_high_water(&self) -> usize {
+        if self.high_water > 0 {
+            self.high_water
+        } else {
+            DEFAULT_HIGH_WATER
         }
     }
 }

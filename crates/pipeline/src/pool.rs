@@ -1,19 +1,30 @@
 //! The sharded worker pool.
 //!
-//! A batch of sessions is fanned out to `workers` threads over a shared
-//! atomic cursor (cheap dynamic load balancing: audit replays vary wildly
-//! in length, so static striping would leave cores idle behind one long
-//! session). Workers stream `(index, verdict)` pairs back over an mpsc
-//! channel; the caller observes them as they arrive and the final report
-//! re-orders them by submission index, so the output is independent of
-//! scheduling.
+//! Two consumption modes share one audit core:
 //!
-//! Only `std` is used: threads, channels, atomics.
+//! * [`audit_batch`] — a materialized `&[AuditJob]` is fanned out to
+//!   `workers` threads over a shared atomic cursor (cheap dynamic load
+//!   balancing: audit replays vary wildly in length, so static striping
+//!   would leave cores idle behind one long session);
+//! * [`audit_stream`] — a pull-based session iterator (normally a
+//!   [`crate::ingest::BatchStream`] over a file or socket) is consumed
+//!   through a bounded channel with backpressure: decode of the next
+//!   session waits until the number of sessions resident (decoded but not
+//!   yet audited) drops below a high-water mark, so a terabyte batch
+//!   audits in the memory of [`AuditConfig::high_water`] sessions.
+//!
+//! In both modes workers stream `(index, verdict)` pairs back over an mpsc
+//! channel; the caller re-orders them by submission index, so the output is
+//! independent of scheduling — the streamed and materialized paths produce
+//! byte-identical verdicts and summaries for the same input bytes.
+//!
+//! Only `std` is used: threads, channels, atomics, condvars.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use crate::cache::ReferenceCache;
+use crate::ingest::IngestError;
 use crate::verdict::{AuditVerdict, FleetSummary};
 use crate::{AuditConfig, AuditJob, Reference};
 
@@ -84,6 +95,174 @@ pub fn audit_batch_streaming(
         summary,
         workers,
     }
+}
+
+/// Everything a streamed audit produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// One verdict per streamed session, in stream order.
+    pub verdicts: Vec<AuditVerdict>,
+    /// Deterministic fleet-wide aggregation — byte-identical to what
+    /// [`audit_batch`] produces for the same sessions.
+    pub summary: FleetSummary,
+    /// Workers that actually ran.
+    pub workers: usize,
+    /// The most sessions ever resident at once (decoded, not yet audited).
+    /// Never exceeds [`AuditConfig::high_water`].
+    pub peak_resident: usize,
+}
+
+/// Counting gate bounding the resident-session set; blocks the decode side
+/// when `resident == cap` and records the high-water mark actually reached.
+struct ResidencyGate {
+    state: Mutex<(usize, usize)>, // (resident, peak)
+    freed: Condvar,
+}
+
+impl ResidencyGate {
+    fn new() -> Self {
+        ResidencyGate {
+            state: Mutex::new((0, 0)),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Block until a residency slot is free, then claim it. The slot is
+    /// speculative until [`commit`](Self::commit): the feeder claims before
+    /// pulling, but the pull may yield end-of-stream instead of a session.
+    fn acquire(&self, cap: usize) {
+        let mut s = self.state.lock().expect("gate lock");
+        while s.0 >= cap {
+            s = self.freed.wait(s).expect("gate wait");
+        }
+        s.0 += 1;
+    }
+
+    /// Record the claimed slot as a real resident session (peak tracking).
+    fn commit(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        s.1 = s.1.max(s.0);
+    }
+
+    /// Release a residency slot (the session was audited and dropped).
+    fn release(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        s.0 -= 1;
+        self.freed.notify_one();
+        drop(s);
+    }
+
+    fn peak(&self) -> usize {
+        self.state.lock().expect("gate lock").1
+    }
+}
+
+/// Audit a stream of sessions against `reference` in bounded memory.
+///
+/// `sessions` is any pull-based source of decoded sessions — normally a
+/// [`crate::ingest::BatchStream`] over a file or socket, but any iterator
+/// of `Result<AuditJob, IngestError>` works. Sessions are decoded lazily:
+/// the next item is pulled only when the resident set is below
+/// [`AuditConfig::high_water`], which is the backpressure that keeps a
+/// batch far larger than RAM auditable.
+///
+/// Verdicts are byte-identical to [`audit_batch`] over the same sessions —
+/// each session's replay seed depends only on the batch seed and its
+/// session id, never on chunking, scheduling, or the high-water mark.
+///
+/// The first stream error aborts the audit and is returned after in-flight
+/// sessions drain; like the materialized path, a malformed session poisons
+/// the batch (reported by index), but bytes before it are never replayed
+/// twice and bytes after it are never pulled.
+pub fn audit_stream<I>(
+    reference: &Reference,
+    sessions: I,
+    cfg: &AuditConfig,
+) -> Result<StreamReport, IngestError>
+where
+    I: IntoIterator<Item = Result<AuditJob, IngestError>>,
+{
+    let high_water = cfg.resolved_high_water();
+    // More workers than residency slots could never all be busy.
+    let workers = cfg.resolved_workers().min(high_water).max(1);
+    let gate = ResidencyGate::new();
+    // The channel is bounded too, but the gate is the real backpressure:
+    // it admits at most `high_water` decoded-but-unaudited sessions, so
+    // sends below never block for long.
+    let (job_tx, job_rx) = mpsc::sync_channel::<(usize, AuditJob)>(high_water);
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (verdict_tx, verdict_rx) = mpsc::channel::<(usize, AuditVerdict)>();
+
+    let mut stream_error = None;
+    let mut collected: Vec<(usize, AuditVerdict)> = Vec::new();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let verdict_tx = verdict_tx.clone();
+            let job_rx = Arc::clone(&job_rx);
+            let gate = &gate;
+            std::thread::Builder::new()
+                .name(format!("audit-stream-worker-{w}"))
+                .spawn_scoped(scope, move || {
+                    let mut cache = ReferenceCache::new(reference);
+                    loop {
+                        // Hold the lock only for the receive, not the audit.
+                        let msg = job_rx.lock().expect("job queue lock").recv();
+                        let Ok((i, job)) = msg else { break };
+                        let verdict = cache.audit(&job, cfg);
+                        drop(job);
+                        gate.release();
+                        if verdict_tx.send((i, verdict)).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn audit stream worker");
+        }
+        drop(verdict_tx);
+
+        let mut submitted = 0usize;
+        let mut iter = sessions.into_iter();
+        loop {
+            // Claim a residency slot *before* decoding the next session:
+            // the pull itself is what materializes it.
+            gate.acquire(high_water);
+            match iter.next() {
+                Some(Ok(job)) => {
+                    gate.commit();
+                    job_tx
+                        .send((submitted, job))
+                        .expect("workers outlive the feed");
+                    submitted += 1;
+                }
+                Some(Err(e)) => {
+                    gate.release();
+                    stream_error = Some(e);
+                    break;
+                }
+                None => {
+                    gate.release();
+                    break;
+                }
+            }
+        }
+        drop(job_tx);
+        for pair in verdict_rx.iter() {
+            collected.push(pair);
+        }
+    });
+
+    if let Some(e) = stream_error {
+        return Err(e);
+    }
+    collected.sort_by_key(|&(i, _)| i);
+    let verdicts: Vec<AuditVerdict> = collected.into_iter().map(|(_, v)| v).collect();
+    let summary = FleetSummary::from_verdicts(&verdicts);
+    Ok(StreamReport {
+        verdicts,
+        summary,
+        workers,
+        peak_resident: gate.peak(),
+    })
 }
 
 #[cfg(test)]
@@ -264,5 +443,85 @@ mod tests {
         let report = audit_batch(&Reference::new(program), &[], &AuditConfig::default());
         assert!(report.verdicts.is_empty());
         assert_eq!(report.summary.sessions, 0);
+    }
+
+    #[test]
+    fn stream_and_batch_verdicts_are_identical() {
+        let program = echo_program(5);
+        let (jobs, _) = mixed_batch(&program);
+        let reference = Reference::new(program);
+        let cfg = AuditConfig {
+            workers: 3,
+            high_water: 4,
+            ..AuditConfig::default()
+        };
+        let batch = audit_batch(&reference, &jobs, &cfg);
+        let stream =
+            audit_stream(&reference, jobs.iter().cloned().map(Ok), &cfg).expect("clean stream");
+        assert_eq!(stream.verdicts, batch.verdicts);
+        assert_eq!(stream.summary, batch.summary);
+        assert!(
+            stream.peak_resident <= 4,
+            "peak {} exceeds high-water mark",
+            stream.peak_resident
+        );
+    }
+
+    #[test]
+    fn stream_respects_tiny_high_water_mark() {
+        let program = echo_program(5);
+        let (jobs, _) = mixed_batch(&program);
+        let reference = Reference::new(program);
+        let cfg = AuditConfig {
+            workers: 8,
+            high_water: 1,
+            ..AuditConfig::default()
+        };
+        let report =
+            audit_stream(&reference, jobs.iter().cloned().map(Ok), &cfg).expect("clean stream");
+        assert_eq!(report.peak_resident, 1, "one session resident at a time");
+        assert_eq!(report.workers, 1, "workers capped by residency slots");
+        assert_eq!(report.verdicts.len(), jobs.len());
+    }
+
+    #[test]
+    fn stream_error_aborts_and_stops_pulling() {
+        let program = echo_program(5);
+        let (jobs, _) = mixed_batch(&program);
+        let reference = Reference::new(program);
+        let pulled = std::sync::atomic::AtomicUsize::new(0);
+        let err = crate::ingest::IngestError::Truncated;
+        let items: Vec<Result<AuditJob, _>> = jobs
+            .iter()
+            .take(3)
+            .cloned()
+            .map(Ok)
+            .chain([Err(err.clone())])
+            .chain(jobs.iter().skip(3).cloned().map(Ok))
+            .collect();
+        let counted = items.into_iter().inspect(|_| {
+            pulled.fetch_add(1, Ordering::SeqCst);
+        });
+        let got = audit_stream(&reference, counted, &AuditConfig::default());
+        assert_eq!(got, Err(err));
+        assert_eq!(
+            pulled.load(Ordering::SeqCst),
+            4,
+            "nothing pulled past the malformed session"
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_empty_report() {
+        let program = echo_program(5);
+        let report = audit_stream(
+            &Reference::new(program),
+            std::iter::empty::<Result<AuditJob, crate::ingest::IngestError>>(),
+            &AuditConfig::default(),
+        )
+        .expect("empty stream");
+        assert!(report.verdicts.is_empty());
+        assert_eq!(report.summary.sessions, 0);
+        assert_eq!(report.peak_resident, 0);
     }
 }

@@ -21,11 +21,19 @@
 //!
 //! [`EventLog::encode`] / [`EventLog::decode`] are the single-log entry
 //! points; [`write_frame`] / [`FrameReader`] add a length-prefixed framing
-//! so many logs can be concatenated into one batch stream.
+//! so many logs can be concatenated into one batch stream, and
+//! [`crate::stream::SessionStream`] decodes such a stream frame-at-a-time
+//! from any `io::Read` source in bounded memory.
 //!
 //! The encoding is exact: every `u64`/`u128` round-trips bit-for-bit
 //! (deltas use wrapping arithmetic, so non-monotonic inputs are legal,
 //! merely larger).
+//!
+//! The normative, implementation-independent specification of this format
+//! (TDRL) and of the batch container built on it (TDRB) lives in
+//! `docs/FORMATS.md` at the repository root; the encoder and decoder here
+//! are one conforming implementation, and the worked example in that
+//! document is pinned byte-for-byte by this module's test suite.
 
 use std::fmt;
 
@@ -184,18 +192,54 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// CRC-32 (IEEE 802.3), bitwise — fast enough for ingest and dependency
-/// free.
-fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
-        }
+/// Incremental CRC-32 (IEEE 802.3) hasher.
+///
+/// The streaming readers validate checksums as bytes arrive — feed chunks
+/// with [`update`](Crc32::update) in any split and [`value`](Crc32::value)
+/// equals [`wire::crc32`] of the concatenation. Bitwise implementation:
+/// fast enough for ingest and dependency free.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    !crc
+}
+
+impl Crc32 {
+    /// Fresh hasher (equivalent to the CRC of zero bytes).
+    pub fn new() -> Self {
+        Crc32 { state: !0u32 }
+    }
+
+    /// Fold `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.state;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                let mask = (crc & 1).wrapping_neg();
+                crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+            }
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far (does not consume the hasher;
+    /// further [`update`](Crc32::update)s continue from this state).
+    pub fn value(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 (IEEE 802.3) of `data`.
+fn crc32(data: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(data);
+    h.value()
 }
 
 // ---------------------------------------------------------------------------
@@ -250,7 +294,14 @@ pub(crate) fn decode_log(bytes: &[u8]) -> Result<EventLog, CodecError> {
     if stored != computed {
         return Err(CodecError::BadChecksum { stored, computed });
     }
+    decode_payload(payload)
+}
 
+/// Decode the header and body of an encoded log. `payload` is everything up
+/// to (but not including) the CRC-32 trailer; the caller has already
+/// verified the magic bytes and the trailer checksum (the streaming reader
+/// does both incrementally, so this path never re-scans the buffer).
+pub(crate) fn decode_payload(payload: &[u8]) -> Result<EventLog, CodecError> {
     let mut r = Reader {
         buf: payload,
         pos: MAGIC.len(),
@@ -342,6 +393,13 @@ pub mod wire {
         let v = r.delta(prev)?;
         *pos = r.pos;
         Ok(v)
+    }
+
+    /// Apply an already-read zigzag varint `z` as a delta against `prev`
+    /// (the streaming decoders read the raw varint themselves and use this
+    /// to reconstruct the value; wrapping, so exact for any pair).
+    pub fn apply_delta(prev: u64, z: u64) -> u64 {
+        prev.wrapping_add(super::unzigzag(z) as u64)
     }
 
     /// CRC-32 (IEEE) over `data` — the same checksum the log trailer uses.
@@ -582,5 +640,45 @@ mod tests {
     fn crc32_known_vector() {
         // CRC-32/IEEE of "123456789".
         assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn formats_md_worked_example_bytes_are_pinned() {
+        // The two-event log walked through byte-by-byte in docs/FORMATS.md
+        // (§ "Worked example"). If this assertion fails, the codec and the
+        // spec have drifted — fix the spec or bump the format version,
+        // never let them disagree silently.
+        let log = EventLog {
+            packets: vec![PacketRecord {
+                icount: 40,
+                avail_at: 120,
+                wire_at: 100,
+                data: b"hi".to_vec(),
+            }],
+            values: vec![1_000, 998],
+            final_icount: 500,
+            final_cycles: 1_200,
+            final_wall_ps: 12_000_000,
+        };
+        let expected: [u8; 33] = [
+            0x54, 0x44, 0x52, 0x4c, // magic "TDRL"
+            0x01, 0x00, // version 1, little-endian
+            0x00, 0x00, // flags
+            0xf4, 0x03, // final_icount = 500
+            0xb0, 0x09, // final_cycles = 1200
+            0x80, 0xb6, 0xdc, 0x05, // final_wall_ps = 12_000_000
+            0x02, // value count = 2
+            0xd0, 0x0f, // zigzag(+1000)
+            0x03, // zigzag(-2)
+            0x01, // packet count = 1
+            0x50, // icount delta: zigzag(+40)
+            0xc8, 0x01, // wire_at delta: zigzag(+100)
+            0xf0, 0x01, // avail_at delta: zigzag(+120)
+            0x02, // payload length = 2
+            0x68, 0x69, // "hi"
+            0x85, 0x95, 0x94, 0xa1, // CRC-32 0xa1949585, little-endian
+        ];
+        assert_eq!(log.encode(), expected);
+        assert_eq!(EventLog::decode(&expected).expect("decodes"), log);
     }
 }

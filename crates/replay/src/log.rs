@@ -70,14 +70,58 @@ impl EventLog {
         serde_json::from_str(s)
     }
 
-    /// Encode to the compact binary ingest format (see [`crate::codec`]):
-    /// versioned header, varint/delta body, CRC-32 trailer.
+    /// Encode to the compact binary ingest format (see [`crate::codec`] and
+    /// `docs/FORMATS.md`): versioned header, varint/delta body, CRC-32
+    /// trailer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use replay::{EventLog, PacketRecord};
+    ///
+    /// let log = EventLog {
+    ///     packets: vec![PacketRecord {
+    ///         icount: 40,
+    ///         avail_at: 120,
+    ///         wire_at: 100,
+    ///         data: b"hi".to_vec(),
+    ///     }],
+    ///     values: vec![1_000, 998],
+    ///     final_icount: 500,
+    ///     final_cycles: 1_200,
+    ///     final_wall_ps: 12_000_000,
+    /// };
+    /// let bytes = log.encode();
+    /// assert_eq!(&bytes[..4], b"TDRL"); // magic
+    /// assert_eq!(bytes[4..6], [1, 0]);  // version 1, little-endian
+    /// ```
     pub fn encode(&self) -> Vec<u8> {
         crate::codec::encode_log(self)
     }
 
     /// Decode from the binary ingest format, verifying version and
-    /// checksum.
+    /// checksum. The decode is exact: `decode(encode(log)) == log` for
+    /// every log, and any corruption is rejected by the CRC-32 trailer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use replay::{CodecError, EventLog};
+    ///
+    /// let log = EventLog {
+    ///     values: vec![7, 8, 9],
+    ///     ..EventLog::default()
+    /// };
+    /// let mut bytes = log.encode();
+    /// assert_eq!(EventLog::decode(&bytes).unwrap(), log);
+    ///
+    /// // A flipped bit is caught by the checksum, not silently decoded.
+    /// bytes[10] ^= 0x01;
+    /// assert!(matches!(
+    ///     EventLog::decode(&bytes),
+    ///     Err(CodecError::BadChecksum { .. })
+    /// ));
+    /// ```
     pub fn decode(bytes: &[u8]) -> Result<EventLog, crate::codec::CodecError> {
         crate::codec::decode_log(bytes)
     }

@@ -3,15 +3,19 @@
 //! A cloud operator records every tenant session of one NFS service. Most
 //! tenants are clean; a few smuggle data out through covert timing
 //! channels — TRCTC (constant two-bin encoding) and the paper's §6.8
-//! "needle": a single stretched packet. The operator feeds the whole fleet
-//! through `Sanity::audit_batch`, which shards the audit replays across
-//! cores and aggregates per-session verdicts.
+//! "needle": a single stretched packet. The operator serializes the fleet
+//! into a TDRB batch (the on-the-wire form sessions actually arrive in)
+//! and feeds it through `Sanity::audit_stream`, which decodes sessions
+//! lazily in bounded memory, shards the audit replays across cores, and
+//! aggregates per-session verdicts — byte-identical to the materialized
+//! `Sanity::audit_batch` over the same bytes.
 //!
 //! Run with `cargo run --release --example fleet_audit`.
 
 use std::collections::HashSet;
 
 use channels::{message_bits, Needle, TimingChannel, Trctc};
+use sanity_tdr::audit_pipeline::ingest;
 use sanity_tdr::audit_pipeline::verdict::labeled_roc;
 use sanity_tdr::{compare, AuditConfig, AuditJob, Sanity};
 use vm::TargetSendTimes;
@@ -102,9 +106,34 @@ fn main() {
         });
     }
 
-    // Audit the fleet: once on a single worker, once sharded. (At least 4
-    // workers even on a small machine, so the sharded path is really
-    // exercised; on a big one, one per core.)
+    // Serialize the fleet into the TDRB wire format — this is what a batch
+    // arriving from disk or the network looks like.
+    let batch_bytes = ingest::encode_batch(&jobs);
+    println!(
+        "fleet serialized to {} KiB of TDRB ({} bytes/session)",
+        batch_bytes.len() / 1024,
+        batch_bytes.len() / jobs.len()
+    );
+
+    // The primary path: stream the batch, decoding sessions lazily. At
+    // most `high_water` sessions are ever resident, so the same code
+    // handles a batch far larger than RAM. (At least 4 workers even on a
+    // small machine, so the sharded path is really exercised.)
+    let workers = AuditConfig::default().resolved_workers().max(4);
+    let sharded = sanity
+        .audit_stream(
+            &batch_bytes[..],
+            &AuditConfig {
+                workers,
+                high_water: 8,
+                ..AuditConfig::default()
+            },
+        )
+        .expect("stream audits");
+
+    // Cross-check: the materialized batch path on a single worker must
+    // produce byte-identical verdicts — ingest mode, worker count, and
+    // scheduling can never change an audit outcome.
     let single = sanity.audit_batch(
         &jobs,
         &AuditConfig {
@@ -112,23 +141,15 @@ fn main() {
             ..AuditConfig::default()
         },
     );
-    let workers = AuditConfig::default().resolved_workers().max(4);
-    let sharded = sanity.audit_batch(
-        &jobs,
-        &AuditConfig {
-            workers,
-            ..AuditConfig::default()
-        },
-    );
     assert_eq!(
         single.verdicts, sharded.verdicts,
-        "verdicts must be identical for 1 worker and {} workers",
-        sharded.workers
+        "streamed verdicts must be identical to the 1-worker materialized batch"
     );
+    assert_eq!(single.summary, sharded.summary);
 
     println!(
-        "\naudited {} sessions on {} workers\n",
-        sharded.summary.sessions, sharded.workers
+        "\naudited {} sessions on {} workers (peak {} sessions resident)\n",
+        sharded.summary.sessions, sharded.workers, sharded.peak_resident
     );
     println!(" session    score  verdict");
     for v in &sharded.verdicts {
