@@ -3,7 +3,7 @@
 
 use channels::{message_bits, Mbctc, TimingChannel, Trctc};
 use criterion::{criterion_group, criterion_main, Criterion};
-use detectors::{CceTest, Detector, KsTest, RegularityTest, ShapeTest};
+use detectors::{DetectorBattery, TraceView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,18 +28,17 @@ fn bench(c: &mut Criterion) {
         b.iter(|| Mbctc::new(64, 1).encode(&bits, &pool))
     });
 
-    let mut shape = ShapeTest::new();
-    shape.train(&train);
-    let mut ks = KsTest::new();
-    ks.train(&train);
-    let mut rt = RegularityTest::new(10);
-    rt.train(&train);
-    let mut cce = CceTest::default();
-    cce.train(&train);
-    group.bench_function("score/shape", |b| b.iter(|| shape.score(&test)));
-    group.bench_function("score/ks", |b| b.iter(|| ks.score(&test)));
-    group.bench_function("score/rt", |b| b.iter(|| rt.score(&test)));
-    group.bench_function("score/cce", |b| b.iter(|| cce.score(&test)));
+    let battery = DetectorBattery::trained(&train);
+    let replay: Vec<u64> = test.iter().map(|&x| x + x / 200).collect();
+    let view = TraceView::with_replay(&test, &replay);
+    for detector in battery.detectors() {
+        let label = format!(
+            "score/{}",
+            detector.name().split_whitespace().next().unwrap_or("?")
+        );
+        group.bench_function(&label, |b| b.iter(|| detector.score(&view)));
+    }
+    group.bench_function("score/battery_all", |b| b.iter(|| battery.score_all(&view)));
     group.finish();
 }
 

@@ -9,15 +9,16 @@
 //!    covert primitive);
 //! 3. capture packet traces *at the server* (no network jitter), as the
 //!    paper does;
-//! 4. score every trace with the four statistical detectors (trained on the
-//!    legitimate set) and with the TDR/Sanity detector (audit replay of the
-//!    trace's log against the known-good binary);
+//! 4. score every trace with the full [`DetectorBattery`] — the four
+//!    statistical detectors trained on the legitimate set, and the
+//!    TDR/Sanity detector fed the audit replay of the trace's log against
+//!    the known-good binary — in one pass;
 //! 5. sweep thresholds → ROC, and report AUC per detector.
 
 use std::fmt::Write as _;
 
 use channels::{message_bits, Ipctc, Mbctc, Needle, TimingChannel, Trctc};
-use detectors::{auc, CceTest, Detector, KsTest, RegularityTest, ShapeTest, TdrDetector};
+use detectors::{auc, Detector, DetectorBattery, RegularityTest, TraceView};
 use sanity_tdr::{compare, Sanity};
 use vm::TargetSendTimes;
 use workloads::nfs;
@@ -60,16 +61,24 @@ impl Scale {
     }
 }
 
-/// One recorded trace: observed IPDs plus what the Sanity detector needs.
+/// One recorded trace: observed IPDs plus the reference timing the TDR
+/// detector scores against.
 struct Trace {
     observed_ipds: Vec<u64>,
     send_cycles: Vec<u64>,
-    sanity_score: f64,
+    replayed_ipds: Vec<u64>,
+}
+
+impl Trace {
+    /// The battery's view of this trace (observed + reference timing).
+    fn view(&self) -> TraceView<'_> {
+        TraceView::with_replay(&self.observed_ipds, &self.replayed_ipds)
+    }
 }
 
 /// Record one NFS trace; `targets` arms the covert primitive with absolute
-/// send instants. Also runs the audit replay and computes the Sanity
-/// detector score.
+/// send instants. Also runs the audit replay that reproduces the reference
+/// timing for the TDR detector.
 fn run_trace(scale: &Scale, seed: u64, targets: Option<Vec<u64>>) -> Trace {
     let files = nfs::make_files(scale.files, scale.min_b, scale.max_b, 40_000 + seed);
     let sched = nfs::client_schedule(&files, 200_000, scale.mean_gap, 60_000 + seed);
@@ -88,16 +97,15 @@ fn run_trace(scale: &Scale, seed: u64, targets: Option<Vec<u64>>) -> Trace {
     let observed_ipds = compare::tx_ipds_cycles(&rec.tx);
     let send_cycles: Vec<u64> = rec.tx.iter().map(|t| t.cycle).collect();
 
-    // The Sanity detector: reproduce the reference timing from the log.
+    // The TDR detector's reference: reproduce the timing from the log.
     let audit = sanity
         .audit_replay(&rec.log, 700_000 + seed, |_| {})
         .expect("audit");
     let replayed_ipds = compare::tx_ipds_cycles(&audit.tx);
-    let sanity_score = TdrDetector::new().score_pair(&observed_ipds, &replayed_ipds);
     Trace {
         observed_ipds,
         send_cycles,
-        sanity_score,
+        replayed_ipds,
     }
 }
 
@@ -105,7 +113,7 @@ fn run_trace(scale: &Scale, seed: u64, targets: Option<Vec<u64>>) -> Trace {
 /// compromised server aims at. The schedule is anchored so that no target
 /// precedes the clean run's send instant (packets can only be delayed) plus
 /// a small processing margin.
-fn targets_from_ipds(base_sends: &[u64], covert_ipds: &[u64]) -> Vec<u64> {
+pub(crate) fn targets_from_ipds(base_sends: &[u64], covert_ipds: &[u64]) -> Vec<u64> {
     let n = base_sends.len().min(covert_ipds.len() + 1);
     // Covert absolute times relative to an anchor at 0.
     let mut cov_abs = Vec::with_capacity(n);
@@ -126,7 +134,7 @@ fn targets_from_ipds(base_sends: &[u64], covert_ipds: &[u64]) -> Vec<u64> {
     cov_abs.iter().map(|&c| c + offset).collect()
 }
 
-fn covert_ipds_for(
+pub(crate) fn covert_ipds_for(
     channel: &str,
     n_ipds: usize,
     legit_sample: &[u64],
@@ -191,16 +199,12 @@ pub fn run(opts: &Options) {
         .map(|k| run_trace(&scale, 800 + k as u64, None))
         .collect();
 
-    // 2. Statistical detectors, trained once.
-    let mut shape = ShapeTest::new();
-    let mut ks = KsTest::new();
-    let mut rt = RegularityTest::new(10);
-    let mut cce = CceTest::default();
-    shape.train(&train_traces);
-    ks.train(&train_traces);
-    rt.train(&train_traces);
-    cce.train(&train_traces);
-    let stat_detectors: Vec<&dyn Detector> = vec![&shape, &ks, &rt, &cce];
+    // 2. The whole battery, trained once on the legitimate set. Only the
+    // regularity window deviates from the paper defaults (10 instead of
+    // 100: these traces are tens of IPDs long, not thousands).
+    let mut battery = DetectorBattery::new();
+    battery.rt = RegularityTest::new(10);
+    battery.train(&train_traces);
 
     let channels = ["IPCTC", "TRCTC", "MBCTC", "Needle"];
     let paper: std::collections::HashMap<&str, [f64; 5]> = [
@@ -237,28 +241,29 @@ pub fn run(opts: &Options) {
             })
             .collect();
 
-        // 4. Scores → AUC per detector.
-        let mut aucs = Vec::new();
-        for det in &stat_detectors {
-            let pos: Vec<f64> = positives
-                .iter()
-                .map(|t| det.score(&t.observed_ipds))
-                .collect();
-            let neg: Vec<f64> = negatives
-                .iter()
-                .map(|t| det.score(&t.observed_ipds))
-                .collect();
-            aucs.push(auc(&pos, &neg));
-        }
-        let pos_s: Vec<f64> = positives.iter().map(|t| t.sanity_score).collect();
-        let neg_s: Vec<f64> = negatives.iter().map(|t| t.sanity_score).collect();
-        aucs.push(auc(&pos_s, &neg_s));
+        // 4. One battery pass per trace → AUC per detector.
+        let names = ["Shape test", "KS test", "RT test", "CCE test", "Sanity"];
+        let pos_scores: Vec<_> = positives
+            .iter()
+            .map(|t| battery.score_all(&t.view()))
+            .collect();
+        let neg_scores: Vec<_> = negatives
+            .iter()
+            .map(|t| battery.score_all(&t.view()))
+            .collect();
+        let aucs: Vec<f64> = names
+            .iter()
+            .map(|&name| {
+                let pos: Vec<f64> = pos_scores.iter().map(|s| s[name]).collect();
+                let neg: Vec<f64> = neg_scores.iter().map(|s| s[name]).collect();
+                auc(&pos, &neg)
+            })
+            .collect();
 
         println!(
             "{:<8} {:>11.3} {:>9.3} {:>9.3} {:>10.3} {:>8.3}",
             ch_name, aucs[0], aucs[1], aucs[2], aucs[3], aucs[4]
         );
-        let names = ["Shape test", "KS test", "RT test", "CCE test", "Sanity"];
         for (k, name) in names.iter().enumerate() {
             let _ = writeln!(
                 csv,

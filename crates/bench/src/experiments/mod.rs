@@ -6,6 +6,7 @@ pub mod fig3;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig8_fleet;
 pub mod pipeline;
 pub mod table2;
 

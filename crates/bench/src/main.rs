@@ -11,6 +11,8 @@
 //! repro fig7             NFS replay accuracy (play vs replay IPDs)
 //! repro logsize          Log growth rate and composition (§6.5)
 //! repro fig8             ROC/AUC for 4 channels × 5 detectors
+//! repro fig8-fleet       The same comparison through the fleet pipeline
+//!                        (trained battery, TDRB stream → BENCH_fig8_fleet.json)
 //! repro noise-vs-jitter  TDR noise floor vs WAN jitter (§6.9)
 //! repro pipeline         Batch-audit throughput: sessions/sec vs workers
 //! repro pipeline --stream  Streamed vs materialized ingest throughput
@@ -28,7 +30,7 @@ use experiments::Options;
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|noise-vs-jitter|pipeline|all> [--full] [--runs N] [--out DIR] [--stream]");
+        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|all> [--full] [--runs N] [--out DIR] [--stream]");
         std::process::exit(2);
     });
     let mut opts = Options::default();
@@ -66,6 +68,7 @@ fn main() {
         "fig7" => experiments::fig7::run(&opts),
         "logsize" => experiments::fig7::run_logsize(&opts),
         "fig8" => experiments::fig8::run(&opts),
+        "fig8-fleet" => experiments::fig8_fleet::run(&opts),
         "noise-vs-jitter" => experiments::fig7::run_noise_vs_jitter(&opts),
         "pipeline" => experiments::pipeline::run(&opts),
         "all" => {
@@ -77,6 +80,7 @@ fn main() {
             experiments::fig7::run(&opts);
             experiments::fig7::run_logsize(&opts);
             experiments::fig8::run(&opts);
+            experiments::fig8_fleet::run(&opts);
             experiments::fig7::run_noise_vs_jitter(&opts);
             experiments::pipeline::run(&opts);
         }

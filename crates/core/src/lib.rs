@@ -22,7 +22,11 @@
 //! * [`Sanity::audit_stream`] — the same audit over a TDRB byte stream
 //!   from any `io::Read` source (file, socket, in-memory buffer), decoding
 //!   sessions lazily so a batch far larger than RAM audits in bounded
-//!   memory; verdicts are byte-identical to the materialized path.
+//!   memory; verdicts are byte-identical to the materialized path;
+//! * [`Sanity::with_battery`] — attach a [`DetectorBattery`] trained on the
+//!   fleet's clean traces, and both audit paths (under
+//!   [`BatteryMode::Full`]) score every session with all five Fig. 8
+//!   detectors in one pass, without perturbing the TDR score.
 //!
 //! The substrate crates are re-exported under their own names so that a
 //! single dependency on `sanity-tdr` gives access to the whole system.
@@ -41,6 +45,8 @@
 //! let err = compare::relative_error(rec.outcome.cycles, rep.outcome.cycles);
 //! assert!(err < 0.02, "timing reproduced within 2%: {err}");
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod compare;
 pub mod engine;
@@ -64,7 +70,10 @@ pub use replay;
 pub use sim_core;
 pub use vm;
 
-pub use audit_pipeline::{AuditConfig, AuditJob, BatchReport, IngestError, StreamReport};
+pub use audit_pipeline::{
+    AuditConfig, AuditJob, BatchReport, BatteryMode, IngestError, StreamReport,
+};
+pub use detectors::{Detector, DetectorBattery, TraceView};
 
 /// The TDR system: a program plus the machine/VM configuration it runs
 /// under. All methods are deterministic given the run number.
@@ -76,6 +85,9 @@ pub struct Sanity {
     /// Stable-storage contents (shared machine state: play and replay both
     /// see the same file system, like the paper's NFS file set).
     files: Vec<Vec<u8>>,
+    /// Trained detector battery shared by every audit worker (None = the
+    /// TDR-only default).
+    battery: Option<Arc<DetectorBattery>>,
 }
 
 impl Sanity {
@@ -87,6 +99,7 @@ impl Sanity {
             mcfg: MachineConfig::sanity(),
             vm_cfg: VmConfig::default(),
             files: Vec::new(),
+            battery: None,
         }
     }
 
@@ -107,6 +120,24 @@ impl Sanity {
     /// Override the VM configuration.
     pub fn with_vm_config(mut self, vm_cfg: VmConfig) -> Self {
         self.vm_cfg = vm_cfg;
+        self
+    }
+
+    /// Attach a [`DetectorBattery`] trained on this fleet's clean traces
+    /// (see [`DetectorBattery::trained`]). Audit runs requesting
+    /// [`BatteryMode::Full`] then score every session with all five Fig. 8
+    /// detectors; the default [`BatteryMode::TdrOnly`] is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the battery is untrained (see
+    /// [`audit_pipeline::Reference::with_battery`]).
+    pub fn with_battery(mut self, battery: DetectorBattery) -> Self {
+        assert!(
+            battery.is_trained(),
+            "train the battery on clean traces before attaching it"
+        );
+        self.battery = Some(Arc::new(battery));
         self
     }
 
@@ -172,6 +203,7 @@ impl Sanity {
             machine: self.mcfg,
             vm: self.vm_cfg,
             files: self.files.clone(),
+            battery: self.battery.clone(),
         }
     }
 
@@ -270,27 +302,14 @@ impl TimingAuditor {
     ) -> Result<AuditReport, SessionError> {
         let rec = self.reference.audit_replay(log, run, |_| {})?;
         let replayed_ipds = rec.tx_ipds_cycles();
-        let score = detectors_score(observed_ipds, &replayed_ipds);
+        let score = detectors::TdrDetector::new()
+            .score(&TraceView::with_replay(observed_ipds, &replayed_ipds));
         Ok(AuditReport {
             score,
             flagged: score > self.threshold,
             replayed_ipds,
         })
     }
-}
-
-/// Maximum relative IPD deviation (inline to avoid a detectors dependency
-/// from the core crate; the detectors crate wraps the same definition).
-fn detectors_score(observed: &[u64], replayed: &[u64]) -> f64 {
-    if observed.len() != replayed.len() {
-        return 1.0;
-    }
-    observed
-        .iter()
-        .zip(replayed.iter())
-        .filter(|(_, &r)| r > 0)
-        .map(|(&o, &r)| (o as f64 - r as f64).abs() / r as f64)
-        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

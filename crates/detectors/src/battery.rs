@@ -1,0 +1,274 @@
+//! The detector battery: all five classifiers trained and scored as one.
+//!
+//! Fig. 8 compares five detectors — Shape, KS, Regularity, CCE, and the
+//! TDR detector — over the same traces. [`DetectorBattery`] packages that
+//! comparison as an object: train once on the legitimate traces a fleet's
+//! pipeline already sees, then score every session with all five in one
+//! pass. The trained state (bin edges, pooled samples, baselines) is plain
+//! data and serializes to JSON, so a battery trained on one fleet can be
+//! shipped to the workers auditing the next batch.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CceTest, Detector, KsTest, RegularityTest, ShapeTest, TdrDetector, TraceView};
+
+/// Mean/std of one detector's scores over the training traces, fitted by
+/// [`DetectorBattery::train`] so raw scores on incomparable scales can be
+/// z-normalized against each other.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct ScoreBaseline {
+    mean: f64,
+    std: f64,
+}
+
+/// All five Fig. 8 detectors behind one train/score surface.
+///
+/// The battery holds the detectors concretely (which is what makes the
+/// trained state serializable) but exposes them uniformly through the
+/// object-safe [`Detector`] trait via [`detectors`](Self::detectors).
+/// Scores follow each detector's convention: higher = more likely covert.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DetectorBattery {
+    /// First-order shape test (Cabuk et al.).
+    pub shape: ShapeTest,
+    /// Kolmogorov-Smirnov test (Peng et al.).
+    pub ks: KsTest,
+    /// Windowed regularity test (Cabuk et al.).
+    pub rt: RegularityTest,
+    /// Corrected conditional entropy (Gianvecchio & Wang).
+    pub cce: CceTest,
+    /// The TDR detector (§5.3) — stateless, needs a reference replay.
+    pub tdr: TdrDetector,
+    /// Per-statistical-detector score baselines over the training traces
+    /// (in [`statistical`](Self::statistical) order), for z-normalizing
+    /// the four incomparable score scales against each other.
+    stat_baselines: Vec<ScoreBaseline>,
+    trained: bool,
+}
+
+impl DetectorBattery {
+    /// A new, untrained battery with every detector at its paper-default
+    /// configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build and train a battery in one step.
+    pub fn trained(legit: &[Vec<u64>]) -> Self {
+        let mut battery = Self::new();
+        battery.train(legit);
+        battery
+    }
+
+    /// Whether [`train`](Self::train) has run.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// The five detectors behind the uniform trait, in Fig. 8 legend order.
+    pub fn detectors(&self) -> [&dyn Detector; 5] {
+        [&self.shape, &self.ks, &self.rt, &self.cce, &self.tdr]
+    }
+
+    /// The four statistical members (everything but TDR), in legend order.
+    fn statistical(&self) -> [&dyn Detector; 4] {
+        [&self.shape, &self.ks, &self.rt, &self.cce]
+    }
+
+    /// Score one trace with every detector: name → score, deterministic
+    /// (BTreeMap) so downstream aggregation is order-insensitive.
+    ///
+    /// The TDR entry ("Sanity") reads [`TraceView::replayed_ipds`]; without
+    /// a reference replay it abstains with 0.0 (see [`TdrDetector`]).
+    pub fn score_all(&self, trace: &TraceView<'_>) -> BTreeMap<String, f64> {
+        self.detectors()
+            .iter()
+            .map(|d| (d.name().to_string(), d.score(trace)))
+            .collect()
+    }
+
+    /// Serialize the trained state to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("battery state serializes")
+    }
+
+    /// Restore a battery from [`to_json`](Self::to_json) output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl Detector for DetectorBattery {
+    fn name(&self) -> &'static str {
+        "Battery"
+    }
+
+    /// Train every member on the same legitimate traces, then fit each
+    /// statistical detector's score baseline over those traces (so scores
+    /// on incomparable scales can be z-normalized against each other).
+    fn train(&mut self, legit: &[Vec<u64>]) {
+        self.shape.train(legit);
+        self.ks.train(legit);
+        self.rt.train(legit);
+        self.cce.train(legit);
+        self.tdr.train(legit);
+        self.stat_baselines = self
+            .statistical()
+            .iter()
+            .map(|d| {
+                let scores: Vec<f64> = legit
+                    .iter()
+                    .map(|t| d.score(&TraceView::observed(t)))
+                    .collect();
+                ScoreBaseline {
+                    mean: netsim::stats::mean(&scores),
+                    std: netsim::stats::std_dev(&scores).max(1e-9),
+                }
+            })
+            .collect();
+        self.trained = true;
+    }
+
+    /// The battery's own scalar score: the TDR score when a reference
+    /// replay is available (the paper's strongest detector), otherwise the
+    /// worst statistical *z-score* against the trained baselines — the raw
+    /// scores live on incomparable scales (unbounded z-distances, a
+    /// `[0,1]` KS statistic, a negated spread, an entropy deviation), so
+    /// the max is
+    /// taken after normalizing each by its training mean/std. This is what
+    /// lets a whole battery slot in anywhere a single [`Detector`] is
+    /// expected.
+    fn score(&self, trace: &TraceView<'_>) -> f64 {
+        if trace.replayed_ipds.is_some() {
+            return self.tdr.score(trace);
+        }
+        self.statistical()
+            .iter()
+            .enumerate()
+            .map(|(k, d)| {
+                let raw = d.score(trace);
+                match self.stat_baselines.get(k) {
+                    Some(b) => (raw - b.mean) / b.std,
+                    None => raw, // untrained: raw scores are all we have
+                }
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn legit_trace(seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        let mut scale = 700_000.0f64;
+        for k in 0..n {
+            if k % 64 == 0 {
+                scale = rng.gen_range(400_000.0..1_200_000.0);
+            }
+            let u1: f64 = rng.gen_range(1e-9..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            out.push((scale * (0.5 * z).exp()) as u64);
+        }
+        out
+    }
+
+    fn training_set() -> Vec<Vec<u64>> {
+        (0..10).map(|k| legit_trace(100 + k, 600)).collect()
+    }
+
+    #[test]
+    fn battery_trains_and_scores_all_five() {
+        let battery = DetectorBattery::trained(&training_set());
+        assert!(battery.is_trained());
+        let trace = legit_trace(7, 600);
+        let replay = trace.clone();
+        let scores = battery.score_all(&TraceView::with_replay(&trace, &replay));
+        assert_eq!(scores.len(), 5);
+        for name in ["Shape test", "KS test", "RT test", "CCE test", "Sanity"] {
+            assert!(scores.contains_key(name), "missing {name}");
+            assert!(scores[name].is_finite(), "{name} score must be finite");
+        }
+        // Observed == replayed → the TDR detector sees a perfect machine.
+        assert_eq!(scores["Sanity"], 0.0);
+    }
+
+    #[test]
+    fn battery_scores_match_standalone_detectors() {
+        let legit = training_set();
+        let battery = DetectorBattery::trained(&legit);
+        let mut shape = ShapeTest::new();
+        shape.train(&legit);
+        let trace = legit_trace(8, 500);
+        let view = TraceView::observed(&trace);
+        assert_eq!(
+            battery.score_all(&view)["Shape test"].to_bits(),
+            shape.score(&view).to_bits(),
+            "battery shape score is bit-identical to the standalone detector"
+        );
+    }
+
+    #[test]
+    fn trained_state_survives_json_roundtrip() {
+        let battery = DetectorBattery::trained(&training_set());
+        let json = battery.to_json();
+        let back = DetectorBattery::from_json(&json).expect("parses");
+        assert!(back.is_trained());
+        let trace = legit_trace(9, 500);
+        let replay: Vec<u64> = trace.iter().map(|&x| x + x / 100).collect();
+        let view = TraceView::with_replay(&trace, &replay);
+        let a = battery.score_all(&view);
+        let b = back.score_all(&view);
+        assert_eq!(a.len(), b.len());
+        for (name, score) in &a {
+            assert_eq!(
+                score.to_bits(),
+                b[name].to_bits(),
+                "{name} score changed across serialization"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_score_without_replay_is_z_normalized() {
+        let battery = DetectorBattery::trained(&training_set());
+        // A held-out legitimate trace sits within a few σ of the trained
+        // baselines on every scale.
+        let legit = legit_trace(21, 600);
+        let legit_z = battery.score(&TraceView::observed(&legit));
+        assert!(legit_z.is_finite());
+        assert!(legit_z < 10.0, "legit z-score stays moderate: {legit_z}");
+        // A constant-IPD channel is far outside them — whichever detector
+        // sees it best, the z-normalized max ranks it above legitimate.
+        let constant = vec![700_000u64; 600];
+        let covert_z = battery.score(&TraceView::observed(&constant));
+        assert!(
+            covert_z > legit_z + 1.0,
+            "covert {covert_z} vs legit {legit_z}"
+        );
+    }
+
+    #[test]
+    fn battery_as_detector_prefers_tdr_with_replay() {
+        let battery = DetectorBattery::trained(&training_set());
+        let trace = legit_trace(10, 400);
+        let mut delayed = trace.clone();
+        delayed[200] += delayed[200] / 5; // one packet delayed 20%
+        let with_replay = TraceView::with_replay(&delayed, &trace);
+        let score = battery.score(&with_replay);
+        assert_eq!(
+            score.to_bits(),
+            battery.tdr.score(&with_replay).to_bits(),
+            "with a replay, the battery's scalar score is the TDR score"
+        );
+        let without = TraceView::observed(&delayed);
+        assert!(battery.score(&without).is_finite());
+    }
+}

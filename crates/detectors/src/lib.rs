@@ -19,18 +19,65 @@
 //!   deviation, which needs *no* traffic model and catches even a single
 //!   delayed packet (§6.8).
 //!
-//! Every statistical detector implements [`Detector`]: train on legitimate
-//! traces, then produce a scalar score where **higher = more likely
-//! covert**. [`roc()`]/[`auc`] turn labeled score sets into the ROC curves
-//! and AUC values of Fig. 8.
+//! Every detector — the TDR detector included — implements [`Detector`]:
+//! train on legitimate traces, then produce a scalar score for a
+//! [`TraceView`] where **higher = more likely covert**. The trait is
+//! object-safe, so a mixed battery fits behind `&dyn Detector`;
+//! [`DetectorBattery`] bundles all five with one `train`/`score_all` pass
+//! and serializable trained state. [`roc()`]/[`auc`] turn labeled score
+//! sets into the ROC curves and AUC values of Fig. 8.
+
+#![warn(missing_docs)]
 
 use netsim::stats;
 
+use serde::{Deserialize, Serialize};
+
+pub mod battery;
 pub mod roc;
 
+pub use battery::DetectorBattery;
 pub use roc::{auc, roc, RocPoint};
 
+/// A detector's view of one session under test.
+///
+/// Statistical detectors only look at the IPDs observed on the wire; the
+/// TDR detector additionally needs the reference timing an audit replay
+/// reproduced for the same session.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    /// Cycles between consecutive transmitted packets, as captured on the
+    /// wire at the suspect machine.
+    pub observed_ipds: &'a [u64],
+    /// The TDR-replayed reference IPDs for the same session, when an audit
+    /// replay ran. `None` means no reference timing is available — the
+    /// statistical detectors don't care, the TDR detector abstains.
+    pub replayed_ipds: Option<&'a [u64]>,
+}
+
+impl<'a> TraceView<'a> {
+    /// A view with observed wire timing only (no audit replay ran).
+    pub fn observed(observed_ipds: &'a [u64]) -> Self {
+        TraceView {
+            observed_ipds,
+            replayed_ipds: None,
+        }
+    }
+
+    /// A view pairing observed wire timing with the TDR-replayed reference
+    /// timing of the same session.
+    pub fn with_replay(observed_ipds: &'a [u64], replayed_ipds: &'a [u64]) -> Self {
+        TraceView {
+            observed_ipds,
+            replayed_ipds: Some(replayed_ipds),
+        }
+    }
+}
+
 /// A trainable trace classifier: higher scores mean "more likely covert".
+///
+/// The trait is object-safe — batteries hold `&dyn Detector` uniformly for
+/// the statistical tests and the TDR detector alike.
 pub trait Detector {
     /// Display name (matching the paper's figure legends).
     fn name(&self) -> &'static str;
@@ -39,7 +86,7 @@ pub trait Detector {
     fn train(&mut self, legit: &[Vec<u64>]);
 
     /// Score a test trace.
-    fn score(&self, ipds: &[u64]) -> f64;
+    fn score(&self, trace: &TraceView<'_>) -> f64;
 }
 
 fn to_f64(xs: &[u64]) -> Vec<f64> {
@@ -52,7 +99,7 @@ fn to_f64(xs: &[u64]) -> Vec<f64> {
 
 /// First-order shape test: z-distance of the test trace's mean and standard
 /// deviation from the training population of per-trace means and stds.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ShapeTest {
     mean_of_means: f64,
     std_of_means: f64,
@@ -81,8 +128,8 @@ impl Detector for ShapeTest {
         self.std_of_stds = stats::std_dev(&stds).max(1e-9);
     }
 
-    fn score(&self, ipds: &[u64]) -> f64 {
-        let xs = to_f64(ipds);
+    fn score(&self, trace: &TraceView<'_>) -> f64 {
+        let xs = to_f64(trace.observed_ipds);
         let zm = (stats::mean(&xs) - self.mean_of_means).abs() / self.std_of_means;
         let zs = (stats::std_dev(&xs) - self.mean_of_stds).abs() / self.std_of_stds;
         zm + zs
@@ -94,7 +141,7 @@ impl Detector for ShapeTest {
 // ---------------------------------------------------------------------------
 
 /// Kolmogorov-Smirnov test against a pooled legitimate sample.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KsTest {
     pooled: Vec<f64>,
 }
@@ -117,8 +164,8 @@ impl Detector for KsTest {
         self.pooled = pooled;
     }
 
-    fn score(&self, ipds: &[u64]) -> f64 {
-        stats::ks_distance(&self.pooled, &to_f64(ipds))
+    fn score(&self, trace: &TraceView<'_>) -> f64 {
+        stats::ks_distance(&self.pooled, &to_f64(trace.observed_ipds))
     }
 }
 
@@ -131,31 +178,33 @@ impl Detector for KsTest {
 /// pairwise |σᵢ − σⱼ|/σᵢ. Legitimate traffic varies over time (large
 /// spread); a constant encoding scheme keeps σᵢ stable (small spread), so
 /// the *covert* score is the negated regularity statistic.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RegularityTest {
-    /// Window size in packets (the original work uses 100; the default here
-    /// is 100).
+    /// Window size in packets; `0` means the classic 100 of the original
+    /// work (so the derived `Default` is the canonical configuration).
     pub window: usize,
 }
 
-impl Default for RegularityTest {
-    fn default() -> Self {
-        RegularityTest { window: 100 }
-    }
-}
-
 impl RegularityTest {
-    /// New instance with the given window size.
+    /// New instance with the given window size (`0` = the default 100).
     pub fn new(window: usize) -> Self {
-        RegularityTest {
-            window: window.max(2),
+        RegularityTest { window }
+    }
+
+    /// The window size after resolving `0` to the default of 100 (and
+    /// clamping to the minimum sensible window of 2).
+    pub fn resolved_window(&self) -> usize {
+        if self.window == 0 {
+            100
+        } else {
+            self.window.max(2)
         }
     }
 
     fn regularity(&self, ipds: &[u64]) -> f64 {
         let xs = to_f64(ipds);
         let sigmas: Vec<f64> = xs
-            .chunks(self.window)
+            .chunks(self.resolved_window())
             .filter(|c| c.len() >= 2)
             .map(stats::std_dev)
             .collect();
@@ -183,9 +232,9 @@ impl Detector for RegularityTest {
         // The regularity statistic is self-normalizing; no training needed.
     }
 
-    fn score(&self, ipds: &[u64]) -> f64 {
+    fn score(&self, trace: &TraceView<'_>) -> f64 {
         // Low regularity spread = suspiciously constant variance = covert.
-        -self.regularity(ipds)
+        -self.regularity(trace.observed_ipds)
     }
 }
 
@@ -203,36 +252,47 @@ impl Detector for RegularityTest {
 /// legitimate traffic produces (repeating patterns depress it; i.i.d.
 /// resampling of a bursty source raises it), so the covert score is the
 /// absolute deviation from the trained legitimate baseline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CceTest {
-    /// Number of quantile bins (Gianvecchio & Wang use 5).
+    /// Number of quantile bins; `0` means the 5 of Gianvecchio & Wang (so
+    /// the derived `Default` is the canonical configuration).
     pub bins: usize,
-    /// Maximum pattern length examined.
+    /// Maximum pattern length examined; `0` means the default of 5.
     pub max_m: usize,
     edges: Vec<f64>,
     /// Mean CCE of the legitimate training traces.
     baseline: f64,
 }
 
-impl Default for CceTest {
-    fn default() -> Self {
+impl CceTest {
+    /// New instance with `bins` quantile bins and patterns up to `max_m`
+    /// (`0` = the defaults of 5 each).
+    pub fn new(bins: usize, max_m: usize) -> Self {
         CceTest {
-            bins: 5,
-            max_m: 5,
+            bins,
+            max_m,
             edges: Vec::new(),
             baseline: 0.0,
         }
     }
-}
 
-impl CceTest {
-    /// New instance with `bins` quantile bins and patterns up to `max_m`.
-    pub fn new(bins: usize, max_m: usize) -> Self {
-        CceTest {
-            bins: bins.max(2),
-            max_m: max_m.max(2),
-            edges: Vec::new(),
-            baseline: 0.0,
+    /// The bin count after resolving `0` to the default of 5 (clamped to
+    /// the minimum sensible 2).
+    pub fn resolved_bins(&self) -> usize {
+        if self.bins == 0 {
+            5
+        } else {
+            self.bins.max(2)
+        }
+    }
+
+    /// The maximum pattern length after resolving `0` to the default of 5
+    /// (clamped to the minimum sensible 2).
+    pub fn resolved_max_m(&self) -> usize {
+        if self.max_m == 0 {
+            5
+        } else {
+            self.max_m.max(2)
         }
     }
 
@@ -245,7 +305,10 @@ impl CceTest {
             .collect()
     }
 
-    fn entropy(counts: &std::collections::HashMap<Vec<u8>, u32>, total: f64) -> f64 {
+    // BTreeMap, not HashMap: entropy sums floats over the map's iteration
+    // order, and that order must be deterministic for CCE scores to be
+    // byte-identical across workers, runs, and serialization roundtrips.
+    fn entropy(counts: &std::collections::BTreeMap<Vec<u8>, u32>, total: f64) -> f64 {
         counts
             .values()
             .map(|&c| {
@@ -257,13 +320,14 @@ impl CceTest {
 
     /// The CCE statistic (lower = more covert).
     pub fn cce(&self, ipds: &[u64]) -> f64 {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
+        let max_m = self.resolved_max_m();
         let symbols = self.binned(ipds);
-        if symbols.len() < self.max_m + 1 {
+        if symbols.len() < max_m + 1 {
             return 0.0;
         }
         // First-order entropy for the correction term.
-        let mut c1: HashMap<Vec<u8>, u32> = HashMap::new();
+        let mut c1: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
         for &s in &symbols {
             *c1.entry(vec![s]).or_default() += 1;
         }
@@ -271,8 +335,8 @@ impl CceTest {
 
         let mut best = f64::INFINITY;
         let mut prev_h = 0.0;
-        for m in 1..=self.max_m {
-            let mut counts: HashMap<Vec<u8>, u32> = HashMap::new();
+        for m in 1..=max_m {
+            let mut counts: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
             let n = symbols.len() + 1 - m;
             for w in symbols.windows(m) {
                 *counts.entry(w.to_vec()).or_default() += 1;
@@ -296,11 +360,12 @@ impl Detector for CceTest {
     }
 
     fn train(&mut self, legit: &[Vec<u64>]) {
+        let bins = self.resolved_bins();
         let mut pooled: Vec<f64> = legit.iter().flat_map(|t| to_f64(t)).collect();
         pooled.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-        self.edges = (1..self.bins)
+        self.edges = (1..bins)
             .map(|k| {
-                let idx = (pooled.len() - 1) * k / self.bins;
+                let idx = (pooled.len() - 1) * k / bins;
                 pooled[idx]
             })
             .collect();
@@ -308,8 +373,8 @@ impl Detector for CceTest {
         self.baseline = stats::mean(&cces);
     }
 
-    fn score(&self, ipds: &[u64]) -> f64 {
-        (self.cce(ipds) - self.baseline).abs()
+    fn score(&self, trace: &TraceView<'_>) -> f64 {
+        (self.cce(trace.observed_ipds) - self.baseline).abs()
     }
 }
 
@@ -320,10 +385,14 @@ impl Detector for CceTest {
 /// The TDR-based detector (§5.3): compare observed output timing against
 /// the TDR-reproduced reference timing.
 ///
-/// Unlike the statistical detectors it takes *two* traces. The score is the
-/// maximum relative IPD deviation; a threshold just above TDR's noise floor
-/// (1.85% in the paper, §6.4) separates channels from noise.
-#[derive(Debug, Clone, Default)]
+/// Unlike the statistical detectors it needs *two* traces, so it reads
+/// [`TraceView::replayed_ipds`]. The score is the maximum relative IPD
+/// deviation; a threshold just above TDR's noise floor (1.85% in the
+/// paper, §6.4) separates channels from noise. The detector is stateless —
+/// the reference timing is produced per session by an audit replay, which
+/// is why pipelines pair it with a reference-replay adapter (the audit
+/// pipeline's `ReferenceCache`) that owns the known-good environment.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TdrDetector;
 
 impl TdrDetector {
@@ -331,23 +400,33 @@ impl TdrDetector {
     pub fn new() -> Self {
         TdrDetector
     }
+}
 
-    /// Display name.
-    pub fn name(&self) -> &'static str {
+impl Detector for TdrDetector {
+    fn name(&self) -> &'static str {
         "Sanity"
+    }
+
+    fn train(&mut self, _legit: &[Vec<u64>]) {
+        // TDR needs no traffic model — that is the point of the paper.
     }
 
     /// Maximum relative IPD deviation between observed and replayed traces.
     ///
-    /// Compares `min(len)` leading IPDs; a length mismatch itself scores as
-    /// 1.0 (an output was added or suppressed — certainly not the reference
-    /// binary's behavior).
-    pub fn score_pair(&self, observed_ipds: &[u64], replayed_ipds: &[u64]) -> f64 {
-        if observed_ipds.len() != replayed_ipds.len() {
+    /// Compares pairwise; a length mismatch itself scores as 1.0 (an
+    /// output was added or suppressed — certainly not the reference
+    /// binary's behavior). Without a reference replay
+    /// ([`TraceView::replayed_ipds`] is `None`) the detector has no
+    /// evidence and scores 0.0.
+    fn score(&self, trace: &TraceView<'_>) -> f64 {
+        let Some(replayed_ipds) = trace.replayed_ipds else {
+            return 0.0;
+        };
+        if trace.observed_ipds.len() != replayed_ipds.len() {
             return 1.0;
         }
         let mut worst: f64 = 0.0;
-        for (&o, &r) in observed_ipds.iter().zip(replayed_ipds.iter()) {
+        for (&o, &r) in trace.observed_ipds.iter().zip(replayed_ipds.iter()) {
             if r == 0 {
                 continue;
             }
@@ -392,7 +471,9 @@ mod tests {
         let legit = legit_trace(7, 600);
         // A crude channel with a very different mean.
         let covert: Vec<u64> = legit.iter().map(|&x| x * 3).collect();
-        assert!(d.score(&covert) > d.score(&legit) * 2.0);
+        assert!(
+            d.score(&TraceView::observed(&covert)) > d.score(&TraceView::observed(&legit)) * 2.0
+        );
     }
 
     #[test]
@@ -404,7 +485,9 @@ mod tests {
         let covert: Vec<u64> = (0..600)
             .map(|k| if k % 2 == 0 { 100_000 } else { 1_400_000 })
             .collect();
-        assert!(d.score(&covert) > 2.0 * d.score(&legit));
+        assert!(
+            d.score(&TraceView::observed(&covert)) > 2.0 * d.score(&TraceView::observed(&legit))
+        );
     }
 
     #[test]
@@ -417,11 +500,28 @@ mod tests {
             .map(|_| if rng.gen_bool(0.5) { 500_000 } else { 900_000 })
             .collect();
         assert!(
-            d.score(&covert) > d.score(&legit),
+            d.score(&TraceView::observed(&covert)) > d.score(&TraceView::observed(&legit)),
             "covert {} vs legit {}",
-            d.score(&covert),
-            d.score(&legit)
+            d.score(&TraceView::observed(&covert)),
+            d.score(&TraceView::observed(&legit))
         );
+    }
+
+    #[test]
+    fn regularity_default_window_resolves_to_100() {
+        assert_eq!(RegularityTest::default().resolved_window(), 100);
+        assert_eq!(RegularityTest::new(0).resolved_window(), 100);
+        assert_eq!(RegularityTest::new(1).resolved_window(), 2);
+        assert_eq!(RegularityTest::new(10).resolved_window(), 10);
+    }
+
+    #[test]
+    fn cce_default_params_resolve_to_paper_values() {
+        let d = CceTest::default();
+        assert_eq!(d.resolved_bins(), 5);
+        assert_eq!(d.resolved_max_m(), 5);
+        assert_eq!(CceTest::new(1, 1).resolved_bins(), 2);
+        assert_eq!(CceTest::new(8, 3).resolved_max_m(), 3);
     }
 
     #[test]
@@ -433,7 +533,7 @@ mod tests {
         let covert: Vec<u64> = (0..800)
             .map(|k| [300_000u64, 600_000, 900_000, 1_200_000][k % 4])
             .collect();
-        assert!(d.score(&covert) > d.score(&legit));
+        assert!(d.score(&TraceView::observed(&covert)) > d.score(&TraceView::observed(&legit)));
     }
 
     #[test]
@@ -444,19 +544,19 @@ mod tests {
         d.train(&training_set());
         let legit = legit_trace(12, 500);
         let constant: Vec<u64> = vec![700_000; 500];
-        assert!(d.score(&constant) > d.score(&legit));
+        assert!(d.score(&TraceView::observed(&constant)) > d.score(&TraceView::observed(&legit)));
         let mut rng = StdRng::seed_from_u64(55);
         let iid: Vec<u64> = (0..500)
             .map(|_| rng.gen_range(300_000..1_500_000))
             .collect();
-        assert!(d.score(&iid) > d.score(&legit));
+        assert!(d.score(&TraceView::observed(&iid)) > d.score(&TraceView::observed(&legit)));
     }
 
     #[test]
     fn tdr_score_zero_for_identical() {
         let t = TdrDetector::new();
         let a = [100, 200, 300];
-        assert_eq!(t.score_pair(&a, &a), 0.0);
+        assert_eq!(t.score(&TraceView::with_replay(&a, &a)), 0.0);
     }
 
     #[test]
@@ -465,14 +565,27 @@ mod tests {
         let replayed = [700_000u64; 100];
         let mut observed = replayed;
         observed[50] = 770_000; // One packet delayed by 10%.
-        let s = t.score_pair(&observed, &replayed);
+        let s = t.score(&TraceView::with_replay(&observed, &replayed));
         assert!((s - 0.1).abs() < 1e-9, "max deviation is 10%: {s}");
     }
 
     #[test]
     fn tdr_score_length_mismatch_is_maximal() {
         let t = TdrDetector::new();
-        assert_eq!(t.score_pair(&[1, 2, 3], &[1, 2]), 1.0);
+        assert_eq!(t.score(&TraceView::with_replay(&[1, 2, 3], &[1, 2])), 1.0);
+    }
+
+    #[test]
+    fn tdr_abstains_without_reference_replay() {
+        let t = TdrDetector::new();
+        assert_eq!(t.score(&TraceView::observed(&[1, 2, 3])), 0.0);
+    }
+
+    #[test]
+    fn tdr_is_object_safe_behind_the_trait() {
+        let detectors: Vec<Box<dyn Detector>> =
+            vec![Box::new(ShapeTest::new()), Box::new(TdrDetector::new())];
+        assert_eq!(detectors[1].name(), "Sanity");
     }
 
     #[test]
@@ -497,7 +610,7 @@ mod tests {
             })
             .collect();
         let t = TdrDetector::new();
-        assert!(t.score_pair(&noisy, &replayed) < 0.02);
-        assert!(t.score_pair(&covert, &replayed) > 0.10);
+        assert!(t.score(&TraceView::with_replay(&noisy, &replayed)) < 0.02);
+        assert!(t.score(&TraceView::with_replay(&covert, &replayed)) > 0.10);
     }
 }

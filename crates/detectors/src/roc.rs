@@ -19,7 +19,10 @@ pub struct RocPoint {
 }
 
 /// Compute the ROC curve by sweeping the threshold over all observed scores.
-/// The result starts at (0,0) and ends at (1,1), sorted by FPR.
+/// The result starts at (0,0) and ends at (1,1), sorted by FPR. Degenerate
+/// inputs (one or both classes empty, tied scores) still produce a
+/// well-defined, NaN-free curve: an empty class contributes a rate of 1.0
+/// at the closing anchor and 0.0 elsewhere.
 pub fn roc(pos_scores: &[f64], neg_scores: &[f64]) -> Vec<RocPoint> {
     let mut thresholds: Vec<f64> = pos_scores
         .iter()
@@ -41,6 +44,17 @@ pub fn roc(pos_scores: &[f64], neg_scores: &[f64]) -> Vec<RocPoint> {
             fpr: fp / neg_scores.len().max(1) as f64,
             tpr: tp / pos_scores.len().max(1) as f64,
             threshold: t,
+        });
+    }
+    // Close the curve at (1,1) — reached naturally when both classes are
+    // non-empty (at the minimum score everything classifies positive), but
+    // an empty class never gets there on its own.
+    let last = points.last().expect("anchor point always present");
+    if last.fpr < 1.0 || last.tpr < 1.0 {
+        points.push(RocPoint {
+            fpr: 1.0,
+            tpr: 1.0,
+            threshold: f64::NEG_INFINITY,
         });
     }
     points
@@ -119,5 +133,91 @@ mod tests {
         assert_eq!(auc(&[], &[1.0]), 0.5);
         let curve = roc(&[1.0], &[]);
         assert!(curve.len() >= 2);
+    }
+
+    /// No point of any curve may carry a NaN rate, whatever the input.
+    fn assert_no_nan(curve: &[RocPoint]) {
+        for p in curve {
+            assert!(
+                p.fpr.is_finite(),
+                "fpr NaN/inf at threshold {}",
+                p.threshold
+            );
+            assert!(
+                p.tpr.is_finite(),
+                "tpr NaN/inf at threshold {}",
+                p.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn tied_scores_collapse_to_one_threshold_and_keep_auc_consistent() {
+        // Every positive ties every negative at 0.7 → AUC is exactly the
+        // half-credit 0.5, and the curve has one interior point.
+        let pos = [0.7, 0.7, 0.7];
+        let neg = [0.7, 0.7];
+        assert!((auc(&pos, &neg) - 0.5).abs() < 1e-12);
+        let curve = roc(&pos, &neg);
+        assert_no_nan(&curve);
+        assert_eq!(curve.len(), 2, "dedup leaves one threshold + anchor");
+        assert_eq!(
+            curve.last().map(|p| (p.fpr, p.tpr)),
+            Some((1.0, 1.0)),
+            "ties jump straight to (1,1)"
+        );
+
+        // Partial ties: half credit per tied pair.
+        let pos = [1.0, 0.5];
+        let neg = [0.5, 0.0];
+        // Pairs: (1.0 vs 0.5)=1, (1.0 vs 0.0)=1, (0.5 vs 0.5)=0.5,
+        // (0.5 vs 0.0)=1 → 3.5/4.
+        assert!((auc(&pos, &neg) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_one_label_inputs_are_well_defined() {
+        // Only positives: TPR sweeps 0→1, FPR pinned at 0 until the anchor.
+        let curve = roc(&[0.9, 0.5, 0.1], &[]);
+        assert_no_nan(&curve);
+        assert_eq!(curve.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+        assert_eq!(auc(&[0.9, 0.5, 0.1], &[]), 0.5, "degenerate AUC convention");
+
+        // Only negatives: mirror image.
+        let curve = roc(&[], &[0.9, 0.5]);
+        assert_no_nan(&curve);
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+        assert_eq!(auc(&[], &[0.9, 0.5]), 0.5);
+    }
+
+    #[test]
+    fn empty_input_yields_anchor_only_curve() {
+        let curve = roc(&[], &[]);
+        assert_no_nan(&curve);
+        assert_eq!(curve.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn random_scores_give_auc_near_half() {
+        // A deterministic LCG stands in for "random" scores: with both
+        // classes drawn from the same stream, AUC must sit near 0.5.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pos: Vec<f64> = (0..500).map(|_| next()).collect();
+        let neg: Vec<f64> = (0..500).map(|_| next()).collect();
+        let a = auc(&pos, &neg);
+        assert!(
+            (a - 0.5).abs() < 0.05,
+            "same-distribution scores must be uninformative: {a}"
+        );
+        assert_no_nan(&roc(&pos, &neg));
     }
 }

@@ -1,20 +1,24 @@
-//! Worker-local reference cache.
+//! Worker-local reference cache — the TDR detector's reference-replay
+//! adapter.
 //!
 //! Each worker audits many sessions against the *same* known-good
 //! environment. The cache pins that environment once per worker — the
-//! program `Arc`, the machine/VM configuration, and the stable-storage
-//! file set (held behind an `Arc` so forty workers share one copy of a
-//! multi-megabyte NFS file set instead of forty) — and hands out
-//! per-session audit replays. It also counts what passed through it, which
-//! is what the throughput bench reads.
+//! program `Arc`, the machine/VM configuration, the stable-storage file
+//! set, and the fleet's trained [`DetectorBattery`] (all held behind
+//! `Arc`s so forty workers share one copy instead of forty) — and hands
+//! out per-session audit replays. It is what turns the two-trace TDR
+//! detector into an ordinary [`detectors::Detector`]: the adapter produces
+//! the reference timing the detector compares against. It also counts what
+//! passed through it, which is what the throughput bench reads.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use detectors::TdrDetector;
+use detectors::{Detector, DetectorBattery, TdrDetector, TraceView};
 use replay::{audit_replay, EventLog, Recorded, SessionError};
 
 use crate::verdict::AuditVerdict;
-use crate::{AuditConfig, AuditJob, Reference};
+use crate::{AuditConfig, AuditJob, BatteryMode, Reference};
 
 /// Per-worker audit state: the reference environment plus counters.
 #[derive(Debug)]
@@ -24,7 +28,9 @@ pub struct ReferenceCache {
     vm: vm::VmConfig,
     /// Shared file set; cloned per session only when handed to the VM.
     files: Arc<Vec<Vec<u8>>>,
-    detector: TdrDetector,
+    /// Shared trained battery (None = TDR-only fleet).
+    battery: Option<Arc<DetectorBattery>>,
+    tdr: TdrDetector,
     /// Sessions audited by this worker.
     sessions_audited: u64,
     /// Reference cycles replayed by this worker (for sessions/sec math).
@@ -39,7 +45,8 @@ impl ReferenceCache {
             machine: reference.machine,
             vm: reference.vm,
             files: Arc::new(reference.files.clone()),
-            detector: TdrDetector::new(),
+            battery: reference.battery.clone(),
+            tdr: TdrDetector::new(),
             sessions_audited: 0,
             cycles_replayed: 0,
         }
@@ -71,36 +78,78 @@ impl ReferenceCache {
         Ok(rec)
     }
 
+    /// The trained battery this cache scores with, if the fleet has one.
+    fn full_battery(&self, cfg: &AuditConfig) -> Option<&DetectorBattery> {
+        match cfg.battery {
+            BatteryMode::TdrOnly => None,
+            BatteryMode::Full => Some(self.battery.as_deref().expect(
+                "BatteryMode::Full needs a trained battery on the Reference \
+                 (Reference::with_battery)",
+            )),
+        }
+    }
+
     /// Audit one session: reproduce the reference timing for its log and
-    /// score the observed wire timing against it.
+    /// score the observed wire timing against it — with the TDR detector
+    /// alone, or (under [`BatteryMode::Full`]) with the whole trained
+    /// battery in one pass.
     ///
     /// A session whose audit replay *fails* is flagged with the maximal
-    /// score: the reference binary could not even reproduce the execution,
-    /// which is a stronger anomaly than any timing deviation.
+    /// TDR score: the reference binary could not even reproduce the
+    /// execution, which is a stronger anomaly than any timing deviation.
+    /// The statistical detectors still score its observed timing (they
+    /// need no replay), and the verdict's "Sanity" map entry is pinned to
+    /// the same maximal 1.0 as its scalar score.
     pub fn audit(&mut self, job: &AuditJob, cfg: &AuditConfig) -> AuditVerdict {
         let seed = cfg.session_seed(job.session_id);
         match self.replay(&job.log, seed) {
             Ok(rec) => {
                 let replayed_ipds: Vec<u64> =
                     rec.tx.windows(2).map(|w| w[1].cycle - w[0].cycle).collect();
-                let score = self.detector.score_pair(&job.observed_ipds, &replayed_ipds);
+                let trace = TraceView::with_replay(&job.observed_ipds, &replayed_ipds);
+                let detector_scores = match self.full_battery(cfg) {
+                    Some(battery) => battery.score_all(&trace),
+                    None => BTreeMap::new(),
+                };
+                // The scalar TDR score *is* the battery's "Sanity" entry
+                // when one was computed — equal by construction, not by
+                // coincidence — and the detector runs once either way.
+                let score = match detector_scores.get(self.tdr.name()) {
+                    Some(&s) => s,
+                    None => self.tdr.score(&trace),
+                };
                 AuditVerdict {
                     session_id: job.session_id,
                     score,
                     flagged: score > cfg.threshold,
                     tx_packets: rec.tx.len(),
                     replayed_cycles: rec.outcome.cycles,
+                    detector_scores,
                     error: None,
                 }
             }
-            Err(e) => AuditVerdict {
-                session_id: job.session_id,
-                score: 1.0,
-                flagged: true,
-                tx_packets: 0,
-                replayed_cycles: 0,
-                error: Some(e.to_string()),
-            },
+            Err(e) => {
+                let detector_scores = match self.full_battery(cfg) {
+                    Some(battery) => {
+                        let mut scores =
+                            battery.score_all(&TraceView::observed(&job.observed_ipds));
+                        // Replay failure is maximal TDR evidence; keep the
+                        // map entry consistent with the scalar score.
+                        scores.insert(self.tdr.name().to_string(), 1.0);
+                        scores
+                    }
+                    None => BTreeMap::new(),
+                };
+                AuditVerdict {
+                    session_id: job.session_id,
+                    score: 1.0,
+                    flagged: true,
+                    tx_packets: 0,
+                    replayed_cycles: 0,
+                    detector_scores,
+                    error: Some(e.to_string()),
+                }
+            }
         }
     }
 }

@@ -21,8 +21,15 @@
 //!   ([`AuditConfig::high_water`] caps the resident set);
 //! * [`verdict`] — per-session [`AuditVerdict`]s and their deterministic
 //!   aggregation into a [`FleetSummary`] (flagged sessions, score
-//!   histogram) plus labeled ROC/AUC over a benchmark batch via
-//!   `detectors::roc`.
+//!   histogram, per-detector stats) plus labeled ROC/AUC — per detector —
+//!   over a benchmark batch via `detectors::roc`.
+//!
+//! Detection defaults to the TDR score alone, but a fleet can attach a
+//! [`DetectorBattery`] trained on its clean traces
+//! ([`Reference::with_battery`]) and request [`BatteryMode::Full`] to score
+//! every session with all five Fig. 8 detectors in the same pass — the
+//! battery state is shared across workers behind one `Arc`, and the TDR
+//! score stays byte-identical to the TDR-only path.
 //!
 //! Determinism is a design requirement, not an accident: a session's
 //! verdict depends only on its log, its observed timing, and the batch
@@ -49,13 +56,15 @@ use replay::EventLog;
 use vm::VmConfig;
 
 pub use cache::ReferenceCache;
+pub use detectors::DetectorBattery;
 pub use ingest::{BatchStream, IngestError};
 pub use pool::{audit_batch, audit_batch_streaming, audit_stream, BatchReport, StreamReport};
-pub use verdict::{AuditVerdict, FleetSummary, ScoreHistogram};
+pub use verdict::{AuditVerdict, DetectorStats, FleetSummary, ScoreHistogram};
 
 /// The reference environment sessions are audited against: the known-good
 /// binary plus the machine/VM configuration and stable-storage contents of
-/// the reference machine.
+/// the reference machine, and optionally a trained detector battery shared
+/// by every worker.
 #[derive(Debug, Clone)]
 pub struct Reference {
     /// The known-good program.
@@ -67,6 +76,12 @@ pub struct Reference {
     /// Stable-storage contents, installed into every audit replay (storage
     /// is machine state, so the reference must see the same files).
     pub files: Vec<Vec<u8>>,
+    /// A detector battery trained on this fleet's clean traces, shared
+    /// (one `Arc`, not one copy per worker) by every [`ReferenceCache`].
+    /// `None` — the default — leaves the pipeline TDR-only; sessions gain
+    /// per-detector score maps only when a battery is attached *and*
+    /// [`AuditConfig::battery`] asks for [`BatteryMode::Full`].
+    pub battery: Option<Arc<DetectorBattery>>,
 }
 
 impl Reference {
@@ -78,12 +93,28 @@ impl Reference {
             machine: MachineConfig::sanity(),
             vm: VmConfig::default(),
             files: Vec::new(),
+            battery: None,
         }
     }
 
     /// Attach stable-storage contents.
     pub fn with_files(mut self, files: Vec<Vec<u8>>) -> Self {
         self.files = files;
+        self
+    }
+
+    /// Attach a trained detector battery (see [`DetectorBattery::trained`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the battery is untrained: scoring sessions against
+    /// uninitialized baselines would produce garbage verdicts silently.
+    pub fn with_battery(mut self, battery: DetectorBattery) -> Self {
+        assert!(
+            battery.is_trained(),
+            "train the battery on clean traces before attaching it"
+        );
+        self.battery = Some(Arc::new(battery));
         self
     }
 }
@@ -99,6 +130,25 @@ pub struct AuditJob {
     /// Cycles between consecutive transmitted packets, as captured on the
     /// wire at the suspect machine.
     pub observed_ipds: Vec<u64>,
+}
+
+/// Which detectors score each session.
+///
+/// This is the `Copy`-able half of the battery configuration — the trained
+/// state itself rides on [`Reference::battery`], so `AuditConfig` stays a
+/// plain value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatteryMode {
+    /// The TDR detector only — the pre-battery behavior, and the default.
+    /// Verdict score maps stay empty.
+    #[default]
+    TdrOnly,
+    /// Score every session with the full five-detector battery on
+    /// [`Reference::battery`]. Requires one to be attached (the audit
+    /// panics otherwise — a missing battery must not silently degrade the
+    /// fleet report to TDR-only). The TDR score and flagging are
+    /// byte-identical to [`BatteryMode::TdrOnly`].
+    Full,
 }
 
 /// Batch-audit tuning knobs.
@@ -120,6 +170,8 @@ pub struct AuditConfig {
     /// resident set drops below this mark. `0` means the default of 8.
     /// Has no effect on the materialized [`audit_batch`] path.
     pub high_water: usize,
+    /// Which detectors score each session (default: TDR only).
+    pub battery: BatteryMode,
 }
 
 /// Default [`AuditConfig::high_water`]: sessions in flight during
@@ -133,6 +185,7 @@ impl Default for AuditConfig {
             threshold: 0.02,
             run_seed: 0x7d12_aa64_5eed_0001,
             high_water: DEFAULT_HIGH_WATER,
+            battery: BatteryMode::TdrOnly,
         }
     }
 }

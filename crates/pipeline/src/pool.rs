@@ -26,7 +26,20 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use crate::cache::ReferenceCache;
 use crate::ingest::IngestError;
 use crate::verdict::{AuditVerdict, FleetSummary};
-use crate::{AuditConfig, AuditJob, Reference};
+use crate::{AuditConfig, AuditJob, BatteryMode, Reference};
+
+/// Fail fast — on the calling thread, not inside a worker — when the
+/// configuration asks for full-battery scoring but no trained battery is
+/// attached to the reference.
+fn check_battery_config(reference: &Reference, cfg: &AuditConfig) {
+    if cfg.battery == BatteryMode::Full {
+        assert!(
+            reference.battery.is_some(),
+            "BatteryMode::Full needs a trained battery on the Reference \
+             (Reference::with_battery)"
+        );
+    }
+}
 
 /// Everything a batch audit produces.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +67,7 @@ pub fn audit_batch_streaming(
     cfg: &AuditConfig,
     mut on_verdict: impl FnMut(usize, &AuditVerdict),
 ) -> BatchReport {
+    check_battery_config(reference, cfg);
     let workers = cfg.resolved_workers().min(jobs.len()).max(1);
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, AuditVerdict)>();
@@ -182,6 +196,7 @@ pub fn audit_stream<I>(
 where
     I: IntoIterator<Item = Result<AuditJob, IngestError>>,
 {
+    check_battery_config(reference, cfg);
     let high_water = cfg.resolved_high_water();
     // More workers than residency slots could never all be busy.
     let workers = cfg.resolved_workers().min(high_water).max(1);
@@ -465,6 +480,75 @@ mod tests {
             "peak {} exceeds high-water mark",
             stream.peak_resident
         );
+    }
+
+    #[test]
+    fn battery_mode_scores_all_detectors_and_keeps_tdr_bit_identical() {
+        let program = echo_program(5);
+        let (jobs, covert) = mixed_batch(&program);
+        let clean_traces: Vec<Vec<u64>> = jobs
+            .iter()
+            .filter(|j| !covert.contains(&j.session_id))
+            .map(|j| j.observed_ipds.clone())
+            .collect();
+
+        let plain = Reference::new(Arc::clone(&program));
+        let with_battery = Reference::new(Arc::clone(&program))
+            .with_battery(detectors::DetectorBattery::trained(&clean_traces));
+
+        let base = AuditConfig {
+            workers: 3,
+            ..AuditConfig::default()
+        };
+        let tdr_only = audit_batch(&plain, &jobs, &base);
+        let full = audit_batch(
+            &with_battery,
+            &jobs,
+            &AuditConfig {
+                battery: crate::BatteryMode::Full,
+                ..base
+            },
+        );
+
+        assert_eq!(full.summary.flagged, covert);
+        for (a, b) in tdr_only.verdicts.iter().zip(&full.verdicts) {
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "battery must not perturb the TDR score"
+            );
+            assert_eq!(a.flagged, b.flagged);
+            assert!(a.detector_scores.is_empty());
+            assert_eq!(b.detector_scores.len(), 5);
+            assert_eq!(b.detector_scores["Sanity"].to_bits(), b.score.to_bits());
+        }
+        assert_eq!(full.summary.detector_stats.len(), 5);
+
+        // The streamed path agrees byte-for-byte.
+        let stream = audit_stream(
+            &with_battery,
+            jobs.iter().cloned().map(Ok),
+            &AuditConfig {
+                battery: crate::BatteryMode::Full,
+                ..base
+            },
+        )
+        .expect("clean stream");
+        assert_eq!(stream.verdicts, full.verdicts);
+        assert_eq!(stream.summary, full.summary);
+    }
+
+    #[test]
+    #[should_panic(expected = "BatteryMode::Full needs a trained battery")]
+    fn battery_mode_without_battery_panics() {
+        let program = echo_program(5);
+        let jobs = vec![session(&program, 0, &[])];
+        let cfg = AuditConfig {
+            workers: 1,
+            battery: crate::BatteryMode::Full,
+            ..AuditConfig::default()
+        };
+        audit_batch(&Reference::new(program), &jobs, &cfg);
     }
 
     #[test]

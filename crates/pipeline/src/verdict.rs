@@ -5,6 +5,8 @@
 //! extrema; the flagged list sorted by session id), so 1-worker and
 //! N-worker runs of the same batch summarize identically.
 
+use std::collections::BTreeMap;
+
 use detectors::{auc, roc, RocPoint};
 
 /// The audit outcome for one session.
@@ -21,6 +23,10 @@ pub struct AuditVerdict {
     pub tx_packets: usize,
     /// Cycles the reference replay executed (throughput accounting).
     pub replayed_cycles: u64,
+    /// Per-detector scores (detector name → score) when the batch ran with
+    /// [`crate::BatteryMode::Full`]; empty on the default TDR-only path.
+    /// The "Sanity" entry is always byte-identical to [`score`](Self::score).
+    pub detector_scores: BTreeMap<String, f64>,
     /// Present when the audit replay itself failed.
     pub error: Option<String>,
 }
@@ -76,6 +82,15 @@ impl ScoreHistogram {
     }
 }
 
+/// Mean and maximum of one detector's scores over a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorStats {
+    /// Mean score (summed in session-id order for determinism).
+    pub mean: f64,
+    /// Largest score in the batch.
+    pub max: f64,
+}
+
 /// Fleet-wide aggregation of a batch's verdicts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetSummary {
@@ -93,6 +108,10 @@ pub struct FleetSummary {
     pub mean_score: f64,
     /// Total reference cycles replayed (throughput accounting).
     pub replayed_cycles: u64,
+    /// Per-detector aggregates (name → mean/max) over every verdict that
+    /// carried a score map; empty on the TDR-only path. Like every other
+    /// field, a pure, order-insensitive function of the verdict set.
+    pub detector_stats: BTreeMap<String, DetectorStats>,
 }
 
 impl FleetSummary {
@@ -109,8 +128,10 @@ impl FleetSummary {
             max_score: 0.0,
             mean_score: 0.0,
             replayed_cycles: 0,
+            detector_stats: BTreeMap::new(),
         };
         let mut sum = 0.0;
+        let mut det_sums: BTreeMap<&str, (f64, f64, u64)> = BTreeMap::new();
         for v in &ordered {
             if v.flagged {
                 summary.flagged.push(v.session_id);
@@ -122,30 +143,92 @@ impl FleetSummary {
             summary.max_score = summary.max_score.max(v.score);
             summary.replayed_cycles += v.replayed_cycles;
             sum += v.score;
+            for (name, &s) in &v.detector_scores {
+                let e = det_sums.entry(name).or_insert((0.0, f64::NEG_INFINITY, 0));
+                e.0 += s;
+                e.1 = e.1.max(s);
+                e.2 += 1;
+            }
         }
         if !ordered.is_empty() {
             summary.mean_score = sum / ordered.len() as f64;
         }
+        summary.detector_stats = det_sums
+            .into_iter()
+            .map(|(name, (s, max, n))| {
+                (
+                    name.to_string(),
+                    DetectorStats {
+                        mean: s / n as f64,
+                        max,
+                    },
+                )
+            })
+            .collect();
         summary
     }
 }
 
 /// ROC curve and AUC of a labeled benchmark batch: `covert_ids` is the
-/// ground truth, scores come from the verdicts. This is the batch-scale
-/// version of the paper's Fig. 8 evaluation, built on `detectors::roc`.
+/// ground truth, scores come from the verdicts' TDR scores. This is the
+/// batch-scale version of the paper's Fig. 8 evaluation, built on
+/// `detectors::roc`.
 pub fn labeled_roc(
     verdicts: &[AuditVerdict],
     covert_ids: &std::collections::HashSet<u64>,
 ) -> (Vec<RocPoint>, f64) {
+    split_and_score(verdicts, covert_ids, |v| v.score)
+}
+
+/// Per-detector labeled ROC/AUC over a benchmark batch — the fleet-scale
+/// Fig. 8 report.
+///
+/// Every detector name appearing in any verdict's score map gets a curve;
+/// the TDR detector ("Sanity") always gets one, from the verdict's scalar
+/// score, so the function is also meaningful on TDR-only batches.
+pub fn labeled_roc_by_detector(
+    verdicts: &[AuditVerdict],
+    covert_ids: &std::collections::HashSet<u64>,
+) -> BTreeMap<String, (Vec<RocPoint>, f64)> {
+    let mut names: std::collections::BTreeSet<&str> = verdicts
+        .iter()
+        .flat_map(|v| v.detector_scores.keys())
+        .map(String::as_str)
+        .collect();
+    names.insert("Sanity");
+    names
+        .into_iter()
+        .map(|name| {
+            let result = split_and_score(verdicts, covert_ids, |v| {
+                // Fall back to the scalar TDR score for "Sanity" — the two
+                // are pinned byte-identical when both exist.
+                v.detector_scores.get(name).copied().unwrap_or_else(|| {
+                    if name == "Sanity" {
+                        v.score
+                    } else {
+                        0.0
+                    }
+                })
+            });
+            (name.to_string(), result)
+        })
+        .collect()
+}
+
+fn split_and_score(
+    verdicts: &[AuditVerdict],
+    covert_ids: &std::collections::HashSet<u64>,
+    score_of: impl Fn(&AuditVerdict) -> f64,
+) -> (Vec<RocPoint>, f64) {
     let legit: Vec<f64> = verdicts
         .iter()
         .filter(|v| !covert_ids.contains(&v.session_id))
-        .map(|v| v.score)
+        .map(&score_of)
         .collect();
     let covert: Vec<f64> = verdicts
         .iter()
         .filter(|v| covert_ids.contains(&v.session_id))
-        .map(|v| v.score)
+        .map(&score_of)
         .collect();
     let points = roc(&covert, &legit);
     let area = auc(&covert, &legit);
@@ -163,7 +246,20 @@ mod tests {
             flagged,
             tx_packets: 10,
             replayed_cycles: 1_000,
+            detector_scores: BTreeMap::new(),
             error: None,
+        }
+    }
+
+    fn battery_verdict(id: u64, tdr: f64, shape: f64) -> AuditVerdict {
+        AuditVerdict {
+            detector_scores: [
+                ("Sanity".to_string(), tdr),
+                ("Shape test".to_string(), shape),
+            ]
+            .into_iter()
+            .collect(),
+            ..verdict(id, tdr, tdr > 0.02)
         }
     }
 
@@ -214,6 +310,65 @@ mod tests {
         assert_eq!(h.counts[7], 2);
         assert_eq!(h.total(), 5);
         assert!(h.render().contains("[0.0%, 0.5%): 2"));
+    }
+
+    #[test]
+    fn summary_aggregates_per_detector_stats() {
+        let vs = vec![battery_verdict(1, 0.01, 2.0), battery_verdict(2, 0.30, 4.0)];
+        let s = FleetSummary::from_verdicts(&vs);
+        assert_eq!(s.detector_stats.len(), 2);
+        let shape = &s.detector_stats["Shape test"];
+        assert!((shape.mean - 3.0).abs() < 1e-12);
+        assert_eq!(shape.max, 4.0);
+        let tdr = &s.detector_stats["Sanity"];
+        assert!((tdr.mean - 0.155).abs() < 1e-12);
+        assert_eq!(tdr.max, 0.30);
+        // TDR-only verdicts leave the map empty.
+        let s = FleetSummary::from_verdicts(&[verdict(1, 0.1, true)]);
+        assert!(s.detector_stats.is_empty());
+    }
+
+    #[test]
+    fn per_detector_stats_are_order_insensitive() {
+        let a = vec![
+            battery_verdict(1, 0.001, 1.0),
+            battery_verdict(2, 0.25, 5.0),
+            battery_verdict(3, 0.013, 2.5),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(
+            FleetSummary::from_verdicts(&a),
+            FleetSummary::from_verdicts(&b)
+        );
+    }
+
+    #[test]
+    fn labeled_roc_by_detector_covers_every_detector() {
+        // TDR separates this batch perfectly, the shape scores are flat.
+        let vs = vec![
+            battery_verdict(0, 0.001, 3.0),
+            battery_verdict(1, 0.002, 3.0),
+            battery_verdict(2, 0.25, 3.0),
+            battery_verdict(3, 0.40, 3.0),
+        ];
+        let covert: std::collections::HashSet<u64> = [2, 3].into_iter().collect();
+        let by_det = labeled_roc_by_detector(&vs, &covert);
+        assert_eq!(by_det.len(), 2);
+        assert!((by_det["Sanity"].1 - 1.0).abs() < 1e-9);
+        assert!(
+            (by_det["Shape test"].1 - 0.5).abs() < 1e-9,
+            "all ties → 0.5"
+        );
+    }
+
+    #[test]
+    fn labeled_roc_by_detector_works_on_tdr_only_batches() {
+        let vs = vec![verdict(0, 0.001, false), verdict(1, 0.30, true)];
+        let covert: std::collections::HashSet<u64> = [1].into_iter().collect();
+        let by_det = labeled_roc_by_detector(&vs, &covert);
+        assert_eq!(by_det.len(), 1, "only the Sanity curve");
+        assert!((by_det["Sanity"].1 - 1.0).abs() < 1e-9);
     }
 
     #[test]

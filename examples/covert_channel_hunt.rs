@@ -5,12 +5,15 @@
 //! ```
 //!
 //! An NFS server is compromised with a traffic-replay covert channel
-//! (TRCTC) that exfiltrates a secret by modulating response timing. The
-//! statistical shape test sees nothing unusual; the TDR auditor replays the
-//! server's log against the known-good binary and catches the channel.
+//! (TRCTC) that exfiltrates a secret by modulating response timing. A
+//! [`DetectorBattery`] trained on clean traces of the same service scores
+//! the suspect trace with all five Fig. 8 detectors in one pass: the
+//! statistical tests see traffic that looks legitimate, while the TDR
+//! detector — comparing against what the timing *should* have been,
+//! reproduced by audit replay — catches the channel outright.
 
 use channels::{bit_error_rate, message_bits, TimingChannel, Trctc};
-use detectors::{Detector, ShapeTest};
+use detectors::{Detector, DetectorBattery, RegularityTest, TraceView};
 use sanity_tdr::{compare, Sanity, TimingAuditor};
 use vm::TargetSendTimes;
 use workloads::nfs;
@@ -22,7 +25,7 @@ fn main() {
     // The machine under audit: an NFS server with a set of files.
     let files = nfs::make_files(8, 2048, 8192, 99);
     let sched = nfs::client_schedule(&files, 200_000, 740_000, 7);
-    let server = Sanity::new(nfs::server_program(sched.len() as i32)).with_files(files);
+    let server = Sanity::new(nfs::server_program(sched.len() as i32)).with_files(files.clone());
     let deliver = {
         let packets = sched.packets.clone();
         move |vm: &mut vm::Vm| {
@@ -31,6 +34,29 @@ fn main() {
             }
         }
     };
+
+    // -- Day -1: train the battery on clean traces of the same service ----
+    // (other clients, other days: same binary, different schedules).
+    let train: Vec<Vec<u64>> = (0..6u64)
+        .map(|k| {
+            let sched = nfs::client_schedule(&files, 200_000, 740_000, 100 + k);
+            let rec = server
+                .record(10 + k, move |vm| {
+                    for (at, pkt) in sched.packets {
+                        vm.machine_mut().deliver_packet(at, pkt);
+                    }
+                })
+                .expect("record training trace");
+            compare::tx_ipds_cycles(&rec.tx)
+        })
+        .collect();
+    let mut battery = DetectorBattery::new();
+    battery.rt = RegularityTest::new(5); // short traces → small windows
+    battery.train(&train);
+    println!(
+        "battery trained on {} clean traces of the same service\n",
+        train.len()
+    );
 
     // -- Day 0: a clean trace, for reference ------------------------------
     let clean = server.record(1, deliver.clone()).expect("record");
@@ -59,34 +85,51 @@ fn main() {
     let observed = compare::tx_ipds_cycles(&compromised.tx);
     let received = channel.decode(&observed, &clean_ipds);
     println!(
-        "attacker decodes the secret with BER {:.1}% — the channel works",
+        "attacker decodes the secret with BER {:.1}% — the channel works\n",
         bit_error_rate(&secret, &received) * 100.0
     );
 
-    // -- Defense 1: the statistical shape test ----------------------------
-    let training: Vec<Vec<u64>> = vec![clean_ipds.clone()];
-    let mut shape = ShapeTest::new();
-    shape.train(&training);
-    println!(
-        "\nshape test:  clean score {:.2}, compromised score {:.2} — no separation",
-        shape.score(&clean_ipds),
-        shape.score(&observed)
-    );
-
-    // -- Defense 2: the TDR auditor ---------------------------------------
+    // -- The hunt: all five detectors in one battery pass -----------------
+    // The audit replays reproduce each trace's reference timing (what the
+    // TDR detector scores against); the statistical detectors only read
+    // the observed wire timing.
     let auditor = TimingAuditor::new(server.clone());
     let clean_report = auditor.audit(&clean.log, &clean_ipds, 50).expect("audit");
     let covert_report = auditor
         .audit(&compromised.log, &observed, 51)
         .expect("audit");
+
+    let clean_scores = battery.score_all(&TraceView::with_replay(
+        &clean_ipds,
+        &clean_report.replayed_ipds,
+    ));
+    let covert_scores = battery.score_all(&TraceView::with_replay(
+        &observed,
+        &covert_report.replayed_ipds,
+    ));
+
+    println!("{:<12} {:>12} {:>14}", "detector", "clean", "compromised");
+    for (name, clean_score) in &clean_scores {
+        println!(
+            "{:<12} {:>12.4} {:>14.4}",
+            name, clean_score, covert_scores[name]
+        );
+    }
+
     println!(
-        "TDR auditor: clean deviation {:.2}% (not flagged), compromised {:.1}% (FLAGGED)",
+        "\nTDR auditor: clean deviation {:.2}% (not flagged), compromised {:.1}% (FLAGGED)",
         clean_report.score * 100.0,
         covert_report.score * 100.0
     );
     assert!(!clean_report.flagged && covert_report.flagged);
-    println!("\nthe channel is invisible to traffic statistics but cannot");
-    println!("survive a comparison against what the timing *should* have been");
+    assert_eq!(
+        covert_scores["Sanity"].to_bits(),
+        covert_report.score.to_bits(),
+        "the battery's TDR entry is the auditor's score"
+    );
+    println!("\nthe channel replays legitimate-looking IPDs, so the traffic");
+    println!("statistics barely move — but it cannot survive a comparison");
+    println!("against what the timing *should* have been");
 }
 
 fn median(xs: &[u64]) -> u64 {

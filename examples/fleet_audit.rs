@@ -3,21 +3,25 @@
 //! A cloud operator records every tenant session of one NFS service. Most
 //! tenants are clean; a few smuggle data out through covert timing
 //! channels — TRCTC (constant two-bin encoding) and the paper's §6.8
-//! "needle": a single stretched packet. The operator serializes the fleet
-//! into a TDRB batch (the on-the-wire form sessions actually arrive in)
-//! and feeds it through `Sanity::audit_stream`, which decodes sessions
-//! lazily in bounded memory, shards the audit replays across cores, and
-//! aggregates per-session verdicts — byte-identical to the materialized
-//! `Sanity::audit_batch` over the same bytes.
+//! "needle": a single stretched packet. The operator trains a
+//! `DetectorBattery` on clean sessions, serializes the fleet into a TDRB
+//! batch (the on-the-wire form sessions actually arrive in) and feeds it
+//! through `Sanity::audit_stream` under `BatteryMode::Full`, which decodes
+//! sessions lazily in bounded memory, shards the audit replays across
+//! cores, scores every session with all five Fig. 8 detectors in one
+//! pass, and aggregates per-session verdicts — byte-identical to the
+//! materialized `Sanity::audit_batch` over the same bytes, with the TDR
+//! scores untouched by the battery.
 //!
 //! Run with `cargo run --release --example fleet_audit`.
 
 use std::collections::HashSet;
 
 use channels::{message_bits, Needle, TimingChannel, Trctc};
+use detectors::{CceTest, Detector, DetectorBattery, RegularityTest};
 use sanity_tdr::audit_pipeline::ingest;
-use sanity_tdr::audit_pipeline::verdict::labeled_roc;
-use sanity_tdr::{compare, AuditConfig, AuditJob, Sanity};
+use sanity_tdr::audit_pipeline::verdict::{labeled_roc, labeled_roc_by_detector};
+use sanity_tdr::{compare, AuditConfig, AuditJob, BatteryMode, Sanity};
 use vm::TargetSendTimes;
 use workloads::nfs;
 
@@ -44,6 +48,29 @@ fn main() {
     // One service: same binary and file set for every session.
     let files = nfs::make_files(6, 2048, 6144, 4242);
     let sanity = Sanity::new(nfs::server_program(files.len() as i32)).with_files(files.clone());
+
+    // Train the detector battery on clean sessions of the same service —
+    // the traces a fleet operator already has from known-good days.
+    let train: Vec<Vec<u64>> = (0..6u64)
+        .map(|k| {
+            let sched = nfs::client_schedule(&files, 200_000, 740_000, 30_000 + k);
+            let rec = sanity
+                .record(900 + k, move |vm| {
+                    for (at, pkt) in sched.packets {
+                        vm.machine_mut().deliver_packet(at, pkt);
+                    }
+                })
+                .expect("record training session");
+            compare::tx_ipds_cycles(&rec.tx)
+        })
+        .collect();
+    // Sessions here are only a handful of IPDs long, so the windowed
+    // detectors need smaller windows/patterns than the paper defaults.
+    let mut battery = DetectorBattery::new();
+    battery.rt = RegularityTest::new(3);
+    battery.cce = CceTest::new(5, 3);
+    battery.train(&train);
+    let sanity = sanity.with_battery(battery);
 
     // Ground truth for this benchmark fleet.
     let trctc_ids: HashSet<u64> = [4, 9, 19].into_iter().collect();
@@ -126,6 +153,7 @@ fn main() {
             &AuditConfig {
                 workers,
                 high_water: 8,
+                battery: BatteryMode::Full,
                 ..AuditConfig::default()
             },
         )
@@ -138,6 +166,7 @@ fn main() {
         &jobs,
         &AuditConfig {
             workers: 1,
+            battery: BatteryMode::Full,
             ..AuditConfig::default()
         },
     );
@@ -166,6 +195,25 @@ fn main() {
     println!("score histogram:  {}", summary.histogram.render());
     let (_, auc) = labeled_roc(&sharded.verdicts, &covert_ids);
     println!("labeled ROC AUC:  {auc:.3}");
+
+    // The per-detector fleet report (Fig. 8 per fleet): every session was
+    // scored by all five detectors in the same pass.
+    println!("\nper-detector fleet AUC (labeled):");
+    let by_detector = labeled_roc_by_detector(&sharded.verdicts, &covert_ids);
+    for (name, (_, det_auc)) in &by_detector {
+        let stats = &summary.detector_stats[name];
+        println!(
+            "  {:<11} AUC {:.3}   mean {:>8.4}  max {:>8.4}",
+            name, det_auc, stats.mean, stats.max
+        );
+    }
+    let sanity_auc = by_detector["Sanity"].1;
+    assert!(
+        by_detector
+            .iter()
+            .all(|(n, (_, a))| n == "Sanity" || *a <= sanity_auc),
+        "no statistical detector beats TDR on this fleet"
+    );
 
     // The acceptance bar: every covert session flagged, no clean session
     // flagged.

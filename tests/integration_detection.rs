@@ -121,7 +121,7 @@ fn auditor_catches_single_packet_needle() {
 
 #[test]
 fn statistical_detectors_see_nothing_on_needle() {
-    use detectors::{Detector, KsTest, ShapeTest};
+    use detectors::{Detector, KsTest, ShapeTest, TraceView};
     let s = setup(12);
     let clean = record_clean(&s, 3);
     let clean_ipds = compare::tx_ipds_cycles(&clean.tx);
@@ -147,14 +147,20 @@ fn statistical_detectors_see_nothing_on_needle() {
     let covert_ipds = compare::tx_ipds_cycles(&covert_rec.tx);
 
     // The needle's statistical footprint is within the legitimate spread.
-    let max_clean_shape = train.iter().map(|t| shape.score(t)).fold(0.0, f64::max);
+    let max_clean_shape = train
+        .iter()
+        .map(|t| shape.score(&TraceView::observed(t)))
+        .fold(0.0, f64::max);
     assert!(
-        shape.score(&covert_ipds) < 2.0 * max_clean_shape,
+        shape.score(&TraceView::observed(&covert_ipds)) < 2.0 * max_clean_shape,
         "shape can't separate the needle"
     );
-    let max_clean_ks = train.iter().map(|t| ks.score(t)).fold(0.0, f64::max);
+    let max_clean_ks = train
+        .iter()
+        .map(|t| ks.score(&TraceView::observed(t)))
+        .fold(0.0, f64::max);
     assert!(
-        ks.score(&covert_ipds) < 2.0 * max_clean_ks,
+        ks.score(&TraceView::observed(&covert_ipds)) < 2.0 * max_clean_ks,
         "KS can't separate the needle"
     );
 }

@@ -23,8 +23,14 @@ fn nfs_record_replay_accuracy_within_paper_bound() {
         .expect("record");
     let rep = s.replay(&rec.log, 77, |_| {}).expect("replay");
 
-    // §6.4: runtime within 1%; all IPDs within ~1.85% (we allow 2.5% for
-    // the small trace's worst case).
+    // §6.4: runtime within 1%; all IPDs within the paper's 1.85% noise
+    // floor, asserted here at ≤1.9%. The residual deviation is dominated
+    // by bus arbitration jitter: each contended bus access picks up to
+    // `BusParams::jitter_max` (6) extra cycles from a seed-dependent
+    // stream, and play and replay run under different jitter seeds — the
+    // one Table 1 noise source TDR deliberately does not eliminate, only
+    // bounds (this trace measures ~1.0%; long NFS sweeps still reach
+    // ~2.4% worst-case — see ROADMAP).
     let rt_err = compare::relative_error(rec.outcome.cycles, rep.outcome.cycles);
     assert!(rt_err < 0.01, "runtime error {rt_err}");
     let c = compare::compare_ipds(
@@ -32,7 +38,7 @@ fn nfs_record_replay_accuracy_within_paper_bound() {
         &compare::tx_ipds_cycles(&rep.tx),
     );
     assert!(!c.length_mismatch);
-    assert!(c.max_rel < 0.025, "max IPD deviation {}", c.max_rel);
+    assert!(c.max_rel < 0.019, "max IPD deviation {}", c.max_rel);
 }
 
 #[test]
