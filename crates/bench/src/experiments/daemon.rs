@@ -1,0 +1,198 @@
+//! Daemon mode: warm-service batch latency through the TDRC control
+//! plane vs cold per-call pool spin-up.
+//!
+//! A persistent `AuditService` is started once and served over an
+//! in-memory duplex (the same `serve(reader, writer)` loop a socket
+//! would drive). A client submits TDRB batches as
+//! `ControlFrame::SubmitBatch` requests and times each request→summary
+//! round trip; the cold baseline audits the identical bytes through the
+//! one-shot `Sanity::audit_stream`, which spawns a fresh worker pool per
+//! call. Summaries are asserted identical — the daemon can never change
+//! a verdict — and `BENCH_daemon.json` records per-batch latency for
+//! both paths plus the warm/cold ratio.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use jbc::hll::{dsl::*, HTy, Module};
+use jbc::ElemTy;
+use sanity_tdr::audit_pipeline::service::duplex;
+use sanity_tdr::audit_pipeline::{ingest, FleetSummary};
+use sanity_tdr::{AuditConfig, AuditJob, ControlFrame, Sanity};
+
+use super::Options;
+
+const BATCHES: usize = 6;
+const WORKERS: usize = 4;
+
+/// One-request echo server: small sessions keep the audit itself cheap,
+/// so the per-batch fixed costs this experiment measures are visible.
+fn echo_program() -> jbc::Program {
+    let mut m = Module::new("Echo");
+    m.native("wait_packet", &[], None);
+    m.native("net_recv", &[HTy::Arr(ElemTy::I8)], Some(HTy::I32));
+    m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("buf", newarr(ElemTy::I8, i(64))),
+            expr(native("wait_packet", vec![])),
+            let_("len", native("net_recv", vec![var("buf")])),
+            expr(native("net_send", vec![var("buf"), var("len")])),
+        ],
+    ));
+    m.compile().expect("compile")
+}
+
+fn build_batches(sanity: &Sanity, per_batch: usize) -> Vec<Vec<u8>> {
+    (0..BATCHES)
+        .map(|b| {
+            let jobs: Vec<AuditJob> = (0..per_batch as u64)
+                .map(|id| {
+                    let payload = vec![7 + ((b as u8) ^ (id as u8)); 32];
+                    let rec = sanity
+                        .record(1_000 * b as u64 + id, move |vm| {
+                            vm.machine_mut().deliver_packet(100_000, payload);
+                        })
+                        .expect("record");
+                    AuditJob {
+                        session_id: id,
+                        observed_ipds: rec.tx_ipds_cycles(),
+                        log: rec.log,
+                    }
+                })
+                .collect();
+            ingest::encode_batch(&jobs)
+        })
+        .collect()
+}
+
+/// Submit one batch over the control plane and read frames until its
+/// summary arrives; returns the summary and the verdict-frame count.
+fn roundtrip(
+    client: &mut (impl std::io::Read + std::io::Write),
+    batch_id: u64,
+    tdrb: Vec<u8>,
+) -> (FleetSummary, usize) {
+    ControlFrame::SubmitBatch { batch_id, tdrb }
+        .write_to(client)
+        .expect("submit");
+    let mut verdicts = 0usize;
+    loop {
+        match ControlFrame::read_from(client)
+            .expect("response decodes")
+            .expect("daemon is up")
+        {
+            ControlFrame::Verdict {
+                batch_id: got_id, ..
+            } => {
+                assert_eq!(got_id, batch_id);
+                verdicts += 1;
+            }
+            ControlFrame::Summary {
+                batch_id: got_id,
+                summary,
+                ..
+            } => {
+                assert_eq!(got_id, batch_id);
+                return (summary, verdicts);
+            }
+            other => panic!("unexpected daemon frame: {other:?}"),
+        }
+    }
+}
+
+/// Run the warm-daemon vs cold-spin-up latency comparison.
+pub fn run(opts: &Options) {
+    println!("== audit daemon: warm service vs per-call pool spin-up ==\n");
+    let per_batch = opts.runs_or(16, 48);
+    let sanity = Sanity::new(echo_program());
+    let t0 = Instant::now();
+    let batches = build_batches(&sanity, per_batch);
+    println!(
+        "recorded {BATCHES} batches of {per_batch} echo sessions in {:.1}s\n",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let cfg = AuditConfig {
+        workers: WORKERS,
+        ..AuditConfig::default()
+    };
+
+    // Cold baseline: every batch pays worker spawn + cache build + pool
+    // teardown inside the one-shot entry point.
+    let mut cold_ms = Vec::with_capacity(BATCHES);
+    let mut cold_summaries = Vec::with_capacity(BATCHES);
+    for bytes in &batches {
+        let t = Instant::now();
+        let report = sanity.audit_stream(&bytes[..], &cfg).expect("audits");
+        cold_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        cold_summaries.push(report.summary);
+    }
+
+    // Warm daemon: one service, served over an in-memory duplex exactly
+    // as a socket transport would drive it.
+    let service = sanity
+        .audit_service()
+        .workers(WORKERS)
+        .build()
+        .expect("valid service configuration");
+    let (mut client, server) = duplex();
+    let server_thread = std::thread::spawn(move || {
+        let outcome = service.serve(&server, &server);
+        service.shutdown();
+        outcome
+    });
+
+    let mut warm_ms = Vec::with_capacity(BATCHES);
+    for (b, bytes) in batches.iter().enumerate() {
+        let t = Instant::now();
+        let (summary, verdicts) = roundtrip(&mut client, b as u64, bytes.clone());
+        warm_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(verdicts as u64, summary.sessions);
+        assert_eq!(
+            summary, cold_summaries[b],
+            "daemon summary must be byte-identical to the one-shot path"
+        );
+    }
+    ControlFrame::Shutdown.write_to(&mut client).expect("bye");
+    assert_eq!(
+        ControlFrame::read_from(&mut client)
+            .expect("ack decodes")
+            .expect("daemon acks"),
+        ControlFrame::ShutdownAck
+    );
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("daemon loop exits cleanly");
+
+    let cold_mean = cold_ms.iter().sum::<f64>() / BATCHES as f64;
+    let warm_mean = warm_ms.iter().sum::<f64>() / BATCHES as f64;
+    let ratio = warm_mean / cold_mean;
+    println!(" batch   cold (ms)   warm (ms)");
+    for b in 0..BATCHES {
+        println!("  {b:>4}   {:>9.2}   {:>9.2}", cold_ms[b], warm_ms[b]);
+    }
+    println!("\ncold mean {cold_mean:.2} ms, warm mean {warm_mean:.2} ms, warm/cold {ratio:.3}");
+    println!("(daemon summaries byte-identical to the one-shot path)");
+
+    let mut rows = String::new();
+    for b in 0..BATCHES {
+        let _ = write!(
+            rows,
+            "{}    {{\"batch\": {b}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}}}",
+            if rows.is_empty() { "" } else { ",\n" },
+            cold_ms[b],
+            warm_ms[b]
+        );
+    }
+    let json = format!(
+        "{{\n  \"batches\": {BATCHES},\n  \"sessions_per_batch\": {per_batch},\n  \
+         \"workers\": {WORKERS},\n  \"cold_mean_ms\": {cold_mean:.4},\n  \
+         \"warm_mean_ms\": {warm_mean:.4},\n  \"warm_cold_ratio\": {ratio:.4},\n  \
+         \"per_batch\": [\n{rows}\n  ]\n}}\n"
+    );
+    opts.write("BENCH_daemon.json", &json);
+}

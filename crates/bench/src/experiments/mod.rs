@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper artifact.
 
 pub mod ablation;
+pub mod daemon;
 pub mod fig2;
 pub mod fig3;
 pub mod fig6;

@@ -3,9 +3,10 @@
 //! The batch auditor's promise is that verdicts are worker-count
 //! independent, so the only thing more cores change is throughput. This
 //! experiment records a batch of NFS sessions once, then audits the same
-//! batch under increasing worker counts, reporting sessions/sec, speedup
-//! over one worker, and (as a cross-check) that every configuration
-//! produced identical verdicts.
+//! batch through warm `AuditService`s of increasing size (the pool spins
+//! up outside the timed region, so the sweep measures steady-state
+//! throughput), reporting sessions/sec, speedup over one worker, and (as
+//! a cross-check) that every configuration produced identical verdicts.
 //!
 //! With `--stream` the experiment instead compares ingest modes over the
 //! same TDRB bytes: materialized (decode the whole batch, then audit)
@@ -78,13 +79,22 @@ pub fn run(opts: &Options) {
     let mut baseline = 0.0f64;
     let mut reference_verdicts = None;
     for &workers in &counts {
-        let cfg = AuditConfig {
-            workers,
-            ..AuditConfig::default()
-        };
+        // The pool warm-up *and* the submission's one job-vector clone
+        // happen outside the timed region — the sweep measures the audit
+        // work itself, not thread spawn or memcpy.
+        let service = sanity
+            .audit_service()
+            .workers(workers)
+            .build()
+            .expect("valid service configuration");
+        let batch = jobs.clone();
         let t = Instant::now();
-        let report = sanity.audit_batch(&jobs, &cfg);
+        let report = service
+            .submit_batch_owned(batch)
+            .wait()
+            .expect("batch submissions cannot fail ingest");
         let secs = t.elapsed().as_secs_f64();
+        service.shutdown();
         let rate = jobs.len() as f64 / secs;
         if workers == 1 {
             baseline = secs;

@@ -16,6 +16,8 @@
 //! repro noise-vs-jitter  TDR noise floor vs WAN jitter (§6.9)
 //! repro pipeline         Batch-audit throughput: sessions/sec vs workers
 //! repro pipeline --stream  Streamed vs materialized ingest throughput
+//! repro daemon           Warm AuditService over the TDRC control plane
+//!                        vs cold per-call spin-up (BENCH_daemon.json)
 //! repro all              Everything above
 //! ```
 //!
@@ -30,7 +32,7 @@ use experiments::Options;
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|all> [--full] [--runs N] [--out DIR] [--stream]");
+        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|daemon|all> [--full] [--runs N] [--out DIR] [--stream]");
         std::process::exit(2);
     });
     let mut opts = Options::default();
@@ -71,6 +73,7 @@ fn main() {
         "fig8-fleet" => experiments::fig8_fleet::run(&opts),
         "noise-vs-jitter" => experiments::fig7::run_noise_vs_jitter(&opts),
         "pipeline" => experiments::pipeline::run(&opts),
+        "daemon" => experiments::daemon::run(&opts),
         "all" => {
             experiments::fig2::run(&opts);
             experiments::fig3::run(&opts);
@@ -83,6 +86,7 @@ fn main() {
             experiments::fig8_fleet::run(&opts);
             experiments::fig7::run_noise_vs_jitter(&opts);
             experiments::pipeline::run(&opts);
+            experiments::daemon::run(&opts);
         }
         other => {
             eprintln!("unknown experiment: {other}");

@@ -15,10 +15,15 @@
 //! * [`TimingAuditor`] — the covert-timing-channel detector built on TDR
 //!   (§5.3): replay the log with a known-good binary and flag any output
 //!   whose timing deviates beyond the TDR noise floor;
-//! * [`Sanity::audit_batch`] — the fleet-scale version of the detector:
-//!   shard a batch of recorded sessions across a worker pool
-//!   (`audit-pipeline`) and aggregate per-session verdicts into a fleet
-//!   summary;
+//! * [`Sanity::audit_service`] — the persistent, fleet-scale detector: a
+//!   builder for a long-lived [`audit_pipeline::AuditService`] whose
+//!   worker pool and reference caches stay warm across submissions, with
+//!   job tickets, a daemon loop over `ControlFrame`s, and optional
+//!   cross-batch battery retraining;
+//! * [`Sanity::audit_batch`] — the one-shot batch audit: shard a batch of
+//!   recorded sessions across a worker pool (`audit-pipeline`) and
+//!   aggregate per-session verdicts into a fleet summary (now a thin shim
+//!   over a temporary service, byte-identical to before);
 //! * [`Sanity::audit_stream`] — the same audit over a TDRB byte stream
 //!   from any `io::Read` source (file, socket, in-memory buffer), decoding
 //!   sessions lazily so a batch far larger than RAM audits in bounded
@@ -71,7 +76,8 @@ pub use sim_core;
 pub use vm;
 
 pub use audit_pipeline::{
-    AuditConfig, AuditJob, BatchReport, BatteryMode, IngestError, StreamReport,
+    AuditConfig, AuditJob, AuditService, BatchReport, BatchTicket, BatteryMode, ConfigError,
+    ControlFrame, IngestError, ServiceBuilder, StreamReport,
 };
 pub use detectors::{Detector, DetectorBattery, TraceView};
 
@@ -205,6 +211,26 @@ impl Sanity {
             files: self.files.clone(),
             battery: self.battery.clone(),
         }
+    }
+
+    /// Start configuring a persistent [`AuditService`] over this
+    /// (known-good) binary: the worker pool spawns once at `build()` and
+    /// its reference caches — and the trained battery, if one is attached
+    /// — stay warm across submissions. This is the continuous-auditing
+    /// entry point; [`Sanity::audit_batch`]/[`Sanity::audit_stream`] are
+    /// one-shot conveniences over a temporary service.
+    ///
+    /// ```no_run
+    /// # use sanity_tdr::{BatteryMode, Sanity};
+    /// # use workloads::scimark::Kernel;
+    /// # let sanity = Sanity::new(Kernel::Fft.program_small());
+    /// # let tdrb_bytes: Vec<u8> = Vec::new();
+    /// let service = sanity.audit_service().workers(8).build().unwrap();
+    /// let ticket = service.submit_stream(std::io::Cursor::new(tdrb_bytes)).unwrap();
+    /// let report = ticket.wait().unwrap();
+    /// ```
+    pub fn audit_service(&self) -> ServiceBuilder {
+        AuditService::builder(self.as_reference())
     }
 
     /// Batch audit (§5.3 at fleet scale): shard `jobs` across a worker

@@ -45,6 +45,14 @@ pub struct DetectorBattery {
     /// (in [`statistical`](Self::statistical) order), for z-normalizing
     /// the four incomparable score scales against each other.
     stat_baselines: Vec<ScoreBaseline>,
+    /// The training traces themselves, retained so the battery can be
+    /// *re*-trained incrementally: [`absorb`](Self::absorb) extends this
+    /// set and refits every member over it. Rides along in the serialized
+    /// state, so a shipped battery stays absorbable — which makes the
+    /// JSON form proportional to the training data, not just the fitted
+    /// parameters, and means pre-absorb JSON blobs (without this field)
+    /// no longer parse: retrain from the original traces to migrate.
+    training: Vec<Vec<u64>>,
     trained: bool,
 }
 
@@ -89,6 +97,40 @@ impl DetectorBattery {
             .collect()
     }
 
+    /// Traces in the current training set (original plus absorbed).
+    pub fn training_traces(&self) -> usize {
+        self.training.len()
+    }
+
+    /// Incrementally fold one clean trace into the battery: the observed
+    /// IPDs join the retained training set and every member — and the
+    /// statistical score baselines — is refit over the extended set. This
+    /// is the cross-batch retraining hook: a fleet pipeline absorbs each
+    /// batch's clean verdict traces so the baselines track the workload.
+    ///
+    /// Absorbing a trace with no observed IPDs is a no-op: the training
+    /// set, every trained parameter, and every future score are unchanged
+    /// bit for bit (an empty trace carries no timing evidence).
+    pub fn absorb(&mut self, trace: &TraceView<'_>) {
+        self.absorb_all(std::slice::from_ref(&trace.observed_ipds.to_vec()));
+    }
+
+    /// Fold many clean traces in at once: the non-empty traces join the
+    /// retained training set and every member is refit **once** over the
+    /// extended set. Because [`train`](Detector::train) derives all state
+    /// from the final set, this is bit-identical to absorbing the traces
+    /// one at a time — at one refit instead of one per trace, which is
+    /// what a pipeline retraining on a whole batch's clean verdicts
+    /// wants.
+    pub fn absorb_all(&mut self, traces: &[Vec<u64>]) {
+        if traces.iter().all(|t| t.is_empty()) {
+            return;
+        }
+        let mut training = std::mem::take(&mut self.training);
+        training.extend(traces.iter().filter(|t| !t.is_empty()).cloned());
+        self.train(&training);
+    }
+
     /// Serialize the trained state to JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("battery state serializes")
@@ -128,6 +170,7 @@ impl Detector for DetectorBattery {
                 }
             })
             .collect();
+        self.training = legit.to_vec();
         self.trained = true;
     }
 
@@ -252,6 +295,104 @@ mod tests {
         assert!(
             covert_z > legit_z + 1.0,
             "covert {covert_z} vs legit {legit_z}"
+        );
+    }
+
+    #[test]
+    fn absorb_of_nothing_is_a_no_op() {
+        let battery = DetectorBattery::trained(&training_set());
+        let mut absorbed = battery.clone();
+        absorbed.absorb(&TraceView::observed(&[]));
+        assert_eq!(absorbed.training_traces(), battery.training_traces());
+        let probe = legit_trace(33, 500);
+        let view = TraceView::observed(&probe);
+        let before = battery.score_all(&view);
+        let after = absorbed.score_all(&view);
+        for (name, score) in &before {
+            assert_eq!(
+                score.to_bits(),
+                after[name].to_bits(),
+                "{name} score perturbed by an empty absorb"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_extends_training_and_matches_batch_retrain() {
+        let base = training_set();
+        let extra = legit_trace(55, 600);
+
+        // Incremental: train on the base set, then absorb one more trace.
+        let mut incremental = DetectorBattery::trained(&base);
+        incremental.absorb(&TraceView::observed(&extra));
+        assert_eq!(incremental.training_traces(), base.len() + 1);
+
+        // Batch: train once on the extended set.
+        let mut extended = base.clone();
+        extended.push(extra.clone());
+        let batch = DetectorBattery::trained(&extended);
+
+        let probe = legit_trace(66, 500);
+        let view = TraceView::observed(&probe);
+        let a = incremental.score_all(&view);
+        let b = batch.score_all(&view);
+        for (name, score) in &a {
+            assert_eq!(
+                score.to_bits(),
+                b[name].to_bits(),
+                "{name}: absorb must equal retraining on the extended set"
+            );
+        }
+    }
+
+    #[test]
+    fn absorb_all_matches_one_at_a_time() {
+        let base = training_set();
+        let extras: Vec<Vec<u64>> = vec![
+            legit_trace(91, 400),
+            Vec::new(), // empty traces are skipped, not trained on
+            legit_trace(92, 500),
+        ];
+        let mut one_shot = DetectorBattery::trained(&base);
+        one_shot.absorb_all(&extras);
+        let mut stepwise = DetectorBattery::trained(&base);
+        for t in &extras {
+            stepwise.absorb(&TraceView::observed(t));
+        }
+        assert_eq!(one_shot.training_traces(), base.len() + 2);
+        assert_eq!(one_shot.training_traces(), stepwise.training_traces());
+        let probe = legit_trace(93, 300);
+        let view = TraceView::observed(&probe);
+        let a = one_shot.score_all(&view);
+        let b = stepwise.score_all(&view);
+        for (name, score) in &a {
+            assert_eq!(
+                score.to_bits(),
+                b[name].to_bits(),
+                "{name}: absorb_all must equal stepwise absorption"
+            );
+        }
+    }
+
+    #[test]
+    fn absorbed_battery_survives_json_roundtrip() {
+        let mut battery = DetectorBattery::trained(&training_set());
+        battery.absorb(&TraceView::observed(&legit_trace(77, 400)));
+        let back = DetectorBattery::from_json(&battery.to_json()).expect("parses");
+        assert_eq!(back.training_traces(), battery.training_traces());
+        // The retained training set must survive, so a further absorb on
+        // the deserialized battery equals one on the original.
+        let mut a = battery.clone();
+        let mut b = back;
+        let more = legit_trace(78, 400);
+        a.absorb(&TraceView::observed(&more));
+        b.absorb(&TraceView::observed(&more));
+        let probe = legit_trace(79, 300);
+        let view = TraceView::observed(&probe);
+        assert_eq!(
+            a.score(&view).to_bits(),
+            b.score(&view).to_bits(),
+            "absorb after roundtrip diverged"
         );
     }
 

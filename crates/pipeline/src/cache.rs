@@ -62,6 +62,25 @@ impl ReferenceCache {
         self.cycles_replayed
     }
 
+    /// Swap in the fleet's current trained battery (shared `Arc`).
+    ///
+    /// Persistent service workers outlive battery retraining: when
+    /// cross-batch absorption produces a new battery, each work item
+    /// carries the generation it was submitted under, and the worker
+    /// re-points its cache here — an `Arc` pointer compare, so the common
+    /// no-change case costs nothing and the rest of the warm cache
+    /// (program, machine, files) is untouched.
+    pub fn set_battery(&mut self, battery: Option<Arc<DetectorBattery>>) {
+        let unchanged = match (&self.battery, &battery) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        if !unchanged {
+            self.battery = battery;
+        }
+    }
+
     /// Run the audit replay for `log` under `seed` on the cached reference.
     pub fn replay(&mut self, log: &EventLog, seed: u64) -> Result<Recorded, SessionError> {
         let files = (*self.files).clone();

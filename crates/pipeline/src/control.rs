@@ -1,0 +1,837 @@
+//! The TDRC control plane: wire-serializable request/response frames for
+//! the audit daemon.
+//!
+//! [`ControlFrame`] is the message set a client and an
+//! [`crate::AuditService`] daemon exchange: submit a TDRB batch, stream
+//! back per-session verdicts, finish with a fleet summary (or an in-band
+//! error), shut down. Frames use the same conventions as the TDRL/TDRB
+//! formats — little-endian fixed-width integers, LEB128 varints, a `u32`
+//! length prefix, and a CRC-32 trailer over everything after the magic —
+//! so one set of framing helpers (`replay::stream`, `replay::codec::wire`)
+//! serves all three formats. The format is specified normatively in
+//! `docs/FORMATS.md` (§ "TDRC control frames"), with a worked example
+//! pinned byte-for-byte by `formats_md_control_frame_bytes_are_pinned`
+//! below.
+//!
+//! Scores travel as the 8 raw bytes of their IEEE-754 bit pattern, so a
+//! decoded verdict is **bit-identical** to the one the service produced —
+//! the control plane can never perturb a fleet report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use replay::codec::{wire, CodecError};
+use replay::stream::{read_full, read_length_prefix, StreamError};
+
+use crate::verdict::{AuditVerdict, DetectorStats, FleetSummary, ScoreHistogram, EDGES};
+
+/// Magic bytes opening every control frame's payload.
+pub const CONTROL_MAGIC: [u8; 4] = *b"TDRC";
+
+/// Current control-plane version.
+pub const CONTROL_VERSION: u16 = 1;
+
+/// Cap on a single control frame's declared length (bounded lookahead,
+/// like the TDRL frame bound): generous, because a `SubmitBatch` frame
+/// embeds a whole TDRB batch.
+pub const DEFAULT_MAX_CONTROL_FRAME: usize = 256 << 20;
+
+/// Control-plane protocol failure (transport- or frame-level; batch
+/// *content* failures travel in-band as [`ControlFrame::Error`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlError {
+    /// Input ended inside a frame (or its length prefix).
+    Truncated,
+    /// The payload does not open with `"TDRC"`.
+    BadMagic,
+    /// Newer or unknown control-plane version.
+    UnsupportedVersion(u16),
+    /// Nonzero flags in a version-1 frame.
+    UnsupportedFlags(u16),
+    /// The CRC-32 trailer does not match the payload.
+    BadChecksum {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the received payload.
+        computed: u32,
+    },
+    /// The kind byte names no known frame.
+    UnknownKind(u8),
+    /// A frame declared a length above the configured bound.
+    FrameTooLarge {
+        /// The declared frame length.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// A varint or length inside the body failed to decode.
+    Body(CodecError),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// A boolean byte is neither `00` nor `01`.
+    BadBool(u8),
+    /// Bytes remained in the payload after the body.
+    TrailingBytes(usize),
+    /// A syntactically valid frame arrived where the protocol does not
+    /// allow it (e.g. a response frame sent as a request).
+    UnexpectedFrame(&'static str),
+    /// The transport failed.
+    Io(io::ErrorKind, String),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::Truncated => write!(f, "control frame truncated"),
+            ControlError::BadMagic => write!(f, "bad magic (not a TDRC frame)"),
+            ControlError::UnsupportedVersion(v) => {
+                write!(f, "unsupported control-plane version {v}")
+            }
+            ControlError::UnsupportedFlags(x) => {
+                write!(f, "unsupported control-frame flags {x:#06x}")
+            }
+            ControlError::BadChecksum { stored, computed } => write!(
+                f,
+                "control frame checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            ControlError::UnknownKind(k) => write!(f, "unknown control-frame kind {k:#04x}"),
+            ControlError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "control frame of {len} bytes exceeds the {max}-byte bound"
+                )
+            }
+            ControlError::Body(e) => write!(f, "control-frame body failed to decode: {e}"),
+            ControlError::BadUtf8 => write!(f, "control-frame string is not valid UTF-8"),
+            ControlError::BadBool(b) => {
+                write!(f, "control-frame boolean must be 00 or 01, got {b:#04x}")
+            }
+            ControlError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes inside control frame")
+            }
+            ControlError::UnexpectedFrame(kind) => {
+                write!(f, "unexpected {kind} frame for this endpoint")
+            }
+            ControlError::Io(kind, msg) => write!(f, "transport failed ({kind:?}): {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+impl From<CodecError> for ControlError {
+    fn from(e: CodecError) -> Self {
+        match e {
+            CodecError::Truncated => ControlError::Truncated,
+            other => ControlError::Body(other),
+        }
+    }
+}
+
+impl ControlError {
+    pub(crate) fn from_io(e: io::Error) -> Self {
+        ControlError::Io(e.kind(), e.to_string())
+    }
+
+    fn from_stream(e: StreamError) -> Self {
+        match e {
+            StreamError::Io(kind, msg) => ControlError::Io(kind, msg),
+            StreamError::Codec(CodecError::Truncated) => ControlError::Truncated,
+            StreamError::Codec(other) => ControlError::Body(other),
+            StreamError::FrameTooLarge { len, max } => ControlError::FrameTooLarge { len, max },
+        }
+    }
+}
+
+/// Frame kind bytes (one per [`ControlFrame`] variant).
+mod kind {
+    pub const SUBMIT_BATCH: u8 = 0x01;
+    pub const VERDICT: u8 = 0x02;
+    pub const SUMMARY: u8 = 0x03;
+    pub const ERROR: u8 = 0x04;
+    pub const SHUTDOWN: u8 = 0x05;
+    pub const SHUTDOWN_ACK: u8 = 0x06;
+}
+
+/// One control-plane message.
+///
+/// `SubmitBatch` and `Shutdown` flow client → daemon; the rest flow
+/// daemon → client. Every variant encodes to one length-prefixed,
+/// CRC-guarded frame ([`encode`](Self::encode)) and round-trips
+/// bit-identically ([`decode_payload`](Self::decode_payload)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlFrame {
+    /// Client request: audit this TDRB batch. `batch_id` is an opaque
+    /// client-chosen correlation id echoed in every response frame.
+    SubmitBatch {
+        /// Client-chosen correlation id.
+        batch_id: u64,
+        /// A complete TDRB batch, verbatim.
+        tdrb: Vec<u8>,
+    },
+    /// Daemon response: one session's verdict. Emitted in submission
+    /// order (`index` is the zero-based position within the batch).
+    Verdict {
+        /// Correlation id of the originating request.
+        batch_id: u64,
+        /// Zero-based submission index within the batch.
+        index: u64,
+        /// The session's audit outcome, bit-exact.
+        verdict: AuditVerdict,
+    },
+    /// Daemon response terminating a successful batch.
+    Summary {
+        /// Correlation id of the originating request.
+        batch_id: u64,
+        /// Workers that served the batch.
+        workers: u64,
+        /// Peak resident sessions during streamed ingest.
+        peak_resident: u64,
+        /// The deterministic fleet-wide aggregation.
+        summary: FleetSummary,
+    },
+    /// Daemon response terminating a failed batch (the embedded TDRB was
+    /// malformed); the daemon itself stays up.
+    Error {
+        /// Correlation id of the originating request.
+        batch_id: u64,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// Client request: stop serving after acknowledging.
+    Shutdown,
+    /// Daemon response to [`Shutdown`](Self::Shutdown).
+    ShutdownAck,
+}
+
+impl ControlFrame {
+    /// The variant's wire kind byte.
+    fn kind_byte(&self) -> u8 {
+        match self {
+            ControlFrame::SubmitBatch { .. } => kind::SUBMIT_BATCH,
+            ControlFrame::Verdict { .. } => kind::VERDICT,
+            ControlFrame::Summary { .. } => kind::SUMMARY,
+            ControlFrame::Error { .. } => kind::ERROR,
+            ControlFrame::Shutdown => kind::SHUTDOWN,
+            ControlFrame::ShutdownAck => kind::SHUTDOWN_ACK,
+        }
+    }
+
+    /// The variant's display name (for protocol-violation errors).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ControlFrame::SubmitBatch { .. } => "SubmitBatch",
+            ControlFrame::Verdict { .. } => "Verdict",
+            ControlFrame::Summary { .. } => "Summary",
+            ControlFrame::Error { .. } => "Error",
+            ControlFrame::Shutdown => "Shutdown",
+            ControlFrame::ShutdownAck => "ShutdownAck",
+        }
+    }
+
+    /// Encode to one complete frame: `u32` length prefix, then the
+    /// payload (magic, version, flags, kind, body, CRC-32 trailer).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&CONTROL_MAGIC);
+        payload.extend_from_slice(&CONTROL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes()); // flags
+        payload.push(self.kind_byte());
+        self.put_body(&mut payload);
+        let crc = wire::crc32(&payload[CONTROL_MAGIC.len()..]);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        let mut out = Vec::with_capacity(payload.len() + 4);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn put_body(&self, out: &mut Vec<u8>) {
+        match self {
+            ControlFrame::SubmitBatch { batch_id, tdrb } => {
+                wire::put_varint(out, *batch_id);
+                wire::put_varint(out, tdrb.len() as u64);
+                out.extend_from_slice(tdrb);
+            }
+            ControlFrame::Verdict {
+                batch_id,
+                index,
+                verdict,
+            } => {
+                wire::put_varint(out, *batch_id);
+                wire::put_varint(out, *index);
+                put_verdict(out, verdict);
+            }
+            ControlFrame::Summary {
+                batch_id,
+                workers,
+                peak_resident,
+                summary,
+            } => {
+                wire::put_varint(out, *batch_id);
+                wire::put_varint(out, *workers);
+                wire::put_varint(out, *peak_resident);
+                put_summary(out, summary);
+            }
+            ControlFrame::Error { batch_id, message } => {
+                wire::put_varint(out, *batch_id);
+                put_string(out, message);
+            }
+            ControlFrame::Shutdown | ControlFrame::ShutdownAck => {}
+        }
+    }
+
+    /// Decode one frame payload (everything after the length prefix).
+    ///
+    /// Checks run in the normative order: magic, checksum, version,
+    /// flags, kind, body — and the body must consume the payload exactly.
+    pub fn decode_payload(payload: &[u8]) -> Result<Self, ControlError> {
+        // Smallest legal frame: magic + version + flags + kind + trailer.
+        if payload.len() < CONTROL_MAGIC.len() + 2 + 2 + 1 + 4 {
+            return Err(ControlError::Truncated);
+        }
+        if payload[..CONTROL_MAGIC.len()] != CONTROL_MAGIC {
+            return Err(ControlError::BadMagic);
+        }
+        let trailer_at = payload.len() - 4;
+        let stored = u32::from_le_bytes(payload[trailer_at..].try_into().expect("4 bytes"));
+        let computed = wire::crc32(&payload[CONTROL_MAGIC.len()..trailer_at]);
+        if stored != computed {
+            return Err(ControlError::BadChecksum { stored, computed });
+        }
+        let version = u16::from_le_bytes(payload[4..6].try_into().expect("2 bytes"));
+        if version != CONTROL_VERSION {
+            return Err(ControlError::UnsupportedVersion(version));
+        }
+        let flags = u16::from_le_bytes(payload[6..8].try_into().expect("2 bytes"));
+        if flags != 0 {
+            return Err(ControlError::UnsupportedFlags(flags));
+        }
+        let frame_kind = payload[8];
+        let body = &payload[9..trailer_at];
+        let mut pos = 0usize;
+        let frame = match frame_kind {
+            kind::SUBMIT_BATCH => {
+                let batch_id = wire::read_varint(body, &mut pos)?;
+                let len = wire::read_varint(body, &mut pos)? as usize;
+                let end = pos.checked_add(len).ok_or(ControlError::Truncated)?;
+                let tdrb = body.get(pos..end).ok_or(ControlError::Truncated)?.to_vec();
+                pos = end;
+                ControlFrame::SubmitBatch { batch_id, tdrb }
+            }
+            kind::VERDICT => {
+                let batch_id = wire::read_varint(body, &mut pos)?;
+                let index = wire::read_varint(body, &mut pos)?;
+                let verdict = read_verdict(body, &mut pos)?;
+                ControlFrame::Verdict {
+                    batch_id,
+                    index,
+                    verdict,
+                }
+            }
+            kind::SUMMARY => {
+                let batch_id = wire::read_varint(body, &mut pos)?;
+                let workers = wire::read_varint(body, &mut pos)?;
+                let peak_resident = wire::read_varint(body, &mut pos)?;
+                let summary = read_summary(body, &mut pos)?;
+                ControlFrame::Summary {
+                    batch_id,
+                    workers,
+                    peak_resident,
+                    summary,
+                }
+            }
+            kind::ERROR => {
+                let batch_id = wire::read_varint(body, &mut pos)?;
+                let message = read_string(body, &mut pos)?;
+                ControlFrame::Error { batch_id, message }
+            }
+            kind::SHUTDOWN => ControlFrame::Shutdown,
+            kind::SHUTDOWN_ACK => ControlFrame::ShutdownAck,
+            other => return Err(ControlError::UnknownKind(other)),
+        };
+        if pos != body.len() {
+            return Err(ControlError::TrailingBytes(body.len() - pos));
+        }
+        Ok(frame)
+    }
+
+    /// Write one encoded frame to `writer`.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<(), ControlError> {
+        writer
+            .write_all(&self.encode())
+            .map_err(ControlError::from_io)
+    }
+
+    /// Read one frame from `reader` with the default length bound.
+    ///
+    /// `Ok(None)` is clean end-of-stream at a frame boundary; EOF inside
+    /// a frame is [`ControlError::Truncated`].
+    pub fn read_from<R: Read>(reader: &mut R) -> Result<Option<Self>, ControlError> {
+        Self::read_from_bounded(reader, DEFAULT_MAX_CONTROL_FRAME)
+    }
+
+    /// [`read_from`](Self::read_from) with an explicit frame-length bound.
+    pub fn read_from_bounded<R: Read>(
+        reader: &mut R,
+        max_len: usize,
+    ) -> Result<Option<Self>, ControlError> {
+        let len = match read_length_prefix(reader).map_err(ControlError::from_stream)? {
+            None => return Ok(None),
+            Some(len) => len,
+        };
+        if len > max_len {
+            return Err(ControlError::FrameTooLarge { len, max: max_len });
+        }
+        let mut payload = vec![0u8; len];
+        let got = read_full(reader, &mut payload).map_err(ControlError::from_stream)?;
+        if got < len {
+            return Err(ControlError::Truncated);
+        }
+        Self::decode_payload(&payload).map(Some)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body field encodings
+// ---------------------------------------------------------------------------
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    wire::put_varint(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_string(buf: &[u8], pos: &mut usize) -> Result<String, ControlError> {
+    let len = wire::read_varint(buf, pos)? as usize;
+    let end = pos.checked_add(len).ok_or(ControlError::Truncated)?;
+    let bytes = buf.get(*pos..end).ok_or(ControlError::Truncated)?;
+    *pos = end;
+    String::from_utf8(bytes.to_vec()).map_err(|_| ControlError::BadUtf8)
+}
+
+fn put_verdict(out: &mut Vec<u8>, v: &AuditVerdict) {
+    wire::put_varint(out, v.session_id);
+    wire::put_f64(out, v.score);
+    out.push(v.flagged as u8);
+    wire::put_varint(out, v.tx_packets as u64);
+    wire::put_varint(out, v.replayed_cycles);
+    wire::put_varint(out, v.detector_scores.len() as u64);
+    for (name, &score) in &v.detector_scores {
+        put_string(out, name);
+        wire::put_f64(out, score);
+    }
+    match &v.error {
+        None => out.push(0),
+        Some(msg) => {
+            out.push(1);
+            put_string(out, msg);
+        }
+    }
+}
+
+fn read_bool(buf: &[u8], pos: &mut usize) -> Result<bool, ControlError> {
+    let byte = *buf.get(*pos).ok_or(ControlError::Truncated)?;
+    *pos += 1;
+    match byte {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(ControlError::BadBool(other)),
+    }
+}
+
+fn read_verdict(buf: &[u8], pos: &mut usize) -> Result<AuditVerdict, ControlError> {
+    let session_id = wire::read_varint(buf, pos)?;
+    let score = wire::read_f64(buf, pos)?;
+    let flagged = read_bool(buf, pos)?;
+    let tx_packets = wire::read_varint(buf, pos)? as usize;
+    let replayed_cycles = wire::read_varint(buf, pos)?;
+    let n_scores = wire::read_varint(buf, pos)? as usize;
+    let mut detector_scores = BTreeMap::new();
+    for _ in 0..n_scores {
+        let name = read_string(buf, pos)?;
+        let score = wire::read_f64(buf, pos)?;
+        detector_scores.insert(name, score);
+    }
+    let error = if read_bool(buf, pos)? {
+        Some(read_string(buf, pos)?)
+    } else {
+        None
+    };
+    Ok(AuditVerdict {
+        session_id,
+        score,
+        flagged,
+        tx_packets,
+        replayed_cycles,
+        detector_scores,
+        error,
+    })
+}
+
+fn put_summary(out: &mut Vec<u8>, s: &FleetSummary) {
+    wire::put_varint(out, s.sessions);
+    wire::put_varint(out, s.flagged.len() as u64);
+    for &id in &s.flagged {
+        wire::put_varint(out, id);
+    }
+    wire::put_varint(out, s.errors);
+    for &count in &s.histogram.counts {
+        wire::put_varint(out, count);
+    }
+    wire::put_f64(out, s.max_score);
+    wire::put_f64(out, s.mean_score);
+    wire::put_varint(out, s.replayed_cycles);
+    wire::put_varint(out, s.detector_stats.len() as u64);
+    for (name, stats) in &s.detector_stats {
+        put_string(out, name);
+        wire::put_f64(out, stats.mean);
+        wire::put_f64(out, stats.max);
+    }
+}
+
+fn read_summary(buf: &[u8], pos: &mut usize) -> Result<FleetSummary, ControlError> {
+    let sessions = wire::read_varint(buf, pos)?;
+    let n_flagged = wire::read_varint(buf, pos)? as usize;
+    // Bounded by what the body can possibly hold (each id is ≥ 1 byte),
+    // not by the equally attacker-controlled `sessions` count — a crafted
+    // frame must not drive the allocation below.
+    if n_flagged as u64 > sessions || n_flagged > buf.len().saturating_sub(*pos) {
+        return Err(ControlError::Body(CodecError::LengthOverflow));
+    }
+    let mut flagged = Vec::with_capacity(n_flagged);
+    for _ in 0..n_flagged {
+        flagged.push(wire::read_varint(buf, pos)?);
+    }
+    let errors = wire::read_varint(buf, pos)?;
+    let mut histogram = ScoreHistogram::default();
+    for slot in 0..EDGES.len() {
+        histogram.counts[slot] = wire::read_varint(buf, pos)?;
+    }
+    let max_score = wire::read_f64(buf, pos)?;
+    let mean_score = wire::read_f64(buf, pos)?;
+    let replayed_cycles = wire::read_varint(buf, pos)?;
+    let n_stats = wire::read_varint(buf, pos)? as usize;
+    let mut detector_stats = BTreeMap::new();
+    for _ in 0..n_stats {
+        let name = read_string(buf, pos)?;
+        let mean = wire::read_f64(buf, pos)?;
+        let max = wire::read_f64(buf, pos)?;
+        detector_stats.insert(name, DetectorStats { mean, max });
+    }
+    Ok(FleetSummary {
+        sessions,
+        flagged,
+        errors,
+        histogram,
+        max_score,
+        mean_score,
+        replayed_cycles,
+        detector_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_verdict() -> AuditVerdict {
+        AuditVerdict {
+            session_id: 7,
+            score: 0.5,
+            flagged: true,
+            tx_packets: 3,
+            replayed_cycles: 1000,
+            detector_scores: BTreeMap::new(),
+            error: None,
+        }
+    }
+
+    fn sample_summary() -> FleetSummary {
+        let verdicts = vec![
+            sample_verdict(),
+            AuditVerdict {
+                session_id: 9,
+                score: 0.001,
+                flagged: false,
+                tx_packets: 5,
+                replayed_cycles: 2_500,
+                detector_scores: [
+                    ("Sanity".to_string(), 0.001),
+                    ("Shape test".to_string(), -1.25),
+                ]
+                .into_iter()
+                .collect(),
+                error: None,
+            },
+            AuditVerdict {
+                session_id: 10,
+                score: 1.0,
+                flagged: true,
+                tx_packets: 0,
+                replayed_cycles: 0,
+                detector_scores: BTreeMap::new(),
+                error: Some("replay failed".to_string()),
+            },
+        ];
+        FleetSummary::from_verdicts(&verdicts)
+    }
+
+    fn every_frame() -> Vec<ControlFrame> {
+        vec![
+            ControlFrame::SubmitBatch {
+                batch_id: 42,
+                tdrb: vec![0x54, 0x44, 0x52, 0x42, 1, 0, 0, 0, 0],
+            },
+            ControlFrame::Verdict {
+                batch_id: 1,
+                index: 0,
+                verdict: sample_verdict(),
+            },
+            ControlFrame::Verdict {
+                batch_id: 1,
+                index: 2,
+                verdict: AuditVerdict {
+                    detector_scores: [
+                        ("Sanity".to_string(), f64::MIN_POSITIVE),
+                        ("CCE test".to_string(), -0.0),
+                    ]
+                    .into_iter()
+                    .collect(),
+                    error: Some("the replay diverged".to_string()),
+                    ..sample_verdict()
+                },
+            },
+            ControlFrame::Summary {
+                batch_id: 1,
+                workers: 4,
+                peak_resident: 8,
+                summary: sample_summary(),
+            },
+            ControlFrame::Error {
+                batch_id: 9,
+                message: "session 3 failed to decode: checksum mismatch".to_string(),
+            },
+            ControlFrame::Shutdown,
+            ControlFrame::ShutdownAck,
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips_bit_identically() {
+        for frame in every_frame() {
+            let bytes = frame.encode();
+            let back = ControlFrame::read_from(&mut &bytes[..])
+                .expect("decodes")
+                .expect("one frame");
+            assert_eq!(back, frame);
+            // Scores must survive bit-for-bit, not just PartialEq (which
+            // would conflate 0.0 and -0.0).
+            if let (
+                ControlFrame::Verdict { verdict: a, .. },
+                ControlFrame::Verdict { verdict: b, .. },
+            ) = (&frame, &back)
+            {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                for (name, score) in &a.detector_scores {
+                    assert_eq!(score.to_bits(), b.detector_scores[name].to_bits());
+                }
+            }
+            // Re-encoding the decoded frame is byte-identical.
+            assert_eq!(back.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn frame_stream_concatenates() {
+        let frames = every_frame();
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            bytes.extend_from_slice(&frame.encode());
+        }
+        let mut src = &bytes[..];
+        let mut decoded = Vec::new();
+        while let Some(frame) = ControlFrame::read_from(&mut src).expect("decodes") {
+            decoded.push(frame);
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let bytes = ControlFrame::Summary {
+            batch_id: 1,
+            workers: 2,
+            peak_resident: 4,
+            summary: sample_summary(),
+        }
+        .encode();
+        for cut in [1, 3, 5, 9, bytes.len() / 2, bytes.len() - 1] {
+            let got = ControlFrame::read_from(&mut &bytes[..cut]);
+            assert_eq!(got, Err(ControlError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_rejected_by_crc() {
+        let clean = ControlFrame::Verdict {
+            batch_id: 3,
+            index: 1,
+            verdict: sample_verdict(),
+        }
+        .encode();
+        // Flip every byte after the length prefix and magic in turn; each
+        // flip must surface as *some* typed error, and a flip in the body
+        // or trailer must never decode silently.
+        for at in 8..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[at] ^= 0x40;
+            let got = ControlFrame::read_from(&mut &corrupt[..]);
+            assert!(got.is_err(), "flip at {at} decoded: {got:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_version_and_flags_rejected() {
+        let clean = ControlFrame::Shutdown.encode();
+        // Version and flags live at payload offsets 4/6 = frame offsets
+        // 8/10. The CRC covers them, so re-seal the trailer after
+        // patching to prove the *version* check fires, not the checksum.
+        for (at, expect) in [
+            (8usize, ControlError::UnsupportedVersion(9)),
+            (10, ControlError::UnsupportedFlags(9)),
+        ] {
+            let mut patched = clean.clone();
+            patched[at] = 9;
+            let n = patched.len();
+            let crc = wire::crc32(&patched[8..n - 4]);
+            patched[n - 4..].copy_from_slice(&crc.to_le_bytes());
+            let got = ControlFrame::read_from(&mut &patched[..]);
+            assert_eq!(got, Err(expect), "patch at {at}");
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut bytes = ControlFrame::Shutdown.encode();
+        bytes[12] = 0x7f; // kind byte (4-byte prefix + magic + ver + flags)
+        let n = bytes.len();
+        let crc = wire::crc32(&bytes[8..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ControlFrame::read_from(&mut &bytes[..]),
+            Err(ControlError::UnknownKind(0x7f))
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = ControlFrame::Shutdown.encode();
+        bytes[5] = b'X';
+        assert_eq!(
+            ControlFrame::read_from(&mut &bytes[..]),
+            Err(ControlError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_inside_payload_rejected() {
+        // A Shutdown body must be empty; splice a byte in and re-seal.
+        let mut bytes = ControlFrame::Shutdown.encode();
+        let n = bytes.len();
+        bytes.insert(n - 4, 0xaa); // before the trailer
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        let m = bytes.len();
+        let crc = wire::crc32(&bytes[8..m - 4]);
+        bytes[m - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ControlFrame::read_from(&mut &bytes[..]),
+            Err(ControlError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn oversized_frame_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            ControlFrame::read_from_bounded(&mut &bytes[..], 1 << 16),
+            Err(ControlError::FrameTooLarge {
+                len: u32::MAX as usize,
+                max: 1 << 16
+            })
+        );
+    }
+
+    #[test]
+    fn summary_flagged_count_is_bounded() {
+        // A summary claiming more flagged sessions than the sessions
+        // count — or than the body could possibly hold — must be rejected
+        // as length overflow, not trusted with an allocation. The second
+        // case matters on its own: `sessions` is attacker-controlled too,
+        // so the body length is the only trustworthy bound.
+        for sessions in [2u64, u64::MAX >> 2] {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&CONTROL_MAGIC);
+            payload.extend_from_slice(&CONTROL_VERSION.to_le_bytes());
+            payload.extend_from_slice(&0u16.to_le_bytes());
+            payload.push(kind::SUMMARY);
+            wire::put_varint(&mut payload, 1); // batch_id
+            wire::put_varint(&mut payload, 1); // workers
+            wire::put_varint(&mut payload, 1); // peak
+            wire::put_varint(&mut payload, sessions);
+            wire::put_varint(&mut payload, u64::MAX >> 2); // preposterous flagged count
+            let crc = wire::crc32(&payload[4..]);
+            payload.extend_from_slice(&crc.to_le_bytes());
+            assert_eq!(
+                ControlFrame::decode_payload(&payload),
+                Err(ControlError::Body(CodecError::LengthOverflow)),
+                "sessions = {sessions}"
+            );
+        }
+    }
+
+    /// Pins the worked example in `docs/FORMATS.md` (§ "TDRC control
+    /// frames") byte for byte. If this fails, the spec and the code have
+    /// diverged — fix whichever is wrong, never both silently.
+    #[test]
+    fn formats_md_control_frame_bytes_are_pinned() {
+        let frame = ControlFrame::Verdict {
+            batch_id: 1,
+            index: 0,
+            verdict: AuditVerdict {
+                session_id: 7,
+                score: 0.5,
+                flagged: true,
+                tx_packets: 3,
+                replayed_cycles: 1000,
+                detector_scores: BTreeMap::new(),
+                error: None,
+            },
+        };
+        let expected: Vec<u8> = vec![
+            0x1e, 0x00, 0x00, 0x00, // length prefix = 30
+            0x54, 0x44, 0x52, 0x43, // magic "TDRC"
+            0x01, 0x00, // version = 1
+            0x00, 0x00, // flags = 0
+            0x02, // kind = Verdict
+            0x01, // batch_id = 1
+            0x00, // index = 0
+            0x07, // session_id = 7
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xe0, 0x3f, // score = 0.5
+            0x01, // flagged = true
+            0x03, // tx_packets = 3
+            0xe8, 0x07, // replayed_cycles = 1000
+            0x00, // detector-score count = 0
+            0x00, // no error
+            0x07, 0x5c, 0xf1, 0xe1, // CRC-32 of payload[4..26]
+        ];
+        assert_eq!(frame.encode(), expected);
+        assert_eq!(
+            ControlFrame::decode_payload(&expected[4..]).expect("decodes"),
+            frame
+        );
+    }
+}

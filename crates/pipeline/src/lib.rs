@@ -44,8 +44,10 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod control;
 pub mod ingest;
 pub mod pool;
+pub mod service;
 pub mod verdict;
 
 use std::sync::Arc;
@@ -56,9 +58,11 @@ use replay::EventLog;
 use vm::VmConfig;
 
 pub use cache::ReferenceCache;
+pub use control::{ControlError, ControlFrame};
 pub use detectors::DetectorBattery;
 pub use ingest::{BatchStream, IngestError};
 pub use pool::{audit_batch, audit_batch_streaming, audit_stream, BatchReport, StreamReport};
+pub use service::{AuditService, BatchTicket, ServiceBuilder};
 pub use verdict::{AuditVerdict, DetectorStats, FleetSummary, ScoreHistogram};
 
 /// The reference environment sessions are audited against: the known-good
@@ -190,7 +194,56 @@ impl Default for AuditConfig {
     }
 }
 
+/// A structurally invalid [`AuditConfig`], rejected at service
+/// construction.
+///
+/// The one-shot entry points historically resolved `0` values through
+/// [`AuditConfig::resolved_workers`]/[`AuditConfig::resolved_high_water`]
+/// deep inside the pool; the service API resolves once at the front door
+/// instead and rejects configurations that would otherwise silently fall
+/// back ([`service::ServiceBuilder::build`] calls
+/// [`AuditConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `workers == 0` reached service construction. The one-shot shims
+    /// resolve `0` to the core count before building; a service must be
+    /// given an explicit positive worker count.
+    ZeroWorkers,
+    /// `high_water == 0` reached service construction: a zero residency
+    /// bound would deadlock the streaming feeder.
+    ZeroHighWater,
+    /// [`BatteryMode::Full`] was requested but no trained battery is
+    /// attached to the reference.
+    MissingBattery,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWorkers => write!(f, "workers must be positive (0 is not resolved at service construction; use ServiceBuilder::workers or AuditConfig::resolved_workers)"),
+            ConfigError::ZeroHighWater => write!(f, "high_water must be positive (a zero residency bound would deadlock streaming ingest)"),
+            ConfigError::MissingBattery => write!(f, "BatteryMode::Full needs a trained battery on the Reference (Reference::with_battery)"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl AuditConfig {
+    /// Check this configuration is structurally valid for service
+    /// construction: every knob explicit, nothing left to the `resolved_*`
+    /// fallbacks. Battery availability is checked separately by the
+    /// builder (it lives on the [`Reference`], not here).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.high_water == 0 {
+            return Err(ConfigError::ZeroHighWater);
+        }
+        Ok(())
+    }
+
     /// The per-session replay seed: a SplitMix64-style mix of the batch
     /// seed and the session id, so sessions are decorrelated but the
     /// mapping is stable across runs and worker counts.

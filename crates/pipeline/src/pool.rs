@@ -1,30 +1,34 @@
-//! The sharded worker pool.
+//! The one-shot audit entry points (thin shims over a temporary
+//! [`AuditService`]).
 //!
 //! Two consumption modes share one audit core:
 //!
-//! * [`audit_batch`] — a materialized `&[AuditJob]` is fanned out to
-//!   `workers` threads over a shared atomic cursor (cheap dynamic load
-//!   balancing: audit replays vary wildly in length, so static striping
-//!   would leave cores idle behind one long session);
+//! * [`audit_batch`] — a materialized `&[AuditJob]` fanned out across
+//!   workers;
 //! * [`audit_stream`] — a pull-based session iterator (normally a
-//!   [`crate::ingest::BatchStream`] over a file or socket) is consumed
-//!   through a bounded channel with backpressure: decode of the next
-//!   session waits until the number of sessions resident (decoded but not
-//!   yet audited) drops below a high-water mark, so a terabyte batch
-//!   audits in the memory of [`AuditConfig::high_water`] sessions.
+//!   [`crate::ingest::BatchStream`] over a file or socket) consumed under
+//!   backpressure: decode of the next session waits until the number of
+//!   sessions resident (decoded but not yet audited) drops below
+//!   [`AuditConfig::high_water`], so a terabyte batch audits in bounded
+//!   memory.
 //!
-//! In both modes workers stream `(index, verdict)` pairs back over an mpsc
-//! channel; the caller re-orders them by submission index, so the output is
-//! independent of scheduling — the streamed and materialized paths produce
-//! byte-identical verdicts and summaries for the same input bytes.
-//!
-//! Only `std` is used: threads, channels, atomics, condvars.
+//! Since the service refactor these functions spin up a **temporary**
+//! [`AuditService`] (spawn workers, audit one submission, shut down) —
+//! anything auditing continuously should hold a service and keep its
+//! worker pool and caches warm across submissions instead. The shims are
+//! pinned byte-identical to the pre-service implementations: a verdict
+//! depends only on the job, the configuration, and the session seed, so
+//! pool lifetime is unobservable in the output. One cost is *not*
+//! identical: persistent workers are `'static`, so [`audit_batch`] clones
+//! the job slice once (the old scoped threads borrowed it) — callers who
+//! own their jobs and care should hold a service and use
+//! `submit_batch_owned`. The legacy `0` fallbacks
+//! ([`AuditConfig::resolved_workers`] / `resolved_high_water`) are
+//! resolved *here*, at the entry point — the service itself rejects zero
+//! values with a typed [`crate::ConfigError`].
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-
-use crate::cache::ReferenceCache;
 use crate::ingest::IngestError;
+use crate::service::AuditService;
 use crate::verdict::{AuditVerdict, FleetSummary};
 use crate::{AuditConfig, AuditJob, BatteryMode, Reference};
 
@@ -52,6 +56,21 @@ pub struct BatchReport {
     pub workers: usize,
 }
 
+/// Everything a streamed audit produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReport {
+    /// One verdict per streamed session, in stream order.
+    pub verdicts: Vec<AuditVerdict>,
+    /// Deterministic fleet-wide aggregation — byte-identical to what
+    /// [`audit_batch`] produces for the same sessions.
+    pub summary: FleetSummary,
+    /// Workers that actually ran.
+    pub workers: usize,
+    /// The most sessions ever resident at once (decoded, not yet audited).
+    /// Never exceeds [`AuditConfig::high_water`].
+    pub peak_resident: usize,
+}
+
 /// Audit a batch of sessions against `reference` (see
 /// [`audit_batch_streaming`] for the verdict-streaming variant).
 pub fn audit_batch(reference: &Reference, jobs: &[AuditJob], cfg: &AuditConfig) -> BatchReport {
@@ -69,106 +88,21 @@ pub fn audit_batch_streaming(
 ) -> BatchReport {
     check_battery_config(reference, cfg);
     let workers = cfg.resolved_workers().min(jobs.len()).max(1);
-    let cursor = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, AuditVerdict)>();
-
-    let mut slots: Vec<Option<AuditVerdict>> = (0..jobs.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let tx = tx.clone();
-            let cursor = &cursor;
-            std::thread::Builder::new()
-                .name(format!("audit-worker-{w}"))
-                .spawn_scoped(scope, move || {
-                    let mut cache = ReferenceCache::new(reference);
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(job) = jobs.get(i) else { break };
-                        let verdict = cache.audit(job, cfg);
-                        if tx.send((i, verdict)).is_err() {
-                            break;
-                        }
-                    }
-                })
-                .expect("spawn audit worker");
-        }
-        drop(tx);
-        for (i, verdict) in rx {
-            on_verdict(i, &verdict);
-            slots[i] = Some(verdict);
-        }
-    });
-
-    let verdicts: Vec<AuditVerdict> = slots
-        .into_iter()
-        .map(|s| s.expect("every job produces a verdict"))
-        .collect();
-    let summary = FleetSummary::from_verdicts(&verdicts);
-    BatchReport {
-        verdicts,
-        summary,
-        workers,
+    let service = AuditService::builder(reference.clone())
+        .config(AuditConfig {
+            workers,
+            high_water: cfg.resolved_high_water(),
+            ..*cfg
+        })
+        .build()
+        .expect("resolved one-shot config is valid");
+    let mut ticket = service.submit_batch(jobs);
+    while let Some((index, verdict)) = ticket.recv() {
+        on_verdict(index, &verdict);
     }
-}
-
-/// Everything a streamed audit produces.
-#[derive(Debug, Clone, PartialEq)]
-pub struct StreamReport {
-    /// One verdict per streamed session, in stream order.
-    pub verdicts: Vec<AuditVerdict>,
-    /// Deterministic fleet-wide aggregation — byte-identical to what
-    /// [`audit_batch`] produces for the same sessions.
-    pub summary: FleetSummary,
-    /// Workers that actually ran.
-    pub workers: usize,
-    /// The most sessions ever resident at once (decoded, not yet audited).
-    /// Never exceeds [`AuditConfig::high_water`].
-    pub peak_resident: usize,
-}
-
-/// Counting gate bounding the resident-session set; blocks the decode side
-/// when `resident == cap` and records the high-water mark actually reached.
-struct ResidencyGate {
-    state: Mutex<(usize, usize)>, // (resident, peak)
-    freed: Condvar,
-}
-
-impl ResidencyGate {
-    fn new() -> Self {
-        ResidencyGate {
-            state: Mutex::new((0, 0)),
-            freed: Condvar::new(),
-        }
-    }
-
-    /// Block until a residency slot is free, then claim it. The slot is
-    /// speculative until [`commit`](Self::commit): the feeder claims before
-    /// pulling, but the pull may yield end-of-stream instead of a session.
-    fn acquire(&self, cap: usize) {
-        let mut s = self.state.lock().expect("gate lock");
-        while s.0 >= cap {
-            s = self.freed.wait(s).expect("gate wait");
-        }
-        s.0 += 1;
-    }
-
-    /// Record the claimed slot as a real resident session (peak tracking).
-    fn commit(&self) {
-        let mut s = self.state.lock().expect("gate lock");
-        s.1 = s.1.max(s.0);
-    }
-
-    /// Release a residency slot (the session was audited and dropped).
-    fn release(&self) {
-        let mut s = self.state.lock().expect("gate lock");
-        s.0 -= 1;
-        self.freed.notify_one();
-        drop(s);
-    }
-
-    fn peak(&self) -> usize {
-        self.state.lock().expect("gate lock").1
-    }
+    let report = ticket.wait().expect("batch submissions cannot fail ingest");
+    service.shutdown();
+    report
 }
 
 /// Audit a stream of sessions against `reference` in bounded memory.
@@ -200,88 +134,22 @@ where
     let high_water = cfg.resolved_high_water();
     // More workers than residency slots could never all be busy.
     let workers = cfg.resolved_workers().min(high_water).max(1);
-    let gate = ResidencyGate::new();
-    // The channel is bounded too, but the gate is the real backpressure:
-    // it admits at most `high_water` decoded-but-unaudited sessions, so
-    // sends below never block for long.
-    let (job_tx, job_rx) = mpsc::sync_channel::<(usize, AuditJob)>(high_water);
-    let job_rx = Arc::new(Mutex::new(job_rx));
-    let (verdict_tx, verdict_rx) = mpsc::channel::<(usize, AuditVerdict)>();
-
-    let mut stream_error = None;
-    let mut collected: Vec<(usize, AuditVerdict)> = Vec::new();
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let verdict_tx = verdict_tx.clone();
-            let job_rx = Arc::clone(&job_rx);
-            let gate = &gate;
-            std::thread::Builder::new()
-                .name(format!("audit-stream-worker-{w}"))
-                .spawn_scoped(scope, move || {
-                    let mut cache = ReferenceCache::new(reference);
-                    loop {
-                        // Hold the lock only for the receive, not the audit.
-                        let msg = job_rx.lock().expect("job queue lock").recv();
-                        let Ok((i, job)) = msg else { break };
-                        let verdict = cache.audit(&job, cfg);
-                        drop(job);
-                        gate.release();
-                        if verdict_tx.send((i, verdict)).is_err() {
-                            break;
-                        }
-                    }
-                })
-                .expect("spawn audit stream worker");
-        }
-        drop(verdict_tx);
-
-        let mut submitted = 0usize;
-        let mut iter = sessions.into_iter();
-        loop {
-            // Claim a residency slot *before* decoding the next session:
-            // the pull itself is what materializes it.
-            gate.acquire(high_water);
-            match iter.next() {
-                Some(Ok(job)) => {
-                    gate.commit();
-                    job_tx
-                        .send((submitted, job))
-                        .expect("workers outlive the feed");
-                    submitted += 1;
-                }
-                Some(Err(e)) => {
-                    gate.release();
-                    stream_error = Some(e);
-                    break;
-                }
-                None => {
-                    gate.release();
-                    break;
-                }
-            }
-        }
-        drop(job_tx);
-        for pair in verdict_rx.iter() {
-            collected.push(pair);
-        }
-    });
-
-    if let Some(e) = stream_error {
-        return Err(e);
-    }
-    collected.sort_by_key(|&(i, _)| i);
-    let verdicts: Vec<AuditVerdict> = collected.into_iter().map(|(_, v)| v).collect();
-    let summary = FleetSummary::from_verdicts(&verdicts);
-    Ok(StreamReport {
-        verdicts,
-        summary,
-        workers,
-        peak_resident: gate.peak(),
-    })
+    let service = AuditService::builder(reference.clone())
+        .config(AuditConfig {
+            workers,
+            high_water,
+            ..*cfg
+        })
+        .build()
+        .expect("resolved one-shot config is valid");
+    let report = service.run_stream(sessions);
+    service.shutdown();
+    report
 }
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
     use jbc::hll::{dsl::*, HTy, Module};
@@ -458,6 +326,7 @@ mod tests {
         let report = audit_batch(&Reference::new(program), &[], &AuditConfig::default());
         assert!(report.verdicts.is_empty());
         assert_eq!(report.summary.sessions, 0);
+        assert_eq!(report.workers, 1);
     }
 
     #[test]

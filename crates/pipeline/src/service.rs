@@ -1,0 +1,1380 @@
+//! The persistent audit service: a warmed worker pool behind job tickets.
+//!
+//! The one-shot entry points in [`crate::pool`] spawn scoped worker
+//! threads, build per-worker [`ReferenceCache`]s from scratch, audit one
+//! batch, and tear everything down. A fleet operator auditing traffic
+//! continuously (the deployment of Aviram et al. and Deterland) pays that
+//! spin-up on every batch. [`AuditService`] pays it **once**:
+//!
+//! * [`AuditService::builder`] validates the configuration up front
+//!   ([`AuditConfig::validate`] — zero workers or a zero high-water mark
+//!   are typed [`ConfigError`]s, not silent fallbacks) and spawns the
+//!   worker pool at `build()`. Each worker owns a warm [`ReferenceCache`]
+//!   for the service's lifetime.
+//! * [`AuditService::submit_batch`] / [`AuditService::submit_stream`]
+//!   enqueue work and return a [`BatchTicket`] immediately. The ticket
+//!   yields per-session verdicts as they arrive
+//!   ([`BatchTicket::recv`]) and a final deterministic report
+//!   ([`BatchTicket::wait`] / [`BatchTicket::wait_stream`]). Dropping a
+//!   ticket cancels its not-yet-audited sessions.
+//! * [`AuditService::serve`] is the daemon loop: [`crate::control`]
+//!   frames in, verdict/summary frames out, over any `Read + Write` pair
+//!   (a socket, or the in-memory [`duplex`] used by the tests and
+//!   `repro daemon`).
+//!
+//! ## Idle/shutdown protocol
+//!
+//! Idle workers park in a blocking receive on the shared job channel —
+//! no spinning, no polling. [`AuditService::shutdown`] (and `Drop`)
+//! closes the channel; workers drain every job already queued — in-flight
+//! tickets still complete — and then exit, and shutdown joins them.
+//! Cancellation is per-ticket: a dropped ticket flips a shared flag and
+//! workers skip its remaining sessions without auditing them.
+//!
+//! Determinism is unchanged from the one-shot paths: a verdict depends
+//! only on the job, the service configuration, and the session seed —
+//! never on pool temperature. The one-shot entry points are now thin
+//! shims over a temporary service, and the test suite pins warm-service
+//! resubmission byte-identical to fresh one-shot calls.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use detectors::DetectorBattery;
+
+use crate::cache::ReferenceCache;
+use crate::control::{ControlError, ControlFrame};
+use crate::ingest::{BatchStream, IngestError};
+use crate::pool::{BatchReport, StreamReport};
+use crate::verdict::{AuditVerdict, FleetSummary};
+use crate::{AuditConfig, AuditJob, BatteryMode, ConfigError, Reference};
+
+// ---------------------------------------------------------------------------
+// Residency gate (streaming backpressure)
+// ---------------------------------------------------------------------------
+
+/// Counting gate bounding the resident-session set; blocks the decode side
+/// when `resident == cap` and records the high-water mark actually reached.
+struct ResidencyGate {
+    state: Mutex<(usize, usize)>, // (resident, peak)
+    freed: Condvar,
+}
+
+impl ResidencyGate {
+    fn new() -> Self {
+        ResidencyGate {
+            state: Mutex::new((0, 0)),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Block until a residency slot is free, then claim it. The slot is
+    /// speculative until [`commit`](Self::commit): the feeder claims before
+    /// pulling, but the pull may yield end-of-stream instead of a session.
+    fn acquire(&self, cap: usize) {
+        let mut s = self.state.lock().expect("gate lock");
+        while s.0 >= cap {
+            s = self.freed.wait(s).expect("gate wait");
+        }
+        s.0 += 1;
+    }
+
+    /// Record the claimed slot as a real resident session (peak tracking).
+    fn commit(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        s.1 = s.1.max(s.0);
+    }
+
+    /// Release a residency slot (the session was audited and dropped).
+    fn release(&self) {
+        let mut s = self.state.lock().expect("gate lock");
+        s.0 -= 1;
+        self.freed.notify_one();
+        drop(s);
+    }
+
+    fn peak(&self) -> usize {
+        self.state.lock().expect("gate lock").1
+    }
+}
+
+/// Most clean traces one *streamed* batch may contribute to cross-batch
+/// retraining ([`ServiceBuilder::retrain_on_clean`]): streamed ingest
+/// promises memory bounded by the high-water mark, so the retraining
+/// capture cannot be allowed to grow with the batch.
+pub const RETRAIN_CAPTURE_CAP: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Work items and worker threads
+// ---------------------------------------------------------------------------
+
+/// Where a work item's job lives: batch submissions share one `Arc`'d
+/// vector (one clone of the slice total, not one per worker), streamed
+/// sessions are owned (they exist one at a time by design).
+enum JobSource {
+    Shared(Arc<Vec<AuditJob>>, usize),
+    Owned(Box<AuditJob>),
+}
+
+impl JobSource {
+    fn job(&self) -> &AuditJob {
+        match self {
+            JobSource::Shared(jobs, i) => &jobs[*i],
+            JobSource::Owned(job) => job,
+        }
+    }
+}
+
+/// One session queued for a worker.
+struct WorkItem {
+    /// Submission index within its batch (verdict ordering key).
+    index: usize,
+    source: JobSource,
+    /// Battery generation this item was submitted under (see
+    /// [`ReferenceCache::set_battery`]).
+    battery: Option<Arc<DetectorBattery>>,
+    /// Ticket-wide cancellation flag: set → skip the audit entirely.
+    cancelled: Arc<AtomicBool>,
+    /// Residency slot to release after the audit (stream mode only).
+    gate: Option<Arc<ResidencyGate>>,
+    /// Where the verdict goes (the ticket's receiver).
+    sink: mpsc::Sender<(usize, AuditVerdict)>,
+}
+
+/// State shared by the service handle, its workers, and its tickets.
+struct Shared {
+    reference: Reference,
+    cfg: AuditConfig,
+    /// Current battery generation. Starts as `reference.battery`; swapped
+    /// by cross-batch retraining ([`ServiceBuilder::retrain_on_clean`]).
+    battery: Mutex<Option<Arc<DetectorBattery>>>,
+    retrain_on_clean: bool,
+    sessions_audited: AtomicU64,
+    batches_submitted: AtomicU64,
+}
+
+/// Releases a claimed residency slot on drop — **including unwind**. If a
+/// worker panics mid-audit, the slot must not leak: a leaked slot would
+/// wedge the streaming feeder in `gate.acquire` forever, turning a worker
+/// death into a silent hang instead of the loud short-verdict-set failure
+/// `BatchTicket::finish` raises.
+struct SlotGuard(Option<Arc<ResidencyGate>>);
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        if let Some(gate) = self.0.take() {
+            gate.release();
+        }
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<WorkItem>>>) {
+    let mut cache = ReferenceCache::new(&shared.reference);
+    loop {
+        // Hold the lock only for the receive, not the audit. An idle
+        // worker parks here; a closed channel is the shutdown signal.
+        let item = { rx.lock().expect("job queue lock").recv() };
+        let Ok(item) = item else { break };
+        let WorkItem {
+            index,
+            source,
+            battery,
+            cancelled,
+            gate,
+            sink,
+        } = item;
+        let slot = SlotGuard(gate);
+        if cancelled.load(Ordering::Relaxed) {
+            drop(source);
+            drop(slot);
+            continue;
+        }
+        cache.set_battery(battery);
+        let verdict = cache.audit(source.job(), &shared.cfg);
+        drop(source);
+        drop(slot);
+        shared.sessions_audited.fetch_add(1, Ordering::Relaxed);
+        // A dropped ticket is not an error: the verdict is simply unwanted.
+        let _ = sink.send((index, verdict));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Configures and spawns an [`AuditService`].
+///
+/// Defaults: one worker per available core, the default high-water mark,
+/// TDR-only scoring, and no cross-batch retraining. Unlike the one-shot
+/// [`AuditConfig`], `0` is **not** a magic value here — `build()` returns
+/// a typed [`ConfigError`] for zero workers or a zero high-water mark.
+#[derive(Debug, Clone)]
+pub struct ServiceBuilder {
+    reference: Reference,
+    cfg: AuditConfig,
+    retrain_on_clean: bool,
+}
+
+impl ServiceBuilder {
+    /// Worker threads to keep warm (must be positive).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// Streaming residency bound (must be positive).
+    pub fn high_water(mut self, w: usize) -> Self {
+        self.cfg.high_water = w;
+        self
+    }
+
+    /// Which detectors score each session. [`BatteryMode::Full`] requires
+    /// a trained battery on the reference (or via
+    /// [`trained_battery`](Self::trained_battery)).
+    pub fn battery(mut self, mode: BatteryMode) -> Self {
+        self.cfg.battery = mode;
+        self
+    }
+
+    /// Attach a trained battery to the service's reference (equivalent to
+    /// building the [`Reference`] with [`Reference::with_battery`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the battery is untrained, like
+    /// [`Reference::with_battery`].
+    pub fn trained_battery(mut self, battery: DetectorBattery) -> Self {
+        self.reference = self.reference.with_battery(battery);
+        self
+    }
+
+    /// TDR flagging threshold (default 2%).
+    pub fn threshold(mut self, t: f64) -> Self {
+        self.cfg.threshold = t;
+        self
+    }
+
+    /// Base replay seed (sessions derive per-session seeds from it).
+    pub fn run_seed(mut self, seed: u64) -> Self {
+        self.cfg.run_seed = seed;
+        self
+    }
+
+    /// Replace the whole configuration at once (the one-shot shims use
+    /// this to carry a caller's [`AuditConfig`] verbatim — after resolving
+    /// its `0` fallbacks, since `build()` rejects them).
+    pub fn config(mut self, cfg: AuditConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// After each completed batch, fold the observed IPDs of its *clean*
+    /// sessions (not flagged, no replay error) back into the battery
+    /// ([`DetectorBattery::absorb_all`]) and use the retrained battery
+    /// for subsequent submissions — the cross-batch retraining hook.
+    /// Requires a trained battery on the service. Default off: retraining
+    /// changes statistical baselines across batches by design, so
+    /// warm-service output is byte-identical to one-shot calls only with
+    /// this off.
+    ///
+    /// Streamed submissions keep their bounded-memory promise: only the
+    /// first [`RETRAIN_CAPTURE_CAP`] sessions of a streamed batch are
+    /// candidates for absorption (materialized `submit_batch` batches
+    /// absorb every clean session — the caller already holds them all).
+    pub fn retrain_on_clean(mut self, on: bool) -> Self {
+        self.retrain_on_clean = on;
+        self
+    }
+
+    /// Validate the configuration and spawn the worker pool.
+    pub fn build(self) -> Result<AuditService, ConfigError> {
+        self.cfg.validate()?;
+        if self.cfg.battery == BatteryMode::Full && self.reference.battery.is_none() {
+            return Err(ConfigError::MissingBattery);
+        }
+        if self.retrain_on_clean && self.reference.battery.is_none() {
+            return Err(ConfigError::MissingBattery);
+        }
+        let battery = self.reference.battery.clone();
+        let shared = Arc::new(Shared {
+            reference: self.reference,
+            cfg: self.cfg,
+            battery: Mutex::new(battery),
+            retrain_on_clean: self.retrain_on_clean,
+            sessions_audited: AtomicU64::new(0),
+            batches_submitted: AtomicU64::new(0),
+        });
+        let (job_tx, job_rx) = mpsc::channel::<WorkItem>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..self.cfg.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&job_rx);
+                std::thread::Builder::new()
+                    .name(format!("audit-service-worker-{w}"))
+                    .spawn(move || worker_main(shared, rx))
+                    .expect("spawn audit service worker")
+            })
+            .collect();
+        Ok(AuditService {
+            shared,
+            job_tx: Some(job_tx),
+            workers,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// A long-lived audit service: one warmed worker pool, many submissions.
+///
+/// See the [module docs](self) for the lifecycle. Submissions from
+/// multiple batches share the job queue FIFO; verdicts are routed to the
+/// submitting ticket.
+pub struct AuditService {
+    shared: Arc<Shared>,
+    job_tx: Option<mpsc::Sender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for AuditService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditService")
+            .field("workers", &self.workers.len())
+            .field("cfg", &self.shared.cfg)
+            .field(
+                "sessions_audited",
+                &self.shared.sessions_audited.load(Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+/// What a streaming feeder reports back when it finishes.
+struct FeederOutcome {
+    error: Option<IngestError>,
+    /// Sessions actually handed to the workers (the verdict count a
+    /// clean run must deliver — fewer means a worker died).
+    submitted: usize,
+    peak_resident: usize,
+    /// `(session_id, observed IPDs)` per submitted session, captured only
+    /// when cross-batch retraining is on.
+    retrain_traces: Option<Vec<(u64, Vec<u64>)>>,
+}
+
+impl AuditService {
+    /// Start configuring a service over `reference`.
+    pub fn builder(reference: Reference) -> ServiceBuilder {
+        ServiceBuilder {
+            reference,
+            cfg: AuditConfig {
+                // The builder resolves the defaults *now*; `0` is invalid
+                // at build() rather than a fallback deep in the pool.
+                workers: AuditConfig::default().resolved_workers(),
+                ..AuditConfig::default()
+            },
+            retrain_on_clean: false,
+        }
+    }
+
+    /// The service-wide configuration (fixed at build time).
+    pub fn config(&self) -> &AuditConfig {
+        &self.shared.cfg
+    }
+
+    /// Worker threads kept warm.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Sessions audited over the service's lifetime (skipped/cancelled
+    /// sessions are not counted).
+    pub fn sessions_audited(&self) -> u64 {
+        self.shared.sessions_audited.load(Ordering::Relaxed)
+    }
+
+    /// Batches submitted over the service's lifetime.
+    pub fn batches_submitted(&self) -> u64 {
+        self.shared.batches_submitted.load(Ordering::Relaxed)
+    }
+
+    /// The battery generation new submissions would score with (changes
+    /// only under [`ServiceBuilder::retrain_on_clean`]).
+    pub fn battery(&self) -> Option<Arc<DetectorBattery>> {
+        self.shared.battery.lock().expect("battery lock").clone()
+    }
+
+    fn job_tx(&self) -> &mpsc::Sender<WorkItem> {
+        self.job_tx
+            .as_ref()
+            .expect("job channel lives until shutdown")
+    }
+
+    /// Submit a materialized batch. Returns immediately; the ticket yields
+    /// verdicts as workers produce them and the final report on
+    /// [`BatchTicket::wait`].
+    pub fn submit_batch(&self, jobs: &[AuditJob]) -> BatchTicket {
+        self.submit_batch_owned(jobs.to_vec())
+    }
+
+    /// [`submit_batch`](Self::submit_batch) without the defensive copy —
+    /// the jobs are moved into one shared allocation.
+    pub fn submit_batch_owned(&self, jobs: Vec<AuditJob>) -> BatchTicket {
+        self.shared
+            .batches_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let jobs = Arc::new(jobs);
+        let battery = self.battery();
+        let retrain_traces = self.shared.retrain_on_clean.then(|| {
+            jobs.iter()
+                .map(|j| (j.session_id, j.observed_ipds.clone()))
+                .collect()
+        });
+        let (sink, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        for index in 0..jobs.len() {
+            let item = WorkItem {
+                index,
+                source: JobSource::Shared(Arc::clone(&jobs), index),
+                battery: battery.clone(),
+                cancelled: Arc::clone(&cancelled),
+                gate: None,
+                sink: sink.clone(),
+            };
+            self.job_tx()
+                .send(item)
+                .expect("service workers outlive submissions");
+        }
+        // Dropping the last local sender lets the ticket's receiver close
+        // once every worker has delivered (or skipped) its verdict.
+        drop(sink);
+        BatchTicket {
+            rx,
+            cancelled,
+            collected: Vec::with_capacity(jobs.len()),
+            feeder: None,
+            immediate_outcome: Some(FeederOutcome {
+                error: None,
+                submitted: jobs.len(),
+                peak_resident: 0,
+                retrain_traces,
+            }),
+            workers: self.workers.len().min(jobs.len()).max(1),
+            shared: Arc::clone(&self.shared),
+            finished: false,
+        }
+    }
+
+    /// Submit a TDRB byte stream. The batch header is validated here (so
+    /// a malformed header fails fast, on the caller); sessions then decode
+    /// lazily on a feeder thread under the service's high-water residency
+    /// bound, exactly like the one-shot [`crate::audit_stream`].
+    pub fn submit_stream<R>(&self, reader: R) -> Result<BatchTicket, IngestError>
+    where
+        R: Read + Send + 'static,
+    {
+        let sessions = BatchStream::new(io::BufReader::new(reader))?;
+        Ok(self.submit_session_iter(sessions))
+    }
+
+    /// Submit any pull-based session source on a feeder thread.
+    pub fn submit_session_iter<I>(&self, sessions: I) -> BatchTicket
+    where
+        I: IntoIterator<Item = Result<AuditJob, IngestError>> + Send + 'static,
+        I::IntoIter: Send,
+    {
+        self.shared
+            .batches_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let (sink, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let ctx = FeedContext {
+            job_tx: self.job_tx().clone(),
+            sink,
+            cancelled: Arc::clone(&cancelled),
+            battery: self.battery(),
+            high_water: self.shared.cfg.high_water,
+            retrain: self.shared.retrain_on_clean,
+        };
+        let feeder = std::thread::Builder::new()
+            .name("audit-service-feeder".to_string())
+            .spawn(move || feed(sessions, ctx))
+            .expect("spawn audit service feeder");
+        BatchTicket {
+            rx,
+            cancelled,
+            collected: Vec::new(),
+            feeder: Some(feeder),
+            immediate_outcome: None,
+            workers: self.workers.len().min(self.shared.cfg.high_water).max(1),
+            shared: Arc::clone(&self.shared),
+            finished: false,
+        }
+    }
+
+    /// Blocking streamed audit over a non-`Send` session source: the
+    /// feeder loop runs on the calling thread (this is what the one-shot
+    /// [`crate::audit_stream`] shim uses, since its iterator may borrow
+    /// caller state), workers audit concurrently, and the collected
+    /// report is returned when the stream and all verdicts drain.
+    pub fn run_stream<I>(&self, sessions: I) -> Result<StreamReport, IngestError>
+    where
+        I: IntoIterator<Item = Result<AuditJob, IngestError>>,
+    {
+        self.shared
+            .batches_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let (sink, rx) = mpsc::channel();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let ctx = FeedContext {
+            job_tx: self.job_tx().clone(),
+            sink,
+            cancelled: Arc::clone(&cancelled),
+            battery: self.battery(),
+            high_water: self.shared.cfg.high_water,
+            retrain: self.shared.retrain_on_clean,
+        };
+        let outcome = feed(sessions, ctx);
+        let mut ticket = BatchTicket {
+            rx,
+            cancelled,
+            collected: Vec::new(),
+            feeder: None,
+            immediate_outcome: Some(outcome),
+            workers: self.workers.len().min(self.shared.cfg.high_water).max(1),
+            shared: Arc::clone(&self.shared),
+            finished: false,
+        };
+        while ticket.recv().is_some() {}
+        ticket.wait_stream()
+    }
+
+    /// Graceful shutdown: close the job channel, let workers drain every
+    /// queued item (in-flight tickets still complete), and join them.
+    /// Dropping the service does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.job_tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// The daemon loop: serve [`ControlFrame`] requests from `reader`,
+    /// writing responses to `writer`, until the peer disconnects (clean
+    /// EOF) or sends [`ControlFrame::Shutdown`].
+    ///
+    /// Per [`ControlFrame::SubmitBatch`] request the response is zero or
+    /// more [`ControlFrame::Verdict`] frames **in submission order**
+    /// followed by exactly one [`ControlFrame::Summary`] (success) or
+    /// [`ControlFrame::Error`] (the embedded TDRB failed to decode; the
+    /// service stays up). Protocol-level failures — corrupt control
+    /// frames, client-only frames arriving as requests, transport errors —
+    /// return a [`ControlError`] and end the loop.
+    pub fn serve<R: Read, W: Write>(
+        &self,
+        mut reader: R,
+        mut writer: W,
+    ) -> Result<(), ControlError> {
+        loop {
+            let frame = match ControlFrame::read_from(&mut reader)? {
+                None => return Ok(()), // peer hung up cleanly
+                Some(frame) => frame,
+            };
+            match frame {
+                ControlFrame::SubmitBatch { batch_id, tdrb } => {
+                    self.serve_batch(batch_id, tdrb, &mut writer)?;
+                    writer.flush().map_err(ControlError::from_io)?;
+                }
+                ControlFrame::Shutdown => {
+                    ControlFrame::ShutdownAck.write_to(&mut writer)?;
+                    writer.flush().map_err(ControlError::from_io)?;
+                    return Ok(());
+                }
+                other => return Err(ControlError::UnexpectedFrame(other.kind_name())),
+            }
+        }
+    }
+
+    fn serve_batch<W: Write>(
+        &self,
+        batch_id: u64,
+        tdrb: Vec<u8>,
+        writer: &mut W,
+    ) -> Result<(), ControlError> {
+        let mut ticket = match self.submit_stream(io::Cursor::new(tdrb)) {
+            Ok(ticket) => ticket,
+            Err(e) => {
+                return ControlFrame::Error {
+                    batch_id,
+                    message: e.to_string(),
+                }
+                .write_to(writer);
+            }
+        };
+        // Re-order scheduling-dependent arrivals into submission order so
+        // the response byte stream is deterministic.
+        let mut pending: std::collections::BTreeMap<usize, AuditVerdict> =
+            std::collections::BTreeMap::new();
+        let mut next = 0usize;
+        while let Some((index, verdict)) = ticket.recv() {
+            pending.insert(index, verdict);
+            while let Some(verdict) = pending.remove(&next) {
+                ControlFrame::Verdict {
+                    batch_id,
+                    index: next as u64,
+                    verdict,
+                }
+                .write_to(writer)?;
+                next += 1;
+            }
+        }
+        debug_assert!(pending.is_empty(), "verdict indexes are contiguous");
+        match ticket.wait_stream() {
+            Ok(report) => ControlFrame::Summary {
+                batch_id,
+                workers: report.workers as u64,
+                peak_resident: report.peak_resident as u64,
+                summary: report.summary,
+            }
+            .write_to(writer),
+            Err(e) => ControlFrame::Error {
+                batch_id,
+                message: e.to_string(),
+            }
+            .write_to(writer),
+        }
+    }
+}
+
+impl Drop for AuditService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Everything a feeder needs besides the session source.
+struct FeedContext {
+    job_tx: mpsc::Sender<WorkItem>,
+    sink: mpsc::Sender<(usize, AuditVerdict)>,
+    cancelled: Arc<AtomicBool>,
+    battery: Option<Arc<DetectorBattery>>,
+    high_water: usize,
+    retrain: bool,
+}
+
+/// The streaming feeder loop: pull sessions under the residency gate and
+/// enqueue them as work items. Runs on a spawned thread
+/// ([`AuditService::submit_session_iter`]) or the calling thread
+/// ([`AuditService::run_stream`]).
+fn feed<I>(sessions: I, ctx: FeedContext) -> FeederOutcome
+where
+    I: IntoIterator<Item = Result<AuditJob, IngestError>>,
+{
+    let gate = Arc::new(ResidencyGate::new());
+    let mut retrain_traces = ctx.retrain.then(Vec::new);
+    let mut error = None;
+    let mut submitted = 0usize;
+    let mut iter = sessions.into_iter();
+    loop {
+        if ctx.cancelled.load(Ordering::Relaxed) {
+            break;
+        }
+        // Claim a residency slot *before* decoding the next session: the
+        // pull itself is what materializes it.
+        gate.acquire(ctx.high_water);
+        match iter.next() {
+            Some(Ok(job)) => {
+                gate.commit();
+                // Bounded capture: streamed ingest promises memory
+                // proportional to `high_water`, not the batch, so only a
+                // capped prefix of a streamed batch can feed retraining
+                // (absorb_clean zips verdicts with this prefix). The
+                // materialized `submit_batch` path captures every session
+                // — the caller already holds the whole batch there.
+                if let Some(traces) = &mut retrain_traces {
+                    if traces.len() < RETRAIN_CAPTURE_CAP {
+                        traces.push((job.session_id, job.observed_ipds.clone()));
+                    }
+                }
+                let item = WorkItem {
+                    index: submitted,
+                    source: JobSource::Owned(Box::new(job)),
+                    battery: ctx.battery.clone(),
+                    cancelled: Arc::clone(&ctx.cancelled),
+                    gate: Some(Arc::clone(&gate)),
+                    sink: ctx.sink.clone(),
+                };
+                if let Err(mpsc::SendError(item)) = ctx.job_tx.send(item) {
+                    // The service shut down under us; hand the slot back
+                    // and stop feeding.
+                    drop(item);
+                    gate.release();
+                    break;
+                }
+                submitted += 1;
+            }
+            Some(Err(e)) => {
+                gate.release();
+                error = Some(e);
+                break;
+            }
+            None => {
+                gate.release();
+                break;
+            }
+        }
+    }
+    drop(ctx.sink);
+    FeederOutcome {
+        error,
+        submitted,
+        peak_resident: gate.peak(),
+        retrain_traces,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tickets
+// ---------------------------------------------------------------------------
+
+/// Handle to one submission in flight on an [`AuditService`].
+///
+/// Yields per-session verdicts as workers produce them
+/// ([`recv`](Self::recv); arrival order is scheduling-dependent, indexes
+/// are submission order) and the final deterministic report on
+/// [`wait`](Self::wait) / [`wait_stream`](Self::wait_stream). **Dropping
+/// the ticket cancels the submission**: sessions not yet audited are
+/// skipped (their residency slots released) and the service moves on to
+/// the next batch.
+pub struct BatchTicket {
+    rx: mpsc::Receiver<(usize, AuditVerdict)>,
+    cancelled: Arc<AtomicBool>,
+    collected: Vec<(usize, AuditVerdict)>,
+    feeder: Option<JoinHandle<FeederOutcome>>,
+    /// Outcome known at submission time (batch mode, or a blocking feed
+    /// that already ran); mutually exclusive with `feeder`.
+    immediate_outcome: Option<FeederOutcome>,
+    workers: usize,
+    shared: Arc<Shared>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for BatchTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchTicket")
+            .field("collected", &self.collected.len())
+            .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl BatchTicket {
+    /// The next verdict as it arrives, or `None` once every session of the
+    /// submission has reported. Verdicts are also retained internally for
+    /// the final report, so mixing `recv` and [`wait`](Self::wait) is
+    /// fine.
+    pub fn recv(&mut self) -> Option<(usize, AuditVerdict)> {
+        match self.rx.recv() {
+            Ok((index, verdict)) => {
+                self.collected.push((index, verdict.clone()));
+                Some((index, verdict))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Drain remaining verdicts and produce the final batch report.
+    ///
+    /// For batch submissions the `Err` arm is unreachable; for streamed
+    /// submissions it carries the first ingest error, after in-flight
+    /// sessions drained (same contract as the one-shot
+    /// [`crate::audit_stream`]).
+    pub fn wait(self) -> Result<BatchReport, IngestError> {
+        let (report, _) = self.finish()?;
+        Ok(report)
+    }
+
+    /// Like [`wait`](Self::wait), but reports the streaming residency
+    /// peak too (zero for materialized batch submissions).
+    pub fn wait_stream(self) -> Result<StreamReport, IngestError> {
+        let (report, peak_resident) = self.finish()?;
+        Ok(StreamReport {
+            verdicts: report.verdicts,
+            summary: report.summary,
+            workers: report.workers,
+            peak_resident,
+        })
+    }
+
+    fn finish(mut self) -> Result<(BatchReport, usize), IngestError> {
+        // Drain by moving — no per-verdict clone on the internal path.
+        while let Ok(pair) = self.rx.recv() {
+            self.collected.push(pair);
+        }
+        self.finished = true;
+        let outcome = match self.feeder.take() {
+            Some(handle) => handle.join().expect("feeder thread never panics"),
+            None => self
+                .immediate_outcome
+                .take()
+                .expect("ticket has a feeder or an immediate outcome"),
+        };
+        if let Some(e) = outcome.error {
+            return Err(e);
+        }
+        // The old scoped pool asserted "every job produces a verdict" and
+        // propagated worker panics; persistent workers swallow panics into
+        // their join handles, so a short verdict set is the only evidence
+        // a worker died mid-audit — fail loudly, never report a truncated
+        // fleet summary as complete.
+        assert_eq!(
+            self.collected.len(),
+            outcome.submitted,
+            "an audit worker died before delivering every verdict"
+        );
+        let mut collected = std::mem::take(&mut self.collected);
+        collected.sort_by_key(|&(i, _)| i);
+        let verdicts: Vec<AuditVerdict> = collected.into_iter().map(|(_, v)| v).collect();
+        let summary = FleetSummary::from_verdicts(&verdicts);
+        if let Some(traces) = outcome.retrain_traces {
+            absorb_clean(&self.shared, &verdicts, &traces);
+        }
+        Ok((
+            BatchReport {
+                verdicts,
+                summary,
+                workers: self.workers,
+            },
+            outcome.peak_resident,
+        ))
+    }
+}
+
+impl Drop for BatchTicket {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Cross-batch retraining: absorb each clean session's observed IPDs (in
+/// submission order — deterministic) and publish the new battery
+/// generation for subsequent submissions.
+fn absorb_clean(shared: &Shared, verdicts: &[AuditVerdict], traces: &[(u64, Vec<u64>)]) {
+    let mut clean: Vec<Vec<u64>> = Vec::new();
+    for (verdict, (session_id, ipds)) in verdicts.iter().zip(traces) {
+        debug_assert_eq!(verdict.session_id, *session_id);
+        if !verdict.flagged && verdict.error.is_none() && !ipds.is_empty() {
+            clean.push(ipds.clone());
+        }
+    }
+    if clean.is_empty() {
+        return;
+    }
+    // Read-modify-write under one lock acquisition: two batches finishing
+    // concurrently must not clone the same base generation and lose one
+    // batch's absorptions to the other's store.
+    let mut guard = shared.battery.lock().expect("battery lock");
+    let Some(current) = guard.as_ref() else {
+        return;
+    };
+    let mut battery = (**current).clone();
+    battery.absorb_all(&clean);
+    *guard = Some(Arc::new(battery));
+}
+
+// ---------------------------------------------------------------------------
+// In-memory duplex (the daemon's loopback transport)
+// ---------------------------------------------------------------------------
+
+/// One direction of the duplex: a byte queue with EOF tracking.
+#[derive(Debug, Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+/// One end of an in-memory, thread-safe duplex byte stream.
+///
+/// `Read` blocks until bytes arrive or the peer drops (then EOF);
+/// `Write` never blocks (the buffer is unbounded — control traffic is
+/// small). Dropping an end closes both directions for the peer. This is
+/// the loopback transport the daemon tests and `repro daemon` drive
+/// [`AuditService::serve`] with; a real deployment hands `serve` a
+/// socket's reader/writer instead.
+#[derive(Debug)]
+pub struct DuplexEnd {
+    rx: Arc<Pipe>,
+    tx: Arc<Pipe>,
+}
+
+/// A connected pair of in-memory duplex endpoints.
+pub fn duplex() -> (DuplexEnd, DuplexEnd) {
+    let a = Arc::new(Pipe::default());
+    let b = Arc::new(Pipe::default());
+    (
+        DuplexEnd {
+            rx: Arc::clone(&a),
+            tx: Arc::clone(&b),
+        },
+        DuplexEnd { rx: b, tx: a },
+    )
+}
+
+// Like `TcpStream`, reads and writes also work through a shared
+// reference, so one end can serve as a daemon's reader *and* writer at
+// once: `service.serve(&end, &end)`.
+impl Read for &DuplexEnd {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.rx.state.lock().expect("pipe lock");
+        loop {
+            if !state.buf.is_empty() {
+                let n = buf.len().min(state.buf.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = state.buf.pop_front().expect("n bytes queued");
+                }
+                return Ok(n);
+            }
+            if state.closed {
+                return Ok(0);
+            }
+            state = self.rx.ready.wait(state).expect("pipe wait");
+        }
+    }
+}
+
+impl Write for &DuplexEnd {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.tx.state.lock().expect("pipe lock");
+        if state.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer end dropped",
+            ));
+        }
+        state.buf.extend(buf);
+        self.tx.ready.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for DuplexEnd {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (&*self).read(buf)
+    }
+}
+
+impl Write for DuplexEnd {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        (&*self).write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for DuplexEnd {
+    fn drop(&mut self) {
+        for pipe in [&self.tx, &self.rx] {
+            pipe.state.lock().expect("pipe lock").closed = true;
+            pipe.ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use jbc::hll::{dsl::*, HTy, Module};
+    use jbc::ElemTy;
+    use replay::record;
+
+    use super::*;
+    use crate::pool;
+
+    /// A tiny echo service: one request in, one response out, with a bit
+    /// of payload-dependent compute — enough for real verdicts, fast
+    /// enough to submit dozens of sessions in a unit test.
+    fn echo_program(n: i32) -> Arc<jbc::Program> {
+        let mut m = Module::new("Echo");
+        m.native("wait_packet", &[], None);
+        m.native("net_recv", &[HTy::Arr(ElemTy::I8)], Some(HTy::I32));
+        m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+        m.func(fn_void(
+            "main",
+            vec![],
+            vec![
+                let_("buf", newarr(ElemTy::I8, i(256))),
+                let_("done", i(0)),
+                while_(
+                    lt(var("done"), i(n)),
+                    vec![
+                        expr(native("wait_packet", vec![])),
+                        let_("len", native("net_recv", vec![var("buf")])),
+                        if_(
+                            gt(var("len"), i(0)),
+                            vec![
+                                let_("work", idx(var("buf"), i(0))),
+                                let_("acc", i(0)),
+                                for_(
+                                    "k",
+                                    i(0),
+                                    mul(var("work"), i(10)),
+                                    vec![set("acc", add(var("acc"), var("k")))],
+                                ),
+                                expr(native("net_send", vec![var("buf"), var("len")])),
+                                set("done", add(var("done"), i(1))),
+                            ],
+                            vec![],
+                        ),
+                    ],
+                ),
+            ],
+        ));
+        Arc::new(m.compile().expect("compile"))
+    }
+
+    fn session(program: &Arc<jbc::Program>, session_id: u64, tamper: &[usize]) -> AuditJob {
+        let rec = record(
+            Arc::clone(program),
+            machine::MachineConfig::sanity(),
+            vm::VmConfig::default(),
+            1000 + session_id,
+            |vm| {
+                for k in 0..3u64 {
+                    let data = vec![(10 + k * 3) as u8; 64];
+                    vm.machine_mut().deliver_packet(100_000 + k * 400_000, data);
+                }
+            },
+        )
+        .expect("record");
+        let mut observed = rec.tx_ipds_cycles();
+        for &t in tamper {
+            observed[t] += observed[t] / 5;
+        }
+        AuditJob {
+            session_id,
+            log: rec.log,
+            observed_ipds: observed,
+        }
+    }
+
+    fn mixed_jobs(program: &Arc<jbc::Program>, n: u64) -> Vec<AuditJob> {
+        (0..n)
+            .map(|id| {
+                if id % 3 == 2 {
+                    session(program, id, &[1])
+                } else {
+                    session(program, id, &[])
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builder_rejects_zero_workers_and_high_water() {
+        let reference = Reference::new(echo_program(1));
+        assert_eq!(
+            AuditService::builder(reference.clone())
+                .workers(0)
+                .build()
+                .err(),
+            Some(ConfigError::ZeroWorkers)
+        );
+        assert_eq!(
+            AuditService::builder(reference.clone())
+                .high_water(0)
+                .build()
+                .err(),
+            Some(ConfigError::ZeroHighWater)
+        );
+        assert_eq!(
+            AuditService::builder(reference.clone())
+                .battery(BatteryMode::Full)
+                .build()
+                .err(),
+            Some(ConfigError::MissingBattery),
+            "Full battery mode without a battery is a build error"
+        );
+        assert_eq!(
+            AuditService::builder(reference)
+                .retrain_on_clean(true)
+                .build()
+                .err(),
+            Some(ConfigError::MissingBattery),
+            "retraining needs a battery to retrain"
+        );
+    }
+
+    #[test]
+    fn warm_service_resubmission_matches_one_shot() {
+        let program = echo_program(3);
+        let reference = Reference::new(Arc::clone(&program));
+        let jobs_a = mixed_jobs(&program, 5);
+        let jobs_b: Vec<AuditJob> = mixed_jobs(&program, 8).split_off(5);
+
+        let cfg = AuditConfig {
+            workers: 2,
+            ..AuditConfig::default()
+        };
+        let service = AuditService::builder(reference.clone())
+            .config(cfg)
+            .build()
+            .expect("builds");
+        let warm_a = service
+            .submit_batch(&jobs_a)
+            .wait()
+            .expect("batch never fails ingest");
+        let warm_b = service
+            .submit_batch(&jobs_b)
+            .wait()
+            .expect("batch never fails ingest");
+        assert_eq!(service.batches_submitted(), 2);
+        assert_eq!(
+            service.sessions_audited(),
+            (jobs_a.len() + jobs_b.len()) as u64
+        );
+        service.shutdown();
+
+        let cold_a = pool::audit_batch(&reference, &jobs_a, &cfg);
+        let cold_b = pool::audit_batch(&reference, &jobs_b, &cfg);
+        assert_eq!(warm_a, cold_a, "first warm batch == fresh one-shot");
+        assert_eq!(warm_b, cold_b, "second warm batch == fresh one-shot");
+    }
+
+    #[test]
+    fn dropping_a_ticket_cancels_and_leaves_the_service_usable() {
+        let program = echo_program(3);
+        let jobs = mixed_jobs(&program, 12);
+        let service = AuditService::builder(Reference::new(Arc::clone(&program)))
+            .workers(1)
+            .build()
+            .expect("builds");
+        // Cancel immediately: most of the 12 sessions should be skipped
+        // (scheduling-dependent, so only the upper bound is asserted).
+        drop(service.submit_batch(&jobs));
+        let report = service
+            .submit_batch(&jobs[..3])
+            .wait()
+            .expect("post-cancel submission audits");
+        assert_eq!(report.verdicts.len(), 3);
+        assert!(
+            service.sessions_audited() <= (jobs.len() + 3) as u64,
+            "cancelled sessions are not audited twice"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_inflight_ticket_drains_it() {
+        let program = echo_program(3);
+        let jobs = mixed_jobs(&program, 6);
+        let service = AuditService::builder(Reference::new(Arc::clone(&program)))
+            .workers(2)
+            .build()
+            .expect("builds");
+        let baseline = pool::audit_batch(
+            &Reference::new(Arc::clone(&program)),
+            &jobs,
+            service.config(),
+        );
+        let ticket = service.submit_batch(&jobs);
+        // Shut down with the whole batch in flight: graceful shutdown
+        // drains the queue, so the ticket still completes in full.
+        service.shutdown();
+        let report = ticket.wait().expect("inflight batch drains");
+        assert_eq!(report.verdicts.len(), jobs.len());
+        assert_eq!(report.summary, baseline.summary);
+    }
+
+    #[test]
+    fn stream_submission_over_reader_matches_batch() {
+        let program = echo_program(3);
+        let jobs = mixed_jobs(&program, 6);
+        let bytes = crate::ingest::encode_batch(&jobs);
+        let service = AuditService::builder(Reference::new(Arc::clone(&program)))
+            .workers(2)
+            .high_water(3)
+            .build()
+            .expect("builds");
+        let batch = service.submit_batch(&jobs).wait().expect("batch");
+        let stream = service
+            .submit_stream(io::Cursor::new(bytes))
+            .expect("header ok")
+            .wait_stream()
+            .expect("stream audits");
+        assert_eq!(stream.verdicts, batch.verdicts);
+        assert_eq!(stream.summary, batch.summary);
+        assert!(stream.peak_resident <= 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn retrain_on_clean_publishes_a_new_battery_generation() {
+        let program = echo_program(3);
+        let jobs = mixed_jobs(&program, 6);
+        let clean_traces: Vec<Vec<u64>> = jobs
+            .iter()
+            .filter(|j| j.session_id % 3 != 2)
+            .map(|j| j.observed_ipds.clone())
+            .collect();
+        let battery = DetectorBattery::trained(&clean_traces);
+        let before_traces = battery.training_traces();
+        let service = AuditService::builder(Reference::new(Arc::clone(&program)))
+            .trained_battery(battery)
+            .battery(BatteryMode::Full)
+            .workers(2)
+            .retrain_on_clean(true)
+            .build()
+            .expect("builds");
+        let initial = service.battery().expect("battery attached");
+        let report = service.submit_batch(&jobs).wait().expect("audits");
+        let clean = report.verdicts.iter().filter(|v| !v.flagged).count();
+        assert!(clean > 0, "fixture has clean sessions");
+        let after = service.battery().expect("battery still attached");
+        assert!(
+            !Arc::ptr_eq(&initial, &after),
+            "clean absorption publishes a new generation"
+        );
+        assert_eq!(
+            after.training_traces(),
+            before_traces + clean,
+            "one absorbed trace per clean verdict"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn duplex_moves_bytes_both_ways_and_eofs_on_drop() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"ping").expect("write");
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").expect("write");
+        a.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"pong");
+        drop(b);
+        assert_eq!(a.read(&mut buf).expect("eof"), 0, "peer drop is EOF");
+        assert!(a.write_all(b"x").is_err(), "peer drop breaks the pipe");
+    }
+
+    #[test]
+    fn serve_rejects_response_frames_as_requests() {
+        let program = echo_program(1);
+        let service = AuditService::builder(Reference::new(program))
+            .workers(1)
+            .build()
+            .expect("builds");
+        let request = ControlFrame::ShutdownAck.encode();
+        let mut responses = Vec::new();
+        let got = service.serve(&request[..], &mut responses);
+        assert_eq!(got, Err(ControlError::UnexpectedFrame("ShutdownAck")));
+        service.shutdown();
+    }
+
+    #[test]
+    fn serve_answers_shutdown_and_clean_eof() {
+        let program = echo_program(1);
+        let service = AuditService::builder(Reference::new(program))
+            .workers(1)
+            .build()
+            .expect("builds");
+        // Clean EOF: no frames at all.
+        let mut responses = Vec::new();
+        service.serve(&[][..], &mut responses).expect("clean eof");
+        assert!(responses.is_empty());
+        // Shutdown: one ack, then the loop returns.
+        let request = ControlFrame::Shutdown.encode();
+        let mut responses = Vec::new();
+        service
+            .serve(&request[..], &mut responses)
+            .expect("shutdown handled");
+        let ack = ControlFrame::read_from(&mut &responses[..])
+            .expect("decodes")
+            .expect("one frame");
+        assert_eq!(ack, ControlFrame::ShutdownAck);
+        service.shutdown();
+    }
+
+    #[test]
+    fn serve_reports_bad_batches_in_band_and_stays_up() {
+        let program = echo_program(3);
+        let jobs = mixed_jobs(&program, 4);
+        let mut bad = crate::ingest::encode_batch(&jobs);
+        let n = bad.len();
+        bad[n - 10] ^= 0xff; // corrupt the last session's log frame
+        let good = crate::ingest::encode_batch(&jobs);
+
+        let service = AuditService::builder(Reference::new(Arc::clone(&program)))
+            .workers(2)
+            .build()
+            .expect("builds");
+        let mut requests = Vec::new();
+        ControlFrame::SubmitBatch {
+            batch_id: 1,
+            tdrb: bad,
+        }
+        .write_to(&mut requests)
+        .expect("encode");
+        ControlFrame::SubmitBatch {
+            batch_id: 2,
+            tdrb: good,
+        }
+        .write_to(&mut requests)
+        .expect("encode");
+        let mut responses = Vec::new();
+        service
+            .serve(&requests[..], &mut responses)
+            .expect("protocol stays clean");
+
+        let mut frames = Vec::new();
+        let mut src = &responses[..];
+        while let Some(frame) = ControlFrame::read_from(&mut src).expect("decodes") {
+            frames.push(frame);
+        }
+        // Batch 1: three clean verdicts stream out, then the in-band error
+        // for the corrupted fourth session. Batch 2: four verdicts and a
+        // summary — the daemon survived the bad batch.
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, ControlFrame::Error { batch_id: 1, .. })));
+        let summaries: Vec<_> = frames
+            .iter()
+            .filter(|f| matches!(f, ControlFrame::Summary { batch_id: 2, .. }))
+            .collect();
+        assert_eq!(summaries.len(), 1);
+        let verdicts_2 = frames
+            .iter()
+            .filter(|f| matches!(f, ControlFrame::Verdict { batch_id: 2, .. }))
+            .count();
+        assert_eq!(verdicts_2, jobs.len());
+        service.shutdown();
+    }
+}

@@ -406,6 +406,25 @@ pub mod wire {
     pub fn crc32(data: &[u8]) -> u32 {
         super::crc32(data)
     }
+
+    /// Append an `f64` as the 8 little-endian bytes of its IEEE-754 bit
+    /// pattern — the encoding every detector score uses on the wire, so
+    /// round-trips are bit-exact (NaN payloads and signed zeros included).
+    pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Read an `f64` written by [`put_f64`] at `*pos`, advancing it.
+    pub fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, CodecError> {
+        let end = pos.checked_add(8).ok_or(CodecError::Truncated)?;
+        let bytes: [u8; 8] = buf
+            .get(*pos..end)
+            .ok_or(CodecError::Truncated)?
+            .try_into()
+            .expect("8-byte slice");
+        *pos = end;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -85,6 +85,22 @@ pub fn read_full<R: Read>(src: &mut R, buf: &mut [u8]) -> Result<usize, StreamEr
     Ok(filled)
 }
 
+/// Read one `u32` little-endian length prefix from `src`.
+///
+/// `Ok(None)` means clean end-of-stream exactly at the frame boundary;
+/// a partial prefix is [`CodecError::Truncated`]. This is the shared
+/// entry point of every length-prefixed framing in the system — TDRL
+/// frame streams, and the audit pipeline's TDRC control frames — so all
+/// of them classify boundary conditions identically.
+pub fn read_length_prefix<R: Read>(src: &mut R) -> Result<Option<usize>, StreamError> {
+    let mut len_bytes = [0u8; 4];
+    match read_full(src, &mut len_bytes)? {
+        0 => Ok(None),
+        4 => Ok(Some(u32::from_le_bytes(len_bytes) as usize)),
+        _ => Err(CodecError::Truncated.into()),
+    }
+}
+
 /// Read one LEB128 varint from `src`, appending the raw consumed bytes to
 /// `raw`.
 ///
@@ -245,21 +261,15 @@ impl<R: Read> Iterator for SessionStream<R> {
         if self.failed {
             return None;
         }
-        let mut len_bytes = [0u8; 4];
-        match read_full(&mut self.src, &mut len_bytes) {
-            Ok(0) => return None, // clean end of stream
-            Ok(4) => {}
-            Ok(_) => {
-                self.failed = true;
-                return Some(Err(CodecError::Truncated.into()));
-            }
+        let len = match read_length_prefix(&mut self.src) {
+            Ok(None) => return None, // clean end of stream
+            Ok(Some(len)) => len,
             Err(e) => {
                 self.failed = true;
                 return Some(Err(e));
             }
-        }
+        };
         self.bytes += 4;
-        let len = u32::from_le_bytes(len_bytes) as usize;
         if len > self.max_frame_len {
             self.failed = true;
             return Some(Err(StreamError::FrameTooLarge {

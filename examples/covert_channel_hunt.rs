@@ -6,15 +6,16 @@
 //!
 //! An NFS server is compromised with a traffic-replay covert channel
 //! (TRCTC) that exfiltrates a secret by modulating response timing. A
-//! [`DetectorBattery`] trained on clean traces of the same service scores
-//! the suspect trace with all five Fig. 8 detectors in one pass: the
+//! [`DetectorBattery`] trained on clean traces of the same service is
+//! attached to a warm [`sanity_tdr::AuditService`], which scores each
+//! suspect trace with all five Fig. 8 detectors in one pass: the
 //! statistical tests see traffic that looks legitimate, while the TDR
 //! detector — comparing against what the timing *should* have been,
 //! reproduced by audit replay — catches the channel outright.
 
 use channels::{bit_error_rate, message_bits, TimingChannel, Trctc};
-use detectors::{Detector, DetectorBattery, RegularityTest, TraceView};
-use sanity_tdr::{compare, Sanity, TimingAuditor};
+use detectors::{Detector, DetectorBattery, RegularityTest};
+use sanity_tdr::{compare, AuditJob, BatteryMode, Sanity};
 use vm::TargetSendTimes;
 use workloads::nfs;
 
@@ -89,43 +90,55 @@ fn main() {
         bit_error_rate(&secret, &received) * 100.0
     );
 
-    // -- The hunt: all five detectors in one battery pass -----------------
-    // The audit replays reproduce each trace's reference timing (what the
-    // TDR detector scores against); the statistical detectors only read
-    // the observed wire timing.
-    let auditor = TimingAuditor::new(server.clone());
-    let clean_report = auditor.audit(&clean.log, &clean_ipds, 50).expect("audit");
-    let covert_report = auditor
-        .audit(&compromised.log, &observed, 51)
-        .expect("audit");
-
-    let clean_scores = battery.score_all(&TraceView::with_replay(
-        &clean_ipds,
-        &clean_report.replayed_ipds,
-    ));
-    let covert_scores = battery.score_all(&TraceView::with_replay(
-        &observed,
-        &covert_report.replayed_ipds,
-    ));
+    // -- The hunt: a warm audit service, all five detectors per session --
+    // The service's audit replays reproduce each trace's reference timing
+    // (what the TDR detector scores against); the statistical detectors
+    // only read the observed wire timing. Both suspect traces go through
+    // as one batch — in production this service stays up and audits every
+    // day's traffic with the same warm caches and battery.
+    let service = server
+        .clone()
+        .with_battery(battery)
+        .audit_service()
+        .workers(2)
+        .battery(BatteryMode::Full)
+        .build()
+        .expect("valid service configuration");
+    let jobs = vec![
+        AuditJob {
+            session_id: 0,
+            observed_ipds: clean_ipds.clone(),
+            log: clean.log.clone(),
+        },
+        AuditJob {
+            session_id: 1,
+            observed_ipds: observed.clone(),
+            log: compromised.log.clone(),
+        },
+    ];
+    let report = service.submit_batch(&jobs).wait().expect("batch audits");
+    service.shutdown();
+    let (clean_verdict, covert_verdict) = (&report.verdicts[0], &report.verdicts[1]);
 
     println!("{:<12} {:>12} {:>14}", "detector", "clean", "compromised");
-    for (name, clean_score) in &clean_scores {
+    for (name, clean_score) in &clean_verdict.detector_scores {
         println!(
             "{:<12} {:>12.4} {:>14.4}",
-            name, clean_score, covert_scores[name]
+            name, clean_score, covert_verdict.detector_scores[name]
         );
     }
 
     println!(
-        "\nTDR auditor: clean deviation {:.2}% (not flagged), compromised {:.1}% (FLAGGED)",
-        clean_report.score * 100.0,
-        covert_report.score * 100.0
+        "\nTDR verdict: clean deviation {:.2}% (not flagged), compromised {:.1}% (FLAGGED)",
+        clean_verdict.score * 100.0,
+        covert_verdict.score * 100.0
     );
-    assert!(!clean_report.flagged && covert_report.flagged);
+    assert!(!clean_verdict.flagged && covert_verdict.flagged);
+    assert_eq!(report.summary.flagged, vec![1], "only the covert session");
     assert_eq!(
-        covert_scores["Sanity"].to_bits(),
-        covert_report.score.to_bits(),
-        "the battery's TDR entry is the auditor's score"
+        covert_verdict.detector_scores["Sanity"].to_bits(),
+        covert_verdict.score.to_bits(),
+        "the verdict's battery TDR entry is its scalar score"
     );
     println!("\nthe channel replays legitimate-looking IPDs, so the traffic");
     println!("statistics barely move — but it cannot survive a comparison");

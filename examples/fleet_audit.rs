@@ -4,14 +4,15 @@
 //! tenants are clean; a few smuggle data out through covert timing
 //! channels — TRCTC (constant two-bin encoding) and the paper's §6.8
 //! "needle": a single stretched packet. The operator trains a
-//! `DetectorBattery` on clean sessions, serializes the fleet into a TDRB
-//! batch (the on-the-wire form sessions actually arrive in) and feeds it
-//! through `Sanity::audit_stream` under `BatteryMode::Full`, which decodes
-//! sessions lazily in bounded memory, shards the audit replays across
-//! cores, scores every session with all five Fig. 8 detectors in one
-//! pass, and aggregates per-session verdicts — byte-identical to the
-//! materialized `Sanity::audit_batch` over the same bytes, with the TDR
-//! scores untouched by the battery.
+//! `DetectorBattery` on clean sessions, builds a persistent
+//! `AuditService` (`Sanity::audit_service`) whose worker pool and trained
+//! battery stay warm, serializes the fleet into a TDRB batch (the
+//! on-the-wire form sessions actually arrive in) and submits it: sessions
+//! decode lazily in bounded memory, audit replays shard across cores, and
+//! every session is scored with all five Fig. 8 detectors in one pass.
+//! The ticket streams verdicts as workers produce them; the final report
+//! is byte-identical to the one-shot `Sanity::audit_batch` over the same
+//! bytes, with the TDR scores untouched by the battery.
 //!
 //! Run with `cargo run --release --example fleet_audit`.
 
@@ -142,22 +143,31 @@ fn main() {
         batch_bytes.len() / jobs.len()
     );
 
-    // The primary path: stream the batch, decoding sessions lazily. At
-    // most `high_water` sessions are ever resident, so the same code
-    // handles a batch far larger than RAM. (At least 4 workers even on a
-    // small machine, so the sharded path is really exercised.)
+    // The primary path: a persistent service, built once — its workers
+    // and the trained battery stay warm for every batch this fleet will
+    // ever submit. The batch streams through it with sessions decoded
+    // lazily: at most `high_water` sessions are ever resident, so the
+    // same code handles a batch far larger than RAM. (At least 4 workers
+    // even on a small machine, so the sharded path is really exercised.)
     let workers = AuditConfig::default().resolved_workers().max(4);
-    let sharded = sanity
-        .audit_stream(
-            &batch_bytes[..],
-            &AuditConfig {
-                workers,
-                high_water: 8,
-                battery: BatteryMode::Full,
-                ..AuditConfig::default()
-            },
-        )
-        .expect("stream audits");
+    let service = sanity
+        .audit_service()
+        .workers(workers)
+        .high_water(8)
+        .battery(BatteryMode::Full)
+        .build()
+        .expect("valid service configuration");
+    let mut ticket = service
+        .submit_stream(std::io::Cursor::new(batch_bytes.clone()))
+        .expect("batch header decodes");
+    // The ticket streams verdicts as workers finish them (arrival order
+    // is scheduling-dependent; the final report is not).
+    let mut streamed = 0usize;
+    while ticket.recv().is_some() {
+        streamed += 1;
+    }
+    let sharded = ticket.wait_stream().expect("stream audits");
+    assert_eq!(streamed, sharded.verdicts.len());
 
     // Cross-check: the materialized batch path on a single worker must
     // produce byte-identical verdicts — ingest mode, worker count, and
@@ -175,6 +185,21 @@ fn main() {
         "streamed verdicts must be identical to the 1-worker materialized batch"
     );
     assert_eq!(single.summary, sharded.summary);
+
+    // Warm resubmission: the same service audits a second copy of the
+    // batch without respawning anything, and the report is identical.
+    let resubmitted = service
+        .submit_stream(std::io::Cursor::new(batch_bytes))
+        .expect("batch header decodes")
+        .wait_stream()
+        .expect("stream audits");
+    assert_eq!(resubmitted.summary, sharded.summary);
+    println!(
+        "warm service re-audited the batch: {} sessions total through {} workers",
+        service.sessions_audited(),
+        service.workers()
+    );
+    service.shutdown();
 
     println!(
         "\naudited {} sessions on {} workers (peak {} sessions resident)\n",

@@ -1,0 +1,332 @@
+//! Integration suite for the persistent `AuditService`: warm-service
+//! reuse is byte-identical to fresh one-shot calls across worker counts
+//! and battery modes, tickets cancel cleanly, shutdown drains in-flight
+//! work, and the daemon loop over an in-memory duplex audits a TDRB
+//! batch end to end through the TDRC control plane.
+
+use std::io::Cursor;
+
+use sanity_tdr::audit_pipeline::service::duplex;
+use sanity_tdr::audit_pipeline::{ingest, FleetSummary};
+use sanity_tdr::detectors::DetectorBattery;
+use sanity_tdr::{AuditConfig, AuditJob, BatteryMode, ConfigError, ControlFrame, Sanity};
+use vm::Vm;
+use workloads::nfs;
+
+fn nfs_sanity(seed: u64) -> Sanity {
+    Sanity::new(nfs::server_program(4)).with_files(nfs::make_files(4, 1500, 4000, seed))
+}
+
+fn deliver_nfs(vm: &mut Vm, seed: u64) {
+    let files = nfs::make_files(4, 1500, 4000, seed);
+    let sched = nfs::client_schedule(&files, 200_000, 700_000, seed ^ 1);
+    for (at, pkt) in sched.packets.into_iter().take(4) {
+        vm.machine_mut().deliver_packet(at, pkt);
+    }
+}
+
+/// A small mixed fleet: mostly clean sessions, one with a covert delay.
+fn fleet(sanity: &Sanity, ids: std::ops::Range<u64>, covert: u64) -> Vec<AuditJob> {
+    ids.map(|id| {
+        let rec = sanity
+            .record(100 + id, |vm| {
+                deliver_nfs(vm, 14);
+                if id == covert {
+                    vm.set_delay_model(Box::new(vm::ScheduledDelays::new(vec![
+                        0, 150_000, 0, 150_000,
+                    ])));
+                }
+            })
+            .expect("record");
+        AuditJob {
+            session_id: id,
+            observed_ipds: rec.tx_ipds_cycles(),
+            log: rec.log,
+        }
+    })
+    .collect()
+}
+
+fn trained_on_clean(jobs: &[AuditJob], covert: u64) -> DetectorBattery {
+    let clean: Vec<Vec<u64>> = jobs
+        .iter()
+        .filter(|j| j.session_id != covert)
+        .map(|j| j.observed_ipds.clone())
+        .collect();
+    DetectorBattery::trained(&clean)
+}
+
+#[test]
+fn warm_service_reuse_is_byte_identical_to_one_shot() {
+    let sanity = nfs_sanity(14);
+    let batch_a = fleet(&sanity, 0..4, 2);
+    let batch_b = fleet(&sanity, 4..8, 6);
+    let battery = trained_on_clean(&batch_a, 2);
+    let with_battery = sanity.clone().with_battery(battery);
+
+    for workers in [1usize, 4] {
+        for mode in [BatteryMode::TdrOnly, BatteryMode::Full] {
+            let system = match mode {
+                BatteryMode::TdrOnly => &sanity,
+                BatteryMode::Full => &with_battery,
+            };
+            let cfg = AuditConfig {
+                workers,
+                battery: mode,
+                ..AuditConfig::default()
+            };
+
+            // Two batches through one warm service...
+            let service = system
+                .audit_service()
+                .workers(workers)
+                .battery(mode)
+                .build()
+                .expect("valid service configuration");
+            let warm_a = service.submit_batch(&batch_a).wait().expect("audits");
+            let warm_b = service.submit_batch(&batch_b).wait().expect("audits");
+            service.shutdown();
+
+            // ...must equal two fresh one-shot calls, byte for byte.
+            let cold_a = system.audit_batch(&batch_a, &cfg);
+            let cold_b = system.audit_batch(&batch_b, &cfg);
+            assert_eq!(
+                warm_a, cold_a,
+                "{workers} workers, {mode:?}: first batch diverged"
+            );
+            assert_eq!(
+                warm_b, cold_b,
+                "{workers} workers, {mode:?}: second batch diverged"
+            );
+            for (w, c) in warm_a.verdicts.iter().zip(&cold_a.verdicts) {
+                assert_eq!(w.score.to_bits(), c.score.to_bits());
+                for (name, score) in &w.detector_scores {
+                    assert_eq!(score.to_bits(), c.detector_scores[name].to_bits());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_stream_submission_matches_one_shot_audit_stream() {
+    let sanity = nfs_sanity(14);
+    let jobs = fleet(&sanity, 0..4, 2);
+    let bytes = ingest::encode_batch(&jobs);
+    let cfg = AuditConfig {
+        workers: 2,
+        high_water: 2,
+        ..AuditConfig::default()
+    };
+    let one_shot = sanity.audit_stream(&bytes[..], &cfg).expect("audits");
+
+    let service = sanity
+        .audit_service()
+        .workers(2)
+        .high_water(2)
+        .build()
+        .expect("valid service configuration");
+    let warm_1 = service
+        .submit_stream(Cursor::new(bytes.clone()))
+        .expect("header decodes")
+        .wait_stream()
+        .expect("audits");
+    let warm_2 = service
+        .submit_stream(Cursor::new(bytes))
+        .expect("header decodes")
+        .wait_stream()
+        .expect("audits");
+    service.shutdown();
+
+    assert_eq!(warm_1, one_shot, "warm streamed == one-shot streamed");
+    assert_eq!(warm_2, one_shot, "resubmission is reproducible");
+    assert!(warm_1.peak_resident <= 2);
+}
+
+#[test]
+fn ticket_drop_cancels_and_shutdown_drains_inflight() {
+    let sanity = nfs_sanity(14);
+    let jobs = fleet(&sanity, 0..6, 2);
+    let service = sanity
+        .audit_service()
+        .workers(1)
+        .build()
+        .expect("valid service configuration");
+
+    // Cancel: drop the ticket with everything still queued on one worker.
+    drop(service.submit_batch(&jobs));
+
+    // The service survives and audits the next submission in full.
+    let ticket = service.submit_batch(&jobs[..2]);
+
+    // Shutdown with that ticket in flight: the queue drains first.
+    let baseline = sanity.audit_batch(
+        &jobs[..2],
+        &AuditConfig {
+            workers: 1,
+            ..AuditConfig::default()
+        },
+    );
+    service.shutdown();
+    let report = ticket.wait().expect("inflight ticket drains");
+    assert_eq!(report.verdicts.len(), 2);
+    assert_eq!(report.summary, baseline.summary);
+}
+
+#[test]
+fn service_builder_rejects_invalid_configs_with_typed_errors() {
+    let sanity = nfs_sanity(14);
+    assert_eq!(
+        sanity.audit_service().workers(0).build().err(),
+        Some(ConfigError::ZeroWorkers)
+    );
+    assert_eq!(
+        sanity.audit_service().high_water(0).build().err(),
+        Some(ConfigError::ZeroHighWater)
+    );
+    assert_eq!(
+        sanity
+            .audit_service()
+            .battery(BatteryMode::Full)
+            .build()
+            .err(),
+        Some(ConfigError::MissingBattery)
+    );
+}
+
+/// The end-to-end daemon path: a TDRB batch submitted as a
+/// `ControlFrame::SubmitBatch` over an in-memory duplex comes back as
+/// in-order verdict frames plus a summary byte-identical to the
+/// in-process audit of the same bytes.
+#[test]
+fn daemon_over_duplex_audits_a_tdrb_batch_end_to_end() {
+    let sanity = nfs_sanity(14);
+    let jobs = fleet(&sanity, 0..4, 2);
+    let bytes = ingest::encode_batch(&jobs);
+    let expected = sanity.audit_batch(
+        &jobs,
+        &AuditConfig {
+            workers: 2,
+            ..AuditConfig::default()
+        },
+    );
+
+    let service = sanity
+        .audit_service()
+        .workers(2)
+        .build()
+        .expect("valid service configuration");
+    let (mut client, server) = duplex();
+    let daemon = std::thread::spawn(move || {
+        let outcome = service.serve(&server, &server);
+        service.shutdown();
+        outcome
+    });
+
+    ControlFrame::SubmitBatch {
+        batch_id: 77,
+        tdrb: bytes,
+    }
+    .write_to(&mut client)
+    .expect("submit");
+
+    let mut verdicts = Vec::new();
+    let summary: FleetSummary = loop {
+        match ControlFrame::read_from(&mut client)
+            .expect("response decodes")
+            .expect("daemon is up")
+        {
+            ControlFrame::Verdict {
+                batch_id,
+                index,
+                verdict,
+            } => {
+                assert_eq!(batch_id, 77);
+                assert_eq!(index as usize, verdicts.len(), "verdicts in order");
+                verdicts.push(verdict);
+            }
+            ControlFrame::Summary {
+                batch_id, summary, ..
+            } => {
+                assert_eq!(batch_id, 77);
+                break summary;
+            }
+            other => panic!("unexpected daemon frame: {other:?}"),
+        }
+    };
+
+    // The control plane carries verdicts bit-exactly.
+    assert_eq!(verdicts.len(), expected.verdicts.len());
+    for (wire, local) in verdicts.iter().zip(&expected.verdicts) {
+        assert_eq!(wire, local);
+        assert_eq!(wire.score.to_bits(), local.score.to_bits());
+    }
+    assert_eq!(summary, expected.summary);
+
+    ControlFrame::Shutdown.write_to(&mut client).expect("bye");
+    assert_eq!(
+        ControlFrame::read_from(&mut client)
+            .expect("ack decodes")
+            .expect("daemon acks"),
+        ControlFrame::ShutdownAck
+    );
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("daemon loop exits cleanly");
+}
+
+/// Cross-batch retraining: with the knob on, the service absorbs each
+/// batch's clean traces, and the next batch is scored by the retrained
+/// generation (observable as a changed statistical baseline).
+#[test]
+fn retrain_on_clean_feeds_the_next_batch() {
+    let sanity = nfs_sanity(14);
+    let batch_a = fleet(&sanity, 0..4, 2);
+    let batch_b = fleet(&sanity, 4..8, 6);
+    let battery = trained_on_clean(&batch_a, 2);
+    let system = sanity.clone().with_battery(battery.clone());
+
+    let service = system
+        .audit_service()
+        .workers(2)
+        .battery(BatteryMode::Full)
+        .retrain_on_clean(true)
+        .build()
+        .expect("valid service configuration");
+    let report_a = service.submit_batch(&batch_a).wait().expect("audits");
+    let clean_a = report_a.verdicts.iter().filter(|v| !v.flagged).count();
+    assert!(clean_a > 0);
+    let retrained = service.battery().expect("battery attached");
+    assert_eq!(
+        retrained.training_traces(),
+        battery.training_traces() + clean_a,
+        "clean traces of batch A were absorbed"
+    );
+    let report_b = service.submit_batch(&batch_b).wait().expect("audits");
+    service.shutdown();
+
+    // TDR scores never depend on the battery generation...
+    let plain_b = sanity.audit_batch(
+        &batch_b,
+        &AuditConfig {
+            workers: 2,
+            ..AuditConfig::default()
+        },
+    );
+    for (full, tdr) in report_b.verdicts.iter().zip(&plain_b.verdicts) {
+        assert_eq!(full.score.to_bits(), tdr.score.to_bits());
+    }
+    // ...and batch B's statistical scores come from the retrained
+    // generation, pinned by scoring against it directly.
+    let first = &report_b.verdicts[0];
+    let expected_scores =
+        retrained.score_all(&sanity_tdr::TraceView::observed(&batch_b[0].observed_ipds));
+    for name in ["Shape test", "KS test", "RT test", "CCE test"] {
+        assert_eq!(
+            first.detector_scores[name].to_bits(),
+            expected_scores[name].to_bits(),
+            "{name}: batch B must be scored by the retrained battery"
+        );
+    }
+}
