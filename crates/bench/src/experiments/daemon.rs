@@ -12,13 +12,14 @@
 //! both paths plus the warm/cold ratio.
 
 use std::fmt::Write as _;
+use std::net::{TcpListener, TcpStream};
 use std::time::Instant;
 
 use jbc::hll::{dsl::*, HTy, Module};
 use jbc::ElemTy;
 use sanity_tdr::audit_pipeline::service::duplex;
 use sanity_tdr::audit_pipeline::{ingest, FleetSummary};
-use sanity_tdr::{AuditConfig, AuditJob, ControlFrame, Sanity};
+use sanity_tdr::{serve_tcp, AuditConfig, AuditJob, Client, ControlFrame, Sanity};
 
 use super::Options;
 
@@ -45,8 +46,8 @@ fn echo_program() -> jbc::Program {
     m.compile().expect("compile")
 }
 
-fn build_batches(sanity: &Sanity, per_batch: usize) -> Vec<Vec<u8>> {
-    (0..BATCHES)
+fn build_batches(sanity: &Sanity, batches: usize, per_batch: usize) -> Vec<Vec<u8>> {
+    (0..batches)
         .map(|b| {
             let jobs: Vec<AuditJob> = (0..per_batch as u64)
                 .map(|id| {
@@ -109,7 +110,7 @@ pub fn run(opts: &Options) {
     let per_batch = opts.runs_or(16, 48);
     let sanity = Sanity::new(echo_program());
     let t0 = Instant::now();
-    let batches = build_batches(&sanity, per_batch);
+    let batches = build_batches(&sanity, BATCHES, per_batch);
     println!(
         "recorded {BATCHES} batches of {per_batch} echo sessions in {:.1}s\n",
         t0.elapsed().as_secs_f64()
@@ -195,4 +196,118 @@ pub fn run(opts: &Options) {
          \"per_batch\": [\n{rows}\n  ]\n}}\n"
     );
     opts.write("BENCH_daemon.json", &json);
+}
+
+/// Batches each TCP client submits during the connection-count sweep.
+const TCP_BATCHES_PER_CONN: usize = 3;
+
+/// `repro daemon --tcp`: the daemon behind a real localhost `TcpListener`
+/// (`serve_tcp`, connection-per-thread), swept over concurrent client
+/// connection counts. Every connection multiplexes onto the **same** warm
+/// worker pool; the sweep measures how fleet throughput scales as more
+/// log sources connect at once. Summaries are asserted byte-identical to
+/// the one-shot in-process path per batch, and the daemon must finish the
+/// sweep with zero connection errors.
+pub fn run_tcp(opts: &Options) {
+    println!("== audit daemon over TCP: throughput vs concurrent connections ==\n");
+    let per_batch = opts.runs_or(16, 48);
+    let sanity = Sanity::new(echo_program());
+    let t0 = Instant::now();
+    let batches = build_batches(&sanity, TCP_BATCHES_PER_CONN, per_batch);
+    println!(
+        "recorded {} batches of {per_batch} echo sessions in {:.1}s",
+        batches.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let cfg = AuditConfig {
+        workers: WORKERS,
+        ..AuditConfig::default()
+    };
+    // The in-process reference summaries the wire results must match.
+    let expected: Vec<FleetSummary> = batches
+        .iter()
+        .map(|bytes| {
+            sanity
+                .audit_stream(&bytes[..], &cfg)
+                .expect("audits")
+                .summary
+        })
+        .collect();
+
+    let sweep_conns = [1usize, 2, 4];
+    let mut results: Vec<(usize, f64, f64)> = Vec::new(); // (conns, wall_ms, sessions/s)
+    for &conns in &sweep_conns {
+        let service = sanity
+            .audit_service()
+            .workers(WORKERS)
+            .build()
+            .expect("valid service configuration");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let daemon = serve_tcp(service, listener).expect("daemon starts");
+        let addr = daemon.local_addr();
+
+        // Clone each client's corpus *before* the timer starts: the copy
+        // is harness setup, and charging it to the timed region would
+        // skew the scaling curve more at higher connection counts.
+        let per_client: Vec<(Vec<Vec<u8>>, Vec<FleetSummary>)> = (0..conns)
+            .map(|_| (batches.clone(), expected.clone()))
+            .collect();
+        let t = Instant::now();
+        let clients: Vec<std::thread::JoinHandle<()>> = per_client
+            .into_iter()
+            .enumerate()
+            .map(|(c, (batches, expected))| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut client = Client::new(stream);
+                    for (b, bytes) in batches.iter().enumerate() {
+                        let outcome = client
+                            .submit_batch((c * batches.len() + b) as u64, bytes.clone())
+                            .expect("protocol clean");
+                        let summary = outcome.result.expect("batch audits");
+                        assert_eq!(
+                            summary.summary, expected[b],
+                            "TCP summary must match the in-process path"
+                        );
+                    }
+                    client.shutdown().expect("connection shutdown acked");
+                })
+            })
+            .collect();
+        for handle in clients {
+            handle.join().expect("client thread");
+        }
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let report = daemon.shutdown();
+        assert_eq!(report.connections_accepted, conns as u64);
+        assert_eq!(report.connection_errors, 0, "no connection may error");
+        let sessions = (conns * batches.len() * per_batch) as f64;
+        assert_eq!(report.service.sessions_audited(), sessions as u64);
+        report.service.shutdown();
+
+        let throughput = sessions / (wall_ms / 1e3);
+        println!(
+            "  {conns} connection(s): {:.1} ms wall, {:.0} sessions/s",
+            wall_ms, throughput
+        );
+        results.push((conns, wall_ms, throughput));
+    }
+
+    println!("\n(all wire summaries byte-identical to the in-process path)");
+    let mut rows = String::new();
+    for (conns, wall_ms, throughput) in &results {
+        let _ = write!(
+            rows,
+            "{}    {{\"connections\": {conns}, \"wall_ms\": {wall_ms:.4}, \
+             \"sessions_per_sec\": {throughput:.2}}}",
+            if rows.is_empty() { "" } else { ",\n" },
+        );
+    }
+    let json = format!(
+        "{{\n  \"workers\": {WORKERS},\n  \"sessions_per_batch\": {per_batch},\n  \
+         \"batches_per_connection\": {TCP_BATCHES_PER_CONN},\n  \"sweep\": [\n{rows}\n  ]\n}}\n"
+    );
+    opts.write("BENCH_daemon_tcp.json", &json);
 }

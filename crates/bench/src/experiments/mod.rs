@@ -23,6 +23,10 @@ pub struct Options {
     /// `repro pipeline --stream`: run the streaming-ingest throughput
     /// comparison (streamed vs materialized) instead of the worker sweep.
     pub stream: bool,
+    /// `repro daemon --tcp`: serve the daemon over a real localhost TCP
+    /// listener and sweep concurrent connection counts instead of the
+    /// warm-vs-cold duplex comparison.
+    pub tcp: bool,
 }
 
 impl Default for Options {
@@ -32,6 +36,7 @@ impl Default for Options {
             runs: 0,
             out_dir: "results".to_string(),
             stream: false,
+            tcp: false,
         }
     }
 }

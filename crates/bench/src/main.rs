@@ -18,12 +18,16 @@
 //! repro pipeline --stream  Streamed vs materialized ingest throughput
 //! repro daemon           Warm AuditService over the TDRC control plane
 //!                        vs cold per-call spin-up (BENCH_daemon.json)
+//! repro daemon --tcp     The daemon behind a localhost TCP listener:
+//!                        throughput vs concurrent client connections
+//!                        (BENCH_daemon_tcp.json)
 //! repro all              Everything above
 //! ```
 //!
 //! Options: `--full` (paper-scale parameters), `--runs N` (override the
 //! per-cell run count), `--out DIR` (results directory, default
-//! `results/`), `--stream` (pipeline only: streaming-ingest comparison).
+//! `results/`), `--stream` (pipeline only: streaming-ingest comparison),
+//! `--tcp` (daemon only: the TCP connection-count sweep).
 
 mod experiments;
 
@@ -32,7 +36,7 @@ use experiments::Options;
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|daemon|all> [--full] [--runs N] [--out DIR] [--stream]");
+        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|daemon|all> [--full] [--runs N] [--out DIR] [--stream] [--tcp]");
         std::process::exit(2);
     });
     let mut opts = Options::default();
@@ -40,6 +44,7 @@ fn main() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--stream" => opts.stream = true,
+            "--tcp" => opts.tcp = true,
             "--runs" => {
                 opts.runs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--runs needs a number");
@@ -73,6 +78,7 @@ fn main() {
         "fig8-fleet" => experiments::fig8_fleet::run(&opts),
         "noise-vs-jitter" => experiments::fig7::run_noise_vs_jitter(&opts),
         "pipeline" => experiments::pipeline::run(&opts),
+        "daemon" if opts.tcp => experiments::daemon::run_tcp(&opts),
         "daemon" => experiments::daemon::run(&opts),
         "all" => {
             experiments::fig2::run(&opts);
@@ -87,6 +93,7 @@ fn main() {
             experiments::fig7::run_noise_vs_jitter(&opts);
             experiments::pipeline::run(&opts);
             experiments::daemon::run(&opts);
+            experiments::daemon::run_tcp(&opts);
         }
         other => {
             eprintln!("unknown experiment: {other}");

@@ -76,8 +76,9 @@ pub use sim_core;
 pub use vm;
 
 pub use audit_pipeline::{
-    AuditConfig, AuditJob, AuditService, BatchReport, BatchTicket, BatteryMode, ConfigError,
-    ControlFrame, IngestError, ServiceBuilder, StreamReport,
+    serve_tcp, AuditConfig, AuditJob, AuditService, BatchOutcome, BatchReport, BatchSummary,
+    BatchTicket, BatteryMode, Client, ConfigError, ControlError, ControlFrame, DaemonReport,
+    IngestError, ServiceBuilder, StreamReport, TcpDaemon,
 };
 pub use detectors::{Detector, DetectorBattery, TraceView};
 

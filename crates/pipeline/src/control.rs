@@ -76,6 +76,12 @@ pub enum ControlError {
     /// A syntactically valid frame arrived where the protocol does not
     /// allow it (e.g. a response frame sent as a request).
     UnexpectedFrame(&'static str),
+    /// The peer hung up cleanly at a frame boundary but *inside* an
+    /// exchange — e.g. a daemon closing after verdicts were requested but
+    /// before the terminating `Summary`/`Error` arrived. (EOF between
+    /// exchanges is not an error; EOF inside a frame is
+    /// [`Truncated`](Self::Truncated).)
+    Disconnected,
     /// The transport failed.
     Io(io::ErrorKind, String),
 }
@@ -112,6 +118,9 @@ impl fmt::Display for ControlError {
             }
             ControlError::UnexpectedFrame(kind) => {
                 write!(f, "unexpected {kind} frame for this endpoint")
+            }
+            ControlError::Disconnected => {
+                write!(f, "peer disconnected mid-exchange")
             }
             ControlError::Io(kind, msg) => write!(f, "transport failed ({kind:?}): {msg}"),
         }
@@ -373,6 +382,14 @@ impl ControlFrame {
     }
 
     /// [`read_from`](Self::read_from) with an explicit frame-length bound.
+    ///
+    /// Memory grows with bytes actually *received*, never with the
+    /// declared length alone: a peer that announces a near-bound frame
+    /// and then stalls (or disconnects) pins at most one read chunk, not
+    /// the whole declared allocation — on a network-facing daemon the
+    /// declared length is attacker-controlled, so the up-front
+    /// `vec![0; len]` a naive reader would do is an asymmetric
+    /// memory-exhaustion primitive.
     pub fn read_from_bounded<R: Read>(
         reader: &mut R,
         max_len: usize,
@@ -384,10 +401,15 @@ impl ControlFrame {
         if len > max_len {
             return Err(ControlError::FrameTooLarge { len, max: max_len });
         }
-        let mut payload = vec![0u8; len];
-        let got = read_full(reader, &mut payload).map_err(ControlError::from_stream)?;
-        if got < len {
-            return Err(ControlError::Truncated);
+        let mut payload = Vec::new();
+        let mut chunk = [0u8; 64 * 1024];
+        while payload.len() < len {
+            let want = (len - payload.len()).min(chunk.len());
+            let got = read_full(reader, &mut chunk[..want]).map_err(ControlError::from_stream)?;
+            if got == 0 {
+                return Err(ControlError::Truncated);
+            }
+            payload.extend_from_slice(&chunk[..got]);
         }
         Self::decode_payload(&payload).map(Some)
     }
@@ -529,6 +551,180 @@ fn read_summary(buf: &[u8], pos: &mut usize) -> Result<FleetSummary, ControlErro
         replayed_cycles,
         detector_stats,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Typed client
+// ---------------------------------------------------------------------------
+
+/// The terminating `Summary` frame of a successful batch, as data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSummary {
+    /// Workers that served the batch (echoed from the daemon's report).
+    pub workers: u64,
+    /// Peak resident sessions during the daemon's streamed ingest.
+    pub peak_resident: u64,
+    /// The deterministic fleet-wide aggregation.
+    pub summary: FleetSummary,
+}
+
+/// Everything one `SubmitBatch` exchange produced.
+///
+/// `verdicts` holds the per-session verdicts in submission order (the
+/// daemon emits them in-order; [`Client`] verifies the indexes are
+/// contiguous). `result` is the terminating frame: a [`BatchSummary`] on
+/// success, or the daemon's in-band `Error` message when the embedded
+/// TDRB was malformed — in which case verdicts already streamed for
+/// earlier sessions are still present and valid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// The correlation id this exchange used.
+    pub batch_id: u64,
+    /// Per-session verdicts, in submission order.
+    pub verdicts: Vec<AuditVerdict>,
+    /// Terminating frame: summary, or the in-band error message.
+    pub result: Result<BatchSummary, String>,
+}
+
+impl BatchOutcome {
+    /// The summary, panicking with the daemon's message on an in-band
+    /// error (convenience for callers that treat batch failure as fatal).
+    pub fn expect_summary(self) -> BatchSummary {
+        match self.result {
+            Ok(summary) => summary,
+            Err(msg) => panic!("daemon reported batch {} failed: {msg}", self.batch_id),
+        }
+    }
+}
+
+/// A typed TDRC client over any `Read + Write` transport.
+///
+/// Wraps the request/response choreography of §5 of `docs/FORMATS.md`:
+/// [`submit_batch`](Self::submit_batch) writes one `SubmitBatch` frame
+/// and reads `Verdict*` then `Summary`/`Error`, verifying the batch-id
+/// echo and the contiguous submission-index order as it goes;
+/// [`shutdown`](Self::shutdown) performs the `Shutdown`/`ShutdownAck`
+/// handshake. The same client drives a `TcpStream` (the `tdrd` binary and
+/// the TCP tests), an in-memory [`duplex`](crate::service::duplex) end,
+/// or anything else that moves bytes.
+///
+/// Decoded verdicts are **bit-identical** to the ones the service
+/// produced — the wire encoding round-trips IEEE-754 bits, pinned by the
+/// integration suite against in-process submission.
+#[derive(Debug)]
+pub struct Client<T: Read + Write> {
+    transport: T,
+}
+
+impl<T: Read + Write> Client<T> {
+    /// Wrap a connected transport.
+    pub fn new(transport: T) -> Self {
+        Client { transport }
+    }
+
+    /// Submit one TDRB batch and block until its terminating frame.
+    ///
+    /// Protocol-level failures (corrupt frames, a wrong batch id, frames
+    /// out of order, the daemon hanging up mid-exchange) are `Err`;
+    /// batch-content failures are in-band and land in
+    /// [`BatchOutcome::result`].
+    pub fn submit_batch(
+        &mut self,
+        batch_id: u64,
+        tdrb: Vec<u8>,
+    ) -> Result<BatchOutcome, ControlError> {
+        self.submit_batch_with(batch_id, tdrb, |_, _| {})
+    }
+
+    /// [`submit_batch`](Self::submit_batch), invoking `on_verdict` for
+    /// each verdict frame as it arrives (before it is collected) — the
+    /// pull-streaming hook daemon clients use for live progress.
+    pub fn submit_batch_with(
+        &mut self,
+        batch_id: u64,
+        tdrb: Vec<u8>,
+        mut on_verdict: impl FnMut(u64, &AuditVerdict),
+    ) -> Result<BatchOutcome, ControlError> {
+        ControlFrame::SubmitBatch { batch_id, tdrb }.write_to(&mut self.transport)?;
+        self.transport.flush().map_err(ControlError::from_io)?;
+        let mut verdicts: Vec<AuditVerdict> = Vec::new();
+        loop {
+            let frame =
+                ControlFrame::read_from(&mut self.transport)?.ok_or(ControlError::Disconnected)?;
+            match frame {
+                ControlFrame::Verdict {
+                    batch_id: got,
+                    index,
+                    verdict,
+                } => {
+                    if got != batch_id {
+                        return Err(ControlError::UnexpectedFrame("Verdict (foreign batch id)"));
+                    }
+                    if index != verdicts.len() as u64 {
+                        return Err(ControlError::UnexpectedFrame("Verdict (out of order)"));
+                    }
+                    on_verdict(index, &verdict);
+                    verdicts.push(verdict);
+                }
+                ControlFrame::Summary {
+                    batch_id: got,
+                    workers,
+                    peak_resident,
+                    summary,
+                } => {
+                    if got != batch_id {
+                        return Err(ControlError::UnexpectedFrame("Summary (foreign batch id)"));
+                    }
+                    return Ok(BatchOutcome {
+                        batch_id,
+                        verdicts,
+                        result: Ok(BatchSummary {
+                            workers,
+                            peak_resident,
+                            summary,
+                        }),
+                    });
+                }
+                ControlFrame::Error {
+                    batch_id: got,
+                    message,
+                } => {
+                    if got != batch_id {
+                        return Err(ControlError::UnexpectedFrame("Error (foreign batch id)"));
+                    }
+                    return Ok(BatchOutcome {
+                        batch_id,
+                        verdicts,
+                        result: Err(message),
+                    });
+                }
+                other => return Err(ControlError::UnexpectedFrame(other.kind_name())),
+            }
+        }
+    }
+
+    /// Perform the `Shutdown`/`ShutdownAck` handshake and consume the
+    /// client (over TCP this ends the *connection*; the daemon keeps
+    /// serving other connections — `docs/FORMATS.md` §5.4).
+    pub fn shutdown(mut self) -> Result<T, ControlError> {
+        ControlFrame::Shutdown.write_to(&mut self.transport)?;
+        self.transport.flush().map_err(ControlError::from_io)?;
+        match ControlFrame::read_from(&mut self.transport)? {
+            Some(ControlFrame::ShutdownAck) => Ok(self.transport),
+            Some(other) => Err(ControlError::UnexpectedFrame(other.kind_name())),
+            None => Err(ControlError::Disconnected),
+        }
+    }
+
+    /// A shared view of the transport.
+    pub fn get_ref(&self) -> &T {
+        &self.transport
+    }
+
+    /// Unwrap the transport without the shutdown handshake.
+    pub fn into_inner(self) -> T {
+        self.transport
+    }
 }
 
 #[cfg(test)]
@@ -766,6 +962,21 @@ mod tests {
     }
 
     #[test]
+    fn declared_but_unsent_length_is_truncated() {
+        // A peer may declare a near-bound frame and never send it; the
+        // reader must classify that as truncation once the stream ends,
+        // holding only the bytes that actually arrived (the incremental
+        // fill in `read_from_bounded` — never `vec![0; declared]`).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(200u32 << 20).to_le_bytes()); // within the 256 MiB bound
+        bytes.extend_from_slice(&[0u8; 32]); // but almost nothing follows
+        assert_eq!(
+            ControlFrame::read_from(&mut &bytes[..]),
+            Err(ControlError::Truncated)
+        );
+    }
+
+    #[test]
     fn summary_flagged_count_is_bounded() {
         // A summary claiming more flagged sessions than the sessions
         // count — or than the body could possibly hold — must be rejected
@@ -833,5 +1044,163 @@ mod tests {
             ControlFrame::decode_payload(&expected[4..]).expect("decodes"),
             frame
         );
+    }
+
+    /// A canned transport: reads from a scripted response stream, records
+    /// everything the client writes.
+    struct Scripted {
+        responses: io::Cursor<Vec<u8>>,
+        sent: Vec<u8>,
+    }
+
+    impl Scripted {
+        fn new(frames: &[ControlFrame]) -> Self {
+            let mut responses = Vec::new();
+            for frame in frames {
+                responses.extend_from_slice(&frame.encode());
+            }
+            Scripted {
+                responses: io::Cursor::new(responses),
+                sent: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.responses.read(buf)
+        }
+    }
+
+    impl Write for Scripted {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.sent.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn client_collects_in_order_verdicts_and_summary() {
+        let verdict = sample_verdict();
+        let summary = sample_summary();
+        let mut client = Client::new(Scripted::new(&[
+            ControlFrame::Verdict {
+                batch_id: 5,
+                index: 0,
+                verdict: verdict.clone(),
+            },
+            ControlFrame::Verdict {
+                batch_id: 5,
+                index: 1,
+                verdict: verdict.clone(),
+            },
+            ControlFrame::Summary {
+                batch_id: 5,
+                workers: 2,
+                peak_resident: 3,
+                summary: summary.clone(),
+            },
+        ]));
+        let mut seen = Vec::new();
+        let outcome = client
+            .submit_batch_with(5, vec![1, 2, 3], |i, _| seen.push(i))
+            .expect("protocol clean");
+        assert_eq!(seen, vec![0, 1]);
+        assert_eq!(outcome.verdicts, vec![verdict.clone(), verdict]);
+        assert_eq!(
+            outcome.result,
+            Ok(BatchSummary {
+                workers: 2,
+                peak_resident: 3,
+                summary
+            })
+        );
+        // The request actually went out as one SubmitBatch frame.
+        let sent = client.into_inner().sent;
+        assert_eq!(
+            ControlFrame::read_from(&mut &sent[..])
+                .expect("decodes")
+                .expect("one frame"),
+            ControlFrame::SubmitBatch {
+                batch_id: 5,
+                tdrb: vec![1, 2, 3]
+            }
+        );
+    }
+
+    #[test]
+    fn client_surfaces_in_band_errors_with_partial_verdicts() {
+        let verdict = sample_verdict();
+        let mut client = Client::new(Scripted::new(&[
+            ControlFrame::Verdict {
+                batch_id: 9,
+                index: 0,
+                verdict: verdict.clone(),
+            },
+            ControlFrame::Error {
+                batch_id: 9,
+                message: "session 1 failed to decode".to_string(),
+            },
+        ]));
+        let outcome = client.submit_batch(9, Vec::new()).expect("protocol clean");
+        assert_eq!(outcome.verdicts, vec![verdict]);
+        assert_eq!(
+            outcome.result,
+            Err("session 1 failed to decode".to_string())
+        );
+    }
+
+    #[test]
+    fn client_rejects_foreign_ids_out_of_order_and_disconnects() {
+        // Wrong batch id.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::Summary {
+            batch_id: 8,
+            workers: 1,
+            peak_resident: 1,
+            summary: sample_summary(),
+        }]));
+        assert_eq!(
+            client.submit_batch(7, Vec::new()),
+            Err(ControlError::UnexpectedFrame("Summary (foreign batch id)"))
+        );
+        // Out-of-order verdict index.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::Verdict {
+            batch_id: 7,
+            index: 1,
+            verdict: sample_verdict(),
+        }]));
+        assert_eq!(
+            client.submit_batch(7, Vec::new()),
+            Err(ControlError::UnexpectedFrame("Verdict (out of order)"))
+        );
+        // Daemon hangs up cleanly before the terminating frame.
+        let mut client = Client::new(Scripted::new(&[]));
+        assert_eq!(
+            client.submit_batch(7, Vec::new()),
+            Err(ControlError::Disconnected)
+        );
+        // A request-only frame arriving as a response.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::Shutdown]));
+        assert_eq!(
+            client.submit_batch(7, Vec::new()),
+            Err(ControlError::UnexpectedFrame("Shutdown"))
+        );
+    }
+
+    #[test]
+    fn client_shutdown_handshake() {
+        let client = Client::new(Scripted::new(&[ControlFrame::ShutdownAck]));
+        let transport = client.shutdown().expect("acked");
+        assert_eq!(
+            ControlFrame::read_from(&mut &transport.sent[..])
+                .expect("decodes")
+                .expect("one frame"),
+            ControlFrame::Shutdown
+        );
+        let client = Client::new(Scripted::new(&[]));
+        assert_eq!(client.shutdown().err(), Some(ControlError::Disconnected));
     }
 }

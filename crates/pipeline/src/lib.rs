@@ -46,6 +46,7 @@
 pub mod cache;
 pub mod control;
 pub mod ingest;
+pub mod net;
 pub mod pool;
 pub mod service;
 pub mod verdict;
@@ -58,9 +59,10 @@ use replay::EventLog;
 use vm::VmConfig;
 
 pub use cache::ReferenceCache;
-pub use control::{ControlError, ControlFrame};
+pub use control::{BatchOutcome, BatchSummary, Client, ControlError, ControlFrame};
 pub use detectors::DetectorBattery;
 pub use ingest::{BatchStream, IngestError};
+pub use net::{serve_tcp, DaemonReport, TcpDaemon};
 pub use pool::{audit_batch, audit_batch_streaming, audit_stream, BatchReport, StreamReport};
 pub use service::{AuditService, BatchTicket, ServiceBuilder};
 pub use verdict::{AuditVerdict, DetectorStats, FleetSummary, ScoreHistogram};

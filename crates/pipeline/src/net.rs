@@ -1,0 +1,279 @@
+//! TCP front end for the audit daemon: many connections, one warm pool.
+//!
+//! [`AuditService::serve`] speaks the TDRC control plane over any
+//! `Read + Write` pair but handles exactly one peer. [`serve_tcp`] makes
+//! the service deployable: it takes a bound [`TcpListener`], accepts
+//! connections on a dedicated thread, and runs one `serve` loop per
+//! connection on its own thread — every connection multiplexes its
+//! submissions onto the **same** warm worker pool and sees the same
+//! battery generation, which is the whole point of a fleet daemon (one
+//! spin-up, many log sources).
+//!
+//! ## Connection lifecycle (normative rules in `docs/FORMATS.md` §5.4)
+//!
+//! * Each connection carries one independent TDRC request/response
+//!   stream; response frames of different connections are never
+//!   interleaved.
+//! * [`ControlFrame::Shutdown`](crate::ControlFrame::Shutdown) is
+//!   **connection** shutdown: the daemon acks and closes that connection.
+//!   The daemon itself stops only via [`TcpDaemon::shutdown`] (an
+//!   operator action), which stops accepting, waits for every in-flight
+//!   connection to finish — graceful drain — and hands the still-warm
+//!   [`AuditService`] back.
+//! * A peer that vanishes mid-frame, writes garbage, or goes away while
+//!   verdicts are being written ends **its own** connection with a typed
+//!   [`ControlError`](crate::ControlError) (counted by
+//!   [`TcpDaemon::connection_errors`]) and never takes the daemon down.
+//!   Writes to a dead peer surface as `io::Error` (`EPIPE`) rather than a
+//!   fatal `SIGPIPE`, because the Rust runtime ignores `SIGPIPE` at
+//!   startup; the serve loop maps them into `ControlError::Io` like any
+//!   other transport failure.
+//!
+//! The torture suite (`tests/protocol_torture.rs`,
+//! `tests/integration_daemon_tcp.rs`) pins all of this: corrupt frames,
+//! slow-loris writers, mid-frame disconnects, and concurrent clients all
+//! leave the daemon serving, with verdict bytes identical to the
+//! in-memory duplex path and to in-process submission.
+
+use std::io::{self, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::service::AuditService;
+
+/// Shared accept/connection bookkeeping.
+#[derive(Debug, Default)]
+struct DaemonState {
+    accepted: AtomicU64,
+    errors: AtomicU64,
+    /// Connection threads still owed a join (finished ones are reaped
+    /// opportunistically on each accept, the rest at shutdown).
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// What a daemon hands back at [`TcpDaemon::shutdown`]: the still-warm
+/// service plus final connection tallies.
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// The service the daemon was serving, still warm — reusable
+    /// directly or via another [`serve_tcp`] call.
+    pub service: AuditService,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections_accepted: u64,
+    /// Connections that ended with a protocol or transport error.
+    pub connection_errors: u64,
+}
+
+/// A running TCP audit daemon: an accept loop plus one serve thread per
+/// connection, all sharing one warm [`AuditService`].
+///
+/// Built by [`serve_tcp`]. Dropping the daemon performs the same graceful
+/// shutdown as [`shutdown`](Self::shutdown) (minus returning the
+/// service).
+#[derive(Debug)]
+pub struct TcpDaemon {
+    service: Arc<AuditService>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    state: Arc<DaemonState>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Serve the TDRC control plane over TCP: accept connections on
+/// `listener` (typically bound to an explicit port, or `127.0.0.1:0` for
+/// an ephemeral one — read it back via [`TcpDaemon::local_addr`]) and run
+/// one [`AuditService::serve`] loop per connection, connection-per-thread.
+///
+/// The returned handle owns the service; [`TcpDaemon::shutdown`] stops
+/// accepting, drains in-flight connections, and returns the service still
+/// warm. Per-connection failures — protocol garbage, a client vanishing
+/// mid-frame, a broken pipe while writing verdicts — end that connection
+/// only (see [`TcpDaemon::connection_errors`]).
+pub fn serve_tcp(service: AuditService, listener: TcpListener) -> io::Result<TcpDaemon> {
+    let addr = listener.local_addr()?;
+    let service = Arc::new(service);
+    let stop = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(DaemonState::default());
+    let accept_thread = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("tdrd-accept".to_string())
+            .spawn(move || accept_loop(listener, service, stop, state))?
+    };
+    Ok(TcpDaemon {
+        service,
+        addr,
+        stop,
+        state,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<AuditService>,
+    stop: Arc<AtomicBool>,
+    state: Arc<DaemonState>,
+) {
+    let mut conn_id = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): the
+                // daemon must outlive it. Back off briefly and retry.
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            // The wake-up connection from `shutdown` (or a client racing
+            // it). Either way the daemon is closing: drop it unanswered.
+            drop(stream);
+            return;
+        }
+        state.accepted.fetch_add(1, Ordering::Relaxed);
+        reap_finished(&state);
+        let handle = {
+            let service = Arc::clone(&service);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name(format!("tdrd-conn-{conn_id}"))
+                .spawn(move || serve_connection(&service, stream, &state))
+        };
+        match handle {
+            Ok(handle) => state.conns.lock().expect("conns lock").push(handle),
+            Err(_) => {
+                // Could not spawn a thread: count it against the daemon's
+                // error tally and keep accepting — refusing one client is
+                // recoverable, dying is not.
+                state.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        conn_id += 1;
+    }
+}
+
+/// One connection's lifetime: serve until clean EOF / `Shutdown`, or a
+/// typed protocol/transport error (counted, never fatal to the daemon).
+fn serve_connection(service: &AuditService, stream: TcpStream, state: &DaemonState) {
+    // Verdict frames are small and latency matters for the submit→verdict
+    // stream; disable Nagle and buffer writes per frame instead.
+    let _ = stream.set_nodelay(true);
+    let outcome = service.serve(&stream, BufWriter::new(&stream));
+    if outcome.is_err() {
+        state.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Join connection threads that already finished, so a long-lived daemon
+/// does not accumulate handles for every connection it ever served.
+fn reap_finished(state: &DaemonState) {
+    let mut conns = state.conns.lock().expect("conns lock");
+    let mut live = Vec::with_capacity(conns.len());
+    for handle in conns.drain(..) {
+        if handle.is_finished() {
+            let _ = handle.join();
+        } else {
+            live.push(handle);
+        }
+    }
+    *conns = live;
+}
+
+impl TcpDaemon {
+    /// The address the daemon is accepting on (resolves `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service the connections multiplex onto.
+    pub fn service(&self) -> &AuditService {
+        &self.service
+    }
+
+    /// Connections accepted over the daemon's lifetime.
+    pub fn connections_accepted(&self) -> u64 {
+        self.state.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections that ended with a protocol or transport error (a
+    /// corrupt frame, a peer vanishing mid-frame, a broken pipe). Clean
+    /// EOFs and acknowledged `Shutdown`s are not errors.
+    pub fn connection_errors(&self) -> u64 {
+        self.state.errors.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, wait for every in-flight
+    /// connection to end (their submissions complete — the drain
+    /// semantics the stress test pins), and return the still-warm
+    /// [`AuditService`] plus the final connection tallies (exact once
+    /// every connection thread is joined, unlike the live accessors).
+    ///
+    /// Waits for connections, so close (or `Shutdown`-frame) any client
+    /// this caller controls first; a connection held open forever by a
+    /// peer blocks shutdown by design — killing its work silently would
+    /// violate the drain guarantee.
+    pub fn shutdown(mut self) -> DaemonReport {
+        self.shutdown_inner();
+        let connections_accepted = self.state.accepted.load(Ordering::SeqCst);
+        let connection_errors = self.state.errors.load(Ordering::SeqCst);
+        let service = Arc::clone(&self.service);
+        drop(self); // only `service` above and the daemon's own Arc remain
+        DaemonReport {
+            service: match Arc::try_unwrap(service) {
+                Ok(service) => service,
+                Err(_) => {
+                    unreachable!("all daemon threads joined and dropped their service handles")
+                }
+            },
+            connections_accepted,
+            connection_errors,
+        }
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept_thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // `accept()` has no timeout; wake it with a throwaway connection.
+        // A wildcard bind (0.0.0.0 / ::) is not connectable everywhere,
+        // so target loopback on the bound port in that case. If
+        // connecting fails (listener already dead), the accept loop has
+        // already returned or will error out and observe `stop`.
+        let wake_addr = if self.addr.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = if self.addr.is_ipv4() {
+                std::net::Ipv4Addr::LOCALHOST.into()
+            } else {
+                std::net::Ipv6Addr::LOCALHOST.into()
+            };
+            SocketAddr::new(loopback, self.addr.port())
+        } else {
+            self.addr
+        };
+        let _ = TcpStream::connect(wake_addr);
+        let _ = accept.join();
+        let conns = std::mem::take(&mut *self.state.conns.lock().expect("conns lock"));
+        for handle in conns {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpDaemon {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+        // The service Arc drops here; if this is the last handle, the
+        // AuditService's own Drop joins its workers.
+    }
+}

@@ -628,6 +628,7 @@ impl AuditService {
         let mut next = 0usize;
         while let Some((index, verdict)) = ticket.recv() {
             pending.insert(index, verdict);
+            let mut wrote = false;
             while let Some(verdict) = pending.remove(&next) {
                 ControlFrame::Verdict {
                     batch_id,
@@ -636,6 +637,14 @@ impl AuditService {
                 }
                 .write_to(writer)?;
                 next += 1;
+                wrote = true;
+            }
+            // Flush whenever in-order verdicts went out, so a client on a
+            // buffered transport (the TCP front end wraps the socket in a
+            // BufWriter) sees verdicts live as workers produce them, not
+            // all at once with the summary.
+            if wrote {
+                writer.flush().map_err(ControlError::from_io)?;
             }
         }
         debug_assert!(pending.is_empty(), "verdict indexes are contiguous");

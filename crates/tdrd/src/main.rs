@@ -1,0 +1,390 @@
+//! `tdrd` — the deployable audit daemon: a warm
+//! [`AuditService`](sanity_tdr::AuditService) behind a TCP listener
+//! speaking the TDRC control plane (`docs/FORMATS.md` §5).
+//!
+//! ```text
+//! tdrd [--bind ADDR] [--workers N] [--high-water W] [--threshold T]
+//!      [--battery FILE] [--retrain]
+//!      Serve. Prints "tdrd: listening on ADDR" once the listener is up
+//!      (bind to port 0 for an ephemeral port and parse that line).
+//!
+//! tdrd --client ADDR [--sessions N] [--batches M] [--threshold T]
+//!      Smoke-test client: record N clean sessions of the built-in
+//!      reference workload, submit them as M TDRB batches over TCP, and
+//!      verify the returned verdicts bit-identical against an in-process
+//!      audit of the same jobs (pass the daemon's `--threshold` here too
+//!      if it runs a non-default one, so the baseline's flags agree).
+//!      Exits nonzero on any mismatch.
+//! ```
+//!
+//! The daemon audits suspects against a *known-good reference binary*.
+//! Reference binaries are code, not data — this demonstrator compiles one
+//! in (the echo service the bench suite uses); a production deployment
+//! links its own known-good program the same way and keeps everything
+//! else. The `--battery FILE` flag loads a trained
+//! [`DetectorBattery`](detectors::DetectorBattery) from its JSON form and
+//! enables full five-detector scoring; `--retrain` additionally folds
+//! each batch's clean traces back into the battery across batches.
+//!
+//! Shutdown semantics: a TDRC `Shutdown` frame ends one *connection*;
+//! the daemon process is stopped by the operator (SIGTERM — connections
+//! are dropped, which clients observe as a typed disconnect).
+
+use std::net::{TcpListener, TcpStream};
+use std::process::exit;
+
+use jbc::hll::{dsl::*, HTy, Module};
+use jbc::ElemTy;
+use sanity_tdr::audit_pipeline::ingest;
+use sanity_tdr::{serve_tcp, AuditConfig, AuditJob, BatteryMode, Client, Sanity};
+
+/// The compiled-in reference binary: a small echo service (receive a
+/// packet, do payload-dependent work, respond — three rounds), the same
+/// shape the bench suite's daemon experiment audits.
+fn echo_program(rounds: i32) -> jbc::Program {
+    let mut m = Module::new("Echo");
+    m.native("wait_packet", &[], None);
+    m.native("net_recv", &[HTy::Arr(ElemTy::I8)], Some(HTy::I32));
+    m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("buf", newarr(ElemTy::I8, i(256))),
+            let_("done", i(0)),
+            while_(
+                lt(var("done"), i(rounds)),
+                vec![
+                    expr(native("wait_packet", vec![])),
+                    let_("len", native("net_recv", vec![var("buf")])),
+                    if_(
+                        gt(var("len"), i(0)),
+                        vec![
+                            let_("work", idx(var("buf"), i(0))),
+                            let_("acc", i(0)),
+                            for_(
+                                "k",
+                                i(0),
+                                mul(var("work"), i(10)),
+                                vec![set("acc", add(var("acc"), var("k")))],
+                            ),
+                            expr(native("net_send", vec![var("buf"), var("len")])),
+                            set("done", add(var("done"), i(1))),
+                        ],
+                        vec![],
+                    ),
+                ],
+            ),
+        ],
+    ));
+    m.compile().expect("compile built-in reference program")
+}
+
+const ROUNDS: i32 = 3;
+
+fn reference() -> Sanity {
+    Sanity::new(echo_program(ROUNDS))
+}
+
+/// Record one clean session of the reference workload (deterministic in
+/// `run`), as both the daemon's clients and the smoke test produce them.
+fn record_session(sanity: &Sanity, run: u64, session_id: u64) -> AuditJob {
+    let rec = sanity
+        .record(run, move |vm| {
+            for k in 0..ROUNDS as u64 {
+                let data = vec![(10 + k * 3) as u8 ^ (session_id as u8); 64];
+                vm.machine_mut().deliver_packet(100_000 + k * 400_000, data);
+            }
+        })
+        .expect("record reference session");
+    AuditJob {
+        session_id,
+        observed_ipds: rec.tx_ipds_cycles(),
+        log: rec.log,
+    }
+}
+
+struct Args {
+    bind: String,
+    workers: usize,
+    high_water: usize,
+    threshold: Option<f64>,
+    battery: Option<String>,
+    retrain: bool,
+    client: Option<String>,
+    sessions: usize,
+    batches: usize,
+    /// Flag names seen on the command line, for per-mode validation: a
+    /// flag the selected mode ignores is a configuration mistake the
+    /// operator must hear about, not a silent no-op.
+    seen: Vec<&'static str>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tdrd [--bind ADDR] [--workers N] [--high-water W] [--threshold T] \
+         [--battery FILE] [--retrain]\n       \
+         tdrd --client ADDR [--sessions N] [--batches M] [--threshold T]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        bind: "127.0.0.1:4980".to_string(),
+        workers: 2,
+        high_water: 8,
+        threshold: None,
+        battery: None,
+        retrain: false,
+        client: None,
+        sessions: 6,
+        batches: 2,
+        seen: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                exit(2)
+            })
+        };
+        match a.as_str() {
+            "--bind" => args.bind = value("--bind"),
+            "--workers" => args.workers = parse_num(&value("--workers"), "--workers"),
+            "--high-water" => args.high_water = parse_num(&value("--high-water"), "--high-water"),
+            "--threshold" => {
+                args.threshold = Some(value("--threshold").parse().unwrap_or_else(|_| usage()))
+            }
+            "--battery" => args.battery = Some(value("--battery")),
+            "--retrain" => args.retrain = true,
+            "--client" => args.client = Some(value("--client")),
+            "--sessions" => args.sessions = parse_num(&value("--sessions"), "--sessions"),
+            "--batches" => args.batches = parse_num(&value("--batches"), "--batches"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option: {other}");
+                usage()
+            }
+        }
+        if a.starts_with("--") && a != "--help" {
+            args.seen.push(match a.as_str() {
+                "--bind" => "--bind",
+                "--workers" => "--workers",
+                "--high-water" => "--high-water",
+                "--threshold" => "--threshold",
+                "--battery" => "--battery",
+                "--retrain" => "--retrain",
+                "--client" => "--client",
+                "--sessions" => "--sessions",
+                "--batches" => "--batches",
+                _ => unreachable!("unknown flags exit above"),
+            });
+        }
+    }
+    // Reject flags the selected mode would silently ignore: e.g.
+    // `--client ... --battery f.json` would smoke-test a TDR-only
+    // baseline while the operator believes battery scoring was checked.
+    let inapplicable: &[&str] = if args.client.is_some() {
+        &[
+            "--bind",
+            "--workers",
+            "--high-water",
+            "--battery",
+            "--retrain",
+        ]
+    } else {
+        &["--sessions", "--batches"]
+    };
+    for flag in inapplicable {
+        if args.seen.contains(flag) {
+            let mode = if args.client.is_some() {
+                "client"
+            } else {
+                "serve"
+            };
+            eprintln!("{flag} does not apply in {mode} mode");
+            usage();
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str, name: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("{name} needs a number, got {s:?}");
+        exit(2)
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    match args.client.clone() {
+        Some(addr) => run_client(&addr, &args),
+        None => run_server(&args),
+    }
+}
+
+fn run_server(args: &Args) -> ! {
+    let mut sanity = reference();
+    let mut battery_mode = BatteryMode::TdrOnly;
+    if let Some(path) = &args.battery {
+        let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("tdrd: cannot read battery {path}: {e}");
+            exit(1)
+        });
+        let battery = detectors::DetectorBattery::from_json(&json).unwrap_or_else(|e| {
+            eprintln!("tdrd: battery {path} failed to parse: {e}");
+            exit(1)
+        });
+        if !battery.is_trained() {
+            eprintln!("tdrd: battery {path} is untrained");
+            exit(1);
+        }
+        sanity = sanity.with_battery(battery);
+        battery_mode = BatteryMode::Full;
+    } else if args.retrain {
+        eprintln!("tdrd: --retrain needs --battery FILE (nothing to retrain)");
+        exit(2);
+    }
+
+    let mut builder = sanity
+        .audit_service()
+        .workers(args.workers)
+        .high_water(args.high_water)
+        .battery(battery_mode)
+        .retrain_on_clean(args.retrain);
+    if let Some(t) = args.threshold {
+        builder = builder.threshold(t);
+    }
+    let service = builder.build().unwrap_or_else(|e| {
+        eprintln!("tdrd: invalid configuration: {e}");
+        exit(2)
+    });
+
+    let listener = TcpListener::bind(&args.bind).unwrap_or_else(|e| {
+        eprintln!("tdrd: cannot bind {}: {e}", args.bind);
+        exit(1)
+    });
+    let daemon = serve_tcp(service, listener).unwrap_or_else(|e| {
+        eprintln!("tdrd: cannot start accept loop: {e}");
+        exit(1)
+    });
+    // The line scripts parse for ephemeral-port binds; stdout, flushed.
+    println!("tdrd: listening on {}", daemon.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush stdout");
+    eprintln!(
+        "tdrd: {} workers, high-water {}, battery {:?}{}",
+        args.workers,
+        args.high_water,
+        battery_mode,
+        if args.retrain {
+            ", retrain-on-clean"
+        } else {
+            ""
+        },
+    );
+    // Serve until the operator kills the process; connections run on the
+    // daemon's own threads.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_client(addr: &str, args: &Args) {
+    let sanity = reference();
+    println!(
+        "tdrd client: recording {} reference sessions for {} batch(es)",
+        args.sessions, args.batches
+    );
+    let stream = TcpStream::connect(addr).unwrap_or_else(|e| {
+        eprintln!("tdrd client: cannot connect to {addr}: {e}");
+        exit(1)
+    });
+    let mut client = Client::new(stream);
+
+    // The in-process baseline: verdict scores are independent of worker
+    // count and transport, so any mismatch indicates daemon corruption.
+    // The flagging *threshold* is daemon configuration, though — when
+    // smoke-testing a daemon started with a non-default `--threshold`,
+    // pass the same value to the client so the baseline flags match.
+    let cfg = AuditConfig {
+        workers: 2,
+        threshold: args.threshold.unwrap_or(AuditConfig::default().threshold),
+        ..AuditConfig::default()
+    };
+    let mut mismatches = 0usize;
+    for b in 0..args.batches as u64 {
+        let jobs: Vec<AuditJob> = (0..args.sessions as u64)
+            .map(|id| record_session(&sanity, 1_000 * b + id, id))
+            .collect();
+        let local = sanity.audit_batch(&jobs, &cfg);
+        let tdrb = ingest::encode_batch(&jobs);
+        let outcome = client.submit_batch(b, tdrb).unwrap_or_else(|e| {
+            eprintln!("tdrd client: batch {b} protocol failure: {e}");
+            exit(1)
+        });
+        let summary = match outcome.result {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("tdrd client: daemon rejected batch {b}: {msg}");
+                exit(1);
+            }
+        };
+        if outcome.verdicts.len() != jobs.len() {
+            eprintln!(
+                "tdrd client: batch {b}: {} verdicts for {} sessions",
+                outcome.verdicts.len(),
+                jobs.len()
+            );
+            exit(1);
+        }
+        // Every verdict field except `detector_scores` is
+        // battery-independent, so compare them all bit-exact whatever
+        // scoring mode the daemon runs (the score map exists only when
+        // the daemon was started with `--battery`; the local baseline is
+        // TDR-only, so it is compared only against a batteryless daemon).
+        for (wire, local) in outcome.verdicts.iter().zip(&local.verdicts) {
+            let diverged = wire.score.to_bits() != local.score.to_bits()
+                || wire.flagged != local.flagged
+                || wire.session_id != local.session_id
+                || wire.tx_packets != local.tx_packets
+                || wire.replayed_cycles != local.replayed_cycles
+                || wire.error != local.error
+                || (wire.detector_scores.is_empty()
+                    && wire.detector_scores != local.detector_scores);
+            if diverged {
+                eprintln!(
+                    "tdrd client: batch {b} session {}: wire verdict diverged \
+                     (wire {:.6}/{}, local {:.6}/{})",
+                    local.session_id, wire.score, wire.flagged, local.score, local.flagged
+                );
+                mismatches += 1;
+            }
+        }
+        println!(
+            "batch {b}: {} verdicts, flagged {:?}, {} workers, summary sessions {}",
+            outcome.verdicts.len(),
+            summary.summary.flagged,
+            summary.workers,
+            summary.summary.sessions
+        );
+    }
+    match client.shutdown() {
+        Ok(_) => println!("connection shut down cleanly"),
+        Err(e) => {
+            eprintln!("tdrd client: shutdown handshake failed: {e}");
+            exit(1);
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("tdrd client: {mismatches} verdict mismatches");
+        exit(1);
+    }
+    println!(
+        "smoke OK: all wire verdicts bit-identical to the in-process audit \
+         (every field; detector score maps excluded when the daemon runs a battery)"
+    );
+}

@@ -7,15 +7,20 @@
 //! An NFS server is compromised with a traffic-replay covert channel
 //! (TRCTC) that exfiltrates a secret by modulating response timing. A
 //! [`DetectorBattery`] trained on clean traces of the same service is
-//! attached to a warm [`sanity_tdr::AuditService`], which scores each
-//! suspect trace with all five Fig. 8 detectors in one pass: the
-//! statistical tests see traffic that looks legitimate, while the TDR
-//! detector — comparing against what the timing *should* have been,
-//! reproduced by audit replay — catches the channel outright.
+//! attached to a warm [`sanity_tdr::AuditService`] served as a TCP
+//! daemon (the `tdrd` deployment); the suspect traces travel to it as a
+//! TDRB batch over the TDRC control plane, and every session is scored
+//! with all five Fig. 8 detectors in one pass: the statistical tests see
+//! traffic that looks legitimate, while the TDR detector — comparing
+//! against what the timing *should* have been, reproduced by audit
+//! replay — catches the channel outright.
+
+use std::net::{TcpListener, TcpStream};
 
 use channels::{bit_error_rate, message_bits, TimingChannel, Trctc};
 use detectors::{Detector, DetectorBattery, RegularityTest};
-use sanity_tdr::{compare, AuditJob, BatteryMode, Sanity};
+use sanity_tdr::audit_pipeline::ingest;
+use sanity_tdr::{compare, serve_tcp, AuditJob, BatteryMode, Client, Sanity};
 use vm::TargetSendTimes;
 use workloads::nfs;
 
@@ -90,12 +95,13 @@ fn main() {
         bit_error_rate(&secret, &received) * 100.0
     );
 
-    // -- The hunt: a warm audit service, all five detectors per session --
+    // -- The hunt: a warm audit daemon, all five detectors per session --
     // The service's audit replays reproduce each trace's reference timing
     // (what the TDR detector scores against); the statistical detectors
-    // only read the observed wire timing. Both suspect traces go through
-    // as one batch — in production this service stays up and audits every
-    // day's traffic with the same warm caches and battery.
+    // only read the observed wire timing. Both suspect traces travel as
+    // one TDRB batch over a real localhost socket — in production this
+    // daemon (`tdrd`) stays up and audits every day's traffic from many
+    // log sources with the same warm caches and battery.
     let service = server
         .clone()
         .with_battery(battery)
@@ -104,6 +110,8 @@ fn main() {
         .battery(BatteryMode::Full)
         .build()
         .expect("valid service configuration");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let daemon = serve_tcp(service, listener).expect("daemon starts");
     let jobs = vec![
         AuditJob {
             session_id: 0,
@@ -116,9 +124,21 @@ fn main() {
             log: compromised.log.clone(),
         },
     ];
-    let report = service.submit_batch(&jobs).wait().expect("batch audits");
-    service.shutdown();
-    let (clean_verdict, covert_verdict) = (&report.verdicts[0], &report.verdicts[1]);
+    let mut client =
+        Client::new(TcpStream::connect(daemon.local_addr()).expect("connect to daemon"));
+    let outcome = client
+        .submit_batch(0, ingest::encode_batch(&jobs))
+        .expect("TDRC protocol stays clean");
+    let summary = outcome
+        .result
+        .clone()
+        .expect("batch audits over the wire")
+        .summary;
+    client.shutdown().expect("connection shutdown acked");
+    let report = daemon.shutdown();
+    assert_eq!(report.connection_errors, 0);
+    report.service.shutdown();
+    let (clean_verdict, covert_verdict) = (&outcome.verdicts[0], &outcome.verdicts[1]);
 
     println!("{:<12} {:>12} {:>14}", "detector", "clean", "compromised");
     for (name, clean_score) in &clean_verdict.detector_scores {
@@ -134,7 +154,7 @@ fn main() {
         covert_verdict.score * 100.0
     );
     assert!(!clean_verdict.flagged && covert_verdict.flagged);
-    assert_eq!(report.summary.flagged, vec![1], "only the covert session");
+    assert_eq!(summary.flagged, vec![1], "only the covert session");
     assert_eq!(
         covert_verdict.detector_scores["Sanity"].to_bits(),
         covert_verdict.score.to_bits(),

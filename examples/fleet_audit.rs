@@ -18,11 +18,13 @@
 
 use std::collections::HashSet;
 
+use std::net::{TcpListener, TcpStream};
+
 use channels::{message_bits, Needle, TimingChannel, Trctc};
 use detectors::{CceTest, Detector, DetectorBattery, RegularityTest};
 use sanity_tdr::audit_pipeline::ingest;
 use sanity_tdr::audit_pipeline::verdict::{labeled_roc, labeled_roc_by_detector};
-use sanity_tdr::{compare, AuditConfig, AuditJob, BatteryMode, Sanity};
+use sanity_tdr::{compare, serve_tcp, AuditConfig, AuditJob, BatteryMode, Client, Sanity};
 use vm::TargetSendTimes;
 use workloads::nfs;
 
@@ -189,7 +191,7 @@ fn main() {
     // Warm resubmission: the same service audits a second copy of the
     // batch without respawning anything, and the report is identical.
     let resubmitted = service
-        .submit_stream(std::io::Cursor::new(batch_bytes))
+        .submit_stream(std::io::Cursor::new(batch_bytes.clone()))
         .expect("batch header decodes")
         .wait_stream()
         .expect("stream audits");
@@ -199,7 +201,32 @@ fn main() {
         service.sessions_audited(),
         service.workers()
     );
-    service.shutdown();
+
+    // Deployment: the same warm service behind a TCP listener — the
+    // daemon (`tdrd`) a fleet's log sources actually connect to. The
+    // batch travels the TDRC control plane over localhost, and the wire
+    // verdicts must come back bit-identical to the in-process ones.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let daemon = serve_tcp(service, listener).expect("daemon starts");
+    let mut client =
+        Client::new(TcpStream::connect(daemon.local_addr()).expect("connect to daemon"));
+    let outcome = client
+        .submit_batch(1, batch_bytes)
+        .expect("TDRC protocol stays clean");
+    let wire = outcome.result.expect("batch audits over the wire");
+    assert_eq!(
+        outcome.verdicts, sharded.verdicts,
+        "TCP wire verdicts must be bit-identical to the in-process audit"
+    );
+    assert_eq!(wire.summary, sharded.summary);
+    client.shutdown().expect("connection shutdown acked");
+    let report = daemon.shutdown();
+    assert_eq!(report.connection_errors, 0);
+    println!(
+        "TCP daemon served the batch over {} connection(s): wire verdicts bit-identical",
+        report.connections_accepted
+    );
+    report.service.shutdown();
 
     println!(
         "\naudited {} sessions on {} workers (peak {} sessions resident)\n",

@@ -1,0 +1,428 @@
+//! Integration suite for the TCP daemon (`audit_pipeline::net`): a real
+//! localhost round trip is pinned byte-identical to the in-memory duplex
+//! path and to in-process submission, under 1 and 4 concurrent
+//! connections; concurrent clients each get bit-identical verdicts;
+//! slow-loris and mid-frame-stall connections are isolated; and
+//! connection-level garbage never takes the daemon down.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+
+use rand::{rngs::StdRng, SeedableRng};
+use sanity_tdr::audit_pipeline::{ingest, AuditVerdict, FleetSummary};
+use sanity_tdr::{serve_tcp, AuditConfig, AuditJob, Client, ControlFrame, Sanity, TcpDaemon};
+
+#[path = "torture_common.rs"]
+mod torture_common;
+use torture_common::{echo_jobs, echo_sanity, mutate};
+
+fn tcp_daemon(sanity: &Sanity, workers: usize, high_water: usize) -> TcpDaemon {
+    let service = sanity
+        .audit_service()
+        .workers(workers)
+        .high_water(high_water)
+        .build()
+        .expect("valid service configuration");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    serve_tcp(service, listener).expect("daemon starts")
+}
+
+/// Write `request` to a fresh connection, then read the response stream
+/// to EOF (the daemon closes after answering `Shutdown` or erroring).
+fn round_trip_raw(addr: SocketAddr, request: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request).expect("send request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read to EOF");
+    response
+}
+
+/// Decode a full response stream: in-order verdicts, one summary, one
+/// shutdown ack, nothing else.
+fn decode_response(bytes: &[u8]) -> (Vec<AuditVerdict>, FleetSummary) {
+    let mut src = bytes;
+    let mut verdicts = Vec::new();
+    let mut summary = None;
+    let mut acked = false;
+    while let Some(frame) = ControlFrame::read_from(&mut src).expect("response decodes") {
+        match frame {
+            ControlFrame::Verdict { index, verdict, .. } => {
+                assert_eq!(index as usize, verdicts.len(), "verdicts in order");
+                assert!(summary.is_none(), "no verdicts after the summary");
+                verdicts.push(verdict);
+            }
+            ControlFrame::Summary { summary: s, .. } => {
+                assert!(summary.replace(s).is_none(), "exactly one summary");
+            }
+            ControlFrame::ShutdownAck => acked = true,
+            other => panic!("unexpected daemon frame: {other:?}"),
+        }
+    }
+    assert!(acked, "shutdown acknowledged");
+    (verdicts, summary.expect("summary present"))
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance pin: TCP == duplex == in-process, at 1 and 4 connections
+// ---------------------------------------------------------------------------
+
+/// `high_water == 1` makes the streamed peak residency deterministic
+/// (exactly one session resident at a time), so the full response byte
+/// stream — Summary frame included — is comparable across transports.
+#[test]
+fn tcp_round_trip_is_byte_identical_to_duplex_and_in_process() {
+    let sanity = echo_sanity();
+    let jobs = echo_jobs(&sanity, 0..4);
+    let bytes = ingest::encode_batch(&jobs);
+    let expected = sanity.audit_batch(
+        &jobs,
+        &AuditConfig {
+            workers: 2,
+            ..AuditConfig::default()
+        },
+    );
+
+    let mut request = Vec::new();
+    ControlFrame::SubmitBatch {
+        batch_id: 7,
+        tdrb: bytes,
+    }
+    .write_to(&mut request)
+    .expect("encode");
+    ControlFrame::Shutdown
+        .write_to(&mut request)
+        .expect("encode");
+
+    // Reference bytes: the same exchange over the in-memory duplex.
+    let duplex_bytes = {
+        let service = sanity
+            .audit_service()
+            .workers(2)
+            .high_water(1)
+            .build()
+            .expect("valid service configuration");
+        let (client_end, server_end) = sanity_tdr::audit_pipeline::service::duplex();
+        let daemon = std::thread::spawn(move || {
+            let outcome = service.serve(&server_end, &server_end);
+            service.shutdown();
+            outcome
+        });
+        (&client_end).write_all(&request).expect("send request");
+        let mut response = Vec::new();
+        (&client_end)
+            .read_to_end(&mut response)
+            .expect("read to EOF");
+        daemon
+            .join()
+            .expect("daemon thread")
+            .expect("serve loop exits cleanly");
+        response
+    };
+
+    // One TCP connection: the exact same bytes come back.
+    let daemon = tcp_daemon(&sanity, 2, 1);
+    let addr = daemon.local_addr();
+    let tcp_bytes = round_trip_raw(addr, &request);
+    assert_eq!(
+        tcp_bytes, duplex_bytes,
+        "TCP response stream must be byte-identical to the duplex path"
+    );
+
+    // ...and those bytes carry verdicts bit-identical to the in-process
+    // audit of the same jobs.
+    let (verdicts, summary) = decode_response(&tcp_bytes);
+    assert_eq!(verdicts.len(), expected.verdicts.len());
+    for (wire, local) in verdicts.iter().zip(&expected.verdicts) {
+        assert_eq!(wire, local);
+        assert_eq!(wire.score.to_bits(), local.score.to_bits());
+    }
+    assert_eq!(summary, expected.summary);
+
+    // Four concurrent connections: every connection's response stream is
+    // byte-identical to the single-connection (and duplex) bytes.
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            let request = request.clone();
+            std::thread::spawn(move || round_trip_raw(addr, &request))
+        })
+        .collect();
+    for handle in clients {
+        let response = handle.join().expect("client thread");
+        assert_eq!(
+            response, duplex_bytes,
+            "every concurrent connection sees identical bytes"
+        );
+    }
+
+    let report = daemon.shutdown();
+    assert_eq!(report.connections_accepted, 5);
+    assert_eq!(report.connection_errors, 0);
+    report.service.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent-client stress + graceful drain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_clients_get_bit_identical_verdicts_and_shutdown_drains() {
+    let sanity = echo_sanity();
+    let jobs = echo_jobs(&sanity, 0..6);
+    let cfg = AuditConfig {
+        workers: 2,
+        ..AuditConfig::default()
+    };
+    // Three distinct batches; every client submits all three.
+    let batches: Vec<Vec<AuditJob>> = (0..3).map(|b| jobs[b * 2..b * 2 + 2].to_vec()).collect();
+    let baselines: Vec<_> = batches
+        .iter()
+        .map(|b| sanity.audit_batch(b, &cfg))
+        .collect();
+    let batch_bytes: Vec<Vec<u8>> = batches.iter().map(|b| ingest::encode_batch(b)).collect();
+
+    let daemon = tcp_daemon(&sanity, 2, 8);
+    let addr = daemon.local_addr();
+
+    const CLIENTS: usize = 4;
+    let clients: Vec<_> = (0..CLIENTS as u64)
+        .map(|c| {
+            let batch_bytes = batch_bytes.clone();
+            let baselines: Vec<_> = baselines
+                .iter()
+                .map(|r| (r.verdicts.clone(), r.summary.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut client = Client::new(stream);
+                for (m, bytes) in batch_bytes.iter().enumerate() {
+                    let outcome = client
+                        .submit_batch(c * 100 + m as u64, bytes.clone())
+                        .expect("protocol clean");
+                    assert_eq!(outcome.batch_id, c * 100 + m as u64);
+                    let summary = outcome.result.expect("batch audits");
+                    let (expected_verdicts, expected_summary) = &baselines[m];
+                    assert_eq!(&outcome.verdicts, expected_verdicts);
+                    for (wire, local) in outcome.verdicts.iter().zip(expected_verdicts) {
+                        assert_eq!(wire.score.to_bits(), local.score.to_bits());
+                    }
+                    assert_eq!(&summary.summary, expected_summary);
+                }
+                client.shutdown().expect("connection shutdown acked");
+            })
+        })
+        .collect();
+    for handle in clients {
+        handle.join().expect("client thread");
+    }
+
+    // Graceful drain: start shutting down while a client is mid-exchange.
+    // The serve loop flushes verdicts as workers produce them, so the
+    // first-verdict callback fires while the remaining sessions of this
+    // full-fleet batch are still being audited — shutdown() must let the
+    // connection finish in full regardless.
+    let full_baseline = sanity.audit_batch(&jobs, &cfg);
+    let full_bytes = ingest::encode_batch(&jobs);
+    let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+    let (late_verdicts, late_summary) = (
+        full_baseline.verdicts.clone(),
+        full_baseline.summary.clone(),
+    );
+    let late = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut client = Client::new(stream);
+        let outcome = client
+            .submit_batch_with(999, full_bytes, |index, _| {
+                if index == 0 {
+                    let _ = started_tx.send(());
+                }
+            })
+            .expect("protocol clean through the drain");
+        assert_eq!(outcome.verdicts, late_verdicts);
+        assert_eq!(outcome.result.expect("batch audits").summary, late_summary);
+        client.shutdown().expect("ack during drain");
+    });
+    started_rx
+        .recv()
+        .expect("late client got its first verdict");
+    let report = daemon.shutdown(); // blocks until the late connection ends
+    late.join().expect("late client thread");
+
+    assert_eq!(report.connections_accepted, (CLIENTS + 1) as u64);
+    assert_eq!(report.connection_errors, 0);
+    assert_eq!(
+        report.service.sessions_audited(),
+        (CLIENTS * 3 * 2 + jobs.len()) as u64,
+        "every submitted session audited exactly once"
+    );
+    report.service.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Slow-loris / partial writes / mid-frame stalls
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slow_loris_and_mid_frame_stalls_are_isolated_per_connection() {
+    let sanity = echo_sanity();
+    let jobs = echo_jobs(&sanity, 0..3);
+    let bytes = ingest::encode_batch(&jobs);
+    let cfg = AuditConfig {
+        workers: 2,
+        ..AuditConfig::default()
+    };
+    let expected = sanity.audit_batch(&jobs, &cfg);
+
+    // Tight residency bound: a leaked worker-residency slot would wedge
+    // every later streamed submission, so the post-stall submissions below
+    // double as the leak detector.
+    let daemon = tcp_daemon(&sanity, 2, 1);
+    let addr = daemon.local_addr();
+
+    let mut request = Vec::new();
+    ControlFrame::SubmitBatch {
+        batch_id: 1,
+        tdrb: bytes.clone(),
+    }
+    .write_to(&mut request)
+    .expect("encode");
+
+    // Connection 1 stalls mid-frame: two bytes of a length prefix, then
+    // nothing — a classic slow-loris opener.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled.write_all(&request[..2]).expect("partial prefix");
+
+    // Connection 2 dribbles the whole request one byte per write while
+    // connection 1 is stalled; it must be served in full regardless.
+    let mut dribble = TcpStream::connect(addr).expect("connect");
+    for byte in &request {
+        dribble.write_all(std::slice::from_ref(byte)).expect("drip");
+    }
+    let mut verdicts = Vec::new();
+    let summary = loop {
+        match ControlFrame::read_from(&mut dribble)
+            .expect("response decodes")
+            .expect("daemon is up")
+        {
+            ControlFrame::Verdict { verdict, index, .. } => {
+                assert_eq!(index as usize, verdicts.len());
+                verdicts.push(verdict);
+            }
+            ControlFrame::Summary { summary, .. } => break summary,
+            other => panic!("unexpected daemon frame: {other:?}"),
+        }
+    };
+    assert_eq!(verdicts, expected.verdicts);
+    assert_eq!(summary, expected.summary);
+    drop(dribble); // clean EOF at a frame boundary: not an error
+
+    // The stalled peer vanishes mid-frame: its connection errors (typed
+    // Truncated on the daemon side), everyone else keeps being served.
+    drop(stalled);
+    let follow_up = TcpStream::connect(addr).expect("connect");
+    let mut client = Client::new(follow_up);
+    let outcome = client
+        .submit_batch(2, bytes.clone())
+        .expect("protocol clean");
+    assert_eq!(outcome.verdicts, expected.verdicts);
+    assert_eq!(
+        outcome.result.expect("batch audits").summary,
+        expected.summary
+    );
+    client.shutdown().expect("ack");
+
+    let report = daemon.shutdown();
+    assert_eq!(report.connections_accepted, 3);
+    assert_eq!(
+        report.connection_errors, 1,
+        "exactly the stalled connection errored"
+    );
+
+    // No residency slot leaked: the warm service still streams a full
+    // batch under the same high-water bound of 1.
+    let stream = report
+        .service
+        .submit_stream(std::io::Cursor::new(bytes))
+        .expect("header decodes")
+        .wait_stream()
+        .expect("stream audits after the stall");
+    assert_eq!(stream.summary, expected.summary);
+    assert_eq!(stream.peak_resident, 1);
+    report.service.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Connection-level garbage
+// ---------------------------------------------------------------------------
+
+/// Seeded mutations of a request stream thrown at raw TCP connections:
+/// each connection's outcome (in-band service vs typed connection error)
+/// must match `AuditService::serve` over the same bytes in memory, and
+/// the daemon must keep serving throughout.
+#[test]
+fn connection_level_garbage_never_kills_the_daemon() {
+    let sanity = echo_sanity();
+    let jobs = echo_jobs(&sanity, 0..3);
+    let bytes = ingest::encode_batch(&jobs);
+    let cfg = AuditConfig {
+        workers: 2,
+        ..AuditConfig::default()
+    };
+    let expected = sanity.audit_batch(&jobs, &cfg);
+
+    let mut request = Vec::new();
+    ControlFrame::SubmitBatch {
+        batch_id: 3,
+        tdrb: bytes.clone(),
+    }
+    .write_to(&mut request)
+    .expect("encode");
+    ControlFrame::Shutdown
+        .write_to(&mut request)
+        .expect("encode");
+
+    // The in-memory oracle: what `serve` does with each mutated stream.
+    let oracle = sanity
+        .audit_service()
+        .workers(1)
+        .build()
+        .expect("valid service configuration");
+
+    let daemon = tcp_daemon(&sanity, 2, 8);
+    let addr = daemon.local_addr();
+    let mut expected_errors = 0u64;
+    const CONNS: u64 = 20;
+    let mut rng = StdRng::seed_from_u64(0x07d5_e7c9);
+    for _seed in 0..CONNS {
+        let mutated = mutate(&mut rng, &request);
+        if oracle.serve(&mutated[..], std::io::sink()).is_err() {
+            expected_errors += 1;
+        }
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        // The daemon may error and close mid-write; that only this
+        // connection cares about.
+        let _ = conn.write_all(&mutated);
+        let _ = conn.shutdown(Shutdown::Write); // deliver EOF like the oracle
+        let mut sink = Vec::new();
+        let _ = conn.read_to_end(&mut sink); // drain until the daemon closes
+    }
+    oracle.shutdown();
+
+    // Still serving, verdicts still bit-identical.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut client = Client::new(stream);
+    let outcome = client.submit_batch(42, bytes).expect("protocol clean");
+    assert_eq!(outcome.verdicts, expected.verdicts);
+    assert_eq!(
+        outcome.result.expect("batch audits").summary,
+        expected.summary
+    );
+    client.shutdown().expect("ack");
+
+    let report = daemon.shutdown();
+    assert_eq!(report.connections_accepted, CONNS + 1);
+    assert_eq!(
+        report.connection_errors, expected_errors,
+        "every connection's outcome matches the in-memory serve oracle"
+    );
+    report.service.shutdown();
+}

@@ -1,0 +1,283 @@
+//! Protocol torture suite: seeded random corruption of every wire format.
+//!
+//! Takes pinned-good TDRC control frames, TDRL frame streams, and TDRB
+//! batches, applies ~1k seeded random mutations — bit flips, truncations,
+//! length-prefix inflation, duplicated and interleaved frames, byte-span
+//! rewrites — and requires that **every** mutation either decodes to
+//! something self-consistent (re-encode → re-decode identical) or fails
+//! with a *typed* error. No mutation may panic, hang, or (for the daemon)
+//! end the serve loop: a daemon handed a corrupted embedded batch answers
+//! with an in-band `Error` frame and keeps serving.
+//!
+//! The vendored `rand` is deterministic per seed, so every failure here
+//! reproduces exactly; the panic message names the corpus and seed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::{rngs::StdRng, SeedableRng};
+use sanity_tdr::audit_pipeline::service::duplex;
+use sanity_tdr::audit_pipeline::{ingest, AuditVerdict, BatchStream, FleetSummary};
+use sanity_tdr::replay::codec::write_frame;
+use sanity_tdr::replay::{EventLog, PacketRecord, SessionStream};
+use sanity_tdr::{AuditConfig, AuditJob, Client, ControlFrame};
+
+#[path = "torture_common.rs"]
+mod torture_common;
+use torture_common::{echo_jobs, echo_sanity, mutate};
+
+// ---------------------------------------------------------------------------
+// Good corpora
+// ---------------------------------------------------------------------------
+
+/// A small synthetic event log (structurally valid; never replayed by the
+/// decode-level torture, so contents only need to round-trip).
+fn sample_log(salt: u64) -> EventLog {
+    EventLog {
+        packets: vec![
+            PacketRecord {
+                icount: 1_000 + salt,
+                avail_at: 52_000,
+                wire_at: 50_000,
+                data: vec![salt as u8; 48],
+            },
+            PacketRecord {
+                icount: 9_500 + salt,
+                avail_at: 410_000,
+                wire_at: 400_000,
+                data: (0..64).collect(),
+            },
+        ],
+        values: vec![1_000_000, 1_000_450 + salt, 999_999],
+        final_icount: 123_456 + salt,
+        final_cycles: 987_654 + salt,
+        final_wall_ps: 7_777_777 + salt as u128,
+    }
+}
+
+/// Concatenated TDRL frames.
+fn tdrl_corpus() -> Vec<u8> {
+    let mut buf = Vec::new();
+    for salt in 0..3 {
+        write_frame(&mut buf, &sample_log(salt));
+    }
+    buf
+}
+
+/// One TDRB batch of synthetic sessions.
+fn tdrb_corpus() -> Vec<u8> {
+    let jobs: Vec<AuditJob> = (0..3u64)
+        .map(|id| AuditJob {
+            session_id: id,
+            observed_ipds: vec![350_000 + id, 360_000, 355_500],
+            log: sample_log(id),
+        })
+        .collect();
+    ingest::encode_batch(&jobs)
+}
+
+/// Concatenated TDRC frames of every kind.
+fn tdrc_corpus() -> Vec<u8> {
+    let verdict = AuditVerdict {
+        session_id: 7,
+        score: 0.015,
+        flagged: false,
+        tx_packets: 3,
+        replayed_cycles: 1_000,
+        detector_scores: [("Sanity".to_string(), 0.015), ("KS test".to_string(), -0.5)]
+            .into_iter()
+            .collect(),
+        error: None,
+    };
+    let summary = FleetSummary::from_verdicts(std::slice::from_ref(&verdict));
+    let frames = [
+        ControlFrame::SubmitBatch {
+            batch_id: 1,
+            tdrb: tdrb_corpus(),
+        },
+        ControlFrame::Verdict {
+            batch_id: 1,
+            index: 0,
+            verdict,
+        },
+        ControlFrame::Summary {
+            batch_id: 1,
+            workers: 2,
+            peak_resident: 4,
+            summary,
+        },
+        ControlFrame::Error {
+            batch_id: 2,
+            message: "session 1 failed to decode".to_string(),
+        },
+        ControlFrame::Shutdown,
+        ControlFrame::ShutdownAck,
+    ];
+    let mut buf = Vec::new();
+    for frame in &frames {
+        buf.extend_from_slice(&frame.encode());
+    }
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// The mutation sweep (the mutator itself lives in `torture_common`)
+// ---------------------------------------------------------------------------
+
+/// Run `decode` over a seeded mutation sweep; any panic is reported with
+/// the corpus name and seed so it reproduces deterministically.
+fn sweep(corpus_name: &str, base: &[u8], mutations: usize, decode: impl Fn(&[u8])) {
+    for seed in 0..mutations as u64 {
+        let mut rng = StdRng::seed_from_u64(0x7d5e_0000 + seed);
+        let mutated = mutate(&mut rng, base);
+        let outcome = catch_unwind(AssertUnwindSafe(|| decode(&mutated)));
+        assert!(
+            outcome.is_ok(),
+            "{corpus_name} seed {seed}: decoder panicked on a {}-byte mutation",
+            mutated.len()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decode-level torture: typed errors or self-consistent decodes, never a
+// panic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tdrc_survives_a_thousand_seeded_mutations() {
+    let base = tdrc_corpus();
+    sweep("TDRC", &base, 350, |bytes| {
+        let mut src = bytes;
+        loop {
+            match ControlFrame::read_from(&mut src) {
+                Ok(None) => break, // clean end of stream
+                Ok(Some(frame)) => {
+                    // A decode that survives corruption must be
+                    // self-consistent: re-encode → re-decode identical.
+                    let re = frame.encode();
+                    let back = ControlFrame::read_from(&mut &re[..])
+                        .expect("re-encoded frame decodes")
+                        .expect("one frame");
+                    assert_eq!(back, frame);
+                }
+                Err(_typed) => break, // a typed ControlError, by type
+            }
+        }
+    });
+}
+
+#[test]
+fn tdrl_survives_a_thousand_seeded_mutations() {
+    let base = tdrl_corpus();
+    sweep("TDRL", &base, 350, |bytes| {
+        for item in SessionStream::new(bytes) {
+            match item {
+                Ok(log) => {
+                    // Self-consistency: the decoded log re-encodes and
+                    // re-decodes identically.
+                    let re = log.encode();
+                    assert_eq!(EventLog::decode(&re).expect("re-decodes"), log);
+                }
+                Err(_typed) => break, // a typed StreamError
+            }
+        }
+    });
+}
+
+#[test]
+fn tdrb_survives_a_thousand_seeded_mutations() {
+    let base = tdrb_corpus();
+    sweep("TDRB", &base, 350, |bytes| {
+        let stream = match BatchStream::new(bytes) {
+            Ok(stream) => stream,
+            Err(_typed) => return, // a typed IngestError
+        };
+        for item in stream {
+            match item {
+                Ok(_job) => {}
+                Err(_typed) => break, // a typed IngestError
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Daemon-level torture: corrupted embedded batches are answered in-band
+// ---------------------------------------------------------------------------
+
+/// Mutated TDRB payloads inside *valid* `SubmitBatch` frames: every
+/// submission is answered in-band (`Error`, or verdicts + `Summary` for
+/// the rare mutation that leaves the batch decodable) and the daemon
+/// keeps serving — the final good batch comes back bit-identical to the
+/// in-process audit.
+#[test]
+fn daemon_answers_corrupted_batches_in_band_and_keeps_serving() {
+    let sanity = echo_sanity();
+    let jobs = echo_jobs(&sanity, 0..3);
+    let good = ingest::encode_batch(&jobs);
+    let cfg = AuditConfig {
+        workers: 2,
+        ..AuditConfig::default()
+    };
+    let expected = sanity.audit_batch(&jobs, &cfg);
+
+    let service = sanity
+        .audit_service()
+        .workers(2)
+        .build()
+        .expect("valid service configuration");
+    let (client_end, server_end) = duplex();
+    let daemon = std::thread::spawn(move || {
+        let outcome = service.serve(&server_end, &server_end);
+        service.shutdown();
+        outcome
+    });
+
+    let mut client = Client::new(&client_end);
+    let mut in_band_errors = 0usize;
+    let mut clean_decodes = 0usize;
+    let mut rng = StdRng::seed_from_u64(0x7d5e_da11);
+    const MUTATIONS: usize = 40;
+    for m in 0..MUTATIONS as u64 {
+        let bad = mutate(&mut rng, &good);
+        // The *control* frame is valid; only the embedded TDRB is
+        // corrupt. The exchange itself must therefore stay protocol-clean.
+        let outcome = client
+            .submit_batch(m, bad)
+            .expect("corrupted batch content must never become a protocol error");
+        match outcome.result {
+            Err(_message) => in_band_errors += 1,
+            Ok(summary) => {
+                // The mutation left a decodable batch (e.g. a zero-length
+                // duplication). Whatever decoded was audited for real.
+                assert_eq!(summary.summary.sessions, outcome.verdicts.len() as u64);
+                clean_decodes += 1;
+            }
+        }
+    }
+    assert!(
+        in_band_errors > MUTATIONS / 2,
+        "mutations should mostly corrupt the batch (got {in_band_errors} errors, \
+         {clean_decodes} clean)"
+    );
+
+    // The daemon survived all of it: the next good batch is bit-identical
+    // to the in-process audit.
+    let outcome = client
+        .submit_batch(999, good)
+        .expect("daemon still speaks clean protocol");
+    let summary = outcome.result.expect("good batch audits");
+    assert_eq!(summary.summary, expected.summary);
+    assert_eq!(outcome.verdicts.len(), expected.verdicts.len());
+    for (wire, local) in outcome.verdicts.iter().zip(&expected.verdicts) {
+        assert_eq!(wire, local);
+        assert_eq!(wire.score.to_bits(), local.score.to_bits());
+    }
+
+    client.shutdown().expect("ack");
+    drop(client_end);
+    daemon
+        .join()
+        .expect("daemon thread")
+        .expect("serve loop exits cleanly");
+}

@@ -1,0 +1,129 @@
+//! Helpers shared by the protocol torture suites
+//! (`protocol_torture.rs`, `integration_daemon_tcp.rs`): the seeded
+//! byte-stream mutator and the cheap echo fixture. Each test binary pulls
+//! this in with `#[path = "torture_common.rs"] mod torture_common;`, so
+//! the two suites can never drift apart on what "a mutation" means.
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use rand::{rngs::StdRng, Rng};
+use sanity_tdr::{AuditJob, Sanity};
+
+/// One seeded mutation of `base`: bit flips, truncation, length-prefix /
+/// length-field inflation, duplicated frames, interleaved chunks, or a
+/// random byte-span rewrite. Deterministic per RNG state, so every
+/// failure reproduces from its seed.
+pub fn mutate(rng: &mut StdRng, base: &[u8]) -> Vec<u8> {
+    let mut out = base.to_vec();
+    match rng.gen_range(0u32..6) {
+        // Flip 1–4 random bits anywhere (length prefix, header, body, CRC).
+        0 => {
+            for _ in 0..rng.gen_range(1usize..=4) {
+                let at = rng.gen_range(0..out.len());
+                out[at] ^= 1 << rng.gen_range(0u32..8);
+            }
+        }
+        // Truncate strictly inside the stream.
+        1 => {
+            let at = rng.gen_range(0..out.len());
+            out.truncate(at);
+        }
+        // Inflate 4 bytes at a random offset with a huge little-endian
+        // u32 — when it lands on a length prefix this declares far more
+        // bytes than exist (or than any bound allows).
+        2 => {
+            if out.len() >= 4 {
+                let at = rng.gen_range(0..=out.len() - 4);
+                let huge: u32 = rng.gen_range(1u32 << 20..=u32::MAX);
+                out[at..at + 4].copy_from_slice(&huge.to_le_bytes());
+            }
+        }
+        // Duplicate a prefix onto the end (repeated / trailing frames).
+        3 => {
+            let upto = rng.gen_range(0..=out.len());
+            let dup = out[..upto].to_vec();
+            out.extend_from_slice(&dup);
+        }
+        // Interleave: splice a chunk of the stream into a random position.
+        4 => {
+            let lo = rng.gen_range(0..out.len());
+            let hi = rng.gen_range(lo..=out.len());
+            let chunk = out[lo..hi].to_vec();
+            let at = rng.gen_range(0..=out.len());
+            let tail = out.split_off(at);
+            out.extend_from_slice(&chunk);
+            out.extend_from_slice(&tail);
+        }
+        // Rewrite a random span with random bytes.
+        _ => {
+            let lo = rng.gen_range(0..out.len());
+            let hi = rng.gen_range(lo..=out.len().min(lo + 64));
+            for slot in &mut out[lo..hi] {
+                *slot = rng.gen_range(0u32..256) as u8;
+            }
+        }
+    }
+    out
+}
+
+/// A cheap echo reference (three request/response rounds): real
+/// replayable sessions without NFS-scale recording cost.
+pub fn echo_sanity() -> Sanity {
+    echo_sanity_with(3)
+}
+
+/// [`echo_sanity`] with a configurable round count (IPDs per session =
+/// rounds − 1): the one definition every suite shares, so fixtures
+/// cannot drift.
+pub fn echo_sanity_with(rounds: i32) -> Sanity {
+    use sanity_tdr::jbc::hll::{dsl::*, HTy, Module};
+    use sanity_tdr::jbc::ElemTy;
+    let mut m = Module::new("Echo");
+    m.native("wait_packet", &[], None);
+    m.native("net_recv", &[HTy::Arr(ElemTy::I8)], Some(HTy::I32));
+    m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("buf", newarr(ElemTy::I8, i(256))),
+            let_("done", i(0)),
+            while_(
+                lt(var("done"), i(rounds)),
+                vec![
+                    expr(native("wait_packet", vec![])),
+                    let_("len", native("net_recv", vec![var("buf")])),
+                    if_(
+                        gt(var("len"), i(0)),
+                        vec![
+                            expr(native("net_send", vec![var("buf"), var("len")])),
+                            set("done", add(var("done"), i(1))),
+                        ],
+                        vec![],
+                    ),
+                ],
+            ),
+        ],
+    ));
+    Sanity::new(m.compile().expect("compile echo program"))
+}
+
+/// Record one clean echo session per id.
+pub fn echo_jobs(sanity: &Sanity, ids: std::ops::Range<u64>) -> Vec<AuditJob> {
+    ids.map(|id| {
+        let rec = sanity
+            .record(700 + id, move |vm| {
+                for k in 0..3u64 {
+                    let data = vec![(9 + k) as u8 ^ id as u8; 48];
+                    vm.machine_mut().deliver_packet(100_000 + k * 400_000, data);
+                }
+            })
+            .expect("record echo session");
+        AuditJob {
+            session_id: id,
+            observed_ipds: rec.tx_ipds_cycles(),
+            log: rec.log,
+        }
+    })
+    .collect()
+}
