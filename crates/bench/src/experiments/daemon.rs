@@ -279,12 +279,47 @@ pub fn run_tcp(opts: &Options) {
             handle.join().expect("client thread");
         }
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let sessions = (conns * batches.len() * per_batch) as f64;
+
+        // Stats cross-check: a probe connection fetches a live TDRC
+        // `Stats` snapshot and its counters must equal ground truth —
+        // every session the clients submitted was counted, exactly once.
+        {
+            let stream = TcpStream::connect(addr).expect("stats probe connects");
+            let mut probe = Client::new(stream);
+            let snap = probe.stats().expect("stats over TCP");
+            assert_eq!(
+                snap.counter("sessions_audited"),
+                sessions as u64,
+                "snapshot sessions == submitted sessions"
+            );
+            assert_eq!(snap.counter("sessions_submitted"), sessions as u64);
+            assert_eq!(
+                snap.counter("batches_completed"),
+                (conns * TCP_BATCHES_PER_CONN) as u64
+            );
+            assert_eq!(snap.counter("conn_accepted"), conns as u64 + 1);
+            // The probe itself is one active connection; a just-shut-down
+            // client's serve thread may not have decremented yet (the
+            // client learns of ShutdownAck before the daemon-side cleanup
+            // runs), so the live gauge is bounded, not exact.
+            let active = snap.gauge("conn_active");
+            assert!(
+                (1..=conns as u64 + 1).contains(&active),
+                "conn_active {active} outside [1, {}]",
+                conns + 1
+            );
+            assert_eq!(snap.counter("conn_errors"), 0);
+            probe.shutdown().expect("probe shutdown acked");
+        }
 
         let report = daemon.shutdown();
-        assert_eq!(report.connections_accepted, conns as u64);
+        // The probe connection is the +1; the final report is a view of
+        // the same metric set the Stats frame exported.
+        assert_eq!(report.connections_accepted, conns as u64 + 1);
         assert_eq!(report.connection_errors, 0, "no connection may error");
-        let sessions = (conns * batches.len() * per_batch) as f64;
         assert_eq!(report.service.sessions_audited(), sessions as u64);
+        assert_eq!(report.snapshot.counter("sessions_audited"), sessions as u64);
         report.service.shutdown();
 
         let throughput = sessions / (wall_ms / 1e3);

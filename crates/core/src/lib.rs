@@ -76,9 +76,10 @@ pub use sim_core;
 pub use vm;
 
 pub use audit_pipeline::{
-    serve_tcp, AuditConfig, AuditJob, AuditService, BatchOutcome, BatchReport, BatchSummary,
-    BatchTicket, BatteryMode, Client, ConfigError, ControlError, ControlFrame, DaemonReport,
-    IngestError, ServiceBuilder, StreamReport, TcpDaemon,
+    serve_tcp, serve_tcp_with, AuditConfig, AuditJob, AuditService, BatchOutcome, BatchReport,
+    BatchSummary, BatchTicket, BatteryMode, Client, ConfigError, ControlError, ControlFrame,
+    DaemonOptions, DaemonReport, IngestError, MetricsSnapshot, ServiceBuilder, StreamReport,
+    TcpDaemon, TraceEvent, TraceKind,
 };
 pub use detectors::{Detector, DetectorBattery, TraceView};
 

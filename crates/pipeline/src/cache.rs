@@ -9,7 +9,11 @@
 //! out per-session audit replays. It is what turns the two-trace TDR
 //! detector into an ordinary [`detectors::Detector`]: the adapter produces
 //! the reference timing the detector compares against. It also counts what
-//! passed through it, which is what the throughput bench reads.
+//! passed through it, which is what the throughput bench reads. Under an
+//! [`crate::AuditService`] the per-worker tallies here are shadowed by the
+//! service-wide [`crate::obs::ServiceMetrics`] counters (`sessions_audited`,
+//! `replayed_cycles`), which aggregate across workers without touching this
+//! single-threaded hot path.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

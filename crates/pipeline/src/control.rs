@@ -24,6 +24,7 @@ use std::io::{self, Read, Write};
 use replay::codec::{wire, CodecError};
 use replay::stream::{read_full, read_length_prefix, StreamError};
 
+use crate::obs::{HistogramSnapshot, MetricsSnapshot};
 use crate::verdict::{AuditVerdict, DetectorStats, FleetSummary, ScoreHistogram, EDGES};
 
 /// Magic bytes opening every control frame's payload.
@@ -82,6 +83,10 @@ pub enum ControlError {
     /// exchanges is not an error; EOF inside a frame is
     /// [`Truncated`](Self::Truncated).)
     Disconnected,
+    /// The peer idled past a configured read deadline. Produced only by
+    /// endpoints running with a read timeout on the transport (see
+    /// `net::DaemonOptions::idle_timeout`); never by decoding.
+    IdleTimeout,
     /// The transport failed.
     Io(io::ErrorKind, String),
 }
@@ -122,6 +127,9 @@ impl fmt::Display for ControlError {
             ControlError::Disconnected => {
                 write!(f, "peer disconnected mid-exchange")
             }
+            ControlError::IdleTimeout => {
+                write!(f, "peer idled past the configured read deadline")
+            }
             ControlError::Io(kind, msg) => write!(f, "transport failed ({kind:?}): {msg}"),
         }
     }
@@ -151,6 +159,29 @@ impl ControlError {
             StreamError::FrameTooLarge { len, max } => ControlError::FrameTooLarge { len, max },
         }
     }
+
+    /// The per-variant tally counter name this error increments in a
+    /// service's metrics (`control_err_*`; see `docs/ARCHITECTURE.md`,
+    /// "Observability").
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            ControlError::Truncated => "control_err_truncated",
+            ControlError::BadMagic => "control_err_bad_magic",
+            ControlError::UnsupportedVersion(_) => "control_err_unsupported_version",
+            ControlError::UnsupportedFlags(_) => "control_err_unsupported_flags",
+            ControlError::BadChecksum { .. } => "control_err_bad_checksum",
+            ControlError::UnknownKind(_) => "control_err_unknown_kind",
+            ControlError::FrameTooLarge { .. } => "control_err_frame_too_large",
+            ControlError::Body(_) => "control_err_body",
+            ControlError::BadUtf8 => "control_err_bad_utf8",
+            ControlError::BadBool(_) => "control_err_bad_bool",
+            ControlError::TrailingBytes(_) => "control_err_trailing_bytes",
+            ControlError::UnexpectedFrame(_) => "control_err_unexpected_frame",
+            ControlError::Disconnected => "control_err_disconnected",
+            ControlError::IdleTimeout => "control_err_idle_timeout",
+            ControlError::Io(..) => "control_err_io",
+        }
+    }
 }
 
 /// Frame kind bytes (one per [`ControlFrame`] variant).
@@ -161,6 +192,8 @@ mod kind {
     pub const ERROR: u8 = 0x04;
     pub const SHUTDOWN: u8 = 0x05;
     pub const SHUTDOWN_ACK: u8 = 0x06;
+    pub const STATS_REQUEST: u8 = 0x07;
+    pub const STATS: u8 = 0x08;
 }
 
 /// One control-plane message.
@@ -212,6 +245,16 @@ pub enum ControlFrame {
     Shutdown,
     /// Daemon response to [`Shutdown`](Self::Shutdown).
     ShutdownAck,
+    /// Client request: report the service's current metrics.
+    StatsRequest,
+    /// Daemon response to [`StatsRequest`](Self::StatsRequest): a
+    /// point-in-time [`MetricsSnapshot`]. The body encoding is ordered by
+    /// metric name (the snapshot's `BTreeMap`s), so equal snapshots
+    /// serialize bit-identically; float values travel as IEEE-754 bits.
+    Stats {
+        /// The service's metrics at the moment the request was served.
+        snapshot: MetricsSnapshot,
+    },
 }
 
 impl ControlFrame {
@@ -224,6 +267,8 @@ impl ControlFrame {
             ControlFrame::Error { .. } => kind::ERROR,
             ControlFrame::Shutdown => kind::SHUTDOWN,
             ControlFrame::ShutdownAck => kind::SHUTDOWN_ACK,
+            ControlFrame::StatsRequest => kind::STATS_REQUEST,
+            ControlFrame::Stats { .. } => kind::STATS,
         }
     }
 
@@ -236,6 +281,8 @@ impl ControlFrame {
             ControlFrame::Error { .. } => "Error",
             ControlFrame::Shutdown => "Shutdown",
             ControlFrame::ShutdownAck => "ShutdownAck",
+            ControlFrame::StatsRequest => "StatsRequest",
+            ControlFrame::Stats { .. } => "Stats",
         }
     }
 
@@ -287,7 +334,8 @@ impl ControlFrame {
                 wire::put_varint(out, *batch_id);
                 put_string(out, message);
             }
-            ControlFrame::Shutdown | ControlFrame::ShutdownAck => {}
+            ControlFrame::Shutdown | ControlFrame::ShutdownAck | ControlFrame::StatsRequest => {}
+            ControlFrame::Stats { snapshot } => put_snapshot(out, snapshot),
         }
     }
 
@@ -358,6 +406,10 @@ impl ControlFrame {
             }
             kind::SHUTDOWN => ControlFrame::Shutdown,
             kind::SHUTDOWN_ACK => ControlFrame::ShutdownAck,
+            kind::STATS_REQUEST => ControlFrame::StatsRequest,
+            kind::STATS => ControlFrame::Stats {
+                snapshot: read_snapshot(body, &mut pos)?,
+            },
             other => return Err(ControlError::UnknownKind(other)),
         };
         if pos != body.len() {
@@ -553,6 +605,113 @@ fn read_summary(buf: &[u8], pos: &mut usize) -> Result<FleetSummary, ControlErro
     })
 }
 
+/// Body-length bound for an attacker-declared element count: each element
+/// occupies at least `min_bytes` on the wire, so a count the remaining
+/// body cannot possibly hold is a length overflow, rejected before any
+/// allocation (same discipline as `read_summary`'s flagged bound).
+fn bounded_count(
+    buf: &[u8],
+    pos: usize,
+    declared: u64,
+    min_bytes: usize,
+) -> Result<usize, ControlError> {
+    let remaining = buf.len().saturating_sub(pos);
+    if declared > (remaining / min_bytes.max(1)) as u64 {
+        return Err(ControlError::Body(CodecError::LengthOverflow));
+    }
+    Ok(declared as usize)
+}
+
+fn put_snapshot(out: &mut Vec<u8>, s: &MetricsSnapshot) {
+    wire::put_varint(out, s.counters.len() as u64);
+    for (name, &v) in &s.counters {
+        put_string(out, name);
+        wire::put_varint(out, v);
+    }
+    wire::put_varint(out, s.gauges.len() as u64);
+    for (name, &v) in &s.gauges {
+        put_string(out, name);
+        wire::put_varint(out, v);
+    }
+    wire::put_varint(out, s.float_gauges.len() as u64);
+    for (name, &v) in &s.float_gauges {
+        put_string(out, name);
+        wire::put_f64(out, v);
+    }
+    wire::put_varint(out, s.histograms.len() as u64);
+    for (name, h) in &s.histograms {
+        put_string(out, name);
+        wire::put_varint(out, h.edges.len() as u64);
+        for &edge in &h.edges {
+            wire::put_f64(out, edge);
+        }
+        for &count in &h.counts {
+            wire::put_varint(out, count);
+        }
+        wire::put_varint(out, h.total);
+        wire::put_f64(out, h.sum);
+    }
+}
+
+fn read_snapshot(buf: &[u8], pos: &mut usize) -> Result<MetricsSnapshot, ControlError> {
+    // A name is ≥ 1 byte (its length varint) and every value ≥ 1 byte, so
+    // each entry of every family is ≥ 2 wire bytes.
+    let n = wire::read_varint(buf, pos)?;
+    let n_counters = bounded_count(buf, *pos, n, 2)?;
+    let mut counters = BTreeMap::new();
+    for _ in 0..n_counters {
+        let name = read_string(buf, pos)?;
+        counters.insert(name, wire::read_varint(buf, pos)?);
+    }
+    let n = wire::read_varint(buf, pos)?;
+    let n_gauges = bounded_count(buf, *pos, n, 2)?;
+    let mut gauges = BTreeMap::new();
+    for _ in 0..n_gauges {
+        let name = read_string(buf, pos)?;
+        gauges.insert(name, wire::read_varint(buf, pos)?);
+    }
+    let n = wire::read_varint(buf, pos)?;
+    let n_float = bounded_count(buf, *pos, n, 9)?; // name ≥ 1 + f64 = 8
+    let mut float_gauges = BTreeMap::new();
+    for _ in 0..n_float {
+        let name = read_string(buf, pos)?;
+        float_gauges.insert(name, wire::read_f64(buf, pos)?);
+    }
+    let n = wire::read_varint(buf, pos)?;
+    let n_hist = bounded_count(buf, *pos, n, 2)?;
+    let mut histograms = BTreeMap::new();
+    for _ in 0..n_hist {
+        let name = read_string(buf, pos)?;
+        let n = wire::read_varint(buf, pos)?;
+        let n_edges = bounded_count(buf, *pos, n, 8)?; // each edge is an f64
+        let mut edges = Vec::with_capacity(n_edges);
+        for _ in 0..n_edges {
+            edges.push(wire::read_f64(buf, pos)?);
+        }
+        let mut counts = Vec::with_capacity(n_edges + 1);
+        for _ in 0..=n_edges {
+            counts.push(wire::read_varint(buf, pos)?);
+        }
+        let total = wire::read_varint(buf, pos)?;
+        let sum = wire::read_f64(buf, pos)?;
+        histograms.insert(
+            name,
+            HistogramSnapshot {
+                edges,
+                counts,
+                total,
+                sum,
+            },
+        );
+    }
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        float_gauges,
+        histograms,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Typed client
 // ---------------------------------------------------------------------------
@@ -703,6 +862,20 @@ impl<T: Read + Write> Client<T> {
         }
     }
 
+    /// Fetch the daemon's current metrics: one `StatsRequest` frame out,
+    /// exactly one `Stats` frame back. Callable between batch exchanges
+    /// on the same connection; the snapshot covers the whole *service*
+    /// (every connection's traffic), not just this client's.
+    pub fn stats(&mut self) -> Result<MetricsSnapshot, ControlError> {
+        ControlFrame::StatsRequest.write_to(&mut self.transport)?;
+        self.transport.flush().map_err(ControlError::from_io)?;
+        match ControlFrame::read_from(&mut self.transport)? {
+            Some(ControlFrame::Stats { snapshot }) => Ok(snapshot),
+            Some(other) => Err(ControlError::UnexpectedFrame(other.kind_name())),
+            None => Err(ControlError::Disconnected),
+        }
+    }
+
     /// Perform the `Shutdown`/`ShutdownAck` handshake and consume the
     /// client (over TCP this ends the *connection*; the daemon keeps
     /// serving other connections — `docs/FORMATS.md` §5.4).
@@ -773,6 +946,36 @@ mod tests {
         FleetSummary::from_verdicts(&verdicts)
     }
 
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: [
+                ("sessions_audited".to_string(), 12u64),
+                ("conn_accepted".to_string(), 3),
+                ("bytes_in".to_string(), u64::MAX),
+            ]
+            .into_iter()
+            .collect(),
+            gauges: [("conn_active".to_string(), 1u64)].into_iter().collect(),
+            float_gauges: [
+                ("uptime_seconds".to_string(), 12.5f64),
+                ("retrain_drift_mean".to_string(), -0.0),
+            ]
+            .into_iter()
+            .collect(),
+            histograms: [(
+                "verdict_latency_us".to_string(),
+                HistogramSnapshot {
+                    edges: vec![50.0, 100.0, 250.0],
+                    counts: vec![1, 2, 3, 4],
+                    total: 10,
+                    sum: 1234.5,
+                },
+            )]
+            .into_iter()
+            .collect(),
+        }
+    }
+
     fn every_frame() -> Vec<ControlFrame> {
         vec![
             ControlFrame::SubmitBatch {
@@ -810,6 +1013,13 @@ mod tests {
             },
             ControlFrame::Shutdown,
             ControlFrame::ShutdownAck,
+            ControlFrame::StatsRequest,
+            ControlFrame::Stats {
+                snapshot: sample_snapshot(),
+            },
+            ControlFrame::Stats {
+                snapshot: MetricsSnapshot::default(),
+            },
         ]
     }
 
@@ -1046,6 +1256,216 @@ mod tests {
         );
     }
 
+    /// Pins the §5.5 worked example (`docs/FORMATS.md`) byte for byte:
+    /// a `StatsRequest` and a one-counter/one-gauge `Stats` frame. As
+    /// with the Verdict pin above, a failure means code and spec
+    /// diverged.
+    #[test]
+    fn formats_md_stats_frame_bytes_are_pinned() {
+        let request = ControlFrame::StatsRequest;
+        let expected_request: Vec<u8> = vec![
+            0x0d, 0x00, 0x00, 0x00, // length prefix = 13
+            0x54, 0x44, 0x52, 0x43, // magic "TDRC"
+            0x01, 0x00, // version = 1
+            0x00, 0x00, // flags = 0
+            0x07, // kind = StatsRequest (empty body)
+            0x0e, 0x4b, 0x26, 0x65, // CRC-32 of payload[4..9]
+        ];
+        assert_eq!(request.encode(), expected_request);
+
+        let stats = ControlFrame::Stats {
+            snapshot: MetricsSnapshot {
+                counters: [("sessions_audited".to_string(), 12u64)]
+                    .into_iter()
+                    .collect(),
+                gauges: [("conn_active".to_string(), 1u64)].into_iter().collect(),
+                float_gauges: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+            },
+        };
+        let mut expected_stats: Vec<u8> = vec![
+            0x30, 0x00, 0x00, 0x00, // length prefix = 48
+            0x54, 0x44, 0x52, 0x43, // magic "TDRC"
+            0x01, 0x00, // version = 1
+            0x00, 0x00, // flags = 0
+            0x08, // kind = Stats
+            0x01, // counter count = 1
+            0x10, // name length = 16
+        ];
+        expected_stats.extend_from_slice(b"sessions_audited");
+        expected_stats.extend_from_slice(&[
+            0x0c, // value = 12
+            0x01, // gauge count = 1
+            0x0b, // name length = 11
+        ]);
+        expected_stats.extend_from_slice(b"conn_active");
+        expected_stats.extend_from_slice(&[
+            0x01, // value = 1
+            0x00, // float-gauge count = 0
+            0x00, // histogram count = 0
+        ]);
+        let crc = wire::crc32(&expected_stats[8..]);
+        expected_stats.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(stats.encode(), expected_stats);
+        assert_eq!(
+            ControlFrame::decode_payload(&expected_stats[4..]).expect("decodes"),
+            stats
+        );
+    }
+
+    #[test]
+    fn equal_snapshots_encode_bit_identically() {
+        // The snapshot wire form is a function of the values alone:
+        // build the same snapshot twice with different insertion orders
+        // and through different construction paths — identical bytes.
+        let a = ControlFrame::Stats {
+            snapshot: sample_snapshot(),
+        }
+        .encode();
+        let mut reordered = MetricsSnapshot::default();
+        let sample = sample_snapshot();
+        for (k, v) in sample.counters.iter().rev() {
+            reordered.counters.insert(k.clone(), *v);
+        }
+        reordered.gauges = sample.gauges.clone();
+        reordered.float_gauges = sample.float_gauges.clone();
+        reordered.histograms = sample.histograms.clone();
+        let b = ControlFrame::Stats {
+            snapshot: reordered,
+        }
+        .encode();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_truncation_rejected_at_every_cut() {
+        let bytes = ControlFrame::Stats {
+            snapshot: sample_snapshot(),
+        }
+        .encode();
+        for cut in [1, 3, 5, 9, 13, 14, bytes.len() / 2, bytes.len() - 1] {
+            let got = ControlFrame::read_from(&mut &bytes[..cut]);
+            assert_eq!(got, Err(ControlError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn stats_corruption_rejected_by_crc() {
+        let clean = ControlFrame::Stats {
+            snapshot: sample_snapshot(),
+        }
+        .encode();
+        for at in 8..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[at] ^= 0x40;
+            let got = ControlFrame::read_from(&mut &corrupt[..]);
+            assert!(got.is_err(), "flip at {at} decoded: {got:?}");
+        }
+    }
+
+    /// Declared element counts in a `Stats` body are bounded by what the
+    /// body could possibly hold — a crafted frame must never drive an
+    /// allocation. One case per family, plus the per-histogram edges.
+    #[test]
+    fn stats_declared_counts_are_bounded() {
+        // (families already emitted before the huge count, huge count's
+        // position label)
+        type Prefix<'a> = &'a dyn Fn(&mut Vec<u8>);
+        let cases: [(Prefix, &str); 4] = [
+            (&|_body| {}, "counters"),
+            (&|body| wire::put_varint(body, 0), "gauges"),
+            (
+                &|body| {
+                    wire::put_varint(body, 0);
+                    wire::put_varint(body, 0);
+                },
+                "float gauges",
+            ),
+            (
+                &|body| {
+                    wire::put_varint(body, 0);
+                    wire::put_varint(body, 0);
+                    wire::put_varint(body, 0);
+                },
+                "histograms",
+            ),
+        ];
+        for (prefix, label) in cases {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&CONTROL_MAGIC);
+            payload.extend_from_slice(&CONTROL_VERSION.to_le_bytes());
+            payload.extend_from_slice(&0u16.to_le_bytes());
+            payload.push(kind::STATS);
+            prefix(&mut payload);
+            wire::put_varint(&mut payload, u64::MAX >> 2); // preposterous count
+            let crc = wire::crc32(&payload[4..]);
+            payload.extend_from_slice(&crc.to_le_bytes());
+            assert_eq!(
+                ControlFrame::decode_payload(&payload),
+                Err(ControlError::Body(CodecError::LengthOverflow)),
+                "family: {label}"
+            );
+        }
+        // A histogram declaring more edges than the body holds.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&CONTROL_MAGIC);
+        payload.extend_from_slice(&CONTROL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.push(kind::STATS);
+        wire::put_varint(&mut payload, 0); // counters
+        wire::put_varint(&mut payload, 0); // gauges
+        wire::put_varint(&mut payload, 0); // float gauges
+        wire::put_varint(&mut payload, 1); // one histogram
+        put_string(&mut payload, "h");
+        wire::put_varint(&mut payload, 1 << 30); // preposterous edge count
+        let crc = wire::crc32(&payload[4..]);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ControlFrame::decode_payload(&payload),
+            Err(ControlError::Body(CodecError::LengthOverflow)),
+            "histogram edges"
+        );
+    }
+
+    #[test]
+    fn stats_trailing_bytes_rejected() {
+        // An empty snapshot body is exactly four zero varints; a fifth
+        // byte must be trailing garbage, not silently ignored.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&CONTROL_MAGIC);
+        payload.extend_from_slice(&CONTROL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.push(kind::STATS);
+        for _ in 0..4 {
+            wire::put_varint(&mut payload, 0);
+        }
+        payload.push(0xaa);
+        let crc = wire::crc32(&payload[4..]);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ControlFrame::decode_payload(&payload),
+            Err(ControlError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn stats_request_with_a_body_is_trailing_bytes() {
+        // StatsRequest's body is empty by definition; a peer smuggling
+        // payload into it is malformed even with a valid CRC.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&CONTROL_MAGIC);
+        payload.extend_from_slice(&CONTROL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.push(kind::STATS_REQUEST);
+        payload.extend_from_slice(&[1, 2, 3]);
+        let crc = wire::crc32(&payload[4..]);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ControlFrame::decode_payload(&payload),
+            Err(ControlError::TrailingBytes(3))
+        );
+    }
+
     /// A canned transport: reads from a scripted response stream, records
     /// everything the client writes.
     struct Scripted {
@@ -1187,6 +1607,32 @@ mod tests {
         assert_eq!(
             client.submit_batch(7, Vec::new()),
             Err(ControlError::UnexpectedFrame("Shutdown"))
+        );
+    }
+
+    #[test]
+    fn client_stats_roundtrip_and_error_cases() {
+        // Happy path: one StatsRequest out, one Stats back.
+        let snapshot = sample_snapshot();
+        let mut client = Client::new(Scripted::new(&[ControlFrame::Stats {
+            snapshot: snapshot.clone(),
+        }]));
+        assert_eq!(client.stats(), Ok(snapshot));
+        let sent = client.into_inner().sent;
+        assert_eq!(
+            ControlFrame::read_from(&mut &sent[..])
+                .expect("decodes")
+                .expect("one frame"),
+            ControlFrame::StatsRequest
+        );
+        // Daemon hangs up before answering.
+        let mut client = Client::new(Scripted::new(&[]));
+        assert_eq!(client.stats(), Err(ControlError::Disconnected));
+        // Any other frame in place of Stats is a protocol violation.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::ShutdownAck]));
+        assert_eq!(
+            client.stats(),
+            Err(ControlError::UnexpectedFrame("ShutdownAck"))
         );
     }
 

@@ -47,6 +47,7 @@ pub mod cache;
 pub mod control;
 pub mod ingest;
 pub mod net;
+pub mod obs;
 pub mod pool;
 pub mod service;
 pub mod verdict;
@@ -62,7 +63,8 @@ pub use cache::ReferenceCache;
 pub use control::{BatchOutcome, BatchSummary, Client, ControlError, ControlFrame};
 pub use detectors::DetectorBattery;
 pub use ingest::{BatchStream, IngestError};
-pub use net::{serve_tcp, DaemonReport, TcpDaemon};
+pub use net::{serve_tcp, serve_tcp_with, DaemonOptions, DaemonReport, TcpDaemon};
+pub use obs::{MetricsSnapshot, TraceEvent, TraceKind};
 pub use pool::{audit_batch, audit_batch_streaming, audit_stream, BatchReport, StreamReport};
 pub use service::{AuditService, BatchTicket, ServiceBuilder};
 pub use verdict::{AuditVerdict, DetectorStats, FleetSummary, ScoreHistogram};

@@ -22,7 +22,7 @@
 //!   [`AuditService`] back.
 //! * A peer that vanishes mid-frame, writes garbage, or goes away while
 //!   verdicts are being written ends **its own** connection with a typed
-//!   [`ControlError`](crate::ControlError) (counted by
+//!   [`ControlError`] (counted by
 //!   [`TcpDaemon::connection_errors`]) and never takes the daemon down.
 //!   Writes to a dead peer surface as `io::Error` (`EPIPE`) rather than a
 //!   fatal `SIGPIPE`, because the Rust runtime ignores `SIGPIPE` at
@@ -37,33 +37,57 @@
 
 use std::io::{self, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
+use crate::control::ControlError;
+use crate::obs::{CountingRead, CountingWrite, MetricsSnapshot, TraceKind};
 use crate::service::AuditService;
 
-/// Shared accept/connection bookkeeping.
+/// Shared accept/connection bookkeeping. Connection tallies live in the
+/// service's metric set ([`crate::obs::ServiceMetrics`]), not here — one
+/// source of truth for the live accessors, [`DaemonReport`], and the TDRC
+/// `Stats` frame.
 #[derive(Debug, Default)]
 struct DaemonState {
-    accepted: AtomicU64,
-    errors: AtomicU64,
     /// Connection threads still owed a join (finished ones are reaped
     /// opportunistically on each accept, the rest at shutdown).
     conns: Mutex<Vec<JoinHandle<()>>>,
 }
 
+/// Front-end policy knobs for [`serve_tcp_with`].
+#[derive(Debug, Clone, Default)]
+pub struct DaemonOptions {
+    /// Per-connection read deadline. A peer that goes silent for this
+    /// long mid-stream has its connection closed with a typed
+    /// [`ControlError::IdleTimeout`] (counted by `conn_idle_timeout`),
+    /// freeing the connection thread — the slow-loris defense. `None`
+    /// (the default, and [`serve_tcp`]'s behavior) keeps the historical
+    /// semantics: a connection may idle forever.
+    pub idle_timeout: Option<Duration>,
+}
+
 /// What a daemon hands back at [`TcpDaemon::shutdown`]: the still-warm
-/// service plus final connection tallies.
+/// service plus final tallies. The tallies are views over the service's
+/// metric set, captured after every connection thread joined — they
+/// cannot disagree with a `Stats` snapshot taken at the same point.
 #[derive(Debug)]
 pub struct DaemonReport {
     /// The service the daemon was serving, still warm — reusable
     /// directly or via another [`serve_tcp`] call.
     pub service: AuditService,
-    /// Connections accepted over the daemon's lifetime.
+    /// Connections accepted over the daemon's lifetime (the
+    /// `conn_accepted` counter).
     pub connections_accepted: u64,
-    /// Connections that ended with a protocol or transport error.
+    /// Connections that ended with a protocol or transport error (the
+    /// `conn_errors` counter).
     pub connection_errors: u64,
+    /// Every service metric at shutdown, name-ordered (what a
+    /// [`ControlFrame::Stats`](crate::ControlFrame::Stats) response would
+    /// have carried at that instant).
+    pub snapshot: MetricsSnapshot,
 }
 
 /// A running TCP audit daemon: an accept loop plus one serve thread per
@@ -81,6 +105,33 @@ pub struct TcpDaemon {
     accept_thread: Option<JoinHandle<()>>,
 }
 
+/// [`serve_tcp`] with explicit [`DaemonOptions`] (idle timeout etc.).
+pub fn serve_tcp_with(
+    service: AuditService,
+    listener: TcpListener,
+    options: DaemonOptions,
+) -> io::Result<TcpDaemon> {
+    let addr = listener.local_addr()?;
+    let service = Arc::new(service);
+    let stop = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(DaemonState::default());
+    let accept_thread = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("tdrd-accept".to_string())
+            .spawn(move || accept_loop(listener, service, stop, state, options))?
+    };
+    Ok(TcpDaemon {
+        service,
+        addr,
+        stop,
+        state,
+        accept_thread: Some(accept_thread),
+    })
+}
+
 /// Serve the TDRC control plane over TCP: accept connections on
 /// `listener` (typically bound to an explicit port, or `127.0.0.1:0` for
 /// an ephemeral one — read it back via [`TcpDaemon::local_addr`]) and run
@@ -92,25 +143,7 @@ pub struct TcpDaemon {
 /// mid-frame, a broken pipe while writing verdicts — end that connection
 /// only (see [`TcpDaemon::connection_errors`]).
 pub fn serve_tcp(service: AuditService, listener: TcpListener) -> io::Result<TcpDaemon> {
-    let addr = listener.local_addr()?;
-    let service = Arc::new(service);
-    let stop = Arc::new(AtomicBool::new(false));
-    let state = Arc::new(DaemonState::default());
-    let accept_thread = {
-        let service = Arc::clone(&service);
-        let stop = Arc::clone(&stop);
-        let state = Arc::clone(&state);
-        std::thread::Builder::new()
-            .name("tdrd-accept".to_string())
-            .spawn(move || accept_loop(listener, service, stop, state))?
-    };
-    Ok(TcpDaemon {
-        service,
-        addr,
-        stop,
-        state,
-        accept_thread: Some(accept_thread),
-    })
+    serve_tcp_with(service, listener, DaemonOptions::default())
 }
 
 fn accept_loop(
@@ -118,8 +151,8 @@ fn accept_loop(
     service: Arc<AuditService>,
     stop: Arc<AtomicBool>,
     state: Arc<DaemonState>,
+    options: DaemonOptions,
 ) {
-    let mut conn_id = 0u64;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _peer)) => stream,
@@ -140,14 +173,19 @@ fn accept_loop(
             drop(stream);
             return;
         }
-        state.accepted.fetch_add(1, Ordering::Relaxed);
+        let metrics = service.metrics();
+        // The accept counter doubles as the 1-based connection id keying
+        // this connection's trace events and thread name.
+        let conn_id = metrics.conn_accepted.inc();
+        metrics.trace(TraceKind::ConnAccept, conn_id, 0);
+        metrics.conn_active.inc();
         reap_finished(&state);
         let handle = {
             let service = Arc::clone(&service);
-            let state = Arc::clone(&state);
+            let idle_timeout = options.idle_timeout;
             std::thread::Builder::new()
                 .name(format!("tdrd-conn-{conn_id}"))
-                .spawn(move || serve_connection(&service, stream, &state))
+                .spawn(move || serve_connection(&service, stream, conn_id, idle_timeout))
         };
         match handle {
             Ok(handle) => state.conns.lock().expect("conns lock").push(handle),
@@ -155,23 +193,47 @@ fn accept_loop(
                 // Could not spawn a thread: count it against the daemon's
                 // error tally and keep accepting — refusing one client is
                 // recoverable, dying is not.
-                state.errors.fetch_add(1, Ordering::Relaxed);
+                metrics.conn_active.dec();
+                metrics.conn_errors.inc();
+                metrics.trace(TraceKind::ConnError, conn_id, 0);
             }
         }
-        conn_id += 1;
     }
 }
 
 /// One connection's lifetime: serve until clean EOF / `Shutdown`, or a
 /// typed protocol/transport error (counted, never fatal to the daemon).
-fn serve_connection(service: &AuditService, stream: TcpStream, state: &DaemonState) {
+fn serve_connection(
+    service: &AuditService,
+    stream: TcpStream,
+    conn_id: u64,
+    idle_timeout: Option<Duration>,
+) {
+    let metrics = service.metrics();
     // Verdict frames are small and latency matters for the submit→verdict
     // stream; disable Nagle and buffer writes per frame instead.
     let _ = stream.set_nodelay(true);
-    let outcome = service.serve(&stream, BufWriter::new(&stream));
-    if outcome.is_err() {
-        state.errors.fetch_add(1, Ordering::Relaxed);
+    if let Some(deadline) = idle_timeout {
+        // A read past the deadline fails with WouldBlock/TimedOut, which
+        // the serve loop classifies as `ControlError::IdleTimeout`.
+        let _ = stream.set_read_timeout(Some(deadline));
     }
+    let reader = CountingRead::new(&stream, Arc::clone(&metrics.bytes_in));
+    let writer = CountingWrite::new(BufWriter::new(&stream), Arc::clone(&metrics.bytes_out));
+    let outcome = service.serve(reader, writer);
+    match &outcome {
+        Ok(()) => metrics.trace(TraceKind::ConnClose, conn_id, 0),
+        Err(ControlError::IdleTimeout) => {
+            metrics.conn_idle_timeout.inc();
+            metrics.conn_errors.inc();
+            metrics.trace(TraceKind::ConnIdleTimeout, conn_id, 0);
+        }
+        Err(_) => {
+            metrics.conn_errors.inc();
+            metrics.trace(TraceKind::ConnError, conn_id, 0);
+        }
+    }
+    metrics.conn_active.dec();
     let _ = stream.shutdown(Shutdown::Both);
 }
 
@@ -201,16 +263,18 @@ impl TcpDaemon {
         &self.service
     }
 
-    /// Connections accepted over the daemon's lifetime.
+    /// Connections accepted over the daemon's lifetime (a live view over
+    /// the `conn_accepted` metric).
     pub fn connections_accepted(&self) -> u64 {
-        self.state.accepted.load(Ordering::Relaxed)
+        self.service.metrics().conn_accepted.get()
     }
 
     /// Connections that ended with a protocol or transport error (a
-    /// corrupt frame, a peer vanishing mid-frame, a broken pipe). Clean
-    /// EOFs and acknowledged `Shutdown`s are not errors.
+    /// corrupt frame, a peer vanishing mid-frame, a broken pipe, an idle
+    /// timeout). Clean EOFs and acknowledged `Shutdown`s are not errors.
+    /// A live view over the `conn_errors` metric.
     pub fn connection_errors(&self) -> u64 {
-        self.state.errors.load(Ordering::Relaxed)
+        self.service.metrics().conn_errors.get()
     }
 
     /// Graceful shutdown: stop accepting, wait for every in-flight
@@ -225,8 +289,11 @@ impl TcpDaemon {
     /// violate the drain guarantee.
     pub fn shutdown(mut self) -> DaemonReport {
         self.shutdown_inner();
-        let connections_accepted = self.state.accepted.load(Ordering::SeqCst);
-        let connection_errors = self.state.errors.load(Ordering::SeqCst);
+        // Every connection thread is joined: the snapshot below is final,
+        // and the tally fields are just named views into it.
+        let snapshot = self.service.metrics_snapshot();
+        let connections_accepted = snapshot.counter("conn_accepted");
+        let connection_errors = snapshot.counter("conn_errors");
         let service = Arc::clone(&self.service);
         drop(self); // only `service` above and the daemon's own Arc remain
         DaemonReport {
@@ -238,6 +305,7 @@ impl TcpDaemon {
             },
             connections_accepted,
             connection_errors,
+            snapshot,
         }
     }
 

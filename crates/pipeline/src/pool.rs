@@ -15,7 +15,11 @@
 //! Since the service refactor these functions spin up a **temporary**
 //! [`AuditService`] (spawn workers, audit one submission, shut down) —
 //! anything auditing continuously should hold a service and keep its
-//! worker pool and caches warm across submissions instead. The shims are
+//! worker pool and caches warm across submissions instead. The same goes
+//! for observability: the temporary service's metrics registry and trace
+//! ring (see [`crate::obs`]) die with it, so callers who want live
+//! counters or a `Stats` frame must hold a service and read
+//! [`AuditService::metrics_snapshot`]. The shims are
 //! pinned byte-identical to the pre-service implementations: a verdict
 //! depends only on the job, the configuration, and the session seed, so
 //! pool lifetime is unobservable in the output. One cost is *not*

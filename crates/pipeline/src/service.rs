@@ -39,15 +39,17 @@
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use detectors::DetectorBattery;
+use detectors::{DetectorBattery, TraceView};
 
 use crate::cache::ReferenceCache;
 use crate::control::{ControlError, ControlFrame};
 use crate::ingest::{BatchStream, IngestError};
+use crate::obs::{Counter, Gauge, MetricsSnapshot, ServiceMetrics, TraceEvent, TraceKind};
 use crate::pool::{BatchReport, StreamReport};
 use crate::verdict::{AuditVerdict, FleetSummary};
 use crate::{AuditConfig, AuditJob, BatteryMode, ConfigError, Reference};
@@ -152,8 +154,10 @@ struct Shared {
     /// by cross-batch retraining ([`ServiceBuilder::retrain_on_clean`]).
     battery: Mutex<Option<Arc<DetectorBattery>>>,
     retrain_on_clean: bool,
-    sessions_audited: AtomicU64,
-    batches_submitted: AtomicU64,
+    /// The service's single source of truth for counters and lifecycle
+    /// events — workers, feeders, serve loops, and the TCP front end all
+    /// record into this one set (see [`crate::obs::ServiceMetrics`]).
+    metrics: ServiceMetrics,
 }
 
 /// Releases a claimed residency slot on drop — **including unwind**. If a
@@ -171,13 +175,28 @@ impl Drop for SlotGuard {
     }
 }
 
-fn worker_main(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<WorkItem>>>) {
+fn worker_main(worker: u64, shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<WorkItem>>>) {
     let mut cache = ReferenceCache::new(&shared.reference);
     loop {
         // Hold the lock only for the receive, not the audit. An idle
         // worker parks here; a closed channel is the shutdown signal.
-        let item = { rx.lock().expect("job queue lock").recv() };
-        let Ok(item) = item else { break };
+        // `try_recv` first so the park/unpark trace records only *true*
+        // blocking waits, not queue-was-already-full dequeues.
+        let item = {
+            let guard = rx.lock().expect("job queue lock");
+            match guard.try_recv() {
+                Ok(item) => Some(item),
+                Err(mpsc::TryRecvError::Disconnected) => None,
+                Err(mpsc::TryRecvError::Empty) => {
+                    shared.metrics.trace(TraceKind::WorkerPark, worker, 0);
+                    let got = guard.recv().ok();
+                    shared.metrics.trace(TraceKind::WorkerUnpark, worker, 0);
+                    got
+                }
+            }
+        };
+        let Some(item) = item else { break };
+        shared.metrics.queue_depth.dec();
         let WorkItem {
             index,
             source,
@@ -188,15 +207,29 @@ fn worker_main(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<WorkItem>>>) {
         } = item;
         let slot = SlotGuard(gate);
         if cancelled.load(Ordering::Relaxed) {
+            shared.metrics.sessions_cancelled.inc();
             drop(source);
             drop(slot);
             continue;
         }
         cache.set_battery(battery);
+        shared.metrics.in_flight_jobs.inc();
+        let started = Instant::now();
         let verdict = cache.audit(source.job(), &shared.cfg);
+        let elapsed = started.elapsed();
+        shared.metrics.in_flight_jobs.dec();
         drop(source);
         drop(slot);
-        shared.sessions_audited.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .worker_busy_nanos
+            .add(elapsed.as_nanos() as u64);
+        shared
+            .metrics
+            .verdict_latency_us
+            .observe(elapsed.as_secs_f64() * 1e6);
+        shared.metrics.replayed_cycles.add(verdict.replayed_cycles);
+        shared.metrics.sessions_audited.inc();
         // A dropped ticket is not an error: the verdict is simply unwanted.
         let _ = sink.send((index, verdict));
     }
@@ -305,8 +338,7 @@ impl ServiceBuilder {
             cfg: self.cfg,
             battery: Mutex::new(battery),
             retrain_on_clean: self.retrain_on_clean,
-            sessions_audited: AtomicU64::new(0),
-            batches_submitted: AtomicU64::new(0),
+            metrics: ServiceMetrics::new(),
         });
         let (job_tx, job_rx) = mpsc::channel::<WorkItem>();
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -316,7 +348,7 @@ impl ServiceBuilder {
                 let rx = Arc::clone(&job_rx);
                 std::thread::Builder::new()
                     .name(format!("audit-service-worker-{w}"))
-                    .spawn(move || worker_main(shared, rx))
+                    .spawn(move || worker_main(w as u64, shared, rx))
                     .expect("spawn audit service worker")
             })
             .collect();
@@ -350,7 +382,7 @@ impl std::fmt::Debug for AuditService {
             .field("cfg", &self.shared.cfg)
             .field(
                 "sessions_audited",
-                &self.shared.sessions_audited.load(Ordering::Relaxed),
+                &self.shared.metrics.sessions_audited.get(),
             )
             .finish()
     }
@@ -394,14 +426,36 @@ impl AuditService {
     }
 
     /// Sessions audited over the service's lifetime (skipped/cancelled
-    /// sessions are not counted).
+    /// sessions are not counted). A view over the `sessions_audited`
+    /// metric — see [`metrics_snapshot`](Self::metrics_snapshot).
     pub fn sessions_audited(&self) -> u64 {
-        self.shared.sessions_audited.load(Ordering::Relaxed)
+        self.shared.metrics.sessions_audited.get()
     }
 
-    /// Batches submitted over the service's lifetime.
+    /// Batches submitted over the service's lifetime (a view over the
+    /// `batches_submitted` metric).
     pub fn batches_submitted(&self) -> u64 {
-        self.shared.batches_submitted.load(Ordering::Relaxed)
+        self.shared.metrics.batches_submitted.get()
+    }
+
+    /// The service's metric set (shared with workers, feeders, serve
+    /// loops, and the TCP front end).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.shared.metrics
+    }
+
+    /// Capture every service metric as a deterministic, name-ordered
+    /// snapshot — the payload of [`ControlFrame::Stats`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The retained lifecycle trace, oldest event first. Timestamps are
+    /// process-monotonic wall-clock measurements: diagnostic only, never
+    /// part of a determinism-pinned artifact, never sent on the control
+    /// plane.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.shared.metrics.trace_events()
     }
 
     /// The battery generation new submissions would score with (changes
@@ -426,9 +480,14 @@ impl AuditService {
     /// [`submit_batch`](Self::submit_batch) without the defensive copy —
     /// the jobs are moved into one shared allocation.
     pub fn submit_batch_owned(&self, jobs: Vec<AuditJob>) -> BatchTicket {
+        let batch_seq = self.shared.metrics.batches_submitted.inc();
         self.shared
-            .batches_submitted
-            .fetch_add(1, Ordering::Relaxed);
+            .metrics
+            .sessions_submitted
+            .add(jobs.len() as u64);
+        self.shared
+            .metrics
+            .trace(TraceKind::BatchSubmit, batch_seq, jobs.len() as u64);
         let jobs = Arc::new(jobs);
         let battery = self.battery();
         let retrain_traces = self.shared.retrain_on_clean.then(|| {
@@ -447,6 +506,7 @@ impl AuditService {
                 gate: None,
                 sink: sink.clone(),
             };
+            self.shared.metrics.queue_depth.inc();
             self.job_tx()
                 .send(item)
                 .expect("service workers outlive submissions");
@@ -457,6 +517,7 @@ impl AuditService {
         BatchTicket {
             rx,
             cancelled,
+            batch_seq,
             collected: Vec::with_capacity(jobs.len()),
             feeder: None,
             immediate_outcome: Some(FeederOutcome {
@@ -489,9 +550,12 @@ impl AuditService {
         I: IntoIterator<Item = Result<AuditJob, IngestError>> + Send + 'static,
         I::IntoIter: Send,
     {
+        let batch_seq = self.shared.metrics.batches_submitted.inc();
+        // Session count unknown until the stream drains: `b = 0` marks a
+        // streamed submission in the trace.
         self.shared
-            .batches_submitted
-            .fetch_add(1, Ordering::Relaxed);
+            .metrics
+            .trace(TraceKind::BatchSubmit, batch_seq, 0);
         let (sink, rx) = mpsc::channel();
         let cancelled = Arc::new(AtomicBool::new(false));
         let ctx = FeedContext {
@@ -501,6 +565,8 @@ impl AuditService {
             battery: self.battery(),
             high_water: self.shared.cfg.high_water,
             retrain: self.shared.retrain_on_clean,
+            queue_depth: Arc::clone(&self.shared.metrics.queue_depth),
+            sessions_submitted: Arc::clone(&self.shared.metrics.sessions_submitted),
         };
         let feeder = std::thread::Builder::new()
             .name("audit-service-feeder".to_string())
@@ -509,6 +575,7 @@ impl AuditService {
         BatchTicket {
             rx,
             cancelled,
+            batch_seq,
             collected: Vec::new(),
             feeder: Some(feeder),
             immediate_outcome: None,
@@ -527,9 +594,10 @@ impl AuditService {
     where
         I: IntoIterator<Item = Result<AuditJob, IngestError>>,
     {
+        let batch_seq = self.shared.metrics.batches_submitted.inc();
         self.shared
-            .batches_submitted
-            .fetch_add(1, Ordering::Relaxed);
+            .metrics
+            .trace(TraceKind::BatchSubmit, batch_seq, 0);
         let (sink, rx) = mpsc::channel();
         let cancelled = Arc::new(AtomicBool::new(false));
         let ctx = FeedContext {
@@ -539,11 +607,14 @@ impl AuditService {
             battery: self.battery(),
             high_water: self.shared.cfg.high_water,
             retrain: self.shared.retrain_on_clean,
+            queue_depth: Arc::clone(&self.shared.metrics.queue_depth),
+            sessions_submitted: Arc::clone(&self.shared.metrics.sessions_submitted),
         };
         let outcome = feed(sessions, ctx);
         let mut ticket = BatchTicket {
             rx,
             cancelled,
+            batch_seq,
             collected: Vec::new(),
             feeder: None,
             immediate_outcome: Some(outcome),
@@ -577,32 +648,76 @@ impl AuditService {
     /// more [`ControlFrame::Verdict`] frames **in submission order**
     /// followed by exactly one [`ControlFrame::Summary`] (success) or
     /// [`ControlFrame::Error`] (the embedded TDRB failed to decode; the
-    /// service stays up). Protocol-level failures — corrupt control
-    /// frames, client-only frames arriving as requests, transport errors —
-    /// return a [`ControlError`] and end the loop.
+    /// service stays up). A [`ControlFrame::StatsRequest`] is answered
+    /// with one [`ControlFrame::Stats`] carrying a live
+    /// [`metrics_snapshot`](Self::metrics_snapshot). Protocol-level
+    /// failures — corrupt control frames, client-only frames arriving as
+    /// requests, transport errors — return a [`ControlError`] and end the
+    /// loop (a read timing out on an endpoint with a configured read
+    /// deadline is reported as [`ControlError::IdleTimeout`]).
     pub fn serve<R: Read, W: Write>(
         &self,
         mut reader: R,
         mut writer: W,
     ) -> Result<(), ControlError> {
-        loop {
-            let frame = match ControlFrame::read_from(&mut reader)? {
-                None => return Ok(()), // peer hung up cleanly
-                Some(frame) => frame,
+        let metrics = &self.shared.metrics;
+        let mut frames_seen = 0u64;
+        let outcome = loop {
+            let frame = match ControlFrame::read_from(&mut reader) {
+                Ok(None) => break Ok(()), // peer hung up cleanly
+                Ok(Some(frame)) => frame,
+                Err(ControlError::Io(kind, _))
+                    if kind == io::ErrorKind::WouldBlock || kind == io::ErrorKind::TimedOut =>
+                {
+                    // A read deadline fired (net.rs sets one when the
+                    // daemon runs with an idle timeout): the peer stalled.
+                    break Err(ControlError::IdleTimeout);
+                }
+                Err(e) => break Err(e),
             };
-            match frame {
+            frames_seen += 1;
+            metrics.frames_in.inc();
+            let result = match frame {
                 ControlFrame::SubmitBatch { batch_id, tdrb } => {
-                    self.serve_batch(batch_id, tdrb, &mut writer)?;
-                    writer.flush().map_err(ControlError::from_io)?;
+                    metrics.frames_in_submit_batch.inc();
+                    self.serve_batch(batch_id, tdrb, &mut writer)
+                        .and_then(|()| writer.flush().map_err(ControlError::from_io))
+                }
+                ControlFrame::StatsRequest => {
+                    metrics.frames_in_stats_request.inc();
+                    let write = ControlFrame::Stats {
+                        snapshot: metrics.snapshot(),
+                    }
+                    .write_to(&mut writer)
+                    .and_then(|()| writer.flush().map_err(ControlError::from_io));
+                    if write.is_ok() {
+                        metrics.frames_out.inc();
+                        metrics.frames_out_stats.inc();
+                    }
+                    write
                 }
                 ControlFrame::Shutdown => {
-                    ControlFrame::ShutdownAck.write_to(&mut writer)?;
-                    writer.flush().map_err(ControlError::from_io)?;
-                    return Ok(());
+                    metrics.frames_in_shutdown.inc();
+                    let write = ControlFrame::ShutdownAck
+                        .write_to(&mut writer)
+                        .and_then(|()| writer.flush().map_err(ControlError::from_io));
+                    if write.is_ok() {
+                        metrics.frames_out.inc();
+                        metrics.frames_out_shutdown_ack.inc();
+                    }
+                    break write;
                 }
-                other => return Err(ControlError::UnexpectedFrame(other.kind_name())),
+                other => Err(ControlError::UnexpectedFrame(other.kind_name())),
+            };
+            if let Err(e) = result {
+                break Err(e);
             }
+        };
+        metrics.conn_frames.observe(frames_seen as f64);
+        if let Err(e) = &outcome {
+            metrics.record_control_error(e);
         }
+        outcome
     }
 
     fn serve_batch<W: Write>(
@@ -611,9 +726,13 @@ impl AuditService {
         tdrb: Vec<u8>,
         writer: &mut W,
     ) -> Result<(), ControlError> {
+        let metrics = &self.shared.metrics;
         let mut ticket = match self.submit_stream(io::Cursor::new(tdrb)) {
             Ok(ticket) => ticket,
             Err(e) => {
+                metrics.batch_errors.inc();
+                metrics.frames_out.inc();
+                metrics.frames_out_error.inc();
                 return ControlFrame::Error {
                     batch_id,
                     message: e.to_string(),
@@ -636,6 +755,8 @@ impl AuditService {
                     verdict,
                 }
                 .write_to(writer)?;
+                metrics.frames_out.inc();
+                metrics.frames_out_verdict.inc();
                 next += 1;
                 wrote = true;
             }
@@ -649,18 +770,26 @@ impl AuditService {
         }
         debug_assert!(pending.is_empty(), "verdict indexes are contiguous");
         match ticket.wait_stream() {
-            Ok(report) => ControlFrame::Summary {
-                batch_id,
-                workers: report.workers as u64,
-                peak_resident: report.peak_resident as u64,
-                summary: report.summary,
+            Ok(report) => {
+                metrics.frames_out.inc();
+                metrics.frames_out_summary.inc();
+                ControlFrame::Summary {
+                    batch_id,
+                    workers: report.workers as u64,
+                    peak_resident: report.peak_resident as u64,
+                    summary: report.summary,
+                }
+                .write_to(writer)
             }
-            .write_to(writer),
-            Err(e) => ControlFrame::Error {
-                batch_id,
-                message: e.to_string(),
+            Err(e) => {
+                metrics.frames_out.inc();
+                metrics.frames_out_error.inc();
+                ControlFrame::Error {
+                    batch_id,
+                    message: e.to_string(),
+                }
+                .write_to(writer)
             }
-            .write_to(writer),
         }
     }
 }
@@ -679,6 +808,10 @@ struct FeedContext {
     battery: Option<Arc<DetectorBattery>>,
     high_water: usize,
     retrain: bool,
+    /// Metric handles (not the whole set: the feeder may outlive the
+    /// ticket but records only these two).
+    queue_depth: Arc<Gauge>,
+    sessions_submitted: Arc<Counter>,
 }
 
 /// The streaming feeder loop: pull sessions under the residency gate and
@@ -723,13 +856,16 @@ where
                     gate: Some(Arc::clone(&gate)),
                     sink: ctx.sink.clone(),
                 };
+                ctx.queue_depth.inc();
                 if let Err(mpsc::SendError(item)) = ctx.job_tx.send(item) {
                     // The service shut down under us; hand the slot back
                     // and stop feeding.
+                    ctx.queue_depth.dec();
                     drop(item);
                     gate.release();
                     break;
                 }
+                ctx.sessions_submitted.inc();
                 submitted += 1;
             }
             Some(Err(e)) => {
@@ -768,6 +904,9 @@ where
 pub struct BatchTicket {
     rx: mpsc::Receiver<(usize, AuditVerdict)>,
     cancelled: Arc<AtomicBool>,
+    /// 1-based submission sequence number (the `batches_submitted` count
+    /// at submission), keying this batch's trace events.
+    batch_seq: u64,
     collected: Vec<(usize, AuditVerdict)>,
     feeder: Option<JoinHandle<FeederOutcome>>,
     /// Outcome known at submission time (batch mode, or a blocking feed
@@ -838,7 +977,14 @@ impl BatchTicket {
                 .take()
                 .expect("ticket has a feeder or an immediate outcome"),
         };
+        let metrics = &self.shared.metrics;
         if let Some(e) = outcome.error {
+            metrics.batch_errors.inc();
+            metrics.trace(
+                TraceKind::BatchError,
+                self.batch_seq,
+                outcome.submitted as u64,
+            );
             return Err(e);
         }
         // The old scoped pool asserted "every job produces a verdict" and
@@ -850,6 +996,14 @@ impl BatchTicket {
             self.collected.len(),
             outcome.submitted,
             "an audit worker died before delivering every verdict"
+        );
+        metrics.batches_completed.inc();
+        metrics.batch_sessions.observe(outcome.submitted as f64);
+        metrics.residency_peak.set_max(outcome.peak_resident as u64);
+        metrics.trace(
+            TraceKind::BatchComplete,
+            self.batch_seq,
+            outcome.submitted as u64,
         );
         let mut collected = std::mem::take(&mut self.collected);
         collected.sort_by_key(|&(i, _)| i);
@@ -879,7 +1033,11 @@ impl Drop for BatchTicket {
 
 /// Cross-batch retraining: absorb each clean session's observed IPDs (in
 /// submission order — deterministic) and publish the new battery
-/// generation for subsequent submissions.
+/// generation for subsequent submissions. Publishes per-generation drift
+/// metrics: the mean/max absolute change in detector score across the
+/// absorbed clean traces, old generation vs. new — the score-drift
+/// monitoring substrate (a quietly shifting baseline shows up here before
+/// it shows up as verdict churn).
 fn absorb_clean(shared: &Shared, verdicts: &[AuditVerdict], traces: &[(u64, Vec<u64>)]) {
     let mut clean: Vec<Vec<u64>> = Vec::new();
     for (verdict, (session_id, ipds)) in verdicts.iter().zip(traces) {
@@ -898,9 +1056,40 @@ fn absorb_clean(shared: &Shared, verdicts: &[AuditVerdict], traces: &[(u64, Vec<
     let Some(current) = guard.as_ref() else {
         return;
     };
+    let old = Arc::clone(current);
     let mut battery = (**current).clone();
     battery.absorb_all(&clean);
-    *guard = Some(Arc::new(battery));
+    let new = Arc::new(battery);
+    *guard = Some(Arc::clone(&new));
+    drop(guard);
+
+    // Drift is measured on the traces just absorbed — every (trace,
+    // detector) score pair, |new − old|. Deterministic: a function of the
+    // traces and the two generations, no wall clock involved.
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    let mut n = 0u64;
+    for ipds in &clean {
+        let view = TraceView::observed(ipds);
+        let before = old.score_all(&view);
+        let after = new.score_all(&view);
+        for (name, b) in &before {
+            if let Some(a) = after.get(name) {
+                let d = (a - b).abs();
+                sum += d;
+                max = max.max(d);
+                n += 1;
+            }
+        }
+    }
+    let generation = shared.metrics.retrain_generations.inc();
+    if n > 0 {
+        shared.metrics.retrain_drift_mean.set(sum / n as f64);
+        shared.metrics.retrain_drift_max.set(max);
+    }
+    shared
+        .metrics
+        .trace(TraceKind::RetrainPublish, generation, clean.len() as u64);
 }
 
 // ---------------------------------------------------------------------------
@@ -1276,6 +1465,21 @@ mod tests {
             before_traces + clean,
             "one absorbed trace per clean verdict"
         );
+        // The generation publish left its drift fingerprint: generation
+        // counter, mean ≤ max drift, and a RetrainPublish trace event
+        // naming the generation and absorbed-trace count.
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.counter("retrain_generations"), 1);
+        let mean = snap.float_gauge("retrain_drift_mean");
+        let max = snap.float_gauge("retrain_drift_max");
+        assert!(
+            mean >= 0.0 && max >= mean,
+            "drift stats ordered: {mean} {max}"
+        );
+        assert!(service
+            .trace_events()
+            .iter()
+            .any(|e| e.kind == TraceKind::RetrainPublish && e.a == 1 && e.b == clean as u64));
         service.shutdown();
     }
 
@@ -1329,6 +1533,134 @@ mod tests {
             .expect("decodes")
             .expect("one frame");
         assert_eq!(ack, ControlFrame::ShutdownAck);
+        service.shutdown();
+    }
+
+    #[test]
+    fn serve_answers_stats_requests_with_a_live_snapshot() {
+        let program = echo_program(3);
+        let jobs = mixed_jobs(&program, 3);
+        let tdrb = crate::ingest::encode_batch(&jobs);
+        let service = AuditService::builder(Reference::new(program))
+            .workers(2)
+            .build()
+            .expect("builds");
+        let mut requests = Vec::new();
+        ControlFrame::StatsRequest
+            .write_to(&mut requests)
+            .expect("encode");
+        ControlFrame::SubmitBatch { batch_id: 1, tdrb }
+            .write_to(&mut requests)
+            .expect("encode");
+        ControlFrame::StatsRequest
+            .write_to(&mut requests)
+            .expect("encode");
+        ControlFrame::Shutdown
+            .write_to(&mut requests)
+            .expect("encode");
+        let mut responses = Vec::new();
+        service
+            .serve(&requests[..], &mut responses)
+            .expect("protocol stays clean");
+
+        let mut frames = Vec::new();
+        let mut src = &responses[..];
+        while let Some(frame) = ControlFrame::read_from(&mut src).expect("decodes") {
+            frames.push(frame);
+        }
+        // First frame: a snapshot from before any submission.
+        let ControlFrame::Stats { snapshot: first } = &frames[0] else {
+            panic!("first response is Stats, got {frames:?}");
+        };
+        assert_eq!(first.counter("sessions_audited"), 0);
+        assert_eq!(first.counter("frames_in_stats_request"), 1);
+        // Last two frames: the post-batch snapshot (serve_batch drains the
+        // ticket before the next request, so every session is audited by
+        // the time the second StatsRequest is read) and the shutdown ack.
+        let ControlFrame::Stats { snapshot: second } = &frames[frames.len() - 2] else {
+            panic!("penultimate response is Stats, got {frames:?}");
+        };
+        assert_eq!(second.counter("sessions_audited"), 3);
+        assert_eq!(second.counter("sessions_submitted"), 3);
+        assert_eq!(second.counter("batches_submitted"), 1);
+        assert_eq!(second.counter("batches_completed"), 1);
+        assert_eq!(second.counter("frames_in_submit_batch"), 1);
+        assert_eq!(second.counter("frames_out_verdict"), 3);
+        assert_eq!(second.counter("frames_out_summary"), 1);
+        assert_eq!(second.gauge("queue_depth"), 0);
+        assert_eq!(second.gauge("in_flight_jobs"), 0);
+        assert!(second.float_gauge("uptime_seconds") >= 0.0);
+        assert_eq!(frames[frames.len() - 1], ControlFrame::ShutdownAck);
+
+        // The service-side accessors agree with the exported snapshot.
+        assert_eq!(service.sessions_audited(), 3);
+        assert_eq!(service.metrics_snapshot().counter("frames_out_stats"), 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn metrics_ground_truth_and_trace_for_a_batch_submission() {
+        let program = echo_program(3);
+        let jobs = mixed_jobs(&program, 4);
+        let service = AuditService::builder(Reference::new(program))
+            .workers(2)
+            .build()
+            .expect("builds");
+        let report = service.submit_batch(&jobs).wait().expect("audits");
+        assert_eq!(report.verdicts.len(), 4);
+
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.counter("sessions_submitted"), 4);
+        assert_eq!(snap.counter("sessions_audited"), 4);
+        assert_eq!(snap.counter("batches_submitted"), 1);
+        assert_eq!(snap.counter("batches_completed"), 1);
+        assert_eq!(snap.counter("batch_errors"), 0);
+        assert_eq!(snap.gauge("queue_depth"), 0, "all jobs dequeued");
+        assert_eq!(snap.gauge("in_flight_jobs"), 0, "all audits done");
+        assert!(snap.counter("replayed_cycles") > 0, "replay cost recorded");
+        assert!(snap.counter("worker_busy_nanos") > 0);
+        let latency = &snap.histograms["verdict_latency_us"];
+        assert_eq!(latency.total, 4, "one latency observation per session");
+        let batch_sessions = &snap.histograms["batch_sessions"];
+        assert_eq!(batch_sessions.total, 1);
+
+        // The trace ring saw the submission lifecycle, stamped with the
+        // 1-based batch sequence number.
+        let events = service.trace_events();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == TraceKind::BatchSubmit && e.a == 1 && e.b == 4));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == TraceKind::BatchComplete && e.a == 1 && e.b == 4));
+        assert!(
+            events.windows(2).all(|w| w[0].seq < w[1].seq),
+            "trace seq is strictly increasing"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn serve_classifies_read_deadline_errors_as_idle_timeout() {
+        /// A transport whose read stalls forever — as seen through a
+        /// socket read timeout: `WouldBlock`.
+        struct Stalled;
+        impl Read for Stalled {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "read timed out"))
+            }
+        }
+        let program = echo_program(1);
+        let service = AuditService::builder(Reference::new(program))
+            .workers(1)
+            .build()
+            .expect("builds");
+        let mut responses = Vec::new();
+        let got = service.serve(Stalled, &mut responses);
+        assert_eq!(got, Err(ControlError::IdleTimeout));
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.counter("control_errors"), 1);
+        assert_eq!(snap.counter("control_err_idle_timeout"), 1);
         service.shutdown();
     }
 

@@ -4,17 +4,26 @@
 //!
 //! ```text
 //! tdrd [--bind ADDR] [--workers N] [--high-water W] [--threshold T]
-//!      [--battery FILE] [--retrain]
+//!      [--battery FILE] [--retrain] [--idle-timeout SECS]
+//!      [--stats-interval SECS]
 //!      Serve. Prints "tdrd: listening on ADDR" once the listener is up
 //!      (bind to port 0 for an ephemeral port and parse that line).
+//!      `--idle-timeout` closes connections whose peer goes silent for
+//!      SECS (default: never — pinned historical behavior).
+//!      `--stats-interval` prints a one-line metrics summary to stderr
+//!      every SECS.
 //!
 //! tdrd --client ADDR [--sessions N] [--batches M] [--threshold T]
+//!      [--stats]
 //!      Smoke-test client: record N clean sessions of the built-in
 //!      reference workload, submit them as M TDRB batches over TCP, and
 //!      verify the returned verdicts bit-identical against an in-process
 //!      audit of the same jobs (pass the daemon's `--threshold` here too
 //!      if it runs a non-default one, so the baseline's flags agree).
-//!      Exits nonzero on any mismatch.
+//!      `--stats` additionally fetches a TDRC `Stats` snapshot after the
+//!      last batch and cross-checks the daemon's counters against the
+//!      client's own tally (assumes this client is the daemon's only
+//!      traffic, as in the CI smoke run). Exits nonzero on any mismatch.
 //! ```
 //!
 //! The daemon audits suspects against a *known-good reference binary*.
@@ -36,7 +45,9 @@ use std::process::exit;
 use jbc::hll::{dsl::*, HTy, Module};
 use jbc::ElemTy;
 use sanity_tdr::audit_pipeline::ingest;
-use sanity_tdr::{serve_tcp, AuditConfig, AuditJob, BatteryMode, Client, Sanity};
+use sanity_tdr::{
+    serve_tcp_with, AuditConfig, AuditJob, BatteryMode, Client, DaemonOptions, Sanity,
+};
 
 /// The compiled-in reference binary: a small echo service (receive a
 /// packet, do payload-dependent work, respond — three rounds), the same
@@ -114,6 +125,9 @@ struct Args {
     client: Option<String>,
     sessions: usize,
     batches: usize,
+    stats: bool,
+    stats_interval: Option<f64>,
+    idle_timeout: Option<f64>,
     /// Flag names seen on the command line, for per-mode validation: a
     /// flag the selected mode ignores is a configuration mistake the
     /// operator must hear about, not a silent no-op.
@@ -123,8 +137,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: tdrd [--bind ADDR] [--workers N] [--high-water W] [--threshold T] \
-         [--battery FILE] [--retrain]\n       \
-         tdrd --client ADDR [--sessions N] [--batches M] [--threshold T]"
+         [--battery FILE] [--retrain] [--idle-timeout SECS] [--stats-interval SECS]\n       \
+         tdrd --client ADDR [--sessions N] [--batches M] [--threshold T] [--stats]"
     );
     exit(2)
 }
@@ -140,6 +154,9 @@ fn parse_args() -> Args {
         client: None,
         sessions: 6,
         batches: 2,
+        stats: false,
+        stats_interval: None,
+        idle_timeout: None,
         seen: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -162,6 +179,14 @@ fn parse_args() -> Args {
             "--client" => args.client = Some(value("--client")),
             "--sessions" => args.sessions = parse_num(&value("--sessions"), "--sessions"),
             "--batches" => args.batches = parse_num(&value("--batches"), "--batches"),
+            "--stats" => args.stats = true,
+            "--stats-interval" => {
+                args.stats_interval =
+                    Some(parse_secs(&value("--stats-interval"), "--stats-interval"))
+            }
+            "--idle-timeout" => {
+                args.idle_timeout = Some(parse_secs(&value("--idle-timeout"), "--idle-timeout"))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -179,6 +204,9 @@ fn parse_args() -> Args {
                 "--client" => "--client",
                 "--sessions" => "--sessions",
                 "--batches" => "--batches",
+                "--stats" => "--stats",
+                "--stats-interval" => "--stats-interval",
+                "--idle-timeout" => "--idle-timeout",
                 _ => unreachable!("unknown flags exit above"),
             });
         }
@@ -193,9 +221,11 @@ fn parse_args() -> Args {
             "--high-water",
             "--battery",
             "--retrain",
+            "--idle-timeout",
+            "--stats-interval",
         ]
     } else {
-        &["--sessions", "--batches"]
+        &["--sessions", "--batches", "--stats"]
     };
     for flag in inapplicable {
         if args.seen.contains(flag) {
@@ -216,6 +246,19 @@ fn parse_num(s: &str, name: &str) -> usize {
         eprintln!("{name} needs a number, got {s:?}");
         exit(2)
     })
+}
+
+/// Parse a positive seconds value (fractional allowed: `0.5`).
+fn parse_secs(s: &str, name: &str) -> f64 {
+    let secs: f64 = s.parse().unwrap_or_else(|_| {
+        eprintln!("{name} needs seconds, got {s:?}");
+        exit(2)
+    });
+    if !secs.is_finite() || secs <= 0.0 {
+        eprintln!("{name} needs positive seconds, got {s:?}");
+        exit(2);
+    }
+    secs
 }
 
 fn main() {
@@ -267,7 +310,10 @@ fn run_server(args: &Args) -> ! {
         eprintln!("tdrd: cannot bind {}: {e}", args.bind);
         exit(1)
     });
-    let daemon = serve_tcp(service, listener).unwrap_or_else(|e| {
+    let options = DaemonOptions {
+        idle_timeout: args.idle_timeout.map(std::time::Duration::from_secs_f64),
+    };
+    let daemon = serve_tcp_with(service, listener, options).unwrap_or_else(|e| {
         eprintln!("tdrd: cannot start accept loop: {e}");
         exit(1)
     });
@@ -287,10 +333,66 @@ fn run_server(args: &Args) -> ! {
         },
     );
     // Serve until the operator kills the process; connections run on the
-    // daemon's own threads.
-    loop {
-        std::thread::park();
+    // daemon's own threads. With --stats-interval the main thread doubles
+    // as the stats reporter (stderr, so scripts parsing stdout are
+    // unaffected).
+    match args.stats_interval {
+        Some(secs) => {
+            let period = std::time::Duration::from_secs_f64(secs);
+            loop {
+                std::thread::sleep(period);
+                eprintln!(
+                    "tdrd: stats {}",
+                    daemon.service().metrics_snapshot().render_line()
+                );
+            }
+        }
+        None => loop {
+            std::thread::park();
+        },
     }
+}
+
+/// `--stats`: fetch a TDRC `Stats` snapshot over the live connection and
+/// cross-check the daemon's counters against this client's own tally.
+/// Valid when this client is the daemon's only traffic (the CI smoke
+/// run): a daemon that served other clients legitimately counts higher.
+fn check_stats<T: std::io::Read + std::io::Write>(client: &mut Client<T>, args: &Args) {
+    let snap = client.stats().unwrap_or_else(|e| {
+        eprintln!("tdrd client: stats request failed: {e}");
+        exit(1)
+    });
+    println!("daemon stats snapshot:\n{}", snap.render());
+    let expected_sessions = (args.sessions * args.batches) as u64;
+    let mut bad = 0usize;
+    let mut check = |name: &str, got: u64, want: u64| {
+        if got != want {
+            eprintln!("tdrd client: stats counter {name} = {got}, expected {want}");
+            bad += 1;
+        }
+    };
+    check(
+        "sessions_audited",
+        snap.counter("sessions_audited"),
+        expected_sessions,
+    );
+    check(
+        "sessions_submitted",
+        snap.counter("sessions_submitted"),
+        expected_sessions,
+    );
+    check(
+        "batches_completed",
+        snap.counter("batches_completed"),
+        args.batches as u64,
+    );
+    check("conn_active", snap.gauge("conn_active"), 1);
+    check("queue_depth", snap.gauge("queue_depth"), 0);
+    if bad > 0 {
+        eprintln!("tdrd client: {bad} stats counters disagree with the client tally");
+        exit(1);
+    }
+    println!("stats OK: daemon counters match the client's own tally");
 }
 
 fn run_client(addr: &str, args: &Args) {
@@ -371,6 +473,9 @@ fn run_client(addr: &str, args: &Args) {
             summary.workers,
             summary.summary.sessions
         );
+    }
+    if args.stats {
+        check_stats(&mut client, args);
     }
     match client.shutdown() {
         Ok(_) => println!("connection shut down cleanly"),

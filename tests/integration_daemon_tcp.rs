@@ -7,10 +7,16 @@
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use rand::{rngs::StdRng, SeedableRng};
 use sanity_tdr::audit_pipeline::{ingest, AuditVerdict, FleetSummary};
-use sanity_tdr::{serve_tcp, AuditConfig, AuditJob, Client, ControlFrame, Sanity, TcpDaemon};
+use sanity_tdr::{
+    serve_tcp, serve_tcp_with, AuditConfig, AuditJob, Client, ControlFrame, DaemonOptions, Sanity,
+    TcpDaemon,
+};
 
 #[path = "torture_common.rs"]
 mod torture_common;
@@ -254,6 +260,168 @@ fn concurrent_clients_get_bit_identical_verdicts_and_shutdown_drains() {
         (CLIENTS * 3 * 2 + jobs.len()) as u64,
         "every submitted session audited exactly once"
     );
+    report.service.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Stats plane: polling is read-only, timeouts reap stalled peers
+// ---------------------------------------------------------------------------
+
+/// A stats-polling client hammering `StatsRequest` while four clients
+/// submit batches concurrently: every submitted batch still returns
+/// bit-identical verdicts and summaries (observation must not perturb the
+/// audit), the polled counters are monotonic, and the final snapshot
+/// equals ground truth.
+#[test]
+fn stats_polling_client_perturbs_neither_verdicts_nor_summaries() {
+    let sanity = echo_sanity();
+    let jobs = echo_jobs(&sanity, 0..6);
+    let cfg = AuditConfig {
+        workers: 2,
+        ..AuditConfig::default()
+    };
+    let batches: Vec<Vec<AuditJob>> = (0..3).map(|b| jobs[b * 2..b * 2 + 2].to_vec()).collect();
+    let baselines: Vec<_> = batches
+        .iter()
+        .map(|b| sanity.audit_batch(b, &cfg))
+        .collect();
+    let batch_bytes: Vec<Vec<u8>> = batches.iter().map(|b| ingest::encode_batch(b)).collect();
+
+    let daemon = tcp_daemon(&sanity, 2, 8);
+    let addr = daemon.local_addr();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("poller connects");
+            let mut client = Client::new(stream);
+            let mut polls = 0u64;
+            let mut last_audited = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let snap = client.stats().expect("stats round trip");
+                let audited = snap.counter("sessions_audited");
+                assert!(
+                    audited >= last_audited,
+                    "counters are monotonic: {audited} < {last_audited}"
+                );
+                last_audited = audited;
+                assert_eq!(snap.counter("conn_errors"), 0);
+                assert!(snap.gauge("conn_active") >= 1, "the poller itself");
+                polls += 1;
+            }
+            client.shutdown().expect("poller shutdown acked");
+            polls
+        })
+    };
+
+    const CLIENTS: usize = 4;
+    let clients: Vec<_> = (0..CLIENTS as u64)
+        .map(|c| {
+            let batch_bytes = batch_bytes.clone();
+            let baselines: Vec<_> = baselines
+                .iter()
+                .map(|r| (r.verdicts.clone(), r.summary.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let mut client = Client::new(stream);
+                for (m, bytes) in batch_bytes.iter().enumerate() {
+                    let outcome = client
+                        .submit_batch(c * 100 + m as u64, bytes.clone())
+                        .expect("protocol clean");
+                    let summary = outcome.result.expect("batch audits");
+                    let (expected_verdicts, expected_summary) = &baselines[m];
+                    assert_eq!(&outcome.verdicts, expected_verdicts);
+                    for (wire, local) in outcome.verdicts.iter().zip(expected_verdicts) {
+                        assert_eq!(wire.score.to_bits(), local.score.to_bits());
+                    }
+                    assert_eq!(&summary.summary, expected_summary);
+                }
+                client.shutdown().expect("connection shutdown acked");
+            })
+        })
+        .collect();
+    for handle in clients {
+        handle.join().expect("client thread");
+    }
+    done.store(true, Ordering::Relaxed);
+    let polls = poller.join().expect("poller thread");
+    assert!(polls > 0, "the poller actually polled");
+
+    let report = daemon.shutdown();
+    assert_eq!(report.connections_accepted, (CLIENTS + 1) as u64);
+    assert_eq!(report.connection_errors, 0);
+    let sessions = (CLIENTS * 3 * 2) as u64;
+    assert_eq!(report.service.sessions_audited(), sessions);
+    assert_eq!(report.snapshot.counter("sessions_audited"), sessions);
+    assert_eq!(report.snapshot.counter("sessions_submitted"), sessions);
+    assert_eq!(
+        report.snapshot.counter("batches_completed"),
+        (CLIENTS * 3) as u64
+    );
+    assert_eq!(
+        report.snapshot.counter("frames_in_stats_request"),
+        polls,
+        "one Stats answer per poll"
+    );
+    report.service.shutdown();
+}
+
+/// `DaemonOptions::idle_timeout` reaps a slow-loris opener: the stalled
+/// connection ends with the typed `IdleTimeout` error (counted by
+/// `conn_idle_timeout`), its thread is freed, and healthy clients on the
+/// same daemon are untouched.
+#[test]
+fn idle_timeout_reaps_stalled_connections_with_a_typed_error() {
+    let sanity = echo_sanity();
+    let jobs = echo_jobs(&sanity, 0..2);
+    let bytes = ingest::encode_batch(&jobs);
+    let service = sanity
+        .audit_service()
+        .workers(2)
+        .build()
+        .expect("valid service configuration");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let daemon = serve_tcp_with(
+        service,
+        listener,
+        DaemonOptions {
+            idle_timeout: Some(Duration::from_millis(250)),
+        },
+    )
+    .expect("daemon starts");
+    let addr = daemon.local_addr();
+
+    // A slow-loris opener: two bytes of a length prefix, then silence.
+    // Without the timeout this parks a connection thread forever (the
+    // default-off behavior the other tests pin); with it, the daemon
+    // reaps the connection — observed here as EOF/reset on our end.
+    let mut stalled = TcpStream::connect(addr).expect("connect");
+    stalled.write_all(&[0x10, 0x00]).expect("partial prefix");
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("guard timeout");
+    let mut buf = [0u8; 1];
+    let reaped = matches!(stalled.read(&mut buf), Ok(0) | Err(_));
+    assert!(reaped, "daemon reaped the stalled connection");
+
+    // A healthy client is unaffected and sees the typed tally.
+    let mut client = Client::new(TcpStream::connect(addr).expect("connect"));
+    let outcome = client.submit_batch(1, bytes).expect("protocol clean");
+    outcome.result.expect("batch audits");
+    let snap = client.stats().expect("stats over TCP");
+    assert_eq!(snap.counter("conn_idle_timeout"), 1);
+    assert_eq!(snap.counter("control_err_idle_timeout"), 1);
+    client.shutdown().expect("ack");
+
+    let report = daemon.shutdown();
+    assert_eq!(report.connections_accepted, 2);
+    assert_eq!(
+        report.connection_errors, 1,
+        "the stalled connection, and only it"
+    );
+    assert_eq!(report.snapshot.counter("conn_idle_timeout"), 1);
     report.service.shutdown();
 }
 

@@ -19,7 +19,7 @@ use sanity_tdr::audit_pipeline::service::duplex;
 use sanity_tdr::audit_pipeline::{ingest, AuditVerdict, BatchStream, FleetSummary};
 use sanity_tdr::replay::codec::write_frame;
 use sanity_tdr::replay::{EventLog, PacketRecord, SessionStream};
-use sanity_tdr::{AuditConfig, AuditJob, Client, ControlFrame};
+use sanity_tdr::{AuditConfig, AuditJob, Client, ControlFrame, MetricsSnapshot};
 
 #[path = "torture_common.rs"]
 mod torture_common;
@@ -119,6 +119,47 @@ fn tdrc_corpus() -> Vec<u8> {
     buf
 }
 
+/// Concatenated stats-plane frames: a `StatsRequest` plus `Stats` frames
+/// carrying a populated snapshot (counters, gauges, float gauges with
+/// non-finite-adjacent values, a histogram) and an empty one.
+fn stats_corpus() -> Vec<u8> {
+    let mut populated = MetricsSnapshot::default();
+    populated
+        .counters
+        .insert("sessions_audited".to_string(), 48);
+    populated.counters.insert("bytes_in".to_string(), u64::MAX);
+    populated.gauges.insert("conn_active".to_string(), 4);
+    populated
+        .float_gauges
+        .insert("uptime_seconds".to_string(), 12.5);
+    populated
+        .float_gauges
+        .insert("retrain_drift_mean".to_string(), -0.0);
+    populated.histograms.insert(
+        "verdict_latency_us".to_string(),
+        sanity_tdr::audit_pipeline::obs::HistogramSnapshot {
+            edges: vec![50.0, 100.0, 250.0],
+            counts: vec![1, 2, 3, 4],
+            total: 10,
+            sum: 1_234.5,
+        },
+    );
+    let frames = [
+        ControlFrame::StatsRequest,
+        ControlFrame::Stats {
+            snapshot: populated,
+        },
+        ControlFrame::Stats {
+            snapshot: MetricsSnapshot::default(),
+        },
+    ];
+    let mut buf = Vec::new();
+    for frame in &frames {
+        buf.extend_from_slice(&frame.encode());
+    }
+    buf
+}
+
 // ---------------------------------------------------------------------------
 // The mutation sweep (the mutator itself lives in `torture_common`)
 // ---------------------------------------------------------------------------
@@ -161,6 +202,32 @@ fn tdrc_survives_a_thousand_seeded_mutations() {
                     assert_eq!(back, frame);
                 }
                 Err(_typed) => break, // a typed ControlError, by type
+            }
+        }
+    });
+}
+
+/// The stats plane under the same contract as every other TDRC frame:
+/// ~100 seeded mutations of pinned-good `StatsRequest`/`Stats` bytes each
+/// either fail with a typed `ControlError` or decode to something
+/// self-consistent (re-encode → re-decode identical) — never a panic,
+/// never a hang, never an unbounded allocation from a forged count.
+#[test]
+fn stats_frames_survive_a_hundred_seeded_mutations() {
+    let base = stats_corpus();
+    sweep("TDRC-stats", &base, 100, |bytes| {
+        let mut src = bytes;
+        loop {
+            match ControlFrame::read_from(&mut src) {
+                Ok(None) => break,
+                Ok(Some(frame)) => {
+                    let re = frame.encode();
+                    let back = ControlFrame::read_from(&mut &re[..])
+                        .expect("re-encoded frame decodes")
+                        .expect("one frame");
+                    assert_eq!(back, frame);
+                }
+                Err(_typed) => break,
             }
         }
     });
