@@ -77,9 +77,9 @@ pub use vm;
 
 pub use audit_pipeline::{
     serve_tcp, serve_tcp_with, AuditConfig, AuditJob, AuditService, BatchOutcome, BatchReport,
-    BatchSummary, BatchTicket, BatteryMode, Client, ConfigError, ControlError, ControlFrame,
-    DaemonOptions, DaemonReport, IngestError, MetricsSnapshot, ServiceBuilder, StreamReport,
-    TcpDaemon, TraceEvent, TraceKind,
+    BatchSummary, BatchTicket, BatteryMode, BusyScope, Client, ConfigError, ControlError,
+    ControlFrame, DaemonOptions, DaemonReport, IngestError, MetricsSnapshot, ServiceBuilder,
+    StreamReport, TcpDaemon, TenantQuota, TraceEvent, TraceKind,
 };
 pub use detectors::{Detector, DetectorBattery, TraceView};
 

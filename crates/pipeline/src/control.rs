@@ -87,6 +87,33 @@ pub enum ControlError {
     /// endpoints running with a read timeout on the transport (see
     /// `net::DaemonOptions::idle_timeout`); never by decoding.
     IdleTimeout,
+    /// The daemon refused the *connection* itself: it answered the accept
+    /// with a [`ControlFrame::Busy`] frame scoped to
+    /// [`BusyScope::Connections`] and closed (see
+    /// `net::DaemonOptions::max_conns`). Raised by [`Client`] when a
+    /// connection-scoped `Busy` arrives in place of any response.
+    Busy {
+        /// Connections active when the daemon shed this one.
+        active: u64,
+        /// The daemon's configured connection cap.
+        limit: u64,
+    },
+    /// The daemon refused a *submission* in-band with a
+    /// [`ControlFrame::Busy`] frame: this connection exceeded a tenant
+    /// quota (see `service::TenantQuota`). The connection itself
+    /// survives — the client may submit again within quota.
+    QuotaExceeded {
+        /// Which budget the submission exceeded.
+        scope: BusyScope,
+        /// The offending measured value (declared sessions, or batches
+        /// already admitted on this connection).
+        active: u64,
+        /// The configured quota.
+        limit: u64,
+    },
+    /// A `Busy` frame carried a scope byte naming no known
+    /// [`BusyScope`].
+    BadScope(u8),
     /// The transport failed.
     Io(io::ErrorKind, String),
 }
@@ -129,6 +156,22 @@ impl fmt::Display for ControlError {
             }
             ControlError::IdleTimeout => {
                 write!(f, "peer idled past the configured read deadline")
+            }
+            ControlError::Busy { active, limit } => write!(
+                f,
+                "daemon is at its connection cap ({active} active, limit {limit})"
+            ),
+            ControlError::QuotaExceeded {
+                scope,
+                active,
+                limit,
+            } => write!(
+                f,
+                "tenant quota exceeded ({}: {active} against a limit of {limit})",
+                scope.name()
+            ),
+            ControlError::BadScope(b) => {
+                write!(f, "busy-frame scope byte {b:#04x} names no known scope")
             }
             ControlError::Io(kind, msg) => write!(f, "transport failed ({kind:?}): {msg}"),
         }
@@ -179,7 +222,60 @@ impl ControlError {
             ControlError::UnexpectedFrame(_) => "control_err_unexpected_frame",
             ControlError::Disconnected => "control_err_disconnected",
             ControlError::IdleTimeout => "control_err_idle_timeout",
+            ControlError::Busy { .. } => "control_err_busy",
+            ControlError::QuotaExceeded { .. } => "control_err_quota_exceeded",
+            ControlError::BadScope(_) => "control_err_bad_scope",
             ControlError::Io(..) => "control_err_io",
+        }
+    }
+}
+
+/// What a [`ControlFrame::Busy`] refusal is scoped to: which budget the
+/// peer ran into. Encoded as one byte on the wire; an unknown byte is
+/// rejected as [`ControlError::BadScope`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyScope {
+    /// The daemon's connection cap (`net::DaemonOptions::max_conns`):
+    /// the connection itself was refused at accept time and will be
+    /// closed after this frame.
+    Connections,
+    /// The per-connection batch budget
+    /// (`service::TenantQuota::max_batches`): this submission was
+    /// refused, the connection survives.
+    QueuedBatches,
+    /// The per-batch session budget
+    /// (`service::TenantQuota::max_sessions`): the submitted batch
+    /// declared more sessions than one submission may carry; the
+    /// connection survives.
+    InFlightSessions,
+}
+
+impl BusyScope {
+    /// The scope's wire byte.
+    pub fn wire_byte(self) -> u8 {
+        match self {
+            BusyScope::Connections => 0x00,
+            BusyScope::QueuedBatches => 0x01,
+            BusyScope::InFlightSessions => 0x02,
+        }
+    }
+
+    /// Decode a wire byte; unknown bytes are [`ControlError::BadScope`].
+    pub fn from_wire_byte(b: u8) -> Result<Self, ControlError> {
+        match b {
+            0x00 => Ok(BusyScope::Connections),
+            0x01 => Ok(BusyScope::QueuedBatches),
+            0x02 => Ok(BusyScope::InFlightSessions),
+            other => Err(ControlError::BadScope(other)),
+        }
+    }
+
+    /// Human-readable scope name (for error messages and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            BusyScope::Connections => "connections",
+            BusyScope::QueuedBatches => "queued batches",
+            BusyScope::InFlightSessions => "in-flight sessions",
         }
     }
 }
@@ -194,6 +290,7 @@ mod kind {
     pub const SHUTDOWN_ACK: u8 = 0x06;
     pub const STATS_REQUEST: u8 = 0x07;
     pub const STATS: u8 = 0x08;
+    pub const BUSY: u8 = 0x09;
 }
 
 /// One control-plane message.
@@ -255,6 +352,24 @@ pub enum ControlFrame {
         /// The service's metrics at the moment the request was served.
         snapshot: MetricsSnapshot,
     },
+    /// Daemon refusal (admission control, `docs/FORMATS.md` §5.6). Two
+    /// uses: connection-scoped (`scope = Connections`, `batch_id = 0`) —
+    /// sent in place of any service at accept time, after which the
+    /// daemon closes; and submission-scoped (the other scopes, `batch_id`
+    /// echoing the refused `SubmitBatch`) — sent in-band, after which the
+    /// connection keeps serving. Rejected submissions consume no quota.
+    Busy {
+        /// Correlation id of the refused request (0 for connection-scoped
+        /// refusals, which precede any request).
+        batch_id: u64,
+        /// Which budget the peer ran into.
+        scope: BusyScope,
+        /// The measured value that hit the budget (active connections,
+        /// admitted batches, or declared sessions).
+        active: u64,
+        /// The configured budget.
+        limit: u64,
+    },
 }
 
 impl ControlFrame {
@@ -269,6 +384,7 @@ impl ControlFrame {
             ControlFrame::ShutdownAck => kind::SHUTDOWN_ACK,
             ControlFrame::StatsRequest => kind::STATS_REQUEST,
             ControlFrame::Stats { .. } => kind::STATS,
+            ControlFrame::Busy { .. } => kind::BUSY,
         }
     }
 
@@ -283,6 +399,7 @@ impl ControlFrame {
             ControlFrame::ShutdownAck => "ShutdownAck",
             ControlFrame::StatsRequest => "StatsRequest",
             ControlFrame::Stats { .. } => "Stats",
+            ControlFrame::Busy { .. } => "Busy",
         }
     }
 
@@ -336,6 +453,17 @@ impl ControlFrame {
             }
             ControlFrame::Shutdown | ControlFrame::ShutdownAck | ControlFrame::StatsRequest => {}
             ControlFrame::Stats { snapshot } => put_snapshot(out, snapshot),
+            ControlFrame::Busy {
+                batch_id,
+                scope,
+                active,
+                limit,
+            } => {
+                wire::put_varint(out, *batch_id);
+                out.push(scope.wire_byte());
+                wire::put_varint(out, *active);
+                wire::put_varint(out, *limit);
+            }
         }
     }
 
@@ -410,6 +538,20 @@ impl ControlFrame {
             kind::STATS => ControlFrame::Stats {
                 snapshot: read_snapshot(body, &mut pos)?,
             },
+            kind::BUSY => {
+                let batch_id = wire::read_varint(body, &mut pos)?;
+                let scope_byte = *body.get(pos).ok_or(ControlError::Truncated)?;
+                pos += 1;
+                let scope = BusyScope::from_wire_byte(scope_byte)?;
+                let active = wire::read_varint(body, &mut pos)?;
+                let limit = wire::read_varint(body, &mut pos)?;
+                ControlFrame::Busy {
+                    batch_id,
+                    scope,
+                    active,
+                    limit,
+                }
+            }
             other => return Err(ControlError::UnknownKind(other)),
         };
         if pos != body.len() {
@@ -857,6 +999,27 @@ impl<T: Read + Write> Client<T> {
                         result: Err(message),
                     });
                 }
+                ControlFrame::Busy {
+                    batch_id: got,
+                    scope,
+                    active,
+                    limit,
+                } => {
+                    // A connection-scoped refusal can race our submission:
+                    // the daemon shed the connection at accept time and we
+                    // only now read its parting frame.
+                    if scope == BusyScope::Connections {
+                        return Err(ControlError::Busy { active, limit });
+                    }
+                    if got != batch_id {
+                        return Err(ControlError::UnexpectedFrame("Busy (foreign batch id)"));
+                    }
+                    return Err(ControlError::QuotaExceeded {
+                        scope,
+                        active,
+                        limit,
+                    });
+                }
                 other => return Err(ControlError::UnexpectedFrame(other.kind_name())),
             }
         }
@@ -871,6 +1034,12 @@ impl<T: Read + Write> Client<T> {
         self.transport.flush().map_err(ControlError::from_io)?;
         match ControlFrame::read_from(&mut self.transport)? {
             Some(ControlFrame::Stats { snapshot }) => Ok(snapshot),
+            Some(ControlFrame::Busy {
+                scope: BusyScope::Connections,
+                active,
+                limit,
+                ..
+            }) => Err(ControlError::Busy { active, limit }),
             Some(other) => Err(ControlError::UnexpectedFrame(other.kind_name())),
             None => Err(ControlError::Disconnected),
         }
@@ -884,6 +1053,12 @@ impl<T: Read + Write> Client<T> {
         self.transport.flush().map_err(ControlError::from_io)?;
         match ControlFrame::read_from(&mut self.transport)? {
             Some(ControlFrame::ShutdownAck) => Ok(self.transport),
+            Some(ControlFrame::Busy {
+                scope: BusyScope::Connections,
+                active,
+                limit,
+                ..
+            }) => Err(ControlError::Busy { active, limit }),
             Some(other) => Err(ControlError::UnexpectedFrame(other.kind_name())),
             None => Err(ControlError::Disconnected),
         }
@@ -1019,6 +1194,24 @@ mod tests {
             },
             ControlFrame::Stats {
                 snapshot: MetricsSnapshot::default(),
+            },
+            ControlFrame::Busy {
+                batch_id: 0,
+                scope: BusyScope::Connections,
+                active: 4,
+                limit: 4,
+            },
+            ControlFrame::Busy {
+                batch_id: 300,
+                scope: BusyScope::QueuedBatches,
+                active: 8,
+                limit: 8,
+            },
+            ControlFrame::Busy {
+                batch_id: u64::MAX,
+                scope: BusyScope::InFlightSessions,
+                active: u64::MAX,
+                limit: 1,
             },
         ]
     }
@@ -1311,6 +1504,148 @@ mod tests {
             ControlFrame::decode_payload(&expected_stats[4..]).expect("decodes"),
             stats
         );
+    }
+
+    /// Pins the §5.6 worked example (`docs/FORMATS.md`) byte for byte: a
+    /// connection-scoped `Busy` frame as the daemon sheds an accept at a
+    /// cap of 4. As with the pins above, a failure means code and spec
+    /// diverged — fix whichever is wrong, never both silently.
+    #[test]
+    fn formats_md_busy_frame_bytes_are_pinned() {
+        let frame = ControlFrame::Busy {
+            batch_id: 0,
+            scope: BusyScope::Connections,
+            active: 4,
+            limit: 4,
+        };
+        let mut expected: Vec<u8> = vec![
+            0x11, 0x00, 0x00, 0x00, // length prefix = 17
+            0x54, 0x44, 0x52, 0x43, // magic "TDRC"
+            0x01, 0x00, // version = 1
+            0x00, 0x00, // flags = 0
+            0x09, // kind = Busy
+            0x00, // batch_id = 0 (connection-scoped)
+            0x00, // scope = Connections
+            0x04, // active = 4
+            0x04, // limit = 4
+        ];
+        let crc = wire::crc32(&expected[8..]);
+        expected.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(frame.encode(), expected);
+        assert_eq!(
+            ControlFrame::decode_payload(&expected[4..]).expect("decodes"),
+            frame
+        );
+    }
+
+    #[test]
+    fn busy_corruption_and_truncation_rejected() {
+        let clean = ControlFrame::Busy {
+            batch_id: 77,
+            scope: BusyScope::InFlightSessions,
+            active: 9,
+            limit: 8,
+        }
+        .encode();
+        for at in 8..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[at] ^= 0x40;
+            let got = ControlFrame::read_from(&mut &corrupt[..]);
+            assert!(got.is_err(), "flip at {at} decoded: {got:?}");
+        }
+        for cut in 1..clean.len() {
+            let got = ControlFrame::read_from(&mut &clean[..cut]);
+            assert_eq!(got, Err(ControlError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn busy_unknown_scope_rejected_as_bad_scope() {
+        // A CRC-valid Busy frame with a scope byte from the future must
+        // fail on the *scope*, not on the checksum or as trailing bytes.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&CONTROL_MAGIC);
+        payload.extend_from_slice(&CONTROL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.push(kind::BUSY);
+        wire::put_varint(&mut payload, 5); // batch_id
+        payload.push(0x7f); // unknown scope
+        wire::put_varint(&mut payload, 1); // active
+        wire::put_varint(&mut payload, 1); // limit
+        let crc = wire::crc32(&payload[4..]);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ControlFrame::decode_payload(&payload),
+            Err(ControlError::BadScope(0x7f))
+        );
+    }
+
+    #[test]
+    fn busy_trailing_bytes_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&CONTROL_MAGIC);
+        payload.extend_from_slice(&CONTROL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.push(kind::BUSY);
+        wire::put_varint(&mut payload, 0);
+        payload.push(0x00); // Connections
+        wire::put_varint(&mut payload, 2);
+        wire::put_varint(&mut payload, 2);
+        payload.push(0xaa); // smuggled byte
+        let crc = wire::crc32(&payload[4..]);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ControlFrame::decode_payload(&payload),
+            Err(ControlError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn client_maps_busy_frames_to_typed_errors() {
+        // Submission-scoped: QuotaExceeded, echoing the batch id.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::Busy {
+            batch_id: 6,
+            scope: BusyScope::QueuedBatches,
+            active: 8,
+            limit: 8,
+        }]));
+        assert_eq!(
+            client.submit_batch(6, Vec::new()),
+            Err(ControlError::QuotaExceeded {
+                scope: BusyScope::QueuedBatches,
+                active: 8,
+                limit: 8,
+            })
+        );
+        // Submission-scoped with a foreign batch id: protocol violation.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::Busy {
+            batch_id: 99,
+            scope: BusyScope::InFlightSessions,
+            active: 9,
+            limit: 8,
+        }]));
+        assert_eq!(
+            client.submit_batch(6, Vec::new()),
+            Err(ControlError::UnexpectedFrame("Busy (foreign batch id)"))
+        );
+        // Connection-scoped: the accept-shed race surfaces as Busy from
+        // every request path, regardless of the batch id (always 0).
+        let shed = ControlFrame::Busy {
+            batch_id: 0,
+            scope: BusyScope::Connections,
+            active: 4,
+            limit: 4,
+        };
+        let expected = ControlError::Busy {
+            active: 4,
+            limit: 4,
+        };
+        let mut client = Client::new(Scripted::new(std::slice::from_ref(&shed)));
+        assert_eq!(client.submit_batch(1, Vec::new()), Err(expected.clone()));
+        let mut client = Client::new(Scripted::new(std::slice::from_ref(&shed)));
+        assert_eq!(client.stats(), Err(expected.clone()));
+        let client = Client::new(Scripted::new(std::slice::from_ref(&shed)));
+        assert_eq!(client.shutdown().err(), Some(expected));
     }
 
     #[test]

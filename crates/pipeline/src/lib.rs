@@ -60,13 +60,13 @@ use replay::EventLog;
 use vm::VmConfig;
 
 pub use cache::ReferenceCache;
-pub use control::{BatchOutcome, BatchSummary, Client, ControlError, ControlFrame};
+pub use control::{BatchOutcome, BatchSummary, BusyScope, Client, ControlError, ControlFrame};
 pub use detectors::DetectorBattery;
 pub use ingest::{BatchStream, IngestError};
 pub use net::{serve_tcp, serve_tcp_with, DaemonOptions, DaemonReport, TcpDaemon};
 pub use obs::{MetricsSnapshot, TraceEvent, TraceKind};
 pub use pool::{audit_batch, audit_batch_streaming, audit_stream, BatchReport, StreamReport};
-pub use service::{AuditService, BatchTicket, ServiceBuilder};
+pub use service::{AuditService, BatchTicket, ServiceBuilder, TenantQuota};
 pub use verdict::{AuditVerdict, DetectorStats, FleetSummary, ScoreHistogram};
 
 /// The reference environment sessions are audited against: the known-good

@@ -14,7 +14,7 @@
 //! * Each connection carries one independent TDRC request/response
 //!   stream; response frames of different connections are never
 //!   interleaved.
-//! * [`ControlFrame::Shutdown`](crate::ControlFrame::Shutdown) is
+//! * [`ControlFrame::Shutdown`] is
 //!   **connection** shutdown: the daemon acks and closes that connection.
 //!   The daemon itself stops only via [`TcpDaemon::shutdown`] (an
 //!   operator action), which stops accepting, waits for every in-flight
@@ -29,22 +29,37 @@
 //!   startup; the serve loop maps them into `ControlError::Io` like any
 //!   other transport failure.
 //!
+//! ## Admission control (normative rules in `docs/FORMATS.md` §5.6)
+//!
+//! With [`DaemonOptions::max_conns`] set, a connection arriving while
+//! `max_conns` are already active is **shed**: the daemon answers with a
+//! single connection-scoped
+//! [`ControlFrame::Busy`] frame and closes —
+//! no serve thread, no unbounded thread growth. Shed connections are
+//! counted by `conn_shed` (reported as [`DaemonReport::connections_shed`])
+//! and are **neither** accepted **nor** errored, so
+//! `accepted + shed` is exactly the number of TCP connects the daemon
+//! answered. With [`DaemonOptions::tenant_quota`] set, each connection's
+//! serve loop enforces the quota in-band via
+//! [`AuditService::serve_as_tenant`] — the connection id is the tenant id.
+//!
 //! The torture suite (`tests/protocol_torture.rs`,
-//! `tests/integration_daemon_tcp.rs`) pins all of this: corrupt frames,
-//! slow-loris writers, mid-frame disconnects, and concurrent clients all
-//! leave the daemon serving, with verdict bytes identical to the
-//! in-memory duplex path and to in-process submission.
+//! `tests/integration_daemon_tcp.rs`, `tests/fairness_torture.rs`) pins
+//! all of this: corrupt frames, slow-loris writers, mid-frame
+//! disconnects, concurrent clients, and flooding tenants all leave the
+//! daemon serving, with verdict bytes identical to the in-memory duplex
+//! path and to in-process submission.
 
-use std::io::{self, BufWriter};
+use std::io::{self, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::control::ControlError;
-use crate::obs::{CountingRead, CountingWrite, MetricsSnapshot, TraceKind};
-use crate::service::AuditService;
+use crate::control::{BusyScope, ControlError, ControlFrame};
+use crate::obs::{CountingRead, CountingWrite, MetricsSnapshot, ServiceMetrics, TraceKind};
+use crate::service::{AuditService, TenantQuota};
 
 /// Shared accept/connection bookkeeping. Connection tallies live in the
 /// service's metric set ([`crate::obs::ServiceMetrics`]), not here — one
@@ -67,6 +82,17 @@ pub struct DaemonOptions {
     /// (the default, and [`serve_tcp`]'s behavior) keeps the historical
     /// semantics: a connection may idle forever.
     pub idle_timeout: Option<Duration>,
+    /// Connection cap. While this many connections are active, further
+    /// arrivals are shed with one connection-scoped
+    /// [`ControlFrame::Busy`] frame and a
+    /// close (counted by `conn_shed`, never an error). `None` (the
+    /// default) accepts without bound.
+    pub max_conns: Option<usize>,
+    /// Per-connection submission quota, enforced in-band by each
+    /// connection's serve loop (see
+    /// [`AuditService::serve_as_tenant`]). `None` (the default) leaves
+    /// submissions unbounded.
+    pub tenant_quota: Option<TenantQuota>,
 }
 
 /// What a daemon hands back at [`TcpDaemon::shutdown`]: the still-warm
@@ -84,8 +110,12 @@ pub struct DaemonReport {
     /// Connections that ended with a protocol or transport error (the
     /// `conn_errors` counter).
     pub connection_errors: u64,
+    /// Connections shed at the cap with a `Busy` frame (the `conn_shed`
+    /// counter) — distinct from both accepted and errored connections:
+    /// `accepted + shed` is every TCP connect the daemon answered.
+    pub connections_shed: u64,
     /// Every service metric at shutdown, name-ordered (what a
-    /// [`ControlFrame::Stats`](crate::ControlFrame::Stats) response would
+    /// [`ControlFrame::Stats`] response would
     /// have carried at that instant).
     pub snapshot: MetricsSnapshot,
 }
@@ -174,6 +204,14 @@ fn accept_loop(
             return;
         }
         let metrics = service.metrics();
+        if let Some(cap) = options.max_conns {
+            let active = metrics.conn_active.get();
+            if active as usize >= cap {
+                shed_connection(&stream, metrics, active, cap as u64);
+                drop(stream);
+                continue;
+            }
+        }
         // The accept counter doubles as the 1-based connection id keying
         // this connection's trace events and thread name.
         let conn_id = metrics.conn_accepted.inc();
@@ -182,10 +220,10 @@ fn accept_loop(
         reap_finished(&state);
         let handle = {
             let service = Arc::clone(&service);
-            let idle_timeout = options.idle_timeout;
+            let options = options.clone();
             std::thread::Builder::new()
                 .name(format!("tdrd-conn-{conn_id}"))
-                .spawn(move || serve_connection(&service, stream, conn_id, idle_timeout))
+                .spawn(move || serve_connection(&service, stream, conn_id, &options))
         };
         match handle {
             Ok(handle) => state.conns.lock().expect("conns lock").push(handle),
@@ -201,26 +239,51 @@ fn accept_loop(
     }
 }
 
+/// Refuse one over-cap connection: answer with a single
+/// connection-scoped `Busy` frame (`batch_id` 0 — no request was read)
+/// and let the caller close the socket. Best-effort write: a peer that
+/// already vanished is shed all the same.
+fn shed_connection(stream: &TcpStream, metrics: &ServiceMetrics, active: u64, cap: u64) {
+    let mut writer = CountingWrite::new(BufWriter::new(stream), Arc::clone(&metrics.bytes_out));
+    let wrote = ControlFrame::Busy {
+        batch_id: 0,
+        scope: BusyScope::Connections,
+        active,
+        limit: cap,
+    }
+    .write_to(&mut writer)
+    .and_then(|()| writer.flush().map_err(ControlError::from_io));
+    if wrote.is_ok() {
+        metrics.frames_out.inc();
+        metrics.frames_out_busy.inc();
+    }
+    metrics.conn_shed.inc();
+    metrics.trace(TraceKind::ConnShed, active, cap);
+}
+
 /// One connection's lifetime: serve until clean EOF / `Shutdown`, or a
 /// typed protocol/transport error (counted, never fatal to the daemon).
 fn serve_connection(
     service: &AuditService,
     stream: TcpStream,
     conn_id: u64,
-    idle_timeout: Option<Duration>,
+    options: &DaemonOptions,
 ) {
     let metrics = service.metrics();
     // Verdict frames are small and latency matters for the submit→verdict
     // stream; disable Nagle and buffer writes per frame instead.
     let _ = stream.set_nodelay(true);
-    if let Some(deadline) = idle_timeout {
+    if let Some(deadline) = options.idle_timeout {
         // A read past the deadline fails with WouldBlock/TimedOut, which
         // the serve loop classifies as `ControlError::IdleTimeout`.
         let _ = stream.set_read_timeout(Some(deadline));
     }
     let reader = CountingRead::new(&stream, Arc::clone(&metrics.bytes_in));
     let writer = CountingWrite::new(BufWriter::new(&stream), Arc::clone(&metrics.bytes_out));
-    let outcome = service.serve(reader, writer);
+    // The connection id is the tenant id: submissions from this peer are
+    // round-robin scheduled against other connections' work and metered
+    // under `tenant_{conn_id}_*`.
+    let outcome = service.serve_as_tenant(reader, writer, conn_id, options.tenant_quota);
     match &outcome {
         Ok(()) => metrics.trace(TraceKind::ConnClose, conn_id, 0),
         Err(ControlError::IdleTimeout) => {
@@ -277,6 +340,13 @@ impl TcpDaemon {
         self.service.metrics().conn_errors.get()
     }
 
+    /// Connections shed at the [`DaemonOptions::max_conns`] cap with a
+    /// `Busy` frame — never counted as accepted or errored. A live view
+    /// over the `conn_shed` metric.
+    pub fn connections_shed(&self) -> u64 {
+        self.service.metrics().conn_shed.get()
+    }
+
     /// Graceful shutdown: stop accepting, wait for every in-flight
     /// connection to end (their submissions complete — the drain
     /// semantics the stress test pins), and return the still-warm
@@ -294,6 +364,7 @@ impl TcpDaemon {
         let snapshot = self.service.metrics_snapshot();
         let connections_accepted = snapshot.counter("conn_accepted");
         let connection_errors = snapshot.counter("conn_errors");
+        let connections_shed = snapshot.counter("conn_shed");
         let service = Arc::clone(&self.service);
         drop(self); // only `service` above and the daemon's own Arc remain
         DaemonReport {
@@ -305,6 +376,7 @@ impl TcpDaemon {
             },
             connections_accepted,
             connection_errors,
+            connections_shed,
             snapshot,
         }
     }

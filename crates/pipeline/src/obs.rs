@@ -430,6 +430,12 @@ pub enum TraceKind {
     /// Cross-batch retraining published a new battery generation
     /// (`a` = generation, `b` = clean traces absorbed).
     RetrainPublish,
+    /// An accept was shed at the connection cap (`a` = connections
+    /// active at the shed, `b` = the cap).
+    ConnShed,
+    /// A submission was refused by a tenant quota (`a` = tenant id,
+    /// `b` = the refused batch id).
+    QuotaReject,
 }
 
 /// One structured lifecycle event.
@@ -626,6 +632,7 @@ pub struct ServiceMetrics {
     pub(crate) conn_active: Arc<Gauge>,
     pub(crate) conn_errors: Arc<Counter>,
     pub(crate) conn_idle_timeout: Arc<Counter>,
+    pub(crate) conn_shed: Arc<Counter>,
     pub(crate) bytes_in: Arc<Counter>,
     pub(crate) bytes_out: Arc<Counter>,
     pub(crate) conn_frames: Arc<Histogram>,
@@ -641,6 +648,8 @@ pub struct ServiceMetrics {
     pub(crate) frames_out_error: Arc<Counter>,
     pub(crate) frames_out_shutdown_ack: Arc<Counter>,
     pub(crate) frames_out_stats: Arc<Counter>,
+    pub(crate) frames_out_busy: Arc<Counter>,
+    pub(crate) quota_rejections: Arc<Counter>,
     pub(crate) control_errors: Arc<Counter>,
 }
 
@@ -677,6 +686,7 @@ impl ServiceMetrics {
             conn_active: r.gauge("conn_active"),
             conn_errors: r.counter("conn_errors"),
             conn_idle_timeout: r.counter("conn_idle_timeout"),
+            conn_shed: r.counter("conn_shed"),
             bytes_in: r.counter("bytes_in"),
             bytes_out: r.counter("bytes_out"),
             conn_frames: r.histogram("conn_frames", &CONN_FRAMES_EDGES),
@@ -690,6 +700,8 @@ impl ServiceMetrics {
             frames_out_error: r.counter("frames_out_error"),
             frames_out_shutdown_ack: r.counter("frames_out_shutdown_ack"),
             frames_out_stats: r.counter("frames_out_stats"),
+            frames_out_busy: r.counter("frames_out_busy"),
+            quota_rejections: r.counter("quota_rejections"),
             control_errors: r.counter("control_errors"),
             trace: TraceRing::new(DEFAULT_TRACE_CAP),
             epoch: Instant::now(),
@@ -860,6 +872,9 @@ mod tests {
             "conn_accepted",
             "conn_errors",
             "conn_idle_timeout",
+            "conn_shed",
+            "quota_rejections",
+            "frames_out_busy",
             "bytes_in",
             "bytes_out",
             "frames_in",

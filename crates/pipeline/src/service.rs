@@ -24,12 +24,26 @@
 //!
 //! ## Idle/shutdown protocol
 //!
-//! Idle workers park in a blocking receive on the shared job channel —
-//! no spinning, no polling. [`AuditService::shutdown`] (and `Drop`)
-//! closes the channel; workers drain every job already queued — in-flight
-//! tickets still complete — and then exit, and shutdown joins them.
-//! Cancellation is per-ticket: a dropped ticket flips a shared flag and
-//! workers skip its remaining sessions without auditing them.
+//! Idle workers park in a blocking wait on the shared work queue — no
+//! spinning, no polling. [`AuditService::shutdown`] (and `Drop`) closes
+//! the queue; workers drain every job already queued — in-flight tickets
+//! still complete — and then exit, and shutdown joins them. Cancellation
+//! is per-ticket: a dropped ticket flips a shared flag and workers skip
+//! its remaining sessions without auditing them.
+//!
+//! ## Fair scheduling
+//!
+//! The work queue is not a single FIFO: items carry a **tenant id** (the
+//! daemon's connection id; 0 for in-process submissions) and the queue
+//! dequeues round-robin across tenants with queued work (a
+//! deficit-round-robin scheduler at unit quantum — every job costs one
+//! deficit credit, so each tenant with backlog gets one job per round).
+//! A peer flooding thousands of sessions therefore delays another
+//! tenant's batch by at most `other_tenants × in_flight` jobs, never by
+//! its own backlog — the no-starvation invariant
+//! (`docs/ARCHITECTURE.md`, "Admission control & fairness"), proven by
+//! `tests/fairness_torture.rs`. Within one tenant, order is FIFO, so
+//! verdict streams are unchanged for a lone submitter.
 //!
 //! Determinism is unchanged from the one-shot paths: a verdict depends
 //! only on the job, the service configuration, and the session seed —
@@ -45,9 +59,10 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use detectors::{DetectorBattery, TraceView};
+use replay::codec::wire;
 
 use crate::cache::ReferenceCache;
-use crate::control::{ControlError, ControlFrame};
+use crate::control::{BusyScope, ControlError, ControlFrame};
 use crate::ingest::{BatchStream, IngestError};
 use crate::obs::{Counter, Gauge, MetricsSnapshot, ServiceMetrics, TraceEvent, TraceKind};
 use crate::pool::{BatchReport, StreamReport};
@@ -144,6 +159,172 @@ struct WorkItem {
     gate: Option<Arc<ResidencyGate>>,
     /// Where the verdict goes (the ticket's receiver).
     sink: mpsc::Sender<(usize, AuditVerdict)>,
+    /// Scheduling key: the daemon connection id that submitted this item,
+    /// or [`LOCAL_TENANT`] for in-process submissions.
+    tenant: u64,
+    /// Per-tenant queue-depth gauge (`tenant_{id}_queue_depth`), present
+    /// only for daemon tenants; decremented when the item is dequeued.
+    tenant_depth: Option<Arc<Gauge>>,
+}
+
+/// Tenant id for in-process submissions ([`AuditService::submit_batch`]
+/// and friends) and for daemon connections served without a tenant id.
+/// Daemon connection ids start at 1, so 0 never collides.
+const LOCAL_TENANT: u64 = 0;
+
+// ---------------------------------------------------------------------------
+// Fair work queue (deficit round-robin across tenants)
+// ---------------------------------------------------------------------------
+
+/// Per-connection/tenant submission quota, enforced in-band by
+/// [`AuditService::serve_as_tenant`] — an over-quota `SubmitBatch` is
+/// answered with a [`ControlFrame::Busy`] frame and the connection
+/// survives; rejected submissions consume no budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Most sessions one `SubmitBatch` may declare in its TDRB header.
+    /// Batches declaring more are refused with
+    /// [`crate::control::BusyScope::InFlightSessions`] before any session
+    /// is decoded or audited.
+    pub max_sessions: u64,
+    /// Most `SubmitBatch` requests one connection may have admitted over
+    /// its lifetime (the serve loop is synchronous — each batch fully
+    /// drains before the next frame is read, so admitted == completed).
+    /// Further batches are refused with
+    /// [`crate::control::BusyScope::QueuedBatches`].
+    pub max_batches: u64,
+}
+
+/// One tenant's backlog inside the [`WorkQueue`].
+struct TenantQueue {
+    /// Deficit-round-robin credit. With [`WorkQueue::QUANTUM`] = 1 and
+    /// every job costing one credit this stays at zero — the structure is
+    /// kept so a future cost model (e.g. declared session cycles) only
+    /// changes the arithmetic, not the queue.
+    deficit: u64,
+    items: VecDeque<WorkItem>,
+}
+
+/// What [`WorkQueue::try_pop`] observed without blocking.
+enum Popped {
+    Item(Box<WorkItem>),
+    Empty,
+    Closed,
+}
+
+#[derive(Default)]
+struct DrrState {
+    /// Tenants with queued work. Empty per-tenant queues are removed, so
+    /// the map never grows beyond the set of tenants with live backlog.
+    queues: std::collections::BTreeMap<u64, TenantQueue>,
+    /// Round-robin service order over `queues` keys.
+    active: VecDeque<u64>,
+    closed: bool,
+}
+
+/// The shared work queue: items are enqueued FIFO *per tenant* and
+/// dequeued deficit-round-robin *across* tenants, so one tenant's flood
+/// delays another tenant by at most one job per round instead of by the
+/// whole backlog. Replaces the old single `mpsc` FIFO hand-off.
+///
+/// Close semantics mirror the channel it replaced: [`close`](Self::close)
+/// rejects new pushes, but pops keep draining queued items — `None`/
+/// `Closed` only once the queue is closed **and** empty, so graceful
+/// shutdown still completes in-flight tickets.
+struct WorkQueue {
+    state: Mutex<DrrState>,
+    ready: Condvar,
+}
+
+impl WorkQueue {
+    /// Credits granted per round. Unit quantum + unit cost = one job per
+    /// tenant per round (classic round-robin as the DRR degenerate case).
+    const QUANTUM: u64 = 1;
+
+    fn new() -> Self {
+        WorkQueue {
+            state: Mutex::new(DrrState::default()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue an item under its tenant. `Err(item)` iff the queue is
+    /// closed (the service shut down under the submitter).
+    fn push(&self, item: WorkItem) -> Result<(), WorkItem> {
+        let mut s = self.state.lock().expect("work queue lock");
+        if s.closed {
+            return Err(item);
+        }
+        let tenant = item.tenant;
+        match s.queues.get_mut(&tenant) {
+            Some(q) => q.items.push_back(item),
+            None => {
+                s.queues.insert(
+                    tenant,
+                    TenantQueue {
+                        deficit: 0,
+                        items: VecDeque::from([item]),
+                    },
+                );
+                s.active.push_back(tenant);
+            }
+        }
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// One DRR scheduling step under the lock: advance the round-robin
+    /// head, spend a credit, and requeue the tenant if backlog remains.
+    fn pop_locked(s: &mut DrrState) -> Option<Box<WorkItem>> {
+        let tenant = s.active.pop_front()?;
+        let q = s
+            .queues
+            .get_mut(&tenant)
+            .expect("active tenant has a queue");
+        q.deficit += Self::QUANTUM;
+        let item = q.items.pop_front().expect("active tenant queue nonempty");
+        q.deficit -= 1; // unit cost per job
+        if q.items.is_empty() {
+            s.queues.remove(&tenant);
+        } else {
+            s.active.push_back(tenant);
+        }
+        Some(Box::new(item))
+    }
+
+    /// Non-blocking pop, so workers can distinguish a genuinely empty
+    /// queue (→ park) from available work.
+    fn try_pop(&self) -> Popped {
+        let mut s = self.state.lock().expect("work queue lock");
+        match Self::pop_locked(&mut s) {
+            Some(item) => Popped::Item(item),
+            None if s.closed => Popped::Closed,
+            None => Popped::Empty,
+        }
+    }
+
+    /// Blocking pop: parks until an item arrives or the queue is closed
+    /// *and* drained.
+    fn pop_wait(&self) -> Option<Box<WorkItem>> {
+        let mut s = self.state.lock().expect("work queue lock");
+        loop {
+            if let Some(item) = Self::pop_locked(&mut s) {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).expect("work queue wait");
+        }
+    }
+
+    /// Close the queue: pushes fail from here on, pops drain what's left.
+    /// Idempotent (called from both `shutdown` and `Drop`).
+    fn close(&self) {
+        self.state.lock().expect("work queue lock").closed = true;
+        self.ready.notify_all();
+    }
 }
 
 /// State shared by the service handle, its workers, and its tickets.
@@ -175,24 +356,22 @@ impl Drop for SlotGuard {
     }
 }
 
-fn worker_main(worker: u64, shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<WorkItem>>>) {
+fn worker_main(worker: u64, shared: Arc<Shared>, queue: Arc<WorkQueue>) {
     let mut cache = ReferenceCache::new(&shared.reference);
     loop {
-        // Hold the lock only for the receive, not the audit. An idle
-        // worker parks here; a closed channel is the shutdown signal.
-        // `try_recv` first so the park/unpark trace records only *true*
-        // blocking waits, not queue-was-already-full dequeues.
-        let item = {
-            let guard = rx.lock().expect("job queue lock");
-            match guard.try_recv() {
-                Ok(item) => Some(item),
-                Err(mpsc::TryRecvError::Disconnected) => None,
-                Err(mpsc::TryRecvError::Empty) => {
-                    shared.metrics.trace(TraceKind::WorkerPark, worker, 0);
-                    let got = guard.recv().ok();
-                    shared.metrics.trace(TraceKind::WorkerUnpark, worker, 0);
-                    got
-                }
+        // The queue holds its lock only for the dequeue, not the audit. An
+        // idle worker parks in `pop_wait`; a closed-and-drained queue is
+        // the shutdown signal. `try_pop` first so the park/unpark trace
+        // records only *true* blocking waits, not queue-was-already-full
+        // dequeues.
+        let item = match queue.try_pop() {
+            Popped::Item(item) => Some(item),
+            Popped::Closed => None,
+            Popped::Empty => {
+                shared.metrics.trace(TraceKind::WorkerPark, worker, 0);
+                let got = queue.pop_wait();
+                shared.metrics.trace(TraceKind::WorkerUnpark, worker, 0);
+                got
             }
         };
         let Some(item) = item else { break };
@@ -204,7 +383,12 @@ fn worker_main(worker: u64, shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Wo
             cancelled,
             gate,
             sink,
-        } = item;
+            tenant: _,
+            tenant_depth,
+        } = *item;
+        if let Some(depth) = tenant_depth {
+            depth.dec();
+        }
         let slot = SlotGuard(gate);
         if cancelled.load(Ordering::Relaxed) {
             shared.metrics.sessions_cancelled.inc();
@@ -340,21 +524,20 @@ impl ServiceBuilder {
             retrain_on_clean: self.retrain_on_clean,
             metrics: ServiceMetrics::new(),
         });
-        let (job_tx, job_rx) = mpsc::channel::<WorkItem>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let queue = Arc::new(WorkQueue::new());
         let workers = (0..self.cfg.workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&job_rx);
+                let queue = Arc::clone(&queue);
                 std::thread::Builder::new()
                     .name(format!("audit-service-worker-{w}"))
-                    .spawn(move || worker_main(w as u64, shared, rx))
+                    .spawn(move || worker_main(w as u64, shared, queue))
                     .expect("spawn audit service worker")
             })
             .collect();
         Ok(AuditService {
             shared,
-            job_tx: Some(job_tx),
+            queue,
             workers,
         })
     }
@@ -367,11 +550,12 @@ impl ServiceBuilder {
 /// A long-lived audit service: one warmed worker pool, many submissions.
 ///
 /// See the [module docs](self) for the lifecycle. Submissions from
-/// multiple batches share the job queue FIFO; verdicts are routed to the
-/// submitting ticket.
+/// multiple batches share the tenant-fair work queue (per-tenant FIFO,
+/// round-robin across tenants); verdicts are routed to the submitting
+/// ticket.
 pub struct AuditService {
     shared: Arc<Shared>,
-    job_tx: Option<mpsc::Sender<WorkItem>>,
+    queue: Arc<WorkQueue>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -464,12 +648,6 @@ impl AuditService {
         self.shared.battery.lock().expect("battery lock").clone()
     }
 
-    fn job_tx(&self) -> &mpsc::Sender<WorkItem> {
-        self.job_tx
-            .as_ref()
-            .expect("job channel lives until shutdown")
-    }
-
     /// Submit a materialized batch. Returns immediately; the ticket yields
     /// verdicts as workers produce them and the final report on
     /// [`BatchTicket::wait`].
@@ -505,10 +683,13 @@ impl AuditService {
                 cancelled: Arc::clone(&cancelled),
                 gate: None,
                 sink: sink.clone(),
+                tenant: LOCAL_TENANT,
+                tenant_depth: None,
             };
             self.shared.metrics.queue_depth.inc();
-            self.job_tx()
-                .send(item)
+            self.queue
+                .push(item)
+                .map_err(|_| "queue closed")
                 .expect("service workers outlive submissions");
         }
         // Dropping the last local sender lets the ticket's receiver close
@@ -540,12 +721,40 @@ impl AuditService {
     where
         R: Read + Send + 'static,
     {
+        self.submit_stream_tenant(reader, LOCAL_TENANT, None)
+    }
+
+    /// [`submit_stream`](Self::submit_stream) with work items tagged for
+    /// the fair scheduler: `tenant` keys the round-robin, `handles` (if
+    /// any) receive per-tenant throughput/depth updates.
+    fn submit_stream_tenant<R>(
+        &self,
+        reader: R,
+        tenant: u64,
+        handles: Option<&TenantMetricHandles>,
+    ) -> Result<BatchTicket, IngestError>
+    where
+        R: Read + Send + 'static,
+    {
         let sessions = BatchStream::new(io::BufReader::new(reader))?;
-        Ok(self.submit_session_iter(sessions))
+        Ok(self.submit_session_iter_tenant(sessions, tenant, handles))
     }
 
     /// Submit any pull-based session source on a feeder thread.
     pub fn submit_session_iter<I>(&self, sessions: I) -> BatchTicket
+    where
+        I: IntoIterator<Item = Result<AuditJob, IngestError>> + Send + 'static,
+        I::IntoIter: Send,
+    {
+        self.submit_session_iter_tenant(sessions, LOCAL_TENANT, None)
+    }
+
+    fn submit_session_iter_tenant<I>(
+        &self,
+        sessions: I,
+        tenant: u64,
+        handles: Option<&TenantMetricHandles>,
+    ) -> BatchTicket
     where
         I: IntoIterator<Item = Result<AuditJob, IngestError>> + Send + 'static,
         I::IntoIter: Send,
@@ -559,7 +768,7 @@ impl AuditService {
         let (sink, rx) = mpsc::channel();
         let cancelled = Arc::new(AtomicBool::new(false));
         let ctx = FeedContext {
-            job_tx: self.job_tx().clone(),
+            queue: Arc::clone(&self.queue),
             sink,
             cancelled: Arc::clone(&cancelled),
             battery: self.battery(),
@@ -567,6 +776,9 @@ impl AuditService {
             retrain: self.shared.retrain_on_clean,
             queue_depth: Arc::clone(&self.shared.metrics.queue_depth),
             sessions_submitted: Arc::clone(&self.shared.metrics.sessions_submitted),
+            tenant,
+            tenant_depth: handles.map(|h| Arc::clone(&h.queue_depth)),
+            tenant_sessions: handles.map(|h| Arc::clone(&h.sessions)),
         };
         let feeder = std::thread::Builder::new()
             .name("audit-service-feeder".to_string())
@@ -601,7 +813,7 @@ impl AuditService {
         let (sink, rx) = mpsc::channel();
         let cancelled = Arc::new(AtomicBool::new(false));
         let ctx = FeedContext {
-            job_tx: self.job_tx().clone(),
+            queue: Arc::clone(&self.queue),
             sink,
             cancelled: Arc::clone(&cancelled),
             battery: self.battery(),
@@ -609,6 +821,9 @@ impl AuditService {
             retrain: self.shared.retrain_on_clean,
             queue_depth: Arc::clone(&self.shared.metrics.queue_depth),
             sessions_submitted: Arc::clone(&self.shared.metrics.sessions_submitted),
+            tenant: LOCAL_TENANT,
+            tenant_depth: None,
+            tenant_sessions: None,
         };
         let outcome = feed(sessions, ctx);
         let mut ticket = BatchTicket {
@@ -626,7 +841,7 @@ impl AuditService {
         ticket.wait_stream()
     }
 
-    /// Graceful shutdown: close the job channel, let workers drain every
+    /// Graceful shutdown: close the work queue, let workers drain every
     /// queued item (in-flight tickets still complete), and join them.
     /// Dropping the service does the same.
     pub fn shutdown(mut self) {
@@ -634,7 +849,7 @@ impl AuditService {
     }
 
     fn shutdown_inner(&mut self) {
-        self.job_tx.take();
+        self.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -655,12 +870,31 @@ impl AuditService {
     /// requests, transport errors — return a [`ControlError`] and end the
     /// loop (a read timing out on an endpoint with a configured read
     /// deadline is reported as [`ControlError::IdleTimeout`]).
-    pub fn serve<R: Read, W: Write>(
+    pub fn serve<R: Read, W: Write>(&self, reader: R, writer: W) -> Result<(), ControlError> {
+        self.serve_as_tenant(reader, writer, LOCAL_TENANT, None)
+    }
+
+    /// [`serve`](Self::serve) with multi-tenant governance: work this
+    /// connection submits is scheduled under `tenant` (the daemon's
+    /// connection id — per-tenant round-robin onto the worker pool, plus
+    /// lazily-registered `tenant_{id}_sessions` / `tenant_{id}_rejected` /
+    /// `tenant_{id}_queue_depth` metrics), and `quota` (if any) bounds
+    /// what it may submit. An over-quota `SubmitBatch` is answered in-band
+    /// with a [`ControlFrame::Busy`] frame — the client surfaces it as
+    /// [`ControlError::QuotaExceeded`] — and the connection survives;
+    /// rejected batches consume no quota. A `tenant` of 0 disables the
+    /// per-tenant metrics (it is the in-process submitter's id).
+    pub fn serve_as_tenant<R: Read, W: Write>(
         &self,
         mut reader: R,
         mut writer: W,
+        tenant: u64,
+        quota: Option<TenantQuota>,
     ) -> Result<(), ControlError> {
         let metrics = &self.shared.metrics;
+        let handles =
+            (tenant != LOCAL_TENANT).then(|| TenantMetricHandles::register(metrics, tenant));
+        let mut admitted_batches = 0u64;
         let mut frames_seen = 0u64;
         let outcome = loop {
             let frame = match ControlFrame::read_from(&mut reader) {
@@ -680,8 +914,25 @@ impl AuditService {
             let result = match frame {
                 ControlFrame::SubmitBatch { batch_id, tdrb } => {
                     metrics.frames_in_submit_batch.inc();
-                    self.serve_batch(batch_id, tdrb, &mut writer)
-                        .and_then(|()| writer.flush().map_err(ControlError::from_io))
+                    if let Some(refusal) = quota_refusal(quota, admitted_batches, &tdrb, batch_id) {
+                        metrics.quota_rejections.inc();
+                        if let Some(h) = &handles {
+                            h.rejected.inc();
+                        }
+                        metrics.trace(TraceKind::QuotaReject, tenant, batch_id);
+                        let write = refusal
+                            .write_to(&mut writer)
+                            .and_then(|()| writer.flush().map_err(ControlError::from_io));
+                        if write.is_ok() {
+                            metrics.frames_out.inc();
+                            metrics.frames_out_busy.inc();
+                        }
+                        write
+                    } else {
+                        admitted_batches += 1;
+                        self.serve_batch(batch_id, tdrb, &mut writer, tenant, handles.as_ref())
+                            .and_then(|()| writer.flush().map_err(ControlError::from_io))
+                    }
                 }
                 ControlFrame::StatsRequest => {
                     metrics.frames_in_stats_request.inc();
@@ -725,9 +976,11 @@ impl AuditService {
         batch_id: u64,
         tdrb: Vec<u8>,
         writer: &mut W,
+        tenant: u64,
+        handles: Option<&TenantMetricHandles>,
     ) -> Result<(), ControlError> {
         let metrics = &self.shared.metrics;
-        let mut ticket = match self.submit_stream(io::Cursor::new(tdrb)) {
+        let mut ticket = match self.submit_stream_tenant(io::Cursor::new(tdrb), tenant, handles) {
             Ok(ticket) => ticket,
             Err(e) => {
                 metrics.batch_errors.inc();
@@ -800,18 +1053,84 @@ impl Drop for AuditService {
     }
 }
 
+/// Handles to one tenant's lazily-registered metrics
+/// (`tenant_{id}_sessions` / `tenant_{id}_rejected` /
+/// `tenant_{id}_queue_depth`), fetched once per connection so the
+/// name-keyed registry lookup is off the per-session path.
+struct TenantMetricHandles {
+    /// Sessions this tenant handed to the workers (throughput).
+    sessions: Arc<Counter>,
+    /// Batches refused by quota (each one also counted in the global
+    /// `quota_rejections`).
+    rejected: Arc<Counter>,
+    /// This tenant's share of the shared work queue.
+    queue_depth: Arc<Gauge>,
+}
+
+impl TenantMetricHandles {
+    fn register(metrics: &ServiceMetrics, tenant: u64) -> Self {
+        let r = metrics.registry();
+        TenantMetricHandles {
+            sessions: r.counter(&format!("tenant_{tenant}_sessions")),
+            rejected: r.counter(&format!("tenant_{tenant}_rejected")),
+            queue_depth: r.gauge(&format!("tenant_{tenant}_queue_depth")),
+        }
+    }
+}
+
+/// Admission decision for one `SubmitBatch`: `Some(Busy)` if `quota`
+/// refuses it. Batch budget is checked first, then the session count the
+/// TDRB header *declares* — a cheap peek, no session is decoded. A
+/// malformed header skips the session check (the ingest path downstream
+/// reports it in-band as a decode [`ControlFrame::Error`], which must not
+/// be masked by a quota refusal).
+fn quota_refusal(
+    quota: Option<TenantQuota>,
+    admitted: u64,
+    tdrb: &[u8],
+    batch_id: u64,
+) -> Option<ControlFrame> {
+    let quota = quota?;
+    if admitted >= quota.max_batches {
+        return Some(ControlFrame::Busy {
+            batch_id,
+            scope: BusyScope::QueuedBatches,
+            active: admitted,
+            limit: quota.max_batches,
+        });
+    }
+    if tdrb.get(..4) == Some(&crate::ingest::BATCH_MAGIC[..]) && tdrb.len() >= 8 {
+        let mut pos = 8usize; // magic + version + flags
+        if let Ok(declared) = wire::read_varint(tdrb, &mut pos) {
+            if declared > quota.max_sessions {
+                return Some(ControlFrame::Busy {
+                    batch_id,
+                    scope: BusyScope::InFlightSessions,
+                    active: declared,
+                    limit: quota.max_sessions,
+                });
+            }
+        }
+    }
+    None
+}
+
 /// Everything a feeder needs besides the session source.
 struct FeedContext {
-    job_tx: mpsc::Sender<WorkItem>,
+    queue: Arc<WorkQueue>,
     sink: mpsc::Sender<(usize, AuditVerdict)>,
     cancelled: Arc<AtomicBool>,
     battery: Option<Arc<DetectorBattery>>,
     high_water: usize,
     retrain: bool,
     /// Metric handles (not the whole set: the feeder may outlive the
-    /// ticket but records only these two).
+    /// ticket but records only these).
     queue_depth: Arc<Gauge>,
     sessions_submitted: Arc<Counter>,
+    /// Scheduling key stamped on every work item this feeder enqueues.
+    tenant: u64,
+    tenant_depth: Option<Arc<Gauge>>,
+    tenant_sessions: Option<Arc<Counter>>,
 }
 
 /// The streaming feeder loop: pull sessions under the residency gate and
@@ -855,17 +1174,28 @@ where
                     cancelled: Arc::clone(&ctx.cancelled),
                     gate: Some(Arc::clone(&gate)),
                     sink: ctx.sink.clone(),
+                    tenant: ctx.tenant,
+                    tenant_depth: ctx.tenant_depth.clone(),
                 };
                 ctx.queue_depth.inc();
-                if let Err(mpsc::SendError(item)) = ctx.job_tx.send(item) {
+                if let Some(depth) = &ctx.tenant_depth {
+                    depth.inc();
+                }
+                if let Err(item) = ctx.queue.push(item) {
                     // The service shut down under us; hand the slot back
                     // and stop feeding.
                     ctx.queue_depth.dec();
+                    if let Some(depth) = &ctx.tenant_depth {
+                        depth.dec();
+                    }
                     drop(item);
                     gate.release();
                     break;
                 }
                 ctx.sessions_submitted.inc();
+                if let Some(sessions) = &ctx.tenant_sessions {
+                    sessions.inc();
+                }
                 submitted += 1;
             }
             Some(Err(e)) => {
@@ -1716,6 +2046,154 @@ mod tests {
             .filter(|f| matches!(f, ControlFrame::Verdict { batch_id: 2, .. }))
             .count();
         assert_eq!(verdicts_2, jobs.len());
+        service.shutdown();
+    }
+
+    /// A bare work item for queue-ordering tests: a real recorded job (the
+    /// queue moves items, it never audits them here), no gate, no battery.
+    fn queue_item(
+        job: &AuditJob,
+        tenant: u64,
+        index: usize,
+        sink: &mpsc::Sender<(usize, AuditVerdict)>,
+    ) -> WorkItem {
+        WorkItem {
+            index,
+            source: JobSource::Owned(Box::new(job.clone())),
+            battery: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            gate: None,
+            sink: sink.clone(),
+            tenant,
+            tenant_depth: None,
+        }
+    }
+
+    #[test]
+    fn work_queue_round_robins_across_tenants_fifo_within() {
+        let program = echo_program(3);
+        let job = session(&program, 0, &[]);
+        let (sink, _rx) = mpsc::channel();
+        let queue = WorkQueue::new();
+        // Tenant 1 floods three items before tenants 2 and 3 enqueue one
+        // each; DRR must interleave, not serve tenant 1's backlog first.
+        for (tenant, index) in [(1, 0), (1, 1), (1, 2), (2, 3), (3, 4)] {
+            assert!(queue.push(queue_item(&job, tenant, index, &sink)).is_ok());
+        }
+        let mut order = Vec::new();
+        while let Popped::Item(item) = queue.try_pop() {
+            order.push((item.tenant, item.index));
+        }
+        assert_eq!(
+            order,
+            vec![(1, 0), (2, 3), (3, 4), (1, 1), (1, 2)],
+            "one job per tenant per round, FIFO within a tenant"
+        );
+    }
+
+    #[test]
+    fn work_queue_drains_after_close_then_reports_closed() {
+        let program = echo_program(3);
+        let job = session(&program, 0, &[]);
+        let (sink, _rx) = mpsc::channel();
+        let queue = WorkQueue::new();
+        assert!(queue.push(queue_item(&job, 1, 0, &sink)).is_ok());
+        assert!(queue.push(queue_item(&job, 2, 1, &sink)).is_ok());
+        queue.close();
+        assert!(
+            queue.push(queue_item(&job, 3, 2, &sink)).is_err(),
+            "closed queue rejects new work"
+        );
+        assert!(matches!(queue.try_pop(), Popped::Item(_)));
+        assert!(queue.pop_wait().is_some(), "queued items drain after close");
+        assert!(matches!(queue.try_pop(), Popped::Closed));
+        assert!(queue.pop_wait().is_none());
+    }
+
+    #[test]
+    fn serve_enforces_tenant_quota_in_band_and_stays_up() {
+        let program = echo_program(3);
+        let jobs = mixed_jobs(&program, 3);
+        let oversized = crate::ingest::encode_batch(&jobs); // declares 3
+        let small = crate::ingest::encode_batch(&jobs[..2]); // declares 2
+        let service = AuditService::builder(Reference::new(Arc::clone(&program)))
+            .workers(2)
+            .build()
+            .expect("builds");
+        let quota = TenantQuota {
+            max_sessions: 2,
+            max_batches: 2,
+        };
+        let mut requests = Vec::new();
+        for (batch_id, tdrb) in [
+            (1, oversized.clone()),
+            (2, small.clone()),
+            (3, small.clone()),
+            (4, small.clone()),
+        ] {
+            ControlFrame::SubmitBatch { batch_id, tdrb }
+                .write_to(&mut requests)
+                .expect("encode");
+        }
+        ControlFrame::Shutdown
+            .write_to(&mut requests)
+            .expect("encode");
+        let mut responses = Vec::new();
+        service
+            .serve_as_tenant(&requests[..], &mut responses, 7, Some(quota))
+            .expect("quota refusals are in-band, not protocol errors");
+
+        let mut frames = Vec::new();
+        let mut src = &responses[..];
+        while let Some(frame) = ControlFrame::read_from(&mut src).expect("decodes") {
+            frames.push(frame);
+        }
+        // Batch 1 declares 3 > max_sessions: refused before any decode.
+        assert_eq!(
+            frames[0],
+            ControlFrame::Busy {
+                batch_id: 1,
+                scope: BusyScope::InFlightSessions,
+                active: 3,
+                limit: 2,
+            }
+        );
+        // Batches 2 and 3 fit and audit in full.
+        for id in [2u64, 3] {
+            assert_eq!(
+                frames
+                    .iter()
+                    .filter(
+                        |f| matches!(f, ControlFrame::Verdict { batch_id, .. } if *batch_id == id)
+                    )
+                    .count(),
+                2
+            );
+            assert!(frames
+                .iter()
+                .any(|f| matches!(f, ControlFrame::Summary { batch_id, .. } if *batch_id == id)));
+        }
+        // Batch 4 exceeds the lifetime batch budget; refusals consumed
+        // none of it (batch 1's rejection did not count).
+        assert!(frames.contains(&ControlFrame::Busy {
+            batch_id: 4,
+            scope: BusyScope::QueuedBatches,
+            active: 2,
+            limit: 2,
+        }));
+        assert_eq!(*frames.last().expect("ack"), ControlFrame::ShutdownAck);
+
+        // Per-tenant and global governance counters match ground truth.
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.counter("quota_rejections"), 2);
+        assert_eq!(snap.counter("frames_out_busy"), 2);
+        assert_eq!(snap.counter("tenant_7_sessions"), 4);
+        assert_eq!(snap.counter("tenant_7_rejected"), 2);
+        assert_eq!(snap.gauge("tenant_7_queue_depth"), 0);
+        assert!(service
+            .trace_events()
+            .iter()
+            .any(|e| e.kind == TraceKind::QuotaReject && e.a == 7 && e.b == 1));
         service.shutdown();
     }
 }

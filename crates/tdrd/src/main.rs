@@ -5,13 +5,20 @@
 //! ```text
 //! tdrd [--bind ADDR] [--workers N] [--high-water W] [--threshold T]
 //!      [--battery FILE] [--retrain] [--idle-timeout SECS]
-//!      [--stats-interval SECS]
+//!      [--stats-interval SECS] [--max-conns N]
+//!      [--tenant-quota SESSIONS,BATCHES]
 //!      Serve. Prints "tdrd: listening on ADDR" once the listener is up
 //!      (bind to port 0 for an ephemeral port and parse that line).
 //!      `--idle-timeout` closes connections whose peer goes silent for
 //!      SECS (default: never — pinned historical behavior).
 //!      `--stats-interval` prints a one-line metrics summary to stderr
 //!      every SECS.
+//!      `--max-conns` caps concurrent connections: past the cap, a
+//!      connection is answered with one TDRC `Busy` frame and closed
+//!      (FORMATS.md §5.6). `--tenant-quota` bounds what each connection
+//!      may submit — at most SESSIONS declared sessions per batch and
+//!      BATCHES admitted batches per connection; over-quota submissions
+//!      get an in-band `Busy` and the connection survives.
 //!
 //! tdrd --client ADDR [--sessions N] [--batches M] [--threshold T]
 //!      [--stats]
@@ -46,7 +53,7 @@ use jbc::hll::{dsl::*, HTy, Module};
 use jbc::ElemTy;
 use sanity_tdr::audit_pipeline::ingest;
 use sanity_tdr::{
-    serve_tcp_with, AuditConfig, AuditJob, BatteryMode, Client, DaemonOptions, Sanity,
+    serve_tcp_with, AuditConfig, AuditJob, BatteryMode, Client, DaemonOptions, Sanity, TenantQuota,
 };
 
 /// The compiled-in reference binary: a small echo service (receive a
@@ -128,6 +135,8 @@ struct Args {
     stats: bool,
     stats_interval: Option<f64>,
     idle_timeout: Option<f64>,
+    max_conns: Option<usize>,
+    tenant_quota: Option<TenantQuota>,
     /// Flag names seen on the command line, for per-mode validation: a
     /// flag the selected mode ignores is a configuration mistake the
     /// operator must hear about, not a silent no-op.
@@ -137,7 +146,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: tdrd [--bind ADDR] [--workers N] [--high-water W] [--threshold T] \
-         [--battery FILE] [--retrain] [--idle-timeout SECS] [--stats-interval SECS]\n       \
+         [--battery FILE] [--retrain] [--idle-timeout SECS] [--stats-interval SECS] \
+         [--max-conns N] [--tenant-quota SESSIONS,BATCHES]\n       \
          tdrd --client ADDR [--sessions N] [--batches M] [--threshold T] [--stats]"
     );
     exit(2)
@@ -157,6 +167,8 @@ fn parse_args() -> Args {
         stats: false,
         stats_interval: None,
         idle_timeout: None,
+        max_conns: None,
+        tenant_quota: None,
         seen: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -187,6 +199,10 @@ fn parse_args() -> Args {
             "--idle-timeout" => {
                 args.idle_timeout = Some(parse_secs(&value("--idle-timeout"), "--idle-timeout"))
             }
+            "--max-conns" => args.max_conns = Some(parse_num(&value("--max-conns"), "--max-conns")),
+            "--tenant-quota" => {
+                args.tenant_quota = Some(parse_quota(&value("--tenant-quota"), "--tenant-quota"))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -207,6 +223,8 @@ fn parse_args() -> Args {
                 "--stats" => "--stats",
                 "--stats-interval" => "--stats-interval",
                 "--idle-timeout" => "--idle-timeout",
+                "--max-conns" => "--max-conns",
+                "--tenant-quota" => "--tenant-quota",
                 _ => unreachable!("unknown flags exit above"),
             });
         }
@@ -223,6 +241,8 @@ fn parse_args() -> Args {
             "--retrain",
             "--idle-timeout",
             "--stats-interval",
+            "--max-conns",
+            "--tenant-quota",
         ]
     } else {
         &["--sessions", "--batches", "--stats"]
@@ -246,6 +266,26 @@ fn parse_num(s: &str, name: &str) -> usize {
         eprintln!("{name} needs a number, got {s:?}");
         exit(2)
     })
+}
+
+/// Parse `--tenant-quota SESSIONS,BATCHES` (both positive).
+fn parse_quota(s: &str, name: &str) -> TenantQuota {
+    let bad = || -> ! {
+        eprintln!("{name} needs SESSIONS,BATCHES (two positive numbers), got {s:?}");
+        exit(2)
+    };
+    let Some((sessions, batches)) = s.split_once(',') else {
+        bad()
+    };
+    let max_sessions: u64 = sessions.trim().parse().unwrap_or_else(|_| bad());
+    let max_batches: u64 = batches.trim().parse().unwrap_or_else(|_| bad());
+    if max_sessions == 0 || max_batches == 0 {
+        bad();
+    }
+    TenantQuota {
+        max_sessions,
+        max_batches,
+    }
 }
 
 /// Parse a positive seconds value (fractional allowed: `0.5`).
@@ -312,6 +352,8 @@ fn run_server(args: &Args) -> ! {
     });
     let options = DaemonOptions {
         idle_timeout: args.idle_timeout.map(std::time::Duration::from_secs_f64),
+        max_conns: args.max_conns,
+        tenant_quota: args.tenant_quota,
     };
     let daemon = serve_tcp_with(service, listener, options).unwrap_or_else(|e| {
         eprintln!("tdrd: cannot start accept loop: {e}");

@@ -1,0 +1,464 @@
+//! Starvation torture suite for the multi-tenant daemon
+//! (`audit_pipeline::net` + `service::serve_as_tenant`): one capped,
+//! quota'd daemon under four seeded hostile peers — a flooder burning its
+//! whole batch budget, a quota prober declaring over-size batches, a
+//! slow-loris submitter trickling bytes, and a connect-churner — while an
+//! honest tenant submits real work. The suite pins the ISSUE's fairness
+//! contract:
+//!
+//! * the honest tenant's batches complete within a bounded factor of
+//!   their isolated latency (no starvation behind hostile backlogs);
+//! * its verdicts stay bit-identical to an in-process `audit_batch` of
+//!   the same jobs — fairness must not perturb the audit;
+//! * every refusal is typed (`ControlError::QuotaExceeded` in-band,
+//!   connection-scoped `Busy` at the accept gate) — never a hang, never
+//!   a panic, never a silent close;
+//! * the per-tenant counters in the final stats snapshot match
+//!   ground-truth tallies exactly, and the accept/shed/error accounting
+//!   balances to the connection.
+//!
+//! CI runs this binary with `--test-threads=1` and uploads the snapshot
+//! written to `results/FAIRNESS_stats.txt` as a build artifact.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use sanity_tdr::{
+    serve_tcp_with, AuditConfig, BusyScope, Client, ControlError, ControlFrame, DaemonOptions,
+    Sanity, TcpDaemon, TenantQuota,
+};
+
+use sanity_tdr::audit_pipeline::ingest;
+
+#[path = "torture_common.rs"]
+mod torture_common;
+use torture_common::{echo_jobs, echo_sanity};
+
+/// The quota every TCP tenant runs under in this suite.
+const QUOTA: TenantQuota = TenantQuota {
+    max_sessions: 8,
+    max_batches: 8,
+};
+
+/// The daemon's connection cap.
+const MAX_CONNS: usize = 6;
+
+fn capped_daemon(sanity: &Sanity) -> TcpDaemon {
+    let service = sanity
+        .audit_service()
+        .workers(2)
+        .build()
+        .expect("valid service configuration");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    serve_tcp_with(
+        service,
+        listener,
+        DaemonOptions {
+            max_conns: Some(MAX_CONNS),
+            tenant_quota: Some(QUOTA),
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("daemon starts")
+}
+
+/// Poll the daemon's `conn_active` gauge through `client` until it reads
+/// `want` (serve threads observe connects/disconnects asynchronously).
+fn wait_conn_active(client: &mut Client<TcpStream>, want: u64) {
+    for _ in 0..1000 {
+        if client
+            .stats()
+            .expect("stats round trip")
+            .gauge("conn_active")
+            == want
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("conn_active never reached {want}");
+}
+
+/// The one scenario the tentpole exists for: four hostile peers cannot
+/// starve, perturb, or crash the honest tenant.
+#[test]
+fn hostile_fleet_cannot_starve_an_honest_tenant() {
+    let sanity = echo_sanity();
+    let cfg = AuditConfig {
+        workers: 2,
+        ..AuditConfig::default()
+    };
+
+    // Per-tenant job sets (distinct session ids → distinct verdicts, so a
+    // cross-tenant mixup cannot cancel out in the comparisons below).
+    let honest_jobs = echo_jobs(&sanity, 0..6);
+    let flooder_jobs = echo_jobs(&sanity, 10..18); // 8 = max_sessions exactly
+    let prober_jobs = echo_jobs(&sanity, 20..29); // 9 > max_sessions: refused
+    let small_jobs = echo_jobs(&sanity, 30..32);
+
+    let honest_bytes = ingest::encode_batch(&honest_jobs);
+    let flooder_bytes = ingest::encode_batch(&flooder_jobs);
+    let prober_bytes = ingest::encode_batch(&prober_jobs);
+    let small_bytes = ingest::encode_batch(&small_jobs);
+
+    // In-process ground truth for every batch shape submitted below.
+    let honest_baseline = sanity.audit_batch(&honest_jobs, &cfg);
+    let flooder_baseline = sanity.audit_batch(&flooder_jobs, &cfg);
+    let small_baseline = sanity.audit_batch(&small_jobs, &cfg);
+
+    // ---------------------------------------------------------------
+    // Isolated latency: the honest tenant alone on an identical daemon.
+    // ---------------------------------------------------------------
+    let isolated_total = {
+        let daemon = capped_daemon(&sanity);
+        let mut client = Client::new(TcpStream::connect(daemon.local_addr()).expect("connect"));
+        // One unmeasured warm-up batch so both measurements run against a
+        // warm pool and page-hot code.
+        client
+            .submit_batch(900, honest_bytes.clone())
+            .expect("warm-up batch")
+            .result
+            .expect("warm-up audits");
+        let start = Instant::now();
+        for m in 0..3u64 {
+            let outcome = client
+                .submit_batch(1000 + m, honest_bytes.clone())
+                .expect("isolated batch");
+            assert_eq!(outcome.verdicts, honest_baseline.verdicts);
+            outcome.result.expect("isolated batch audits");
+        }
+        let total = start.elapsed();
+        client.shutdown().expect("isolated client acks");
+        let report = daemon.shutdown();
+        report.service.shutdown();
+        total
+    };
+
+    // ---------------------------------------------------------------
+    // Phase A: the chaos daemon, four persistent tenants connected
+    // serially so their tenant ids are deterministic (accept order):
+    // honest = 1, flooder = 2, prober = 3, loris = 4.
+    // ---------------------------------------------------------------
+    let daemon = capped_daemon(&sanity);
+    let addr = daemon.local_addr();
+
+    let mut honest = Client::new(TcpStream::connect(addr).expect("connect"));
+    honest.stats().expect("honest connection serves");
+    let mut flooder = Client::new(TcpStream::connect(addr).expect("connect"));
+    flooder.stats().expect("flooder connection serves");
+    let mut prober = Client::new(TcpStream::connect(addr).expect("connect"));
+    prober.stats().expect("prober connection serves");
+    let loris_stream = TcpStream::connect(addr).expect("connect");
+    wait_conn_active(&mut honest, 4);
+
+    // ---------------------------------------------------------------
+    // Phase B: all five peers run concurrently.
+    // ---------------------------------------------------------------
+    let honest_thread = {
+        let bytes = honest_bytes.clone();
+        let baseline: Vec<_> = honest_baseline.verdicts.clone();
+        let summary = honest_baseline.summary.clone();
+        std::thread::spawn(move || {
+            let start = Instant::now();
+            for m in 0..3u64 {
+                let outcome = honest
+                    .submit_batch(1000 + m, bytes.clone())
+                    .expect("honest batch is served under load");
+                assert_eq!(outcome.verdicts, baseline, "honest verdicts perturbed");
+                for (wire, local) in outcome.verdicts.iter().zip(&baseline) {
+                    assert_eq!(
+                        wire.score.to_bits(),
+                        local.score.to_bits(),
+                        "honest scores must be bit-identical under load"
+                    );
+                }
+                assert_eq!(
+                    outcome.result.expect("honest batch audits").summary,
+                    summary
+                );
+            }
+            (honest, start.elapsed())
+        })
+    };
+
+    let flooder_thread = {
+        let bytes = flooder_bytes.clone();
+        let baseline = flooder_baseline.verdicts.clone();
+        std::thread::spawn(move || {
+            // Burn the whole lifetime batch budget with full-size batches…
+            for m in 0..QUOTA.max_batches {
+                let outcome = flooder
+                    .submit_batch(2000 + m, bytes.clone())
+                    .expect("flooder batches within budget are served");
+                assert_eq!(outcome.verdicts, baseline);
+                outcome.result.expect("flooder batch audits");
+            }
+            // …then every further submission gets the typed refusal, and
+            // the connection survives each one.
+            for m in 0..3u64 {
+                let err = flooder
+                    .submit_batch(2100 + m, bytes.clone())
+                    .expect_err("budget exhausted: submission refused");
+                assert_eq!(
+                    err,
+                    ControlError::QuotaExceeded {
+                        scope: BusyScope::QueuedBatches,
+                        active: QUOTA.max_batches,
+                        limit: QUOTA.max_batches,
+                    }
+                );
+            }
+            flooder.shutdown().expect("flooder still acks shutdown");
+        })
+    };
+
+    let prober_thread = {
+        let bytes = prober_bytes.clone();
+        let small = small_bytes.clone();
+        let baseline = small_baseline.verdicts.clone();
+        std::thread::spawn(move || {
+            // Oversize declarations are refused before any session is
+            // decoded — and refusals consume no batch budget.
+            for m in 0..5u64 {
+                let err = prober
+                    .submit_batch(3000 + m, bytes.clone())
+                    .expect_err("oversize batch refused");
+                assert_eq!(
+                    err,
+                    ControlError::QuotaExceeded {
+                        scope: BusyScope::InFlightSessions,
+                        active: prober_jobs_len(),
+                        limit: QUOTA.max_sessions,
+                    }
+                );
+            }
+            // The connection survives five refusals: a conforming batch
+            // is still served in full.
+            let outcome = prober
+                .submit_batch(3100, small)
+                .expect("conforming batch after refusals");
+            assert_eq!(outcome.verdicts, baseline);
+            outcome.result.expect("prober's conforming batch audits");
+            prober.shutdown().expect("prober acks shutdown");
+        })
+    };
+
+    let loris_thread = {
+        let small = small_bytes.clone();
+        let baseline = small_baseline.verdicts.clone();
+        let mut stream = loris_stream;
+        std::thread::spawn(move || {
+            // Trickle one conforming SubmitBatch a few bytes at a time —
+            // a slow peer must tie up neither the accept loop nor the
+            // worker pool while its frame dribbles in.
+            let mut request = Vec::new();
+            ControlFrame::SubmitBatch {
+                batch_id: 4000,
+                tdrb: small,
+            }
+            .write_to(&mut request)
+            .expect("encode");
+            // Seeded trickle schedule: chunk sizes and pauses come from
+            // the suite's RNG, so a pathological framing-dependent stall
+            // reproduces from the seed.
+            let mut rng = StdRng::seed_from_u64(0x7d5e_4a11);
+            let mut at = 0usize;
+            while at < request.len() {
+                let len = rng.gen_range(1..=(request.len() / 32).max(2));
+                let hi = (at + len).min(request.len());
+                stream.write_all(&request[at..hi]).expect("trickle");
+                at = hi;
+                std::thread::sleep(Duration::from_micros(rng.gen_range(200..2_000)));
+            }
+            let mut verdicts = Vec::new();
+            loop {
+                match ControlFrame::read_from(&mut stream)
+                    .expect("response decodes")
+                    .expect("daemon is up")
+                {
+                    ControlFrame::Verdict { verdict, index, .. } => {
+                        assert_eq!(index as usize, verdicts.len());
+                        verdicts.push(verdict);
+                    }
+                    ControlFrame::Summary { .. } => break,
+                    other => panic!("unexpected daemon frame: {other:?}"),
+                }
+            }
+            assert_eq!(verdicts, baseline, "loris verdicts perturbed");
+            ControlFrame::Shutdown
+                .write_to(&mut stream)
+                .expect("encode shutdown");
+            match ControlFrame::read_from(&mut stream)
+                .expect("ack decodes")
+                .expect("daemon acks")
+            {
+                ControlFrame::ShutdownAck => {}
+                other => panic!("unexpected daemon frame: {other:?}"),
+            }
+            let mut rest = Vec::new();
+            stream.read_to_end(&mut rest).expect("read to EOF");
+            assert!(rest.is_empty(), "nothing after the ack");
+        })
+    };
+
+    let churner_thread = {
+        let small = small_bytes.clone();
+        let baseline = small_baseline.verdicts.clone();
+        std::thread::spawn(move || {
+            // Serial connect → submit → shutdown churn with seeded pauses:
+            // tenant ids 5..=7 (no other peer connects during phase B).
+            let mut rng = StdRng::seed_from_u64(0x7d5e_c4e7);
+            for k in 0..3u64 {
+                std::thread::sleep(Duration::from_micros(rng.gen_range(100..3_000)));
+                let mut client = Client::new(TcpStream::connect(addr).expect("churn connect"));
+                let outcome = client
+                    .submit_batch(5000 + k, small.clone())
+                    .expect("churned batch is served");
+                assert_eq!(outcome.verdicts, baseline);
+                outcome.result.expect("churned batch audits");
+                client.shutdown().expect("churned connection acks");
+            }
+        })
+    };
+
+    let (mut honest, chaos_total) = honest_thread.join().expect("honest thread");
+    flooder_thread.join().expect("flooder thread");
+    prober_thread.join().expect("prober thread");
+    loris_thread.join().expect("loris thread");
+    churner_thread.join().expect("churner thread");
+
+    // No starvation: with per-tenant round-robin the honest tenant shares
+    // the pool with the (at most) three other tenants that ever hold
+    // queued work, so its three batches land within a small factor of
+    // isolation. The absolute grace term absorbs OS-scheduler noise at
+    // millisecond batch times; the factor is the invariant under test —
+    // a FIFO queue puts the flooder's entire backlog ahead of the honest
+    // tenant and blows well past it.
+    let bound = isolated_total * 3 + Duration::from_millis(400);
+    assert!(
+        chaos_total <= bound,
+        "honest tenant starved: {chaos_total:?} under load vs {isolated_total:?} isolated \
+         (bound {bound:?})"
+    );
+
+    // ---------------------------------------------------------------
+    // Phase C: fill the connection cap and probe the accept gate.
+    // ---------------------------------------------------------------
+    wait_conn_active(&mut honest, 1);
+    let mut holders: Vec<_> = (0..MAX_CONNS - 1)
+        .map(|_| Client::new(TcpStream::connect(addr).expect("holder connects")))
+        .collect();
+    for holder in &mut holders {
+        holder.stats().expect("holder connection serves");
+    }
+    wait_conn_active(&mut honest, MAX_CONNS as u64);
+
+    // Read-only probes (writing to an already-closed socket would RST the
+    // connection and discard the buffered refusal): exactly one typed,
+    // connection-scoped Busy frame, then EOF.
+    for _ in 0..3 {
+        let mut probe = TcpStream::connect(addr).expect("probe connects");
+        let frame = ControlFrame::read_from(&mut probe)
+            .expect("refusal decodes")
+            .expect("daemon answers before closing");
+        assert_eq!(
+            frame,
+            ControlFrame::Busy {
+                batch_id: 0,
+                scope: BusyScope::Connections,
+                active: MAX_CONNS as u64,
+                limit: MAX_CONNS as u64,
+            }
+        );
+        let mut rest = Vec::new();
+        probe.read_to_end(&mut rest).expect("read to EOF");
+        assert!(rest.is_empty(), "nothing after the Busy frame");
+    }
+
+    for holder in holders {
+        holder.shutdown().expect("holder acks");
+    }
+    honest.shutdown().expect("honest client acks");
+
+    // ---------------------------------------------------------------
+    // Final accounting: the snapshot matches ground-truth tallies.
+    // ---------------------------------------------------------------
+    let report = daemon.shutdown();
+
+    // Connection ledger: 4 persistent + 3 churned + 5 holders accepted;
+    // exactly the 3 probes shed; nothing errored, nothing lost.
+    assert_eq!(report.connections_accepted, 12);
+    assert_eq!(report.connection_errors, 0, "no peer ever errors");
+    assert_eq!(report.connections_shed, 3);
+    let snap = &report.snapshot;
+    assert_eq!(snap.counter("conn_shed"), 3);
+
+    // Per-tenant ground truth. Tenant ids follow accept order (phase A
+    // connected serially; churn ran with no competing connects).
+    let tallies: &[(u64, u64, u64)] = &[
+        (1, 3 * 6, 0), // honest: 3 batches × 6 sessions, never refused
+        (2, 8 * 8, 3), // flooder: full budget admitted, 3 refusals after
+        (3, 2, 5),     // prober: 5 refusals, then one 2-session batch
+        (4, 2, 0),     // loris: one trickled 2-session batch
+        (5, 2, 0),     // churn #1
+        (6, 2, 0),     // churn #2
+        (7, 2, 0),     // churn #3
+    ];
+    for &(tenant, sessions, rejected) in tallies {
+        assert_eq!(
+            snap.counter(&format!("tenant_{tenant}_sessions")),
+            sessions,
+            "tenant {tenant} session tally"
+        );
+        assert_eq!(
+            snap.counter(&format!("tenant_{tenant}_rejected")),
+            rejected,
+            "tenant {tenant} rejection tally"
+        );
+        assert_eq!(
+            snap.gauge(&format!("tenant_{tenant}_queue_depth")),
+            0,
+            "tenant {tenant} queue drained"
+        );
+    }
+    // The cap holders (tenants 8..=12) submitted nothing.
+    for tenant in 8..=12u64 {
+        assert_eq!(snap.counter(&format!("tenant_{tenant}_sessions")), 0);
+        assert_eq!(snap.counter(&format!("tenant_{tenant}_rejected")), 0);
+    }
+
+    // Cross-checks against the aggregate counters.
+    let sessions: u64 = tallies.iter().map(|&(_, s, _)| s).sum();
+    let rejections: u64 = tallies.iter().map(|&(_, _, r)| r).sum();
+    assert_eq!(snap.counter("sessions_audited"), sessions);
+    assert_eq!(snap.counter("sessions_submitted"), sessions);
+    assert_eq!(snap.counter("batches_completed"), 3 + 8 + 1 + 1 + 3);
+    assert_eq!(snap.counter("quota_rejections"), rejections);
+    assert_eq!(
+        snap.counter("frames_out_busy"),
+        rejections + report.connections_shed,
+        "one Busy frame per in-band refusal plus one per shed connection"
+    );
+    assert_eq!(snap.counter("control_err_idle_timeout"), 0);
+
+    // CI artifact: the full snapshot plus the latency measurement.
+    let artifact = format!(
+        "# fairness_torture final stats snapshot\n\
+         # honest 3-batch latency: isolated {isolated_total:?}, under load {chaos_total:?} \
+         (bound {bound:?})\n{}",
+        snap.render()
+    );
+    std::fs::create_dir_all("../../results").expect("results dir");
+    std::fs::write("../../results/FAIRNESS_stats.txt", artifact).expect("write stats artifact");
+
+    report.service.shutdown();
+}
+
+/// The prober's declared session count (9 — one past `max_sessions`),
+/// as a function so the refusal assertion can't drift from the fixture.
+fn prober_jobs_len() -> u64 {
+    9
+}

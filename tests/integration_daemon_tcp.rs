@@ -163,6 +163,7 @@ fn tcp_round_trip_is_byte_identical_to_duplex_and_in_process() {
     let report = daemon.shutdown();
     assert_eq!(report.connections_accepted, 5);
     assert_eq!(report.connection_errors, 0);
+    assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
     report.service.shutdown();
 }
 
@@ -255,6 +256,7 @@ fn concurrent_clients_get_bit_identical_verdicts_and_shutdown_drains() {
 
     assert_eq!(report.connections_accepted, (CLIENTS + 1) as u64);
     assert_eq!(report.connection_errors, 0);
+    assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
     assert_eq!(
         report.service.sessions_audited(),
         (CLIENTS * 3 * 2 + jobs.len()) as u64,
@@ -352,6 +354,7 @@ fn stats_polling_client_perturbs_neither_verdicts_nor_summaries() {
     let report = daemon.shutdown();
     assert_eq!(report.connections_accepted, (CLIENTS + 1) as u64);
     assert_eq!(report.connection_errors, 0);
+    assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
     let sessions = (CLIENTS * 3 * 2) as u64;
     assert_eq!(report.service.sessions_audited(), sessions);
     assert_eq!(report.snapshot.counter("sessions_audited"), sessions);
@@ -388,6 +391,7 @@ fn idle_timeout_reaps_stalled_connections_with_a_typed_error() {
         listener,
         DaemonOptions {
             idle_timeout: Some(Duration::from_millis(250)),
+            ..DaemonOptions::default()
         },
     )
     .expect("daemon starts");
@@ -421,6 +425,7 @@ fn idle_timeout_reaps_stalled_connections_with_a_typed_error() {
         report.connection_errors, 1,
         "the stalled connection, and only it"
     );
+    assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
     assert_eq!(report.snapshot.counter("conn_idle_timeout"), 1);
     report.service.shutdown();
 }
@@ -504,6 +509,7 @@ fn slow_loris_and_mid_frame_stalls_are_isolated_per_connection() {
         report.connection_errors, 1,
         "exactly the stalled connection errored"
     );
+    assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
 
     // No residency slot leaked: the warm service still streams a full
     // batch under the same high-water bound of 1.
@@ -591,6 +597,142 @@ fn connection_level_garbage_never_kills_the_daemon() {
     assert_eq!(
         report.connection_errors, expected_errors,
         "every connection's outcome matches the in-memory serve oracle"
+    );
+    assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
+    report.service.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Connection-cap shedding
+// ---------------------------------------------------------------------------
+
+/// `DaemonOptions::max_conns`: connections past the cap are shed with one
+/// connection-scoped `Busy` frame and a close — typed on the client side
+/// as `ControlError::Busy` — and the accounting is exact: every TCP
+/// connect the daemon answered is either accepted or shed, never both,
+/// and shed connections are not errors.
+#[test]
+fn over_cap_connections_are_shed_with_a_typed_busy_frame() {
+    let sanity = echo_sanity();
+    let jobs = echo_jobs(&sanity, 0..2);
+    let bytes = ingest::encode_batch(&jobs);
+    let service = sanity
+        .audit_service()
+        .workers(2)
+        .build()
+        .expect("valid service configuration");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let daemon = serve_tcp_with(
+        service,
+        listener,
+        DaemonOptions {
+            max_conns: Some(2),
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("daemon starts");
+    let addr = daemon.local_addr();
+
+    // Fill the cap with two held connections, each proven live (a full
+    // stats round trip means its serve thread is running and counted).
+    let mut held: Vec<_> = (0..2)
+        .map(|_| Client::new(TcpStream::connect(addr).expect("connect")))
+        .collect();
+    for client in &mut held {
+        client.stats().expect("held connection serves");
+    }
+
+    // Three probes decode the refusal off the raw socket: exactly one
+    // Busy frame — connection-scoped, batch_id 0 — then EOF. The probes
+    // deliberately write nothing: bytes arriving at a socket the daemon
+    // already closed would RST the connection and discard the buffered
+    // refusal (kernel semantics, not daemon behavior).
+    for _ in 0..3 {
+        let mut probe = TcpStream::connect(addr).expect("connect");
+        let frame = ControlFrame::read_from(&mut probe)
+            .expect("refusal decodes")
+            .expect("daemon answers before closing");
+        assert_eq!(
+            frame,
+            ControlFrame::Busy {
+                batch_id: 0,
+                scope: sanity_tdr::BusyScope::Connections,
+                active: 2,
+                limit: 2,
+            }
+        );
+        let mut rest = Vec::new();
+        probe.read_to_end(&mut rest).expect("read to EOF");
+        assert!(rest.is_empty(), "nothing after the Busy frame");
+    }
+
+    // Freeing a slot re-opens admission: after the held connections shut
+    // down, a new client is served in full. The serve threads observe the
+    // shutdown asynchronously and admission rechecks on every accept, so
+    // probe first — a shed connection hears the daemon speak first (the
+    // refusal), an admitted one hears silence (the daemon awaits a
+    // request) — and retry until admitted.
+    for client in held {
+        client.shutdown().expect("held connection acks");
+    }
+    let outcome = loop {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .expect("probe timeout");
+        let mut first = [0u8; 1];
+        match stream.peek(&mut first) {
+            Ok(_) => {
+                // Shed again: confirm the refusal, give the serve threads
+                // a moment, retry.
+                let frame = ControlFrame::read_from(&mut stream)
+                    .expect("refusal decodes")
+                    .expect("daemon answers before closing");
+                assert!(matches!(
+                    frame,
+                    ControlFrame::Busy {
+                        batch_id: 0,
+                        scope: sanity_tdr::BusyScope::Connections,
+                        ..
+                    }
+                ));
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Admitted: the daemon is waiting for our first request.
+                stream.set_read_timeout(None).expect("clear probe timeout");
+                let mut client = Client::new(stream);
+                let outcome = client
+                    .submit_batch(9, bytes.clone())
+                    .expect("protocol clean after the cap drains");
+                client.shutdown().expect("ack");
+                break outcome;
+            }
+            Err(e) => panic!("unexpected probe error while the cap drains: {e}"),
+        }
+    };
+    outcome.result.expect("batch audits after the cap drains");
+
+    let report = daemon.shutdown();
+    // Exact accounting: 2 held + 1 final success accepted; 3 probes plus
+    // any Busy-refused retries shed; nothing errored, nothing lost.
+    assert_eq!(report.connections_accepted, 3);
+    assert_eq!(
+        report.connection_errors, 0,
+        "shed connections are not errors"
+    );
+    assert!(report.connections_shed >= 3);
+    assert_eq!(
+        report.snapshot.counter("conn_shed"),
+        report.connections_shed
+    );
+    assert_eq!(
+        report.snapshot.counter("frames_out_busy"),
+        report.connections_shed,
+        "one Busy frame per shed connection"
     );
     report.service.shutdown();
 }

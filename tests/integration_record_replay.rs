@@ -42,6 +42,43 @@ fn nfs_record_replay_accuracy_within_paper_bound() {
 }
 
 #[test]
+fn long_nfs_sweep_ipd_tail_stays_under_regression_bound() {
+    // Regression pin for the replay-accuracy *tail*. The short trace above
+    // measures ~1.0% and is pinned at 1.9%; longer NFS sweeps accumulate
+    // more contended bus accesses and the worst-case IPD deviation climbs
+    // to ~2.4% (see ROADMAP). This test sweeps several long configurations
+    // and pins the tail at ≤ 2.5% so a scheduler or bus-model change that
+    // silently widens it fails here first. The bound is deliberately
+    // loose — it documents today's tail, to be tightened as the jitter
+    // model improves, not a target.
+    let mut worst = 0.0f64;
+    for t in 0..3u64 {
+        let files = nfs::make_files(6, 2048, 6144, 70 + t);
+        let sched = nfs::client_schedule(&files, 200_000, 740_000, 80 + t);
+        let s = Sanity::new(nfs::server_program(sched.len() as i32)).with_files(files);
+        let packets = sched.packets.clone();
+        let rec = s
+            .record(40 + t, move |vm| {
+                for (at, pkt) in packets {
+                    vm.machine_mut().deliver_packet(at, pkt);
+                }
+            })
+            .expect("record");
+        let rep = s.replay(&rec.log, 140 + t, |_| {}).expect("replay");
+        let c = compare::compare_ipds(
+            &compare::tx_ipds_cycles(&rec.tx),
+            &compare::tx_ipds_cycles(&rep.tx),
+        );
+        assert!(!c.length_mismatch, "sweep {t}: IPD count diverged");
+        worst = worst.max(c.max_rel);
+    }
+    assert!(
+        worst <= 0.025,
+        "long-sweep IPD tail regressed past 2.5%: {worst}"
+    );
+}
+
+#[test]
 fn replay_reproduces_outputs_exactly() {
     let (s, sched) = nfs_sanity(2);
     let packets = sched.packets.clone();

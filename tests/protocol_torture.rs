@@ -233,6 +233,57 @@ fn stats_frames_survive_a_hundred_seeded_mutations() {
     });
 }
 
+/// The governance plane under the same contract: ~100 seeded mutations of
+/// pinned-good `Busy` frames — every scope, boundary batch ids and limits
+/// — each either fail with a typed `ControlError` (corruption, unknown
+/// scope bytes → `BadScope`, truncation) or decode to something
+/// self-consistent. A forged refusal must never panic or hang a client.
+#[test]
+fn busy_frames_survive_a_hundred_seeded_mutations() {
+    use sanity_tdr::BusyScope;
+    let frames = [
+        // The FORMATS.md §5.6 worked example: a connection-level refusal.
+        ControlFrame::Busy {
+            batch_id: 0,
+            scope: BusyScope::Connections,
+            active: 4,
+            limit: 4,
+        },
+        ControlFrame::Busy {
+            batch_id: 300,
+            scope: BusyScope::QueuedBatches,
+            active: 8,
+            limit: 8,
+        },
+        ControlFrame::Busy {
+            batch_id: u64::MAX,
+            scope: BusyScope::InFlightSessions,
+            active: u64::MAX,
+            limit: 1,
+        },
+    ];
+    let mut base = Vec::new();
+    for frame in &frames {
+        base.extend_from_slice(&frame.encode());
+    }
+    sweep("TDRC-busy", &base, 100, |bytes| {
+        let mut src = bytes;
+        loop {
+            match ControlFrame::read_from(&mut src) {
+                Ok(None) => break,
+                Ok(Some(frame)) => {
+                    let re = frame.encode();
+                    let back = ControlFrame::read_from(&mut &re[..])
+                        .expect("re-encoded frame decodes")
+                        .expect("one frame");
+                    assert_eq!(back, frame);
+                }
+                Err(_typed) => break,
+            }
+        }
+    });
+}
+
 #[test]
 fn tdrl_survives_a_thousand_seeded_mutations() {
     let base = tdrl_corpus();
