@@ -1,0 +1,140 @@
+//! Criterion bench for the replay hot paths this optimization pass added:
+//! fused vs classic opcode dispatch, event-ticking vs scan-everything
+//! housekeeping, and prepared (batched) vs standalone detector scoring.
+//!
+//! Every pairing replays the *same recorded log* or scores the *same
+//! traces* — the fast paths are bit-identical to the classic ones, so the
+//! only thing that may differ is the wall clock.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::MachineConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sanity_tdr::detectors::{DetectorBattery, TraceView};
+use sanity_tdr::Sanity;
+use vm::{DispatchMode, VmConfig};
+use workloads::{nfs, scimark::Kernel};
+
+fn with_dispatch(s: &Sanity, dispatch: DispatchMode) -> Sanity {
+    s.clone().with_vm_config(VmConfig {
+        dispatch,
+        ..VmConfig::default()
+    })
+}
+
+fn with_ticking(s: &Sanity, event_ticking: bool) -> Sanity {
+    s.clone().with_machine_config(MachineConfig {
+        event_ticking,
+        ..*s.machine_config()
+    })
+}
+
+/// Lognormal-ish IPD trace, same generator the detector tests use.
+fn trace(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut scale = 700_000.0f64;
+    for k in 0..n {
+        if k % 64 == 0 {
+            scale = rng.gen_range(400_000.0..1_200_000.0);
+        }
+        let u1: f64 = rng.gen_range(1e-9..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        out.push((scale * (0.5 * z).exp()) as u64);
+    }
+    out
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    // Compute-bound kernel: almost all time is in the interpreter loop.
+    let sanity = Sanity::new(Kernel::Fft.program_small());
+    let rec = sanity.record(1, |_| {}).expect("record");
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(20);
+    for (label, mode) in [
+        ("classic", DispatchMode::Classic),
+        ("fused", DispatchMode::Fused),
+    ] {
+        let s = with_dispatch(&sanity, mode);
+        group.bench_function(format!("replay_fft/{label}"), |b| {
+            b.iter(|| {
+                s.replay(&rec.log, 2, |_| {})
+                    .expect("replay")
+                    .outcome
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tick_loop(c: &mut Criterion) {
+    // I/O-bound NFS session: housekeeping runs after every step, so the
+    // discrete-event gate is what this pairing isolates.
+    let files = nfs::make_files(4, 1500, 4000, 5);
+    let sanity = Sanity::new(nfs::server_program(8)).with_files(files.clone());
+    let sched = nfs::client_schedule(&files, 200_000, 700_000, 4);
+    let rec = sanity
+        .record(1, |vm| {
+            for (at, pkt) in sched.packets.iter().take(8) {
+                vm.machine_mut().deliver_packet(*at, pkt.clone());
+            }
+        })
+        .expect("record");
+    let mut group = c.benchmark_group("tick_loop");
+    group.sample_size(20);
+    for (label, ticking) in [("scan_all", false), ("event_queue", true)] {
+        let s = with_ticking(&sanity, ticking);
+        group.bench_function(format!("replay_nfs/{label}"), |b| {
+            b.iter(|| {
+                s.replay(&rec.log, 2, |_| {})
+                    .expect("replay")
+                    .outcome
+                    .cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_scoring(c: &mut Criterion) {
+    let legit: Vec<Vec<u64>> = (0..10).map(|k| trace(100 + k, 600)).collect();
+    let battery = DetectorBattery::trained(&legit);
+    let probes: Vec<Vec<u64>> = (0..16).map(|k| trace(500 + k, 600)).collect();
+    let mut group = c.benchmark_group("batch_scoring");
+    group.sample_size(30);
+    // Standalone: each detector redoes the f64 conversion/sort per trace.
+    group.bench_function("standalone_per_detector/16_traces", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for p in &probes {
+                let view = TraceView::observed(p);
+                for d in battery.detectors() {
+                    acc += d.score(&view);
+                }
+            }
+            acc
+        })
+    });
+    // Batched: one TracePrep per trace, shared by all five members.
+    group.bench_function("battery_score_batch/16_traces", |b| {
+        b.iter(|| {
+            let views: Vec<TraceView<'_>> = probes.iter().map(|p| TraceView::observed(p)).collect();
+            battery
+                .score_batch(&views)
+                .iter()
+                .map(|m| m.values().sum::<f64>())
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_tick_loop,
+    bench_batch_scoring
+);
+criterion_main!(benches);

@@ -21,6 +21,9 @@
 //! repro daemon --tcp     The daemon behind a localhost TCP listener:
 //!                        throughput vs concurrent client connections
 //!                        (BENCH_daemon_tcp.json)
+//! repro replay-speed     Classic vs fused-dispatch + event-ticking replay
+//!                        time, with a determinism cross-check
+//!                        (BENCH_replay_speed.json)
 //! repro all              Everything above
 //! ```
 //!
@@ -36,7 +39,7 @@ use experiments::Options;
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|daemon|all> [--full] [--runs N] [--out DIR] [--stream] [--tcp]");
+        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|daemon|replay-speed|all> [--full] [--runs N] [--out DIR] [--stream] [--tcp]");
         std::process::exit(2);
     });
     let mut opts = Options::default();
@@ -80,6 +83,7 @@ fn main() {
         "pipeline" => experiments::pipeline::run(&opts),
         "daemon" if opts.tcp => experiments::daemon::run_tcp(&opts),
         "daemon" => experiments::daemon::run(&opts),
+        "replay-speed" => experiments::replay_speed::run(&opts),
         "all" => {
             experiments::fig2::run(&opts);
             experiments::fig3::run(&opts);
@@ -94,6 +98,7 @@ fn main() {
             experiments::pipeline::run(&opts);
             experiments::daemon::run(&opts);
             experiments::daemon::run_tcp(&opts);
+            experiments::replay_speed::run(&opts);
         }
         other => {
             eprintln!("unknown experiment: {other}");

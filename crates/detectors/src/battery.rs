@@ -12,7 +12,9 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CceTest, Detector, KsTest, RegularityTest, ShapeTest, TdrDetector, TraceView};
+use crate::{
+    CceTest, Detector, KsTest, RegularityTest, ShapeTest, TdrDetector, TracePrep, TraceView,
+};
 
 /// Mean/std of one detector's scores over the training traces, fitted by
 /// [`DetectorBattery::train`] so raw scores on incomparable scales can be
@@ -90,11 +92,27 @@ impl DetectorBattery {
     ///
     /// The TDR entry ("Sanity") reads [`TraceView::replayed_ipds`]; without
     /// a reference replay it abstains with 0.0 (see [`TdrDetector`]).
+    /// The shared prefix work (f64 conversion, sorted view, mean/std) is
+    /// done once per trace and reused by every member via
+    /// [`Detector::score_prepared`], which is bit-identical to scoring each
+    /// detector standalone.
     pub fn score_all(&self, trace: &TraceView<'_>) -> BTreeMap<String, f64> {
+        let prep = TracePrep::new(trace.observed_ipds);
         self.detectors()
             .iter()
-            .map(|d| (d.name().to_string(), d.score(trace)))
+            .map(|d| (d.name().to_string(), d.score_prepared(trace, &prep)))
             .collect()
+    }
+
+    /// Score a contiguous batch of traces with every detector, one
+    /// [`TracePrep`] per trace. This is the pipeline's bulk path: a batch
+    /// of sessions lands, each trace's prefix work happens exactly once,
+    /// and the per-trace results are bit-identical to calling
+    /// [`score_all`](Self::score_all) in a loop (which is exactly what it
+    /// does — the batching win is the prep sharing *within* each trace
+    /// across the five members).
+    pub fn score_batch(&self, traces: &[TraceView<'_>]) -> Vec<BTreeMap<String, f64>> {
+        traces.iter().map(|t| self.score_all(t)).collect()
     }
 
     /// Traces in the current training set (original plus absorbed).
@@ -156,13 +174,17 @@ impl Detector for DetectorBattery {
         self.rt.train(legit);
         self.cce.train(legit);
         self.tdr.train(legit);
+        // One prep per training trace, shared by all four statistical
+        // members — bit-identical to scoring each standalone.
+        let preps: Vec<TracePrep> = legit.iter().map(|t| TracePrep::new(t)).collect();
         self.stat_baselines = self
             .statistical()
             .iter()
             .map(|d| {
                 let scores: Vec<f64> = legit
                     .iter()
-                    .map(|t| d.score(&TraceView::observed(t)))
+                    .zip(&preps)
+                    .map(|(t, prep)| d.score_prepared(&TraceView::observed(t), prep))
                     .collect();
                 ScoreBaseline {
                     mean: netsim::stats::mean(&scores),
@@ -187,11 +209,12 @@ impl Detector for DetectorBattery {
         if trace.replayed_ipds.is_some() {
             return self.tdr.score(trace);
         }
+        let prep = TracePrep::new(trace.observed_ipds);
         self.statistical()
             .iter()
             .enumerate()
             .map(|(k, d)| {
-                let raw = d.score(trace);
+                let raw = d.score_prepared(trace, &prep);
                 match self.stat_baselines.get(k) {
                     Some(b) => (raw - b.mean) / b.std,
                     None => raw, // untrained: raw scores are all we have
@@ -256,6 +279,29 @@ mod tests {
             shape.score(&view).to_bits(),
             "battery shape score is bit-identical to the standalone detector"
         );
+    }
+
+    #[test]
+    fn score_batch_matches_looped_score_all() {
+        let battery = DetectorBattery::trained(&training_set());
+        let traces: Vec<Vec<u64>> = vec![
+            legit_trace(61, 500),
+            vec![700_000; 400],
+            legit_trace(62, 300),
+        ];
+        let views: Vec<TraceView<'_>> = traces.iter().map(|t| TraceView::observed(t)).collect();
+        let batch = battery.score_batch(&views);
+        assert_eq!(batch.len(), views.len());
+        for (view, scores) in views.iter().zip(&batch) {
+            let single = battery.score_all(view);
+            for (name, score) in &single {
+                assert_eq!(
+                    score.to_bits(),
+                    scores[name].to_bits(),
+                    "{name} diverged between batch and single scoring"
+                );
+            }
+        }
     }
 
     #[test]

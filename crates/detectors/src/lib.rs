@@ -87,10 +87,61 @@ pub trait Detector {
 
     /// Score a test trace.
     fn score(&self, trace: &TraceView<'_>) -> f64;
+
+    /// Score a test trace against a [`TracePrep`] built from the same
+    /// observed IPDs, reusing its cached prefix work (f64 conversion,
+    /// sorted view, mean/std) instead of recomputing it per detector.
+    ///
+    /// Must be **bit-identical** to [`score`](Self::score) — the prep only
+    /// hoists work every detector would redo, it never changes arithmetic.
+    /// The default implementation simply delegates to `score`, which is
+    /// what detectors with no shareable prefix (e.g. the TDR detector)
+    /// want.
+    fn score_prepared(&self, trace: &TraceView<'_>, _prep: &TracePrep) -> f64 {
+        self.score(trace)
+    }
 }
 
 fn to_f64(xs: &[u64]) -> Vec<f64> {
     xs.iter().map(|&x| x as f64).collect()
+}
+
+/// Shared prefix work for scoring one trace with many detectors.
+///
+/// Every statistical detector starts from the same observed IPDs and redoes
+/// the same conversions: Shape converts to f64 and takes mean/std, KS
+/// converts and sorts, RT converts, CCE bins the raw ticks. A `TracePrep`
+/// does the shareable part **once** — built by [`TracePrep::new`] and handed
+/// to [`Detector::score_prepared`], which is bit-identical to
+/// [`Detector::score`] by construction (same functions over the same data,
+/// just cached).
+#[derive(Debug, Clone, Default)]
+pub struct TracePrep {
+    /// The observed IPDs as f64, in wire order.
+    pub obs_f64: Vec<f64>,
+    /// The observed IPDs as f64, sorted ascending (the KS test side).
+    pub obs_sorted: Vec<f64>,
+    /// `stats::mean` of the observed IPDs.
+    pub mean: f64,
+    /// `stats::std_dev` of the observed IPDs.
+    pub std: f64,
+}
+
+impl TracePrep {
+    /// Do the shared prefix work for one observed-IPD slice.
+    pub fn new(observed_ipds: &[u64]) -> Self {
+        let obs_f64 = to_f64(observed_ipds);
+        let mut obs_sorted = obs_f64.clone();
+        obs_sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mean = stats::mean(&obs_f64);
+        let std = stats::std_dev(&obs_f64);
+        TracePrep {
+            obs_f64,
+            obs_sorted,
+            mean,
+            std,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -134,6 +185,14 @@ impl Detector for ShapeTest {
         let zs = (stats::std_dev(&xs) - self.mean_of_stds).abs() / self.std_of_stds;
         zm + zs
     }
+
+    // Bit-identical to `score`: `prep.mean`/`prep.std` are the same
+    // `stats::mean`/`stats::std_dev` calls over the same f64 conversion.
+    fn score_prepared(&self, _trace: &TraceView<'_>, prep: &TracePrep) -> f64 {
+        let zm = (prep.mean - self.mean_of_means).abs() / self.std_of_means;
+        let zs = (prep.std - self.mean_of_stds).abs() / self.std_of_stds;
+        zm + zs
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -166,6 +225,14 @@ impl Detector for KsTest {
 
     fn score(&self, trace: &TraceView<'_>) -> f64 {
         stats::ks_distance(&self.pooled, &to_f64(trace.observed_ipds))
+    }
+
+    // Bit-identical to `score`: `pooled` was sorted at train time (and
+    // re-sorting a sorted slice is the identity), so skipping straight to
+    // the sorted-input KS loop performs the same arithmetic on the same
+    // values — it only drops the two copy-and-sort passes per call.
+    fn score_prepared(&self, _trace: &TraceView<'_>, prep: &TracePrep) -> f64 {
+        stats::ks_distance_sorted(&self.pooled, &prep.obs_sorted)
     }
 }
 
@@ -202,7 +269,10 @@ impl RegularityTest {
     }
 
     fn regularity(&self, ipds: &[u64]) -> f64 {
-        let xs = to_f64(ipds);
+        self.regularity_f64(&to_f64(ipds))
+    }
+
+    fn regularity_f64(&self, xs: &[f64]) -> f64 {
         let sigmas: Vec<f64> = xs
             .chunks(self.resolved_window())
             .filter(|c| c.len() >= 2)
@@ -235,6 +305,12 @@ impl Detector for RegularityTest {
     fn score(&self, trace: &TraceView<'_>) -> f64 {
         // Low regularity spread = suspiciously constant variance = covert.
         -self.regularity(trace.observed_ipds)
+    }
+
+    // Bit-identical to `score`: same windowed-σ computation over the same
+    // f64 conversion, just without redoing the conversion.
+    fn score_prepared(&self, _trace: &TraceView<'_>, prep: &TracePrep) -> f64 {
+        -self.regularity_f64(&prep.obs_f64)
     }
 }
 
@@ -308,7 +384,7 @@ impl CceTest {
     // BTreeMap, not HashMap: entropy sums floats over the map's iteration
     // order, and that order must be deterministic for CCE scores to be
     // byte-identical across workers, runs, and serialization roundtrips.
-    fn entropy(counts: &std::collections::BTreeMap<Vec<u8>, u32>, total: f64) -> f64 {
+    fn entropy<K: Ord>(counts: &std::collections::BTreeMap<K, u32>, total: f64) -> f64 {
         counts
             .values()
             .map(|&c| {
@@ -320,15 +396,67 @@ impl CceTest {
 
     /// The CCE statistic (lower = more covert).
     pub fn cce(&self, ipds: &[u64]) -> f64 {
-        use std::collections::BTreeMap;
         let max_m = self.resolved_max_m();
         let symbols = self.binned(ipds);
         if symbols.len() < max_m + 1 {
             return 0.0;
         }
+        if max_m <= PACKED_MAX_M {
+            Self::cce_packed(&symbols, max_m)
+        } else {
+            Self::cce_unpacked(&symbols, max_m)
+        }
+    }
+
+    /// The hot CCE path: each length-`m` symbol window is packed big-endian
+    /// into a `u128` key (`m ≤ 16` symbols × 8 bits fills it exactly), so
+    /// window counting allocates nothing and key comparison is one integer
+    /// compare instead of a byte-slice walk.
+    ///
+    /// Bit-identical to [`cce_unpacked`](Self::cce_unpacked): for windows
+    /// of one fixed length, big-endian packing preserves lexicographic
+    /// order, so the `BTreeMap<u128, _>` iterates in exactly the order the
+    /// `BTreeMap<Vec<u8>, _>` would — and the entropy float summation
+    /// (order-sensitive, see [`entropy`](Self::entropy)) visits the same
+    /// counts in the same sequence.
+    fn cce_packed(symbols: &[u8], max_m: usize) -> f64 {
+        use std::collections::BTreeMap;
+        // First-order entropy for the correction term.
+        let mut c1: BTreeMap<u128, u32> = BTreeMap::new();
+        for &s in symbols {
+            *c1.entry(s as u128).or_default() += 1;
+        }
+        let h1 = Self::entropy(&c1, symbols.len() as f64);
+
+        let mut best = f64::INFINITY;
+        let mut prev_h = 0.0;
+        for m in 1..=max_m {
+            let mut counts: BTreeMap<u128, u32> = BTreeMap::new();
+            let n = symbols.len() + 1 - m;
+            for w in symbols.windows(m) {
+                let key = w.iter().fold(0u128, |k, &s| (k << 8) | s as u128);
+                *counts.entry(key).or_default() += 1;
+            }
+            let h_m = Self::entropy(&counts, n as f64);
+            // CE(m) = H(patterns of m) − H(patterns of m−1).
+            let ce = if m == 1 { h_m } else { h_m - prev_h };
+            prev_h = h_m;
+            let unique = counts.values().filter(|&&c| c == 1).count() as f64;
+            let perc = unique / n as f64;
+            let cce = ce + perc * h1;
+            best = best.min(cce);
+        }
+        best
+    }
+
+    /// The original `Vec<u8>`-keyed CCE computation, kept as the fallback
+    /// for pattern lengths beyond a `u128` key (`max_m > 16`) and as the
+    /// reference the packed path is tested bit-identical against.
+    fn cce_unpacked(symbols: &[u8], max_m: usize) -> f64 {
+        use std::collections::BTreeMap;
         // First-order entropy for the correction term.
         let mut c1: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
-        for &s in &symbols {
+        for &s in symbols {
             *c1.entry(vec![s]).or_default() += 1;
         }
         let h1 = Self::entropy(&c1, symbols.len() as f64);
@@ -353,6 +481,10 @@ impl CceTest {
         best
     }
 }
+
+/// Longest pattern length the packed CCE path handles: 16 symbols × 8 bits
+/// each fills a `u128` key exactly.
+const PACKED_MAX_M: usize = 16;
 
 impl Detector for CceTest {
     fn name(&self) -> &'static str {
@@ -550,6 +682,74 @@ mod tests {
             .map(|_| rng.gen_range(300_000..1_500_000))
             .collect();
         assert!(d.score(&TraceView::observed(&iid)) > d.score(&TraceView::observed(&legit)));
+    }
+
+    #[test]
+    fn cce_packed_keys_match_vec_keys_bit_for_bit() {
+        let mut d = CceTest::default();
+        d.train(&training_set());
+        for (seed, n) in [(31u64, 700usize), (32, 256), (33, 64)] {
+            let trace = legit_trace(seed, n);
+            let symbols = d.binned(&trace);
+            for max_m in [2usize, 5, 9, 16] {
+                if symbols.len() < max_m + 1 {
+                    continue;
+                }
+                assert_eq!(
+                    CceTest::cce_packed(&symbols, max_m).to_bits(),
+                    CceTest::cce_unpacked(&symbols, max_m).to_bits(),
+                    "packed CCE diverged (seed {seed}, max_m {max_m})"
+                );
+            }
+        }
+        // A strongly patterned trace exercises the repeated-window branch.
+        let covert: Vec<u64> = (0..600)
+            .map(|k| [300_000u64, 600_000, 900_000, 1_200_000][k % 4])
+            .collect();
+        let symbols = d.binned(&covert);
+        assert_eq!(
+            CceTest::cce_packed(&symbols, 5).to_bits(),
+            CceTest::cce_unpacked(&symbols, 5).to_bits()
+        );
+    }
+
+    #[test]
+    fn score_prepared_is_bit_identical_to_score() {
+        let legit = training_set();
+        let mut shape = ShapeTest::new();
+        shape.train(&legit);
+        let mut ks = KsTest::new();
+        ks.train(&legit);
+        let rt = RegularityTest::default();
+        let mut cce = CceTest::default();
+        cce.train(&legit);
+        let tdr = TdrDetector::new();
+        let detectors: [&dyn Detector; 5] = [&shape, &ks, &rt, &cce, &tdr];
+
+        let replay = legit_trace(40, 500);
+        let traces: [Vec<u64>; 4] = [
+            legit_trace(41, 500),
+            vec![700_000; 500],
+            legit_trace(42, 3), // shorter than any window/pattern
+            Vec::new(),
+        ];
+        for trace in &traces {
+            let views = [
+                TraceView::observed(trace),
+                TraceView::with_replay(trace, &replay),
+            ];
+            for view in &views {
+                let prep = TracePrep::new(view.observed_ipds);
+                for d in detectors {
+                    assert_eq!(
+                        d.score(view).to_bits(),
+                        d.score_prepared(view, &prep).to_bits(),
+                        "{} diverged on prepared scoring",
+                        d.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,9 +29,11 @@ pub mod device;
 pub mod machine;
 pub mod noise;
 pub mod ringbuf;
+pub mod sched;
 
 pub use addr::{AddressSpace, FramePolicy, PAGE_SIZE};
 pub use device::{Nic, Storage, StorageKind, TxRecord};
 pub use machine::{EventMark, Machine, MachineConfig, MarkKind, Seeds};
 pub use noise::{Environment, NoiseConfig, NoiseInjector};
 pub use ringbuf::{NaiveCell, Phase, StBuffer, StEntry, SymCell, TsBuffer, TS_INFINITY};
+pub use sched::{ComponentId, TickQueue};

@@ -25,6 +25,7 @@ use crate::addr::{AddressSpace, FramePolicy};
 use crate::device::{Nic, Storage, StorageKind, TxRecord};
 use crate::noise::{Environment, NoiseConfig, NoiseInjector};
 use crate::ringbuf::{Phase, StBuffer, StEntry, TsBuffer};
+use crate::sched::{ComponentId, TickQueue};
 
 /// Kind of a recorded event mark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -142,6 +143,11 @@ pub struct MachineConfig {
     pub frame_policy_override: Option<FramePolicy>,
     /// Override the environment's frequency policy (ablations).
     pub freq_policy_override: Option<sim_core::FreqPolicy>,
+    /// Drive post-instruction housekeeping from the discrete-event tick
+    /// queue ([`crate::sched`]) instead of re-scanning every component
+    /// after every instruction. Host-side speed only: simulated time is
+    /// bit-identical either way (the determinism goldens pin this).
+    pub event_ticking: bool,
 }
 
 impl MachineConfig {
@@ -162,6 +168,7 @@ impl MachineConfig {
             sc_heartbeat_stall_max: 5_000,
             frame_policy_override: None,
             freq_policy_override: None,
+            event_ticking: true,
         }
     }
 
@@ -183,6 +190,7 @@ impl MachineConfig {
             sc_heartbeat_stall_max: 0,
             frame_policy_override: None,
             freq_policy_override: None,
+            event_ticking: true,
         }
     }
 }
@@ -215,6 +223,8 @@ pub struct Machine {
     /// SC-side nondeterminism (heartbeat interference, processing jitter).
     sc_rng: StdRng,
     next_heartbeat: Cycles,
+    /// Discrete-event schedule of the housekeeping components.
+    tickq: TickQueue,
 }
 
 impl Machine {
@@ -228,7 +238,7 @@ impl Machine {
         let freq_policy = cfg.freq_policy_override.unwrap_or(noise_cfg.freq_policy);
         let core = CoreModel::new(cfg.core, seeds.bus);
         let governor = FrequencyGovernor::new(cfg.nominal_hz, freq_policy, seeds.freq);
-        Machine {
+        let mut m = Machine {
             core,
             governor,
             aspace: AddressSpace::new(map::TOTAL, frame_policy, seeds.frames),
@@ -247,9 +257,12 @@ impl Machine {
             marks: Vec::new(),
             sc_rng: StdRng::seed_from_u64(seeds.noise ^ 0x5c5c),
             next_heartbeat: cfg.sc_heartbeat_interval.max(1),
+            tickq: TickQueue::new(),
             noise_cfg,
             cfg,
-        }
+        };
+        m.rearm();
+        m
     }
 
     fn mark(&mut self, kind: MarkKind) {
@@ -380,6 +393,24 @@ impl Machine {
     }
 
     fn post_step(&mut self) {
+        // Discrete-event gate: skip the whole housekeeping block unless a
+        // component is actually due. The governor sync below stays
+        // UNCONDITIONAL — non-Fixed governors advance in chunks whose
+        // float truncation depends on call granularity, so wall-clock time
+        // is only reproducible if `sync` runs on exactly the same schedule
+        // in every configuration.
+        if !self.cfg.event_ticking || self.tickq.any_due(self.core.now()) {
+            self.run_housekeeping();
+        }
+        self.sync();
+    }
+
+    /// One pass over the housekeeping components, in canonical order —
+    /// exactly the body the scan-everything design ran on every call. Each
+    /// component re-checks its own due condition here, so a conservative
+    /// (stale/early) tick-queue entry can never change simulated time.
+    fn run_housekeeping(&mut self) {
+        self.tickq.drain_due(self.core.now());
         self.noise.apply(&mut self.core);
         // Device IRQs on the TC (no TC/SC split): each pending delivery
         // whose time has come costs a handler invocation.
@@ -413,7 +444,33 @@ impl Machine {
             self.pending_log_bytes = 0;
             self.next_log_flush = self.core.now() + self.cfg.sc_log_flush_interval;
         }
-        self.sync();
+        self.rearm();
+    }
+
+    /// Re-arm the tick queue with every component's current next due
+    /// cycle. Conservative duplicates are harmless (lazy deletion).
+    fn rearm(&mut self) {
+        if let Some(t) = self.noise.next_event() {
+            self.tickq.push(t, ComponentId::Noise);
+        }
+        if let Some(&t) = self.pending_tc_irqs.front() {
+            self.tickq.push(t, ComponentId::TcIrq);
+        }
+        if self.cfg.sc_heartbeat_interval > 0 {
+            self.tickq.push(self.next_heartbeat, ComponentId::Heartbeat);
+        }
+        if self.cfg.sc_log_flush_interval > 0 && self.pending_log_bytes > 0 {
+            self.tickq.push(self.next_log_flush, ComponentId::LogFlush);
+        }
+    }
+
+    /// Account `bytes` of pending SC log material, arming the log-flush
+    /// component if this is the first pending byte since the last flush.
+    fn note_log_bytes(&mut self, bytes: u64) {
+        if self.pending_log_bytes == 0 && bytes > 0 && self.cfg.sc_log_flush_interval > 0 {
+            self.tickq.push(self.next_log_flush, ComponentId::LogFlush);
+        }
+        self.pending_log_bytes += bytes;
     }
 
     // ---- network ----------------------------------------------------------
@@ -432,6 +489,7 @@ impl Machine {
         let avail = dma_end + self.nic.sc_rx_cycles;
         if !self.cfg.tc_sc_split {
             self.pending_tc_irqs.push_back(avail);
+            self.tickq.push(avail, ComponentId::TcIrq);
         }
         self.st.sc_append(data, avail, at)
     }
@@ -446,7 +504,7 @@ impl Machine {
             // log (§6.5). Replay: the SC reads the same bytes back — the
             // housekeeping DMA cadence is symmetric either way.
             let bytes = r.as_ref().map(|(d, _)| d.len() as u64 + 16).unwrap_or(0);
-            self.pending_log_bytes += bytes;
+            self.note_log_bytes(bytes);
             self.mark(MarkKind::PacketIn);
         }
         self.post_step();
@@ -477,7 +535,7 @@ impl Machine {
             injected
         };
         // Both phases move these 8 bytes between the SC and the log.
-        self.pending_log_bytes += 8;
+        self.note_log_bytes(8);
         self.mark(MarkKind::TimeRead);
         self.post_step();
         v
@@ -736,6 +794,52 @@ mod tests {
             m.idle(100_000);
         }
         assert!(m.log_dma_bytes() > 0, "SC flushed the log");
+    }
+
+    #[test]
+    fn event_ticking_is_bit_identical_to_scanning() {
+        // The tick queue must never change simulated time — only skip
+        // no-op housekeeping scans. Run an eventful mix (instructions,
+        // idles, packets, event values) in a noisy environment under both
+        // modes and require identical clocks, wall time, and event counts.
+        let run = |event_ticking: bool, env: Environment| {
+            let mut cfg = MachineConfig::sanity();
+            cfg.env = env;
+            cfg.tc_sc_split = false; // Exercise the TC-IRQ component too.
+            cfg.event_ticking = event_ticking;
+            let mut m = Machine::new(cfg, Seeds::from_run(42));
+            m.start_run();
+            let base = m.now_cycles();
+            for k in 0..40u64 {
+                m.deliver_packet(base + k * 90_000, vec![k as u8; 128]);
+            }
+            for k in 0..8_000u64 {
+                m.step_instr(
+                    10,
+                    0x1_0000 + (k % 64) * 4,
+                    &[(map::HEAP + k * 8, k % 3 == 0)],
+                    None,
+                );
+                if k % 500 == 0 {
+                    m.event_value(k);
+                }
+                if k % 200 == 0 {
+                    m.poll_packet(k);
+                }
+                if k % 700 == 0 {
+                    m.idle(30_000);
+                }
+            }
+            let (p, i, d) = m.noise.stats();
+            (m.now_cycles(), m.now_ps(), m.log_dma_bytes(), p, i, d)
+        };
+        for env in [Environment::Sanity, Environment::UserNoisy] {
+            assert_eq!(
+                run(true, env),
+                run(false, env),
+                "tick modes diverged under {env:?}"
+            );
+        }
     }
 
     #[test]

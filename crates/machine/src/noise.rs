@@ -286,6 +286,18 @@ impl NoiseInjector {
         injected
     }
 
+    /// Cycle of the earliest scheduled event, if any source is active.
+    ///
+    /// [`apply`](Self::apply) is a guaranteed no-op (and draws no RNG)
+    /// before this cycle, which is what lets the machine's event-driven
+    /// tick scheduler skip the call entirely between events.
+    pub fn next_event(&self) -> Option<Cycles> {
+        [self.next_timer, self.next_preempt, self.next_dma]
+            .into_iter()
+            .flatten()
+            .min()
+    }
+
     /// `(preemptions, irqs, dma_bursts)` counters.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.preemptions, self.irqs, self.dma_bursts)

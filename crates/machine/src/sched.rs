@@ -1,0 +1,130 @@
+//! Discrete-event tick scheduling for the machine's housekeeping work.
+//!
+//! `Machine::post_step` runs after every instruction, idle period, and
+//! buffer operation. In the original scan-everything design it re-checked
+//! all four housekeeping components (noise injector, TC device IRQs, SC
+//! heartbeat, SC log flush) each time, even though each component is
+//! dormant for hundreds of thousands of cycles between events. The
+//! [`TickQueue`] replaces the scan with a min-heap of `(due_cycle,
+//! component)` keys: `post_step` peeks the heap top and skips the whole
+//! housekeeping block unless something is actually due, so idle components
+//! cost zero host work.
+//!
+//! **Invariant: heap order never affects simulated time.** The queue only
+//! decides *whether* the housekeeping block runs at a given call; when it
+//! runs, the block executes the components in the same canonical order as
+//! the scan-everything design and every component re-checks its own due
+//! condition against the cycle clock. Entries are conservative (lazy
+//! deletion): a stale entry triggers a scan that finds nothing due — the
+//! exact behavior of the original design at that cycle — and never an
+//! early or re-ordered event. What must hold is the converse: the heap
+//! always holds a key at or before every component's true next due cycle,
+//! which `Machine` maintains by re-arming after each block run and pushing
+//! at every mutation that can move a due time earlier.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sim_core::Cycles;
+
+/// The housekeeping components `post_step` multiplexes.
+///
+/// The discriminant order is part of the heap key and therefore must never
+/// affect behavior — see the module invariant. It exists only so two
+/// components due at the same cycle compare deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ComponentId {
+    /// Environment noise (timer IRQs, preemptions, background DMA).
+    Noise,
+    /// Device-IRQ delivery to the TC (no-TC/SC-split configurations).
+    TcIrq,
+    /// SC heartbeat bus interference (§6.9 residual).
+    Heartbeat,
+    /// SC log-flush housekeeping DMA.
+    LogFlush,
+}
+
+/// Min-heap of `(due_cycle, component)` with lazy deletion.
+#[derive(Debug, Default)]
+pub struct TickQueue {
+    heap: BinaryHeap<Reverse<(Cycles, ComponentId)>>,
+}
+
+impl TickQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        TickQueue {
+            heap: BinaryHeap::with_capacity(8),
+        }
+    }
+
+    /// Arm `component` at absolute cycle `due`. Duplicates are fine (lazy
+    /// deletion); an entry earlier than the true due time only costs a
+    /// no-op scan.
+    #[inline]
+    pub fn push(&mut self, due: Cycles, component: ComponentId) {
+        self.heap.push(Reverse((due, component)));
+    }
+
+    /// True if any entry is due at or before `now`.
+    #[inline]
+    pub fn any_due(&self, now: Cycles) -> bool {
+        matches!(self.heap.peek(), Some(&Reverse((t, _))) if t <= now)
+    }
+
+    /// Drop every entry due at or before `now` (called right before the
+    /// housekeeping block runs; the block re-arms what remains active).
+    #[inline]
+    pub fn drain_due(&mut self, now: Cycles) {
+        while matches!(self.heap.peek(), Some(&Reverse((t, _))) if t <= now) {
+            self.heap.pop();
+        }
+    }
+
+    /// Number of pending entries (stale ones included).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_ordering_is_by_cycle() {
+        let mut q = TickQueue::new();
+        q.push(500, ComponentId::LogFlush);
+        q.push(100, ComponentId::Heartbeat);
+        assert!(!q.any_due(99));
+        assert!(q.any_due(100));
+        q.drain_due(100);
+        assert!(!q.any_due(499), "later entry not yet due");
+        assert!(q.any_due(500));
+    }
+
+    #[test]
+    fn drain_removes_all_due_entries() {
+        let mut q = TickQueue::new();
+        for t in [10, 20, 30, 40] {
+            q.push(t, ComponentId::Noise);
+        }
+        q.drain_due(25);
+        assert_eq!(q.len(), 2);
+        assert!(q.any_due(30));
+    }
+
+    #[test]
+    fn duplicates_are_harmless() {
+        let mut q = TickQueue::new();
+        q.push(100, ComponentId::TcIrq);
+        q.push(100, ComponentId::TcIrq);
+        q.drain_due(100);
+        assert!(q.is_empty());
+    }
+}

@@ -114,9 +114,21 @@ pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
     let mut sb = b.to_vec();
     sa.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
     sb.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    ks_distance_sorted(&sa, &sb)
+}
+
+/// [`ks_distance`] for inputs that are **already sorted ascending** — skips
+/// the copy-and-sort prefix, same arithmetic, bit-identical result. This is
+/// the batched-scoring fast path: a detector battery sorts each test trace
+/// once and evaluates it against a pooled sample that was sorted at train
+/// time.
+pub fn ks_distance_sorted(sa: &[f64], sb: &[f64]) -> f64 {
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
     let mut d: f64 = 0.0;
     for &x in sa.iter().chain(sb.iter()) {
-        d = d.max((edf(&sa, x) - edf(&sb, x)).abs());
+        d = d.max((edf(sa, x) - edf(sb, x)).abs());
     }
     d
 }
@@ -154,6 +166,21 @@ mod tests {
         assert!((normal_quantile(0.9) - 1.2815515655446004).abs() < 1e-6);
         assert!((normal_quantile(0.99) - 2.3263478740408408).abs() < 1e-6);
         assert!((normal_quantile(0.1) + 1.2815515655446004).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ks_distance_sorted_matches_unsorted_entry() {
+        let a = [3.0, 1.0, 2.0, 9.0, 4.5];
+        let b = [8.0, 2.5, 2.5, 0.5];
+        let mut sa = a.to_vec();
+        let mut sb = b.to_vec();
+        sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(
+            ks_distance(&a, &b).to_bits(),
+            ks_distance_sorted(&sa, &sb).to_bits()
+        );
+        assert_eq!(ks_distance_sorted(&[], &sb), 0.0);
     }
 
     #[test]

@@ -267,6 +267,11 @@ pub struct Tlb {
     clock: u64,
     hits: u64,
     misses: u64,
+    /// `(vpn, slot)` sorted by vpn — a binary-searchable view over
+    /// `entries` so the hot hit path avoids the linear scan. Pure host-side
+    /// acceleration: hit/miss/LRU outcomes are decided by `entries` alone.
+    /// Rebuilt lazily if absent (it is derivable state).
+    index: Vec<(u64, u32)>,
 }
 
 impl Tlb {
@@ -279,6 +284,7 @@ impl Tlb {
             clock: 0,
             hits: 0,
             misses: 0,
+            index: Vec::with_capacity(params.entries as usize),
         }
     }
 
@@ -290,18 +296,45 @@ impl Tlb {
     /// Touch the page containing virtual address `vaddr`; returns the cycle
     /// cost (0 on hit, `miss_cycles` on miss).
     pub fn access(&mut self, vaddr: u64) -> Cycles {
+        if self.index.len() != self.entries.len() {
+            // Deserialized (or otherwise derived-state-less): rebuild.
+            self.index = self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(s, &(vpn, _))| (vpn, s as u32))
+                .collect();
+            self.index.sort_unstable();
+        }
         self.clock += 1;
         let vpn = vaddr / self.params.page as u64;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == vpn) {
-            e.1 = self.clock;
+        if let Ok(i) = self.index.binary_search_by_key(&vpn, |&(p, _)| p) {
+            let slot = self.index[i].1 as usize;
+            self.entries[slot].1 = self.clock;
             self.hits += 1;
             return 0;
         }
         self.misses += 1;
         if self.entries.len() < self.params.entries as usize {
+            let slot = self.entries.len() as u32;
             self.entries.push((vpn, self.clock));
-        } else if let Some(victim) = self.entries.iter_mut().min_by_key(|(_, l)| *l) {
+            let at = self.index.partition_point(|&(p, _)| p < vpn);
+            self.index.insert(at, (vpn, slot));
+        } else if let Some((slot, victim)) = self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .min_by_key(|(_, (_, l))| *l)
+        {
+            let old = victim.0;
             *victim = (vpn, self.clock);
+            let gone = self
+                .index
+                .binary_search_by_key(&old, |&(p, _)| p)
+                .expect("indexed");
+            self.index.remove(gone);
+            let at = self.index.partition_point(|&(p, _)| p < vpn);
+            self.index.insert(at, (vpn, slot as u32));
         }
         self.params.miss_cycles
     }
@@ -309,6 +342,7 @@ impl Tlb {
     /// Drop every entry.
     pub fn flush(&mut self) {
         self.entries.clear();
+        self.index.clear();
     }
 
     /// `(hits, misses)` counters since construction.

@@ -58,6 +58,12 @@ pub struct FrequencyGovernor {
     elapsed_cycles: Cycles,
     /// Governor decision quantum in cycles.
     quantum: Cycles,
+    /// Exact integer period for the `Fixed` policy when the nominal
+    /// frequency divides 1e12 ps evenly (e.g. 10_000 ps at 100 MHz). Lets
+    /// `advance` skip the chunked floating-point loop entirely. Bit-identical
+    /// to the loop: every chunk product `step * period` is exact in f64
+    /// (both factors small), so the chunked sum equals `cycles * period`.
+    fixed_period_ps: Option<u128>,
 }
 
 impl FrequencyGovernor {
@@ -80,6 +86,12 @@ impl FrequencyGovernor {
                 (boost_ratio, (budget_cycles as f64 * jitter) as Cycles)
             }
         };
+        let fixed_period_ps = match policy {
+            FreqPolicy::Fixed if 1_000_000_000_000u128.is_multiple_of(nominal_hz as u128) => {
+                Some(1_000_000_000_000u128 / nominal_hz as u128)
+            }
+            _ => None,
+        };
         FrequencyGovernor {
             nominal_hz,
             policy,
@@ -90,6 +102,7 @@ impl FrequencyGovernor {
             elapsed_ps: 0,
             elapsed_cycles: 0,
             quantum: 50_000,
+            fixed_period_ps,
         }
     }
 
@@ -105,6 +118,14 @@ impl FrequencyGovernor {
 
     /// Advance by `cycles`, returning the picoseconds they took.
     pub fn advance(&mut self, mut cycles: Cycles) -> u128 {
+        // Fixed-frequency fast path: pure integer math, no chunking. The
+        // quantum/turbo bookkeeping below is unobservable under `Fixed`.
+        if let Some(period) = self.fixed_period_ps {
+            let ps = cycles as u128 * period;
+            self.elapsed_cycles += cycles;
+            self.elapsed_ps += ps;
+            return ps;
+        }
         let mut ps = 0u128;
         while cycles > 0 {
             let step = cycles.min(self.quantum_left).max(1);

@@ -26,6 +26,8 @@
 //! [`rand::rngs::StdRng`], so experiments can reproduce both *noisy* and
 //! *noise-free* machines exactly.
 
+#![warn(missing_docs)]
+
 pub mod branch;
 pub mod bus;
 pub mod cache;

@@ -24,9 +24,12 @@
 //! live in the `replay` crate, which drives the VM through
 //! [`ReplayStyle`] and the machine's phase.
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod heap;
 pub mod natives;
+mod ops;
 pub mod value;
 mod vmcore;
 
@@ -34,4 +37,4 @@ pub use error::VmError;
 pub use heap::{GcStats, Heap, HeapObj};
 pub use natives::{DelayModel, NativeKind, ScheduledDelays, TargetSendTimes};
 pub use value::{Handle, Value, NULL};
-pub use vmcore::{ExitKind, ReplayStyle, RunOutcome, Vm, VmConfig};
+pub use vmcore::{DispatchMode, ExitKind, ReplayStyle, RunOutcome, Vm, VmConfig};

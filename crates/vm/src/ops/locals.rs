@@ -1,0 +1,75 @@
+//! Constants, local-variable access, and operand-stack shuffling.
+
+use jbc::{Op, OpClass};
+
+use crate::value::Value;
+use crate::vmcore::Vm;
+
+/// Push a constant (`IConst`/`LConst`/`DConst`/`AConstNull`).
+#[inline]
+pub(crate) fn const_op(vm: &mut Vm, v: Value, pc: u64, cls: OpClass) {
+    vm.push(v);
+    vm.charge(cls, pc, &[], None);
+}
+
+/// `LdcStr` — push an interned string reference.
+#[inline]
+pub(crate) fn ldc_str(vm: &mut Vm, idx: u16, pc: u64, cls: OpClass) {
+    let h = vm.string_refs[idx as usize];
+    vm.push(Value::Ref(h));
+    vm.charge(cls, pc, &[], None);
+}
+
+/// Local load (`ILoad`/`LLoad`/`DLoad`/`ALoad`).
+#[inline]
+pub(crate) fn load(vm: &mut Vm, n: u16, pc: u64, cls: OpClass, base: u64) {
+    let v = vm.frame().locals[n as usize];
+    vm.push(v);
+    vm.charge(cls, pc, &[(base + 8 * n as u64, false)], None);
+}
+
+/// Local store (`IStore`/`LStore`/`DStore`/`AStore`).
+#[inline]
+pub(crate) fn store(vm: &mut Vm, n: u16, pc: u64, cls: OpClass, base: u64) {
+    let v = vm.pop();
+    vm.frame().locals[n as usize] = v;
+    vm.charge(cls, pc, &[(base + 8 * n as u64, true)], None);
+}
+
+/// `IInc` — read-modify-write of one local.
+#[inline]
+pub(crate) fn iinc(vm: &mut Vm, n: u16, d: i16, pc: u64, cls: OpClass, base: u64) {
+    let idx = n as usize;
+    let old = vm.frame().locals[idx].as_i32();
+    vm.frame().locals[idx] = Value::I32(old.wrapping_add(d as i32));
+    let a = base + 8 * n as u64;
+    vm.charge(cls, pc, &[(a, false), (a, true)], None);
+}
+
+/// Stack shuffles (`Pop`/`Dup`/`DupX1`/`Swap`).
+#[inline]
+pub(crate) fn stack_op(vm: &mut Vm, op: &Op, pc: u64, cls: OpClass) {
+    match op {
+        Op::Pop => {
+            vm.pop();
+        }
+        Op::Dup => {
+            let v = *vm.frame().stack.last().expect("verified");
+            vm.push(v);
+        }
+        Op::DupX1 => {
+            let a = vm.pop();
+            let b = vm.pop();
+            vm.push(a);
+            vm.push(b);
+            vm.push(a);
+        }
+        _ => {
+            let a = vm.pop();
+            let b = vm.pop();
+            vm.push(a);
+            vm.push(b);
+        }
+    }
+    vm.charge(cls, pc, &[], None);
+}

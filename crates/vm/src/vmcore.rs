@@ -3,7 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use jbc::{ElemTy, MethodId, Op, OpClass, Program};
+use jbc::{MethodId, Op, OpClass, Program};
 use machine::machine::map;
 use machine::Machine;
 use sim_core::{CostModel, Cycles};
@@ -11,6 +11,7 @@ use sim_core::{CostModel, Cycles};
 use crate::error::VmError;
 use crate::heap::{Heap, HeapObj};
 use crate::natives::{DelayModel, NativeKind};
+use crate::ops;
 use crate::value::{Handle, Value, NULL};
 
 /// How the VM treats the passage of idle time (see `wait_packet`).
@@ -24,6 +25,24 @@ pub enum ReplayStyle {
     /// Functional replay (the XenTT-style baseline): skip waits entirely —
     /// the behavior that makes Fig. 3 diverge from the diagonal.
     Functional,
+}
+
+/// How the interpreter's inner loop executes opcodes.
+///
+/// Both modes are *bit-identical in simulated time* — same cycle counts,
+/// same wall-clock picoseconds, same RNG draws (pinned by the determinism
+/// goldens suite) — and differ only in host-side speed. `Fused` is the
+/// default; `Classic` is kept as the reference implementation and the
+/// "before" baseline of `repro replay-speed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// One `step()` call per instruction: single decode point, one match,
+    /// per-operand frame re-borrowing. The original dispatch loop.
+    Classic,
+    /// Fused fast path: hot arithmetic/local/control opcodes execute in a
+    /// micro-loop that borrows the current frame once per instruction;
+    /// cold opcodes (heap, calls, natives) bail to the classic handlers.
+    Fused,
 }
 
 /// VM construction parameters.
@@ -43,6 +62,9 @@ pub struct VmConfig {
     pub heap_size: u64,
     /// Wait/idle semantics.
     pub replay_style: ReplayStyle,
+    /// Inner-loop dispatch strategy (host-side speed only; simulated time
+    /// is identical across modes).
+    pub dispatch: DispatchMode,
 }
 
 impl Default for VmConfig {
@@ -55,6 +77,7 @@ impl Default for VmConfig {
             max_call_depth: 512,
             heap_size: 64 << 20,
             replay_style: ReplayStyle::Play,
+            dispatch: DispatchMode::Fused,
         }
     }
 }
@@ -82,35 +105,35 @@ pub struct RunOutcome {
 }
 
 #[derive(Debug)]
-struct Frame {
-    method: MethodId,
-    ip: u32,
-    locals: Vec<Value>,
-    stack: Vec<Value>,
+pub(crate) struct Frame {
+    pub(crate) method: MethodId,
+    pub(crate) ip: u32,
+    pub(crate) locals: Vec<Value>,
+    pub(crate) stack: Vec<Value>,
     /// Simulated address of local slot 0.
-    base_vaddr: u64,
+    pub(crate) base_vaddr: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ThreadState {
+pub(crate) enum ThreadState {
     Runnable,
     Blocked(Handle),
     Done,
 }
 
 #[derive(Debug)]
-struct VmThread {
-    frames: Vec<Frame>,
-    state: ThreadState,
+pub(crate) struct VmThread {
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) state: ThreadState,
     /// Stack pointer in slots within this thread's stack region.
-    sp: u64,
+    pub(crate) sp: u64,
 }
 
 #[derive(Debug)]
-struct MonitorState {
-    owner: usize,
-    count: u32,
-    waiting: VecDeque<usize>,
+pub(crate) struct MonitorState {
+    pub(crate) owner: usize,
+    pub(crate) count: u32,
+    pub(crate) waiting: VecDeque<usize>,
 }
 
 /// Per-thread stack region size in bytes.
@@ -120,25 +143,25 @@ const MAX_THREADS: usize = 16;
 
 /// The Sanity virtual machine. See the [crate docs](crate).
 pub struct Vm {
-    program: Arc<Program>,
-    machine: Machine,
-    cost: CostModel,
-    cfg: VmConfig,
-    heap: Heap,
-    statics: Vec<Value>,
-    string_refs: Vec<Handle>,
-    natives: Vec<NativeKind>,
-    threads: Vec<VmThread>,
-    cur: usize,
-    budget: u32,
-    icount: u64,
-    console: Vec<String>,
-    files: Vec<Vec<u8>>,
-    delay: Option<Box<dyn DelayModel>>,
-    covert_enabled: bool,
-    send_count: u64,
-    monitors: HashMap<Handle, MonitorState>,
-    gc_runs: u64,
+    pub(crate) program: Arc<Program>,
+    pub(crate) machine: Machine,
+    pub(crate) cost: CostModel,
+    pub(crate) cfg: VmConfig,
+    pub(crate) heap: Heap,
+    pub(crate) statics: Vec<Value>,
+    pub(crate) string_refs: Vec<Handle>,
+    pub(crate) natives: Vec<NativeKind>,
+    pub(crate) threads: Vec<VmThread>,
+    pub(crate) cur: usize,
+    pub(crate) budget: u32,
+    pub(crate) icount: u64,
+    pub(crate) console: Vec<String>,
+    pub(crate) files: Vec<Vec<u8>>,
+    pub(crate) delay: Option<Box<dyn DelayModel>>,
+    pub(crate) covert_enabled: bool,
+    pub(crate) send_count: u64,
+    pub(crate) monitors: HashMap<Handle, MonitorState>,
+    pub(crate) gc_runs: u64,
 }
 
 impl std::fmt::Debug for Vm {
@@ -270,7 +293,7 @@ impl Vm {
 
     // ---- thread management ---------------------------------------------------
 
-    fn spawn_thread(&mut self, entry: MethodId) -> Result<usize, VmError> {
+    pub(crate) fn spawn_thread(&mut self, entry: MethodId) -> Result<usize, VmError> {
         if self.threads.len() >= MAX_THREADS {
             return Err(VmError::Load("too many threads".into()));
         }
@@ -298,7 +321,7 @@ impl Vm {
         Ok(tid)
     }
 
-    fn frame(&mut self) -> &mut Frame {
+    pub(crate) fn frame(&mut self) -> &mut Frame {
         self.threads[self.cur]
             .frames
             .last_mut()
@@ -306,12 +329,12 @@ impl Vm {
     }
 
     #[inline]
-    fn push(&mut self, v: Value) {
+    pub(crate) fn push(&mut self, v: Value) {
         self.frame().stack.push(v);
     }
 
     #[inline]
-    fn pop(&mut self) -> Value {
+    pub(crate) fn pop(&mut self) -> Value {
         self.frame().stack.pop().expect("verified stack depth")
     }
 
@@ -338,13 +361,18 @@ impl Vm {
     /// Run until every thread completes (or a VM error occurs).
     pub fn run(&mut self) -> Result<RunOutcome, VmError> {
         let program = Arc::clone(&self.program);
+        let fused = self.cfg.dispatch == DispatchMode::Fused;
         loop {
             if (self.threads[self.cur].state != ThreadState::Runnable || self.budget == 0)
                 && !self.rotate()?
             {
                 break;
             }
-            self.step(&program)?;
+            if fused {
+                crate::ops::fused::step_fused(self, &program)?;
+            } else {
+                self.step(&program)?;
+            }
         }
         Ok(RunOutcome {
             exit: ExitKind::Completed,
@@ -371,41 +399,19 @@ impl Vm {
         Ok(true)
     }
 
-    fn charge(
+    pub(crate) fn charge(
         &mut self,
         class: OpClass,
         pc_vaddr: u64,
         refs: &[(u64, bool)],
         branch: Option<(bool, u64)>,
     ) {
-        let c = &self.cost;
-        let base = c.dispatch
-            + match class {
-                OpClass::Const => c.const_op,
-                OpClass::Local => c.local,
-                OpClass::Stack => c.stack,
-                OpClass::AluInt => c.alu_int,
-                OpClass::MulInt => c.mul_int,
-                OpClass::DivInt => c.div_int,
-                OpClass::AluFp => c.alu_fp,
-                OpClass::MulFp => c.mul_fp,
-                OpClass::DivFp => c.div_fp,
-                OpClass::Conv => c.conv,
-                OpClass::Branch => c.branch,
-                OpClass::HeapLoad => c.heap_load,
-                OpClass::HeapStore => c.heap_store,
-                OpClass::Alloc => c.alloc,
-                OpClass::Call => c.call,
-                OpClass::Native => c.native,
-                OpClass::Throw => c.throw,
-                OpClass::Monitor => c.monitor,
-            };
-        self.machine.step_instr(base, pc_vaddr, refs, branch);
+        crate::ops::charge(&mut self.machine, &self.cost, class, pc_vaddr, refs, branch);
     }
 
     // ---- exceptions -----------------------------------------------------------
 
-    fn throw_builtin(&mut self, program: &Program, name: &str) -> Result<(), VmError> {
+    pub(crate) fn throw_builtin(&mut self, program: &Program, name: &str) -> Result<(), VmError> {
         match program.class_by_name(name) {
             Some(cid) => {
                 let nfields = program.class(cid).layout.len();
@@ -419,7 +425,7 @@ impl Vm {
         }
     }
 
-    fn raise(&mut self, program: &Program, exc: Handle) -> Result<(), VmError> {
+    pub(crate) fn raise(&mut self, program: &Program, exc: Handle) -> Result<(), VmError> {
         let runtime = match self.heap.get(exc) {
             HeapObj::Obj { class, .. } => Some(*class),
             _ => None,
@@ -463,7 +469,7 @@ impl Vm {
 
     // ---- allocation --------------------------------------------------------------
 
-    fn alloc_retry(&mut self, make: impl Fn() -> HeapObj) -> Result<Handle, VmError> {
+    pub(crate) fn alloc_retry(&mut self, make: impl Fn() -> HeapObj) -> Result<Handle, VmError> {
         if let Some((h, _)) = self.heap.alloc(make()) {
             return Ok(h);
         }
@@ -501,7 +507,7 @@ impl Vm {
 
     // ---- the dispatch loop ----------------------------------------------------------
 
-    fn step(&mut self, program: &Program) -> Result<(), VmError> {
+    pub(crate) fn step(&mut self, program: &Program) -> Result<(), VmError> {
         self.icount += 1;
         self.budget -= 1;
         if self.icount > self.cfg.instr_limit {
@@ -519,8 +525,6 @@ impl Vm {
         let pc = method.code_base + 4 * ip as u64;
         let cls = op.class();
         let base = self.frame().base_vaddr;
-        let laddr = |n: u16| base + 8 * n as u64;
-        let code_vaddr = |t: u32| method.code_base + 4 * t as u64;
 
         // Pre-advance: fall-through is the default; branch arms overwrite,
         // and exception handling matches handlers against `ip - 1`.
@@ -528,621 +532,103 @@ impl Vm {
 
         use Op::*;
         match op {
+            // Constants, locals, stack shuffles (`ops::locals`).
             Nop => self.charge(cls, pc, &[], None),
-            IConst(v) => {
-                self.push(Value::I32(*v));
-                self.charge(cls, pc, &[], None);
-            }
-            LConst(v) => {
-                self.push(Value::I64(*v));
-                self.charge(cls, pc, &[], None);
-            }
-            DConst(v) => {
-                self.push(Value::F64(*v));
-                self.charge(cls, pc, &[], None);
-            }
-            AConstNull => {
-                self.push(Value::Ref(NULL));
-                self.charge(cls, pc, &[], None);
-            }
-            LdcStr(i) => {
-                let h = self.string_refs[*i as usize];
-                self.push(Value::Ref(h));
-                self.charge(cls, pc, &[], None);
-            }
-
-            ILoad(n) | LLoad(n) | DLoad(n) | ALoad(n) => {
-                let v = self.frame().locals[*n as usize];
-                self.push(v);
-                self.charge(cls, pc, &[(laddr(*n), false)], None);
-            }
+            IConst(v) => ops::locals::const_op(self, Value::I32(*v), pc, cls),
+            LConst(v) => ops::locals::const_op(self, Value::I64(*v), pc, cls),
+            DConst(v) => ops::locals::const_op(self, Value::F64(*v), pc, cls),
+            AConstNull => ops::locals::const_op(self, Value::Ref(NULL), pc, cls),
+            LdcStr(i) => ops::locals::ldc_str(self, *i, pc, cls),
+            ILoad(n) | LLoad(n) | DLoad(n) | ALoad(n) => ops::locals::load(self, *n, pc, cls, base),
             IStore(n) | LStore(n) | DStore(n) | AStore(n) => {
-                let v = self.pop();
-                let idx = *n as usize;
-                self.frame().locals[idx] = v;
-                self.charge(cls, pc, &[(laddr(*n), true)], None);
+                ops::locals::store(self, *n, pc, cls, base)
             }
-            IInc(n, d) => {
-                let idx = *n as usize;
-                let old = self.frame().locals[idx].as_i32();
-                self.frame().locals[idx] = Value::I32(old.wrapping_add(*d as i32));
-                self.charge(cls, pc, &[(laddr(*n), false), (laddr(*n), true)], None);
-            }
+            IInc(n, d) => ops::locals::iinc(self, *n, *d, pc, cls, base),
+            Pop | Dup | DupX1 | Swap => ops::locals::stack_op(self, op, pc, cls),
 
-            Pop => {
-                self.pop();
-                self.charge(cls, pc, &[], None);
-            }
-            Dup => {
-                let v = *self.frame().stack.last().expect("verified");
-                self.push(v);
-                self.charge(cls, pc, &[], None);
-            }
-            DupX1 => {
-                let a = self.pop();
-                let b = self.pop();
-                self.push(a);
-                self.push(b);
-                self.push(a);
-                self.charge(cls, pc, &[], None);
-            }
-            Swap => {
-                let a = self.pop();
-                let b = self.pop();
-                self.push(a);
-                self.push(b);
-                self.charge(cls, pc, &[], None);
-            }
-
-            // Integer arithmetic.
+            // Arithmetic, conversions, comparisons (`ops::arith`).
             IAdd | ISub | IMul | IAnd | IOr | IXor | IShl | IShr | IUShr => {
-                let b = self.pop().as_i32();
-                let a = self.pop().as_i32();
-                let r = match op {
-                    IAdd => a.wrapping_add(b),
-                    ISub => a.wrapping_sub(b),
-                    IMul => a.wrapping_mul(b),
-                    IAnd => a & b,
-                    IOr => a | b,
-                    IXor => a ^ b,
-                    IShl => a.wrapping_shl(b as u32 & 31),
-                    IShr => a.wrapping_shr(b as u32 & 31),
-                    IUShr => ((a as u32).wrapping_shr(b as u32 & 31)) as i32,
-                    _ => unreachable!(),
-                };
-                self.push(Value::I32(r));
-                self.charge(cls, pc, &[], None);
+                ops::arith::int_binop(self, op, pc, cls)
             }
-            IDiv | IRem => {
-                let b = self.pop().as_i32();
-                let a = self.pop().as_i32();
-                self.charge(cls, pc, &[], None);
-                if b == 0 {
-                    return self.throw_builtin(program, "ArithmeticException");
-                }
-                let r = match op {
-                    IDiv => a.wrapping_div(b),
-                    _ => a.wrapping_rem(b),
-                };
-                self.push(Value::I32(r));
+            IDiv | IRem => return ops::arith::int_divrem(self, program, op, pc, cls),
+            INeg => ops::arith::ineg(self, pc, cls),
+            LAdd | LSub | LMul | LAnd | LOr | LXor => ops::arith::long_binop(self, op, pc, cls),
+            LShl | LShr | LUShr => ops::arith::long_shift(self, op, pc, cls),
+            LDiv | LRem => return ops::arith::long_divrem(self, program, op, pc, cls),
+            LNeg => ops::arith::lneg(self, pc, cls),
+            DAdd | DSub | DMul | DDiv | DRem => ops::arith::dbl_binop(self, op, pc, cls),
+            DNeg => ops::arith::dneg(self, pc, cls),
+            I2L | I2D | L2I | L2D | D2I | D2L | I2B | I2C | I2S => {
+                ops::arith::conv(self, op, pc, cls)
             }
-            INeg => {
-                let a = self.pop().as_i32();
-                self.push(Value::I32(a.wrapping_neg()));
-                self.charge(cls, pc, &[], None);
-            }
+            LCmp => ops::arith::lcmp(self, pc, cls),
+            DCmpL | DCmpG => ops::arith::dcmp(self, op, pc, cls),
 
-            // Long arithmetic. Shift counts are i32 (JVM convention).
-            LAdd | LSub | LMul | LAnd | LOr | LXor => {
-                let b = self.pop().as_i64();
-                let a = self.pop().as_i64();
-                let r = match op {
-                    LAdd => a.wrapping_add(b),
-                    LSub => a.wrapping_sub(b),
-                    LMul => a.wrapping_mul(b),
-                    LAnd => a & b,
-                    LOr => a | b,
-                    LXor => a ^ b,
-                    _ => unreachable!(),
-                };
-                self.push(Value::I64(r));
-                self.charge(cls, pc, &[], None);
-            }
-            LShl | LShr | LUShr => {
-                let b = self.pop().as_i32();
-                let a = self.pop().as_i64();
-                let r = match op {
-                    LShl => a.wrapping_shl(b as u32 & 63),
-                    LShr => a.wrapping_shr(b as u32 & 63),
-                    LUShr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
-                    _ => unreachable!(),
-                };
-                self.push(Value::I64(r));
-                self.charge(cls, pc, &[], None);
-            }
-            LDiv | LRem => {
-                let b = self.pop().as_i64();
-                let a = self.pop().as_i64();
-                self.charge(cls, pc, &[], None);
-                if b == 0 {
-                    return self.throw_builtin(program, "ArithmeticException");
-                }
-                let r = match op {
-                    LDiv => a.wrapping_div(b),
-                    _ => a.wrapping_rem(b),
-                };
-                self.push(Value::I64(r));
-            }
-            LNeg => {
-                let a = self.pop().as_i64();
-                self.push(Value::I64(a.wrapping_neg()));
-                self.charge(cls, pc, &[], None);
-            }
-
-            // Double arithmetic.
-            DAdd | DSub | DMul | DDiv | DRem => {
-                let b = self.pop().as_f64();
-                let a = self.pop().as_f64();
-                let r = match op {
-                    DAdd => a + b,
-                    DSub => a - b,
-                    DMul => a * b,
-                    DDiv => a / b,
-                    _ => a % b,
-                };
-                self.push(Value::F64(r));
-                self.charge(cls, pc, &[], None);
-            }
-            DNeg => {
-                let a = self.pop().as_f64();
-                self.push(Value::F64(-a));
-                self.charge(cls, pc, &[], None);
-            }
-
-            // Conversions.
-            I2L => {
-                let a = self.pop().as_i32();
-                self.push(Value::I64(a as i64));
-                self.charge(cls, pc, &[], None);
-            }
-            I2D => {
-                let a = self.pop().as_i32();
-                self.push(Value::F64(a as f64));
-                self.charge(cls, pc, &[], None);
-            }
-            L2I => {
-                let a = self.pop().as_i64();
-                self.push(Value::I32(a as i32));
-                self.charge(cls, pc, &[], None);
-            }
-            L2D => {
-                let a = self.pop().as_i64();
-                self.push(Value::F64(a as f64));
-                self.charge(cls, pc, &[], None);
-            }
-            D2I => {
-                let a = self.pop().as_f64();
-                self.push(Value::I32(a as i32)); // Saturating; NaN → 0.
-                self.charge(cls, pc, &[], None);
-            }
-            D2L => {
-                let a = self.pop().as_f64();
-                self.push(Value::I64(a as i64));
-                self.charge(cls, pc, &[], None);
-            }
-            I2B => {
-                let a = self.pop().as_i32();
-                self.push(Value::I32(a as i8 as i32));
-                self.charge(cls, pc, &[], None);
-            }
-            I2C => {
-                let a = self.pop().as_i32();
-                self.push(Value::I32(a as u16 as i32));
-                self.charge(cls, pc, &[], None);
-            }
-            I2S => {
-                let a = self.pop().as_i32();
-                self.push(Value::I32(a as i16 as i32));
-                self.charge(cls, pc, &[], None);
-            }
-
-            // Comparison.
-            LCmp => {
-                let b = self.pop().as_i64();
-                let a = self.pop().as_i64();
-                self.push(Value::I32(match a.cmp(&b) {
-                    std::cmp::Ordering::Less => -1,
-                    std::cmp::Ordering::Equal => 0,
-                    std::cmp::Ordering::Greater => 1,
-                }));
-                self.charge(cls, pc, &[], None);
-            }
-            DCmpL | DCmpG => {
-                let b = self.pop().as_f64();
-                let a = self.pop().as_f64();
-                let r = if a.is_nan() || b.is_nan() {
-                    if matches!(op, DCmpL) {
-                        -1
-                    } else {
-                        1
-                    }
-                } else if a < b {
-                    -1
-                } else if a > b {
-                    1
-                } else {
-                    0
-                };
-                self.push(Value::I32(r));
-                self.charge(cls, pc, &[], None);
-            }
-
-            // Control flow.
-            Goto(t) => {
-                self.charge(cls, pc, &[], Some((true, code_vaddr(*t))));
-                self.frame().ip = *t;
-            }
+            // Control flow (`ops::control`).
+            Goto(t) => ops::control::goto(self, *t, pc, cls, method.code_base),
             IfEq(t) | IfNe(t) | IfLt(t) | IfGe(t) | IfGt(t) | IfLe(t) => {
-                let a = self.pop().as_i32();
-                let taken = match op {
-                    IfEq(_) => a == 0,
-                    IfNe(_) => a != 0,
-                    IfLt(_) => a < 0,
-                    IfGe(_) => a >= 0,
-                    IfGt(_) => a > 0,
-                    _ => a <= 0,
-                };
-                self.charge(cls, pc, &[], Some((taken, code_vaddr(*t))));
-                if taken {
-                    self.frame().ip = *t;
-                }
+                ops::control::if_zero(self, op, *t, pc, cls, method.code_base)
             }
             IfICmpEq(t) | IfICmpNe(t) | IfICmpLt(t) | IfICmpGe(t) | IfICmpGt(t) | IfICmpLe(t) => {
-                let b = self.pop().as_i32();
-                let a = self.pop().as_i32();
-                let taken = match op {
-                    IfICmpEq(_) => a == b,
-                    IfICmpNe(_) => a != b,
-                    IfICmpLt(_) => a < b,
-                    IfICmpGe(_) => a >= b,
-                    IfICmpGt(_) => a > b,
-                    _ => a <= b,
-                };
-                self.charge(cls, pc, &[], Some((taken, code_vaddr(*t))));
-                if taken {
-                    self.frame().ip = *t;
-                }
+                ops::control::if_icmp(self, op, *t, pc, cls, method.code_base)
             }
             IfACmpEq(t) | IfACmpNe(t) => {
-                let b = self.pop().as_ref();
-                let a = self.pop().as_ref();
-                let taken = if matches!(op, IfACmpEq(_)) {
-                    a == b
-                } else {
-                    a != b
-                };
-                self.charge(cls, pc, &[], Some((taken, code_vaddr(*t))));
-                if taken {
-                    self.frame().ip = *t;
-                }
+                ops::control::if_acmp(self, op, *t, pc, cls, method.code_base)
             }
             IfNull(t) | IfNonNull(t) => {
-                let a = self.pop().as_ref();
-                let taken = (a == NULL) == matches!(op, IfNull(_));
-                self.charge(cls, pc, &[], Some((taken, code_vaddr(*t))));
-                if taken {
-                    self.frame().ip = *t;
-                }
+                ops::control::if_null(self, op, *t, pc, cls, method.code_base)
             }
             TableSwitch {
                 low,
                 targets,
                 default,
             } => {
-                let k = self.pop().as_i32();
-                let idx = k.wrapping_sub(*low);
-                let t = if idx >= 0 && (idx as usize) < targets.len() {
-                    targets[idx as usize]
-                } else {
-                    *default
-                };
-                self.charge(cls, pc, &[], Some((true, code_vaddr(t))));
-                self.frame().ip = t;
+                ops::control::table_switch(self, *low, targets, *default, pc, cls, method.code_base)
             }
             LookupSwitch { pairs, default } => {
-                let k = self.pop().as_i32();
-                let t = pairs
-                    .binary_search_by_key(&k, |(key, _)| *key)
-                    .map(|i| pairs[i].1)
-                    .unwrap_or(*default);
-                self.charge(cls, pc, &[], Some((true, code_vaddr(t))));
-                self.frame().ip = t;
+                ops::control::lookup_switch(self, pairs, *default, pc, cls, method.code_base)
+            }
+            Return | IReturn | LReturn | DReturn | AReturn => {
+                return ops::control::ret(self, program, op, pc, cls)
             }
 
-            // Objects.
-            New(c) => {
-                let nfields = program.class(*c).layout.len();
-                let cid = *c;
-                let h = self.alloc_retry(|| HeapObj::Obj {
-                    class: cid,
-                    fields: vec![Value::I32(0); nfields],
-                })?;
-                let header = self.heap.header_addr(h);
-                self.push(Value::Ref(h));
-                self.charge(cls, pc, &[(header, true)], None);
-            }
-            GetField(fid) => {
-                let obj = self.pop().as_ref();
-                if obj == NULL {
-                    self.charge(cls, pc, &[], None);
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                let slot = program.field(*fid).slot as usize;
-                let v = match self.heap.get(obj) {
-                    HeapObj::Obj { fields, .. } => fields[slot],
-                    _ => panic!("getfield on non-object"),
-                };
-                let addr = self.heap.payload_addr(obj) + 8 * slot as u64;
-                self.push(v);
-                self.charge(cls, pc, &[(addr, false)], None);
-            }
-            PutField(fid) => {
-                let v = self.pop();
-                let obj = self.pop().as_ref();
-                if obj == NULL {
-                    self.charge(cls, pc, &[], None);
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                let slot = program.field(*fid).slot as usize;
-                match self.heap.get_mut(obj) {
-                    HeapObj::Obj { fields, .. } => fields[slot] = v,
-                    _ => panic!("putfield on non-object"),
-                }
-                let addr = self.heap.payload_addr(obj) + 8 * slot as u64;
-                self.charge(cls, pc, &[(addr, true)], None);
-            }
-            GetStatic(fid) => {
-                let slot = program.field(*fid).slot as usize;
-                let v = self.statics[slot];
-                self.push(v);
-                self.charge(cls, pc, &[(map::STATICS + 8 * slot as u64, false)], None);
-            }
-            PutStatic(fid) => {
-                let v = self.pop();
-                let slot = program.field(*fid).slot as usize;
-                self.statics[slot] = v;
-                self.charge(cls, pc, &[(map::STATICS + 8 * slot as u64, true)], None);
-            }
-            InstanceOf(c) => {
-                let obj = self.pop().as_ref();
-                let yes = obj != NULL
-                    && match self.heap.get(obj) {
-                        HeapObj::Obj { class, .. } => program.is_subclass(*class, *c),
-                        _ => false,
-                    };
-                let header = if obj != NULL {
-                    self.heap.header_addr(obj)
-                } else {
-                    map::VMM
-                };
-                self.push(Value::I32(yes as i32));
-                self.charge(cls, pc, &[(header, false)], None);
-            }
-            CheckCast(c) => {
-                let obj = self.frame().stack.last().expect("verified").as_ref();
-                let ok = obj == NULL
-                    || match self.heap.get(obj) {
-                        HeapObj::Obj { class, .. } => program.is_subclass(*class, *c),
-                        _ => false,
-                    };
-                let header = if obj != NULL {
-                    self.heap.header_addr(obj)
-                } else {
-                    map::VMM
-                };
-                self.charge(cls, pc, &[(header, false)], None);
-                if !ok {
-                    self.pop();
-                    return self.throw_builtin(program, "ClassCastException");
-                }
-            }
-
-            // Arrays.
-            NewArray(et) => {
-                let len = self.pop().as_i32();
-                self.charge(cls, pc, &[], None);
-                if len < 0 {
-                    return self.throw_builtin(program, "NegativeArraySizeException");
-                }
-                let et = *et;
-                let h = self.alloc_retry(|| match et {
-                    ElemTy::I8 => HeapObj::ArrI8(vec![0; len as usize]),
-                    ElemTy::U16 => HeapObj::ArrU16(vec![0; len as usize]),
-                    ElemTy::I32 => HeapObj::ArrI32(vec![0; len as usize]),
-                    ElemTy::I64 => HeapObj::ArrI64(vec![0; len as usize]),
-                    ElemTy::F64 => HeapObj::ArrF64(vec![0.0; len as usize]),
-                    ElemTy::Ref => HeapObj::ArrRef(vec![NULL; len as usize]),
-                })?;
-                // Zeroing touches the payload like a streaming store.
-                let bytes = self.heap.get(h).byte_size();
-                let payload = self.heap.payload_addr(h);
-                if bytes > 0 {
-                    self.machine.bulk_touch(payload, bytes, true);
-                }
-                self.push(Value::Ref(h));
-            }
-            ArrayLength => {
-                let arr = self.pop().as_ref();
-                if arr == NULL {
-                    self.charge(cls, pc, &[], None);
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                let len = self.heap.get(arr).array_len().expect("array") as i32;
-                let header = self.heap.header_addr(arr);
-                self.push(Value::I32(len));
-                self.charge(cls, pc, &[(header, false)], None);
-            }
+            // Objects and arrays (`ops::heap`).
+            New(c) => return ops::heap::new_obj(self, program, *c, pc, cls),
+            GetField(fid) => return ops::heap::get_field(self, program, *fid, pc, cls),
+            PutField(fid) => return ops::heap::put_field(self, program, *fid, pc, cls),
+            GetStatic(fid) => ops::heap::get_static(self, program, *fid, pc, cls),
+            PutStatic(fid) => ops::heap::put_static(self, program, *fid, pc, cls),
+            InstanceOf(c) => ops::heap::instance_of(self, program, *c, pc, cls),
+            CheckCast(c) => return ops::heap::check_cast(self, program, *c, pc, cls),
+            NewArray(et) => return ops::heap::new_array(self, program, *et, pc, cls),
+            ArrayLength => return ops::heap::array_length(self, program, pc, cls),
             IALoad | LALoad | DALoad | AALoad | BALoad | CALoad => {
-                let kind = match op {
-                    IALoad => ArrayKind::I32,
-                    LALoad => ArrayKind::I64,
-                    DALoad => ArrayKind::F64,
-                    AALoad => ArrayKind::Ref,
-                    BALoad => ArrayKind::I8,
-                    _ => ArrayKind::U16,
-                };
+                let kind = ops::heap::ArrayKind::of_load(op);
                 let idx = self.pop().as_i32();
                 let arr = self.pop().as_ref();
-                return self.array_load(program, kind, arr, idx, pc, cls);
+                return ops::heap::array_load(self, program, kind, arr, idx, pc, cls);
             }
             IAStore | LAStore | DAStore | AAStore | BAStore | CAStore => {
                 let val = self.pop();
                 let idx = self.pop().as_i32();
                 let arr = self.pop().as_ref();
-                return self.array_store(program, arr, idx, val, pc, cls);
+                return ops::heap::array_store(self, program, arr, idx, val, pc, cls);
             }
 
-            // Calls.
-            InvokeStatic(m) => {
-                let callee = program.method(*m);
-                let n = callee.params.len();
-                let args = {
-                    let f = self.frame();
-                    f.stack.split_off(f.stack.len() - n)
-                };
-                self.charge(cls, pc, &[], Some((true, callee.code_base)));
-                self.push_frame(program, *m, args)?;
-                return Ok(());
-            }
+            // Calls, natives, throw, monitors (`ops::invoke`).
+            InvokeStatic(m) => return ops::invoke::invoke_static(self, program, *m, pc, cls),
             InvokeVirtual(m) | InvokeSpecial(m) => {
-                let declared = program.method(*m);
-                let n = declared.params.len();
-                let (mut args, recv) = {
-                    let f = self.frame();
-                    let args = f.stack.split_off(f.stack.len() - n);
-                    let recv = f.stack.pop().expect("verified").as_ref();
-                    (args, recv)
-                };
-                if recv == NULL {
-                    self.charge(cls, pc, &[], None);
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                let target = if matches!(op, InvokeVirtual(_)) {
-                    match self.heap.get(recv) {
-                        HeapObj::Obj { class, .. } => program.resolve_virtual(*m, *class),
-                        _ => *m,
-                    }
-                } else {
-                    *m
-                };
-                // The vtable lookup reads the receiver header.
-                let header = self.heap.header_addr(recv);
-                self.charge(
-                    cls,
-                    pc,
-                    &[(header, false)],
-                    Some((true, program.method(target).code_base)),
-                );
-                args.insert(0, Value::Ref(recv));
-                self.push_frame(program, target, args)?;
-                return Ok(());
+                return ops::invoke::invoke_instance(self, program, op, *m, pc, cls)
             }
-            InvokeNative(nid) => {
-                let kind = self.natives[nid.0 as usize];
-                self.charge(cls, pc, &[], None);
-                return self.call_native(program, kind);
-            }
-            Return | IReturn | LReturn | DReturn | AReturn => {
-                let ret = match op {
-                    Return => None,
-                    _ => Some(self.pop()),
-                };
-                // Return address: the caller's next instruction (or the VMM).
-                let t = &mut self.threads[self.cur];
-                let popped = t.frames.pop().expect("non-empty");
-                t.sp -= popped.locals.len() as u64;
-                let ret_target = t
-                    .frames
-                    .last()
-                    .map(|f| program.method(f.method).code_base + 4 * f.ip as u64)
-                    .unwrap_or(map::VMM);
-                if let Some(f) = t.frames.last_mut() {
-                    if let Some(v) = ret {
-                        f.stack.push(v);
-                    }
-                } else {
-                    t.state = ThreadState::Done;
-                }
-                self.charge(cls, pc, &[], Some((true, ret_target)));
-                return Ok(());
-            }
-
-            AThrow => {
-                let exc = self.pop().as_ref();
-                self.charge(cls, pc, &[], None);
-                if exc == NULL {
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                return self.raise(program, exc);
-            }
-
-            MonitorEnter => {
-                let h = self.pop().as_ref();
-                self.charge(cls, pc, &[], None);
-                if h == NULL {
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                let cur = self.cur;
-                match self.monitors.get_mut(&h) {
-                    None => {
-                        self.monitors.insert(
-                            h,
-                            MonitorState {
-                                owner: cur,
-                                count: 1,
-                                waiting: VecDeque::new(),
-                            },
-                        );
-                    }
-                    Some(m) if m.owner == cur => m.count += 1,
-                    Some(m) => {
-                        m.waiting.push_back(cur);
-                        self.threads[cur].state = ThreadState::Blocked(h);
-                        self.budget = 0; // Force rotation.
-                    }
-                }
-            }
-            MonitorExit => {
-                let h = self.pop().as_ref();
-                self.charge(cls, pc, &[], None);
-                if h == NULL {
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                let cur = self.cur;
-                match self.monitors.get_mut(&h) {
-                    Some(m) if m.owner == cur => {
-                        m.count -= 1;
-                        if m.count == 0 {
-                            if let Some(next) = m.waiting.pop_front() {
-                                m.owner = next;
-                                m.count = 1;
-                                self.threads[next].state = ThreadState::Runnable;
-                            } else {
-                                self.monitors.remove(&h);
-                            }
-                        }
-                    }
-                    _ => {
-                        return self.throw_builtin(program, "IllegalMonitorStateException");
-                    }
-                }
-            }
+            InvokeNative(nid) => return ops::invoke::invoke_native(self, program, *nid, pc, cls),
+            AThrow => return ops::invoke::athrow(self, program, pc, cls),
+            MonitorEnter => return ops::invoke::monitor_enter(self, program, pc, cls),
+            MonitorExit => return ops::invoke::monitor_exit(self, program, pc, cls),
         }
 
         Ok(())
     }
-
-    fn push_frame(
+    pub(crate) fn push_frame(
         &mut self,
         program: &Program,
         mid: MethodId,
@@ -1170,286 +656,4 @@ impl Vm {
         t.sp += max_locals as u64;
         Ok(())
     }
-
-    // ---- array helpers -------------------------------------------------------------
-
-    fn array_load(
-        &mut self,
-        program: &Program,
-        kind: ArrayKind,
-        arr: Handle,
-        idx: i32,
-        pc: u64,
-        cls: OpClass,
-    ) -> Result<(), VmError> {
-        if arr == NULL {
-            self.charge(cls, pc, &[], None);
-            return self.throw_builtin(program, "NullPointerException");
-        }
-        let len = self.heap.get(arr).array_len().expect("array");
-        if idx < 0 || idx as usize >= len {
-            self.charge(cls, pc, &[], None);
-            return self.throw_builtin(program, "ArrayIndexOutOfBoundsException");
-        }
-        let i = idx as usize;
-        let (v, esz) = match (kind, self.heap.get(arr)) {
-            (ArrayKind::I32, HeapObj::ArrI32(a)) => (Value::I32(a[i]), 4),
-            (ArrayKind::I64, HeapObj::ArrI64(a)) => (Value::I64(a[i]), 8),
-            (ArrayKind::F64, HeapObj::ArrF64(a)) => (Value::F64(a[i]), 8),
-            (ArrayKind::Ref, HeapObj::ArrRef(a)) => (Value::Ref(a[i]), 8),
-            (ArrayKind::I8, HeapObj::ArrI8(a)) => (Value::I32(a[i] as i32), 1),
-            (ArrayKind::U16, HeapObj::ArrU16(a)) => (Value::I32(a[i] as i32), 2),
-            other => panic!("array kind mismatch: {other:?}"),
-        };
-        let addr = self.heap.payload_addr(arr) + esz * idx as u64;
-        self.push(v);
-        self.charge(cls, pc, &[(addr, false)], None);
-        Ok(())
-    }
-
-    fn array_store(
-        &mut self,
-        program: &Program,
-        arr: Handle,
-        idx: i32,
-        val: Value,
-        pc: u64,
-        cls: OpClass,
-    ) -> Result<(), VmError> {
-        if arr == NULL {
-            self.charge(cls, pc, &[], None);
-            return self.throw_builtin(program, "NullPointerException");
-        }
-        let len = self.heap.get(arr).array_len().expect("array");
-        if idx < 0 || idx as usize >= len {
-            self.charge(cls, pc, &[], None);
-            return self.throw_builtin(program, "ArrayIndexOutOfBoundsException");
-        }
-        let i = idx as usize;
-        let esz = match self.heap.get_mut(arr) {
-            HeapObj::ArrI32(a) => {
-                a[i] = val.as_i32();
-                4
-            }
-            HeapObj::ArrI64(a) => {
-                a[i] = val.as_i64();
-                8
-            }
-            HeapObj::ArrF64(a) => {
-                a[i] = val.as_f64();
-                8
-            }
-            HeapObj::ArrRef(a) => {
-                a[i] = val.as_ref();
-                8
-            }
-            HeapObj::ArrI8(a) => {
-                a[i] = val.as_i32() as i8;
-                1
-            }
-            HeapObj::ArrU16(a) => {
-                a[i] = val.as_i32() as u16;
-                2
-            }
-            other => panic!("array store on {other:?}"),
-        };
-        let addr = self.heap.payload_addr(arr) + esz * idx as u64;
-        self.charge(cls, pc, &[(addr, true)], None);
-        Ok(())
-    }
-
-    // ---- natives ----------------------------------------------------------------------
-
-    fn call_native(&mut self, program: &Program, kind: NativeKind) -> Result<(), VmError> {
-        match kind {
-            NativeKind::NanoTime => {
-                let produced = (self.machine.now_ps() / 1000) as u64;
-                let v = self.machine.event_value(produced);
-                self.push(Value::I64(v as i64));
-            }
-            NativeKind::InstrCount => {
-                let v = self.icount;
-                self.push(Value::I64(v as i64));
-            }
-            NativeKind::PrintlnI => {
-                let v = self.pop().as_i32();
-                self.console.push(v.to_string());
-            }
-            NativeKind::PrintlnL => {
-                let v = self.pop().as_i64();
-                self.console.push(v.to_string());
-            }
-            NativeKind::PrintlnD => {
-                let v = self.pop().as_f64();
-                self.console.push(format!("{v:.6}"));
-            }
-            NativeKind::PrintlnS => {
-                let h = self.pop().as_ref();
-                let s = match self.heap.get(h) {
-                    HeapObj::Str(s) => s.clone(),
-                    other => format!("{other:?}"),
-                };
-                self.console.push(s);
-            }
-            NativeKind::NetRecv => {
-                let buf = self.pop().as_ref();
-                if buf == NULL {
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                let icount = self.icount;
-                match self.machine.poll_packet(icount) {
-                    Some((data, _ts)) => {
-                        let payload = self.heap.payload_addr(buf);
-                        let n = match self.heap.get_mut(buf) {
-                            HeapObj::ArrI8(a) => {
-                                let n = a.len().min(data.len());
-                                for (dst, src) in a.iter_mut().zip(data.iter()) {
-                                    *dst = *src as i8;
-                                }
-                                n
-                            }
-                            _ => panic!("net_recv needs byte[]"),
-                        };
-                        self.machine.bulk_touch(payload, n as u64, true);
-                        self.push(Value::I32(n as i32));
-                    }
-                    None => self.push(Value::I32(-1)),
-                }
-            }
-            NativeKind::NetSend => {
-                let len = self.pop().as_i32();
-                let buf = self.pop().as_ref();
-                if buf == NULL {
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                let data: Vec<u8> = match self.heap.get(buf) {
-                    HeapObj::ArrI8(a) => a
-                        .iter()
-                        .take(len.max(0) as usize)
-                        .map(|&b| b as u8)
-                        .collect(),
-                    _ => panic!("net_send needs byte[]"),
-                };
-                let payload = self.heap.payload_addr(buf);
-                self.machine.bulk_touch(payload, data.len() as u64, false);
-                self.machine.send_packet(&data);
-                self.send_count += 1;
-            }
-            NativeKind::WaitPacket => {
-                match self.cfg.replay_style {
-                    // The functional baseline skips waits entirely — the
-                    // XenTT behavior that makes replay faster than play in
-                    // the idle phases of Fig. 3.
-                    ReplayStyle::Functional => {}
-                    ReplayStyle::Play | ReplayStyle::Tdr => {
-                        let now = self.machine.now_cycles();
-                        if now > self.cfg.cycle_limit {
-                            return Err(VmError::InstrLimit);
-                        }
-                        match self.machine.next_packet_ready_at() {
-                            // Already consumable.
-                            Some(t) if t <= now => {}
-                            // Sleep exactly until the (logged) arrival.
-                            Some(t) => self.machine.idle(t - now),
-                            // Nothing in flight: sleep one poll quantum; the
-                            // caller's receive loop re-invokes us.
-                            None => self.machine.idle(10_000),
-                        }
-                    }
-                }
-            }
-            NativeKind::CovertDelay => {
-                if self.covert_enabled {
-                    let idx = self.send_count;
-                    let now = self.machine.now_cycles();
-                    if let Some(m) = self.delay.as_mut() {
-                        let d = m.next_delay_cycles(idx, now);
-                        if d > 0 {
-                            self.machine.idle(d);
-                        }
-                    }
-                }
-            }
-            NativeKind::DelayCycles => {
-                let n = self.pop().as_i64();
-                if n > 0 {
-                    self.machine.idle(n as u64);
-                }
-            }
-            NativeKind::FileRead => {
-                let buf = self.pop().as_ref();
-                let offset = self.pop().as_i32();
-                let fid = self.pop().as_i32();
-                if buf == NULL {
-                    return self.throw_builtin(program, "NullPointerException");
-                }
-                let data = self
-                    .files
-                    .get(fid.max(0) as usize)
-                    .cloned()
-                    .unwrap_or_default();
-                let off = (offset.max(0) as usize).min(data.len());
-                let payload = self.heap.payload_addr(buf);
-                let n = match self.heap.get_mut(buf) {
-                    HeapObj::ArrI8(a) => {
-                        let n = a.len().min(data.len() - off);
-                        for (dst, src) in a.iter_mut().zip(data[off..off + n].iter()) {
-                            *dst = *src as i8;
-                        }
-                        n
-                    }
-                    _ => panic!("file_read needs byte[]"),
-                };
-                // Device latency + copy into the heap.
-                let lba = ((fid.max(0) as u64) << 20) | off as u64;
-                self.machine.storage_read(lba, n as u64);
-                self.machine.bulk_touch(payload, n.max(1) as u64, true);
-                self.push(Value::I32(n as i32));
-            }
-            NativeKind::FileSize => {
-                let fid = self.pop().as_i32();
-                let n = self
-                    .files
-                    .get(fid.max(0) as usize)
-                    .map(|f| f.len() as i32)
-                    .unwrap_or(-1);
-                self.push(Value::I32(n));
-            }
-            NativeKind::ThreadSpawn => {
-                let mid = self.pop().as_i32();
-                if mid < 0 || mid as usize >= program.methods.len() {
-                    return Err(VmError::Load(format!("thread_spawn: bad method id {mid}")));
-                }
-                let tid = self.spawn_thread(MethodId(mid as u16))?;
-                self.push(Value::I32(tid as i32));
-            }
-            NativeKind::ThreadYield => {
-                self.budget = 0;
-            }
-            NativeKind::MathSin => {
-                let x = self.pop().as_f64();
-                self.push(Value::F64(x.sin()));
-            }
-            NativeKind::MathCos => {
-                let x = self.pop().as_f64();
-                self.push(Value::F64(x.cos()));
-            }
-            NativeKind::MathSqrt => {
-                let x = self.pop().as_f64();
-                self.push(Value::F64(x.sqrt()));
-            }
-        }
-        Ok(())
-    }
-}
-
-/// Which typed array op is executing (internal to the dispatcher).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ArrayKind {
-    I8,
-    U16,
-    I32,
-    I64,
-    F64,
-    Ref,
 }

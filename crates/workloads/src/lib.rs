@@ -18,6 +18,7 @@
 //! `--full` mode scales them up.
 
 pub mod bootserve;
+pub mod corpus;
 pub mod microbench;
 pub mod nfs;
 pub mod scimark;

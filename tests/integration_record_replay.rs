@@ -29,8 +29,8 @@ fn nfs_record_replay_accuracy_within_paper_bound() {
     // `BusParams::jitter_max` (6) extra cycles from a seed-dependent
     // stream, and play and replay run under different jitter seeds — the
     // one Table 1 noise source TDR deliberately does not eliminate, only
-    // bounds (this trace measures ~1.0%; long NFS sweeps still reach
-    // ~2.4% worst-case — see ROADMAP).
+    // bounds (this trace measures ~1.0%; the long-NFS-sweep tail is
+    // pinned at the 1.85% noise floor below).
     let rt_err = compare::relative_error(rec.outcome.cycles, rep.outcome.cycles);
     assert!(rt_err < 0.01, "runtime error {rt_err}");
     let c = compare::compare_ipds(
@@ -45,12 +45,14 @@ fn nfs_record_replay_accuracy_within_paper_bound() {
 fn long_nfs_sweep_ipd_tail_stays_under_regression_bound() {
     // Regression pin for the replay-accuracy *tail*. The short trace above
     // measures ~1.0% and is pinned at 1.9%; longer NFS sweeps accumulate
-    // more contended bus accesses and the worst-case IPD deviation climbs
-    // to ~2.4% (see ROADMAP). This test sweeps several long configurations
-    // and pins the tail at ≤ 2.5% so a scheduler or bus-model change that
-    // silently widens it fails here first. The bound is deliberately
-    // loose — it documents today's tail, to be tightened as the jitter
-    // model improves, not a target.
+    // more contended bus accesses and push the worst-case IPD deviation
+    // higher. This test sweeps several long configurations and pins the
+    // tail at ≤ 1.85% — the paper's own noise floor (§6.4) — so a
+    // scheduler or bus-model change that silently widens it fails here
+    // first. The sweeps currently measure ≤ ~1.22% worst-case (the bound
+    // was 2.5% before the dispatch/scheduler overhaul was verified
+    // bit-identical and the tail re-measured), leaving ~0.6 points of
+    // headroom under the floor.
     let mut worst = 0.0f64;
     for t in 0..3u64 {
         let files = nfs::make_files(6, 2048, 6144, 70 + t);
@@ -70,11 +72,12 @@ fn long_nfs_sweep_ipd_tail_stays_under_regression_bound() {
             &compare::tx_ipds_cycles(&rep.tx),
         );
         assert!(!c.length_mismatch, "sweep {t}: IPD count diverged");
+        eprintln!("sweep {t}: max_rel {}", c.max_rel);
         worst = worst.max(c.max_rel);
     }
     assert!(
-        worst <= 0.025,
-        "long-sweep IPD tail regressed past 2.5%: {worst}"
+        worst <= 0.0185,
+        "long-sweep IPD tail regressed past the 1.85% noise floor: {worst}"
     );
 }
 
