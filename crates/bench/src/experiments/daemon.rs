@@ -76,9 +76,13 @@ fn roundtrip(
     batch_id: u64,
     tdrb: Vec<u8>,
 ) -> (FleetSummary, usize) {
-    ControlFrame::SubmitBatch { batch_id, tdrb }
-        .write_to(client)
-        .expect("submit");
+    ControlFrame::SubmitBatch {
+        batch_id,
+        tdrb,
+        reference: None,
+    }
+    .write_to(client)
+    .expect("submit");
     let mut verdicts = 0usize;
     loop {
         match ControlFrame::read_from(client)

@@ -9,6 +9,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig8_fleet;
 pub mod pipeline;
+pub mod registry;
 pub mod replay_speed;
 pub mod table2;
 

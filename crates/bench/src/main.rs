@@ -24,6 +24,10 @@
 //! repro replay-speed     Classic vs fused-dispatch + event-ticking replay
 //!                        time, with a determinism cross-check
 //!                        (BENCH_replay_speed.json)
+//! repro registry         Reference registry: cold load+verify vs warm
+//!                        checkout, eviction-thrash sweep, multi- vs
+//!                        single-reference daemon throughput
+//!                        (BENCH_registry.json)
 //! repro all              Everything above
 //! ```
 //!
@@ -39,7 +43,7 @@ use experiments::Options;
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|daemon|replay-speed|all> [--full] [--runs N] [--out DIR] [--stream] [--tcp]");
+        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|daemon|replay-speed|registry|all> [--full] [--runs N] [--out DIR] [--stream] [--tcp]");
         std::process::exit(2);
     });
     let mut opts = Options::default();
@@ -84,6 +88,7 @@ fn main() {
         "daemon" if opts.tcp => experiments::daemon::run_tcp(&opts),
         "daemon" => experiments::daemon::run(&opts),
         "replay-speed" => experiments::replay_speed::run(&opts),
+        "registry" => experiments::registry::run(&opts),
         "all" => {
             experiments::fig2::run(&opts);
             experiments::fig3::run(&opts);
@@ -99,6 +104,7 @@ fn main() {
             experiments::daemon::run(&opts);
             experiments::daemon::run_tcp(&opts);
             experiments::replay_speed::run(&opts);
+            experiments::registry::run(&opts);
         }
         other => {
             eprintln!("unknown experiment: {other}");

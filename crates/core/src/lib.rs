@@ -76,9 +76,10 @@ pub use sim_core;
 pub use vm;
 
 pub use audit_pipeline::{
-    serve_tcp, serve_tcp_with, AuditConfig, AuditJob, AuditService, BatchOutcome, BatchReport,
-    BatchSummary, BatchTicket, BatteryMode, BusyScope, Client, ConfigError, ControlError,
-    ControlFrame, DaemonOptions, DaemonReport, IngestError, MetricsSnapshot, ServiceBuilder,
+    serve_tcp, serve_tcp_with, AckStatus, AuditConfig, AuditJob, AuditService, BatchOutcome,
+    BatchReport, BatchSummary, BatchTicket, BatteryMode, BusyScope, Client, ConfigError,
+    ControlError, ControlFrame, DaemonOptions, DaemonReport, IngestError, MetricsSnapshot,
+    PutOutcome, ReferenceId, ReferenceRegistry, RegistryError, RegistryLoad, ServiceBuilder,
     StreamReport, TcpDaemon, TenantQuota, TraceEvent, TraceKind,
 };
 pub use detectors::{Detector, DetectorBattery, TraceView};

@@ -34,8 +34,17 @@
 //! None of these simplifications affect the properties TDR relies on: the
 //! ISA remains deterministic, interrupt-free, and indexable by a global
 //! instruction counter.
+//!
+//! Since the reference-registry work, programs also have a wire form:
+//! [`container`] defines **TDRP**, the sealed, hash-addressed container
+//! (`docs/FORMATS.md` §7) in which a program travels to an audit daemon.
+//! A program's [`ReferenceId`] is the SHA-256 digest of its canonical
+//! encoding, so registry ids are self-certifying.
+
+#![warn(missing_docs)]
 
 pub mod builder;
+pub mod container;
 pub mod disasm;
 pub mod hll;
 pub mod op;
@@ -43,6 +52,7 @@ pub mod program;
 pub mod verify;
 
 pub use builder::{Label, MethodAsm, ProgramBuilder};
+pub use container::{ContainerError, ReferenceId};
 pub use op::{ElemTy, Op, OpClass};
 pub use program::{
     Class, ClassId, Field, FieldId, Handler, Method, MethodId, NativeDecl, NativeId, Program, Ty,

@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use jbc::ReferenceId;
 use replay::codec::{wire, CodecError};
 use replay::stream::{read_full, read_length_prefix, StreamError};
 
@@ -114,6 +115,15 @@ pub enum ControlError {
     /// A `Busy` frame carried a scope byte naming no known
     /// [`BusyScope`].
     BadScope(u8),
+    /// A `ReferenceAck` frame carried a status byte naming no known
+    /// [`AckStatus`].
+    BadAckStatus(u8),
+    /// A `SubmitBatch` named a reference id the daemon's registry does
+    /// not hold. Raised by [`Client::submit_batch_for`] when the daemon
+    /// answers with an [`AckStatus::Unknown`] ack; the connection
+    /// survives — register the reference with
+    /// [`Client::put_reference`] and resubmit.
+    UnknownReference(ReferenceId),
     /// The transport failed.
     Io(io::ErrorKind, String),
 }
@@ -173,6 +183,15 @@ impl fmt::Display for ControlError {
             ControlError::BadScope(b) => {
                 write!(f, "busy-frame scope byte {b:#04x} names no known scope")
             }
+            ControlError::BadAckStatus(b) => {
+                write!(
+                    f,
+                    "reference-ack status byte {b:#04x} names no known status"
+                )
+            }
+            ControlError::UnknownReference(id) => {
+                write!(f, "reference {id} is not registered with the daemon")
+            }
             ControlError::Io(kind, msg) => write!(f, "transport failed ({kind:?}): {msg}"),
         }
     }
@@ -225,6 +244,8 @@ impl ControlError {
             ControlError::Busy { .. } => "control_err_busy",
             ControlError::QuotaExceeded { .. } => "control_err_quota_exceeded",
             ControlError::BadScope(_) => "control_err_bad_scope",
+            ControlError::BadAckStatus(_) => "control_err_bad_ack_status",
+            ControlError::UnknownReference(_) => "control_err_unknown_reference",
             ControlError::Io(..) => "control_err_io",
         }
     }
@@ -291,6 +312,54 @@ mod kind {
     pub const STATS_REQUEST: u8 = 0x07;
     pub const STATS: u8 = 0x08;
     pub const BUSY: u8 = 0x09;
+    pub const PUT_REFERENCE: u8 = 0x0a;
+    pub const REFERENCE_ACK: u8 = 0x0b;
+}
+
+/// What a [`ControlFrame::ReferenceAck`] reports about a registry
+/// operation. Encoded as one byte on the wire (an unknown byte is
+/// rejected as [`ControlError::BadAckStatus`]); a `Rejected` status
+/// additionally carries the registry's typed error rendered as a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AckStatus {
+    /// The container decoded, the program verified, and the reference was
+    /// admitted to the registry.
+    Loaded,
+    /// The reference was already resident; its recency was refreshed and
+    /// the container bytes were not re-verified (the id is
+    /// content-derived, so an equal id *is* an equal program).
+    AlreadyResident,
+    /// The container or the program it carries was refused (CRC mismatch,
+    /// digest mismatch, malformed body, or `jbc::verify` failure). The
+    /// string is the typed error's display form; the registry is
+    /// unchanged and the connection survives.
+    Rejected(String),
+    /// A `SubmitBatch` named a reference the registry does not hold
+    /// (only daemons emit this, answering a submission — never a
+    /// `PutReference`).
+    Unknown,
+}
+
+impl AckStatus {
+    /// The status's wire byte.
+    pub fn wire_byte(&self) -> u8 {
+        match self {
+            AckStatus::Loaded => 0x00,
+            AckStatus::AlreadyResident => 0x01,
+            AckStatus::Rejected(_) => 0x02,
+            AckStatus::Unknown => 0x03,
+        }
+    }
+
+    /// Human-readable status name (for logs and error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AckStatus::Loaded => "loaded",
+            AckStatus::AlreadyResident => "already resident",
+            AckStatus::Rejected(_) => "rejected",
+            AckStatus::Unknown => "unknown reference",
+        }
+    }
 }
 
 /// One control-plane message.
@@ -308,6 +377,15 @@ pub enum ControlFrame {
         batch_id: u64,
         /// A complete TDRB batch, verbatim.
         tdrb: Vec<u8>,
+        /// Which registered reference program to audit the batch
+        /// against. `None` — the only form version-1 frames could
+        /// express, encoded identically — means the daemon's default
+        /// reference, so every pinned v1 byte stream still decodes to
+        /// the same meaning. `Some(id)` appends the 32-byte id after the
+        /// TDRB (§5 of `docs/FORMATS.md`, "SubmitBatch v2"); an id the
+        /// registry does not hold is answered in-band with an
+        /// [`AckStatus::Unknown`] ack.
+        reference: Option<ReferenceId>,
     },
     /// Daemon response: one session's verdict. Emitted in submission
     /// order (`index` is the zero-based position within the batch).
@@ -370,6 +448,37 @@ pub enum ControlFrame {
         /// The configured budget.
         limit: u64,
     },
+    /// Client request: register a reference program. The body carries a
+    /// complete TDRP container (`docs/FORMATS.md` §7), verbatim; the
+    /// daemon decodes, verifies, and admits it to the registry, then
+    /// answers with a [`ReferenceAck`](Self::ReferenceAck). A tampered
+    /// or malformed container is refused *in-band*
+    /// ([`AckStatus::Rejected`]) — the connection and the daemon keep
+    /// serving.
+    PutReference {
+        /// Client-chosen correlation id (echoed in the ack).
+        put_id: u64,
+        /// A complete TDRP container, verbatim.
+        tdrp: Vec<u8>,
+    },
+    /// Daemon response to a [`PutReference`](Self::PutReference) — or to
+    /// a [`SubmitBatch`](Self::SubmitBatch) naming an unregistered
+    /// reference (then `put_id` echoes the *batch* id and `status` is
+    /// [`AckStatus::Unknown`]).
+    ReferenceAck {
+        /// Correlation id of the originating request.
+        put_id: u64,
+        /// The reference the ack concerns. For a successful load this is
+        /// the content-derived id the daemon computed — the client can
+        /// compare it against its own digest (self-certifying); for a
+        /// rejection it is all zeroes.
+        reference: ReferenceId,
+        /// What the registry did.
+        status: AckStatus,
+        /// Canonical program bytes resident in the registry after the
+        /// operation (the LRU budget's measured quantity).
+        resident_bytes: u64,
+    },
 }
 
 impl ControlFrame {
@@ -385,6 +494,8 @@ impl ControlFrame {
             ControlFrame::StatsRequest => kind::STATS_REQUEST,
             ControlFrame::Stats { .. } => kind::STATS,
             ControlFrame::Busy { .. } => kind::BUSY,
+            ControlFrame::PutReference { .. } => kind::PUT_REFERENCE,
+            ControlFrame::ReferenceAck { .. } => kind::REFERENCE_ACK,
         }
     }
 
@@ -400,6 +511,8 @@ impl ControlFrame {
             ControlFrame::StatsRequest => "StatsRequest",
             ControlFrame::Stats { .. } => "Stats",
             ControlFrame::Busy { .. } => "Busy",
+            ControlFrame::PutReference { .. } => "PutReference",
+            ControlFrame::ReferenceAck { .. } => "ReferenceAck",
         }
     }
 
@@ -422,10 +535,20 @@ impl ControlFrame {
 
     fn put_body(&self, out: &mut Vec<u8>) {
         match self {
-            ControlFrame::SubmitBatch { batch_id, tdrb } => {
+            ControlFrame::SubmitBatch {
+                batch_id,
+                tdrb,
+                reference,
+            } => {
                 wire::put_varint(out, *batch_id);
                 wire::put_varint(out, tdrb.len() as u64);
                 out.extend_from_slice(tdrb);
+                // v2 extension: the reference id, when present, is the
+                // final 32 bytes of the body. A `None` frame is
+                // byte-identical to a version-1 frame.
+                if let Some(id) = reference {
+                    out.extend_from_slice(&id.0);
+                }
             }
             ControlFrame::Verdict {
                 batch_id,
@@ -463,6 +586,25 @@ impl ControlFrame {
                 out.push(scope.wire_byte());
                 wire::put_varint(out, *active);
                 wire::put_varint(out, *limit);
+            }
+            ControlFrame::PutReference { put_id, tdrp } => {
+                wire::put_varint(out, *put_id);
+                wire::put_varint(out, tdrp.len() as u64);
+                out.extend_from_slice(tdrp);
+            }
+            ControlFrame::ReferenceAck {
+                put_id,
+                reference,
+                status,
+                resident_bytes,
+            } => {
+                wire::put_varint(out, *put_id);
+                out.extend_from_slice(&reference.0);
+                out.push(status.wire_byte());
+                wire::put_varint(out, *resident_bytes);
+                if let AckStatus::Rejected(message) = status {
+                    put_string(out, message);
+                }
             }
         }
     }
@@ -503,7 +645,23 @@ impl ControlFrame {
                 let end = pos.checked_add(len).ok_or(ControlError::Truncated)?;
                 let tdrb = body.get(pos..end).ok_or(ControlError::Truncated)?.to_vec();
                 pos = end;
-                ControlFrame::SubmitBatch { batch_id, tdrb }
+                // v2 extension: an empty remainder is a version-1 frame
+                // (default reference); otherwise exactly 32 id bytes
+                // must follow (fewer is truncation, more is trailing
+                // garbage via the exact-consumption check below).
+                let reference = if pos == body.len() {
+                    None
+                } else {
+                    let end = pos.checked_add(32).ok_or(ControlError::Truncated)?;
+                    let bytes = body.get(pos..end).ok_or(ControlError::Truncated)?;
+                    pos = end;
+                    Some(ReferenceId(bytes.try_into().expect("32 bytes")))
+                };
+                ControlFrame::SubmitBatch {
+                    batch_id,
+                    tdrb,
+                    reference,
+                }
             }
             kind::VERDICT => {
                 let batch_id = wire::read_varint(body, &mut pos)?;
@@ -550,6 +708,37 @@ impl ControlFrame {
                     scope,
                     active,
                     limit,
+                }
+            }
+            kind::PUT_REFERENCE => {
+                let put_id = wire::read_varint(body, &mut pos)?;
+                let len = wire::read_varint(body, &mut pos)? as usize;
+                let end = pos.checked_add(len).ok_or(ControlError::Truncated)?;
+                let tdrp = body.get(pos..end).ok_or(ControlError::Truncated)?.to_vec();
+                pos = end;
+                ControlFrame::PutReference { put_id, tdrp }
+            }
+            kind::REFERENCE_ACK => {
+                let put_id = wire::read_varint(body, &mut pos)?;
+                let end = pos.checked_add(32).ok_or(ControlError::Truncated)?;
+                let id_bytes = body.get(pos..end).ok_or(ControlError::Truncated)?;
+                let reference = ReferenceId(id_bytes.try_into().expect("32 bytes"));
+                pos = end;
+                let status_byte = *body.get(pos).ok_or(ControlError::Truncated)?;
+                pos += 1;
+                let resident_bytes = wire::read_varint(body, &mut pos)?;
+                let status = match status_byte {
+                    0x00 => AckStatus::Loaded,
+                    0x01 => AckStatus::AlreadyResident,
+                    0x02 => AckStatus::Rejected(read_string(body, &mut pos)?),
+                    0x03 => AckStatus::Unknown,
+                    other => return Err(ControlError::BadAckStatus(other)),
+                };
+                ControlFrame::ReferenceAck {
+                    put_id,
+                    reference,
+                    status,
+                    resident_bytes,
                 }
             }
             other => return Err(ControlError::UnknownKind(other)),
@@ -869,6 +1058,21 @@ pub struct BatchSummary {
     pub summary: FleetSummary,
 }
 
+/// What one [`Client::put_reference`] exchange produced: the daemon's
+/// `ReferenceAck`, as data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutOutcome {
+    /// The content-derived reference id the daemon computed (all zeroes
+    /// on a rejection). Compare against a locally computed
+    /// [`jbc::container::reference_id`] to confirm the daemon holds the
+    /// program you meant.
+    pub reference: ReferenceId,
+    /// What the registry did (loaded / already resident / rejected).
+    pub status: AckStatus,
+    /// Canonical program bytes resident in the registry afterwards.
+    pub resident_bytes: u64,
+}
+
 /// Everything one `SubmitBatch` exchange produced.
 ///
 /// `verdicts` holds the per-session verdicts in submission order (the
@@ -937,6 +1141,22 @@ impl<T: Read + Write> Client<T> {
         self.submit_batch_with(batch_id, tdrb, |_, _| {})
     }
 
+    /// [`submit_batch`](Self::submit_batch) against a *registered*
+    /// reference program instead of the daemon's default: the frame goes
+    /// out as SubmitBatch v2, carrying `reference`. If the registry does
+    /// not hold that id the daemon answers in-band and this returns
+    /// [`ControlError::UnknownReference`] — register it with
+    /// [`put_reference`](Self::put_reference) and resubmit; the
+    /// connection survives.
+    pub fn submit_batch_for(
+        &mut self,
+        batch_id: u64,
+        tdrb: Vec<u8>,
+        reference: ReferenceId,
+    ) -> Result<BatchOutcome, ControlError> {
+        self.submit_batch_inner(batch_id, tdrb, Some(reference), |_, _| {})
+    }
+
     /// [`submit_batch`](Self::submit_batch), invoking `on_verdict` for
     /// each verdict frame as it arrives (before it is collected) — the
     /// pull-streaming hook daemon clients use for live progress.
@@ -944,9 +1164,24 @@ impl<T: Read + Write> Client<T> {
         &mut self,
         batch_id: u64,
         tdrb: Vec<u8>,
+        on_verdict: impl FnMut(u64, &AuditVerdict),
+    ) -> Result<BatchOutcome, ControlError> {
+        self.submit_batch_inner(batch_id, tdrb, None, on_verdict)
+    }
+
+    fn submit_batch_inner(
+        &mut self,
+        batch_id: u64,
+        tdrb: Vec<u8>,
+        reference: Option<ReferenceId>,
         mut on_verdict: impl FnMut(u64, &AuditVerdict),
     ) -> Result<BatchOutcome, ControlError> {
-        ControlFrame::SubmitBatch { batch_id, tdrb }.write_to(&mut self.transport)?;
+        ControlFrame::SubmitBatch {
+            batch_id,
+            tdrb,
+            reference,
+        }
+        .write_to(&mut self.transport)?;
         self.transport.flush().map_err(ControlError::from_io)?;
         let mut verdicts: Vec<AuditVerdict> = Vec::new();
         loop {
@@ -1020,8 +1255,67 @@ impl<T: Read + Write> Client<T> {
                         limit,
                     });
                 }
+                ControlFrame::ReferenceAck {
+                    put_id: got,
+                    reference,
+                    status: AckStatus::Unknown,
+                    ..
+                } => {
+                    // The daemon refused the submission in-band: the
+                    // named reference is not registered. `put_id` echoes
+                    // the batch id here (§5, "ReferenceAck").
+                    if got != batch_id {
+                        return Err(ControlError::UnexpectedFrame(
+                            "ReferenceAck (foreign batch id)",
+                        ));
+                    }
+                    return Err(ControlError::UnknownReference(reference));
+                }
                 other => return Err(ControlError::UnexpectedFrame(other.kind_name())),
             }
+        }
+    }
+
+    /// Register a reference program: one `PutReference` frame carrying a
+    /// complete TDRP container out, exactly one `ReferenceAck` back.
+    ///
+    /// A refused container ([`AckStatus::Rejected`] — CRC/digest
+    /// mismatch, malformed body, verify failure) is *not* a protocol
+    /// error: it lands in [`PutOutcome::status`] and the connection keeps
+    /// serving, mirroring how batch-content failures travel in-band.
+    pub fn put_reference(
+        &mut self,
+        put_id: u64,
+        tdrp: Vec<u8>,
+    ) -> Result<PutOutcome, ControlError> {
+        ControlFrame::PutReference { put_id, tdrp }.write_to(&mut self.transport)?;
+        self.transport.flush().map_err(ControlError::from_io)?;
+        match ControlFrame::read_from(&mut self.transport)? {
+            Some(ControlFrame::ReferenceAck {
+                put_id: got,
+                reference,
+                status,
+                resident_bytes,
+            }) => {
+                if got != put_id {
+                    return Err(ControlError::UnexpectedFrame(
+                        "ReferenceAck (foreign put id)",
+                    ));
+                }
+                Ok(PutOutcome {
+                    reference,
+                    status,
+                    resident_bytes,
+                })
+            }
+            Some(ControlFrame::Busy {
+                scope: BusyScope::Connections,
+                active,
+                limit,
+                ..
+            }) => Err(ControlError::Busy { active, limit }),
+            Some(other) => Err(ControlError::UnexpectedFrame(other.kind_name())),
+            None => Err(ControlError::Disconnected),
         }
     }
 
@@ -1156,6 +1450,12 @@ mod tests {
             ControlFrame::SubmitBatch {
                 batch_id: 42,
                 tdrb: vec![0x54, 0x44, 0x52, 0x42, 1, 0, 0, 0, 0],
+                reference: None,
+            },
+            ControlFrame::SubmitBatch {
+                batch_id: 43,
+                tdrb: vec![0x54, 0x44, 0x52, 0x42, 1, 0, 0, 0, 0],
+                reference: Some(sample_reference_id()),
             },
             ControlFrame::Verdict {
                 batch_id: 1,
@@ -1213,7 +1513,43 @@ mod tests {
                 active: u64::MAX,
                 limit: 1,
             },
+            ControlFrame::PutReference {
+                put_id: 17,
+                tdrp: vec![0x54, 0x44, 0x52, 0x50, 0x01, 0x00, 0x00, 0x00],
+            },
+            ControlFrame::ReferenceAck {
+                put_id: 17,
+                reference: sample_reference_id(),
+                status: AckStatus::Loaded,
+                resident_bytes: 4096,
+            },
+            ControlFrame::ReferenceAck {
+                put_id: 18,
+                reference: sample_reference_id(),
+                status: AckStatus::AlreadyResident,
+                resident_bytes: u64::MAX,
+            },
+            ControlFrame::ReferenceAck {
+                put_id: 19,
+                reference: ReferenceId([0; 32]),
+                status: AckStatus::Rejected("container checksum mismatch".to_string()),
+                resident_bytes: 0,
+            },
+            ControlFrame::ReferenceAck {
+                put_id: 20,
+                reference: sample_reference_id(),
+                status: AckStatus::Unknown,
+                resident_bytes: 128,
+            },
         ]
+    }
+
+    fn sample_reference_id() -> ReferenceId {
+        let mut id = [0u8; 32];
+        for (k, b) in id.iter_mut().enumerate() {
+            *b = (k as u8).wrapping_mul(7).wrapping_add(3);
+        }
+        ReferenceId(id)
     }
 
     #[test]
@@ -1881,7 +2217,8 @@ mod tests {
                 .expect("one frame"),
             ControlFrame::SubmitBatch {
                 batch_id: 5,
-                tdrb: vec![1, 2, 3]
+                tdrb: vec![1, 2, 3],
+                reference: None,
             }
         );
     }
@@ -1968,6 +2305,193 @@ mod tests {
         assert_eq!(
             client.stats(),
             Err(ControlError::UnexpectedFrame("ShutdownAck"))
+        );
+    }
+
+    #[test]
+    fn submit_batch_v2_reference_id_must_be_exactly_32_bytes() {
+        // A v2 remainder shorter than an id is truncation; longer is
+        // trailing garbage. Both re-sealed so the CRC is not the check
+        // that fires.
+        let clean = ControlFrame::SubmitBatch {
+            batch_id: 7,
+            tdrb: vec![1, 2, 3],
+            reference: Some(sample_reference_id()),
+        }
+        .encode();
+        for drop in [1usize, 31] {
+            let mut patched = clean.clone();
+            patched.truncate(clean.len() - 4 - drop); // strip CRC + id tail
+            let crc = wire::crc32(&patched[8..]);
+            patched.extend_from_slice(&crc.to_le_bytes());
+            let len = (patched.len() - 4) as u32;
+            patched[..4].copy_from_slice(&len.to_le_bytes());
+            assert_eq!(
+                ControlFrame::read_from(&mut &patched[..]),
+                Err(ControlError::Truncated),
+                "dropped {drop} id bytes"
+            );
+        }
+        let mut longer = clean.clone();
+        longer.insert(clean.len() - 4, 0xaa); // a 33rd id byte
+        let len = (longer.len() - 4) as u32;
+        longer[..4].copy_from_slice(&len.to_le_bytes());
+        let n = longer.len();
+        let crc = wire::crc32(&longer[8..n - 4]);
+        longer[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ControlFrame::read_from(&mut &longer[..]),
+            Err(ControlError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn reference_ack_unknown_status_byte_rejected() {
+        // A CRC-valid ack with a status byte from the future must fail on
+        // the *status*, not the checksum.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&CONTROL_MAGIC);
+        payload.extend_from_slice(&CONTROL_VERSION.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.push(kind::REFERENCE_ACK);
+        wire::put_varint(&mut payload, 1); // put_id
+        payload.extend_from_slice(&[0u8; 32]); // reference id
+        payload.push(0x7f); // unknown status
+        wire::put_varint(&mut payload, 0); // resident_bytes
+        let crc = wire::crc32(&payload[4..]);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            ControlFrame::decode_payload(&payload),
+            Err(ControlError::BadAckStatus(0x7f))
+        );
+    }
+
+    #[test]
+    fn reference_frames_corruption_and_truncation_rejected() {
+        for frame in [
+            ControlFrame::PutReference {
+                put_id: 3,
+                tdrp: vec![0x54, 0x44, 0x52, 0x50, 9, 9],
+            },
+            ControlFrame::ReferenceAck {
+                put_id: 3,
+                reference: sample_reference_id(),
+                status: AckStatus::Rejected("digest mismatch".to_string()),
+                resident_bytes: 77,
+            },
+        ] {
+            let clean = frame.encode();
+            for at in 8..clean.len() {
+                let mut corrupt = clean.clone();
+                corrupt[at] ^= 0x40;
+                let got = ControlFrame::read_from(&mut &corrupt[..]);
+                assert!(got.is_err(), "flip at {at} decoded: {got:?}");
+            }
+            for cut in 1..clean.len() {
+                let got = ControlFrame::read_from(&mut &clean[..cut]);
+                assert_eq!(got, Err(ControlError::Truncated), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn client_put_reference_roundtrip_and_in_band_rejection() {
+        // Happy path: one PutReference out, a Loaded ack back.
+        let id = sample_reference_id();
+        let mut client = Client::new(Scripted::new(&[ControlFrame::ReferenceAck {
+            put_id: 4,
+            reference: id,
+            status: AckStatus::Loaded,
+            resident_bytes: 999,
+        }]));
+        assert_eq!(
+            client.put_reference(4, vec![1, 2, 3]),
+            Ok(PutOutcome {
+                reference: id,
+                status: AckStatus::Loaded,
+                resident_bytes: 999,
+            })
+        );
+        let sent = client.into_inner().sent;
+        assert_eq!(
+            ControlFrame::read_from(&mut &sent[..])
+                .expect("decodes")
+                .expect("one frame"),
+            ControlFrame::PutReference {
+                put_id: 4,
+                tdrp: vec![1, 2, 3]
+            }
+        );
+        // A rejected container is in-band data, not a protocol error.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::ReferenceAck {
+            put_id: 5,
+            reference: ReferenceId([0; 32]),
+            status: AckStatus::Rejected("container checksum mismatch".to_string()),
+            resident_bytes: 0,
+        }]));
+        let outcome = client.put_reference(5, vec![0xff]).expect("in-band");
+        assert_eq!(
+            outcome.status,
+            AckStatus::Rejected("container checksum mismatch".to_string())
+        );
+        // A foreign put id is a protocol violation.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::ReferenceAck {
+            put_id: 99,
+            reference: id,
+            status: AckStatus::Loaded,
+            resident_bytes: 0,
+        }]));
+        assert_eq!(
+            client.put_reference(5, Vec::new()),
+            Err(ControlError::UnexpectedFrame(
+                "ReferenceAck (foreign put id)"
+            ))
+        );
+        // Hangup before the ack.
+        let mut client = Client::new(Scripted::new(&[]));
+        assert_eq!(
+            client.put_reference(5, Vec::new()),
+            Err(ControlError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn client_submit_batch_for_sends_v2_and_maps_unknown_reference() {
+        let id = sample_reference_id();
+        // An Unknown ack echoing the batch id becomes the typed error.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::ReferenceAck {
+            put_id: 11,
+            reference: id,
+            status: AckStatus::Unknown,
+            resident_bytes: 0,
+        }]));
+        assert_eq!(
+            client.submit_batch_for(11, vec![1, 2], id),
+            Err(ControlError::UnknownReference(id))
+        );
+        let sent = client.into_inner().sent;
+        assert_eq!(
+            ControlFrame::read_from(&mut &sent[..])
+                .expect("decodes")
+                .expect("one frame"),
+            ControlFrame::SubmitBatch {
+                batch_id: 11,
+                tdrb: vec![1, 2],
+                reference: Some(id),
+            }
+        );
+        // An Unknown ack with a foreign id is a protocol violation.
+        let mut client = Client::new(Scripted::new(&[ControlFrame::ReferenceAck {
+            put_id: 99,
+            reference: id,
+            status: AckStatus::Unknown,
+            resident_bytes: 0,
+        }]));
+        assert_eq!(
+            client.submit_batch_for(11, Vec::new(), id),
+            Err(ControlError::UnexpectedFrame(
+                "ReferenceAck (foreign batch id)"
+            ))
         );
     }
 

@@ -49,6 +49,7 @@ pub mod ingest;
 pub mod net;
 pub mod obs;
 pub mod pool;
+pub mod registry;
 pub mod service;
 pub mod verdict;
 
@@ -60,12 +61,17 @@ use replay::EventLog;
 use vm::VmConfig;
 
 pub use cache::ReferenceCache;
-pub use control::{BatchOutcome, BatchSummary, BusyScope, Client, ControlError, ControlFrame};
+pub use control::{
+    AckStatus, BatchOutcome, BatchSummary, BusyScope, Client, ControlError, ControlFrame,
+    PutOutcome,
+};
 pub use detectors::DetectorBattery;
 pub use ingest::{BatchStream, IngestError};
+pub use jbc::ReferenceId;
 pub use net::{serve_tcp, serve_tcp_with, DaemonOptions, DaemonReport, TcpDaemon};
 pub use obs::{MetricsSnapshot, TraceEvent, TraceKind};
 pub use pool::{audit_batch, audit_batch_streaming, audit_stream, BatchReport, StreamReport};
+pub use registry::{ReferenceRegistry, RegistryError, RegistryLoad, DEFAULT_REFERENCE_BUDGET};
 pub use service::{AuditService, BatchTicket, ServiceBuilder, TenantQuota};
 pub use verdict::{AuditVerdict, DetectorStats, FleetSummary, ScoreHistogram};
 

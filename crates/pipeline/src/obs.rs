@@ -643,14 +643,25 @@ pub struct ServiceMetrics {
     pub(crate) frames_in_submit_batch: Arc<Counter>,
     pub(crate) frames_in_stats_request: Arc<Counter>,
     pub(crate) frames_in_shutdown: Arc<Counter>,
+    pub(crate) frames_in_put_reference: Arc<Counter>,
     pub(crate) frames_out_verdict: Arc<Counter>,
     pub(crate) frames_out_summary: Arc<Counter>,
     pub(crate) frames_out_error: Arc<Counter>,
     pub(crate) frames_out_shutdown_ack: Arc<Counter>,
     pub(crate) frames_out_stats: Arc<Counter>,
     pub(crate) frames_out_busy: Arc<Counter>,
+    pub(crate) frames_out_reference_ack: Arc<Counter>,
     pub(crate) quota_rejections: Arc<Counter>,
     pub(crate) control_errors: Arc<Counter>,
+
+    // registry.rs — reference-program registry
+    pub(crate) registry_loads: Arc<Counter>,
+    pub(crate) registry_verify_failures: Arc<Counter>,
+    pub(crate) registry_hits: Arc<Counter>,
+    pub(crate) registry_misses: Arc<Counter>,
+    pub(crate) registry_evictions: Arc<Counter>,
+    pub(crate) registry_resident_bytes: Arc<Gauge>,
+    pub(crate) registry_references: Arc<Gauge>,
 }
 
 impl Default for ServiceMetrics {
@@ -695,14 +706,23 @@ impl ServiceMetrics {
             frames_in_submit_batch: r.counter("frames_in_submit_batch"),
             frames_in_stats_request: r.counter("frames_in_stats_request"),
             frames_in_shutdown: r.counter("frames_in_shutdown"),
+            frames_in_put_reference: r.counter("frames_in_put_reference"),
             frames_out_verdict: r.counter("frames_out_verdict"),
             frames_out_summary: r.counter("frames_out_summary"),
             frames_out_error: r.counter("frames_out_error"),
             frames_out_shutdown_ack: r.counter("frames_out_shutdown_ack"),
             frames_out_stats: r.counter("frames_out_stats"),
             frames_out_busy: r.counter("frames_out_busy"),
+            frames_out_reference_ack: r.counter("frames_out_reference_ack"),
             quota_rejections: r.counter("quota_rejections"),
             control_errors: r.counter("control_errors"),
+            registry_loads: r.counter("registry_loads"),
+            registry_verify_failures: r.counter("registry_verify_failures"),
+            registry_hits: r.counter("registry_hits"),
+            registry_misses: r.counter("registry_misses"),
+            registry_evictions: r.counter("registry_evictions"),
+            registry_resident_bytes: r.gauge("registry_resident_bytes"),
+            registry_references: r.gauge("registry_references"),
             trace: TraceRing::new(DEFAULT_TRACE_CAP),
             epoch: Instant::now(),
             registry: r,

@@ -61,11 +61,16 @@ use std::time::Instant;
 use detectors::{DetectorBattery, TraceView};
 use replay::codec::wire;
 
+use jbc::ReferenceId;
+
 use crate::cache::ReferenceCache;
-use crate::control::{BusyScope, ControlError, ControlFrame};
+use crate::control::{AckStatus, BusyScope, ControlError, ControlFrame};
 use crate::ingest::{BatchStream, IngestError};
 use crate::obs::{Counter, Gauge, MetricsSnapshot, ServiceMetrics, TraceEvent, TraceKind};
 use crate::pool::{BatchReport, StreamReport};
+use crate::registry::{
+    PinnedReference, ReferenceRegistry, RegistryError, RegistryLoad, DEFAULT_REFERENCE_BUDGET,
+};
 use crate::verdict::{AuditVerdict, FleetSummary};
 use crate::{AuditConfig, AuditJob, BatteryMode, ConfigError, Reference};
 
@@ -151,8 +156,13 @@ struct WorkItem {
     index: usize,
     source: JobSource,
     /// Battery generation this item was submitted under (see
-    /// [`ReferenceCache::set_battery`]).
+    /// [`ReferenceCache::set_battery`]); always `None` for registry
+    /// submissions (a TDRP ships no battery).
     battery: Option<Arc<DetectorBattery>>,
+    /// Registry entry this item audits against, pinned for the batch's
+    /// lifetime (all items of one batch share the `Arc`; the last drop
+    /// unpins). `None` = the service's built-in default reference.
+    reference: Option<Arc<PinnedReference>>,
     /// Ticket-wide cancellation flag: set → skip the audit entirely.
     cancelled: Arc<AtomicBool>,
     /// Residency slot to release after the audit (stream mode only).
@@ -339,6 +349,10 @@ struct Shared {
     /// events — workers, feeders, serve loops, and the TCP front end all
     /// record into this one set (see [`crate::obs::ServiceMetrics`]).
     metrics: ServiceMetrics,
+    /// Wire-registered reference programs (verify-on-load, LRU-evicted);
+    /// the built-in `reference` above is *not* an entry here — v1
+    /// `SubmitBatch` frames and the plain submit paths keep using it.
+    registry: ReferenceRegistry,
 }
 
 /// Releases a claimed residency slot on drop — **including unwind**. If a
@@ -380,6 +394,7 @@ fn worker_main(worker: u64, shared: Arc<Shared>, queue: Arc<WorkQueue>) {
             index,
             source,
             battery,
+            reference,
             cancelled,
             gate,
             sink,
@@ -396,10 +411,29 @@ fn worker_main(worker: u64, shared: Arc<Shared>, queue: Arc<WorkQueue>) {
             drop(slot);
             continue;
         }
-        cache.set_battery(battery);
         shared.metrics.in_flight_jobs.inc();
         let started = Instant::now();
-        let verdict = cache.audit(source.job(), &shared.cfg);
+        let verdict = match &reference {
+            // Registry submission: audit on a warm cache from the pinned
+            // entry's pool. Registered references ship no battery, so
+            // they score TDR-only regardless of the service-wide mode;
+            // threshold and seed derivation come from the service
+            // configuration as usual.
+            Some(pin) => {
+                let mut ref_cache = pin.checkout_cache();
+                let cfg = AuditConfig {
+                    battery: BatteryMode::TdrOnly,
+                    ..shared.cfg
+                };
+                let verdict = ref_cache.audit(source.job(), &cfg);
+                pin.return_cache(ref_cache);
+                verdict
+            }
+            None => {
+                cache.set_battery(battery);
+                cache.audit(source.job(), &shared.cfg)
+            }
+        };
         let elapsed = started.elapsed();
         shared.metrics.in_flight_jobs.dec();
         drop(source);
@@ -434,6 +468,7 @@ pub struct ServiceBuilder {
     reference: Reference,
     cfg: AuditConfig,
     retrain_on_clean: bool,
+    reference_budget: u64,
 }
 
 impl ServiceBuilder {
@@ -507,6 +542,16 @@ impl ServiceBuilder {
         self
     }
 
+    /// Residency budget (bytes of canonical program code) for the
+    /// reference registry — wire-registered programs are LRU-evicted
+    /// when they exceed it (default
+    /// [`DEFAULT_REFERENCE_BUDGET`]).
+    /// The built-in default reference is not charged against it.
+    pub fn reference_budget(mut self, bytes: u64) -> Self {
+        self.reference_budget = bytes;
+        self
+    }
+
     /// Validate the configuration and spawn the worker pool.
     pub fn build(self) -> Result<AuditService, ConfigError> {
         self.cfg.validate()?;
@@ -517,12 +562,15 @@ impl ServiceBuilder {
             return Err(ConfigError::MissingBattery);
         }
         let battery = self.reference.battery.clone();
+        let metrics = ServiceMetrics::new();
+        let registry = ReferenceRegistry::with_service_metrics(self.reference_budget, &metrics);
         let shared = Arc::new(Shared {
             reference: self.reference,
             cfg: self.cfg,
             battery: Mutex::new(battery),
             retrain_on_clean: self.retrain_on_clean,
-            metrics: ServiceMetrics::new(),
+            metrics,
+            registry,
         });
         let queue = Arc::new(WorkQueue::new());
         let workers = (0..self.cfg.workers)
@@ -596,6 +644,7 @@ impl AuditService {
                 ..AuditConfig::default()
             },
             retrain_on_clean: false,
+            reference_budget: DEFAULT_REFERENCE_BUDGET,
         }
     }
 
@@ -658,6 +707,47 @@ impl AuditService {
     /// [`submit_batch`](Self::submit_batch) without the defensive copy —
     /// the jobs are moved into one shared allocation.
     pub fn submit_batch_owned(&self, jobs: Vec<AuditJob>) -> BatchTicket {
+        self.submit_batch_inner(jobs, None)
+    }
+
+    /// Open, verify, and admit a TDRP container into the service's
+    /// reference registry — the in-process twin of the wire
+    /// [`ControlFrame::PutReference`] (`Client::put_reference`).
+    pub fn put_reference(&self, tdrp: &[u8]) -> Result<RegistryLoad, RegistryError> {
+        self.shared.registry.load(tdrp)
+    }
+
+    /// Submit a materialized batch to be audited against the *registered*
+    /// reference `reference` instead of the service's built-in one — the
+    /// in-process twin of a `SubmitBatch` v2 frame. Fails with
+    /// [`RegistryError::Unknown`] if the id is not resident (never loaded
+    /// or evicted); [`put_reference`](Self::put_reference) and resubmit.
+    ///
+    /// Registered references carry no trained battery, so these sessions
+    /// score TDR-only regardless of the service-wide battery mode.
+    pub fn submit_batch_for(
+        &self,
+        jobs: &[AuditJob],
+        reference: ReferenceId,
+    ) -> Result<BatchTicket, RegistryError> {
+        let pin = self
+            .shared
+            .registry
+            .checkout(&reference)
+            .ok_or(RegistryError::Unknown(reference))?;
+        Ok(self.submit_batch_inner(jobs.to_vec(), Some(Arc::new(pin))))
+    }
+
+    /// The service's reference registry (shared with every serve loop).
+    pub fn reference_registry(&self) -> &ReferenceRegistry {
+        &self.shared.registry
+    }
+
+    fn submit_batch_inner(
+        &self,
+        jobs: Vec<AuditJob>,
+        reference: Option<Arc<PinnedReference>>,
+    ) -> BatchTicket {
         let batch_seq = self.shared.metrics.batches_submitted.inc();
         self.shared
             .metrics
@@ -667,8 +757,8 @@ impl AuditService {
             .metrics
             .trace(TraceKind::BatchSubmit, batch_seq, jobs.len() as u64);
         let jobs = Arc::new(jobs);
-        let battery = self.battery();
-        let retrain_traces = self.shared.retrain_on_clean.then(|| {
+        let battery = reference.is_none().then(|| self.battery()).flatten();
+        let retrain_traces = (self.shared.retrain_on_clean && reference.is_none()).then(|| {
             jobs.iter()
                 .map(|j| (j.session_id, j.observed_ipds.clone()))
                 .collect()
@@ -680,6 +770,7 @@ impl AuditService {
                 index,
                 source: JobSource::Shared(Arc::clone(&jobs), index),
                 battery: battery.clone(),
+                reference: reference.clone(),
                 cancelled: Arc::clone(&cancelled),
                 gate: None,
                 sink: sink.clone(),
@@ -721,7 +812,7 @@ impl AuditService {
     where
         R: Read + Send + 'static,
     {
-        self.submit_stream_tenant(reader, LOCAL_TENANT, None)
+        self.submit_stream_tenant(reader, LOCAL_TENANT, None, None)
     }
 
     /// [`submit_stream`](Self::submit_stream) with work items tagged for
@@ -732,12 +823,13 @@ impl AuditService {
         reader: R,
         tenant: u64,
         handles: Option<&TenantMetricHandles>,
+        reference: Option<Arc<PinnedReference>>,
     ) -> Result<BatchTicket, IngestError>
     where
         R: Read + Send + 'static,
     {
         let sessions = BatchStream::new(io::BufReader::new(reader))?;
-        Ok(self.submit_session_iter_tenant(sessions, tenant, handles))
+        Ok(self.submit_session_iter_tenant(sessions, tenant, handles, reference))
     }
 
     /// Submit any pull-based session source on a feeder thread.
@@ -746,7 +838,7 @@ impl AuditService {
         I: IntoIterator<Item = Result<AuditJob, IngestError>> + Send + 'static,
         I::IntoIter: Send,
     {
-        self.submit_session_iter_tenant(sessions, LOCAL_TENANT, None)
+        self.submit_session_iter_tenant(sessions, LOCAL_TENANT, None, None)
     }
 
     fn submit_session_iter_tenant<I>(
@@ -754,6 +846,7 @@ impl AuditService {
         sessions: I,
         tenant: u64,
         handles: Option<&TenantMetricHandles>,
+        reference: Option<Arc<PinnedReference>>,
     ) -> BatchTicket
     where
         I: IntoIterator<Item = Result<AuditJob, IngestError>> + Send + 'static,
@@ -767,13 +860,18 @@ impl AuditService {
             .trace(TraceKind::BatchSubmit, batch_seq, 0);
         let (sink, rx) = mpsc::channel();
         let cancelled = Arc::new(AtomicBool::new(false));
+        let default_reference = reference.is_none();
         let ctx = FeedContext {
             queue: Arc::clone(&self.queue),
             sink,
             cancelled: Arc::clone(&cancelled),
-            battery: self.battery(),
+            battery: default_reference.then(|| self.battery()).flatten(),
+            reference,
             high_water: self.shared.cfg.high_water,
-            retrain: self.shared.retrain_on_clean,
+            // Cross-batch retraining feeds the *default* battery; a
+            // registry batch's clean traces belong to a different program
+            // and must not be absorbed into it.
+            retrain: self.shared.retrain_on_clean && default_reference,
             queue_depth: Arc::clone(&self.shared.metrics.queue_depth),
             sessions_submitted: Arc::clone(&self.shared.metrics.sessions_submitted),
             tenant,
@@ -817,6 +915,7 @@ impl AuditService {
             sink,
             cancelled: Arc::clone(&cancelled),
             battery: self.battery(),
+            reference: None,
             high_water: self.shared.cfg.high_water,
             retrain: self.shared.retrain_on_clean,
             queue_depth: Arc::clone(&self.shared.metrics.queue_depth),
@@ -912,27 +1011,101 @@ impl AuditService {
             frames_seen += 1;
             metrics.frames_in.inc();
             let result = match frame {
-                ControlFrame::SubmitBatch { batch_id, tdrb } => {
+                ControlFrame::SubmitBatch {
+                    batch_id,
+                    tdrb,
+                    reference,
+                } => {
                     metrics.frames_in_submit_batch.inc();
-                    if let Some(refusal) = quota_refusal(quota, admitted_batches, &tdrb, batch_id) {
-                        metrics.quota_rejections.inc();
-                        if let Some(h) = &handles {
-                            h.rejected.inc();
-                        }
-                        metrics.trace(TraceKind::QuotaReject, tenant, batch_id);
-                        let write = refusal
+                    // Resolve the reference before admitting: an unknown
+                    // id is answered in-band (the client surfaces it as
+                    // `ControlError::UnknownReference`) and, like a quota
+                    // refusal, consumes no quota.
+                    let resolved = match reference {
+                        None => Ok(None),
+                        Some(id) => match self.shared.registry.checkout(&id) {
+                            Some(pin) => Ok(Some(Arc::new(pin))),
+                            None => Err(id),
+                        },
+                    };
+                    match resolved {
+                        Err(id) => {
+                            let write = ControlFrame::ReferenceAck {
+                                put_id: batch_id,
+                                reference: id,
+                                status: AckStatus::Unknown,
+                                resident_bytes: self.shared.registry.resident_bytes(),
+                            }
                             .write_to(&mut writer)
                             .and_then(|()| writer.flush().map_err(ControlError::from_io));
-                        if write.is_ok() {
-                            metrics.frames_out.inc();
-                            metrics.frames_out_busy.inc();
+                            if write.is_ok() {
+                                metrics.frames_out.inc();
+                                metrics.frames_out_reference_ack.inc();
+                            }
+                            write
                         }
-                        write
-                    } else {
-                        admitted_batches += 1;
-                        self.serve_batch(batch_id, tdrb, &mut writer, tenant, handles.as_ref())
-                            .and_then(|()| writer.flush().map_err(ControlError::from_io))
+                        Ok(pin) => {
+                            if let Some(refusal) =
+                                quota_refusal(quota, admitted_batches, &tdrb, batch_id)
+                            {
+                                metrics.quota_rejections.inc();
+                                if let Some(h) = &handles {
+                                    h.rejected.inc();
+                                }
+                                metrics.trace(TraceKind::QuotaReject, tenant, batch_id);
+                                let write = refusal
+                                    .write_to(&mut writer)
+                                    .and_then(|()| writer.flush().map_err(ControlError::from_io));
+                                if write.is_ok() {
+                                    metrics.frames_out.inc();
+                                    metrics.frames_out_busy.inc();
+                                }
+                                write
+                            } else {
+                                admitted_batches += 1;
+                                self.serve_batch(
+                                    batch_id,
+                                    tdrb,
+                                    pin,
+                                    &mut writer,
+                                    tenant,
+                                    handles.as_ref(),
+                                )
+                                .and_then(|()| writer.flush().map_err(ControlError::from_io))
+                            }
+                        }
                     }
+                }
+                ControlFrame::PutReference { put_id, tdrp } => {
+                    metrics.frames_in_put_reference.inc();
+                    // Verify/CRC failures are *in-band* rejections: the
+                    // connection — and the daemon — keep serving.
+                    let ack = match self.shared.registry.load(&tdrp) {
+                        Ok(load) => ControlFrame::ReferenceAck {
+                            put_id,
+                            reference: load.id,
+                            status: if load.newly_loaded {
+                                AckStatus::Loaded
+                            } else {
+                                AckStatus::AlreadyResident
+                            },
+                            resident_bytes: load.resident_bytes,
+                        },
+                        Err(e) => ControlFrame::ReferenceAck {
+                            put_id,
+                            reference: ReferenceId([0u8; 32]),
+                            status: AckStatus::Rejected(e.to_string()),
+                            resident_bytes: self.shared.registry.resident_bytes(),
+                        },
+                    };
+                    let write = ack
+                        .write_to(&mut writer)
+                        .and_then(|()| writer.flush().map_err(ControlError::from_io));
+                    if write.is_ok() {
+                        metrics.frames_out.inc();
+                        metrics.frames_out_reference_ack.inc();
+                    }
+                    write
                 }
                 ControlFrame::StatsRequest => {
                     metrics.frames_in_stats_request.inc();
@@ -975,24 +1148,26 @@ impl AuditService {
         &self,
         batch_id: u64,
         tdrb: Vec<u8>,
+        reference: Option<Arc<PinnedReference>>,
         writer: &mut W,
         tenant: u64,
         handles: Option<&TenantMetricHandles>,
     ) -> Result<(), ControlError> {
         let metrics = &self.shared.metrics;
-        let mut ticket = match self.submit_stream_tenant(io::Cursor::new(tdrb), tenant, handles) {
-            Ok(ticket) => ticket,
-            Err(e) => {
-                metrics.batch_errors.inc();
-                metrics.frames_out.inc();
-                metrics.frames_out_error.inc();
-                return ControlFrame::Error {
-                    batch_id,
-                    message: e.to_string(),
+        let mut ticket =
+            match self.submit_stream_tenant(io::Cursor::new(tdrb), tenant, handles, reference) {
+                Ok(ticket) => ticket,
+                Err(e) => {
+                    metrics.batch_errors.inc();
+                    metrics.frames_out.inc();
+                    metrics.frames_out_error.inc();
+                    return ControlFrame::Error {
+                        batch_id,
+                        message: e.to_string(),
+                    }
+                    .write_to(writer);
                 }
-                .write_to(writer);
-            }
-        };
+            };
         // Re-order scheduling-dependent arrivals into submission order so
         // the response byte stream is deterministic.
         let mut pending: std::collections::BTreeMap<usize, AuditVerdict> =
@@ -1121,6 +1296,9 @@ struct FeedContext {
     sink: mpsc::Sender<(usize, AuditVerdict)>,
     cancelled: Arc<AtomicBool>,
     battery: Option<Arc<DetectorBattery>>,
+    /// Pinned registry entry the whole submission audits against
+    /// (`None` = default reference).
+    reference: Option<Arc<PinnedReference>>,
     high_water: usize,
     retrain: bool,
     /// Metric handles (not the whole set: the feeder may outlive the
@@ -1171,6 +1349,7 @@ where
                     index: submitted,
                     source: JobSource::Owned(Box::new(job)),
                     battery: ctx.battery.clone(),
+                    reference: ctx.reference.clone(),
                     cancelled: Arc::clone(&ctx.cancelled),
                     gate: Some(Arc::clone(&gate)),
                     sink: ctx.sink.clone(),
@@ -1879,9 +2058,13 @@ mod tests {
         ControlFrame::StatsRequest
             .write_to(&mut requests)
             .expect("encode");
-        ControlFrame::SubmitBatch { batch_id: 1, tdrb }
-            .write_to(&mut requests)
-            .expect("encode");
+        ControlFrame::SubmitBatch {
+            batch_id: 1,
+            tdrb,
+            reference: None,
+        }
+        .write_to(&mut requests)
+        .expect("encode");
         ControlFrame::StatsRequest
             .write_to(&mut requests)
             .expect("encode");
@@ -2011,12 +2194,14 @@ mod tests {
         ControlFrame::SubmitBatch {
             batch_id: 1,
             tdrb: bad,
+            reference: None,
         }
         .write_to(&mut requests)
         .expect("encode");
         ControlFrame::SubmitBatch {
             batch_id: 2,
             tdrb: good,
+            reference: None,
         }
         .write_to(&mut requests)
         .expect("encode");
@@ -2061,6 +2246,7 @@ mod tests {
             index,
             source: JobSource::Owned(Box::new(job.clone())),
             battery: None,
+            reference: None,
             cancelled: Arc::new(AtomicBool::new(false)),
             gate: None,
             sink: sink.clone(),
@@ -2131,9 +2317,13 @@ mod tests {
             (3, small.clone()),
             (4, small.clone()),
         ] {
-            ControlFrame::SubmitBatch { batch_id, tdrb }
-                .write_to(&mut requests)
-                .expect("encode");
+            ControlFrame::SubmitBatch {
+                batch_id,
+                tdrb,
+                reference: None,
+            }
+            .write_to(&mut requests)
+            .expect("encode");
         }
         ControlFrame::Shutdown
             .write_to(&mut requests)

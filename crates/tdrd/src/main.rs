@@ -6,7 +6,8 @@
 //! tdrd [--bind ADDR] [--workers N] [--high-water W] [--threshold T]
 //!      [--battery FILE] [--retrain] [--idle-timeout SECS]
 //!      [--stats-interval SECS] [--max-conns N]
-//!      [--tenant-quota SESSIONS,BATCHES]
+//!      [--tenant-quota SESSIONS,BATCHES] [--reference-dir DIR]
+//!      [--reference-budget BYTES]
 //!      Serve. Prints "tdrd: listening on ADDR" once the listener is up
 //!      (bind to port 0 for an ephemeral port and parse that line).
 //!      `--idle-timeout` closes connections whose peer goes silent for
@@ -19,28 +20,46 @@
 //!      may submit — at most SESSIONS declared sessions per batch and
 //!      BATCHES admitted batches per connection; over-quota submissions
 //!      get an in-band `Busy` and the connection survives.
+//!      `--reference-dir` preloads every `*.tdrp` container in DIR into
+//!      the reference registry at boot (verify-on-load; a rejected file
+//!      is a fatal configuration error). `--reference-budget` bounds the
+//!      registry's resident canonical program bytes (LRU eviction of
+//!      idle references past it).
 //!
 //! tdrd --client ADDR [--sessions N] [--batches M] [--threshold T]
 //!      [--stats]
-//!      Smoke-test client: record N clean sessions of the built-in
-//!      reference workload, submit them as M TDRB batches over TCP, and
-//!      verify the returned verdicts bit-identical against an in-process
-//!      audit of the same jobs (pass the daemon's `--threshold` here too
-//!      if it runs a non-default one, so the baseline's flags agree).
+//!      Smoke-test client: seal the built-in reference workload as a TDRP
+//!      container, register it with `PutReference`, record N clean
+//!      sessions, submit them as M TDRB batches over TCP *against the
+//!      registered reference id* (SubmitBatch v2), and verify the
+//!      returned verdicts bit-identical against an in-process audit of
+//!      the same jobs (pass the daemon's `--threshold` here too if it
+//!      runs a non-default one, so the baseline's flags agree).
 //!      `--stats` additionally fetches a TDRC `Stats` snapshot after the
-//!      last batch and cross-checks the daemon's counters against the
-//!      client's own tally (assumes this client is the daemon's only
-//!      traffic, as in the CI smoke run). Exits nonzero on any mismatch.
+//!      last batch and cross-checks the daemon's counters — including the
+//!      registry counters — against the client's own tally (assumes this
+//!      client is the daemon's only traffic, as in the CI smoke run).
+//!      Exits nonzero on any mismatch.
+//!
+//! tdrd --export-references DIR
+//!      Seal the built-in echo reference plus the workloads crate's
+//!      registry artifacts (SciMark FFT, the NFS server, a corpus
+//!      program) as `*.tdrp` files under DIR, printing each file's
+//!      reference id. This is how CI provisions `--reference-dir`.
 //! ```
 //!
-//! The daemon audits suspects against a *known-good reference binary*.
-//! Reference binaries are code, not data — this demonstrator compiles one
-//! in (the echo service the bench suite uses); a production deployment
-//! links its own known-good program the same way and keeps everything
-//! else. The `--battery FILE` flag loads a trained
+//! The daemon audits suspects against *known-good reference programs*.
+//! The built-in echo service remains the default reference (v1
+//! `SubmitBatch` frames audit against it, unchanged), and since the
+//! reference registry landed, deployments additionally ship programs
+//! over the wire as sealed, hash-addressed TDRP containers — verified
+//! on load, cached warm, LRU-evicted under `--reference-budget`. The
+//! `--battery FILE` flag loads a trained
 //! [`DetectorBattery`](detectors::DetectorBattery) from its JSON form and
-//! enables full five-detector scoring; `--retrain` additionally folds
-//! each batch's clean traces back into the battery across batches.
+//! enables full five-detector scoring for the default reference;
+//! `--retrain` additionally folds each batch's clean traces back into
+//! the battery across batches. Registered references score TDR-only (a
+//! TDRP ships no battery).
 //!
 //! Shutdown semantics: a TDRC `Shutdown` frame ends one *connection*;
 //! the daemon process is stopped by the operator (SIGTERM — connections
@@ -137,6 +156,9 @@ struct Args {
     idle_timeout: Option<f64>,
     max_conns: Option<usize>,
     tenant_quota: Option<TenantQuota>,
+    reference_dir: Option<String>,
+    reference_budget: Option<u64>,
+    export_references: Option<String>,
     /// Flag names seen on the command line, for per-mode validation: a
     /// flag the selected mode ignores is a configuration mistake the
     /// operator must hear about, not a silent no-op.
@@ -147,8 +169,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: tdrd [--bind ADDR] [--workers N] [--high-water W] [--threshold T] \
          [--battery FILE] [--retrain] [--idle-timeout SECS] [--stats-interval SECS] \
-         [--max-conns N] [--tenant-quota SESSIONS,BATCHES]\n       \
-         tdrd --client ADDR [--sessions N] [--batches M] [--threshold T] [--stats]"
+         [--max-conns N] [--tenant-quota SESSIONS,BATCHES] [--reference-dir DIR] \
+         [--reference-budget BYTES]\n       \
+         tdrd --client ADDR [--sessions N] [--batches M] [--threshold T] [--stats]\n       \
+         tdrd --export-references DIR"
     );
     exit(2)
 }
@@ -169,6 +193,9 @@ fn parse_args() -> Args {
         idle_timeout: None,
         max_conns: None,
         tenant_quota: None,
+        reference_dir: None,
+        reference_budget: None,
+        export_references: None,
         seen: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -203,6 +230,14 @@ fn parse_args() -> Args {
             "--tenant-quota" => {
                 args.tenant_quota = Some(parse_quota(&value("--tenant-quota"), "--tenant-quota"))
             }
+            "--reference-dir" => args.reference_dir = Some(value("--reference-dir")),
+            "--reference-budget" => {
+                args.reference_budget = Some(parse_bytes(
+                    &value("--reference-budget"),
+                    "--reference-budget",
+                ))
+            }
+            "--export-references" => args.export_references = Some(value("--export-references")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -225,6 +260,9 @@ fn parse_args() -> Args {
                 "--idle-timeout" => "--idle-timeout",
                 "--max-conns" => "--max-conns",
                 "--tenant-quota" => "--tenant-quota",
+                "--reference-dir" => "--reference-dir",
+                "--reference-budget" => "--reference-budget",
+                "--export-references" => "--export-references",
                 _ => unreachable!("unknown flags exit above"),
             });
         }
@@ -232,28 +270,50 @@ fn parse_args() -> Args {
     // Reject flags the selected mode would silently ignore: e.g.
     // `--client ... --battery f.json` would smoke-test a TDR-only
     // baseline while the operator believes battery scoring was checked.
-    let inapplicable: &[&str] = if args.client.is_some() {
-        &[
-            "--bind",
-            "--workers",
-            "--high-water",
-            "--battery",
-            "--retrain",
-            "--idle-timeout",
-            "--stats-interval",
-            "--max-conns",
-            "--tenant-quota",
-        ]
+    let (mode, inapplicable): (&str, &[&str]) = if args.export_references.is_some() {
+        (
+            "export",
+            &[
+                "--bind",
+                "--workers",
+                "--high-water",
+                "--threshold",
+                "--battery",
+                "--retrain",
+                "--client",
+                "--sessions",
+                "--batches",
+                "--stats",
+                "--stats-interval",
+                "--idle-timeout",
+                "--max-conns",
+                "--tenant-quota",
+                "--reference-dir",
+                "--reference-budget",
+            ],
+        )
+    } else if args.client.is_some() {
+        (
+            "client",
+            &[
+                "--bind",
+                "--workers",
+                "--high-water",
+                "--battery",
+                "--retrain",
+                "--idle-timeout",
+                "--stats-interval",
+                "--max-conns",
+                "--tenant-quota",
+                "--reference-dir",
+                "--reference-budget",
+            ],
+        )
     } else {
-        &["--sessions", "--batches", "--stats"]
+        ("serve", &["--sessions", "--batches", "--stats"])
     };
     for flag in inapplicable {
         if args.seen.contains(flag) {
-            let mode = if args.client.is_some() {
-                "client"
-            } else {
-                "serve"
-            };
             eprintln!("{flag} does not apply in {mode} mode");
             usage();
         }
@@ -288,6 +348,19 @@ fn parse_quota(s: &str, name: &str) -> TenantQuota {
     }
 }
 
+/// Parse `--reference-budget BYTES` (a positive byte count).
+fn parse_bytes(s: &str, name: &str) -> u64 {
+    let bytes: u64 = s.parse().unwrap_or_else(|_| {
+        eprintln!("{name} needs a byte count, got {s:?}");
+        exit(2)
+    });
+    if bytes == 0 {
+        eprintln!("{name} needs a positive byte count, got {s:?}");
+        exit(2);
+    }
+    bytes
+}
+
 /// Parse a positive seconds value (fractional allowed: `0.5`).
 fn parse_secs(s: &str, name: &str) -> f64 {
     let secs: f64 = s.parse().unwrap_or_else(|_| {
@@ -303,10 +376,48 @@ fn parse_secs(s: &str, name: &str) -> f64 {
 
 fn main() {
     let args = parse_args();
+    if let Some(dir) = args.export_references.clone() {
+        run_export(&dir);
+        return;
+    }
     match args.client.clone() {
         Some(addr) => run_client(&addr, &args),
         None => run_server(&args),
     }
+}
+
+/// `--export-references DIR`: seal the daemon's built-in echo reference
+/// plus the workloads crate's registry artifacts as `*.tdrp` files, the
+/// set a CI or fleet bring-up feeds back through `--reference-dir`.
+fn run_export(dir: &str) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+        eprintln!("tdrd: cannot create {dir}: {e}");
+        exit(1)
+    });
+    let mut programs = vec![("echo".to_string(), echo_program(ROUNDS))];
+    programs.extend(
+        workloads::artifacts::registry_artifacts()
+            .into_iter()
+            .map(|(name, program)| (name.to_string(), program)),
+    );
+    for (name, program) in &programs {
+        let tdrp = jbc::container::seal(program);
+        let id = jbc::container::reference_id(program);
+        let path = std::path::Path::new(dir).join(format!("{name}.tdrp"));
+        std::fs::write(&path, &tdrp).unwrap_or_else(|e| {
+            eprintln!("tdrd: cannot write {}: {e}", path.display());
+            exit(1)
+        });
+        println!(
+            "tdrd: exported {name}.tdrp id={} ({} bytes)",
+            id.to_hex(),
+            tdrp.len()
+        );
+    }
+    println!(
+        "tdrd: exported {} reference containers to {dir}",
+        programs.len()
+    );
 }
 
 fn run_server(args: &Args) -> ! {
@@ -341,10 +452,49 @@ fn run_server(args: &Args) -> ! {
     if let Some(t) = args.threshold {
         builder = builder.threshold(t);
     }
+    if let Some(bytes) = args.reference_budget {
+        builder = builder.reference_budget(bytes);
+    }
     let service = builder.build().unwrap_or_else(|e| {
         eprintln!("tdrd: invalid configuration: {e}");
         exit(2)
     });
+
+    // Preload `--reference-dir` before the listener exists: a daemon that
+    // prints "listening" has every configured reference resident, and a
+    // container that fails verify-on-load is a fatal configuration error,
+    // not a runtime surprise.
+    if let Some(dir) = &args.reference_dir {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| {
+                eprintln!("tdrd: cannot read --reference-dir {dir}: {e}");
+                exit(1)
+            })
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "tdrp"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            eprintln!("tdrd: --reference-dir {dir} holds no *.tdrp files");
+            exit(1);
+        }
+        for path in &paths {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("tdrd: cannot read {}: {e}", path.display());
+                exit(1)
+            });
+            let load = service.put_reference(&bytes).unwrap_or_else(|e| {
+                eprintln!("tdrd: {} was refused: {e}", path.display());
+                exit(1)
+            });
+            eprintln!(
+                "tdrd: loaded reference {} id={} ({} bytes resident)",
+                path.display(),
+                load.id.to_hex(),
+                load.resident_bytes
+            );
+        }
+    }
 
     let listener = TcpListener::bind(&args.bind).unwrap_or_else(|e| {
         eprintln!("tdrd: cannot bind {}: {e}", args.bind);
@@ -430,6 +580,17 @@ fn check_stats<T: std::io::Read + std::io::Write>(client: &mut Client<T>, args: 
     );
     check("conn_active", snap.gauge("conn_active"), 1);
     check("queue_depth", snap.gauge("queue_depth"), 0);
+    // The smoke run registers exactly one reference and audits every
+    // batch against it, so the registry plane is fully determined too.
+    check("registry_loads", snap.counter("registry_loads"), 1);
+    check(
+        "registry_hits",
+        snap.counter("registry_hits"),
+        args.batches as u64,
+    );
+    check("registry_misses", snap.counter("registry_misses"), 0);
+    check("registry_evictions", snap.counter("registry_evictions"), 0);
+    check("registry_references", snap.gauge("registry_references"), 1);
     if bad > 0 {
         eprintln!("tdrd client: {bad} stats counters disagree with the client tally");
         exit(1);
@@ -449,6 +610,38 @@ fn run_client(addr: &str, args: &Args) {
     });
     let mut client = Client::new(stream);
 
+    // Register the reference program over the wire and audit against the
+    // returned id (SubmitBatch v2) — the smoke test exercises the
+    // registry path end to end, not the compiled-in default.
+    let program = echo_program(ROUNDS);
+    let expected_id = jbc::container::reference_id(&program);
+    let put = client
+        .put_reference(0, jbc::container::seal(&program))
+        .unwrap_or_else(|e| {
+            eprintln!("tdrd client: PutReference failed: {e}");
+            exit(1)
+        });
+    if put.reference != expected_id {
+        eprintln!(
+            "tdrd client: daemon admitted reference {} but the sealed program hashes to {}",
+            put.reference.to_hex(),
+            expected_id.to_hex()
+        );
+        exit(1);
+    }
+    match &put.status {
+        sanity_tdr::AckStatus::Loaded | sanity_tdr::AckStatus::AlreadyResident => {}
+        other => {
+            eprintln!("tdrd client: PutReference not admitted: {other:?}");
+            exit(1);
+        }
+    }
+    println!(
+        "registered reference {} ({} bytes resident)",
+        expected_id.to_hex(),
+        put.resident_bytes
+    );
+
     // The in-process baseline: verdict scores are independent of worker
     // count and transport, so any mismatch indicates daemon corruption.
     // The flagging *threshold* is daemon configuration, though — when
@@ -466,10 +659,12 @@ fn run_client(addr: &str, args: &Args) {
             .collect();
         let local = sanity.audit_batch(&jobs, &cfg);
         let tdrb = ingest::encode_batch(&jobs);
-        let outcome = client.submit_batch(b, tdrb).unwrap_or_else(|e| {
-            eprintln!("tdrd client: batch {b} protocol failure: {e}");
-            exit(1)
-        });
+        let outcome = client
+            .submit_batch_for(b, tdrb, expected_id)
+            .unwrap_or_else(|e| {
+                eprintln!("tdrd client: batch {b} protocol failure: {e}");
+                exit(1)
+            });
         let summary = match outcome.result {
             Ok(s) => s,
             Err(msg) => {

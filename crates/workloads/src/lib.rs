@@ -17,6 +17,7 @@
 //! sizes that keep whole experiment sweeps tractable, and the harness's
 //! `--full` mode scales them up.
 
+pub mod artifacts;
 pub mod bootserve;
 pub mod corpus;
 pub mod microbench;

@@ -258,6 +258,7 @@ fn hostile_fleet_cannot_starve_an_honest_tenant() {
             ControlFrame::SubmitBatch {
                 batch_id: 4000,
                 tdrb: small,
+                reference: None,
             }
             .write_to(&mut request)
             .expect("encode");

@@ -92,6 +92,7 @@ fn tcp_round_trip_is_byte_identical_to_duplex_and_in_process() {
     ControlFrame::SubmitBatch {
         batch_id: 7,
         tdrb: bytes,
+        reference: None,
     }
     .write_to(&mut request)
     .expect("encode");
@@ -455,6 +456,7 @@ fn slow_loris_and_mid_frame_stalls_are_isolated_per_connection() {
     ControlFrame::SubmitBatch {
         batch_id: 1,
         tdrb: bytes.clone(),
+        reference: None,
     }
     .write_to(&mut request)
     .expect("encode");
@@ -547,6 +549,7 @@ fn connection_level_garbage_never_kills_the_daemon() {
     ControlFrame::SubmitBatch {
         batch_id: 3,
         tdrb: bytes.clone(),
+        reference: None,
     }
     .write_to(&mut request)
     .expect("encode");

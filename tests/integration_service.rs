@@ -229,6 +229,7 @@ fn daemon_over_duplex_audits_a_tdrb_batch_end_to_end() {
     ControlFrame::SubmitBatch {
         batch_id: 77,
         tdrb: bytes,
+        reference: None,
     }
     .write_to(&mut client)
     .expect("submit");
