@@ -350,3 +350,283 @@ pub fn run_tcp(opts: &Options) {
     );
     opts.write("BENCH_daemon_tcp.json", &json);
 }
+
+/// Canonical byte encoding of a merged summary. The topology-dependent
+/// `Summary` frame fields (workers, peak resident) are pinned to zero so
+/// the comparison covers exactly the content inside the determinism
+/// boundary — verdicts, scores, and fleet aggregates.
+fn summary_bytes(summary: &FleetSummary) -> Vec<u8> {
+    ControlFrame::Summary {
+        batch_id: 0,
+        workers: 0,
+        peak_resident: 0,
+        summary: summary.clone(),
+    }
+    .encode()
+}
+
+/// Echo server with a deterministic compute loop between receive and
+/// send. The coordinator sweep uses this instead of the one-request
+/// [`echo_program`]: per-session replay cost must dominate routing
+/// overhead for the fleet-size scaling curve to measure the backends
+/// rather than the coordinator's frame forwarding.
+fn busy_echo_program(spin: i32) -> jbc::Program {
+    let mut m = Module::new("BusyEcho");
+    m.native("wait_packet", &[], None);
+    m.native("net_recv", &[HTy::Arr(ElemTy::I8)], Some(HTy::I32));
+    m.native("net_send", &[HTy::Arr(ElemTy::I8), HTy::I32], None);
+    m.func(fn_void(
+        "main",
+        vec![],
+        vec![
+            let_("buf", newarr(ElemTy::I8, i(64))),
+            expr(native("wait_packet", vec![])),
+            let_("len", native("net_recv", vec![var("buf")])),
+            let_("acc", i(1)),
+            for_(
+                "k",
+                i(0),
+                i(spin),
+                vec![set(
+                    "acc",
+                    bxor(mul(var("acc"), i(31)), add(var("k"), var("len"))),
+                )],
+            ),
+            // Fold the checksum into the reply so the loop cannot be
+            // dead-code-eliminated by any future optimizer pass.
+            set_idx(var("buf"), i(0), band(var("acc"), i(127))),
+            expr(native("net_send", vec![var("buf"), var("len")])),
+        ],
+    ));
+    m.compile().expect("compile")
+}
+
+/// Scripted backend that accepts every coordinator dial, reads exactly
+/// one frame, and hangs up: a backend that dies mid-batch, every time.
+fn dying_backend() -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind dying backend");
+    let addr = listener.local_addr().expect("dying backend addr");
+    std::thread::spawn(move || {
+        while let Ok((mut stream, _)) = listener.accept() {
+            let _ = ControlFrame::read_from(&mut stream);
+        }
+    });
+    addr
+}
+
+/// `repro daemon --tcp --backends N`: a TDRC coordinator sharding one
+/// client's batches across backend-daemon fleets of increasing size.
+/// Every merged summary must stay byte-identical to the single-daemon
+/// in-process audit at every fleet size — including the final cell,
+/// where one backend dies mid-batch and its shard is retried on the
+/// survivor. `BENCH_coordinator.json` records sessions/s per fleet size
+/// plus the killed-backend cell.
+pub fn run_coordinator(opts: &Options) {
+    let max = opts.backends;
+    println!("== coordinator: throughput vs backend fleet size ==\n");
+    let per_batch = opts.runs_or(32, 96);
+    let sanity = Sanity::new(busy_echo_program(60_000));
+    let t0 = Instant::now();
+    let batches = build_batches(&sanity, TCP_BATCHES_PER_CONN, per_batch);
+    println!(
+        "recorded {} batches of {per_batch} echo sessions in {:.1}s",
+        batches.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let cfg = AuditConfig {
+        workers: WORKERS,
+        ..AuditConfig::default()
+    };
+    // The single-daemon reference bytes every merged summary must match.
+    let expected: Vec<Vec<u8>> = batches
+        .iter()
+        .map(|bytes| {
+            let audited = sanity.audit_stream(&bytes[..], &cfg).expect("audits");
+            summary_bytes(&audited.summary)
+        })
+        .collect();
+    let sessions = (batches.len() * per_batch) as f64;
+
+    // Fleet sizes: powers of two up to the requested maximum.
+    let mut sizes = Vec::new();
+    let mut n = 1usize;
+    while n < max {
+        sizes.push(n);
+        n *= 2;
+    }
+    sizes.push(max);
+
+    // Per fleet size: (fleet, wall_ms, wall sessions/s, deterministic
+    // makespan ms, modeled sessions/s). Wall clock measures this host —
+    // on a single-core runner every backend shares one CPU and the wall
+    // curve stays flat. The makespan is the fleet quantity: each backend
+    // counts the deterministic virtual cycles its shard replays
+    // (`replayed_cycles`), and a fleet of independent
+    // hosts finishes when its busiest member does, i.e. after
+    // max-over-backends cycles. That maximum shrinks ~1/N under the
+    // session-id shard function, so modeled sessions/s scales
+    // near-linearly regardless of the runner's core count.
+    let mut results: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
+    for &fleet in &sizes {
+        let backends: Vec<_> = (0..fleet)
+            .map(|_| {
+                let service = sanity
+                    .audit_service()
+                    .workers(WORKERS)
+                    .build()
+                    .expect("valid service configuration");
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind backend");
+                serve_tcp(service, listener).expect("backend starts")
+            })
+            .collect();
+        let addrs: Vec<String> = backends
+            .iter()
+            .map(|d| d.local_addr().to_string())
+            .collect();
+        let coordinator = sanity_tdr::serve_coordinator(
+            TcpListener::bind("127.0.0.1:0").expect("bind coordinator"),
+            addrs,
+        )
+        .expect("coordinator starts");
+
+        let t = Instant::now();
+        let stream = TcpStream::connect(coordinator.local_addr()).expect("connect");
+        let mut client = Client::new(stream);
+        for (b, bytes) in batches.iter().enumerate() {
+            let outcome = client
+                .submit_batch(b as u64, bytes.clone())
+                .expect("protocol clean");
+            let summary = outcome.result.expect("batch audits");
+            assert_eq!(
+                summary_bytes(&summary.summary),
+                expected[b],
+                "merged summary must be byte-identical to the single-daemon audit"
+            );
+        }
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Routing counters over the pinned Stats plane: every session
+        // routed exactly once, and a healthy fleet never retries.
+        let snap = client.stats().expect("stats over TCP");
+        assert_eq!(snap.counter("coord_batches_routed"), batches.len() as u64);
+        assert_eq!(snap.counter("coord_sessions_routed"), sessions as u64);
+        assert_eq!(
+            snap.counter("coord_retries"),
+            0,
+            "healthy fleet: no retries"
+        );
+        assert_eq!(snap.counter("coord_backend_failures"), 0);
+        client.shutdown().expect("connection shutdown acked");
+
+        let report = coordinator.shutdown();
+        assert_eq!(report.connection_errors, 0, "no connection may error");
+        let mut audited = 0u64;
+        let mut max_cycles = 0u64;
+        for daemon in backends {
+            let report = daemon.shutdown();
+            audited += report.service.sessions_audited();
+            max_cycles = max_cycles.max(report.snapshot.counter("replayed_cycles"));
+            report.service.shutdown();
+        }
+        assert_eq!(
+            audited, sessions as u64,
+            "the fleet audits every session exactly once"
+        );
+
+        let throughput = sessions / (wall_ms / 1e3);
+        let makespan_ms = super::cycles_to_ms(max_cycles);
+        let modeled = sessions / (makespan_ms / 1e3);
+        println!(
+            "  {fleet} backend(s): {wall_ms:.1} ms wall ({throughput:.0} sessions/s), \
+             deterministic makespan {makespan_ms:.1} ms ({modeled:.0} sessions/s)"
+        );
+        results.push((fleet, wall_ms, throughput, makespan_ms, modeled));
+    }
+
+    // Killed-backend cell: backend 0 accepts the dial, reads the first
+    // frame of every connection, and hangs up. Its shard must be retried
+    // on the survivor without changing a byte of the merged summary.
+    let survivor = {
+        let service = sanity
+            .audit_service()
+            .workers(WORKERS)
+            .build()
+            .expect("valid service configuration");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind backend");
+        serve_tcp(service, listener).expect("backend starts")
+    };
+    let dying = dying_backend();
+    let coordinator = sanity_tdr::serve_coordinator(
+        TcpListener::bind("127.0.0.1:0").expect("bind coordinator"),
+        vec![dying.to_string(), survivor.local_addr().to_string()],
+    )
+    .expect("coordinator starts");
+
+    let t = Instant::now();
+    let stream = TcpStream::connect(coordinator.local_addr()).expect("connect");
+    let mut client = Client::new(stream);
+    for (b, bytes) in batches.iter().enumerate() {
+        let outcome = client
+            .submit_batch(b as u64, bytes.clone())
+            .expect("protocol clean");
+        let summary = outcome
+            .result
+            .expect("survivor takes the dead backend's shard");
+        assert_eq!(
+            summary_bytes(&summary.summary),
+            expected[b],
+            "retried shard must not change a byte of the merged summary"
+        );
+    }
+    let killed_wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let snap = client.stats().expect("stats over TCP");
+    let retries = snap.counter("coord_retries");
+    assert!(retries >= 1, "the dead backend's shard must be retried");
+    assert!(snap.counter("coord_backend_failures") >= 1);
+    client.shutdown().expect("connection shutdown acked");
+    let report = coordinator.shutdown();
+    assert_eq!(report.connection_errors, 0, "no connection may error");
+    let survivor_report = survivor.shutdown();
+    assert_eq!(
+        survivor_report.service.sessions_audited(),
+        sessions as u64,
+        "the survivor ends up auditing the whole load"
+    );
+    survivor_report.service.shutdown();
+    let killed_throughput = sessions / (killed_wall_ms / 1e3);
+    println!(
+        "  killed-backend cell (fleet of 2, one dead): {killed_wall_ms:.1} ms wall, \
+         {killed_throughput:.0} sessions/s, {retries} retried shard submissions"
+    );
+
+    println!("\n(all merged summaries byte-identical to the single-daemon audit)");
+
+    // The scaling claim, asserted: the deterministic makespan must shrink
+    // near-linearly with fleet size. 0.7 leaves room for the uneven last
+    // shard when the fleet size does not divide the session count.
+    let base_makespan = results[0].3;
+    let mut rows = String::new();
+    for (fleet, wall_ms, throughput, makespan_ms, modeled) in &results {
+        let speedup = base_makespan / makespan_ms;
+        assert!(
+            speedup >= 0.7 * *fleet as f64,
+            "fleet of {fleet}: makespan speedup {speedup:.2} is not near-linear"
+        );
+        let _ = write!(
+            rows,
+            "{}    {{\"backends\": {fleet}, \"wall_ms\": {wall_ms:.4}, \
+             \"sessions_per_sec\": {throughput:.2}, \"makespan_ms\": {makespan_ms:.4}, \
+             \"modeled_sessions_per_sec\": {modeled:.2}, \"speedup\": {speedup:.4}}}",
+            if rows.is_empty() { "" } else { ",\n" },
+        );
+    }
+    let json = format!(
+        "{{\n  \"workers\": {WORKERS},\n  \"sessions_per_batch\": {per_batch},\n  \
+         \"batches\": {TCP_BATCHES_PER_CONN},\n  \"sweep\": [\n{rows}\n  ],\n  \
+         \"killed_backend\": {{\"fleet\": 2, \"retries\": {retries}, \
+         \"wall_ms\": {killed_wall_ms:.4}, \"sessions_per_sec\": {killed_throughput:.2}, \
+         \"byte_identical\": true}}\n}}\n"
+    );
+    opts.write("BENCH_coordinator.json", &json);
+}

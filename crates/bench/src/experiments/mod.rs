@@ -29,6 +29,10 @@ pub struct Options {
     /// listener and sweep concurrent connection counts instead of the
     /// warm-vs-cold duplex comparison.
     pub tcp: bool,
+    /// `repro daemon --tcp --backends N`: put a coordinator in front of
+    /// up to N backend daemons and sweep the fleet size (0 = no
+    /// coordinator, the plain `--tcp` experiment).
+    pub backends: usize,
 }
 
 impl Default for Options {
@@ -39,6 +43,7 @@ impl Default for Options {
             out_dir: "results".to_string(),
             stream: false,
             tcp: false,
+            backends: 0,
         }
     }
 }

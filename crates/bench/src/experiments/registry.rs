@@ -21,9 +21,7 @@ use std::time::Instant;
 
 use sanity_tdr::audit_pipeline::{ingest, FleetSummary};
 use sanity_tdr::jbc::container;
-use sanity_tdr::{
-    AckStatus, AuditConfig, AuditJob, Client, ControlError, ReferenceRegistry, Sanity,
-};
+use sanity_tdr::{AckStatus, AuditConfig, AuditJob, Client, ReferenceRegistry, Sanity};
 use workloads::artifacts::registry_artifacts;
 
 use super::Options;
@@ -228,21 +226,16 @@ pub fn run(opts: &Options) {
                         AckStatus::Loaded | AckStatus::AlreadyResident
                     ));
                     for b in 0..TCP_BATCHES_PER_CONN {
-                        let outcome = loop {
-                            match client.submit_batch_for(
+                        // Bounded recovery: one re-put on eviction, then
+                        // a typed ReferenceThrash instead of a livelock.
+                        let outcome = client
+                            .submit_batch_reput(
                                 (c * 10 + b) as u64,
                                 tdrb.clone(),
                                 put.reference,
-                            ) {
-                                Ok(outcome) => break outcome,
-                                Err(ControlError::UnknownReference(_)) => {
-                                    client
-                                        .put_reference(99, tdrp.clone())
-                                        .expect("re-put after eviction");
-                                }
-                                Err(e) => panic!("protocol failure: {e}"),
-                            }
-                        };
+                                &tdrp,
+                            )
+                            .expect("submit (with bounded re-put)");
                         assert_eq!(outcome.result.expect("audits").summary, want);
                     }
                     client.shutdown().expect("ack");

@@ -21,6 +21,12 @@
 //! repro daemon --tcp     The daemon behind a localhost TCP listener:
 //!                        throughput vs concurrent client connections
 //!                        (BENCH_daemon_tcp.json)
+//! repro daemon --tcp --backends N
+//!                        A coordinator sharding the same client load
+//!                        across 1..=N backend daemons: sessions/s per
+//!                        fleet size, every merged summary byte-identical
+//!                        to the single-daemon audit, plus a
+//!                        killed-backend retry cell (BENCH_coordinator.json)
 //! repro replay-speed     Classic vs fused-dispatch + event-ticking replay
 //!                        time, with a determinism cross-check
 //!                        (BENCH_replay_speed.json)
@@ -34,7 +40,8 @@
 //! Options: `--full` (paper-scale parameters), `--runs N` (override the
 //! per-cell run count), `--out DIR` (results directory, default
 //! `results/`), `--stream` (pipeline only: streaming-ingest comparison),
-//! `--tcp` (daemon only: the TCP connection-count sweep).
+//! `--tcp` (daemon only: the TCP connection-count sweep), `--backends N`
+//! (daemon --tcp only: the coordinator fleet-size sweep).
 
 mod experiments;
 
@@ -43,7 +50,7 @@ use experiments::Options;
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().unwrap_or_else(|| {
-        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|daemon|replay-speed|registry|all> [--full] [--runs N] [--out DIR] [--stream] [--tcp]");
+        eprintln!("usage: repro <fig2|fig3|table1-ablation|table2|fig6|fig7|logsize|fig8|fig8-fleet|noise-vs-jitter|pipeline|daemon|replay-speed|registry|all> [--full] [--runs N] [--out DIR] [--stream] [--tcp] [--backends N]");
         std::process::exit(2);
     });
     let mut opts = Options::default();
@@ -52,6 +59,12 @@ fn main() {
             "--full" => opts.full = true,
             "--stream" => opts.stream = true,
             "--tcp" => opts.tcp = true,
+            "--backends" => {
+                opts.backends = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--backends needs a number");
+                    std::process::exit(2);
+                });
+            }
             "--runs" => {
                 opts.runs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--runs needs a number");
@@ -85,6 +98,7 @@ fn main() {
         "fig8-fleet" => experiments::fig8_fleet::run(&opts),
         "noise-vs-jitter" => experiments::fig7::run_noise_vs_jitter(&opts),
         "pipeline" => experiments::pipeline::run(&opts),
+        "daemon" if opts.tcp && opts.backends > 0 => experiments::daemon::run_coordinator(&opts),
         "daemon" if opts.tcp => experiments::daemon::run_tcp(&opts),
         "daemon" => experiments::daemon::run(&opts),
         "replay-speed" => experiments::replay_speed::run(&opts),

@@ -76,11 +76,12 @@ pub use sim_core;
 pub use vm;
 
 pub use audit_pipeline::{
-    serve_tcp, serve_tcp_with, AckStatus, AuditConfig, AuditJob, AuditService, BatchOutcome,
-    BatchReport, BatchSummary, BatchTicket, BatteryMode, BusyScope, Client, ConfigError,
-    ControlError, ControlFrame, DaemonOptions, DaemonReport, IngestError, MetricsSnapshot,
-    PutOutcome, ReferenceId, ReferenceRegistry, RegistryError, RegistryLoad, ServiceBuilder,
-    StreamReport, TcpDaemon, TenantQuota, TraceEvent, TraceKind,
+    serve_coordinator, serve_tcp, serve_tcp_with, AckStatus, AuditConfig, AuditJob, AuditService,
+    BatchOutcome, BatchReport, BatchSummary, BatchTicket, BatteryMode, BatteryOutcome, BusyScope,
+    Client, ConfigError, ControlError, ControlFrame, CoordReport, Coordinator, DaemonOptions,
+    DaemonReport, IngestError, MetricsSnapshot, PutOutcome, ReferenceId, ReferenceRegistry,
+    RegistryError, RegistryLoad, ServiceBuilder, StreamReport, TcpDaemon, TenantQuota, TraceEvent,
+    TraceKind,
 };
 pub use detectors::{Detector, DetectorBattery, TraceView};
 

@@ -124,6 +124,14 @@ pub enum ControlError {
     /// survives — register the reference with
     /// [`Client::put_reference`] and resubmit.
     UnknownReference(ReferenceId),
+    /// The daemon answered `Unknown` for the same reference *again* after
+    /// a successful re-put: another tenant's puts are evicting it between
+    /// our `PutReference` and our resubmission (registry thrash under a
+    /// tight `--reference-budget`). Raised by
+    /// [`Client::submit_batch_reput`] after its bounded retry is
+    /// exhausted; retrying further would livelock, so the caller must
+    /// back off or the operator must raise the budget.
+    ReferenceThrash(ReferenceId),
     /// The transport failed.
     Io(io::ErrorKind, String),
 }
@@ -192,6 +200,13 @@ impl fmt::Display for ControlError {
             ControlError::UnknownReference(id) => {
                 write!(f, "reference {id} is not registered with the daemon")
             }
+            ControlError::ReferenceThrash(id) => {
+                write!(
+                    f,
+                    "reference {id} was evicted again immediately after a \
+                     successful re-put (registry budget thrash)"
+                )
+            }
             ControlError::Io(kind, msg) => write!(f, "transport failed ({kind:?}): {msg}"),
         }
     }
@@ -246,6 +261,7 @@ impl ControlError {
             ControlError::BadScope(_) => "control_err_bad_scope",
             ControlError::BadAckStatus(_) => "control_err_bad_ack_status",
             ControlError::UnknownReference(_) => "control_err_unknown_reference",
+            ControlError::ReferenceThrash(_) => "control_err_reference_thrash",
             ControlError::Io(..) => "control_err_io",
         }
     }
@@ -314,6 +330,8 @@ mod kind {
     pub const BUSY: u8 = 0x09;
     pub const PUT_REFERENCE: u8 = 0x0a;
     pub const REFERENCE_ACK: u8 = 0x0b;
+    pub const PUT_BATTERY: u8 = 0x0c;
+    pub const BATTERY_ACK: u8 = 0x0d;
 }
 
 /// What a [`ControlFrame::ReferenceAck`] reports about a registry
@@ -479,6 +497,34 @@ pub enum ControlFrame {
         /// operation (the LRU budget's measured quantity).
         resident_bytes: u64,
     },
+    /// Client request: install a trained detector battery, replacing the
+    /// daemon's current one in a single atomic swap. The body carries the
+    /// battery's canonical JSON form (`DetectorBattery::to_json`); the
+    /// daemon parses it, requires it to be trained, installs it, and
+    /// answers with a [`BatteryAck`](Self::BatteryAck). This is how a
+    /// coordinator keeps battery generations consistent fleet-wide:
+    /// retrain once, publish the same JSON to every backend
+    /// (`docs/FORMATS.md` §8.4).
+    PutBattery {
+        /// Client-chosen correlation id (echoed in the ack).
+        put_id: u64,
+        /// The battery in its canonical JSON form, UTF-8.
+        json: String,
+    },
+    /// Daemon response to a [`PutBattery`](Self::PutBattery).
+    BatteryAck {
+        /// Correlation id of the originating request.
+        put_id: u64,
+        /// The daemon's battery generation counter after the operation
+        /// (0 on a rejection). Monotonic per daemon; a fleet is
+        /// consistent when every backend reports its own counter moved.
+        generation: u64,
+        /// [`AckStatus::Loaded`] on success, [`AckStatus::Rejected`]
+        /// (with the reason) when the JSON fails to parse, the battery is
+        /// untrained, or the daemon scores TDR-only. The other statuses
+        /// are never produced for batteries.
+        status: AckStatus,
+    },
 }
 
 impl ControlFrame {
@@ -496,6 +542,8 @@ impl ControlFrame {
             ControlFrame::Busy { .. } => kind::BUSY,
             ControlFrame::PutReference { .. } => kind::PUT_REFERENCE,
             ControlFrame::ReferenceAck { .. } => kind::REFERENCE_ACK,
+            ControlFrame::PutBattery { .. } => kind::PUT_BATTERY,
+            ControlFrame::BatteryAck { .. } => kind::BATTERY_ACK,
         }
     }
 
@@ -513,6 +561,8 @@ impl ControlFrame {
             ControlFrame::Busy { .. } => "Busy",
             ControlFrame::PutReference { .. } => "PutReference",
             ControlFrame::ReferenceAck { .. } => "ReferenceAck",
+            ControlFrame::PutBattery { .. } => "PutBattery",
+            ControlFrame::BatteryAck { .. } => "BatteryAck",
         }
     }
 
@@ -602,6 +652,22 @@ impl ControlFrame {
                 out.extend_from_slice(&reference.0);
                 out.push(status.wire_byte());
                 wire::put_varint(out, *resident_bytes);
+                if let AckStatus::Rejected(message) = status {
+                    put_string(out, message);
+                }
+            }
+            ControlFrame::PutBattery { put_id, json } => {
+                wire::put_varint(out, *put_id);
+                put_string(out, json);
+            }
+            ControlFrame::BatteryAck {
+                put_id,
+                generation,
+                status,
+            } => {
+                wire::put_varint(out, *put_id);
+                wire::put_varint(out, *generation);
+                out.push(status.wire_byte());
                 if let AckStatus::Rejected(message) = status {
                     put_string(out, message);
                 }
@@ -739,6 +805,29 @@ impl ControlFrame {
                     reference,
                     status,
                     resident_bytes,
+                }
+            }
+            kind::PUT_BATTERY => {
+                let put_id = wire::read_varint(body, &mut pos)?;
+                let json = read_string(body, &mut pos)?;
+                ControlFrame::PutBattery { put_id, json }
+            }
+            kind::BATTERY_ACK => {
+                let put_id = wire::read_varint(body, &mut pos)?;
+                let generation = wire::read_varint(body, &mut pos)?;
+                let status_byte = *body.get(pos).ok_or(ControlError::Truncated)?;
+                pos += 1;
+                let status = match status_byte {
+                    0x00 => AckStatus::Loaded,
+                    0x01 => AckStatus::AlreadyResident,
+                    0x02 => AckStatus::Rejected(read_string(body, &mut pos)?),
+                    0x03 => AckStatus::Unknown,
+                    other => return Err(ControlError::BadAckStatus(other)),
+                };
+                ControlFrame::BatteryAck {
+                    put_id,
+                    generation,
+                    status,
                 }
             }
             other => return Err(ControlError::UnknownKind(other)),
@@ -946,6 +1035,17 @@ fn bounded_count(
     declared: u64,
     min_bytes: usize,
 ) -> Result<usize, ControlError> {
+    // A zero minimum would make the bound vacuous: `remaining / 1` after
+    // the release-only `.max(1)` below admits up to one element per
+    // remaining byte, silently weakening the guard by a factor of the
+    // caller's true element size. Every call site must pass the real
+    // per-element wire minimum (≥ 1 byte); a zero is a caller bug, caught
+    // loudly in debug builds while release builds keep the (weakened but
+    // still finite) divide-by-one bound instead of panicking mid-decode.
+    debug_assert!(
+        min_bytes > 0,
+        "bounded_count requires the true per-element minimum (≥ 1 byte), got 0"
+    );
     let remaining = buf.len().saturating_sub(pos);
     if declared > (remaining / min_bytes.max(1)) as u64 {
         return Err(ControlError::Body(CodecError::LengthOverflow));
@@ -1073,6 +1173,18 @@ pub struct PutOutcome {
     pub resident_bytes: u64,
 }
 
+/// What one [`Client::put_battery`] exchange produced: the daemon's
+/// `BatteryAck`, as data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatteryOutcome {
+    /// The daemon's battery generation counter after the install (0 on a
+    /// rejection). Monotonic per daemon.
+    pub generation: u64,
+    /// [`AckStatus::Loaded`] on success, [`AckStatus::Rejected`] with the
+    /// reason otherwise.
+    pub status: AckStatus,
+}
+
 /// Everything one `SubmitBatch` exchange produced.
 ///
 /// `verdicts` holds the per-session verdicts in submission order (the
@@ -1155,6 +1267,50 @@ impl<T: Read + Write> Client<T> {
         reference: ReferenceId,
     ) -> Result<BatchOutcome, ControlError> {
         self.submit_batch_inner(batch_id, tdrb, Some(reference), |_, _| {})
+    }
+
+    /// [`submit_batch_for`](Self::submit_batch_for) with the bounded
+    /// Unknown-reference recovery built in: on an
+    /// [`AckStatus::Unknown`] answer the client re-puts `tdrp` (the
+    /// container whose content-derived id is `reference`) and resubmits
+    /// **once**. Content addressing makes the re-put always safe; the cap
+    /// exists because under a tight `--reference-budget` a competing
+    /// tenant's puts can evict the reference *between* our re-put and our
+    /// resubmission, and an unbounded put→resubmit loop then livelocks.
+    /// A second `Unknown` is surfaced as
+    /// [`ControlError::ReferenceThrash`] — the caller backs off, or the
+    /// operator raises the budget.
+    pub fn submit_batch_reput(
+        &mut self,
+        batch_id: u64,
+        tdrb: Vec<u8>,
+        reference: ReferenceId,
+        tdrp: &[u8],
+    ) -> Result<BatchOutcome, ControlError> {
+        match self.submit_batch_for(batch_id, tdrb.clone(), reference) {
+            Err(ControlError::UnknownReference(id)) if id == reference => {
+                let put = self.put_reference(batch_id, tdrp.to_vec())?;
+                match put.status {
+                    AckStatus::Loaded | AckStatus::AlreadyResident
+                        if put.reference == reference => {}
+                    // The daemon refused (or renamed) a container this
+                    // very connection previously loaded under this id —
+                    // content addressing forbids that.
+                    _ => {
+                        return Err(ControlError::UnexpectedFrame(
+                            "ReferenceAck (re-put refused)",
+                        ))
+                    }
+                }
+                match self.submit_batch_for(batch_id, tdrb, reference) {
+                    Err(ControlError::UnknownReference(id)) if id == reference => {
+                        Err(ControlError::ReferenceThrash(reference))
+                    }
+                    other => other,
+                }
+            }
+            other => other,
+        }
     }
 
     /// [`submit_batch`](Self::submit_batch), invoking `on_verdict` for
@@ -1307,6 +1463,44 @@ impl<T: Read + Write> Client<T> {
                     status,
                     resident_bytes,
                 })
+            }
+            Some(ControlFrame::Busy {
+                scope: BusyScope::Connections,
+                active,
+                limit,
+                ..
+            }) => Err(ControlError::Busy { active, limit }),
+            Some(other) => Err(ControlError::UnexpectedFrame(other.kind_name())),
+            None => Err(ControlError::Disconnected),
+        }
+    }
+
+    /// Install a trained detector battery: one `PutBattery` frame
+    /// carrying the battery's canonical JSON out, exactly one
+    /// `BatteryAck` back.
+    ///
+    /// A refused battery ([`AckStatus::Rejected`] — unparseable JSON,
+    /// untrained, or a TDR-only daemon) is *not* a protocol error: it
+    /// lands in [`BatteryOutcome::status`] and the connection keeps
+    /// serving. Against a coordinator the install fans out to every
+    /// backend, so one call publishes one new generation fleet-wide.
+    pub fn put_battery(
+        &mut self,
+        put_id: u64,
+        json: String,
+    ) -> Result<BatteryOutcome, ControlError> {
+        ControlFrame::PutBattery { put_id, json }.write_to(&mut self.transport)?;
+        self.transport.flush().map_err(ControlError::from_io)?;
+        match ControlFrame::read_from(&mut self.transport)? {
+            Some(ControlFrame::BatteryAck {
+                put_id: got,
+                generation,
+                status,
+            }) => {
+                if got != put_id {
+                    return Err(ControlError::UnexpectedFrame("BatteryAck (foreign put id)"));
+                }
+                Ok(BatteryOutcome { generation, status })
             }
             Some(ControlFrame::Busy {
                 scope: BusyScope::Connections,
@@ -1541,6 +1735,20 @@ mod tests {
                 status: AckStatus::Unknown,
                 resident_bytes: 128,
             },
+            ControlFrame::PutBattery {
+                put_id: 21,
+                json: "{\"version\":1,\"detectors\":[]}".to_string(),
+            },
+            ControlFrame::BatteryAck {
+                put_id: 21,
+                generation: 3,
+                status: AckStatus::Loaded,
+            },
+            ControlFrame::BatteryAck {
+                put_id: 22,
+                generation: 0,
+                status: AckStatus::Rejected("battery is untrained".to_string()),
+            },
         ]
     }
 
@@ -1740,6 +1948,45 @@ mod tests {
                 Err(ControlError::Body(CodecError::LengthOverflow)),
                 "sessions = {sessions}"
             );
+        }
+    }
+
+    #[test]
+    fn bounded_count_accepts_exactly_full_body() {
+        // The boundary case: a declared count of exactly
+        // `remaining / min_bytes` is the largest claim the body could
+        // possibly satisfy and must be admitted; one more must not.
+        let buf = [0u8; 24];
+        for (pos, min_bytes) in [(0usize, 2usize), (0, 8), (4, 2), (4, 9), (23, 2)] {
+            let remaining = buf.len() - pos;
+            let fit = (remaining / min_bytes) as u64;
+            assert_eq!(
+                bounded_count(&buf, pos, fit, min_bytes),
+                Ok(fit as usize),
+                "pos {pos}, min {min_bytes}"
+            );
+            assert_eq!(
+                bounded_count(&buf, pos, fit + 1, min_bytes),
+                Err(ControlError::Body(CodecError::LengthOverflow)),
+                "pos {pos}, min {min_bytes}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_count_rejects_any_claim_against_a_short_body() {
+        // With fewer than `min_bytes` remaining, no nonzero count fits —
+        // including when `pos` already sits at or past the end (the
+        // saturating subtraction leaves zero remaining, not a wrap).
+        let buf = [0u8; 8];
+        for pos in [1usize, 7, 8, 9] {
+            assert_eq!(
+                bounded_count(&buf, pos, 1, 8),
+                Err(ControlError::Body(CodecError::LengthOverflow)),
+                "pos {pos}"
+            );
+            // A zero count is always satisfiable, even by an empty body.
+            assert_eq!(bounded_count(&buf, pos, 0, 8), Ok(0), "pos {pos}");
         }
     }
 

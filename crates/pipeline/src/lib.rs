@@ -45,6 +45,7 @@
 
 pub mod cache;
 pub mod control;
+pub mod coord;
 pub mod ingest;
 pub mod net;
 pub mod obs;
@@ -62,9 +63,10 @@ use vm::VmConfig;
 
 pub use cache::ReferenceCache;
 pub use control::{
-    AckStatus, BatchOutcome, BatchSummary, BusyScope, Client, ControlError, ControlFrame,
-    PutOutcome,
+    AckStatus, BatchOutcome, BatchSummary, BatteryOutcome, BusyScope, Client, ControlError,
+    ControlFrame, PutOutcome,
 };
+pub use coord::{serve_coordinator, CoordReport, Coordinator};
 pub use detectors::DetectorBattery;
 pub use ingest::{BatchStream, IngestError};
 pub use jbc::ReferenceId;

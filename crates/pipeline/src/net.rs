@@ -67,8 +67,14 @@ use crate::service::{AuditService, TenantQuota};
 /// `Stats` frame.
 #[derive(Debug, Default)]
 struct DaemonState {
-    /// Connection threads still owed a join (finished ones are reaped
-    /// opportunistically on each accept, the rest at shutdown).
+    /// Connection threads still owed a join. Finished ones are reaped on
+    /// each accept **and** as each connection exits (so an idle daemon
+    /// that stops receiving connects does not hold every handle it ever
+    /// served until the next accept — at most the last connection to
+    /// finish stays unreaped, since a thread cannot join itself); the
+    /// remainder joins at shutdown. Every join increments `conn_reaped`,
+    /// so after a drain the ledger balances: `conn_reaped` equals the
+    /// connection threads ever spawned.
     conns: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -217,13 +223,14 @@ fn accept_loop(
         let conn_id = metrics.conn_accepted.inc();
         metrics.trace(TraceKind::ConnAccept, conn_id, 0);
         metrics.conn_active.inc();
-        reap_finished(&state);
+        reap_finished(&state, metrics);
         let handle = {
             let service = Arc::clone(&service);
+            let state = Arc::clone(&state);
             let options = options.clone();
             std::thread::Builder::new()
                 .name(format!("tdrd-conn-{conn_id}"))
-                .spawn(move || serve_connection(&service, stream, conn_id, &options))
+                .spawn(move || serve_connection(&service, &state, stream, conn_id, &options))
         };
         match handle {
             Ok(handle) => state.conns.lock().expect("conns lock").push(handle),
@@ -265,6 +272,7 @@ fn shed_connection(stream: &TcpStream, metrics: &ServiceMetrics, active: u64, ca
 /// typed protocol/transport error (counted, never fatal to the daemon).
 fn serve_connection(
     service: &AuditService,
+    state: &DaemonState,
     stream: TcpStream,
     conn_id: u64,
     options: &DaemonOptions,
@@ -298,16 +306,25 @@ fn serve_connection(
     }
     metrics.conn_active.dec();
     let _ = stream.shutdown(Shutdown::Both);
+    // Reap on the way out, not only on the next accept: an idle daemon
+    // (or a coordinator backend between batches) may never see another
+    // connect, and without this every handle it ever served would sit
+    // unjoined until shutdown. This thread's own handle reports
+    // unfinished to `is_finished` and is left for the next reaper.
+    reap_finished(state, metrics);
 }
 
 /// Join connection threads that already finished, so a long-lived daemon
-/// does not accumulate handles for every connection it ever served.
-fn reap_finished(state: &DaemonState) {
+/// does not accumulate handles for every connection it ever served. Each
+/// join is counted by `conn_reaped` — together with the joins at
+/// shutdown, the counter balances against the threads ever spawned.
+fn reap_finished(state: &DaemonState, metrics: &ServiceMetrics) {
     let mut conns = state.conns.lock().expect("conns lock");
     let mut live = Vec::with_capacity(conns.len());
     for handle in conns.drain(..) {
         if handle.is_finished() {
             let _ = handle.join();
+            metrics.conn_reaped.inc();
         } else {
             live.push(handle);
         }
@@ -406,6 +423,7 @@ impl TcpDaemon {
         let conns = std::mem::take(&mut *self.state.conns.lock().expect("conns lock"));
         for handle in conns {
             let _ = handle.join();
+            self.service.metrics().conn_reaped.inc();
         }
     }
 }

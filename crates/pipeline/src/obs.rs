@@ -633,6 +633,7 @@ pub struct ServiceMetrics {
     pub(crate) conn_errors: Arc<Counter>,
     pub(crate) conn_idle_timeout: Arc<Counter>,
     pub(crate) conn_shed: Arc<Counter>,
+    pub(crate) conn_reaped: Arc<Counter>,
     pub(crate) bytes_in: Arc<Counter>,
     pub(crate) bytes_out: Arc<Counter>,
     pub(crate) conn_frames: Arc<Histogram>,
@@ -644,6 +645,7 @@ pub struct ServiceMetrics {
     pub(crate) frames_in_stats_request: Arc<Counter>,
     pub(crate) frames_in_shutdown: Arc<Counter>,
     pub(crate) frames_in_put_reference: Arc<Counter>,
+    pub(crate) frames_in_put_battery: Arc<Counter>,
     pub(crate) frames_out_verdict: Arc<Counter>,
     pub(crate) frames_out_summary: Arc<Counter>,
     pub(crate) frames_out_error: Arc<Counter>,
@@ -651,6 +653,7 @@ pub struct ServiceMetrics {
     pub(crate) frames_out_stats: Arc<Counter>,
     pub(crate) frames_out_busy: Arc<Counter>,
     pub(crate) frames_out_reference_ack: Arc<Counter>,
+    pub(crate) frames_out_battery_ack: Arc<Counter>,
     pub(crate) quota_rejections: Arc<Counter>,
     pub(crate) control_errors: Arc<Counter>,
 
@@ -698,6 +701,7 @@ impl ServiceMetrics {
             conn_errors: r.counter("conn_errors"),
             conn_idle_timeout: r.counter("conn_idle_timeout"),
             conn_shed: r.counter("conn_shed"),
+            conn_reaped: r.counter("conn_reaped"),
             bytes_in: r.counter("bytes_in"),
             bytes_out: r.counter("bytes_out"),
             conn_frames: r.histogram("conn_frames", &CONN_FRAMES_EDGES),
@@ -707,6 +711,7 @@ impl ServiceMetrics {
             frames_in_stats_request: r.counter("frames_in_stats_request"),
             frames_in_shutdown: r.counter("frames_in_shutdown"),
             frames_in_put_reference: r.counter("frames_in_put_reference"),
+            frames_in_put_battery: r.counter("frames_in_put_battery"),
             frames_out_verdict: r.counter("frames_out_verdict"),
             frames_out_summary: r.counter("frames_out_summary"),
             frames_out_error: r.counter("frames_out_error"),
@@ -714,6 +719,7 @@ impl ServiceMetrics {
             frames_out_stats: r.counter("frames_out_stats"),
             frames_out_busy: r.counter("frames_out_busy"),
             frames_out_reference_ack: r.counter("frames_out_reference_ack"),
+            frames_out_battery_ack: r.counter("frames_out_battery_ack"),
             quota_rejections: r.counter("quota_rejections"),
             control_errors: r.counter("control_errors"),
             registry_loads: r.counter("registry_loads"),

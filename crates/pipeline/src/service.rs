@@ -717,6 +717,39 @@ impl AuditService {
         self.shared.registry.load(tdrp)
     }
 
+    /// Parse and install a trained detector battery from its canonical
+    /// JSON form, replacing the current generation in one atomic swap —
+    /// the in-process twin of the wire [`ControlFrame::PutBattery`]
+    /// (`Client::put_battery`). Returns the new generation number.
+    ///
+    /// Refused (with the reason) when the JSON fails to parse, the
+    /// battery is untrained, or the service was built without a battery
+    /// (TDR-only scoring — an installed battery would silently never
+    /// score, so pretending to accept it would hide a fleet
+    /// misconfiguration). In-flight sessions keep the generation they
+    /// were submitted under; only subsequent submissions see the new one
+    /// — the same swap discipline as cross-batch retraining.
+    pub fn install_battery(&self, json: &str) -> Result<u64, String> {
+        let battery =
+            DetectorBattery::from_json(json).map_err(|e| format!("battery JSON refused: {e}"))?;
+        if !battery.is_trained() {
+            return Err("battery is untrained".to_string());
+        }
+        if self.shared.reference.battery.is_none() {
+            return Err(
+                "service scores TDR-only (built without a battery); install refused".to_string(),
+            );
+        }
+        let mut guard = self.shared.battery.lock().expect("battery lock");
+        *guard = Some(Arc::new(battery));
+        drop(guard);
+        let generation = self.shared.metrics.retrain_generations.inc();
+        self.shared
+            .metrics
+            .trace(TraceKind::RetrainPublish, generation, 0);
+        Ok(generation)
+    }
+
     /// Submit a materialized batch to be audited against the *registered*
     /// reference `reference` instead of the service's built-in one — the
     /// in-process twin of a `SubmitBatch` v2 frame. Fails with
@@ -1104,6 +1137,31 @@ impl AuditService {
                     if write.is_ok() {
                         metrics.frames_out.inc();
                         metrics.frames_out_reference_ack.inc();
+                    }
+                    write
+                }
+                ControlFrame::PutBattery { put_id, json } => {
+                    metrics.frames_in_put_battery.inc();
+                    // Like a refused container: rejections travel in-band,
+                    // the connection and the daemon keep serving.
+                    let ack = match self.install_battery(&json) {
+                        Ok(generation) => ControlFrame::BatteryAck {
+                            put_id,
+                            generation,
+                            status: AckStatus::Loaded,
+                        },
+                        Err(reason) => ControlFrame::BatteryAck {
+                            put_id,
+                            generation: 0,
+                            status: AckStatus::Rejected(reason),
+                        },
+                    };
+                    let write = ack
+                        .write_to(&mut writer)
+                        .and_then(|()| writer.flush().map_err(ControlError::from_io));
+                    if write.is_ok() {
+                        metrics.frames_out.inc();
+                        metrics.frames_out_battery_ack.inc();
                     }
                     write
                 }

@@ -46,6 +46,18 @@
 //!      registry artifacts (SciMark FFT, the NFS server, a corpus
 //!      program) as `*.tdrp` files under DIR, printing each file's
 //!      reference id. This is how CI provisions `--reference-dir`.
+//!
+//! tdrd --coordinator --backends ADDR[,ADDR...] [--bind ADDR]
+//!      [--stats-interval SECS]
+//!      Coordinator mode: accept the unchanged TDRC client protocol and
+//!      shard each batch's sessions across the backend daemons at the
+//!      given addresses (`session_id mod N`), merging the verdict
+//!      streams into one response whose fleet summary is byte-identical
+//!      to a single-daemon audit (`docs/FORMATS.md` §8). A backend that
+//!      dies mid-batch has its shard retried on a survivor; clients of
+//!      the coordinator never see backend topology. Prints the same
+//!      "tdrd: listening on ADDR" line as serve mode. Backends under a
+//!      coordinator should not run `--retrain` (§8.4).
 //! ```
 //!
 //! The daemon audits suspects against *known-good reference programs*.
@@ -159,6 +171,8 @@ struct Args {
     reference_dir: Option<String>,
     reference_budget: Option<u64>,
     export_references: Option<String>,
+    coordinator: bool,
+    backends: Option<String>,
     /// Flag names seen on the command line, for per-mode validation: a
     /// flag the selected mode ignores is a configuration mistake the
     /// operator must hear about, not a silent no-op.
@@ -172,7 +186,8 @@ fn usage() -> ! {
          [--max-conns N] [--tenant-quota SESSIONS,BATCHES] [--reference-dir DIR] \
          [--reference-budget BYTES]\n       \
          tdrd --client ADDR [--sessions N] [--batches M] [--threshold T] [--stats]\n       \
-         tdrd --export-references DIR"
+         tdrd --export-references DIR\n       \
+         tdrd --coordinator --backends ADDR[,ADDR...] [--bind ADDR] [--stats-interval SECS]"
     );
     exit(2)
 }
@@ -196,6 +211,8 @@ fn parse_args() -> Args {
         reference_dir: None,
         reference_budget: None,
         export_references: None,
+        coordinator: false,
+        backends: None,
         seen: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -238,6 +255,8 @@ fn parse_args() -> Args {
                 ))
             }
             "--export-references" => args.export_references = Some(value("--export-references")),
+            "--coordinator" => args.coordinator = true,
+            "--backends" => args.backends = Some(value("--backends")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option: {other}");
@@ -263,6 +282,8 @@ fn parse_args() -> Args {
                 "--reference-dir" => "--reference-dir",
                 "--reference-budget" => "--reference-budget",
                 "--export-references" => "--export-references",
+                "--coordinator" => "--coordinator",
+                "--backends" => "--backends",
                 _ => unreachable!("unknown flags exit above"),
             });
         }
@@ -290,6 +311,8 @@ fn parse_args() -> Args {
                 "--tenant-quota",
                 "--reference-dir",
                 "--reference-budget",
+                "--coordinator",
+                "--backends",
             ],
         )
     } else if args.client.is_some() {
@@ -307,10 +330,40 @@ fn parse_args() -> Args {
                 "--tenant-quota",
                 "--reference-dir",
                 "--reference-budget",
+                "--coordinator",
+                "--backends",
+            ],
+        )
+    } else if args.coordinator {
+        // A coordinator routes — it audits nothing itself, so every
+        // service-configuration flag is a misunderstanding to reject.
+        if args.backends.is_none() {
+            eprintln!("--coordinator needs --backends ADDR[,ADDR...]");
+            usage();
+        }
+        (
+            "coordinator",
+            &[
+                "--workers",
+                "--high-water",
+                "--threshold",
+                "--battery",
+                "--retrain",
+                "--idle-timeout",
+                "--max-conns",
+                "--tenant-quota",
+                "--reference-dir",
+                "--reference-budget",
+                "--sessions",
+                "--batches",
+                "--stats",
             ],
         )
     } else {
-        ("serve", &["--sessions", "--batches", "--stats"])
+        (
+            "serve",
+            &["--sessions", "--batches", "--stats", "--backends"],
+        )
     };
     for flag in inapplicable {
         if args.seen.contains(flag) {
@@ -380,9 +433,61 @@ fn main() {
         run_export(&dir);
         return;
     }
+    if args.coordinator {
+        run_coordinator(&args);
+    }
     match args.client.clone() {
         Some(addr) => run_client(&addr, &args),
         None => run_server(&args),
+    }
+}
+
+/// `--coordinator --backends ADDR[,ADDR...]`: serve the TDRC control
+/// plane as a shard router over the given backend daemons.
+fn run_coordinator(args: &Args) -> ! {
+    let backends: Vec<String> = args
+        .backends
+        .as_deref()
+        .unwrap_or_default()
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if backends.is_empty() {
+        eprintln!("--backends needs at least one address");
+        exit(2);
+    }
+    let listener = TcpListener::bind(&args.bind).unwrap_or_else(|e| {
+        eprintln!("tdrd: cannot bind {}: {e}", args.bind);
+        exit(1)
+    });
+    let coordinator = sanity_tdr::serve_coordinator(listener, backends).unwrap_or_else(|e| {
+        eprintln!("tdrd: cannot start coordinator: {e}");
+        exit(1)
+    });
+    // The same parseable line serve mode prints; stdout, flushed.
+    println!("tdrd: listening on {}", coordinator.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush stdout");
+    eprintln!(
+        "tdrd: coordinator over {} backend(s): {}",
+        coordinator.backends().len(),
+        coordinator.backends().join(", ")
+    );
+    match args.stats_interval {
+        Some(secs) => {
+            let period = std::time::Duration::from_secs_f64(secs);
+            loop {
+                std::thread::sleep(period);
+                eprintln!(
+                    "tdrd: stats {}",
+                    coordinator.metrics_snapshot().render_line()
+                );
+            }
+        }
+        None => loop {
+            std::thread::park();
+        },
     }
 }
 

@@ -165,6 +165,11 @@ fn tcp_round_trip_is_byte_identical_to_duplex_and_in_process() {
     assert_eq!(report.connections_accepted, 5);
     assert_eq!(report.connection_errors, 0);
     assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
+    assert_eq!(
+        report.snapshot.counter("conn_reaped"),
+        report.connections_accepted,
+        "thread ledger unbalanced: every connection thread must be joined exactly once"
+    );
     report.service.shutdown();
 }
 
@@ -258,6 +263,11 @@ fn concurrent_clients_get_bit_identical_verdicts_and_shutdown_drains() {
     assert_eq!(report.connections_accepted, (CLIENTS + 1) as u64);
     assert_eq!(report.connection_errors, 0);
     assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
+    assert_eq!(
+        report.snapshot.counter("conn_reaped"),
+        report.connections_accepted,
+        "thread ledger unbalanced: every connection thread must be joined exactly once"
+    );
     assert_eq!(
         report.service.sessions_audited(),
         (CLIENTS * 3 * 2 + jobs.len()) as u64,
@@ -356,6 +366,11 @@ fn stats_polling_client_perturbs_neither_verdicts_nor_summaries() {
     assert_eq!(report.connections_accepted, (CLIENTS + 1) as u64);
     assert_eq!(report.connection_errors, 0);
     assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
+    assert_eq!(
+        report.snapshot.counter("conn_reaped"),
+        report.connections_accepted,
+        "thread ledger unbalanced: every connection thread must be joined exactly once"
+    );
     let sessions = (CLIENTS * 3 * 2) as u64;
     assert_eq!(report.service.sessions_audited(), sessions);
     assert_eq!(report.snapshot.counter("sessions_audited"), sessions);
@@ -427,6 +442,11 @@ fn idle_timeout_reaps_stalled_connections_with_a_typed_error() {
         "the stalled connection, and only it"
     );
     assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
+    assert_eq!(
+        report.snapshot.counter("conn_reaped"),
+        report.connections_accepted,
+        "thread ledger unbalanced: every connection thread must be joined exactly once"
+    );
     assert_eq!(report.snapshot.counter("conn_idle_timeout"), 1);
     report.service.shutdown();
 }
@@ -512,6 +532,11 @@ fn slow_loris_and_mid_frame_stalls_are_isolated_per_connection() {
         "exactly the stalled connection errored"
     );
     assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
+    assert_eq!(
+        report.snapshot.counter("conn_reaped"),
+        report.connections_accepted,
+        "thread ledger unbalanced: every connection thread must be joined exactly once"
+    );
 
     // No residency slot leaked: the warm service still streams a full
     // batch under the same high-water bound of 1.
@@ -602,6 +627,11 @@ fn connection_level_garbage_never_kills_the_daemon() {
         "every connection's outcome matches the in-memory serve oracle"
     );
     assert_eq!(report.connections_shed, 0, "no cap, nothing shed");
+    assert_eq!(
+        report.snapshot.counter("conn_reaped"),
+        report.connections_accepted,
+        "thread ledger unbalanced: every connection thread must be joined exactly once"
+    );
     report.service.shutdown();
 }
 
@@ -728,6 +758,13 @@ fn over_cap_connections_are_shed_with_a_typed_busy_frame() {
         "shed connections are not errors"
     );
     assert!(report.connections_shed >= 3);
+    // Shed connections never spawn a serve thread, so the thread ledger
+    // balances against *accepted* connections only.
+    assert_eq!(
+        report.snapshot.counter("conn_reaped"),
+        report.connections_accepted,
+        "thread ledger unbalanced: every connection thread must be joined exactly once"
+    );
     assert_eq!(
         report.snapshot.counter("conn_shed"),
         report.connections_shed
@@ -736,6 +773,56 @@ fn over_cap_connections_are_shed_with_a_typed_busy_frame() {
         report.snapshot.counter("frames_out_busy"),
         report.connections_shed,
         "one Busy frame per shed connection"
+    );
+    report.service.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Thread-ledger hygiene: finished connections are reaped without new accepts
+// ---------------------------------------------------------------------------
+
+/// Regression: a daemon that stops receiving connects must not hold a
+/// handle for every connection it ever served until the next accept.
+/// Each exiting connection thread reaps its finished predecessors, so
+/// after N sequential connections end, at most the last one to finish
+/// stays unreaped (a thread cannot join itself) — observable on the live
+/// `conn_reaped` counter with zero further accepts.
+#[test]
+fn idle_daemon_reaps_finished_connection_threads_without_new_accepts() {
+    const CONNS: u64 = 4;
+    let sanity = echo_sanity();
+    let daemon = tcp_daemon(&sanity, 2, 1);
+    let addr = daemon.local_addr();
+
+    for _ in 0..CONNS {
+        let client = Client::new(TcpStream::connect(addr).expect("connect"));
+        client.shutdown().expect("shutdown ack");
+    }
+
+    // The serve threads finish asynchronously after the Shutdown acks;
+    // each one's exit-path reap joins every predecessor that already
+    // finished. Poll the live counter — no connects happen here.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let reaped = daemon.service().metrics_snapshot().counter("conn_reaped");
+        assert!(reaped <= CONNS, "a thread was joined twice");
+        if reaped >= CONNS - 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle daemon kept {} of {CONNS} finished connection threads unreaped",
+            CONNS - reaped
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let report = daemon.shutdown();
+    assert_eq!(report.connections_accepted, CONNS);
+    assert_eq!(
+        report.snapshot.counter("conn_reaped"),
+        CONNS,
+        "shutdown joins the remainder exactly once"
     );
     report.service.shutdown();
 }

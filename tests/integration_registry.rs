@@ -175,28 +175,25 @@ fn daemon_audits_three_references_concurrently_with_eviction() {
                 let tdrb = ingest::encode_batch(&f.jobs);
                 // Under LRU thrash another client's load may have evicted
                 // this reference between batches: the daemon answers with
-                // a typed UnknownReference, the client re-puts (the bytes
-                // are content-addressed, so this is always safe) and
-                // retries. Eviction costs a round-trip, never a verdict.
+                // a typed UnknownReference and `submit_batch_reput`
+                // recovers with one bounded re-put (the bytes are
+                // content-addressed, so this is always safe). A second
+                // eviction racing the same submission surfaces as a typed
+                // ReferenceThrash, which this torture retries at its own
+                // bounded level. Eviction costs round-trips, never a
+                // verdict.
                 let outcome = loop {
-                    match client.submit_batch_for(slot as u64 * 100 + round, tdrb.clone(), f.id) {
+                    match client.submit_batch_reput(
+                        slot as u64 * 100 + round,
+                        tdrb.clone(),
+                        f.id,
+                        &f.tdrp,
+                    ) {
                         Ok(outcome) => break outcome,
-                        Err(ControlError::UnknownReference(id)) => {
+                        Err(ControlError::ReferenceThrash(id)) => {
                             assert_eq!(id, f.id);
                             reloads += 1;
                             assert!(reloads <= 64, "{}: reload livelock", f.name);
-                            let again = client
-                                .put_reference(1_000 + reloads as u64, f.tdrp.clone())
-                                .expect("re-put after eviction");
-                            assert!(
-                                matches!(
-                                    again.status,
-                                    AckStatus::Loaded | AckStatus::AlreadyResident
-                                ),
-                                "{}: reload refused: {:?}",
-                                f.name,
-                                again.status
-                            );
                         }
                         Err(e) => panic!("{}: round {round} protocol failure: {e}", f.name),
                     }
@@ -250,18 +247,11 @@ fn daemon_audits_three_references_concurrently_with_eviction() {
     let mut client = Client::new(stream);
     for f in fixtures.iter() {
         let tdrb = ingest::encode_batch(&f.jobs);
-        let outcome = loop {
-            match client.submit_batch_for(9_000, tdrb.clone(), f.id) {
-                Ok(outcome) => break outcome,
-                Err(ControlError::UnknownReference(_)) => {
-                    let again = client
-                        .put_reference(9_001, f.tdrp.clone())
-                        .expect("re-put after forced eviction");
-                    assert!(matches!(again.status, AckStatus::Loaded));
-                }
-                Err(e) => panic!("{}: post-eviction protocol failure: {e}", f.name),
-            }
-        };
+        // No concurrent clients here, so the helper's single bounded
+        // re-put deterministically covers the forced eviction.
+        let outcome = client
+            .submit_batch_reput(9_000, tdrb.clone(), f.id, &f.tdrp)
+            .unwrap_or_else(|e| panic!("{}: post-eviction protocol failure: {e}", f.name));
         let summary = outcome.result.expect("audits");
         assert_eq!(
             summary.summary, f.expected.summary,
@@ -401,4 +391,137 @@ fn eviction_order_and_verdicts_are_deterministic_across_budgets() {
         !eviction_logs[1].is_empty(),
         "thrash budget ({thrash} bytes) never evicted"
     );
+}
+
+/// A client-side transport shim that plays the eviction adversary:
+/// before forwarding each complete `SubmitBatch` frame to the daemon, it
+/// loads a rival reference directly into the daemon's registry, evicting
+/// the reference the batch is about to name. A single client can never
+/// produce this interleaving on its own (its re-put makes the reference
+/// most-recently-used, which the LRU never evicts), so the shim stands in
+/// for the concurrent tenant that makes budget thrash real.
+struct EvictingTransport<'a> {
+    inner: std::net::TcpStream,
+    service: &'a sanity_tdr::AuditService,
+    rival_tdrp: Vec<u8>,
+    sabotage: Arc<std::sync::atomic::AtomicBool>,
+    pending: Vec<u8>,
+}
+
+impl std::io::Write for EvictingTransport<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.pending.extend_from_slice(buf);
+        // Forward every complete frame ([u32 LE length][payload]); the
+        // frame kind lives at payload offset 8 (FORMATS.md §5.1).
+        loop {
+            if self.pending.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(self.pending[..4].try_into().expect("4 bytes")) as usize;
+            let total = 4 + len;
+            if self.pending.len() < total {
+                break;
+            }
+            const SUBMIT_BATCH: u8 = 0x01;
+            if len > 8
+                && self.pending[12] == SUBMIT_BATCH
+                && self.sabotage.load(std::sync::atomic::Ordering::SeqCst)
+            {
+                self.service
+                    .put_reference(&self.rival_tdrp)
+                    .expect("rival reference admits");
+            }
+            self.inner.write_all(&self.pending[..total])?;
+            self.pending.drain(..total);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl std::io::Read for EvictingTransport<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
+/// Regression (bounded re-put): under adversarial budget thrash the
+/// recovery path must surface a typed `ReferenceThrash` after exactly one
+/// re-put attempt — the old client loop (`Unknown` → re-put → retry,
+/// unbounded) livelocked here, burning a put + submit round-trip per
+/// iteration forever. The error is batch-scoped: once the adversary goes
+/// quiet, the same connection recovers and the verdicts are bit-identical
+/// to the in-process baseline.
+#[test]
+fn re_put_thrash_surfaces_typed_error_not_livelock() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let victim = echo_sanity_with(3);
+    let rival = echo_sanity_with(5);
+    let victim_tdrp = container::seal(victim.program());
+    let victim_id = container::reference_id(victim.program());
+    let rival_tdrp = container::seal(rival.program());
+
+    // A budget that admits either reference alone, never both — the
+    // 1-reference daemon. Costs measured the way the registry accounts
+    // them (canonical program bytes).
+    let cost = |tdrp: &[u8]| {
+        let probe = sanity_tdr::ReferenceRegistry::new(u64::MAX);
+        probe.load(tdrp).expect("probe admits").resident_bytes
+    };
+    let budget = cost(&victim_tdrp).max(cost(&rival_tdrp));
+
+    let service = echo_sanity_with(3)
+        .audit_service()
+        .workers(2)
+        .reference_budget(budget)
+        .build()
+        .expect("valid configuration");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let daemon = serve_tcp_with(service, listener, DaemonOptions::default()).expect("serve");
+
+    let jobs = echo_jobs(&victim, 0..2);
+    let expected = victim.audit_batch(&jobs, &cfg());
+    let tdrb = ingest::encode_batch(&jobs);
+
+    let sabotage = Arc::new(AtomicBool::new(true));
+    let stream = std::net::TcpStream::connect(daemon.local_addr()).expect("connect");
+    let mut client = Client::new(EvictingTransport {
+        inner: stream,
+        service: daemon.service(),
+        rival_tdrp: rival_tdrp.clone(),
+        sabotage: Arc::clone(&sabotage),
+        pending: Vec::new(),
+    });
+
+    let put = client
+        .put_reference(1, victim_tdrp.clone())
+        .expect("put_reference exchange");
+    assert_eq!(put.reference, victim_id);
+
+    // Both the first submission and the post-re-put resubmission find the
+    // reference evicted (the shim reloads the rival before each), so the
+    // bounded path must give up typed — and after exactly 2 attempts.
+    match client.submit_batch_reput(7, tdrb.clone(), victim_id, &victim_tdrp) {
+        Err(ControlError::ReferenceThrash(id)) => assert_eq!(id, victim_id),
+        other => panic!("expected a typed ReferenceThrash, got {other:?}"),
+    }
+
+    // Batch-scoped, not connection-fatal: with the adversary quiet the
+    // same connection recovers via one bounded re-put, bit-identically.
+    sabotage.store(false, Ordering::SeqCst);
+    let outcome = client
+        .submit_batch_reput(8, tdrb, victim_id, &victim_tdrp)
+        .expect("recovers once the thrash stops");
+    let summary = outcome.result.expect("audits");
+    assert_eq!(summary.summary, expected.summary);
+    assert_eq!(outcome.verdicts.len(), expected.verdicts.len());
+    for (wire, local) in outcome.verdicts.iter().zip(&expected.verdicts) {
+        assert_eq!(wire, local, "post-thrash verdict diverged");
+    }
+    client.shutdown().expect("shutdown ack");
+    daemon.shutdown();
 }
